@@ -1,0 +1,94 @@
+//! Micro-benches of the collective building blocks on the simulator —
+//! per-operation cost tracking for the substrate the algorithms stand on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpp_model::{LibraryKind, Machine};
+use mpp_runtime::run_simulated;
+
+fn bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_bcast");
+    g.sample_size(10);
+    for p in [16usize, 64, 256] {
+        let machine = Machine::paragon(p / 8, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                run_simulated(&machine, LibraryKind::Nx, |comm| {
+                    use mpp_runtime::Communicator;
+                    let order: Vec<usize> = (0..comm.size()).collect();
+                    let data = (comm.rank() == 0).then(|| vec![0u8; 4096]);
+                    collectives::bcast_from_first(comm, &order, data, 0).len()
+                })
+                .makespan_ns
+            })
+        });
+    }
+    g.finish();
+}
+
+fn gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_gather");
+    g.sample_size(10);
+    for p in [16usize, 64] {
+        let machine = Machine::paragon(p / 8, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                run_simulated(&machine, LibraryKind::Nx, |comm| {
+                    use mpp_runtime::Communicator;
+                    let senders: Vec<usize> = (0..comm.size()).collect();
+                    let mine = vec![comm.rank() as u8; 1024];
+                    collectives::gather_direct(comm, 0, &senders, Some(&mine), 1).len()
+                })
+                .makespan_ns
+            })
+        });
+    }
+    g.finish();
+}
+
+fn alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_personalized");
+    g.sample_size(10);
+    for p in [16usize, 64] {
+        let machine = Machine::paragon(p / 8, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                run_simulated(&machine, LibraryKind::Nx, |comm| {
+                    use mpp_runtime::Communicator;
+                    let mine = vec![comm.rank() as u8; 512];
+                    collectives::personalized_from_sources(comm, &|_| true, Some(&mine), 2).len()
+                })
+                .makespan_ns
+            })
+        });
+    }
+    g.finish();
+}
+
+fn reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_allreduce");
+    g.sample_size(10);
+    for p in [16usize, 64] {
+        let machine = Machine::paragon(p / 8, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                run_simulated(&machine, LibraryKind::Nx, |comm| {
+                    use mpp_runtime::Communicator;
+                    let order: Vec<usize> = (0..comm.size()).collect();
+                    let contrib = (comm.rank() as u64).to_le_bytes();
+                    let sum = |a: &[u8], b: &[u8]| {
+                        (u64::from_le_bytes(a.try_into().unwrap())
+                            + u64::from_le_bytes(b.try_into().unwrap()))
+                        .to_le_bytes()
+                        .to_vec()
+                    };
+                    collectives::allreduce(comm, &order, &contrib, &sum, 3).len()
+                })
+                .makespan_ns
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(micro, bcast, gather, alltoall, reduce);
+criterion_main!(micro);

@@ -1,0 +1,64 @@
+//! Calibration probe: quick checks that the simulator reproduces the
+//! paper's headline *shapes* before the full figure suite runs.
+//! Not one of the paper's figures — a development/diagnostic tool.
+
+use mpp_model::Machine;
+use stp_bench::run_ms;
+use stp_core::prelude::*;
+
+fn main() {
+    println!("== Paragon 10x10, L=4K, equal distribution (Fig 3 shape) ==");
+    let paragon = Machine::paragon(10, 10);
+    let kinds = [
+        AlgoKind::TwoStep,
+        AlgoKind::PersAlltoAll,
+        AlgoKind::MpiAllGather,
+        AlgoKind::MpiAlltoall,
+        AlgoKind::BrLin,
+        AlgoKind::BrXySource,
+        AlgoKind::BrXyDim,
+    ];
+    print!("{:>4}", "s");
+    for k in kinds {
+        print!("{:>16}", k.name());
+    }
+    println!();
+    for s in [1usize, 10, 30, 60, 100] {
+        print!("{s:>4}");
+        for k in kinds {
+            print!("{:>16.3}", run_ms(&paragon, k, SourceDist::Equal, s, 4096));
+        }
+        println!();
+    }
+
+    println!("\n== T3D p=128, L=4K, equal distribution (Fig 13a shape) ==");
+    let t3d = Machine::t3d(128, 42);
+    let kinds_t3d = [AlgoKind::MpiAllGather, AlgoKind::MpiAlltoall, AlgoKind::BrLin];
+    print!("{:>4}", "s");
+    for k in kinds_t3d {
+        print!("{:>16}", k.name());
+    }
+    println!();
+    for s in [5usize, 20, 40, 80, 128] {
+        print!("{s:>4}");
+        for k in kinds_t3d {
+            print!("{:>16.3}", run_ms(&t3d, k, SourceDist::Equal, s, 4096));
+        }
+        println!();
+    }
+
+    println!("\n== Paragon 10x10, L=2K, s=30, distributions (Fig 6 shape) ==");
+    let kinds6 = [AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::BrXyDim];
+    print!("{:>6}", "dist");
+    for k in kinds6 {
+        print!("{:>16}", k.name());
+    }
+    println!();
+    for d in SourceDist::paper_set() {
+        print!("{:>6}", d.name());
+        for k in kinds6 {
+            print!("{:>16.3}", run_ms(&paragon, k, d.clone(), 30, 2048));
+        }
+        println!();
+    }
+}

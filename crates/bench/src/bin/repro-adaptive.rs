@@ -1,0 +1,66 @@
+//! Extension: adaptive repositioning on the Figure-9 workload.
+//!
+//! The paper's repositioning implementation "always repositions", which
+//! costs 1–2 ms on inputs that are already close to ideal (Figure 9's
+//! positive bars). `ReposAdaptive_xy_source` gates the permutation on a
+//! local placement-quality score; this binary reruns the Figure-9 grid
+//! with all three policies.
+
+use mpp_model::{LibraryKind, Machine};
+use mpp_runtime::run_simulated;
+use stp_core::algorithms::ReposAdaptive;
+use stp_core::prelude::*;
+use stp_core::runner::run_sources;
+
+fn main() {
+    let machine = Machine::paragon(16, 16);
+    let shape = machine.shape;
+    let adaptive =
+        ReposAdaptive::new(BrXySource, AlgoKind::BrXySource, "ReposAdaptive_xy_source");
+
+    println!("# 16x16 Paragon, L=6K: plain vs always-reposition vs adaptive (ms)");
+    println!("dist,s,quality,plain,repos,adaptive,repositioned?");
+    for dist in
+        [SourceDist::Cross, SourceDist::SquareBlock, SourceDist::Equal, SourceDist::Band, SourceDist::Row]
+    {
+        for s in [16usize, 75, 150] {
+            let sources = dist.place(shape, s);
+            let quality =
+                stp_core::quality::placement_quality(shape, &sources, AlgoKind::BrXySource)
+                    .unwrap();
+            let plain = run_sources(
+                &machine,
+                LibraryKind::Nx,
+                &sources,
+                &|src| payload_for(src, 6144),
+                AlgoKind::BrXySource,
+            );
+            let repos = run_sources(
+                &machine,
+                LibraryKind::Nx,
+                &sources,
+                &|src| payload_for(src, 6144),
+                AlgoKind::ReposXySource,
+            );
+            let adapt = run_simulated(&machine, LibraryKind::Nx, |comm| {
+                use mpp_runtime::Communicator;
+                let payload = sources
+                    .binary_search(&comm.rank())
+                    .is_ok()
+                    .then(|| payload_for(comm.rank(), 6144));
+                let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+                adaptive.run(comm, &ctx).len() == s
+            });
+            assert!(plain.verified && repos.verified);
+            assert!(adapt.results.iter().all(|&ok| ok));
+            println!(
+                "{},{s},{quality:.2},{:.3},{:.3},{:.3},{}",
+                dist.name(),
+                plain.makespan_ms(),
+                repos.makespan_ms(),
+                adapt.makespan_ns as f64 / 1e6,
+                adaptive.would_reposition(shape, &sources)
+            );
+        }
+    }
+}

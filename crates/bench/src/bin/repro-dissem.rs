@@ -1,0 +1,67 @@
+//! Extension: where would MPI_AllGather/MPI_Alltoall convergence come
+//! from? (Figure 13a discussion.)
+//!
+//! Our `MPI_AllGather` follows the paper's own description (gather at
+//! P₀ + broadcast) and therefore stays ~3x above `MPI_Alltoall` at
+//! `s = p` instead of converging. This binary runs a *dissemination*
+//! all-gather — the implementation a modern MPI library would use — on
+//! the same Figure-13a workload, with and without combining charges:
+//! the zero-copy variant runs below Alltoall at every point.
+
+use mpp_model::{LibraryKind, Machine};
+use mpp_runtime::{run_simulated, Communicator};
+use stp_core::algorithms::{DissemAllGather, StpAlgorithm};
+use stp_core::prelude::*;
+
+fn run_alg(machine: &Machine, alg: &dyn StpAlgorithm, sources: &[usize], len: usize) -> f64 {
+    let shape = machine.shape;
+    let out = run_simulated(machine, LibraryKind::Mpi, |comm| {
+        let payload =
+            sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), len));
+        let ctx = StpCtx { shape, sources, payload: payload.as_deref() };
+        alg.run(comm, &ctx).len() == sources.len()
+    });
+    assert!(out.results.iter().all(|&ok| ok));
+    out.makespan_ns as f64 / 1e6
+}
+
+fn main() {
+    let machine = Machine::t3d(128, 42);
+    println!("# T3D p=128, L=4K, equal distribution (Fig 13a workload + extension)");
+    println!("s,MPI_AllGather,MPI_Alltoall,Br_Lin,Dissem,Dissem_zero_copy");
+    for s in [5usize, 20, 40, 64, 96, 128] {
+        let sources = SourceDist::Equal.place(machine.shape, s);
+        let allgather = Experiment {
+            machine: &machine,
+            dist: SourceDist::Equal,
+            s,
+            msg_len: 4096,
+            kind: AlgoKind::MpiAllGather,
+        }
+        .run();
+        let alltoall = Experiment {
+            machine: &machine,
+            dist: SourceDist::Equal,
+            s,
+            msg_len: 4096,
+            kind: AlgoKind::MpiAlltoall,
+        }
+        .run();
+        let br_lin = Experiment {
+            machine: &machine,
+            dist: SourceDist::Equal,
+            s,
+            msg_len: 4096,
+            kind: AlgoKind::BrLin,
+        }
+        .run();
+        let dissem = run_alg(&machine, &DissemAllGather::new(), &sources, 4096);
+        let dissem_zc = run_alg(&machine, &DissemAllGather::zero_copy(), &sources, 4096);
+        println!(
+            "{s},{:.4},{:.4},{:.4},{dissem:.4},{dissem_zc:.4}",
+            allgather.makespan_ms(),
+            alltoall.makespan_ms(),
+            br_lin.makespan_ms()
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Figure 1: placement of 30 sources in the row, cross, and right
+//! diagonal distributions on a 10×10 mesh.
+
+use mpp_model::MeshShape;
+use stp_core::distribution::{ascii_grid, SourceDist};
+
+fn main() {
+    let shape = MeshShape::new(10, 10);
+    for dist in [SourceDist::Row, SourceDist::Cross, SourceDist::DiagRight] {
+        let sources = dist.place(shape, 30);
+        println!("{}(30) on 10x10 ({} sources):", dist.name(), sources.len());
+        println!("{}", ascii_grid(shape, &sources));
+    }
+}

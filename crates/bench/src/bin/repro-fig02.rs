@@ -1,0 +1,46 @@
+//! Figure 2: algorithm- and distribution-dependent parameters
+//! (congestion, wait, #send/rec, av_msg_lgth, av_act_proc) for 2-Step,
+//! PersAlltoAll and Br_Lin on the equal distribution.
+//!
+//! The paper tabulates asymptotic bounds for p = 2^k assuming message
+//! length L; here the same parameters are *measured* from per-iteration
+//! statistics on a 16×16 machine (p = 256), once with s a power of two
+//! (the paper's slow case for Br_Lin) and once without.
+
+use mpp_model::Machine;
+use stp_core::metrics::{figure2_row, format_table};
+use stp_core::prelude::*;
+
+fn main() {
+    let machine = Machine::paragon(16, 16);
+    let kinds = [AlgoKind::TwoStep, AlgoKind::PersAlltoAll, AlgoKind::BrLin];
+
+    for s in [16usize, 24] {
+        let pow = if s.is_power_of_two() { "s = 2^l" } else { "s != 2^l" };
+        println!("== p=256, equal distribution, s={s} ({pow}), L=1K ==");
+        let mut rows = Vec::new();
+        for kind in kinds {
+            let exp = Experiment {
+                machine: &machine,
+                dist: SourceDist::Equal,
+                s,
+                msg_len: 1024,
+                kind,
+            };
+            let out = exp.run();
+            assert!(out.verified);
+            let mut row = figure2_row(kind.name(), &out.stats);
+            if kind == AlgoKind::BrLin {
+                row.algorithm = format!("Br_Lin, {pow}");
+            }
+            rows.push(row);
+        }
+        println!("{}", format_table(&rows));
+    }
+
+    println!("paper's asymptotic forms for comparison (equal distribution):");
+    println!("  2-Step        congestion O(s)  wait O(1)      #send/rec O(p)      av_msg O(sL)       av_act O(p/log p)");
+    println!("  PersAlltoAll  congestion O(1)  wait O(1)      #send/rec O(p)      av_msg O(L)        av_act O(p)");
+    println!("  Br_Lin s=2^l  congestion O(1)  wait O(log p)  #send/rec O(log p)  av_msg O(sL)       av_act O(p/log p + s log s/log p)");
+    println!("  Br_Lin s!=2^l congestion O(1)  wait O(log p)  #send/rec O(log p)  av_msg O(sL/log p) av_act O(p log s/log p)");
+}

@@ -1,0 +1,24 @@
+//! Figure 6: performance of the three merge-based algorithms on a 10×10
+//! Paragon; L = 2 KiB, s = 30, across source distributions.
+
+use mpp_model::Machine;
+use stp_bench::run_ms;
+use stp_core::prelude::*;
+
+fn main() {
+    let machine = Machine::paragon(10, 10);
+    let kinds = [AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::BrXyDim];
+    println!("# Figure 6: 10x10 Paragon, L=2K, s=30, time (ms) per distribution");
+    print!("dist");
+    for k in kinds {
+        print!(",{}", k.name());
+    }
+    println!();
+    for dist in SourceDist::paper_set() {
+        print!("{}", dist.name());
+        for k in kinds {
+            print!(",{:.4}", run_ms(&machine, k, dist.clone(), 30, 2048));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 8: performance of `Br_Lin` on a 120-node Paragon when the
+//! machine dimensions vary; equal distribution, L = 4 KiB, three source
+//! counts. Demonstrates that the *same* distribution is good or bad
+//! depending on the mesh dimensions (the paper's s=15-faster-than-s=8
+//! anomaly comes from where the equal distribution lands on each shape).
+
+use mpp_model::Machine;
+use stp_bench::{print_figure, run_ms, Series};
+use stp_core::prelude::*;
+
+fn main() {
+    let shapes = [(2usize, 60usize), (4, 30), (6, 20), (8, 15), (10, 12)];
+    let source_counts = [8usize, 15, 60];
+    let mut series: Vec<Series> = Vec::new();
+    for &s in &source_counts {
+        let mut points = Vec::new();
+        for (i, &(r, c)) in shapes.iter().enumerate() {
+            let machine = Machine::paragon(r, c);
+            let ms = run_ms(&machine, AlgoKind::BrLin, SourceDist::Equal, s, 4096);
+            points.push((i as f64, ms));
+        }
+        series.push(Series { label: format!("s={s}"), points });
+    }
+    println!("# shapes: 0=2x60 1=4x30 2=6x20 3=8x15 4=10x12");
+    print_figure(
+        "Figure 8: Br_Lin on 120-node Paragon, equal distribution, L=4K, time (ms) vs shape",
+        "shape",
+        &series,
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 9: percentage difference between `Repos_xy_source` and
+//! `Br_xy_source` on a 16×16 Paragon; L = 6 KiB, varying the number of
+//! sources, on four input distributions (cross, square block, equal,
+//! band). Negative values mean repositioning is *faster*.
+
+use mpp_model::Machine;
+use stp_bench::{pct_diff, print_figure, run_ms, Series};
+use stp_core::prelude::*;
+
+fn main() {
+    let machine = Machine::paragon(16, 16);
+    let dists =
+        [SourceDist::Cross, SourceDist::SquareBlock, SourceDist::Equal, SourceDist::Band];
+    let ss = [16usize, 50, 75, 100, 128, 150, 192];
+    let mut series = Vec::new();
+    for dist in dists {
+        let mut points = Vec::new();
+        for &s in &ss {
+            let plain = run_ms(&machine, AlgoKind::BrXySource, dist.clone(), s, 6 * 1024);
+            let repos = run_ms(&machine, AlgoKind::ReposXySource, dist.clone(), s, 6 * 1024);
+            points.push((s as f64, pct_diff(repos, plain)));
+        }
+        series.push(Series { label: dist.name().to_string(), points });
+    }
+    print_figure(
+        "Figure 9: 16x16 Paragon, L=6K: % difference Repos_xy_source vs Br_xy_source (negative = repositioning wins)",
+        "s",
+        &series,
+    );
+}

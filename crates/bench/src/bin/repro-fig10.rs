@@ -1,0 +1,29 @@
+//! Figure 10: percentage difference between `Repos_xy_source` and
+//! `Br_xy_source` on a 16×16 Paragon; s = 75, varying the message
+//! length, on four input distributions. Negative = repositioning wins.
+
+use mpp_model::Machine;
+use stp_bench::{pct_diff, print_figure, run_ms, Series};
+use stp_core::prelude::*;
+
+fn main() {
+    let machine = Machine::paragon(16, 16);
+    let dists =
+        [SourceDist::Cross, SourceDist::SquareBlock, SourceDist::Equal, SourceDist::Band];
+    let lens = [256usize, 512, 1024, 2048, 4096, 6144, 8192, 16384];
+    let mut series = Vec::new();
+    for dist in dists {
+        let mut points = Vec::new();
+        for &len in &lens {
+            let plain = run_ms(&machine, AlgoKind::BrXySource, dist.clone(), 75, len);
+            let repos = run_ms(&machine, AlgoKind::ReposXySource, dist.clone(), 75, len);
+            points.push((len as f64, pct_diff(repos, plain)));
+        }
+        series.push(Series { label: dist.name().to_string(), points });
+    }
+    print_figure(
+        "Figure 10: 16x16 Paragon, s=75: % difference Repos_xy_source vs Br_xy_source vs L (negative = repositioning wins)",
+        "L",
+        &series,
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 11: scalability of `MPI_AllGather` on the T3D under different
+//! source distributions.
+//!
+//! (a) machine size varies (16..256 virtual processors) with s = 32 and
+//!     the total message volume fixed at 128 KiB;
+//! (b) problem size varies on p = 128 with L = 16 KiB.
+
+use mpp_model::Machine;
+use stp_bench::{print_figure, run_ms, Series};
+use stp_core::prelude::*;
+
+const SEED: u64 = 42;
+
+fn dists() -> Vec<SourceDist> {
+    vec![SourceDist::Equal, SourceDist::DiagRight, SourceDist::SquareBlock, SourceDist::Cross]
+}
+
+fn main() {
+    // (a) varying machine size, s=32, total = 128K (L = 4K).
+    let ps = [64usize, 128, 256];
+    let mut series_a = Vec::new();
+    for dist in dists() {
+        let mut points = Vec::new();
+        for &p in &ps {
+            let machine = Machine::t3d(p, SEED);
+            let ms = run_ms(&machine, AlgoKind::MpiAllGather, dist.clone(), 32, 128 * 1024 / 32);
+            points.push((p as f64, ms));
+        }
+        series_a.push(Series { label: dist.name().to_string(), points });
+    }
+    print_figure(
+        "Figure 11a: T3D MPI_AllGather, s=32, total 128K, time (ms) vs p",
+        "p",
+        &series_a,
+    );
+
+    // (b) p = 128, L = 16K, varying the number of sources (problem size).
+    let machine = Machine::t3d(128, SEED);
+    let ss = [4usize, 8, 16, 32, 64, 128];
+    let mut series_b = Vec::new();
+    for dist in dists() {
+        let mut points = Vec::new();
+        for &s in &ss {
+            let ms = run_ms(&machine, AlgoKind::MpiAllGather, dist.clone(), s, 16 * 1024);
+            points.push((s as f64, ms));
+        }
+        series_b.push(Series { label: dist.name().to_string(), points });
+    }
+    print_figure(
+        "Figure 11b: T3D p=128 MPI_AllGather, L=16K, time (ms) vs s",
+        "s",
+        &series_b,
+    );
+}

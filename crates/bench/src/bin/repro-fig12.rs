@@ -1,0 +1,30 @@
+//! Figure 12: `MPI_AllGather` on a 128-processor T3D with the total
+//! message volume fixed at 128 KiB while the number of sources varies,
+//! under different source distributions. Reproduces two claims: more
+//! sources for the same volume is faster (up to the s→p deterioration),
+//! and the equal distribution tends to win for s ≤ p/4.
+
+use mpp_model::Machine;
+use stp_bench::{print_figure, run_ms, Series};
+use stp_core::prelude::*;
+
+fn main() {
+    let machine = Machine::t3d(128, 42);
+    let dists =
+        [SourceDist::Equal, SourceDist::DiagRight, SourceDist::SquareBlock, SourceDist::Cross];
+    let ss = [4usize, 8, 16, 32, 64, 128];
+    let mut series = Vec::new();
+    for dist in dists {
+        let mut points = Vec::new();
+        for &s in &ss {
+            let ms = run_ms(&machine, AlgoKind::MpiAllGather, dist.clone(), s, 128 * 1024 / s);
+            points.push((s as f64, ms));
+        }
+        series.push(Series { label: dist.name().to_string(), points });
+    }
+    print_figure(
+        "Figure 12: T3D p=128, MPI_AllGather, total 128K fixed, time (ms) vs s",
+        "s",
+        &series,
+    );
+}

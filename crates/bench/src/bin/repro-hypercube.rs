@@ -1,0 +1,48 @@
+//! Extension: s-to-p broadcasting on a hypercube MPP.
+//!
+//! The paper's related work is largely hypercube-based (Johnsson & Ho,
+//! Bokhari, Lan et al.); this binary runs the paper's algorithm suite on
+//! an nCUBE-2-class hypercube to see which Paragon conclusions carry
+//! over to a richer topology (log-diameter, one channel per dimension).
+
+use mpp_model::Machine;
+use stp_bench::run_ms;
+use stp_core::prelude::*;
+
+fn main() {
+    let machine = Machine::hypercube(6); // 64 nodes
+    let kinds = [
+        AlgoKind::TwoStep,
+        AlgoKind::PersAlltoAll,
+        AlgoKind::BrLin,
+        AlgoKind::BrXySource,
+        AlgoKind::ReposXySource,
+    ];
+    println!("# Hypercube-64 (nCUBE-2 class), L=4K, equal distribution");
+    print!("s");
+    for k in kinds {
+        print!(",{}", k.name());
+    }
+    println!();
+    for s in [1usize, 8, 16, 32, 64] {
+        print!("{s}");
+        for k in kinds {
+            print!(",{:.4}", run_ms(&machine, k, SourceDist::Equal, s, 4096));
+        }
+        println!();
+    }
+
+    println!("\n# distributions at s=16, L=4K");
+    print!("dist");
+    for k in kinds {
+        print!(",{}", k.name());
+    }
+    println!();
+    for dist in SourceDist::paper_set() {
+        print!("{}", dist.name());
+        for k in kinds {
+            print!(",{:.4}", run_ms(&machine, k, dist.clone(), 16, 4096));
+        }
+        println!();
+    }
+}

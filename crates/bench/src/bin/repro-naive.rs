@@ -1,0 +1,43 @@
+//! §2 (text result): the coordination-free approach — every source
+//! running its own independent one-to-all broadcast — "leads to poor
+//! performance due to arising congestion and the large number of
+//! messages in the system". Measures it against the merge algorithms on
+//! both machines.
+
+use mpp_model::Machine;
+use stp_bench::run_ms;
+use stp_core::prelude::*;
+
+fn main() {
+    let paragon = Machine::paragon(10, 10);
+    let t3d = Machine::t3d(128, 42);
+    let kinds = [AlgoKind::NaiveIndependent, AlgoKind::BrLin, AlgoKind::BrXySource];
+
+    println!("# 10x10 Paragon, L=4K, equal distribution (ms)");
+    print!("s");
+    for k in kinds {
+        print!(",{}", k.name());
+    }
+    println!();
+    for s in [5usize, 15, 30, 60, 100] {
+        print!("{s}");
+        for k in kinds {
+            print!(",{:.4}", run_ms(&paragon, k, SourceDist::Equal, s, 4096));
+        }
+        println!();
+    }
+
+    println!("\n# T3D p=128, L=4K, equal distribution (ms)");
+    print!("s");
+    for k in kinds {
+        print!(",{}", k.name());
+    }
+    println!();
+    for s in [5usize, 20, 40, 96] {
+        print!("{s}");
+        for k in kinds {
+            print!(",{:.4}", run_ms(&t3d, k, SourceDist::Equal, s, 4096));
+        }
+        println!();
+    }
+}

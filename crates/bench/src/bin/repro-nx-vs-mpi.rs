@@ -1,0 +1,36 @@
+//! §5 (text result): "We have compiled and run all algorithms on the
+//! Paragon under MPI environment. We have observed a performance loss of
+//! 2 to 5% in every MPI implementation." Runs every algorithm under both
+//! library flavours on the Figure-3 workload and reports the loss.
+
+use mpp_model::{LibraryKind, Machine};
+use stp_core::prelude::*;
+
+fn main() {
+    let machine = Machine::paragon(10, 10);
+    let kinds = [
+        AlgoKind::TwoStep,
+        AlgoKind::PersAlltoAll,
+        AlgoKind::BrLin,
+        AlgoKind::BrXySource,
+        AlgoKind::BrXyDim,
+        AlgoKind::ReposXySource,
+    ];
+    println!("# NX vs MPI on a 10x10 Paragon, equal distribution, s=30, L=4K");
+    println!("algorithm,nx_ms,mpi_ms,loss_pct");
+    for kind in kinds {
+        let exp = Experiment {
+            machine: &machine,
+            dist: SourceDist::Equal,
+            s: 30,
+            msg_len: 4096,
+            kind,
+        };
+        let nx = exp.run_with_lib(LibraryKind::Nx);
+        let mpi = exp.run_with_lib(LibraryKind::Mpi);
+        assert!(nx.verified && mpi.verified);
+        let loss =
+            (mpi.makespan_ns as f64 - nx.makespan_ns as f64) / nx.makespan_ns as f64 * 100.0;
+        println!("{},{:.4},{:.4},{:.2}", kind.name(), nx.makespan_ms(), mpi.makespan_ms(), loss);
+    }
+}

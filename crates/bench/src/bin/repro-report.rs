@@ -1,0 +1,93 @@
+//! Render the regenerated figure data (`results/*.txt`, produced by
+//! `scripts/repro-all.sh`) into SVG charts plus a REPORT.md index —
+//! the paper's figures as figures again.
+//!
+//! Numeric sweeps become line charts (log-x for the message-length
+//! sweeps), categorical tables become grouped horizontal bars. Each
+//! chart links back to its CSV (the accessible table view).
+
+use std::fs;
+use std::path::Path;
+
+use stp_bench::plot::{parse_csv_blocks, Chart};
+
+/// Files to render, with whether their x axis is exponential.
+const FILES: &[(&str, bool)] = &[
+    ("fig03", false),
+    ("fig04", true),
+    ("fig05", false),
+    ("fig06", false),
+    ("fig07", false),
+    ("fig08", false),
+    ("fig09", false),
+    ("fig10", true),
+    ("fig11", false),
+    ("fig12", false),
+    ("fig13", false),
+    ("partitioning", false),
+    ("nx-vs-mpi", false),
+    ("varlen", false),
+    ("dissem", false),
+    ("hypercube", false),
+    ("naive", false),
+    ("contention", false),
+];
+
+fn main() {
+    let results = Path::new("results");
+    if !results.exists() {
+        eprintln!("results/ not found — run scripts/repro-all.sh first");
+        std::process::exit(1);
+    }
+
+    let mut report = String::from(
+        "# Figure report\n\nRendered from the CSV outputs in this directory \
+         (regenerate both with `scripts/repro-all.sh` then `repro-report`).\n\
+         Each SVG's underlying numbers are in the `.txt` file of the same \
+         name — the table view for the charts.\n\n",
+    );
+    let mut rendered = 0;
+
+    for &(name, log_x) in FILES {
+        let path = results.join(format!("{name}.txt"));
+        let Ok(text) = fs::read_to_string(&path) else {
+            eprintln!("skipping {name}: no {path:?}");
+            continue;
+        };
+        let blocks = parse_csv_blocks(&text);
+        if blocks.is_empty() {
+            eprintln!("skipping {name}: no CSV blocks");
+            continue;
+        }
+        for (i, block) in blocks.iter().enumerate() {
+            let suffix = if blocks.len() > 1 { format!("-{}", i + 1) } else { String::new() };
+            let svg_name = format!("{name}{suffix}.svg");
+            let svg = if block.numeric_x() {
+                let chart = Chart {
+                    title: block.title.clone(),
+                    x_label: block.x_name.clone(),
+                    y_label: "time (ms)".into(),
+                    series: block.to_series(),
+                    log_x,
+                };
+                chart.to_svg()
+            } else {
+                Chart::to_svg_bars(
+                    &block.row_keys,
+                    &block.to_bar_series(),
+                    &block.title,
+                    "time (ms)",
+                )
+            };
+            fs::write(results.join(&svg_name), svg).expect("write svg");
+            report.push_str(&format!(
+                "## {}\n\n![{name}]({svg_name})  \n[data]({name}.txt)\n\n",
+                block.title
+            ));
+            rendered += 1;
+        }
+    }
+
+    fs::write(results.join("REPORT.md"), report).expect("write report");
+    println!("rendered {rendered} charts into results/ (+ REPORT.md)");
+}

@@ -1,0 +1,36 @@
+//! Message-level traces of two contrasting algorithms — a diagnostic
+//! view of *why* the paper's results hold: 2-Step's ladder of serialized
+//! arrivals at P₀ versus Br_Lin's balanced pairwise exchanges.
+
+use mpp_model::{LibraryKind, Machine};
+use mpp_runtime::{run_simulated_traced, Communicator};
+use mpp_sim::{render_timeline, summarize};
+use stp_core::prelude::*;
+
+fn main() {
+    let machine = Machine::paragon(4, 4);
+    let shape = machine.shape;
+    let sources = SourceDist::Equal.place(shape, 8);
+
+    for kind in [AlgoKind::TwoStep, AlgoKind::BrLin] {
+        let alg = kind.build();
+        let out = run_simulated_traced(&machine, LibraryKind::Nx, |comm| {
+            let payload = sources
+                .binary_search(&comm.rank())
+                .is_ok()
+                .then(|| payload_for(comm.rank(), 1024));
+            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            alg.run(comm, &ctx).len()
+        });
+        let summary = summarize(&out.trace);
+        println!(
+            "== {} on 4x4 Paragon, s=8, L=1K: {} msgs, {} KiB, {:.3} ms, stalled {:.3} ms ==",
+            kind.name(),
+            summary.messages,
+            summary.bytes / 1024,
+            out.makespan_ms(),
+            summary.stalled_ns as f64 / 1e6,
+        );
+        println!("{}", render_timeline(&out.trace, machine.p(), 72));
+    }
+}

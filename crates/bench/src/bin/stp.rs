@@ -1,0 +1,135 @@
+//! `stp` — command-line driver for one-off experiments.
+//!
+//! ```text
+//! stp --machine paragon --rows 10 --cols 10 --algo br_xy_source \
+//!     --dist cross --s 30 --len 4096 [--lib mpi] [--metrics] [--trace]
+//! stp --machine t3d --p 128 --algo mpi_alltoall --dist equal --s 40 --len 4096
+//! stp --list
+//! ```
+
+use mpp_model::{LibraryKind, Machine};
+use mpp_runtime::{run_simulated_traced, Communicator};
+use mpp_sim::{render_timeline, summarize};
+use stp_core::metrics::{figure2_row, format_table};
+use stp_core::prelude::*;
+use stp_core::runner::run_sources;
+
+fn usage() -> ! {
+    eprintln!("usage: stp --machine <paragon|t3d> [--rows R --cols C | --p P]");
+    eprintln!("           --algo <name> --dist <name> --s <n> --len <bytes>");
+    eprintln!("           [--lib <nx|mpi>] [--seed <n>] [--metrics] [--trace] [--predict]");
+    eprintln!("       stp --list       (show algorithm and distribution names)");
+    std::process::exit(2);
+}
+
+use stp_bench::{parse_algo, parse_dist};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("algorithms:");
+        for k in AlgoKind::all() {
+            println!("  {}", k.name());
+        }
+        println!("distributions: row column equal diag_right diag_left band cross square_block random");
+        return;
+    }
+    let get = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+
+    let machine_kind = get("--machine").unwrap_or_else(|| usage());
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let machine = match machine_kind.as_str() {
+        "paragon" => {
+            let rows: usize = get("--rows").and_then(|v| v.parse().ok()).unwrap_or(10);
+            let cols: usize = get("--cols").and_then(|v| v.parse().ok()).unwrap_or(10);
+            Machine::paragon(rows, cols)
+        }
+        "t3d" => {
+            let p: usize = get("--p").and_then(|v| v.parse().ok()).unwrap_or(128);
+            Machine::t3d(p, seed)
+        }
+        other => {
+            eprintln!("unknown machine '{other}'");
+            usage()
+        }
+    };
+
+    let algo_name = get("--algo").unwrap_or_else(|| usage());
+    let Some(kind) = parse_algo(&algo_name) else {
+        eprintln!("unknown algorithm '{algo_name}' (try --list)");
+        usage()
+    };
+    let dist_name = get("--dist").unwrap_or_else(|| usage());
+    let Some(dist) = parse_dist(&dist_name, seed) else {
+        eprintln!("unknown distribution '{dist_name}' (try --list)");
+        usage()
+    };
+    let s: usize = get("--s").and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+    let len: usize = get("--len").and_then(|v| v.parse().ok()).unwrap_or(4096);
+    let lib = match get("--lib").as_deref() {
+        Some("mpi") => LibraryKind::Mpi,
+        Some("nx") | None => kind.default_lib(),
+        Some(other) => {
+            eprintln!("unknown library '{other}'");
+            usage()
+        }
+    };
+
+    let sources = dist.place(machine.shape, s);
+    println!(
+        "machine {}  p={}  algo {}  dist {}({s})  L={len}B  lib {}",
+        machine.name,
+        machine.p(),
+        kind.name(),
+        dist.name(),
+        lib.name()
+    );
+
+    if has("--predict") {
+        match stp_core::predict::estimate_ms(&machine, kind, s, len) {
+            Some(ms) => println!("analytic (contention-free) estimate: {ms:.3} ms"),
+            None => println!("no closed-form estimate for this algorithm"),
+        }
+    }
+
+    if has("--trace") {
+        let shape = machine.shape;
+        let alg = kind.build();
+        let out = run_simulated_traced(&machine, lib, |comm| {
+            let payload =
+                sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            alg.run(comm, &ctx).len() == sources.len()
+        });
+        assert!(out.results.iter().all(|&ok| ok), "verification failed");
+        let sum = summarize(&out.trace);
+        println!(
+            "time {:.3} ms   messages {}   bytes {}   stalled {:.3} ms",
+            out.makespan_ms(),
+            sum.messages,
+            sum.bytes,
+            sum.stalled_ns as f64 / 1e6
+        );
+        println!("{}", render_timeline(&out.trace, machine.p().min(32), 72));
+        return;
+    }
+
+    let out = run_sources(&machine, lib, &sources, &|src| payload_for(src, len), kind);
+    println!(
+        "time {:.3} ms   verified {}   contention stalls {} ({:.3} ms)",
+        out.makespan_ms(),
+        out.verified,
+        out.contention_events,
+        out.contention_ns as f64 / 1e6
+    );
+    if has("--metrics") {
+        let row = figure2_row(kind.name(), &out.stats);
+        println!("\n{}", format_table(&[row]));
+        if let Some(q) = stp_core::quality::placement_quality(machine.shape, &sources, kind) {
+            println!("placement quality for {}: {q:.2}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared infrastructure for the figure-regeneration binaries and the
+//! Criterion benches: experiment grids, CSV/ASCII table output.
+
+pub mod plot;
+
+use mpp_model::Machine;
+use stp_core::prelude::*;
+
+/// Run one algorithm/distribution/size point and return milliseconds.
+pub fn run_ms(machine: &Machine, kind: AlgoKind, dist: SourceDist, s: usize, msg_len: usize) -> f64 {
+    let exp = Experiment { machine, dist, s, msg_len, kind };
+    let out = exp.run();
+    assert!(out.verified, "{} failed verification (s={s}, L={msg_len})", kind.name());
+    out.makespan_ms()
+}
+
+/// A labelled series (one curve of a figure).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label (algorithm or distribution name).
+    pub label: String,
+    /// (x, milliseconds) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Print a figure as a CSV-compatible table: the x column plus one
+/// column per series.
+pub fn print_figure(title: &str, x_name: &str, series: &[Series]) {
+    println!("# {title}");
+    print!("{x_name}");
+    for s in series {
+        print!(",{}", s.label);
+    }
+    println!();
+    let n = series.first().map_or(0, |s| s.points.len());
+    for i in 0..n {
+        print!("{}", series[0].points[i].0);
+        for s in series {
+            print!(",{:.4}", s.points[i].1);
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Percentage difference `(a - b) / b * 100` (used by Figures 9 and 10:
+/// positive = `a` slower than `b`).
+pub fn pct_diff(a_ms: f64, b_ms: f64) -> f64 {
+    (a_ms - b_ms) / b_ms * 100.0
+}
+
+/// Sweep a parameter for several algorithms, producing one series per
+/// algorithm: `point(kind, x)` must return milliseconds.
+pub fn sweep_algorithms<F>(kinds: &[AlgoKind], xs: &[f64], mut point: F) -> Vec<Series>
+where
+    F: FnMut(AlgoKind, f64) -> f64,
+{
+    kinds
+        .iter()
+        .map(|&k| Series {
+            label: k.name().to_string(),
+            points: xs.iter().map(|&x| (x, point(k, x))).collect(),
+        })
+        .collect()
+}
+
+/// Sweep a parameter for several distributions, one series each.
+pub fn sweep_distributions<F>(dists: &[SourceDist], xs: &[f64], mut point: F) -> Vec<Series>
+where
+    F: FnMut(&SourceDist, f64) -> f64,
+{
+    dists
+        .iter()
+        .map(|d| Series {
+            label: d.name().to_string(),
+            points: xs.iter().map(|&x| (x, point(d, x))).collect(),
+        })
+        .collect()
+}
+
+/// The paper's Paragon message-size sweep: 32 B to 16 KiB.
+pub fn length_sweep() -> Vec<usize> {
+    vec![32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+}
+
+/// Parse an algorithm name as used by the `stp` CLI: the paper-style
+/// display name, case-insensitively, with `-`/` ` treated as `_`.
+pub fn parse_algo(name: &str) -> Option<AlgoKind> {
+    AlgoKind::all().iter().copied().find(|k| {
+        k.name().eq_ignore_ascii_case(name)
+            || k.name().to_lowercase().replace(['-', ' '], "_") == name.to_lowercase()
+    })
+}
+
+/// Parse a distribution name (long or paper-abbreviated) for the CLI.
+pub fn parse_dist(name: &str, seed: u64) -> Option<SourceDist> {
+    Some(match name.to_lowercase().as_str() {
+        "row" | "r" => SourceDist::Row,
+        "column" | "col" | "c" => SourceDist::Column,
+        "equal" | "e" => SourceDist::Equal,
+        "diag" | "diag_right" | "dr" => SourceDist::DiagRight,
+        "diag_left" | "dl" => SourceDist::DiagLeft,
+        "band" | "b" => SourceDist::Band,
+        "cross" | "cr" => SourceDist::Cross,
+        "square" | "square_block" | "sq" => SourceDist::SquareBlock,
+        "random" | "rand" => SourceDist::Random { seed },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_names_roundtrip() {
+        for &k in AlgoKind::all() {
+            assert_eq!(parse_algo(k.name()), Some(k), "{}", k.name());
+            // lowercase with underscores also works
+            let mangled = k.name().to_lowercase().replace(['-', ' '], "_");
+            assert_eq!(parse_algo(&mangled), Some(k), "{mangled}");
+        }
+        assert_eq!(parse_algo("no_such_algorithm"), None);
+    }
+
+    #[test]
+    fn dist_names_parse() {
+        assert_eq!(parse_dist("cross", 0), Some(SourceDist::Cross));
+        assert_eq!(parse_dist("Sq", 0), Some(SourceDist::SquareBlock));
+        assert_eq!(parse_dist("rand", 7), Some(SourceDist::Random { seed: 7 }));
+        assert_eq!(parse_dist("nope", 0), None);
+    }
+
+    #[test]
+    fn pct_diff_signs() {
+        assert!(pct_diff(11.0, 10.0) > 0.0);
+        assert!(pct_diff(9.0, 10.0) < 0.0);
+        assert_eq!(pct_diff(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn length_sweep_covers_paper_range() {
+        let l = length_sweep();
+        assert_eq!(*l.first().unwrap(), 32);
+        assert_eq!(*l.last().unwrap(), 16384);
+    }
+}

@@ -1,0 +1,174 @@
+//! Extension: dissemination (Bruck-style) all-gather as an s-to-p
+//! broadcast.
+//!
+//! `⌈log₂ p⌉` rounds on any machine size: in round `k`, rank `r` sends
+//! its *entire current set* to `(r + 2^k) mod p` and receives from
+//! `(r - 2^k) mod p`. After all rounds every rank holds every source's
+//! message.
+//!
+//! This is not one of the paper's algorithms — it is the algorithm a
+//! modern MPI would use for `MPI_Allgatherv`, and it is included to
+//! answer the one Figure-13a claim our 2-Step-shaped `MPI_AllGather`
+//! model cannot reproduce: the convergence of AllGather towards
+//! Alltoall as `s → p`. Run `repro-dissem` to see that a
+//! dissemination-based allgather (especially with zero-copy block
+//! placement, [`DissemAllGather::zero_copy`]) converges and even beats
+//! Alltoall — evidence that Cray's library simply did not use it.
+
+use mpp_model::MeshShape;
+use mpp_runtime::Communicator;
+
+use crate::algorithms::{StpAlgorithm, StpCtx};
+use crate::msgset::MessageSet;
+
+/// Tag base for the dissemination rounds.
+const TAG: u32 = 3_600;
+
+/// Dissemination all-gather (extension algorithm).
+#[derive(Debug, Clone, Copy)]
+pub struct DissemAllGather {
+    /// Whether receiving ranks pay the memcpy combining cost. A library
+    /// writing blocks directly into a pre-allocated result buffer avoids
+    /// it; a generic implementation (like `Br_Lin`'s) pays it.
+    pub charge_combining: bool,
+}
+
+impl DissemAllGather {
+    /// Combining cost charged (comparable to `Br_Lin`).
+    pub fn new() -> Self {
+        DissemAllGather { charge_combining: true }
+    }
+
+    /// Zero-copy block placement (the MPI-library ideal).
+    pub fn zero_copy() -> Self {
+        DissemAllGather { charge_combining: false }
+    }
+}
+
+impl Default for DissemAllGather {
+    fn default() -> Self {
+        DissemAllGather::new()
+    }
+}
+
+impl StpAlgorithm for DissemAllGather {
+    fn name(&self) -> &'static str {
+        if self.charge_combining {
+            "DissemAllGather"
+        } else {
+            "DissemAllGather (zero-copy)"
+        }
+    }
+
+    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
+        ctx.validate(comm);
+        let p = comm.size();
+        let me = comm.rank();
+        let mut set = match ctx.payload {
+            Some(pl) => MessageSet::single(me, pl),
+            None => MessageSet::new(),
+        };
+
+        // Track which sources each rank holds per round (pure function of
+        // the source set, so both partners agree on whether a message
+        // flows without extra synchronization).
+        let mut holdings: Vec<Vec<bool>> = (0..p)
+            .map(|r| (0..p).map(|src| r == src && ctx.is_source(src)).collect())
+            .collect();
+
+        let mut step = 1usize;
+        let mut round: u32 = 0;
+        while step < p {
+            let to = (me + step) % p;
+            let from = (me + p - step) % p;
+            let i_send = holdings[me].iter().any(|&h| h);
+            let sender_has = holdings[from].iter().any(|&h| h);
+            if i_send {
+                comm.send(to, TAG + round, &set.to_bytes());
+            }
+            if sender_has {
+                let msg = comm.recv(Some(from), Some(TAG + round));
+                if self.charge_combining {
+                    comm.charge_memcpy(msg.data.len());
+                }
+                let other = MessageSet::from_bytes(&msg.data).expect("malformed dissemination");
+                set.merge(other);
+            }
+            // Advance the holdings model for every rank simultaneously.
+            let snapshot = holdings.clone();
+            for (r, row) in holdings.iter_mut().enumerate() {
+                let r_from = (r + p - step) % p;
+                for (src, held) in row.iter_mut().enumerate() {
+                    if snapshot[r_from][src] {
+                        *held = true;
+                    }
+                }
+            }
+            comm.next_iteration();
+            step <<= 1;
+            round += 1;
+        }
+        set
+    }
+
+    fn ideal_sources(&self, _shape: MeshShape, _s: usize) -> Option<Vec<usize>> {
+        None // cyclic symmetry: every placement behaves alike up to skew
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_runtime::run_threads;
+
+    use crate::msgset::payload_for;
+
+    fn check(shape: MeshShape, sources: Vec<usize>, len: usize, alg: DissemAllGather) {
+        let out = run_threads(shape.p(), |comm| {
+            let payload =
+                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            alg.run(comm, &ctx)
+        });
+        for (rank, set) in out.results.iter().enumerate() {
+            assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");
+            for &s in &sources {
+                assert_eq!(set.get(s).unwrap(), payload_for(s, len));
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two() {
+        check(MeshShape::new(4, 4), vec![0, 5, 10, 15], 32, DissemAllGather::new());
+    }
+
+    #[test]
+    fn non_power_of_two() {
+        check(MeshShape::new(3, 5), vec![2, 7, 14], 32, DissemAllGather::new());
+        check(MeshShape::new(3, 3), vec![4], 16, DissemAllGather::new());
+    }
+
+    #[test]
+    fn zero_copy_variant() {
+        check(MeshShape::new(2, 4), vec![1, 6], 64, DissemAllGather::zero_copy());
+    }
+
+    #[test]
+    fn zero_copy_charges_nothing() {
+        let shape = MeshShape::new(4, 4);
+        let sources = vec![0usize, 7];
+        let out = run_threads(shape.p(), |comm| {
+            let payload = sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), 64));
+            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let _ = DissemAllGather::zero_copy().run(comm, &ctx);
+            comm.stats().memcpy_bytes
+        });
+        assert!(out.results.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn all_sources() {
+        check(MeshShape::new(3, 4), (0..12).collect(), 8, DissemAllGather::new());
+    }
+}

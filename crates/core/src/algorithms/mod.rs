@@ -1,0 +1,220 @@
+//! The s-to-p broadcasting algorithms.
+//!
+//! Seven algorithms from the paper, all implementing [`StpAlgorithm`]:
+//!
+//! | paper name        | type                                   | module |
+//! |-------------------|----------------------------------------|--------|
+//! | `2-Step`          | gather + one-to-all broadcast          | [`two_step`] |
+//! | `PersAlltoAll`    | personalized all-to-all exchange       | [`pers_alltoall`] |
+//! | `Br_Lin`          | recursive pairing on a linear order    | [`br_lin`] |
+//! | `Br_xy_source`    | dimension order by source counts       | [`br_xy`] |
+//! | `Br_xy_dim`       | dimension order by mesh shape          | [`br_xy`] |
+//! | `Repos_*`         | reposition to an ideal distribution    | [`repos`] |
+//! | `Part_*`          | reposition + machine partitioning      | [`part`] |
+//!
+//! `MPI_AllGather` and `MPI_Alltoall` in the paper's T3D plots are the
+//! MPI builds of `2-Step` and `PersAlltoAll` respectively (paper §5.3);
+//! in this reproduction that is expressed by running the same algorithm
+//! under [`LibraryKind::Mpi`](mpp_model::LibraryKind).
+
+pub mod adaptive;
+pub mod br_dims;
+pub mod br_lin;
+pub mod dissem;
+pub mod naive;
+pub mod br_xy;
+pub mod part;
+pub mod pers_alltoall;
+pub mod repos;
+pub mod two_step;
+
+use mpp_model::MeshShape;
+use mpp_runtime::{Communicator, Tag};
+
+use crate::msgset::MessageSet;
+use crate::pattern::br_lin_schedule;
+
+pub use adaptive::ReposAdaptive;
+pub use br_dims::{BrDims, GridShape};
+pub use dissem::DissemAllGather;
+pub use naive::NaiveIndependent;
+pub use br_lin::BrLin;
+pub use br_xy::{BrXyDim, BrXySource, DimOrder};
+pub use part::{Part, PartRecursive};
+pub use pers_alltoall::PersAlltoAll;
+pub use repos::Repos;
+pub use two_step::TwoStep;
+
+/// Everything one rank needs to know before an s-to-p broadcast starts.
+///
+/// Matching the paper's model: "every processor knows the position of the
+/// source processors and the size of the messages when s-to-p
+/// broadcasting starts".
+pub struct StpCtx<'a> {
+    /// The logical mesh.
+    pub shape: MeshShape,
+    /// Sorted source ranks (`s = sources.len()`).
+    pub sources: &'a [usize],
+    /// This rank's message — `Some` iff this rank is a source.
+    pub payload: Option<&'a [u8]>,
+}
+
+impl StpCtx<'_> {
+    /// Number of sources.
+    pub fn s(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether `rank` is a source.
+    pub fn is_source(&self, rank: usize) -> bool {
+        self.sources.binary_search(&rank).is_ok()
+    }
+
+    /// Sanity-check the context for the calling rank.
+    pub fn validate(&self, comm: &dyn Communicator) {
+        assert_eq!(self.shape.p(), comm.size(), "shape does not match communicator");
+        assert!(!self.sources.is_empty(), "s-to-p broadcasting needs at least one source");
+        assert!(self.sources.windows(2).all(|w| w[0] < w[1]), "sources must be sorted+unique");
+        assert!(*self.sources.last().unwrap() < comm.size(), "source out of range");
+        assert_eq!(
+            self.is_source(comm.rank()),
+            self.payload.is_some(),
+            "rank {}: payload presence must match source membership",
+            comm.rank()
+        );
+    }
+}
+
+/// An s-to-p broadcasting algorithm.
+///
+/// `run` is executed by *every* rank; on return each rank holds the
+/// complete [`MessageSet`] of all `s` source messages.
+pub trait StpAlgorithm: Sync {
+    /// Name as used in the paper ("Br_Lin", "2-Step", …).
+    fn name(&self) -> &'static str;
+
+    /// Execute the broadcast from this rank's perspective.
+    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet;
+
+    /// An ideal source distribution of `s` sources for this algorithm on
+    /// `shape`, as sorted row-major positions — the target the
+    /// repositioning algorithms permute towards. `None` for algorithms
+    /// whose performance does not depend on source positions enough for
+    /// repositioning to be defined (2-Step, PersAlltoAll).
+    fn ideal_sources(&self, shape: MeshShape, s: usize) -> Option<Vec<usize>> {
+        let _ = (shape, s);
+        None
+    }
+}
+
+/// Tag bases: each phase owns a disjoint tag range so that concurrent
+/// sub-broadcasts (rows, groups) can never cross-match. Levels are added
+/// to the base.
+pub(crate) mod tags {
+    use mpp_runtime::Tag;
+    /// `Br_Lin` iterations (also used inside rows/columns/groups).
+    pub const BR_LIN: Tag = 1_000;
+    /// Second dimension of the `Br_xy_*` algorithms.
+    pub const BR_XY_PHASE2: Tag = 2_000;
+    /// 2-Step gather.
+    pub const GATHER: Tag = 3_000;
+    /// 2-Step broadcast.
+    pub const BCAST: Tag = 3_100;
+    /// Personalized all-to-all.
+    pub const PERS: Tag = 3_200;
+    /// Repositioning permutation.
+    pub const REPOS: Tag = 3_300;
+    /// Partitioning permutation.
+    pub const PART_REPOS: Tag = 3_400;
+    /// Partitioning final inter-group exchange.
+    pub const PART_EXCHANGE: Tag = 3_500;
+}
+
+/// Run the `Br_Lin` merge pattern over an ordered list of ranks.
+///
+/// `order[i]` is the rank at linear position `i`; `has[i]` says whether
+/// that position initially holds messages. The caller's current set is
+/// merged in place. Ranks not present in `order` must not call this.
+///
+/// One `next_iteration` is recorded per level so the Figure-2 metrics
+/// can be derived.
+pub(crate) fn br_lin_over(
+    comm: &mut dyn Communicator,
+    order: &[usize],
+    has: &[bool],
+    set: &mut MessageSet,
+    tag_base: Tag,
+) {
+    debug_assert_eq!(order.len(), has.len());
+    let me = comm.rank();
+    let my_pos = order
+        .iter()
+        .position(|&r| r == me)
+        .unwrap_or_else(|| panic!("rank {me} not in br_lin order"));
+    debug_assert_eq!(has[my_pos], !set.is_empty(), "has flag disagrees with holdings");
+
+    let schedule = br_lin_schedule(has);
+    for (level, level_ops) in schedule.ops.iter().enumerate() {
+        let my_ops = &level_ops[my_pos];
+        let tag = tag_base + level as Tag;
+        // Simultaneous semantics: all sends ship the pre-level snapshot.
+        if my_ops.iter().any(|op| op.send) {
+            let snapshot = set.to_bytes();
+            for op in my_ops.iter().filter(|op| op.send) {
+                comm.send(order[op.peer], tag, &snapshot);
+            }
+        }
+        for op in my_ops.iter().filter(|op| op.recv) {
+            let msg = comm.recv(Some(order[op.peer]), Some(tag));
+            // Combining cost: the received bytes are copied into the
+            // merged buffer.
+            comm.charge_memcpy(msg.data.len());
+            let other = MessageSet::from_bytes(&msg.data)
+                .expect("malformed message set on the wire");
+            set.merge(other);
+        }
+        comm.next_iteration();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_runtime::run_threads;
+
+    #[test]
+    fn br_lin_over_spreads_to_all() {
+        for p in [4usize, 7, 10] {
+            let sources = vec![1usize, p - 1];
+            let out = run_threads(p, |comm| {
+                let order: Vec<usize> = (0..comm.size()).collect();
+                let has: Vec<bool> = order.iter().map(|r| sources.contains(r)).collect();
+                let mut set = if sources.contains(&comm.rank()) {
+                    MessageSet::single(comm.rank(), &[comm.rank() as u8; 32])
+                } else {
+                    MessageSet::new()
+                };
+                br_lin_over(comm, &order, &has, &mut set, tags::BR_LIN);
+                set
+            });
+            for set in out.results {
+                let srcs: Vec<usize> = set.sources().collect();
+                assert_eq!(srcs, sources, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn ctx_validation_catches_mismatch() {
+        let out = run_threads(2, |comm| {
+            let ctx = StpCtx {
+                shape: MeshShape::new(1, 2),
+                sources: &[0],
+                payload: (comm.rank() == 0).then_some(&[1u8; 4][..]),
+            };
+            ctx.validate(comm);
+            true
+        });
+        assert!(out.results.iter().all(|&b| b));
+    }
+}

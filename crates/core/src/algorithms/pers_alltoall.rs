@@ -1,0 +1,94 @@
+//! `PersAlltoAll` (paper §2): s-to-p broadcasting as a personalized
+//! all-to-all exchange.
+//!
+//! Each source treats its message as `p-1` identical "distinct" messages
+//! and ships one per round of the permutation schedule (XOR pairing of
+//! reference \[8\] for power-of-two machines, cyclic shifts otherwise).
+//! Messages are never combined and no rank ever waits for a slow merge —
+//! `O(1)` congestion and wait at the price of `O(p)` send/receive
+//! operations. On the Paragon the per-message startup makes this slow;
+//! on the T3D's fat network its MPI build (`MPI_Alltoall`) is the paper's
+//! overall winner.
+
+use collectives::personalized_from_sources;
+use mpp_runtime::Communicator;
+
+use crate::algorithms::{tags, StpAlgorithm, StpCtx};
+use crate::msgset::MessageSet;
+
+/// Algorithm `PersAlltoAll`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PersAlltoAll;
+
+impl StpAlgorithm for PersAlltoAll {
+    fn name(&self) -> &'static str {
+        "PersAlltoAll"
+    }
+
+    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
+        ctx.validate(comm);
+        let msgs = personalized_from_sources(
+            comm,
+            &|r| ctx.is_source(r),
+            ctx.payload,
+            tags::PERS,
+        );
+        let mut set = MessageSet::new();
+        for m in msgs {
+            set.insert(m.src, &m.data);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_model::MeshShape;
+    use mpp_runtime::run_threads;
+
+    use crate::msgset::payload_for;
+
+    fn check(shape: MeshShape, sources: Vec<usize>, len: usize) {
+        let out = run_threads(shape.p(), |comm| {
+            let payload =
+                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            PersAlltoAll.run(comm, &ctx)
+        });
+        for set in out.results {
+            assert_eq!(set.sources().collect::<Vec<_>>(), sources);
+            for &s in &sources {
+                assert_eq!(set.get(s).unwrap(), payload_for(s, len));
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_machine_uses_xor_schedule() {
+        check(MeshShape::new(4, 4), vec![0, 5, 10], 16);
+    }
+
+    #[test]
+    fn general_machine_uses_shift_schedule() {
+        check(MeshShape::new(3, 5), vec![1, 7, 14], 16);
+    }
+
+    #[test]
+    fn every_rank_a_source() {
+        check(MeshShape::new(2, 3), (0..6).collect(), 8);
+    }
+
+    #[test]
+    fn no_combining_is_charged() {
+        let shape = MeshShape::new(2, 4);
+        let sources = vec![0usize, 3];
+        let out = run_threads(shape.p(), |comm| {
+            let payload = sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), 64));
+            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let _ = PersAlltoAll.run(comm, &ctx);
+            comm.stats().memcpy_bytes
+        });
+        assert!(out.results.iter().all(|&b| b == 0), "PersAlltoAll never combines");
+    }
+}

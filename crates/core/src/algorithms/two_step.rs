@@ -1,0 +1,218 @@
+//! `2-Step` (paper §2): an s-to-one gather followed by a one-to-all
+//! broadcast.
+//!
+//! Every source's message reaches processor `P₀`, which combines the `s`
+//! messages into one large message and broadcasts it to all processors
+//! with the recursive-halving pattern. The paper includes this
+//! library-style solution to demonstrate its bottlenecks: `O(s)`
+//! congestion at `P₀` and `log p` broadcast rounds each carrying the full
+//! `s·L` bytes.
+//!
+//! Two gather flavours are provided:
+//!
+//! * [`TwoStep::direct`] — every source sends straight to `P₀` (the
+//!   paper's NX implementation on the Paragon);
+//! * [`TwoStep::tree`] — a binomial-tree gather with combining at the
+//!   intermediate nodes, the classic MPI library implementation; this is
+//!   what the `MPI_AllGather` variant runs. `P₀` still receives the full
+//!   `s·L` bytes (the congestion the paper attributes to it), but the
+//!   gather's skew now depends on where the sources sit, which is what
+//!   makes the T3D distribution effects of Figures 11 and 12 visible.
+
+use collectives::bcast_from_first;
+use mpp_runtime::Communicator;
+
+use crate::algorithms::{tags, StpAlgorithm, StpCtx};
+use crate::msgset::MessageSet;
+
+/// Algorithm `2-Step`.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoStep {
+    /// Use a binomial-tree gather instead of direct sends to the root.
+    pub tree_gather: bool,
+}
+
+impl Default for TwoStep {
+    fn default() -> Self {
+        TwoStep::direct()
+    }
+}
+
+/// The rank that gathers and re-broadcasts.
+const ROOT: usize = 0;
+
+impl TwoStep {
+    /// The paper's NX implementation: sources send directly to `P₀`.
+    pub fn direct() -> Self {
+        TwoStep { tree_gather: false }
+    }
+
+    /// The MPI-library implementation: binomial-tree gather.
+    pub fn tree() -> Self {
+        TwoStep { tree_gather: true }
+    }
+
+    /// Gather all source payloads into a [`MessageSet`] at the root;
+    /// other ranks return an empty set.
+    fn gather(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
+        let me = comm.rank();
+        let mut set = match ctx.payload {
+            Some(p) => MessageSet::single(me, p),
+            None => MessageSet::new(),
+        };
+        if !self.tree_gather {
+            // Direct gather: sources fire at the root; the root absorbs.
+            if me != ROOT {
+                if let Some(p) = ctx.payload {
+                    comm.send(ROOT, tags::GATHER, &MessageSet::single(me, p).to_bytes());
+                }
+            } else {
+                let expect = ctx.sources.iter().filter(|&&s| s != ROOT).count();
+                for _ in 0..expect {
+                    let m = comm.recv(None, Some(tags::GATHER));
+                    comm.charge_memcpy(m.data.len());
+                    let other =
+                        MessageSet::from_bytes(&m.data).expect("malformed gather message");
+                    set.merge(other);
+                }
+            }
+            comm.next_iteration();
+            return set;
+        }
+
+        // Binomial-tree gather along the recursive-halving segment tree:
+        // the holder of segment [lo, hi) is `lo`; `mid` forwards the
+        // accumulated second half up to `lo`. Only subtrees that contain
+        // sources communicate.
+        let p = comm.size();
+        let subtree_has_source =
+            |lo: usize, hi: usize| ctx.sources.iter().any(|&s| s >= lo && s < hi);
+        gather_seg(comm, &mut set, 0, p, &subtree_has_source);
+        comm.next_iteration();
+        set
+    }
+}
+
+/// Recursive step of the tree gather on segment `[lo, hi)`.
+fn gather_seg(
+    comm: &mut dyn Communicator,
+    set: &mut MessageSet,
+    lo: usize,
+    hi: usize,
+    subtree_has_source: &dyn Fn(usize, usize) -> bool,
+) {
+    if hi - lo <= 1 {
+        return;
+    }
+    let me = comm.rank();
+    let mid = lo + (hi - lo).div_ceil(2);
+    if me < mid {
+        gather_seg(comm, set, lo, mid, subtree_has_source);
+        if me == lo && subtree_has_source(mid, hi) {
+            let depth_tag = tags::GATHER + (hi - lo) as u32;
+            let m = comm.recv(Some(mid), Some(depth_tag));
+            comm.charge_memcpy(m.data.len());
+            let other = MessageSet::from_bytes(&m.data).expect("malformed tree gather");
+            set.merge(other);
+        }
+    } else {
+        gather_seg(comm, set, mid, hi, subtree_has_source);
+        if me == mid && subtree_has_source(mid, hi) {
+            let depth_tag = tags::GATHER + (hi - lo) as u32;
+            comm.send(lo, depth_tag, &set.to_bytes());
+        }
+    }
+}
+
+impl StpAlgorithm for TwoStep {
+    fn name(&self) -> &'static str {
+        if self.tree_gather {
+            "2-Step (tree)"
+        } else {
+            "2-Step"
+        }
+    }
+
+    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
+        ctx.validate(comm);
+        let me = comm.rank();
+
+        // Step 1: gather the combined message at the root.
+        let gathered = self.gather(comm, ctx);
+
+        // Step 2: root broadcasts the combined message.
+        let order: Vec<usize> = (0..comm.size()).collect();
+        let combined = (me == ROOT).then(|| gathered.to_bytes());
+        let wire = bcast_from_first(comm, &order, combined, tags::BCAST);
+        MessageSet::from_bytes(&wire).expect("malformed combined message")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_model::MeshShape;
+    use mpp_runtime::run_threads;
+
+    use crate::msgset::payload_for;
+
+    fn check(shape: MeshShape, sources: Vec<usize>, len: usize, alg: TwoStep) {
+        let out = run_threads(shape.p(), |comm| {
+            let payload =
+                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            alg.run(comm, &ctx)
+        });
+        for set in out.results {
+            assert_eq!(set.sources().collect::<Vec<_>>(), sources);
+            for &s in &sources {
+                assert_eq!(set.get(s).unwrap(), payload_for(s, len));
+            }
+        }
+    }
+
+    #[test]
+    fn direct_basic() {
+        check(MeshShape::new(2, 4), vec![2, 5, 7], 32, TwoStep::direct());
+    }
+
+    #[test]
+    fn tree_basic() {
+        check(MeshShape::new(2, 4), vec![2, 5, 7], 32, TwoStep::tree());
+    }
+
+    #[test]
+    fn root_is_a_source_both_flavours() {
+        check(MeshShape::new(2, 3), vec![0, 4], 16, TwoStep::direct());
+        check(MeshShape::new(2, 3), vec![0, 4], 16, TwoStep::tree());
+    }
+
+    #[test]
+    fn single_source_single_proc() {
+        check(MeshShape::new(1, 1), vec![0], 8, TwoStep::direct());
+        check(MeshShape::new(1, 1), vec![0], 8, TwoStep::tree());
+    }
+
+    #[test]
+    fn all_sources_odd_p() {
+        check(MeshShape::new(3, 3), (0..9).collect(), 8, TwoStep::direct());
+        check(MeshShape::new(3, 3), (0..9).collect(), 8, TwoStep::tree());
+    }
+
+    #[test]
+    fn tree_skips_empty_subtrees() {
+        // With a single source at the far end, only the path to the root
+        // communicates in the gather: total sends ≈ O(log p), not O(p).
+        let shape = MeshShape::new(4, 4);
+        let sources = vec![15usize];
+        let out = run_threads(shape.p(), |comm| {
+            let payload = sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), 8));
+            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let _ = TwoStep::tree().run(comm, &ctx);
+            comm.stats().total_sends()
+        });
+        let gather_sends: u64 = out.results.iter().sum();
+        // 4 tree levels of gather + 15 bcast sends.
+        assert!(gather_sends <= 4 + 15, "too many sends: {gather_sends}");
+    }
+}

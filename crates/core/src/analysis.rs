@@ -1,0 +1,227 @@
+//! A-priori traffic analysis of the merge algorithms.
+//!
+//! Because the `Br_Lin` schedule is a pure function of the source
+//! positions, the *entire traffic pattern* — who sends how many bytes in
+//! which iteration — can be computed without running anything. This
+//! module derives per-iteration traffic profiles from the schedule and
+//! the message-set wire format; the tests then verify the profile
+//! matches what an actual simulation records, keeping the analysis and
+//! the implementation mutually honest.
+//!
+//! This is the machinery behind the paper's Figure-2 distribution
+//! parameters (`av_msg_lgth`, `av_act_proc`), computed a priori.
+
+use mpp_model::MeshShape;
+
+use crate::msgset::MessageSet;
+use crate::pattern::br_lin_schedule;
+
+/// Traffic of one `Br_Lin` iteration, aggregated over positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelTraffic {
+    /// Messages sent in this iteration.
+    pub messages: u64,
+    /// Total wire bytes sent.
+    pub bytes: u64,
+    /// Positions that send or receive.
+    pub active_positions: u64,
+    /// Largest single message (wire bytes).
+    pub max_message: u64,
+}
+
+/// Per-iteration traffic of `Br_Lin` over a line of positions, where
+/// `initial[pos]` lists the *payload lengths* initially at each position
+/// (empty = not a source).
+///
+/// Returns one [`LevelTraffic`] per iteration. The byte counts use the
+/// actual `MessageSet` wire format, so they agree exactly with what the
+/// runtime sends.
+pub fn br_lin_traffic(initial: &[Vec<usize>]) -> Vec<LevelTraffic> {
+    let has: Vec<bool> = initial.iter().map(|v| !v.is_empty()).collect();
+    let sched = br_lin_schedule(&has);
+
+    // Evolving per-position sets of (source position, payload len).
+    let mut sets: Vec<Vec<(usize, usize)>> = initial
+        .iter()
+        .enumerate()
+        .map(|(pos, lens)| lens.iter().map(|&l| (pos, l)).collect())
+        .collect();
+
+    let wire = |set: &[(usize, usize)]| -> u64 {
+        // Mirror MessageSet::wire_bytes: 4 + entries*8 + payloads.
+        4 + set.len() as u64 * 8 + set.iter().map(|&(_, l)| l as u64).sum::<u64>()
+    };
+
+    let mut out = Vec::with_capacity(sched.levels());
+    for level in &sched.ops {
+        let snapshot = sets.clone();
+        let mut traffic = LevelTraffic::default();
+        for (pos, ops) in level.iter().enumerate() {
+            if !ops.is_empty() {
+                traffic.active_positions += 1;
+            }
+            for op in ops {
+                if op.send {
+                    let b = wire(&snapshot[pos]);
+                    traffic.messages += 1;
+                    traffic.bytes += b;
+                    traffic.max_message = traffic.max_message.max(b);
+                }
+                if op.recv {
+                    // Merge (dedupe by source) exactly like MessageSet.
+                    let incoming = snapshot[op.peer].clone();
+                    for (src, len) in incoming {
+                        if !sets[pos].iter().any(|&(s, _)| s == src) {
+                            sets[pos].push((src, len));
+                        }
+                    }
+                }
+            }
+        }
+        for s in sets.iter_mut() {
+            s.sort_unstable();
+        }
+        out.push(traffic);
+    }
+    out
+}
+
+/// Total wire bytes `Br_Lin` moves for `s` uniform-length sources on a
+/// snake-ordered mesh — the quantity Figure 7 trades against source
+/// count.
+pub fn br_lin_total_bytes(shape: MeshShape, sources: &[usize], len: usize) -> u64 {
+    let snake = shape.snake_order();
+    let initial: Vec<Vec<usize>> = snake
+        .iter()
+        .map(|r| if sources.binary_search(r).is_ok() { vec![len] } else { Vec::new() })
+        .collect();
+    br_lin_traffic(&initial).iter().map(|t| t.bytes).sum()
+}
+
+/// Sanity helper used by tests: the wire size of a `k`-source set with
+/// uniform `len` payloads (must equal `MessageSet`'s encoding).
+pub fn uniform_wire_bytes(k: usize, len: usize) -> usize {
+    let mut set = MessageSet::new();
+    for i in 0..k {
+        set.insert(i, &vec![0u8; len]);
+    }
+    set.wire_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_model::{LibraryKind, Machine};
+    use mpp_runtime::run_simulated;
+
+    use crate::algorithms::{BrLin, StpAlgorithm, StpCtx};
+    use crate::distribution::SourceDist;
+    use crate::msgset::payload_for;
+
+    #[test]
+    fn wire_model_matches_msgset() {
+        for (k, len) in [(0usize, 0usize), (1, 10), (5, 100), (30, 4096)] {
+            let analytic = 4 + k as u64 * 8 + (k * len) as u64;
+            assert_eq!(analytic as usize, uniform_wire_bytes(k, len));
+        }
+    }
+
+    #[test]
+    fn traffic_profile_matches_simulation() {
+        // The analytic per-iteration bytes must equal the measured
+        // per-iteration bytes of an actual Br_Lin run.
+        let machine = Machine::paragon(4, 5);
+        let shape = machine.shape;
+        let sources = SourceDist::Equal.place(shape, 7);
+        let len = 128;
+
+        let snake = shape.snake_order();
+        let initial: Vec<Vec<usize>> = snake
+            .iter()
+            .map(|r| if sources.binary_search(r).is_ok() { vec![len] } else { Vec::new() })
+            .collect();
+        let profile = br_lin_traffic(&initial);
+
+        let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+            use mpp_runtime::Communicator;
+            let payload = sources
+                .binary_search(&comm.rank())
+                .is_ok()
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let _ = BrLin::new().run(comm, &ctx);
+        });
+
+        for (level, expect) in profile.iter().enumerate() {
+            let measured_bytes: u64 = out
+                .stats
+                .iter()
+                .map(|st| st.iters.get(level).map_or(0, |it| it.bytes_sent))
+                .sum();
+            assert_eq!(measured_bytes, expect.bytes, "level {level} byte mismatch");
+            let measured_msgs: u64 =
+                out.stats.iter().map(|st| st.iters.get(level).map_or(0, |it| it.sends)).sum();
+            assert_eq!(measured_msgs, expect.messages, "level {level} message mismatch");
+            let measured_active = out
+                .stats
+                .iter()
+                .filter(|st| st.iters.get(level).is_some_and(|it| it.active()))
+                .count() as u64;
+            assert_eq!(measured_active, expect.active_positions, "level {level} active mismatch");
+        }
+    }
+
+    #[test]
+    fn fig7_fixed_total_fewer_sources_means_bigger_early_messages() {
+        // The paper's Figure-7 effect in pure analysis: with s·L fixed,
+        // fewer sources push *much larger individual messages* through
+        // the early iterations (poor pipelining, fewer active senders),
+        // even though the total byte volume is comparable.
+        let shape = MeshShape::new(10, 10);
+        let total = 80 * 1024;
+        let snake = shape.snake_order();
+        let profile_for = |s: usize| {
+            let sources = SourceDist::DiagRight.place(shape, s);
+            let len = total / s;
+            let initial: Vec<Vec<usize>> = snake
+                .iter()
+                .map(|r| if sources.binary_search(r).is_ok() { vec![len] } else { Vec::new() })
+                .collect();
+            br_lin_traffic(&initial)
+        };
+        let few = profile_for(5);
+        let many = profile_for(40);
+        // Early levels: s=5 ships 16 KiB chunks, s=40 ships 2 KiB chunks.
+        assert!(few[0].max_message > 4 * many[0].max_message,
+            "few={} many={}", few[0].max_message, many[0].max_message);
+        // And far fewer positions participate early.
+        assert!(few[0].active_positions < many[0].active_positions);
+        // Total volume is within 2x either way (headers + overlap only).
+        let total_few: u64 = few.iter().map(|t| t.bytes).sum();
+        let total_many: u64 = many.iter().map(|t| t.bytes).sum();
+        let ratio = total_few as f64 / total_many as f64;
+        assert!((0.5..2.0).contains(&ratio), "volume ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_input_no_traffic() {
+        let profile = br_lin_traffic(&vec![Vec::new(); 8]);
+        assert!(profile.iter().all(|t| t.messages == 0 && t.bytes == 0));
+    }
+
+    #[test]
+    fn single_source_message_count_doubles_per_level() {
+        let mut initial = vec![Vec::new(); 8];
+        initial[0] = vec![100];
+        let profile = br_lin_traffic(&initial);
+        // Holders double each level, each forwarding the same single-
+        // source set: 1, 2, 4 messages of constant size.
+        assert_eq!(profile.len(), 3);
+        let wire = 4 + 8 + 100u64;
+        for (level, t) in profile.iter().enumerate() {
+            assert_eq!(t.messages, 1 << level, "level {level}");
+            assert_eq!(t.max_message, wire);
+            assert_eq!(t.bytes, (1 << level) as u64 * wire);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # stp-core — s-to-p broadcasting on message-passing MPPs
+//!
+//! Reproduction of Hambrusch, Khokhar & Liu, *"Scalable S-to-P
+//! Broadcasting on Message-Passing MPPs"* (ICPP 1996): in s-to-p
+//! broadcasting, `s` of the `p` processors each hold a message that must
+//! reach all `p` processors.
+//!
+//! The crate provides:
+//!
+//! * the seven broadcasting algorithms of the paper
+//!   ([`algorithms`]): `2-Step`, `PersAlltoAll`, `Br_Lin`,
+//!   `Br_xy_source`, `Br_xy_dim`, the repositioning wrappers `Repos_*`
+//!   and the partitioning wrappers `Part_*`;
+//! * the source-distribution families of §4 ([`distribution`]): row,
+//!   column, equal, right/left diagonal, band, cross, square block;
+//! * ideal-distribution generation for repositioning ([`ideal`]);
+//! * the Figure-2 metrics (congestion, wait, #send/rec, av_msg_lgth,
+//!   av_act_proc) over measured statistics ([`metrics`]);
+//! * a single-call experiment runner with built-in result verification
+//!   ([`runner`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mpp_model::Machine;
+//! use stp_core::prelude::*;
+//!
+//! // 4x4 "Paragon", 5 sources on a right diagonal, 1 KiB messages.
+//! let machine = Machine::paragon(4, 4);
+//! let exp = Experiment {
+//!     machine: &machine,
+//!     dist: SourceDist::DiagRight,
+//!     s: 5,
+//!     msg_len: 1024,
+//!     kind: AlgoKind::BrLin,
+//! };
+//! let outcome = exp.run();
+//! assert!(outcome.verified);
+//! println!("Br_Lin took {:.3} ms", outcome.makespan_ms());
+//! ```
+
+pub mod algorithms;
+pub mod analysis;
+pub mod announce;
+pub mod distribution;
+pub mod ideal;
+pub mod metrics;
+pub mod msgset;
+pub mod pattern;
+pub mod predict;
+pub mod quality;
+pub mod runner;
+pub mod select;
+
+/// Convenient glob import for applications and benches.
+pub mod prelude {
+    pub use crate::algorithms::{
+        BrLin, BrXyDim, BrXySource, Part, PersAlltoAll, Repos, StpAlgorithm, StpCtx, TwoStep,
+    };
+    pub use crate::distribution::SourceDist;
+    pub use crate::metrics::Figure2Row;
+    pub use crate::msgset::{payload_for, MessageSet};
+    pub use crate::predict::{estimate_ms, estimate_ns};
+    pub use crate::quality::placement_quality;
+    pub use crate::runner::{AlgoKind, Experiment, Outcome};
+    pub use crate::announce::announce_and_broadcast;
+    pub use crate::select::recommend;
+}

@@ -1,0 +1,233 @@
+//! Combined broadcast messages.
+//!
+//! The merge-based algorithms of the paper combine messages whenever
+//! messages from different sources meet at a processor: "subsequent steps
+//! proceed with fewer messages having larger size". A [`MessageSet`] is
+//! that combined object — a set of `(source rank, payload)` pairs with a
+//! compact wire format, so the simulator charges realistic sizes
+//! (payloads + per-entry headers) for combined messages.
+//!
+//! Wire format (little-endian):
+//!
+//! ```text
+//! u32 count | count × (u32 src, u32 len) | payloads back-to-back
+//! ```
+
+/// A set of broadcast messages keyed by source rank (sorted, unique).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MessageSet {
+    entries: Vec<(u32, Vec<u8>)>,
+}
+
+impl MessageSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        MessageSet { entries: Vec::new() }
+    }
+
+    /// A set holding a single source's payload.
+    pub fn single(src: usize, payload: &[u8]) -> Self {
+        MessageSet { entries: vec![(src as u32, payload.to_vec())] }
+    }
+
+    /// Number of distinct sources held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no messages are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Source ranks held, ascending.
+    pub fn sources(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|&(s, _)| s as usize)
+    }
+
+    /// Payload of a given source, if held.
+    pub fn get(&self, src: usize) -> Option<&[u8]> {
+        self.entries
+            .binary_search_by_key(&(src as u32), |&(s, _)| s)
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    /// Total payload bytes (excluding headers).
+    pub fn payload_bytes(&self) -> usize {
+        self.entries.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Bytes of the wire encoding.
+    pub fn wire_bytes(&self) -> usize {
+        4 + self.entries.len() * 8 + self.payload_bytes()
+    }
+
+    /// Merge another set into this one. Sources already present keep
+    /// their existing payload (in s-to-p broadcasting duplicate arrivals
+    /// always carry identical payloads). Returns the number of *new*
+    /// payload bytes absorbed.
+    pub fn merge(&mut self, other: MessageSet) -> usize {
+        let mut absorbed = 0;
+        for (src, data) in other.entries {
+            match self.entries.binary_search_by_key(&src, |&(s, _)| s) {
+                Ok(_) => {}
+                Err(pos) => {
+                    absorbed += data.len();
+                    self.entries.insert(pos, (src, data));
+                }
+            }
+        }
+        absorbed
+    }
+
+    /// Insert one source's payload (no-op if present). Keeps ordering.
+    pub fn insert(&mut self, src: usize, payload: &[u8]) {
+        if let Err(pos) = self.entries.binary_search_by_key(&(src as u32), |&(s, _)| s) {
+            self.entries.insert(pos, (src as u32, payload.to_vec()));
+        }
+    }
+
+    /// Serialize to the wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (src, data) in &self.entries {
+            out.extend_from_slice(&src.to_le_bytes());
+            out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        }
+        for (_, data) in &self.entries {
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Parse the wire format. Returns `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let count = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let header_end = 4usize.checked_add(count.checked_mul(8)?)?;
+        if bytes.len() < header_end {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut offset = header_end;
+        for i in 0..count {
+            let at = 4 + i * 8;
+            let src = u32::from_le_bytes(bytes[at..at + 4].try_into().ok()?);
+            let len = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().ok()?) as usize;
+            let end = offset.checked_add(len)?;
+            if bytes.len() < end {
+                return None;
+            }
+            entries.push((src, bytes[offset..end].to_vec()));
+            offset = end;
+        }
+        if offset != bytes.len() {
+            return None;
+        }
+        // Enforce the invariant: sorted, unique.
+        for w in entries.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return None;
+            }
+        }
+        Some(MessageSet { entries })
+    }
+
+    /// Consume into the sorted `(src, payload)` list.
+    pub fn into_entries(self) -> Vec<(u32, Vec<u8>)> {
+        self.entries
+    }
+}
+
+/// The deterministic test payload used throughout the experiments for
+/// source `src` with message length `len`: every byte depends on the
+/// source and its offset, so misrouted or truncated messages are caught.
+pub fn payload_for(src: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (src.wrapping_mul(31).wrapping_add(i) & 0xFF) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_wire_format() {
+        let mut s = MessageSet::new();
+        s.insert(3, b"ccc");
+        s.insert(1, b"a");
+        s.insert(7, b"");
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len(), s.wire_bytes());
+        let back = MessageSet::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let s = MessageSet::new();
+        let back = MessageSet::from_bytes(&s.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn merge_unions_and_counts_new_bytes() {
+        let mut a = MessageSet::single(1, b"one");
+        let b = {
+            let mut b = MessageSet::single(2, b"two");
+            b.insert(1, b"one");
+            b
+        };
+        let absorbed = a.merge(b);
+        assert_eq!(absorbed, 3); // only "two" is new
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(1), Some(&b"one"[..]));
+        assert_eq!(a.get(2), Some(&b"two"[..]));
+    }
+
+    #[test]
+    fn entries_stay_sorted() {
+        let mut s = MessageSet::new();
+        for src in [9usize, 2, 5, 0, 7] {
+            s.insert(src, &[src as u8]);
+        }
+        let srcs: Vec<_> = s.sources().collect();
+        assert_eq!(srcs, vec![0, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(MessageSet::from_bytes(&[]).is_none());
+        assert!(MessageSet::from_bytes(&[1, 0, 0, 0]).is_none()); // count=1, no header
+        // trailing garbage
+        let mut ok = MessageSet::single(1, b"x").to_bytes();
+        ok.push(0);
+        assert!(MessageSet::from_bytes(&ok).is_none());
+        // unsorted entries
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        for src in [5u32, 3] {
+            bad.extend_from_slice(&src.to_le_bytes());
+            bad.extend_from_slice(&0u32.to_le_bytes());
+        }
+        assert!(MessageSet::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn wire_bytes_accounts_for_headers() {
+        let mut s = MessageSet::new();
+        s.insert(0, &[0u8; 100]);
+        s.insert(1, &[0u8; 50]);
+        assert_eq!(s.wire_bytes(), 4 + 2 * 8 + 150);
+    }
+
+    #[test]
+    fn payload_for_is_deterministic_and_distinct() {
+        assert_eq!(payload_for(3, 16), payload_for(3, 16));
+        assert_ne!(payload_for(3, 16), payload_for(4, 16));
+        assert_eq!(payload_for(5, 0).len(), 0);
+    }
+}

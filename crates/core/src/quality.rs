@@ -1,0 +1,208 @@
+//! Distribution quality — how good is a source placement for a given
+//! merge algorithm?
+//!
+//! The paper's §3 notes its repositioning implementations "do not check
+//! whether the initial distribution is close to an ideal distribution
+//! and always reposition", paying 1–2 ms on inputs that were already
+//! fine (Figure 9's positive bars). This module provides the missing
+//! check: a pure, communication-free score of a source placement under
+//! the algorithm's actual merge schedule, plus the adaptive wrapper
+//! [`crate::algorithms::adaptive::ReposAdaptive`] built on it.
+
+use mpp_model::MeshShape;
+
+use crate::distribution::{col_counts, row_counts};
+use crate::pattern::br_lin_schedule;
+use crate::runner::AlgoKind;
+
+/// Growth score of a has-flag line under the `Br_Lin` schedule:
+/// `Σ_levels holders` — larger means the number of active processors
+/// grows faster (the paper's first objective).
+pub fn line_growth_score(has: &[bool]) -> u64 {
+    br_lin_schedule(has)
+        .holds
+        .iter()
+        .skip(1)
+        .map(|h| h.iter().filter(|&&b| b).count() as u64)
+        .sum()
+}
+
+/// Maximum achievable growth score for `k` actives on `n` positions
+/// (every level doubles until saturation).
+pub fn line_growth_max(n: usize, k: usize) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    let levels = if n <= 1 { 0 } else { (n - 1).ilog2() + 1 };
+    let mut active = k;
+    let mut score = 0;
+    for _ in 0..levels {
+        active = (active * 2).min(n);
+        score += active as u64;
+    }
+    score
+}
+
+/// Quality of a source placement for an algorithm, in `[0, 1]`:
+/// the ratio of the achieved growth score to the optimum. `1.0` means
+/// "as good as the ideal distribution"; low values mean repositioning
+/// has something to gain.
+///
+/// Only defined for the merge-based algorithms (`Br_Lin`, `Br_xy_*` and
+/// their wrappers); returns `None` otherwise.
+///
+/// ```
+/// use mpp_model::MeshShape;
+/// use stp_core::{distribution::SourceDist, quality::placement_quality, runner::AlgoKind};
+/// let shape = MeshShape::new(16, 16);
+/// let sq = SourceDist::SquareBlock.place(shape, 49);
+/// let row = SourceDist::Row.place(shape, 48);
+/// let q_sq = placement_quality(shape, &sq, AlgoKind::BrXySource).unwrap();
+/// let q_row = placement_quality(shape, &row, AlgoKind::BrXySource).unwrap();
+/// assert!(q_sq < q_row, "a clustered block is worse for Br_xy_source");
+/// ```
+pub fn placement_quality(shape: MeshShape, sources: &[usize], kind: AlgoKind) -> Option<f64> {
+    let p = shape.p();
+    debug_assert!(sources.windows(2).all(|w| w[0] < w[1]));
+    match kind {
+        AlgoKind::BrLin | AlgoKind::ReposLin | AlgoKind::PartLin => {
+            // Score the snake-order line directly.
+            let snake = shape.snake_order();
+            let has: Vec<bool> =
+                snake.iter().map(|r| sources.binary_search(r).is_ok()).collect();
+            let max = line_growth_max(p, sources.len());
+            Some(ratio(line_growth_score(&has), max))
+        }
+        AlgoKind::BrXySource
+        | AlgoKind::BrXyDim
+        | AlgoKind::ReposXySource
+        | AlgoKind::ReposXyDim
+        | AlgoKind::PartXySource
+        | AlgoKind::PartXyDim => {
+            // The xy algorithms suffer when the first-phase lines are
+            // *unevenly loaded*: a square block confines all traffic to
+            // a few rows/columns, a cross overloads its arms. Score the
+            // load balance of the dimension Br_xy_source would process
+            // first: s sources spread perfectly over all lines give 1.0.
+            let rows = row_counts(shape, sources);
+            let cols = col_counts(shape, sources);
+            let max_r = rows.iter().copied().max().unwrap_or(0);
+            let max_c = cols.iter().copied().max().unwrap_or(0);
+            // max_r < max_c → rows first (paper's rule).
+            let (n_lines, max_count) =
+                if max_r < max_c { (shape.rows, max_r) } else { (shape.cols, max_c) };
+            if max_count == 0 {
+                return Some(1.0);
+            }
+            Some((sources.len() as f64 / (n_lines as f64 * max_count as f64)).clamp(0.0, 1.0))
+        }
+        AlgoKind::ReposAdaptiveXySource => placement_quality(shape, sources, AlgoKind::BrXySource),
+        AlgoKind::TwoStep
+        | AlgoKind::PersAlltoAll
+        | AlgoKind::MpiAllGather
+        | AlgoKind::MpiAlltoall
+        | AlgoKind::DissemAllGather
+        | AlgoKind::DissemZeroCopy
+        | AlgoKind::NaiveIndependent => None,
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        1.0
+    } else {
+        (a as f64 / b as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::SourceDist;
+    use crate::ideal::{ideal_left_diagonal, ideal_rows};
+
+    const TEN: MeshShape = MeshShape { rows: 10, cols: 10 };
+
+    #[test]
+    fn ideal_placements_score_high() {
+        let dl = ideal_left_diagonal(TEN, 10);
+        let q = placement_quality(TEN, &dl, AlgoKind::BrLin).unwrap();
+        assert!(q > 0.85, "left diagonal should be near-ideal for Br_Lin, got {q}");
+
+        let rows = ideal_rows(TEN, 30);
+        let q = placement_quality(TEN, &rows, AlgoKind::BrXySource).unwrap();
+        assert!(q > 0.9, "ideal rows should be near-ideal for Br_xy_source, got {q}");
+    }
+
+    #[test]
+    fn clustered_placements_score_low() {
+        let sq = SourceDist::SquareBlock.place(TEN, 16);
+        let q_sq = placement_quality(TEN, &sq, AlgoKind::BrXySource).unwrap();
+        let ideal = ideal_rows(TEN, 16);
+        let q_ideal = placement_quality(TEN, &ideal, AlgoKind::BrXySource).unwrap();
+        assert!(
+            q_sq < q_ideal,
+            "square block ({q_sq}) must score below ideal rows ({q_ideal})"
+        );
+    }
+
+    #[test]
+    fn paper_stall_example_scores_below_fixed_one() {
+        // Sources at snake positions 0 and 5 of a 10-line stall; 0 and 6
+        // double — quality must reflect it.
+        let mut bad = vec![false; 10];
+        bad[0] = true;
+        bad[5] = true;
+        let mut good = vec![false; 10];
+        good[0] = true;
+        good[6] = true;
+        assert!(line_growth_score(&good) > line_growth_score(&bad));
+    }
+
+    #[test]
+    fn quality_is_in_unit_range() {
+        for dist in [
+            SourceDist::Row,
+            SourceDist::Column,
+            SourceDist::Equal,
+            SourceDist::Cross,
+            SourceDist::SquareBlock,
+        ] {
+            for s in [1usize, 10, 30, 100] {
+                let sources = dist.place(TEN, s);
+                for kind in [AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::BrXyDim] {
+                    let q = placement_quality(TEN, &sources, kind).unwrap();
+                    assert!((0.0..=1.0).contains(&q), "{} {s}: {q}", dist.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn library_algorithms_have_no_quality() {
+        let sources = SourceDist::Equal.place(TEN, 10);
+        assert!(placement_quality(TEN, &sources, AlgoKind::TwoStep).is_none());
+        assert!(placement_quality(TEN, &sources, AlgoKind::MpiAlltoall).is_none());
+    }
+
+    #[test]
+    fn growth_max_monotone_in_k() {
+        for n in [8usize, 10, 16] {
+            let mut prev = 0;
+            for k in 0..=n {
+                let m = line_growth_max(n, k);
+                assert!(m >= prev);
+                prev = m;
+            }
+        }
+    }
+
+    #[test]
+    fn full_machine_quality_is_one() {
+        let sources: Vec<usize> = (0..100).collect();
+        for kind in [AlgoKind::BrLin, AlgoKind::BrXySource] {
+            let q = placement_quality(TEN, &sources, kind).unwrap();
+            assert!((q - 1.0).abs() < 1e-9, "{}: {q}", kind.name());
+        }
+    }
+}

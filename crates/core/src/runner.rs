@@ -1,0 +1,341 @@
+//! Experiment runner: one call from (machine, distribution, s, L,
+//! algorithm) to a verified, timed outcome.
+
+use mpp_model::{LibraryKind, Machine, Time};
+use mpp_runtime::{run_simulated, CommStats, Communicator};
+
+use crate::algorithms::{
+    BrLin, BrXyDim, BrXySource, DissemAllGather, NaiveIndependent, Part, PersAlltoAll, Repos,
+    ReposAdaptive, StpAlgorithm, StpCtx, TwoStep,
+};
+use crate::distribution::SourceDist;
+use crate::msgset::payload_for;
+
+/// Every algorithm variant the experiments exercise.
+///
+/// `MpiAllGather` / `MpiAlltoall` are the paper's names for the MPI
+/// builds of `2-Step` / `PersAlltoAll` (§5.3); they run the same code
+/// under [`LibraryKind::Mpi`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoKind {
+    /// `2-Step`: gather at P₀ + one-to-all broadcast (NX build).
+    TwoStep,
+    /// `PersAlltoAll`: personalized all-to-all exchange (NX build).
+    PersAlltoAll,
+    /// `Br_Lin` on the snake order.
+    BrLin,
+    /// `Br_xy_source`.
+    BrXySource,
+    /// `Br_xy_dim`.
+    BrXyDim,
+    /// `Repos_Lin` = reposition to `Dl(s)` + `Br_Lin`.
+    ReposLin,
+    /// `Repos_xy_source` = reposition to ideal rows + `Br_xy_source`.
+    ReposXySource,
+    /// `Repos_xy_dim`.
+    ReposXyDim,
+    /// `Part_Lin`.
+    PartLin,
+    /// `Part_xy_source`.
+    PartXySource,
+    /// `Part_xy_dim`.
+    PartXyDim,
+    /// MPI build of 2-Step (the paper's `MPI_AllGather`).
+    MpiAllGather,
+    /// MPI build of PersAlltoAll (the paper's `MPI_Alltoall`).
+    MpiAlltoall,
+    /// Extension: dissemination all-gather with combining charges.
+    DissemAllGather,
+    /// Extension: dissemination all-gather, zero-copy block placement.
+    DissemZeroCopy,
+    /// Extension: quality-gated repositioning over `Br_xy_source`.
+    ReposAdaptiveXySource,
+    /// The baseline §2 rejects: uncoordinated independent broadcasts.
+    NaiveIndependent,
+}
+
+impl AlgoKind {
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::TwoStep => "2-Step",
+            AlgoKind::PersAlltoAll => "PersAlltoAll",
+            AlgoKind::BrLin => "Br_Lin",
+            AlgoKind::BrXySource => "Br_xy_source",
+            AlgoKind::BrXyDim => "Br_xy_dim",
+            AlgoKind::ReposLin => "Repos_Lin",
+            AlgoKind::ReposXySource => "Repos_xy_source",
+            AlgoKind::ReposXyDim => "Repos_xy_dim",
+            AlgoKind::PartLin => "Part_Lin",
+            AlgoKind::PartXySource => "Part_xy_source",
+            AlgoKind::PartXyDim => "Part_xy_dim",
+            AlgoKind::MpiAllGather => "MPI_AllGather",
+            AlgoKind::MpiAlltoall => "MPI_Alltoall",
+            AlgoKind::DissemAllGather => "DissemAllGather",
+            AlgoKind::DissemZeroCopy => "DissemAllGather (zero-copy)",
+            AlgoKind::ReposAdaptiveXySource => "ReposAdaptive_xy_source",
+            AlgoKind::NaiveIndependent => "NaiveIndependent",
+        }
+    }
+
+    /// The algorithm variants evaluated in the paper (no extensions).
+    pub fn paper_set() -> &'static [AlgoKind] {
+        &[
+            AlgoKind::TwoStep,
+            AlgoKind::PersAlltoAll,
+            AlgoKind::BrLin,
+            AlgoKind::BrXySource,
+            AlgoKind::BrXyDim,
+            AlgoKind::ReposLin,
+            AlgoKind::ReposXySource,
+            AlgoKind::ReposXyDim,
+            AlgoKind::PartLin,
+            AlgoKind::PartXySource,
+            AlgoKind::PartXyDim,
+            AlgoKind::MpiAllGather,
+            AlgoKind::MpiAlltoall,
+        ]
+    }
+
+    /// The library flavour this variant runs under by default.
+    pub fn default_lib(self) -> LibraryKind {
+        match self {
+            AlgoKind::MpiAllGather | AlgoKind::MpiAlltoall => LibraryKind::Mpi,
+            _ => LibraryKind::Nx,
+        }
+    }
+
+    /// All variants, including the extensions beyond the paper.
+    pub fn all() -> &'static [AlgoKind] {
+        &[
+            AlgoKind::TwoStep,
+            AlgoKind::PersAlltoAll,
+            AlgoKind::BrLin,
+            AlgoKind::BrXySource,
+            AlgoKind::BrXyDim,
+            AlgoKind::ReposLin,
+            AlgoKind::ReposXySource,
+            AlgoKind::ReposXyDim,
+            AlgoKind::PartLin,
+            AlgoKind::PartXySource,
+            AlgoKind::PartXyDim,
+            AlgoKind::MpiAllGather,
+            AlgoKind::MpiAlltoall,
+            AlgoKind::DissemAllGather,
+            AlgoKind::DissemZeroCopy,
+            AlgoKind::ReposAdaptiveXySource,
+            AlgoKind::NaiveIndependent,
+        ]
+    }
+
+    /// Instantiate the algorithm object.
+    pub fn build(self) -> Box<dyn StpAlgorithm> {
+        match self {
+            // The paper's NX 2-Step gathers directly; the MPI library
+            // routine gathers over a binomial tree (see two_step docs).
+            AlgoKind::TwoStep => Box::new(TwoStep::direct()),
+            AlgoKind::MpiAllGather => Box::new(TwoStep::tree()),
+            AlgoKind::PersAlltoAll | AlgoKind::MpiAlltoall => Box::new(PersAlltoAll),
+            AlgoKind::BrLin => Box::new(BrLin::new()),
+            AlgoKind::BrXySource => Box::new(BrXySource),
+            AlgoKind::BrXyDim => Box::new(BrXyDim),
+            AlgoKind::ReposLin => Box::new(Repos::new(BrLin::new(), "Repos_Lin")),
+            AlgoKind::ReposXySource => Box::new(Repos::new(BrXySource, "Repos_xy_source")),
+            AlgoKind::ReposXyDim => Box::new(Repos::new(BrXyDim, "Repos_xy_dim")),
+            AlgoKind::PartLin => Box::new(Part::new(BrLin::new(), "Part_Lin")),
+            AlgoKind::PartXySource => Box::new(Part::new(BrXySource, "Part_xy_source")),
+            AlgoKind::PartXyDim => Box::new(Part::new(BrXyDim, "Part_xy_dim")),
+            AlgoKind::DissemAllGather => Box::new(DissemAllGather::new()),
+            AlgoKind::DissemZeroCopy => Box::new(DissemAllGather::zero_copy()),
+            AlgoKind::ReposAdaptiveXySource => Box::new(ReposAdaptive::new(
+                BrXySource,
+                AlgoKind::BrXySource,
+                "ReposAdaptive_xy_source",
+            )),
+            AlgoKind::NaiveIndependent => Box::new(NaiveIndependent),
+        }
+    }
+}
+
+/// A fully-specified experiment.
+#[derive(Clone)]
+pub struct Experiment<'a> {
+    /// Machine to run on.
+    pub machine: &'a Machine,
+    /// Source distribution family.
+    pub dist: SourceDist,
+    /// Number of sources (`1..=p`).
+    pub s: usize,
+    /// Message length at each source, bytes (the paper's `L`).
+    pub msg_len: usize,
+    /// Algorithm variant.
+    pub kind: AlgoKind,
+}
+
+/// Result of a run: virtual times, statistics, verification verdict.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Virtual makespan (ns) — the time the paper plots.
+    pub makespan_ns: Time,
+    /// Per-rank finish times (ns).
+    pub finish_ns: Vec<Time>,
+    /// Per-rank communication statistics.
+    pub stats: Vec<CommStats>,
+    /// Whether every rank ended with exactly the `s` expected payloads.
+    pub verified: bool,
+    /// Network contention stalls.
+    pub contention_events: u64,
+    /// Total stall time (ns).
+    pub contention_ns: Time,
+    /// The source ranks used.
+    pub sources: Vec<usize>,
+}
+
+impl Outcome {
+    /// Makespan in milliseconds.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ns as f64 / 1e6
+    }
+}
+
+impl Experiment<'_> {
+    /// Run under the algorithm's default library flavour.
+    pub fn run(&self) -> Outcome {
+        self.run_with_lib(self.kind.default_lib())
+    }
+
+    /// Run under an explicit library flavour.
+    pub fn run_with_lib(&self, lib: LibraryKind) -> Outcome {
+        let sources = self.dist.place(self.machine.shape, self.s);
+        let len = self.msg_len;
+        run_sources(self.machine, lib, &sources, &|src| payload_for(src, len), self.kind)
+    }
+
+    /// Run with per-source message lengths (paper §5: "using different
+    /// length messages did not influence the performance significantly").
+    pub fn run_with_lengths(&self, len_of: &(dyn Fn(usize) -> usize + Sync)) -> Outcome {
+        let sources = self.dist.place(self.machine.shape, self.s);
+        run_sources(
+            self.machine,
+            self.kind.default_lib(),
+            &sources,
+            &|src| payload_for(src, len_of(src)),
+            self.kind,
+        )
+    }
+}
+
+/// Run an algorithm on explicit sources with explicit payloads.
+pub fn run_sources(
+    machine: &Machine,
+    lib: LibraryKind,
+    sources: &[usize],
+    payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
+    kind: AlgoKind,
+) -> Outcome {
+    let alg = kind.build();
+    let shape = machine.shape;
+    let out = run_simulated(machine, lib, |comm| {
+        let me = comm.rank();
+        let payload = sources.binary_search(&me).is_ok().then(|| payload_of(me));
+        let ctx = StpCtx { shape, sources, payload: payload.as_deref() };
+        let set = alg.run(comm, &ctx);
+        // Verify on-rank: all sources present with the right payloads.
+        set.sources().collect::<Vec<_>>() == sources
+            && sources.iter().all(|&s| set.get(s).is_some_and(|d| d == payload_of(s)))
+    });
+    Outcome {
+        makespan_ns: out.makespan_ns,
+        finish_ns: out.finish_ns,
+        stats: out.stats,
+        verified: out.results.iter().all(|&ok| ok),
+        contention_events: out.contention_events,
+        contention_ns: out.contention_ns,
+        sources: sources.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_verifies_on_a_paragon() {
+        let machine = Machine::paragon(4, 4);
+        for &kind in AlgoKind::all() {
+            let exp = Experiment {
+                machine: &machine,
+                dist: SourceDist::Equal,
+                s: 5,
+                msg_len: 256,
+                kind,
+            };
+            let out = exp.run();
+            assert!(out.verified, "{} failed verification", kind.name());
+            assert!(out.makespan_ns > 0);
+        }
+    }
+
+    #[test]
+    fn every_algorithm_verifies_on_a_t3d() {
+        let machine = Machine::t3d(16, 7);
+        for &kind in AlgoKind::all() {
+            let exp = Experiment {
+                machine: &machine,
+                dist: SourceDist::Random { seed: 3 },
+                s: 6,
+                msg_len: 128,
+                kind,
+            };
+            let out = exp.run();
+            assert!(out.verified, "{} failed on T3D", kind.name());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let machine = Machine::paragon(4, 5);
+        let exp = Experiment {
+            machine: &machine,
+            dist: SourceDist::Cross,
+            s: 8,
+            msg_len: 512,
+            kind: AlgoKind::BrXySource,
+        };
+        let a = exp.run();
+        let b = exp.run();
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.finish_ns, b.finish_ns);
+    }
+
+    #[test]
+    fn variable_length_messages_verify() {
+        let machine = Machine::paragon(4, 4);
+        let exp = Experiment {
+            machine: &machine,
+            dist: SourceDist::DiagRight,
+            s: 4,
+            msg_len: 0, // ignored by run_with_lengths
+            kind: AlgoKind::BrLin,
+        };
+        let out = exp.run_with_lengths(&|src| 64 + src * 32);
+        assert!(out.verified);
+    }
+
+    #[test]
+    fn mpi_lib_is_slower_than_nx_on_paragon() {
+        let machine = Machine::paragon(4, 4);
+        let exp = Experiment {
+            machine: &machine,
+            dist: SourceDist::Equal,
+            s: 6,
+            msg_len: 1024,
+            kind: AlgoKind::TwoStep,
+        };
+        let nx = exp.run_with_lib(LibraryKind::Nx);
+        let mpi = exp.run_with_lib(LibraryKind::Mpi);
+        assert!(mpi.makespan_ns > nx.makespan_ns);
+        let pct = (mpi.makespan_ns - nx.makespan_ns) as f64 / nx.makespan_ns as f64 * 100.0;
+        assert!(pct < 6.0, "MPI overhead {pct:.1}% outside the paper's 2-5% band");
+    }
+}

@@ -1,0 +1,141 @@
+//! The *logical* 2-D mesh shape algorithms and source distributions see.
+//!
+//! The paper defines its source distributions and the `Br_xy_*` algorithms
+//! on an `r × c` processor grid indexed in row-major order. On the Paragon
+//! this logical grid coincides with the physical sub-mesh; on the T3D it
+//! is purely logical (virtual ranks laid out on a grid) while the physical
+//! network is a 3-D torus with random placement.
+
+/// A logical `rows × cols` grid over virtual ranks `0..rows*cols`,
+/// row-major: rank of `(row, col)` is `row * cols + col`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MeshShape {
+    /// Number of rows (`r` in the paper).
+    pub rows: usize,
+    /// Number of columns (`c` in the paper).
+    pub cols: usize,
+}
+
+impl MeshShape {
+    /// Construct a shape; panics on zero dimensions.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate mesh {rows}x{cols}");
+        MeshShape { rows, cols }
+    }
+
+    /// Total processors `p = r·c`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Rank of grid position `(row, col)`.
+    #[inline]
+    pub fn rank(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Grid position of `rank`.
+    #[inline]
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.p());
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Ranks of row `row` in column order.
+    pub fn row_ranks(&self, row: usize) -> Vec<usize> {
+        (0..self.cols).map(|c| self.rank(row, c)).collect()
+    }
+
+    /// Ranks of column `col` in row order.
+    pub fn col_ranks(&self, col: usize) -> Vec<usize> {
+        (0..self.rows).map(|r| self.rank(r, col)).collect()
+    }
+
+    /// All ranks in snake-like (boustrophedon) row-major order: row 0
+    /// left-to-right, row 1 right-to-left, … This is the linear order the
+    /// paper suggests for `Br_Lin` on a mesh, keeping consecutive linear
+    /// neighbours physically adjacent.
+    pub fn snake_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.p());
+        for r in 0..self.rows {
+            if r % 2 == 0 {
+                for c in 0..self.cols {
+                    out.push(self.rank(r, c));
+                }
+            } else {
+                for c in (0..self.cols).rev() {
+                    out.push(self.rank(r, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// A near-square factorization of `p` as a shape with `rows ≤ cols`.
+    pub fn near_square(p: usize) -> Self {
+        assert!(p > 0);
+        let mut r = (p as f64).sqrt() as usize;
+        while r > 1 && !p.is_multiple_of(r) {
+            r -= 1;
+        }
+        let r = r.max(1);
+        MeshShape::new(r, p / r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let m = MeshShape::new(4, 7);
+        for rank in 0..m.p() {
+            let (r, c) = m.coords(rank);
+            assert_eq!(m.rank(r, c), rank);
+        }
+    }
+
+    #[test]
+    fn rows_and_cols() {
+        let m = MeshShape::new(3, 4);
+        assert_eq!(m.row_ranks(1), vec![4, 5, 6, 7]);
+        assert_eq!(m.col_ranks(2), vec![2, 6, 10]);
+    }
+
+    #[test]
+    fn snake_order_visits_all_once_and_is_adjacent() {
+        let m = MeshShape::new(3, 4);
+        let s = m.snake_order();
+        assert_eq!(s.len(), 12);
+        let mut seen = [false; 12];
+        for &r in &s {
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        // consecutive entries are grid-adjacent
+        for w in s.windows(2) {
+            let (r0, c0) = m.coords(w[0]);
+            let (r1, c1) = m.coords(w[1]);
+            assert_eq!(r0.abs_diff(r1) + c0.abs_diff(c1), 1, "{:?} -> {:?}", w[0], w[1]);
+        }
+        assert_eq!(s[..4], [0, 1, 2, 3]);
+        assert_eq!(s[4..8], [7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn near_square_factors() {
+        assert_eq!(MeshShape::near_square(100), MeshShape::new(10, 10));
+        assert_eq!(MeshShape::near_square(128), MeshShape::new(8, 16));
+        assert_eq!(MeshShape::near_square(120), MeshShape::new(10, 12));
+        assert_eq!(MeshShape::near_square(13), MeshShape::new(1, 13));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_panics() {
+        MeshShape::new(0, 4);
+    }
+}

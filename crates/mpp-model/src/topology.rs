@@ -1,0 +1,490 @@
+//! Network topologies and deterministic dimension-ordered routing.
+//!
+//! A topology maps physical node ids to coordinates and produces, for any
+//! ordered pair of nodes, the exact sequence of directed links a message
+//! traverses. Routing is *dimension-ordered* everywhere (XY on meshes,
+//! XYZ on tori, ascending-bit on hypercubes): deterministic and minimal,
+//! matching the wormhole routers of the Paragon and T3D.
+
+/// Identifier of a physical network node, `0..num_nodes()`.
+pub type NodeId = usize;
+
+/// A directed physical channel between two adjacent nodes.
+///
+/// Links are the unit of contention in the simulator: two transfers whose
+/// routes share a `Link` serialize on it. The reverse direction is a
+/// different `Link`, so bidirectional exchanges do not self-collide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Link {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+}
+
+impl Link {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        Link { from, to }
+    }
+}
+
+/// A physical interconnect topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// `n` nodes in a line; node `i` is adjacent to `i±1`.
+    Linear { n: usize },
+    /// `rows × cols` 2-D mesh (no wraparound), row-major node ids,
+    /// XY (column-then-row? no: X-first) dimension-ordered routing.
+    ///
+    /// Node `(r, c)` has id `r * cols + c`. Routing corrects the column
+    /// (X) first, then the row (Y), as on the Paragon.
+    Mesh2D { rows: usize, cols: usize },
+    /// `dx × dy × dz` 3-D torus (wraparound in every dimension), ids in
+    /// x-major order, dimension-ordered routing with shortest wrap
+    /// direction per dimension, as on the T3D.
+    Torus3D { dx: usize, dy: usize, dz: usize },
+    /// `2^dim` nodes; routing corrects differing address bits from least
+    /// to most significant (e-cube routing).
+    Hypercube { dim: u32 },
+}
+
+impl Topology {
+    /// Number of physical nodes.
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            Topology::Linear { n } => n,
+            Topology::Mesh2D { rows, cols } => rows * cols,
+            Topology::Torus3D { dx, dy, dz } => dx * dy * dz,
+            Topology::Hypercube { dim } => 1usize << dim,
+        }
+    }
+
+    /// Number of hops of the dimension-ordered route from `u` to `v`.
+    ///
+    /// Equal to `route(u, v).len()` but avoids materializing the path.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> usize {
+        match *self {
+            Topology::Linear { .. } => u.abs_diff(v),
+            Topology::Mesh2D { cols, .. } => {
+                let (ur, uc) = (u / cols, u % cols);
+                let (vr, vc) = (v / cols, v % cols);
+                ur.abs_diff(vr) + uc.abs_diff(vc)
+            }
+            Topology::Torus3D { dx, dy, dz } => {
+                let a = Self::torus_coords(u, dx, dy, dz);
+                let b = Self::torus_coords(v, dx, dy, dz);
+                Self::torus_dist(a.0, b.0, dx)
+                    + Self::torus_dist(a.1, b.1, dy)
+                    + Self::torus_dist(a.2, b.2, dz)
+            }
+            Topology::Hypercube { .. } => (u ^ v).count_ones() as usize,
+        }
+    }
+
+    /// The exact directed links traversed from `u` to `v`, in order.
+    ///
+    /// Empty when `u == v`. Panics if either id is out of range.
+    ///
+    /// ```
+    /// use mpp_model::Topology;
+    /// let mesh = Topology::Mesh2D { rows: 3, cols: 3 };
+    /// // XY routing: (0,0) -> (1,1) corrects the column first.
+    /// let hops: Vec<usize> = mesh.route(0, 4).iter().map(|l| l.to).collect();
+    /// assert_eq!(hops, vec![1, 4]);
+    /// ```
+    pub fn route(&self, u: NodeId, v: NodeId) -> Vec<Link> {
+        let n = self.num_nodes();
+        assert!(u < n && v < n, "route endpoints out of range: {u},{v} (n={n})");
+        let mut path = Vec::with_capacity(self.distance(u, v));
+        let mut cur = u;
+        while cur != v {
+            let next = self.next_hop(cur, v);
+            path.push(Link::new(cur, next));
+            cur = next;
+        }
+        path
+    }
+
+    /// The next node on the dimension-ordered route from `cur` towards `dst`.
+    ///
+    /// Panics if `cur == dst`.
+    pub fn next_hop(&self, cur: NodeId, dst: NodeId) -> NodeId {
+        debug_assert_ne!(cur, dst);
+        match *self {
+            Topology::Linear { .. } => {
+                if dst > cur {
+                    cur + 1
+                } else {
+                    cur - 1
+                }
+            }
+            Topology::Mesh2D { cols, .. } => {
+                let (cr, cc) = (cur / cols, cur % cols);
+                let (dr, dc) = (dst / cols, dst % cols);
+                // X (column index) first, then Y (row index).
+                if cc != dc {
+                    if dc > cc {
+                        cur + 1
+                    } else {
+                        cur - 1
+                    }
+                } else if dr > cr {
+                    cur + cols
+                } else {
+                    cur - cols
+                }
+            }
+            Topology::Torus3D { dx, dy, dz } => {
+                let (cx, cy, cz) = Self::torus_coords(cur, dx, dy, dz);
+                let (tx, ty, tz) = Self::torus_coords(dst, dx, dy, dz);
+                let (nx, ny, nz) = if cx != tx {
+                    (Self::torus_step(cx, tx, dx), cy, cz)
+                } else if cy != ty {
+                    (cx, Self::torus_step(cy, ty, dy), cz)
+                } else {
+                    (cx, cy, Self::torus_step(cz, tz, dz))
+                };
+                Self::torus_id(nx, ny, nz, dx, dy)
+            }
+            Topology::Hypercube { .. } => {
+                let diff = cur ^ dst;
+                let bit = diff.trailing_zeros();
+                cur ^ (1usize << bit)
+            }
+        }
+    }
+
+    /// Nodes adjacent to `u` (unordered).
+    pub fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        match *self {
+            Topology::Linear { n } => {
+                if u > 0 {
+                    out.push(u - 1);
+                }
+                if u + 1 < n {
+                    out.push(u + 1);
+                }
+            }
+            Topology::Mesh2D { rows, cols } => {
+                let (r, c) = (u / cols, u % cols);
+                if c > 0 {
+                    out.push(u - 1);
+                }
+                if c + 1 < cols {
+                    out.push(u + 1);
+                }
+                if r > 0 {
+                    out.push(u - cols);
+                }
+                if r + 1 < rows {
+                    out.push(u + cols);
+                }
+            }
+            Topology::Torus3D { dx, dy, dz } => {
+                let (x, y, z) = Self::torus_coords(u, dx, dy, dz);
+                let mut push = |a: usize, b: usize, c: usize| {
+                    let id = Self::torus_id(a, b, c, dx, dy);
+                    if id != u && !out.contains(&id) {
+                        out.push(id);
+                    }
+                };
+                push((x + 1) % dx, y, z);
+                push((x + dx - 1) % dx, y, z);
+                push(x, (y + 1) % dy, z);
+                push(x, (y + dy - 1) % dy, z);
+                push(x, y, (z + 1) % dz);
+                push(x, y, (z + dz - 1) % dz);
+            }
+            Topology::Hypercube { dim } => {
+                for b in 0..dim {
+                    out.push(u ^ (1usize << b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Network diameter: the longest dimension-ordered route.
+    pub fn diameter(&self) -> usize {
+        match *self {
+            Topology::Linear { n } => n.saturating_sub(1),
+            Topology::Mesh2D { rows, cols } => rows + cols - 2,
+            Topology::Torus3D { dx, dy, dz } => dx / 2 + dy / 2 + dz / 2,
+            Topology::Hypercube { dim } => dim as usize,
+        }
+    }
+
+    /// Bisection width: the number of directed links crossing a balanced
+    /// cut of the machine (both directions counted). A standard
+    /// capacity measure — the all-to-all-heavy algorithms are limited by
+    /// it.
+    pub fn bisection_width(&self) -> usize {
+        match *self {
+            Topology::Linear { n } => {
+                if n > 1 {
+                    2
+                } else {
+                    0
+                }
+            }
+            Topology::Mesh2D { rows, cols } => {
+                // Cut across the longer dimension.
+                2 * rows.min(cols)
+            }
+            Topology::Torus3D { dx, dy, dz } => {
+                // Cut perpendicular to the longest dimension; the torus
+                // wraps, so the cut crosses two rings of links.
+                let longest = dx.max(dy).max(dz);
+                let cross_section = dx * dy * dz / longest;
+                if longest > 1 {
+                    4 * cross_section
+                } else {
+                    0
+                }
+            }
+            Topology::Hypercube { dim } => {
+                if dim == 0 {
+                    0
+                } else {
+                    1usize << dim // 2 * 2^(dim-1)
+                }
+            }
+        }
+    }
+
+    /// A 3-D torus with near-cubic dimensions for `p` nodes.
+    ///
+    /// Factors `p` into `dx ≥ dy ≥ dz` as balanced as possible; used to
+    /// model T3D partitions of a given size. Panics when `p == 0`.
+    pub fn torus_for(p: usize) -> Topology {
+        assert!(p > 0, "torus_for(0)");
+        let mut best = (p, 1, 1);
+        let mut best_score = usize::MAX;
+        let mut dz = 1;
+        while dz * dz * dz <= p {
+            if p.is_multiple_of(dz) {
+                let rest = p / dz;
+                let mut dy = dz;
+                while dy * dy <= rest {
+                    if rest.is_multiple_of(dy) {
+                        let dx = rest / dy;
+                        // Prefer balanced dimensions: minimize surface proxy.
+                        let score = dx - dz;
+                        if score < best_score {
+                            best_score = score;
+                            best = (dx, dy, dz);
+                        }
+                    }
+                    dy += 1;
+                }
+            }
+            dz += 1;
+        }
+        Topology::Torus3D { dx: best.0, dy: best.1, dz: best.2 }
+    }
+
+    #[inline]
+    fn torus_coords(id: NodeId, dx: usize, dy: usize, dz: usize) -> (usize, usize, usize) {
+        debug_assert!(id < dx * dy * dz);
+        (id % dx, (id / dx) % dy, id / (dx * dy))
+    }
+
+    #[inline]
+    fn torus_id(x: usize, y: usize, z: usize, dx: usize, dy: usize) -> NodeId {
+        x + dx * (y + dy * z)
+    }
+
+    /// Distance along one torus dimension (shortest wrap direction).
+    #[inline]
+    fn torus_dist(a: usize, b: usize, d: usize) -> usize {
+        let fwd = (b + d - a) % d;
+        fwd.min(d - fwd)
+    }
+
+    /// One coordinate step towards `t` along the shorter wrap direction.
+    /// Ties (`fwd == bwd`) break towards increasing coordinate, so routing
+    /// stays deterministic.
+    #[inline]
+    fn torus_step(c: usize, t: usize, d: usize) -> usize {
+        let fwd = (t + d - c) % d;
+        let bwd = d - fwd;
+        if fwd <= bwd {
+            (c + 1) % d
+        } else {
+            (c + d - 1) % d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_route_is_contiguous() {
+        let t = Topology::Linear { n: 8 };
+        let r = t.route(1, 5);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], Link::new(1, 2));
+        assert_eq!(r[3], Link::new(4, 5));
+    }
+
+    #[test]
+    fn linear_route_backwards() {
+        let t = Topology::Linear { n: 8 };
+        let r = t.route(5, 1);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], Link::new(5, 4));
+        assert_eq!(r[3], Link::new(2, 1));
+    }
+
+    #[test]
+    fn mesh_routes_x_first() {
+        let t = Topology::Mesh2D { rows: 4, cols: 4 };
+        // (0,0) -> (2,3): expect column moves first (0,0)->(0,3), then rows.
+        let r = t.route(0, 2 * 4 + 3);
+        let hops: Vec<_> = r.iter().map(|l| l.to).collect();
+        assert_eq!(hops, vec![1, 2, 3, 7, 11]);
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let t = Topology::Mesh2D { rows: 5, cols: 7 };
+        for u in 0..35 {
+            for v in 0..35 {
+                assert_eq!(t.distance(u, v), t.route(u, v).len());
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_self_route_empty() {
+        let t = Topology::Mesh2D { rows: 3, cols: 3 };
+        assert!(t.route(4, 4).is_empty());
+        assert_eq!(t.distance(4, 4), 0);
+    }
+
+    #[test]
+    fn torus_wraps_shortest_way() {
+        let t = Topology::Torus3D { dx: 8, dy: 1, dz: 1 };
+        // 0 -> 6 should wrap backwards: distance 2, not 6.
+        assert_eq!(t.distance(0, 6), 2);
+        let r = t.route(0, 6);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], Link::new(0, 7));
+        assert_eq!(r[1], Link::new(7, 6));
+    }
+
+    #[test]
+    fn torus_distance_matches_route_len() {
+        let t = Topology::Torus3D { dx: 4, dy: 3, dz: 2 };
+        let n = t.num_nodes();
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(t.distance(u, v), t.route(u, v).len(), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_route_stays_in_range() {
+        let t = Topology::Torus3D { dx: 4, dy: 4, dz: 2 };
+        let n = t.num_nodes();
+        for u in 0..n {
+            for v in 0..n {
+                for l in t.route(u, v) {
+                    assert!(l.from < n && l.to < n);
+                    // every hop is between neighbors
+                    assert!(t.neighbors(l.from).contains(&l.to));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_routes_by_bits() {
+        let t = Topology::Hypercube { dim: 4 };
+        let r = t.route(0b0000, 0b1011);
+        assert_eq!(r.len(), 3);
+        let hops: Vec<_> = r.iter().map(|l| l.to).collect();
+        assert_eq!(hops, vec![0b0001, 0b0011, 0b1011]);
+    }
+
+    #[test]
+    fn hypercube_neighbors() {
+        let t = Topology::Hypercube { dim: 3 };
+        let mut nb = t.neighbors(0b101);
+        nb.sort_unstable();
+        assert_eq!(nb, vec![0b001, 0b100, 0b111]);
+    }
+
+    #[test]
+    fn torus_for_factors_balanced() {
+        match Topology::torus_for(128) {
+            Topology::Torus3D { dx, dy, dz } => {
+                assert_eq!(dx * dy * dz, 128);
+                assert!(dx >= dy && dy >= dz);
+                assert!(dx <= 8, "expected near-cubic factorization, got {dx}x{dy}x{dz}");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn torus_for_prime() {
+        match Topology::torus_for(13) {
+            Topology::Torus3D { dx, dy, dz } => {
+                assert_eq!((dx, dy, dz), (13, 1, 1));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mesh_neighbors_corner_and_center() {
+        let t = Topology::Mesh2D { rows: 3, cols: 3 };
+        let mut corner = t.neighbors(0);
+        corner.sort_unstable();
+        assert_eq!(corner, vec![1, 3]);
+        let mut center = t.neighbors(4);
+        center.sort_unstable();
+        assert_eq!(center, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn diameter_matches_max_route() {
+        for t in [
+            Topology::Linear { n: 9 },
+            Topology::Mesh2D { rows: 4, cols: 6 },
+            Topology::Torus3D { dx: 4, dy: 3, dz: 2 },
+            Topology::Hypercube { dim: 4 },
+        ] {
+            let n = t.num_nodes();
+            let max = (0..n)
+                .flat_map(|u| (0..n).map(move |v| (u, v)))
+                .map(|(u, v)| t.distance(u, v))
+                .max()
+                .unwrap();
+            assert_eq!(t.diameter(), max, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn bisection_widths() {
+        assert_eq!(Topology::Linear { n: 8 }.bisection_width(), 2);
+        assert_eq!(Topology::Mesh2D { rows: 4, cols: 4 }.bisection_width(), 8);
+        assert_eq!(Topology::Hypercube { dim: 6 }.bisection_width(), 64);
+        // 4x4x2 torus: longest dim 4, cross-section 8, wrap doubles: 32.
+        assert_eq!(Topology::Torus3D { dx: 4, dy: 4, dz: 2 }.bisection_width(), 32);
+        assert_eq!(Topology::Linear { n: 1 }.bisection_width(), 0);
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let t = Topology::Torus3D { dx: 4, dy: 4, dz: 4 };
+        assert_eq!(t.route(3, 49), t.route(3, 49));
+    }
+}

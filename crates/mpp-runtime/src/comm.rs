@@ -1,0 +1,76 @@
+//! The backend-agnostic communicator interface.
+
+use crate::stats::CommStats;
+use crate::Tag;
+
+/// A received message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Tag it was sent with.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// Point-to-point message passing as seen by one rank of an algorithm.
+///
+/// All `stp-core` algorithms and `collectives` operations are written
+/// against this trait, so the same code runs timed on the simulator and
+/// untimed on real threads. Implementations must provide:
+///
+/// * reliable, per-(src → dst, tag) FIFO-by-arrival delivery,
+/// * blocking `recv` with optional source/tag filters,
+/// * a barrier across all ranks,
+/// * a way to charge local message-combining cost
+///   ([`charge_memcpy`](Communicator::charge_memcpy)),
+/// * per-iteration statistics bucketing
+///   ([`next_iteration`](Communicator::next_iteration)).
+pub trait Communicator {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of participating ranks.
+    fn size(&self) -> usize;
+
+    /// Asynchronous send of `data` to `dst` with `tag`.
+    fn send(&mut self, dst: usize, tag: Tag, data: &[u8]);
+
+    /// Blocking receive; `None` filters match anything. Among matching
+    /// messages the earliest-arriving is returned.
+    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message;
+
+    /// Block until every rank has entered the barrier.
+    fn barrier(&mut self);
+
+    /// Charge the local memory-copy cost of combining `bytes` bytes.
+    /// (A no-op cost-wise on the threads backend, but still recorded.)
+    fn charge_memcpy(&mut self, bytes: usize);
+
+    /// Close the current statistics iteration and start the next. The
+    /// merge-based algorithms call this once per communication round so
+    /// the paper's per-iteration parameters (congestion, active
+    /// processors) can be measured.
+    fn next_iteration(&mut self);
+
+    /// Statistics recorded so far for this rank.
+    fn stats(&self) -> &CommStats;
+}
+
+/// Convenience: receive from a specific source with a specific tag.
+pub fn recv_from(comm: &mut dyn Communicator, src: usize, tag: Tag) -> Message {
+    comm.recv(Some(src), Some(tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_equality() {
+        let a = Message { src: 1, tag: 2, data: vec![3] };
+        let b = Message { src: 1, tag: 2, data: vec![3] };
+        assert_eq!(a, b);
+    }
+}

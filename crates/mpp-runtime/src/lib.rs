@@ -1,0 +1,30 @@
+//! The message-passing runtime the broadcasting algorithms are written
+//! against.
+//!
+//! Algorithms in `stp-core` and `collectives` are expressed over the
+//! [`Communicator`] trait and can execute on two interchangeable backends:
+//!
+//! * [`SimComm`] — runs on the deterministic `mpp-sim` discrete-event
+//!   kernel and yields *virtual* times on a modelled Paragon or T3D. This
+//!   is the backend every figure of the paper is regenerated on.
+//! * [`ThreadComm`] — runs each rank as a real OS thread with crossbeam
+//!   channels. No timing model; used to validate that the algorithms are
+//!   honest message-passing programs (no hidden shared state) and for the
+//!   failure-injection tests.
+//!
+//! Both backends record per-rank, per-iteration [`CommStats`], from which
+//! `stp-core::metrics` computes the five parameters of the paper's
+//! Figure 2 (congestion, wait, #send/rec, av_msg_lgth, av_act_proc).
+
+pub mod comm;
+pub mod sim_backend;
+pub mod stats;
+pub mod thread_backend;
+
+pub use comm::{Communicator, Message};
+pub use sim_backend::{run_simulated, run_simulated_traced, RunOutput, SimComm};
+pub use stats::{CommStats, IterStats};
+pub use thread_backend::{run_threads, run_threads_faulty, ThreadComm, ThreadFault, ThreadRunOutput};
+
+/// Message tag (re-exported from the simulator for convenience).
+pub type Tag = mpp_sim::Tag;

@@ -1,0 +1,216 @@
+//! Timed backend: `Communicator` over the `mpp-sim` kernel.
+
+use mpp_model::{LibraryKind, Machine, Time};
+use mpp_sim::{simulate_with, MsgTrace, RankCtx, SimConfig};
+
+use crate::comm::{Communicator, Message};
+use crate::stats::CommStats;
+use crate::Tag;
+
+/// A [`Communicator`] executing on the deterministic discrete-event
+/// simulator. Created for each rank by [`run_simulated`].
+pub struct SimComm<'a, 'b> {
+    ctx: &'a mut RankCtx,
+    stats: CommStats,
+    _marker: std::marker::PhantomData<&'b ()>,
+}
+
+impl<'a, 'b> SimComm<'a, 'b> {
+    fn new(ctx: &'a mut RankCtx) -> Self {
+        SimComm { ctx, stats: CommStats::new(), _marker: std::marker::PhantomData }
+    }
+
+    /// Current virtual clock of this rank (ns).
+    pub fn clock(&self) -> Time {
+        self.ctx.clock()
+    }
+
+    /// Charge raw computation time (ns) — rarely needed by algorithms,
+    /// exposed for workload modelling in examples.
+    pub fn compute_ns(&mut self, ns: Time) {
+        self.ctx.compute_ns(ns);
+    }
+}
+
+impl Communicator for SimComm<'_, '_> {
+    fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.ctx.size()
+    }
+
+    fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
+        self.stats.record_send(data.len());
+        self.ctx.send(dst, tag, data);
+    }
+
+    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message {
+        let env = self.ctx.recv(src, tag);
+        self.stats.record_recv(env.data.len(), env.waited_ns);
+        Message { src: env.src, tag: env.tag, data: env.data }
+    }
+
+    fn barrier(&mut self) {
+        self.ctx.barrier();
+    }
+
+    fn charge_memcpy(&mut self, bytes: usize) {
+        self.stats.record_memcpy(bytes);
+        self.ctx.charge_memcpy(bytes);
+    }
+
+    fn next_iteration(&mut self) {
+        self.stats.next_iteration();
+    }
+
+    fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+}
+
+/// Everything a timed run produces.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Per-rank return values.
+    pub results: Vec<R>,
+    /// Per-rank statistics.
+    pub stats: Vec<CommStats>,
+    /// Per-rank virtual finish times (ns).
+    pub finish_ns: Vec<Time>,
+    /// Maximum finish time — the time the paper reports (ns).
+    pub makespan_ns: Time,
+    /// Link/port contention stalls observed in the network.
+    pub contention_events: u64,
+    /// Total stall time (ns).
+    pub contention_ns: Time,
+    /// Per-message trace (empty unless requested via
+    /// [`run_simulated_traced`]).
+    pub trace: Vec<MsgTrace>,
+}
+
+impl<R> RunOutput<R> {
+    /// Makespan in milliseconds (the unit of the paper's plots).
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ns as f64 / 1e6
+    }
+}
+
+/// Run `program` on every rank of `machine` under `lib`, timed.
+pub fn run_simulated<R, F>(machine: &Machine, lib: LibraryKind, program: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut SimComm) -> R + Sync,
+{
+    let config = SimConfig { lib, ..SimConfig::default() };
+    run_simulated_with(machine, &config, program)
+}
+
+/// Like [`run_simulated`], with per-message tracing enabled.
+pub fn run_simulated_traced<R, F>(machine: &Machine, lib: LibraryKind, program: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut SimComm) -> R + Sync,
+{
+    let config = SimConfig { lib, trace: true, ..SimConfig::default() };
+    run_simulated_with(machine, &config, program)
+}
+
+fn run_simulated_with<R, F>(machine: &Machine, config: &SimConfig, program: F) -> RunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut SimComm) -> R + Sync,
+{
+    let out = simulate_with(machine, config, |ctx| {
+        let mut comm = SimComm::new(ctx);
+        let r = program(&mut comm);
+        (r, comm.stats)
+    });
+    let (results, stats): (Vec<R>, Vec<CommStats>) = out.results.into_iter().unzip();
+    RunOutput {
+        results,
+        stats,
+        finish_ns: out.finish_ns,
+        makespan_ns: out.makespan_ns,
+        contention_events: out.contention_events,
+        contention_ns: out.contention_ns,
+        trace: out.trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_flow_back_per_rank() {
+        let m = Machine::paragon(1, 4);
+        let out = run_simulated(&m, LibraryKind::Nx, |comm| {
+            if comm.rank() == 0 {
+                for dst in 1..comm.size() {
+                    comm.send(dst, 0, &[0u8; 512]);
+                }
+            } else {
+                comm.recv(Some(0), Some(0));
+            }
+            comm.rank()
+        });
+        assert_eq!(out.results, vec![0, 1, 2, 3]);
+        assert_eq!(out.stats[0].total_sends(), 3);
+        assert_eq!(out.stats[0].total_recvs(), 0);
+        for r in 1..4 {
+            assert_eq!(out.stats[r].total_recvs(), 1);
+            assert_eq!(out.stats[r].iters[0].bytes_recv, 512);
+        }
+        assert!(out.makespan_ns > 0);
+    }
+
+    #[test]
+    fn iteration_buckets_propagate() {
+        let m = Machine::paragon(1, 2);
+        let out = run_simulated(&m, LibraryKind::Nx, |comm| {
+            let peer = 1 - comm.rank();
+            comm.send(peer, 0, b"x");
+            comm.recv(Some(peer), Some(0));
+            comm.next_iteration();
+            comm.send(peer, 1, b"yy");
+            comm.recv(Some(peer), Some(1));
+        });
+        for st in &out.stats {
+            assert_eq!(st.iters.len(), 2);
+            assert_eq!(st.iters[0].ops(), 2);
+            assert_eq!(st.iters[1].ops(), 2);
+        }
+    }
+
+    #[test]
+    fn memcpy_charges_show_in_stats_and_time() {
+        let m = Machine::paragon(1, 2);
+        let out = run_simulated(&m, LibraryKind::Nx, |comm| {
+            if comm.rank() == 0 {
+                comm.charge_memcpy(1 << 20);
+            }
+        });
+        assert_eq!(out.stats[0].memcpy_bytes, 1 << 20);
+        assert_eq!(out.finish_ns[0], m.params.memcpy_ns(1 << 20));
+    }
+
+    #[test]
+    fn deterministic_run_output() {
+        let m = Machine::t3d(16, 5);
+        let run = || {
+            run_simulated(&m, LibraryKind::Mpi, |comm| {
+                let p = comm.size();
+                let next = (comm.rank() + 1) % p;
+                comm.send(next, 0, &[7u8; 64]);
+                let prev = (comm.rank() + p - 1) % p;
+                comm.recv(Some(prev), Some(0)).data.len()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.finish_ns, b.finish_ns);
+    }
+}

@@ -1,0 +1,295 @@
+//! Untimed backend: one real OS thread per rank, crossbeam channels.
+//!
+//! This backend exists to prove the algorithms are honest message-passing
+//! programs: every run executes with genuine parallelism and OS-scheduled
+//! nondeterminism, so any reliance on lock-step ordering, shared state, or
+//! simulator quirks shows up as a wrong result or a hang. A fault-injection
+//! mode adds random per-message delivery delays to shake out ordering
+//! assumptions further.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::comm::{Communicator, Message};
+use crate::stats::CommStats;
+use crate::Tag;
+
+/// Fault-injection policy for [`run_threads_faulty`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadFault {
+    /// Deliver promptly.
+    None,
+    /// Delay each message delivery by a pseudo-random duration up to
+    /// `max_us` microseconds (seeded; the schedule still varies with OS
+    /// scheduling — the point is to exercise *different* interleavings).
+    RandomDelay {
+        /// Maximum injected delay per message, microseconds.
+        max_us: u64,
+        /// Seed for the per-message delay sequence.
+        seed: u64,
+    },
+}
+
+struct Wire {
+    src: usize,
+    tag: Tag,
+    data: Vec<u8>,
+}
+
+/// A [`Communicator`] backed by real threads and channels.
+pub struct ThreadComm<'a> {
+    rank: usize,
+    size: usize,
+    txs: &'a [Sender<Wire>],
+    rx: &'a Receiver<Wire>,
+    barrier: &'a Barrier,
+    pending: Vec<Wire>,
+    stats: CommStats,
+    fault: ThreadFault,
+    fault_state: u64,
+}
+
+impl ThreadComm<'_> {
+    fn matches(w: &Wire, src: Option<usize>, tag: Option<Tag>) -> bool {
+        src.is_none_or(|s| s == w.src) && tag.is_none_or(|t| t == w.tag)
+    }
+
+    fn maybe_delay(&mut self) {
+        if let ThreadFault::RandomDelay { max_us, .. } = self.fault {
+            // SplitMix64 step for a deterministic-ish delay sequence.
+            self.fault_state = self.fault_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.fault_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 27;
+            let us = z % (max_us + 1);
+            if us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(us));
+            }
+        }
+    }
+}
+
+impl Communicator for ThreadComm<'_> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
+        self.stats.record_send(data.len());
+        self.maybe_delay();
+        self.txs[dst]
+            .send(Wire { src: self.rank, tag, data: data.to_vec() })
+            .expect("receiver rank terminated early");
+    }
+
+    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message {
+        // First look at already-buffered messages (FIFO among matches).
+        if let Some(pos) = self.pending.iter().position(|w| Self::matches(w, src, tag)) {
+            let w = self.pending.remove(pos);
+            self.stats.record_recv(w.data.len(), 0);
+            return Message { src: w.src, tag: w.tag, data: w.data };
+        }
+        // Block on the channel, buffering non-matching arrivals.
+        let t0 = Instant::now();
+        loop {
+            let w = self.rx.recv().expect("all senders terminated while rank still receiving");
+            if Self::matches(&w, src, tag) {
+                let waited = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                self.stats.record_recv(w.data.len(), waited);
+                return Message { src: w.src, tag: w.tag, data: w.data };
+            }
+            self.pending.push(w);
+        }
+    }
+
+    fn barrier(&mut self) {
+        self.barrier.wait();
+    }
+
+    fn charge_memcpy(&mut self, bytes: usize) {
+        self.stats.record_memcpy(bytes);
+    }
+
+    fn next_iteration(&mut self) {
+        self.stats.next_iteration();
+    }
+
+    fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+}
+
+/// Output of a threads-backend run.
+#[derive(Debug)]
+pub struct ThreadRunOutput<R> {
+    /// Per-rank return values.
+    pub results: Vec<R>,
+    /// Per-rank statistics.
+    pub stats: Vec<CommStats>,
+    /// Wall-clock duration of the parallel section.
+    pub wall: std::time::Duration,
+}
+
+/// Run `program` on `p` real threads.
+///
+/// ```
+/// use mpp_runtime::{run_threads, Communicator};
+/// let out = run_threads(4, |comm| {
+///     let next = (comm.rank() + 1) % comm.size();
+///     comm.send(next, 0, &[comm.rank() as u8]);
+///     let prev = (comm.rank() + comm.size() - 1) % comm.size();
+///     comm.recv(Some(prev), Some(0)).data[0] as usize
+/// });
+/// assert_eq!(out.results, vec![3, 0, 1, 2]);
+/// ```
+pub fn run_threads<R, F>(p: usize, program: F) -> ThreadRunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
+    run_threads_faulty(p, ThreadFault::None, program)
+}
+
+/// Run `program` on `p` real threads with fault injection.
+pub fn run_threads_faulty<R, F>(p: usize, fault: ThreadFault, program: F) -> ThreadRunOutput<R>
+where
+    R: Send,
+    F: Fn(&mut ThreadComm) -> R + Sync,
+{
+    assert!(p > 0);
+    let mut txs = Vec::with_capacity(p);
+    let mut rxs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Wire>();
+        txs.push(tx);
+        rxs.push(Some(rx));
+    }
+    let barrier = Barrier::new(p);
+    let txs = &txs;
+    let barrier = &barrier;
+    let program = &program;
+
+    let t0 = Instant::now();
+    let mut out: Vec<Option<(R, CommStats)>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx_slot) in rxs.iter_mut().enumerate() {
+            let rx = rx_slot.take().unwrap();
+            let seed_rank = rank as u64;
+            handles.push(scope.spawn(move || {
+                let mut comm = ThreadComm {
+                    rank,
+                    size: p,
+                    txs,
+                    rx: &rx,
+                    barrier,
+                    pending: Vec::new(),
+                    stats: CommStats::new(),
+                    fault,
+                    fault_state: match fault {
+                        ThreadFault::RandomDelay { seed, .. } => seed ^ (seed_rank << 32),
+                        ThreadFault::None => 0,
+                    },
+                };
+                let r = program(&mut comm);
+                (r, comm.stats)
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            out[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    let wall = t0.elapsed();
+
+    let (results, stats) = out.into_iter().map(|o| o.unwrap()).unzip();
+    ThreadRunOutput { results, stats, wall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_works() {
+        let out = run_threads(8, |comm| {
+            let p = comm.size();
+            comm.send((comm.rank() + 1) % p, 0, &[comm.rank() as u8]);
+            comm.recv(Some((comm.rank() + p - 1) % p), Some(0)).data[0]
+        });
+        for (rank, &got) in out.results.iter().enumerate() {
+            assert_eq!(got as usize, (rank + 8 - 1) % 8);
+        }
+    }
+
+    #[test]
+    fn tag_filter_buffers_out_of_order() {
+        let out = run_threads(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, b"one");
+                comm.send(1, 2, b"two");
+                Vec::new()
+            } else {
+                // Ask for tag 2 first; tag 1 must be buffered, not lost.
+                let a = comm.recv(Some(0), Some(2));
+                let b = comm.recv(Some(0), Some(1));
+                vec![a.data, b.data]
+            }
+        });
+        assert_eq!(out.results[1], vec![b"two".to_vec(), b"one".to_vec()]);
+    }
+
+    #[test]
+    fn barrier_divides_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        let out = run_threads(4, |comm| {
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            before.load(Ordering::SeqCst)
+        });
+        // After the barrier every rank must observe all 4 increments.
+        assert!(out.results.iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    fn random_delay_fault_still_correct() {
+        let fault = ThreadFault::RandomDelay { max_us: 200, seed: 42 };
+        let out = run_threads_faulty(6, fault, |comm| {
+            let p = comm.size();
+            // all-to-all of tiny messages
+            for d in 0..p {
+                if d != comm.rank() {
+                    comm.send(d, 9, &[comm.rank() as u8]);
+                }
+            }
+            let mut seen = vec![false; p];
+            for _ in 0..p - 1 {
+                let m = comm.recv(None, Some(9));
+                seen[m.src] = true;
+            }
+            seen.iter().filter(|&&b| b).count()
+        });
+        assert!(out.results.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn stats_recorded_on_threads() {
+        let out = run_threads(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[0; 64]);
+            } else {
+                comm.recv(None, None);
+                comm.charge_memcpy(64);
+            }
+        });
+        assert_eq!(out.stats[0].total_sends(), 1);
+        assert_eq!(out.stats[1].total_recvs(), 1);
+        assert_eq!(out.stats[1].memcpy_bytes, 64);
+    }
+}

@@ -1,0 +1,747 @@
+//! The sequentialized direct-execution kernel.
+//!
+//! One OS thread per rank runs the user program; every communication call
+//! traps into this kernel, which advances virtual time deterministically
+//! (see crate docs for the scheduling rule and timing model).
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+use mpp_model::{LibraryKind, Machine, Time};
+
+use crate::network::NetworkState;
+use crate::trace::MsgTrace;
+use crate::Tag;
+
+/// Kernel configuration knobs.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Library flavour scaling the α costs (NX vs MPI on the Paragon).
+    pub lib: LibraryKind,
+    /// Stack size for rank threads. Algorithms here recurse at most
+    /// `O(log p)` deep, so the default 256 KiB is plenty even at p=1024.
+    pub stack_size: usize,
+    /// Record a [`MsgTrace`] for every message (see
+    /// [`SimOutcome::trace`]).
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { lib: LibraryKind::Nx, stack_size: 256 * 1024, trace: false }
+    }
+}
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload.
+    pub data: Vec<u8>,
+    /// Virtual time the message reached the receiver's node.
+    pub arrival: Time,
+    /// How long the receiver sat blocked waiting for it (0 if it was
+    /// already in the mailbox).
+    pub waited_ns: Time,
+}
+
+/// Diagnostic snapshot produced when the simulation deadlocks
+/// (every live rank blocked in `recv` with no matching message).
+#[derive(Debug, Clone)]
+pub struct DeadlockInfo {
+    /// Per-rank one-line state descriptions.
+    pub states: Vec<String>,
+}
+
+// ---------------------------------------------------------------------
+// Trap / grant protocol between rank threads and the kernel.
+// ---------------------------------------------------------------------
+
+enum Trap {
+    Send { dst: usize, tag: Tag, data: Vec<u8> },
+    Recv { src: Option<usize>, tag: Option<Tag> },
+    ComputeNs { ns: Time },
+    Memcpy { bytes: usize },
+    Barrier,
+    Finished,
+}
+
+enum Grant {
+    Sent { clock: Time },
+    Received { env: Envelope, clock: Time },
+    Done { clock: Time },
+}
+
+struct MsgRec {
+    arrival: Time,
+    seq: u64,
+    src: usize,
+    tag: Tag,
+    data: Vec<u8>,
+}
+
+/// The per-rank handle user programs communicate through.
+///
+/// Obtained only inside [`simulate`]; every method traps into the kernel
+/// and advances this rank's virtual clock.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    clock: Time,
+    to_kernel: Sender<Trap>,
+    from_kernel: Receiver<Grant>,
+}
+
+impl RankCtx {
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the simulation.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// This rank's virtual clock as of its last kernel interaction (ns).
+    #[inline]
+    pub fn clock(&self) -> Time {
+        self.clock
+    }
+
+    fn call(&mut self, trap: Trap) -> Grant {
+        self.to_kernel.send(trap).expect("simulation kernel terminated");
+        let grant = self
+            .from_kernel
+            .recv()
+            .expect("simulation kernel terminated (deadlock or rank panic elsewhere)");
+        self.clock = match &grant {
+            Grant::Sent { clock } | Grant::Done { clock } | Grant::Received { clock, .. } => *clock,
+        };
+        grant
+    }
+
+    /// Asynchronous send: returns after the software startup cost; the
+    /// transfer itself proceeds in the network model.
+    pub fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
+        assert!(dst < self.size, "send to rank {dst} out of range");
+        match self.call(Trap::Send { dst, tag, data: data.to_vec() }) {
+            Grant::Sent { .. } => {}
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+
+    /// Blocking receive. `src`/`tag` of `None` match anything; among
+    /// matching messages the earliest-arriving is delivered.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Envelope {
+        match self.call(Trap::Recv { src, tag }) {
+            Grant::Received { env, .. } => env,
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+
+    /// Charge local computation time directly (ns).
+    pub fn compute_ns(&mut self, ns: Time) {
+        match self.call(Trap::ComputeNs { ns }) {
+            Grant::Done { .. } => {}
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+
+    /// Charge the machine's memory-copy cost for `bytes` bytes — used by
+    /// algorithms when *combining* messages, which the paper identifies as
+    /// a first-order cost on the T3D.
+    pub fn charge_memcpy(&mut self, bytes: usize) {
+        match self.call(Trap::Memcpy { bytes }) {
+            Grant::Done { .. } => {}
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+
+    /// Global barrier, modelled as a dissemination barrier:
+    /// `⌈log₂ p⌉ · (α_send + α_recv)` after the last rank arrives.
+    pub fn barrier(&mut self) {
+        match self.call(Trap::Barrier) {
+            Grant::Done { .. } => {}
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Debug)]
+pub struct SimOutcome<R> {
+    /// Per-rank return values of the program.
+    pub results: Vec<R>,
+    /// Per-rank virtual finish times (ns).
+    pub finish_ns: Vec<Time>,
+    /// `max(finish_ns)` — the figure-of-merit reported in the paper (ns).
+    pub makespan_ns: Time,
+    /// Number of transfers that stalled on a busy link or port.
+    pub contention_events: u64,
+    /// Total stall time across all transfers (ns).
+    pub contention_ns: Time,
+    /// Per-message records (empty unless [`SimConfig::trace`] is set).
+    pub trace: Vec<MsgTrace>,
+}
+
+impl<R> SimOutcome<R> {
+    /// Makespan in milliseconds (the unit the paper plots).
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ns as f64 / 1e6
+    }
+}
+
+/// Run `program` on every rank of `machine` with default config (NX).
+///
+/// ```
+/// use mpp_model::Machine;
+/// let machine = Machine::paragon(1, 2);
+/// let out = mpp_sim::simulate(&machine, |ctx| {
+///     if ctx.rank() == 0 {
+///         ctx.send(1, 0, b"ping");
+///         0
+///     } else {
+///         ctx.recv(Some(0), Some(0)).data.len()
+///     }
+/// });
+/// assert_eq!(out.results, vec![0, 4]);
+/// assert!(out.makespan_ns > 0);
+/// ```
+pub fn simulate<R, F>(machine: &Machine, program: F) -> SimOutcome<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    simulate_with(machine, &SimConfig::default(), program)
+}
+
+/// Run `program` on every rank of `machine` under the given config.
+///
+/// # Panics
+///
+/// Panics with a [`DeadlockInfo`] dump if every live rank is blocked in
+/// `recv` with no matching message in flight, or if a rank thread panics.
+pub fn simulate_with<R, F>(machine: &Machine, config: &SimConfig, program: F) -> SimOutcome<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    let p = machine.p();
+    assert!(p > 0);
+
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
+    let mut finish_ns = vec![0; p];
+    let (contention_events, contention_ns);
+    let trace;
+
+    {
+        // Channel plumbing: one trap channel and one grant channel per rank.
+        let mut trap_rxs = Vec::with_capacity(p);
+        let mut grant_txs = Vec::with_capacity(p);
+        let mut rank_ends = Vec::with_capacity(p);
+        for rank in 0..p {
+            let (trap_tx, trap_rx) = channel::<Trap>();
+            let (grant_tx, grant_rx) = channel::<Grant>();
+            trap_rxs.push(trap_rx);
+            grant_txs.push(Some(grant_tx));
+            rank_ends.push(Some((rank, trap_tx, grant_rx)));
+        }
+
+        let program = &program;
+        let results = &results;
+        let kernel_out = std::thread::scope(|scope| {
+            for end in rank_ends.iter_mut() {
+                let (rank, trap_tx, grant_rx) = end.take().unwrap();
+                let builder = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(config.stack_size);
+                builder
+                    .spawn_scoped(scope, move || {
+                        let mut ctx = RankCtx {
+                            rank,
+                            size: p,
+                            clock: 0,
+                            to_kernel: trap_tx,
+                            from_kernel: grant_rx,
+                        };
+                        let out = program(&mut ctx);
+                        results.lock().unwrap()[rank] = Some(out);
+                        // Ignore send failure: the kernel may already have
+                        // aborted on another rank's panic.
+                        let _ = ctx.to_kernel.send(Trap::Finished);
+                    })
+                    .expect("failed to spawn rank thread");
+            }
+
+            run_kernel(machine, config, &trap_rxs, &mut grant_txs, &mut finish_ns)
+        });
+        contention_events = kernel_out.0;
+        contention_ns = kernel_out.1;
+        trace = kernel_out.2;
+    }
+
+    let results: Vec<R> = results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| r.unwrap_or_else(|| panic!("rank {rank} produced no result")))
+        .collect();
+    let makespan_ns = finish_ns.iter().copied().max().unwrap_or(0);
+    SimOutcome { results, finish_ns, makespan_ns, contention_events, contention_ns, trace }
+}
+
+struct RankState {
+    clock: Time,
+    pending: Option<Trap>,
+    done: bool,
+    in_barrier: bool,
+    blocked_recv: bool,
+}
+
+/// The kernel proper. Runs on the calling thread while rank threads wait.
+/// Returns `(contention_events, contention_ns, trace)`.
+fn run_kernel(
+    machine: &Machine,
+    config: &SimConfig,
+    trap_rxs: &[Receiver<Trap>],
+    grant_txs: &mut [Option<Sender<Grant>>],
+    finish_ns: &mut [Time],
+) -> (u64, Time, Vec<MsgTrace>) {
+    let p = machine.p();
+    let params = &machine.params;
+    let lib = config.lib;
+    let alpha_send = params.alpha_send(lib);
+    let alpha_recv = params.alpha_recv(lib);
+
+    let mut net = NetworkState::new(machine);
+    let mut mailboxes: Vec<VecDeque<MsgRec>> = (0..p).map(|_| VecDeque::new()).collect();
+    let mut states: Vec<RankState> = (0..p)
+        .map(|_| RankState { clock: 0, pending: None, done: false, in_barrier: false, blocked_recv: false })
+        .collect();
+    let mut seq: u64 = 0;
+    let mut live = p;
+    let mut trace: Vec<MsgTrace> = Vec::new();
+
+    // Collect the initial trap from every rank (threads run concurrently
+    // up to their first communication call — zero virtual time).
+    for rank in 0..p {
+        states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+    }
+
+    while live > 0 {
+        // Classify pending barrier traps.
+        for st in states.iter_mut() {
+            if !st.done && matches!(st.pending, Some(Trap::Barrier)) {
+                st.in_barrier = true;
+            }
+        }
+
+        // Barrier release: every live rank has arrived.
+        let in_barrier = states.iter().filter(|s| !s.done && s.in_barrier).count();
+        if in_barrier == live && live > 0 {
+            let t_max = states.iter().filter(|s| !s.done).map(|s| s.clock).max().unwrap();
+            let rounds = usize::BITS - (live.max(2) - 1).leading_zeros();
+            let t_rel = t_max + rounds as Time * (alpha_send + alpha_recv);
+            for (rank, st) in states.iter_mut().enumerate() {
+                if st.done {
+                    continue;
+                }
+                st.clock = t_rel;
+                st.in_barrier = false;
+                st.pending = None;
+                send_grant(grant_txs, rank, Grant::Done { clock: t_rel });
+            }
+            for rank in 0..p {
+                if !states[rank].done {
+                    states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+                }
+            }
+            continue;
+        }
+
+        // Pick the processable rank with the smallest effective time.
+        let mut best: Option<(Time, usize)> = None;
+        for rank in 0..p {
+            let st = &states[rank];
+            if st.done || st.in_barrier {
+                continue;
+            }
+            let eff = match st.pending.as_ref().expect("live rank without pending trap") {
+                Trap::Recv { src, tag } => match min_match(&mailboxes[rank], *src, *tag) {
+                    Some((_, arrival)) => st.clock.max(arrival),
+                    None => continue, // blocked
+                },
+                _ => st.clock,
+            };
+            if best.is_none_or(|(bt, br)| (eff, rank) < (bt, br)) {
+                best = Some((eff, rank));
+            }
+        }
+
+        let Some((_, rank)) = best else {
+            abort_deadlock(machine, &states, &mailboxes, grant_txs);
+        };
+
+        let trap = states[rank].pending.take().unwrap();
+        match trap {
+            Trap::Send { dst, tag, data } => {
+                let ready = states[rank].clock + alpha_send;
+                let bytes = data.len();
+                let wire_ns = params.serialize_ns_lib(bytes, lib);
+                let arrival = net.transfer(machine, rank, dst, bytes, wire_ns, ready);
+                if config.trace {
+                    trace.push(MsgTrace {
+                        src: rank,
+                        dst,
+                        tag,
+                        bytes,
+                        send_ns: ready,
+                        arrival_ns: arrival,
+                        stalled_ns: net.last_stall_ns,
+                    });
+                }
+                seq += 1;
+                mailboxes[dst].push_back(MsgRec { arrival, seq, src: rank, tag, data });
+                states[rank].clock = ready;
+                send_grant(grant_txs, rank, Grant::Sent { clock: ready });
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+            }
+            Trap::Recv { src, tag } => {
+                let (idx, arrival) =
+                    min_match(&mailboxes[rank], src, tag).expect("selected recv without match");
+                let rec = mailboxes[rank].remove(idx).unwrap();
+                let waited_ns = arrival.saturating_sub(states[rank].clock);
+                let clock = states[rank].clock.max(arrival) + alpha_recv;
+                states[rank].clock = clock;
+                states[rank].blocked_recv = false;
+                let env = Envelope { src: rec.src, tag: rec.tag, data: rec.data, arrival, waited_ns };
+                send_grant(grant_txs, rank, Grant::Received { env, clock });
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+            }
+            Trap::ComputeNs { ns } => {
+                states[rank].clock += ns;
+                let clock = states[rank].clock;
+                send_grant(grant_txs, rank, Grant::Done { clock });
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+            }
+            Trap::Memcpy { bytes } => {
+                states[rank].clock += params.memcpy_ns(bytes);
+                let clock = states[rank].clock;
+                send_grant(grant_txs, rank, Grant::Done { clock });
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+            }
+            Trap::Barrier => unreachable!("barrier traps handled above"),
+            Trap::Finished => {
+                states[rank].done = true;
+                finish_ns[rank] = states[rank].clock;
+                grant_txs[rank] = None;
+                live -= 1;
+            }
+        }
+    }
+
+    (net.contention_events, net.contention_ns, trace)
+}
+
+fn min_match(mailbox: &VecDeque<MsgRec>, src: Option<usize>, tag: Option<Tag>) -> Option<(usize, Time)> {
+    let mut best: Option<(usize, Time, u64)> = None;
+    for (i, m) in mailbox.iter().enumerate() {
+        if src.is_some_and(|s| s != m.src) || tag.is_some_and(|t| t != m.tag) {
+            continue;
+        }
+        if best.is_none_or(|(_, a, sq)| (m.arrival, m.seq) < (a, sq)) {
+            best = Some((i, m.arrival, m.seq));
+        }
+    }
+    best.map(|(i, a, _)| (i, a))
+}
+
+fn recv_trap(
+    trap_rxs: &[Receiver<Trap>],
+    grant_txs: &mut [Option<Sender<Grant>>],
+    states: &[RankState],
+    rank: usize,
+) -> Trap {
+    match trap_rxs[rank].recv() {
+        Ok(t) => t,
+        Err(_) => {
+            // The rank thread died without sending Finished — it panicked.
+            // Release everyone so thread::scope can join, then propagate.
+            for tx in grant_txs.iter_mut() {
+                *tx = None;
+            }
+            let _ = states;
+            panic!("rank {rank} terminated abnormally (panicked inside the simulated program)");
+        }
+    }
+}
+
+fn send_grant(grant_txs: &[Option<Sender<Grant>>], rank: usize, grant: Grant) {
+    grant_txs[rank]
+        .as_ref()
+        .expect("grant channel already closed")
+        .send(grant)
+        .expect("rank thread disappeared");
+}
+
+fn abort_deadlock(
+    machine: &Machine,
+    states: &[RankState],
+    mailboxes: &[VecDeque<MsgRec>],
+    grant_txs: &mut [Option<Sender<Grant>>],
+) -> ! {
+    let mut info = DeadlockInfo { states: Vec::new() };
+    for (rank, st) in states.iter().enumerate() {
+        let what = if st.done {
+            "done".to_string()
+        } else {
+            match st.pending.as_ref() {
+                Some(Trap::Recv { src, tag }) => format!(
+                    "blocked recv(src={src:?}, tag={tag:?}), mailbox has {} msgs",
+                    mailboxes[rank].len()
+                ),
+                Some(Trap::Barrier) => "waiting in barrier".to_string(),
+                _ => "runnable?".to_string(),
+            }
+        };
+        info.states.push(format!("rank {rank} @ {}ns: {what}", st.clock));
+    }
+    // Unblock rank threads so scope join can complete before unwinding.
+    for tx in grant_txs.iter_mut() {
+        *tx = None;
+    }
+    panic!("simulation deadlock on {}: {:#?}", machine.name, info);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_model::Machine;
+
+    fn ring_machine() -> Machine {
+        Machine::paragon(2, 4)
+    }
+
+    #[test]
+    fn two_rank_ping() {
+        let m = Machine::paragon(1, 2);
+        let out = simulate(&m, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, b"hello");
+                0u64
+            } else {
+                let env = ctx.recv(Some(0), Some(7));
+                assert_eq!(env.data, b"hello");
+                env.arrival
+            }
+        });
+        assert!(out.makespan_ns > 0);
+        // Receiver finishes after arrival + alpha_recv.
+        assert!(out.finish_ns[1] > out.results[1]);
+        // Sender pays only startup.
+        assert_eq!(out.finish_ns[0], m.params.alpha_send(mpp_model::LibraryKind::Nx));
+    }
+
+    #[test]
+    fn messages_delivered_in_arrival_order() {
+        // Rank 2 is adjacent to rank 1; rank 3 is farther. Rank 1 receives
+        // twice with wildcard and must get the earlier arrival first even
+        // though the farther message was sent first (same clocks).
+        let m = Machine::paragon(1, 8);
+        let out = simulate(&m, |ctx| match ctx.rank() {
+            7 => {
+                ctx.send(0, 1, b"far");
+                Vec::new()
+            }
+            1 => {
+                ctx.send(0, 1, b"near");
+                Vec::new()
+            }
+            0 => {
+                let a = ctx.recv(None, Some(1));
+                let b = ctx.recv(None, Some(1));
+                vec![a.src, b.src]
+            }
+            _ => Vec::new(),
+        });
+        assert_eq!(out.results[0], vec![1, 7]);
+    }
+
+    #[test]
+    fn recv_wait_time_reported() {
+        let m = Machine::paragon(1, 2);
+        let out = simulate(&m, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute_ns(1_000_000); // sender is slow
+                ctx.send(1, 0, &[1; 128]);
+                0
+            } else {
+                let env = ctx.recv(Some(0), Some(0));
+                env.waited_ns
+            }
+        });
+        assert!(out.results[1] >= 1_000_000, "receiver should have waited ≥1ms");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = ring_machine();
+        let run = || {
+            simulate(&m, |ctx| {
+                let p = ctx.size();
+                let next = (ctx.rank() + 1) % p;
+                let prev = (ctx.rank() + p - 1) % p;
+                ctx.send(next, 3, &vec![ctx.rank() as u8; 256]);
+                let env = ctx.recv(Some(prev), Some(3));
+                ctx.charge_memcpy(env.data.len());
+                ctx.clock()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.finish_ns, b.finish_ns);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.contention_ns, b.contention_ns);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let m = ring_machine();
+        let out = simulate(&m, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute_ns(5_000_000);
+            }
+            ctx.barrier();
+            ctx.clock()
+        });
+        let clocks: Vec<_> = out.results;
+        assert!(clocks.iter().all(|&c| c == clocks[0]));
+        assert!(clocks[0] >= 5_000_000);
+    }
+
+    #[test]
+    fn compute_and_memcpy_advance_clock() {
+        let m = Machine::paragon(1, 2);
+        let out = simulate(&m, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute_ns(123);
+                ctx.charge_memcpy(1024);
+            }
+            ctx.clock()
+        });
+        let expect = 123 + m.params.memcpy_ns(1024);
+        assert_eq!(out.results[0], expect);
+        assert_eq!(out.results[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let m = Machine::paragon(1, 2);
+        simulate(&m, |ctx| {
+            // Both ranks receive, nobody sends.
+            let _ = ctx.recv(None, None);
+        });
+    }
+
+    #[test]
+    fn mpi_config_slower_than_nx() {
+        let m = Machine::paragon(1, 4);
+        let prog = |ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                for dst in 1..4 {
+                    ctx.send(dst, 0, &[0u8; 1024]);
+                }
+            } else {
+                ctx.recv(Some(0), Some(0));
+            }
+        };
+        let nx = simulate_with(&m, &SimConfig { lib: LibraryKind::Nx, ..Default::default() }, prog);
+        let mpi = simulate_with(&m, &SimConfig { lib: LibraryKind::Mpi, ..Default::default() }, prog);
+        assert!(mpi.makespan_ns > nx.makespan_ns);
+        let ratio = mpi.makespan_ns as f64 / nx.makespan_ns as f64;
+        assert!(ratio < 1.10, "MPI overhead should be modest, got {ratio}");
+    }
+
+    #[test]
+    fn tag_filtering_respects_order_within_tag() {
+        let m = Machine::paragon(1, 2);
+        let out = simulate(&m, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 10, b"a");
+                ctx.send(1, 20, b"b");
+                ctx.send(1, 10, b"c");
+                Vec::new()
+            } else {
+                let x = ctx.recv(Some(0), Some(20));
+                let y = ctx.recv(Some(0), Some(10));
+                let z = ctx.recv(Some(0), Some(10));
+                vec![x.data, y.data, z.data]
+            }
+        });
+        assert_eq!(out.results[1], vec![b"b".to_vec(), b"a".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn hot_spot_contention_is_counted() {
+        let m = Machine::paragon(4, 4);
+        let out = simulate(&m, |ctx| {
+            if ctx.rank() == 0 {
+                for _ in 1..16 {
+                    ctx.recv(None, None);
+                }
+            } else {
+                ctx.send(0, 0, &[0u8; 16384]);
+            }
+        });
+        assert!(out.contention_events > 0, "gather to rank 0 must show contention");
+    }
+
+    #[test]
+    fn tracing_records_every_message() {
+        let m = Machine::paragon(2, 2);
+        let config = SimConfig { trace: true, ..Default::default() };
+        let out = simulate_with(&m, &config, |ctx| {
+            if ctx.rank() == 0 {
+                for dst in 1..4 {
+                    ctx.send(dst, 5, &[0u8; 256]);
+                }
+            } else {
+                ctx.recv(Some(0), Some(5));
+            }
+        });
+        assert_eq!(out.trace.len(), 3);
+        for t in &out.trace {
+            assert_eq!(t.src, 0);
+            assert_eq!(t.bytes, 256);
+            assert!(t.arrival_ns > t.send_ns);
+        }
+        // Untraced runs stay empty.
+        let out2 = simulate(&m, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, &[0u8; 8]);
+            } else if ctx.rank() == 1 {
+                ctx.recv(Some(0), Some(5));
+            }
+        });
+        assert!(out2.trace.is_empty());
+    }
+
+    #[test]
+    fn makespan_is_max_finish() {
+        let m = ring_machine();
+        let out = simulate(&m, |ctx| {
+            ctx.compute_ns(100 * (ctx.rank() as u64 + 1));
+        });
+        assert_eq!(out.makespan_ns, 800);
+        assert_eq!(out.finish_ns[7], 800);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic discrete-event simulation of message-passing MPPs.
+//!
+//! # Execution model
+//!
+//! Each virtual processor (*rank*) runs the user's per-rank program on its
+//! own OS thread, but the simulation kernel lets **exactly one rank run at
+//! a time** ("sequentialized direct execution"): a rank runs until its next
+//! communication call, which traps into the kernel; the kernel then picks
+//! the runnable rank with the smallest virtual clock (ties broken by rank
+//! id) and resumes it. Because every scheduling decision is a pure function
+//! of virtual time and rank ids, two simulations of the same program on the
+//! same [`Machine`](mpp_model::Machine) produce bit-identical virtual times
+//! and message orders, regardless of host scheduling.
+//!
+//! # Timing model
+//!
+//! A send of `m` payload bytes from rank `u` to rank `v` (physical route
+//! of `h` hops) costs, in virtual nanoseconds:
+//!
+//! ```text
+//! ready  = clock(u) + α_send                    sender software
+//! start  = max(ready, free slot of u's out-ports, free slot of v's
+//!              in-ports − h·τ, per-link window constraints)
+//! done   = start + h·τ + m·β
+//! arrival at v's mailbox = done
+//! clock(u) = ready                              (asynchronous send)
+//! recv at v: clock(v) = max(clock(v), arrival) + α_recv
+//! ```
+//!
+//! Each node has `ports_per_node` independent injection/ejection slots.
+//! How overlapping transfers contend for links is selected by
+//! [`ContentionModel`](mpp_model::ContentionModel): the default
+//! `Pipelined` wormhole model (staggered per-link windows), `Circuit`
+//! (whole route held until the tail drains), or `Shared` (links as
+//! bandwidth servers at the hardware channel rate). See DESIGN.md §6 and
+//! the `repro-contention` ablation.
+//!
+//! # Entry point
+//!
+//! [`simulate`] runs one per-rank program on every rank of a machine and
+//! returns per-rank results, finish times, and the makespan.
+
+pub mod kernel;
+pub mod network;
+pub mod trace;
+
+pub use kernel::{simulate, simulate_with, DeadlockInfo, Envelope, RankCtx, SimConfig, SimOutcome};
+pub use network::NetworkState;
+pub use trace::{render_timeline, summarize, MsgTrace, TraceSummary};
+
+/// Message tag, used by algorithms to match iteration/phase traffic.
+pub type Tag = u32;

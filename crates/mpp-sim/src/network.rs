@@ -1,0 +1,279 @@
+//! Network resource state: link and port reservations.
+//!
+//! The unit of contention is a directed [`Link`] plus one injection port
+//! and one ejection port per node. A transfer reserves each link of its
+//! dimension-ordered route for a *staggered* window (head arrives at link
+//! `i` at `start + i·τ`, the link drains for the full serialization
+//! time) — a pipelined wormhole model: transfers whose routes overlap
+//! serialize on the shared links only, not on their whole paths.
+
+use std::collections::HashMap;
+
+use mpp_model::{ContentionModel, Link, Machine, Time};
+
+/// Mutable reservation state of the interconnect during a simulation.
+#[derive(Debug)]
+pub struct NetworkState {
+    /// Per-directed-link busy-until time.
+    link_busy: HashMap<Link, Time>,
+    /// Per-node injection-port slots (`ports_per_node` each), busy-until.
+    out_port_busy: Vec<Vec<Time>>,
+    /// Per-node ejection-port slots, busy-until.
+    in_port_busy: Vec<Vec<Time>>,
+    /// Total number of link-contention stalls observed (a transfer found a
+    /// link busy past its software-ready time).
+    pub contention_events: u64,
+    /// Total stall time accumulated across transfers (ns).
+    pub contention_ns: Time,
+    /// Stall of the most recent transfer (ns) — read by the kernel when
+    /// tracing is enabled.
+    pub last_stall_ns: Time,
+}
+
+/// Index of the earliest-free slot (ties → lowest index, deterministic).
+fn best_slot(slots: &[Time]) -> usize {
+    let mut best = 0;
+    for (i, &t) in slots.iter().enumerate().skip(1) {
+        if t < slots[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+impl NetworkState {
+    /// Fresh, idle network for the given machine.
+    pub fn new(machine: &Machine) -> Self {
+        let n = machine.topology.num_nodes();
+        let k = machine.params.ports_per_node.max(1);
+        NetworkState {
+            link_busy: HashMap::new(),
+            out_port_busy: vec![vec![0; k]; n],
+            in_port_busy: vec![vec![0; k]; n],
+            contention_events: 0,
+            contention_ns: 0,
+            last_stall_ns: 0,
+        }
+    }
+
+    /// Reserve the route for one transfer and return its arrival time.
+    ///
+    /// `ready` is the instant the message is software-ready at the sender
+    /// (clock + α_send); `bytes` is the on-wire size; `wire_ns` the
+    /// serialization time for those bytes (already scaled for the
+    /// library flavour by the caller).
+    ///
+    /// Wormhole pipelining: the message head reaches link `i` at
+    /// `start + i·τ` and occupies it for `wire_ns`; each link is
+    /// reserved only for its own window, so transfers whose routes
+    /// overlap serialize on the shared links rather than on the whole
+    /// path.
+    pub fn transfer(
+        &mut self,
+        machine: &Machine,
+        from_rank: usize,
+        to_rank: usize,
+        bytes: usize,
+        wire_ns: Time,
+        ready: Time,
+    ) -> Time {
+        let params = &machine.params;
+        self.last_stall_ns = 0;
+        if from_rank == to_rank {
+            // Local delivery: a memcpy, no network resources.
+            return ready + params.memcpy_ns(bytes);
+        }
+        let u = machine.node_of(from_rank);
+        let v = machine.node_of(to_rank);
+        let route = machine.topology.route(u, v);
+        let tau = params.tau_hop_ns;
+
+        let out_slot = best_slot(&self.out_port_busy[u]);
+        let in_slot = best_slot(&self.in_port_busy[v]);
+        let port_free = ready
+            .max(self.out_port_busy[u][out_slot])
+            .max(self.in_port_busy[v][in_slot].saturating_sub(route.len() as Time * tau));
+
+        let (start, done) = match params.contention {
+            ContentionModel::Shared => {
+                // Each link is a queueing server at the hardware channel
+                // rate: the head queues at congested links, the tail
+                // drains at the (slower) software rate behind it.
+                let link_ns = params.link_ns(bytes);
+                let mut head = port_free;
+                for link in &route {
+                    if let Some(&busy) = self.link_busy.get(link) {
+                        head = head.max(busy);
+                    }
+                    self.link_busy.insert(*link, head + link_ns);
+                    head += tau;
+                }
+                let done = head + wire_ns;
+                (port_free, done)
+            }
+            model => {
+                // The worm occupies each link for the full transfer;
+                // Pipelined staggers the windows by the head latency,
+                // Circuit holds every link until the tail drains.
+                let pipelined = model == ContentionModel::Pipelined;
+                let mut start = port_free;
+                for (i, link) in route.iter().enumerate() {
+                    if let Some(&busy) = self.link_busy.get(link) {
+                        let slack = if pipelined { i as Time * tau } else { 0 };
+                        start = start.max(busy.saturating_sub(slack));
+                    }
+                }
+                let done = start + params.hops_ns(route.len()) + wire_ns;
+                for (i, link) in route.into_iter().enumerate() {
+                    let until =
+                        if pipelined { start + i as Time * tau + wire_ns } else { done };
+                    self.link_busy.insert(link, until);
+                }
+                (start, done)
+            }
+        };
+        // Any delay beyond the resource-free schedule counts as a stall.
+        let unconstrained =
+            ready + params.hops_ns(machine.distance(from_rank, to_rank)) + wire_ns;
+        if done > unconstrained {
+            let stall = done - unconstrained;
+            self.contention_events += 1;
+            self.contention_ns += stall;
+            self.last_stall_ns = stall;
+        }
+        self.out_port_busy[u][out_slot] = start + wire_ns;
+        self.in_port_busy[v][in_slot] = done;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_model::Machine;
+
+    fn m() -> Machine {
+        Machine::paragon(4, 4)
+    }
+
+    #[test]
+    fn uncontended_transfer_cost() {
+        let machine = m();
+        let mut net = NetworkState::new(&machine);
+        let t = net.transfer(&machine, 0, 3, 1024, machine.params.serialize_ns(1024), 1000);
+        let expect = 1000 + machine.params.hops_ns(3) + machine.params.serialize_ns(1024);
+        assert_eq!(t, expect);
+        assert_eq!(net.contention_events, 0);
+    }
+
+    #[test]
+    fn shared_link_serializes() {
+        let machine = m();
+        let mut net = NetworkState::new(&machine);
+        // 0 -> 3 and 1 -> 3 share links (1->2, 2->3).
+        let t1 = net.transfer(&machine, 0, 3, 4096, machine.params.serialize_ns(4096), 0);
+        let t2 = net.transfer(&machine, 1, 3, 4096, machine.params.serialize_ns(4096), 0);
+        assert!(t2 > t1, "second transfer must wait for the shared link");
+        assert_eq!(net.contention_events, 1);
+        assert!(net.contention_ns > 0);
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interact() {
+        let machine = m();
+        let mut net = NetworkState::new(&machine);
+        // 0 -> 1 (top-left) and 14 -> 15 (bottom-right) are disjoint.
+        let t1 = net.transfer(&machine, 0, 1, 4096, machine.params.serialize_ns(4096), 0);
+        let t2 = net.transfer(&machine, 14, 15, 4096, machine.params.serialize_ns(4096), 0);
+        assert_eq!(t1, t2);
+        assert_eq!(net.contention_events, 0);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_collide() {
+        let machine = m();
+        let mut net = NetworkState::new(&machine);
+        let t1 = net.transfer(&machine, 0, 1, 4096, machine.params.serialize_ns(4096), 0);
+        let t2 = net.transfer(&machine, 1, 0, 4096, machine.params.serialize_ns(4096), 0);
+        // Bidirectional exchange: both directions proceed in parallel,
+        // but node ports are also resources; 1's in-port (t1) and 1's
+        // out-port (t2) are distinct, so no serialization here.
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn ejection_port_is_a_hot_spot() {
+        // Many senders to one destination serialize at its in-port even if
+        // their routes are otherwise disjoint — the 2-Step bottleneck.
+        let machine = Machine::paragon(1, 8);
+        let mut net = NetworkState::new(&machine);
+        let mut last = 0;
+        for src in 1..8 {
+            let t = net.transfer(&machine, src, 0, 8192, machine.params.serialize_ns(8192), 0);
+            assert!(t > last);
+            last = t;
+        }
+        assert!(net.contention_events >= 6);
+    }
+
+    #[test]
+    fn self_send_uses_memcpy_cost() {
+        let machine = m();
+        let mut net = NetworkState::new(&machine);
+        let t = net.transfer(&machine, 5, 5, 2048, machine.params.serialize_ns(2048), 100);
+        assert_eq!(t, 100 + machine.params.memcpy_ns(2048));
+        assert_eq!(net.contention_events, 0);
+    }
+
+    #[test]
+    fn circuit_model_holds_whole_route() {
+        use mpp_model::{MachineParams, MeshShape, Placement, Topology};
+        let mut params = MachineParams::paragon_nx();
+        params.contention = ContentionModel::Circuit;
+        let machine = Machine::new(
+            "circuit",
+            Topology::Mesh2D { rows: 1, cols: 8 },
+            params,
+            Placement::Identity,
+            MeshShape::new(1, 8),
+        );
+        let mut net_c = NetworkState::new(&machine);
+        let wire = machine.params.serialize_ns(8192);
+        // long transfer 0 -> 7 holds every link until done...
+        let t1 = net_c.transfer(&machine, 0, 7, 8192, wire, 0);
+        // ... so a later short transfer on the tail link waits for it.
+        let t2 = net_c.transfer(&machine, 6, 7, 64, machine.params.serialize_ns(64), 0);
+        assert!(t2 > t1, "circuit model must block the tail link until {t1}");
+
+        // Under the shared (bandwidth-server) model the tail link frees
+        // after only the hardware-rate window, so the short transfer
+        // overtakes the long one.
+        let mut sp = MachineParams::paragon_nx();
+        sp.contention = ContentionModel::Shared;
+        let sm = Machine::new(
+            "shared",
+            Topology::Mesh2D { rows: 1, cols: 8 },
+            sp,
+            Placement::Identity,
+            MeshShape::new(1, 8),
+        );
+        let mut net_s = NetworkState::new(&sm);
+        // Long transfer passes *through* node 6; a short transfer into
+        // node 6 shares only the (5,6) link, which under the shared
+        // model is held for the hardware-rate window, not the whole
+        // software-rate drain.
+        let q1 = net_s.transfer(&sm, 0, 7, 8192, sm.params.serialize_ns(8192), 0);
+        let q2 = net_s.transfer(&sm, 5, 6, 64, sm.params.serialize_ns(64), 0);
+        assert!(q2 < q1 / 2, "shared model should let the short transfer through: {q2} vs {q1}");
+    }
+
+    #[test]
+    fn out_port_serializes_back_to_back_sends() {
+        let machine = m();
+        let mut net = NetworkState::new(&machine);
+        let t1 = net.transfer(&machine, 0, 1, 65536, machine.params.serialize_ns(65536), 0);
+        // Different destination, same sender: injection port busy.
+        let t2 = net.transfer(&machine, 0, 4, 65536, machine.params.serialize_ns(65536), 0);
+        assert!(t2 > t1);
+    }
+}

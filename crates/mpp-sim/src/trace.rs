@@ -1,0 +1,135 @@
+//! Message tracing: optional per-message records of a simulation run,
+//! plus a plain-text timeline renderer.
+//!
+//! Enable with [`SimConfig::trace`](crate::SimConfig); the records come
+//! back in [`SimOutcome::trace`](crate::SimOutcome). Useful for seeing
+//! *why* an algorithm is slow on a distribution: hot-spot serialization
+//! shows up as a ladder of stalled transfers into one rank, combining
+//! stalls as gaps between a rank's receive and its next send.
+
+use mpp_model::Time;
+
+use crate::Tag;
+
+/// One point-to-point message observed by the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgTrace {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub bytes: usize,
+    /// Virtual time the send was issued (after α_send).
+    pub send_ns: Time,
+    /// Virtual time the message arrived at the destination node.
+    pub arrival_ns: Time,
+    /// Time the transfer waited for busy links/ports before starting.
+    pub stalled_ns: Time,
+}
+
+impl MsgTrace {
+    /// Transfer duration including stall (ns).
+    pub fn latency_ns(&self) -> Time {
+        self.arrival_ns.saturating_sub(self.send_ns)
+    }
+}
+
+/// Aggregate statistics over a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// Number of messages.
+    pub messages: usize,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Total stalled time across transfers (ns).
+    pub stalled_ns: Time,
+    /// Maximum single-message latency (ns).
+    pub max_latency_ns: Time,
+    /// Virtual time of the last arrival (ns).
+    pub span_ns: Time,
+}
+
+/// Summarize a trace.
+pub fn summarize(trace: &[MsgTrace]) -> TraceSummary {
+    TraceSummary {
+        messages: trace.len(),
+        bytes: trace.iter().map(|t| t.bytes as u64).sum(),
+        stalled_ns: trace.iter().map(|t| t.stalled_ns).sum(),
+        max_latency_ns: trace.iter().map(|t| t.latency_ns()).max().unwrap_or(0),
+        span_ns: trace.iter().map(|t| t.arrival_ns).max().unwrap_or(0),
+    }
+}
+
+/// Render a per-rank timeline of message activity as text: one row per
+/// rank, `width` columns spanning virtual time; `>` marks a send, `<` an
+/// arrival, `#` both in the same cell.
+pub fn render_timeline(trace: &[MsgTrace], ranks: usize, width: usize) -> String {
+    let span = trace.iter().map(|t| t.arrival_ns).max().unwrap_or(0).max(1);
+    let col = |t: Time| ((t as u128 * (width as u128 - 1)) / span as u128) as usize;
+    let mut grid = vec![vec![b' '; width]; ranks];
+    for t in trace {
+        if t.src < ranks {
+            let c = col(t.send_ns);
+            grid[t.src][c] = if grid[t.src][c] == b'<' { b'#' } else { b'>' };
+        }
+        if t.dst < ranks {
+            let c = col(t.arrival_ns);
+            grid[t.dst][c] = if grid[t.dst][c] == b'>' { b'#' } else { b'<' };
+        }
+    }
+    let mut out = String::new();
+    for (rank, row) in grid.into_iter().enumerate() {
+        out.push_str(&format!("{rank:>4} |"));
+        out.push_str(std::str::from_utf8(&row).unwrap());
+        out.push('\n');
+    }
+    out.push_str(&format!("     0 .. {:.3} ms\n", span as f64 / 1e6));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(src: usize, dst: usize, send: Time, arrival: Time, stalled: Time) -> MsgTrace {
+        MsgTrace { src, dst, tag: 0, bytes: 100, send_ns: send, arrival_ns: arrival, stalled_ns: stalled }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let trace = vec![t(0, 1, 0, 100, 10), t(1, 0, 50, 400, 0)];
+        let s = summarize(&trace);
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 200);
+        assert_eq!(s.stalled_ns, 10);
+        assert_eq!(s.max_latency_ns, 350);
+        assert_eq!(s.span_ns, 400);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let s = summarize(&[]);
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.span_ns, 0);
+    }
+
+    #[test]
+    fn timeline_has_one_row_per_rank() {
+        let trace = vec![t(0, 1, 0, 1000, 0)];
+        let text = render_timeline(&trace, 3, 40);
+        assert_eq!(text.lines().count(), 4); // 3 ranks + time axis
+        assert!(text.contains('>'));
+        assert!(text.contains('<'));
+    }
+
+    #[test]
+    fn timeline_marks_overlap() {
+        // send and arrival in the same cell on the same rank -> '#'
+        let trace = vec![t(0, 0, 500, 500, 0)];
+        let text = render_timeline(&trace, 1, 10);
+        assert!(text.contains('#'), "{text}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Algorithm picker: sweep the (machine, s, L) space, run every
+//! algorithm, and check the paper-derived recommendation
+//! ([`recommend`]) against the measured winner.
+//!
+//! Run with: `cargo run --release --example algorithm_picker`
+
+use stp_broadcast::prelude::*;
+
+fn main() {
+    let paragon = Machine::paragon(10, 10);
+    let t3d = Machine::t3d(128, 42);
+
+    let candidates = [
+        AlgoKind::TwoStep,
+        AlgoKind::PersAlltoAll,
+        AlgoKind::MpiAllGather,
+        AlgoKind::MpiAlltoall,
+        AlgoKind::BrLin,
+        AlgoKind::BrXySource,
+        AlgoKind::ReposXySource,
+    ];
+
+    let cases: Vec<(&Machine, usize, usize)> = vec![
+        (&paragon, 10, 4096),
+        (&paragon, 30, 6144),
+        (&paragon, 80, 2048),
+        (&paragon, 30, 128),
+        (&t3d, 20, 4096),
+        (&t3d, 64, 4096),
+        (&t3d, 120, 1024),
+    ];
+
+    let mut agree = 0;
+    println!(
+        "{:<16} {:>4} {:>6}  {:<16} {:<16} {:>10}",
+        "machine", "s", "L", "recommended", "measured best", "best ms"
+    );
+    for (machine, s, msg_len) in &cases {
+        let rec = recommend(machine, *s, *msg_len);
+        let mut best: Option<(AlgoKind, f64)> = None;
+        for &kind in &candidates {
+            let exp = Experiment {
+                machine,
+                dist: SourceDist::Equal,
+                s: *s,
+                msg_len: *msg_len,
+                kind,
+            };
+            let out = exp.run();
+            assert!(out.verified);
+            let ms = out.makespan_ms();
+            if best.is_none_or(|(_, b)| ms < b) {
+                best = Some((kind, ms));
+            }
+        }
+        let (winner, ms) = best.unwrap();
+        // "agreement": recommendation within 10% of the measured winner.
+        let rec_ms = Experiment {
+            machine,
+            dist: SourceDist::Equal,
+            s: *s,
+            msg_len: *msg_len,
+            kind: rec,
+        }
+        .run()
+        .makespan_ms();
+        let close = rec_ms <= ms * 1.10;
+        if close {
+            agree += 1;
+        }
+        println!(
+            "{:<16} {:>4} {:>6}  {:<16} {:<16} {:>10.3}{}",
+            machine.name,
+            s,
+            msg_len,
+            rec.name(),
+            winner.name(),
+            ms,
+            if close { "" } else { "   <-- recommendation off" }
+        );
+    }
+    println!("\nrecommendation within 10% of the winner in {agree}/{} cases", cases.len());
+}

@@ -1,0 +1,91 @@
+//! The two backends must agree on *results*: for any algorithm and
+//! input, the message set each rank ends with is identical on the timed
+//! simulator and on real threads (timing differs, contents must not).
+
+use proptest::prelude::*;
+use stp_broadcast::prelude::*;
+
+fn run_both(kind: AlgoKind, shape: MeshShape, sources: &[usize], len: usize) {
+    let alg = kind.build();
+    let machine = Machine::paragon(shape.rows, shape.cols);
+
+    let sim = run_simulated(&machine, LibraryKind::Nx, |comm| {
+        let payload =
+            sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), len));
+        let ctx = StpCtx { shape, sources, payload: payload.as_deref() };
+        alg.run(comm, &ctx)
+    });
+    let threads = run_threads(shape.p(), |comm| {
+        let payload =
+            sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), len));
+        let ctx = StpCtx { shape, sources, payload: payload.as_deref() };
+        alg.run(comm, &ctx)
+    });
+    for rank in 0..shape.p() {
+        assert_eq!(
+            sim.results[rank], threads.results[rank],
+            "{} rank {rank}: backends disagree",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_agree_across_backends() {
+    let shape = MeshShape::new(4, 4);
+    let sources = SourceDist::Cross.place(shape, 6);
+    for &kind in AlgoKind::all() {
+        run_both(kind, shape, &sources, 48);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn backends_agree_on_random_inputs(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        seed in any::<u64>(),
+        kind_idx in 0usize..13,
+        len in 0usize..128,
+    ) {
+        let shape = MeshShape::new(rows, cols);
+        let p = shape.p();
+        let s = (seed % p as u64).max(1) as usize;
+        let sources = SourceDist::Random { seed }.place(shape, s);
+        let kind = AlgoKind::all()[kind_idx % AlgoKind::all().len()];
+        run_both(kind, shape, &sources, len);
+    }
+}
+
+#[test]
+fn large_machine_smoke() {
+    // p = 512: thread-per-rank must stay workable on both backends and
+    // the merge algorithms correct at scale.
+    let machine = Machine::paragon(16, 32);
+    for kind in [AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::TwoStep] {
+        let exp = Experiment {
+            machine: &machine,
+            dist: SourceDist::Equal,
+            s: 100,
+            msg_len: 256,
+            kind,
+        };
+        let out = exp.run();
+        assert!(out.verified, "{} failed at p=512", kind.name());
+    }
+}
+
+#[test]
+fn large_t3d_smoke() {
+    let machine = Machine::t3d(256, 9);
+    let exp = Experiment {
+        machine: &machine,
+        dist: SourceDist::Random { seed: 4 },
+        s: 64,
+        msg_len: 512,
+        kind: AlgoKind::MpiAlltoall,
+    };
+    assert!(exp.run().verified);
+}

@@ -1,0 +1,80 @@
+//! The simulator must be bit-for-bit deterministic: identical inputs →
+//! identical virtual times, per-rank statistics, and results, regardless
+//! of host thread scheduling.
+
+use stp_broadcast::prelude::*;
+
+fn run_twice(machine: &Machine, kind: AlgoKind, dist: SourceDist, s: usize, len: usize) {
+    let exp = Experiment { machine, dist, s, msg_len: len, kind };
+    let a = exp.run();
+    let b = exp.run();
+    assert_eq!(a.makespan_ns, b.makespan_ns, "{} makespan differs", kind.name());
+    assert_eq!(a.finish_ns, b.finish_ns, "{} finish times differ", kind.name());
+    assert_eq!(a.contention_ns, b.contention_ns, "{} contention differs", kind.name());
+    for (ra, rb) in a.stats.iter().zip(&b.stats) {
+        assert_eq!(ra, rb, "{} stats differ", kind.name());
+    }
+}
+
+#[test]
+fn all_algorithms_deterministic_on_paragon() {
+    let machine = Machine::paragon(5, 6);
+    for &kind in AlgoKind::all() {
+        run_twice(&machine, kind, SourceDist::Cross, 9, 512);
+    }
+}
+
+#[test]
+fn all_algorithms_deterministic_on_t3d() {
+    let machine = Machine::t3d(27, 3);
+    for &kind in AlgoKind::all() {
+        run_twice(&machine, kind, SourceDist::Random { seed: 1 }, 11, 256);
+    }
+}
+
+#[test]
+fn determinism_across_many_repeats() {
+    let machine = Machine::paragon(8, 8);
+    let exp = Experiment {
+        machine: &machine,
+        dist: SourceDist::Equal,
+        s: 13,
+        msg_len: 1024,
+        kind: AlgoKind::BrXySource,
+    };
+    let reference = exp.run();
+    for _ in 0..5 {
+        let again = exp.run();
+        assert_eq!(reference.makespan_ns, again.makespan_ns);
+    }
+}
+
+#[test]
+fn different_seeds_change_t3d_times() {
+    // The rotated-block placement must actually depend on the seed, and
+    // timing must follow it.
+    let a = Experiment {
+        machine: &Machine::t3d(64, 1),
+        dist: SourceDist::SquareBlock,
+        s: 16,
+        msg_len: 4096,
+        kind: AlgoKind::BrLin,
+    }
+    .run();
+    let mut any_differs = false;
+    for seed in 2..8 {
+        let b = Experiment {
+            machine: &Machine::t3d(64, seed),
+            dist: SourceDist::SquareBlock,
+            s: 16,
+            msg_len: 4096,
+            kind: AlgoKind::BrLin,
+        }
+        .run();
+        assert!(b.verified);
+        if b.makespan_ns != a.makespan_ns {
+            any_differs = true;
+        }
+    }
+    assert!(any_differs, "placement seed has no timing effect at all?");
+}

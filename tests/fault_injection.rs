@@ -1,0 +1,62 @@
+//! Fault injection on the real-threads backend: random per-message
+//! delivery delays perturb the interleaving; the algorithms must still
+//! produce complete, correct results (they may not rely on lock-step
+//! timing, only on tags and source filters).
+
+use stp_broadcast::prelude::*;
+use stp_broadcast::runtime::{run_threads_faulty, ThreadFault};
+
+fn check_under_fault(kind: AlgoKind, shape: MeshShape, s: usize, fault: ThreadFault) {
+    let sources = SourceDist::Random { seed: 31 }.place(shape, s);
+    let alg = kind.build();
+    let out = run_threads_faulty(shape.p(), fault, |comm| {
+        let payload =
+            sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), 64));
+        let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+        let set = alg.run(comm, &ctx);
+        set.sources().collect::<Vec<_>>() == sources
+            && sources.iter().all(|&s| set.get(s).unwrap() == payload_for(s, 64))
+    });
+    assert!(out.results.iter().all(|&ok| ok), "{} failed under {fault:?}", kind.name());
+}
+
+#[test]
+fn merge_algorithms_survive_random_delays() {
+    let fault = ThreadFault::RandomDelay { max_us: 150, seed: 5 };
+    for kind in [AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::BrXyDim] {
+        check_under_fault(kind, MeshShape::new(4, 4), 6, fault);
+    }
+}
+
+#[test]
+fn library_algorithms_survive_random_delays() {
+    let fault = ThreadFault::RandomDelay { max_us: 150, seed: 6 };
+    for kind in [AlgoKind::TwoStep, AlgoKind::PersAlltoAll, AlgoKind::MpiAllGather] {
+        check_under_fault(kind, MeshShape::new(4, 4), 6, fault);
+    }
+}
+
+#[test]
+fn repositioning_and_partitioning_survive_random_delays() {
+    let fault = ThreadFault::RandomDelay { max_us: 100, seed: 7 };
+    for kind in [AlgoKind::ReposLin, AlgoKind::ReposXySource, AlgoKind::PartLin, AlgoKind::PartXySource] {
+        check_under_fault(kind, MeshShape::new(4, 4), 5, fault);
+    }
+}
+
+#[test]
+fn repeated_runs_with_different_fault_seeds() {
+    // Many interleavings of the same broadcast — a cheap schedule fuzzer.
+    for seed in 0..10 {
+        let fault = ThreadFault::RandomDelay { max_us: 60, seed };
+        check_under_fault(AlgoKind::BrLin, MeshShape::new(3, 5), 7, fault);
+    }
+}
+
+#[test]
+fn odd_meshes_under_fault() {
+    let fault = ThreadFault::RandomDelay { max_us: 80, seed: 11 };
+    for kind in [AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::PartXyDim] {
+        check_under_fault(kind, MeshShape::new(5, 5), 9, fault);
+    }
+}
