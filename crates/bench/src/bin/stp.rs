@@ -4,8 +4,13 @@
 //! stp --machine paragon --rows 10 --cols 10 --algo br_xy_source \
 //!     --dist cross --s 30 --len 4096 [--lib mpi] [--metrics] [--trace]
 //! stp --machine t3d --p 128 --algo mpi_alltoall --dist equal --s 40 --len 4096
+//! stp --machine paragon --algo two_step --dist equal --s 30 --sweep-len 32,1024,16384
 //! stp --list
 //! ```
+//!
+//! `--sweep-len` runs the same experiment at several message lengths;
+//! the points are independent simulations and execute concurrently on a
+//! [`SweepRunner`] (`STP_SWEEP_WORKERS` / `STP_SWEEP_RANK_BUDGET` apply).
 
 use mpp_model::{LibraryKind, Machine};
 use mpp_runtime::{run_simulated_traced, Communicator};
@@ -18,6 +23,7 @@ fn usage() -> ! {
     eprintln!("usage: stp --machine <paragon|t3d> [--rows R --cols C | --p P]");
     eprintln!("           --algo <name> --dist <name> --s <n> --len <bytes>");
     eprintln!("           [--lib <nx|mpi>] [--seed <n>] [--metrics] [--trace] [--predict]");
+    eprintln!("           [--sweep-len L1,L2,...]   (parallel sweep over message lengths)");
     eprintln!("       stp --list       (show algorithm and distribution names)");
     std::process::exit(2);
 }
@@ -95,6 +101,34 @@ fn main() {
         }
     }
 
+    if let Some(spec) = get("--sweep-len") {
+        let lens: Vec<usize> = spec.split(',').filter_map(|v| v.trim().parse().ok()).collect();
+        if lens.is_empty() {
+            eprintln!("--sweep-len wants a comma-separated list of byte lengths");
+            usage()
+        }
+        let machine = &machine;
+        let grid: Vec<Experiment> = lens
+            .iter()
+            .map(|&msg_len| Experiment { machine, dist: dist.clone(), s, msg_len, kind })
+            .collect();
+        let runner = SweepRunner::new();
+        let t0 = std::time::Instant::now();
+        let outcomes = runner.run_experiments(&grid);
+        let wall = t0.elapsed();
+        println!("L,ms,verified");
+        for (len, out) in lens.iter().zip(&outcomes) {
+            println!("{len},{:.4},{}", out.makespan_ms(), out.verified);
+        }
+        eprintln!(
+            "[sweep] {} lengths on {} workers in {:.3}s",
+            lens.len(),
+            runner.workers(),
+            wall.as_secs_f64()
+        );
+        return;
+    }
+
     if has("--trace") {
         let shape = machine.shape;
         let alg = kind.build();
@@ -117,6 +151,7 @@ fn main() {
         return;
     }
 
+    let copy_before = mpp_sim::copy_metrics();
     let out = run_sources(&machine, lib, &sources, &|src| payload_for(src, len), kind);
     println!(
         "time {:.3} ms   verified {}   contention stalls {} ({:.3} ms)",
@@ -125,6 +160,24 @@ fn main() {
         out.contention_events,
         out.contention_ns as f64 / 1e6
     );
+    if has("--copy-stats") {
+        // One JSON record of host-side copy accounting: comm-layer
+        // copies (zero on the rope path) plus real copies inside
+        // `Payload` itself, against the virtual traffic volume.
+        // `scripts/bench-smoke.sh` appends this to BENCH_sweep.json.
+        let delta = mpp_sim::copy_metrics().since(&copy_before);
+        let comm_copied: u64 = out.stats.iter().map(|s| s.bytes_copied).sum();
+        let comm_allocs: u64 = out.stats.iter().map(|s| s.allocs).sum();
+        let traffic: u64 = out.stats.iter().map(|s| s.total_bytes()).sum();
+        println!(
+            "{{\"id\":\"copy_stats/{}/s{s}/L{len}\",\"comm_bytes_copied\":{comm_copied},\
+             \"comm_allocs\":{comm_allocs},\"payload_bytes_copied\":{},\
+             \"payload_allocs\":{},\"traffic_bytes\":{traffic}}}",
+            kind.name(),
+            delta.bytes_copied,
+            delta.allocs
+        );
+    }
     if has("--metrics") {
         let row = figure2_row(kind.name(), &out.stats);
         println!("\n{}", format_table(&[row]));

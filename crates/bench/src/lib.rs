@@ -64,6 +64,41 @@ where
         .collect()
 }
 
+/// Parallel counterpart of [`sweep_algorithms`]: the whole
+/// (algorithm × x) grid is executed concurrently on a [`SweepRunner`].
+/// `weight` is the rank-thread cost of one grid point (the machine's
+/// `p`). Virtual-time results are identical to the sequential sweep —
+/// each point is an independent deterministic simulation — so series
+/// come back in the same order with the same values, just sooner.
+pub fn sweep_algorithms_parallel<F>(
+    runner: &SweepRunner,
+    kinds: &[AlgoKind],
+    xs: &[f64],
+    weight: usize,
+    point: F,
+) -> Vec<Series>
+where
+    F: Fn(AlgoKind, f64) -> f64 + Sync,
+{
+    let grid: Vec<(AlgoKind, f64)> = kinds
+        .iter()
+        .flat_map(|&k| xs.iter().map(move |&x| (k, x)))
+        .collect();
+    let ms = runner.map(grid, |_| weight, |(k, x)| point(k, x));
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(ki, &k)| Series {
+            label: k.name().to_string(),
+            points: xs
+                .iter()
+                .enumerate()
+                .map(|(xi, &x)| (x, ms[ki * xs.len() + xi]))
+                .collect(),
+        })
+        .collect()
+}
+
 /// Sweep a parameter for several distributions, one series each.
 pub fn sweep_distributions<F>(dists: &[SourceDist], xs: &[f64], mut point: F) -> Vec<Series>
 where
@@ -129,6 +164,28 @@ mod tests {
         assert_eq!(parse_dist("Sq", 0), Some(SourceDist::SquareBlock));
         assert_eq!(parse_dist("rand", 7), Some(SourceDist::Random { seed: 7 }));
         assert_eq!(parse_dist("nope", 0), None);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        use mpp_model::Machine;
+        let machine = Machine::paragon(4, 4);
+        let kinds = [AlgoKind::TwoStep, AlgoKind::BrLin];
+        let xs = [64.0, 256.0];
+        let point = |k: AlgoKind, x: f64| run_ms(&machine, k, SourceDist::Equal, 4, x as usize);
+        let seq = sweep_algorithms(&kinds, &xs, point);
+        let par = sweep_algorithms_parallel(
+            &SweepRunner::sequential().with_workers(4),
+            &kinds,
+            &xs,
+            machine.p(),
+            point,
+        );
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.points, b.points, "{}", a.label);
+        }
     }
 
     #[test]

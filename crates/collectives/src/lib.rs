@@ -11,7 +11,7 @@
 //! [`mpp_runtime::Communicator`] and therefore run both on
 //! the timed simulator and on real threads.
 
-use mpp_runtime::{Communicator, Message, Tag};
+use mpp_runtime::{Communicator, Message, Payload, Tag};
 
 /// One-to-all broadcast over an ordered participant list, root at
 /// position 0.
@@ -23,20 +23,25 @@ use mpp_runtime::{Communicator, Message, Tag};
 /// Every participant must call this; `data` must be `Some` exactly at the
 /// root. Returns the broadcast payload on every participant.
 ///
+/// The payload travels as a shared-ownership [`Payload`] rope: each hold
+/// point forwards the *same* buffer it received, so an `n`-participant
+/// broadcast of `m` bytes copies `m` bytes at most once (when the root
+/// hands in a borrowed slice) instead of `⌈log₂ n⌉` times.
+///
 /// # Panics
 /// Panics if the calling rank is not in `order`, or if `data` presence
 /// disagrees with the caller's position.
-pub fn bcast_from_first(
+pub fn bcast_from_first<P: Into<Payload>>(
     comm: &mut dyn Communicator,
     order: &[usize],
-    data: Option<Vec<u8>>,
+    data: Option<P>,
     tag_base: Tag,
-) -> Vec<u8> {
+) -> Payload {
     let me = comm.rank();
     let my_pos = order.iter().position(|&r| r == me).expect("caller not in bcast order");
     assert_eq!(my_pos == 0, data.is_some(), "exactly the root provides data");
 
-    let mut payload = data;
+    let mut payload: Option<Payload> = data.map(Into::into);
     let mut lo = 0usize;
     let mut hi = order.len();
     let mut depth: Tag = 0;
@@ -44,9 +49,10 @@ pub fn bcast_from_first(
     while hi - lo > 1 {
         let mid = lo + (hi - lo).div_ceil(2);
         if my_pos == lo {
-            // Holder of this segment forwards to the second half.
-            let buf = payload.as_ref().expect("segment holder must hold data");
-            comm.send(order[mid], tag_base + depth, buf);
+            // Holder of this segment forwards to the second half. Cloning
+            // a rope shares the underlying buffers — no byte copies.
+            let buf = payload.clone().expect("segment holder must hold data");
+            comm.send_payload(order[mid], tag_base + depth, buf);
             comm.next_iteration();
             hi = mid;
         } else if my_pos == mid {
@@ -90,7 +96,7 @@ pub fn gather_direct(
     let mut out = Vec::new();
     if me == root {
         if let Some(p) = my_payload {
-            out.push(Message { src: me, tag, data: p.to_vec() });
+            out.push(Message { src: me, tag, data: Payload::from_slice(p) });
         }
         let expect = senders.iter().filter(|&&s| s != root).count();
         for _ in 0..expect {
@@ -136,14 +142,17 @@ pub fn personalized_from_sources(
     let me = comm.rank();
     assert_eq!(is_source(me), my_payload.is_some());
 
+    // Convert the payload to a shared rope once; every round's send then
+    // shares the same buffer instead of re-copying it.
+    let rope = my_payload.map(Payload::from_slice);
     let mut out = Vec::new();
-    if let Some(pay) = my_payload {
-        out.push(Message { src: me, tag, data: pay.to_vec() });
+    if let Some(pay) = &rope {
+        out.push(Message { src: me, tag, data: pay.clone() });
     }
     for round in 1..p {
         let (to, from) = exchange_partner(p, round, me);
-        if let Some(pay) = my_payload {
-            comm.send(to, tag, pay);
+        if let Some(pay) = &rope {
+            comm.send_payload(to, tag, pay.clone());
         }
         if is_source(from) {
             out.push(comm.recv(Some(from), Some(tag)));
@@ -166,18 +175,20 @@ pub fn allgather_ring(
     let n = order.len();
     let me = comm.rank();
     let my_pos = order.iter().position(|&r| r == me).expect("caller not in allgather order");
+    let mine = Payload::from_slice(my_payload);
     if n == 1 {
-        return vec![Message { src: me, tag, data: my_payload.to_vec() }];
+        return vec![Message { src: me, tag, data: mine }];
     }
     let next = order[(my_pos + 1) % n];
     let prev = order[(my_pos + n - 1) % n];
 
-    let mut out = vec![Message { src: me, tag, data: my_payload.to_vec() }];
+    let mut out = vec![Message { src: me, tag, data: mine.clone() }];
     // Round k delivers the payload originated by the participant k+1
     // positions behind us; `src` is rewritten from relayer to originator.
-    let mut forward = my_payload.to_vec();
+    // Each relay forwards the received rope as-is — no byte copies.
+    let mut forward = mine;
     for k in 0..n - 1 {
-        comm.send(next, tag, &forward);
+        comm.send_payload(next, tag, forward.clone());
         let got = comm.recv(Some(prev), Some(tag));
         forward = got.data.clone();
         let origin = order[(my_pos + n - 1 - k) % n];
@@ -406,7 +417,7 @@ pub fn scatter_from_first(
             hi = mid;
         } else if my_pos == mid {
             let msg = comm.recv(Some(order[lo]), Some(tag_base + depth));
-            mine = Some(unframe_chunks(&msg.data));
+            mine = Some(unframe_chunks(&msg.data.contiguous()));
             lo = mid;
         } else if my_pos < mid {
             hi = mid;
@@ -460,7 +471,7 @@ pub fn reduce_to_first(
             return None; // contribution handed up; done
         } else if my_pos == lo {
             let msg = comm.recv(Some(order[mid]), Some(tag));
-            acc = combine(&acc, &msg.data);
+            acc = combine(&acc, &msg.data.contiguous());
             comm.next_iteration();
         }
     }
@@ -476,7 +487,7 @@ pub fn allreduce(
     tag_base: Tag,
 ) -> Vec<u8> {
     let reduced = reduce_to_first(comm, order, my_contrib, combine, tag_base);
-    bcast_from_first(comm, order, reduced, tag_base + 64)
+    bcast_from_first(comm, order, reduced, tag_base + 64).to_vec()
 }
 
 #[cfg(test)]

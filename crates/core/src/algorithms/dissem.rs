@@ -84,14 +84,15 @@ impl StpAlgorithm for DissemAllGather {
             let i_send = holdings[me].iter().any(|&h| h);
             let sender_has = holdings[from].iter().any(|&h| h);
             if i_send {
-                comm.send(to, TAG + round, &set.to_bytes());
+                comm.send_payload(to, TAG + round, set.to_payload());
             }
             if sender_has {
                 let msg = comm.recv(Some(from), Some(TAG + round));
                 if self.charge_combining {
                     comm.charge_memcpy(msg.data.len());
                 }
-                let other = MessageSet::from_bytes(&msg.data).expect("malformed dissemination");
+                let other =
+                    MessageSet::from_payload(&msg.data).expect("malformed dissemination");
                 set.merge(other);
             }
             // Advance the holdings model for every rank simultaneously.

@@ -158,18 +158,20 @@ pub(crate) fn br_lin_over(
         let my_ops = &level_ops[my_pos];
         let tag = tag_base + level as Tag;
         // Simultaneous semantics: all sends ship the pre-level snapshot.
+        // The snapshot is a rope (header copy only); every peer shares it.
         if my_ops.iter().any(|op| op.send) {
-            let snapshot = set.to_bytes();
+            let snapshot = set.to_payload();
             for op in my_ops.iter().filter(|op| op.send) {
-                comm.send(order[op.peer], tag, &snapshot);
+                comm.send_payload(order[op.peer], tag, snapshot.clone());
             }
         }
         for op in my_ops.iter().filter(|op| op.recv) {
             let msg = comm.recv(Some(order[op.peer]), Some(tag));
-            // Combining cost: the received bytes are copied into the
-            // merged buffer.
+            // Combining cost in *virtual* time: the model still charges
+            // for copying the received bytes into the merged buffer, even
+            // though the host-side merge only moves rope pointers.
             comm.charge_memcpy(msg.data.len());
-            let other = MessageSet::from_bytes(&msg.data)
+            let other = MessageSet::from_payload(&msg.data)
                 .expect("malformed message set on the wire");
             set.merge(other);
         }

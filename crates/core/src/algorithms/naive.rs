@@ -17,7 +17,7 @@
 //! coordination-free approach actually loses on each machine.
 
 use mpp_model::MeshShape;
-use mpp_runtime::{Communicator, Tag};
+use mpp_runtime::{Communicator, Payload, Tag};
 
 use crate::algorithms::{StpAlgorithm, StpCtx};
 use crate::msgset::MessageSet;
@@ -59,8 +59,8 @@ impl StpAlgorithm for NaiveIndependent {
             let my_pos = (me + p - src) % p; // position in the rotated order
             let rank_at = |pos: usize| (pos + src) % p;
 
-            let mut payload: Option<Vec<u8>> = if me == src {
-                Some(ctx.payload.expect("source must hold a payload").to_vec())
+            let mut payload: Option<Payload> = if me == src {
+                Some(Payload::from_slice(ctx.payload.expect("source must hold a payload")))
             } else {
                 None
             };
@@ -69,8 +69,9 @@ impl StpAlgorithm for NaiveIndependent {
             while hi - lo > 1 {
                 let mid = lo + (hi - lo).div_ceil(2);
                 if my_pos == lo {
-                    let buf = payload.as_ref().expect("tree holder must have data");
-                    comm.send(rank_at(mid), tag, buf);
+                    // Forward the shared rope — no byte copies per hop.
+                    let buf = payload.clone().expect("tree holder must have data");
+                    comm.send_payload(rank_at(mid), tag, buf);
                     hi = mid;
                 } else if my_pos == mid {
                     let m = comm.recv(Some(rank_at(lo)), Some(tag));
@@ -82,7 +83,7 @@ impl StpAlgorithm for NaiveIndependent {
                     lo = mid;
                 }
             }
-            set.insert(src, &payload.expect("broadcast tree did not reach this rank"));
+            set.insert_payload(src, payload.expect("broadcast tree did not reach this rank"));
         }
         comm.next_iteration();
         set

@@ -186,7 +186,7 @@ impl<A: PlanRunnable> StpAlgorithm for Part<A> {
             if from == me {
                 new_payload = ctx.payload.map(<[u8]>::to_vec);
             } else {
-                new_payload = Some(comm.recv(Some(from), Some(tags::PART_REPOS)).data);
+                new_payload = Some(comm.recv(Some(from), Some(tags::PART_REPOS)).data.to_vec());
             }
         }
         comm.next_iteration();
@@ -215,11 +215,10 @@ impl<A: PlanRunnable> StpAlgorithm for Part<A> {
         comm.next_iteration();
 
         // Phase 2: pairwise exchange between the groups (a permutation).
-        let wire = set.to_bytes();
-        comm.send(partner, tags::PART_EXCHANGE, &wire);
+        comm.send_payload(partner, tags::PART_EXCHANGE, set.to_payload());
         let got = comm.recv(Some(partner), Some(tags::PART_EXCHANGE));
         comm.charge_memcpy(got.data.len());
-        let other = MessageSet::from_bytes(&got.data).expect("malformed partition exchange");
+        let other = MessageSet::from_payload(&got.data).expect("malformed partition exchange");
         set.merge(other);
 
         // Relabel target-keyed messages back to original sources.
@@ -229,7 +228,7 @@ impl<A: PlanRunnable> StpAlgorithm for Part<A> {
                 .iter()
                 .position(|&x| x == t as usize)
                 .expect("unexpected message key after partitioned broadcast");
-            out.insert(ctx.sources[k], &data);
+            out.insert_payload(ctx.sources[k], data);
         }
         out
     }
@@ -355,7 +354,7 @@ impl<A: PlanRunnable> StpAlgorithm for PartRecursive<A> {
             if from == me {
                 new_payload = ctx.payload.map(<[u8]>::to_vec);
             } else {
-                new_payload = Some(comm.recv(Some(from), Some(tags::PART_REPOS)).data);
+                new_payload = Some(comm.recv(Some(from), Some(tags::PART_REPOS)).data.to_vec());
             }
         }
         comm.next_iteration();
@@ -384,11 +383,10 @@ impl<A: PlanRunnable> StpAlgorithm for PartRecursive<A> {
             let partner_group = my_group ^ (1usize << j);
             let partner = groups[partner_group].ranks[my_pos];
             let tag = tags::PART_EXCHANGE + j as u32;
-            let wire = set.to_bytes();
-            comm.send(partner, tag, &wire);
+            comm.send_payload(partner, tag, set.to_payload());
             let got = comm.recv(Some(partner), Some(tag));
             comm.charge_memcpy(got.data.len());
-            let other = MessageSet::from_bytes(&got.data).expect("malformed merge exchange");
+            let other = MessageSet::from_payload(&got.data).expect("malformed merge exchange");
             set.merge(other);
             comm.next_iteration();
         }
@@ -400,7 +398,7 @@ impl<A: PlanRunnable> StpAlgorithm for PartRecursive<A> {
                 .iter()
                 .position(|&x| x == t as usize)
                 .expect("unexpected key after recursive partitioning");
-            out.insert(ctx.sources[k], &data);
+            out.insert_payload(ctx.sources[k], data);
         }
         out
     }

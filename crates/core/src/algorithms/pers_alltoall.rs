@@ -35,7 +35,7 @@ impl StpAlgorithm for PersAlltoAll {
         );
         let mut set = MessageSet::new();
         for m in msgs {
-            set.insert(m.src, &m.data);
+            set.insert_payload(m.src, m.data);
         }
         set
     }

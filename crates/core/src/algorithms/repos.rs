@@ -76,7 +76,7 @@ impl<A: StpAlgorithm> StpAlgorithm for Repos<A> {
         }
         let mut new_payload: Option<Vec<u8>> = None;
         if let Some(&(from, _)) = moves.iter().find(|&&(_, t)| t == me) {
-            new_payload = Some(comm.recv(Some(from), Some(tags::REPOS)).data);
+            new_payload = Some(comm.recv(Some(from), Some(tags::REPOS)).data.to_vec());
         } else if targets.binary_search(&me).is_ok() {
             // I am a target that did not move: I must have been the
             // matching source already.
@@ -97,7 +97,7 @@ impl<A: StpAlgorithm> StpAlgorithm for Repos<A> {
             let idx = targets
                 .binary_search(&(t as usize))
                 .expect("base algorithm produced an unexpected source key");
-            out.insert(ctx.sources[idx], &data);
+            out.insert_payload(ctx.sources[idx], data);
         }
         out
     }

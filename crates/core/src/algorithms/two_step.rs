@@ -64,7 +64,11 @@ impl TwoStep {
             // Direct gather: sources fire at the root; the root absorbs.
             if me != ROOT {
                 if let Some(p) = ctx.payload {
-                    comm.send(ROOT, tags::GATHER, &MessageSet::single(me, p).to_bytes());
+                    comm.send_payload(
+                        ROOT,
+                        tags::GATHER,
+                        MessageSet::single(me, p).to_payload(),
+                    );
                 }
             } else {
                 let expect = ctx.sources.iter().filter(|&&s| s != ROOT).count();
@@ -72,7 +76,7 @@ impl TwoStep {
                     let m = comm.recv(None, Some(tags::GATHER));
                     comm.charge_memcpy(m.data.len());
                     let other =
-                        MessageSet::from_bytes(&m.data).expect("malformed gather message");
+                        MessageSet::from_payload(&m.data).expect("malformed gather message");
                     set.merge(other);
                 }
             }
@@ -112,14 +116,14 @@ fn gather_seg(
             let depth_tag = tags::GATHER + (hi - lo) as u32;
             let m = comm.recv(Some(mid), Some(depth_tag));
             comm.charge_memcpy(m.data.len());
-            let other = MessageSet::from_bytes(&m.data).expect("malformed tree gather");
+            let other = MessageSet::from_payload(&m.data).expect("malformed tree gather");
             set.merge(other);
         }
     } else {
         gather_seg(comm, set, mid, hi, subtree_has_source);
         if me == mid && subtree_has_source(mid, hi) {
             let depth_tag = tags::GATHER + (hi - lo) as u32;
-            comm.send(lo, depth_tag, &set.to_bytes());
+            comm.send_payload(lo, depth_tag, set.to_payload());
         }
     }
 }
@@ -142,9 +146,9 @@ impl StpAlgorithm for TwoStep {
 
         // Step 2: root broadcasts the combined message.
         let order: Vec<usize> = (0..comm.size()).collect();
-        let combined = (me == ROOT).then(|| gathered.to_bytes());
+        let combined = (me == ROOT).then(|| gathered.to_payload());
         let wire = bcast_from_first(comm, &order, combined, tags::BCAST);
-        MessageSet::from_bytes(&wire).expect("malformed combined message")
+        MessageSet::from_payload(&wire).expect("malformed combined message")
     }
 }
 

@@ -62,7 +62,7 @@ pub mod prelude {
     pub use crate::msgset::{payload_for, MessageSet};
     pub use crate::predict::{estimate_ms, estimate_ns};
     pub use crate::quality::placement_quality;
-    pub use crate::runner::{AlgoKind, Experiment, Outcome};
+    pub use crate::runner::{AlgoKind, Experiment, Outcome, SweepRunner};
     pub use crate::announce::announce_and_broadcast;
     pub use crate::select::recommend;
 }

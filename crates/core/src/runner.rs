@@ -242,7 +242,7 @@ pub fn run_sources(
         let set = alg.run(comm, &ctx);
         // Verify on-rank: all sources present with the right payloads.
         set.sources().collect::<Vec<_>>() == sources
-            && sources.iter().all(|&s| set.get(s).is_some_and(|d| d == payload_of(s)))
+            && sources.iter().all(|&s| set.get(s).is_some_and(|d| *d == payload_of(s)))
     });
     Outcome {
         makespan_ns: out.makespan_ns,
@@ -252,6 +252,175 @@ pub fn run_sources(
         contention_events: out.contention_events,
         contention_ns: out.contention_ns,
         sources: sources.to_vec(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep engine
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Weighted counting semaphore bounding the number of concurrently live
+/// rank threads across all sweep jobs. A p-rank simulation spawns p OS
+/// threads, so running many grid points at once can oversubscribe the
+/// host; each job acquires `min(p, capacity)` permits before it starts.
+struct RankBudget {
+    permits: Mutex<usize>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl RankBudget {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RankBudget { permits: Mutex::new(capacity), cv: Condvar::new(), capacity }
+    }
+
+    /// Block until `want` permits (clamped to capacity, so a job bigger
+    /// than the whole budget still runs — alone) are available; returns
+    /// the number actually taken.
+    fn acquire(&self, want: usize) -> usize {
+        let need = want.clamp(1, self.capacity);
+        let mut p = self.permits.lock().expect("rank budget poisoned");
+        while *p < need {
+            p = self.cv.wait(p).expect("rank budget poisoned");
+        }
+        *p -= need;
+        need
+    }
+
+    fn release(&self, n: usize) {
+        *self.permits.lock().expect("rank budget poisoned") += n;
+        self.cv.notify_all();
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Executes independent sweep grid points concurrently on a small worker
+/// pool, bounded by a global rank-thread budget.
+///
+/// Every grid point is a self-contained deterministic simulation, so the
+/// *virtual-time* results are bit-identical no matter how many workers
+/// run or in which order points complete — only wall-clock changes.
+/// Results always come back in input order.
+///
+/// Environment overrides (useful for CI and for the speedup
+/// measurements in `repro-fig02`):
+///
+/// * `STP_SWEEP_WORKERS` — number of concurrent grid points
+///   (default: available cores, at least 2; `1` forces sequential).
+/// * `STP_SWEEP_RANK_BUDGET` — total concurrent rank threads allowed
+///   across all in-flight simulations (default 512).
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    workers: usize,
+    rank_budget: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new()
+    }
+}
+
+/// Default cap on concurrently live rank threads across all jobs.
+const DEFAULT_RANK_BUDGET: usize = 512;
+
+impl SweepRunner {
+    /// A runner configured from the host (and the `STP_SWEEP_*`
+    /// environment overrides).
+    pub fn new() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        SweepRunner {
+            workers: env_usize("STP_SWEEP_WORKERS").unwrap_or(cores.max(2)).max(1),
+            rank_budget: env_usize("STP_SWEEP_RANK_BUDGET")
+                .unwrap_or(DEFAULT_RANK_BUDGET)
+                .max(1),
+        }
+    }
+
+    /// A runner that executes grid points strictly one at a time
+    /// (ignores the environment overrides).
+    pub fn sequential() -> Self {
+        SweepRunner { workers: 1, rank_budget: DEFAULT_RANK_BUDGET }
+    }
+
+    /// Override the worker count.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Override the rank-thread budget.
+    pub fn with_rank_budget(mut self, n: usize) -> Self {
+        self.rank_budget = n.max(1);
+        self
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `job` over every item, in parallel, returning results in
+    /// input order. `weight(&item)` is the number of rank threads the
+    /// job will spawn (use the machine's `p`); it is charged against the
+    /// global rank budget for the duration of the job.
+    pub fn map<I, T, W, F>(&self, items: Vec<I>, weight: W, job: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        W: Fn(&I) -> usize + Sync,
+        F: Fn(I) -> T + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return items.into_iter().map(job).collect();
+        }
+        let budget = RankBudget::new(self.rank_budget);
+        let slots: Vec<Mutex<Option<I>>> =
+            items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        {
+            let (budget, slots, results, next, weight, job) =
+                (&budget, &slots, &results, &next, &weight, &job);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("sweep slot poisoned")
+                            .take()
+                            .expect("sweep item taken twice");
+                        let got = budget.acquire(weight(&item));
+                        let out = job(item);
+                        budget.release(got);
+                        *results[i].lock().expect("sweep result poisoned") = Some(out);
+                    });
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("sweep result poisoned").expect("sweep job dropped"))
+            .collect()
+    }
+
+    /// Run a list of fully-specified experiments; each is weighted by
+    /// its machine size.
+    pub fn run_experiments(&self, exps: &[Experiment]) -> Vec<Outcome> {
+        self.map(exps.to_vec(), |e| e.machine.p(), |e| e.run())
     }
 }
 
@@ -320,6 +489,55 @@ mod tests {
         };
         let out = exp.run_with_lengths(&|src| 64 + src * 32);
         assert!(out.verified);
+    }
+
+    #[test]
+    fn sweep_runner_matches_sequential_bit_for_bit() {
+        let machine = Machine::paragon(4, 4);
+        let exps: Vec<Experiment> = [AlgoKind::BrLin, AlgoKind::TwoStep, AlgoKind::BrXySource]
+            .iter()
+            .flat_map(|&kind| {
+                [2usize, 5, 9].into_iter().map(move |s| (kind, s))
+            })
+            .map(|(kind, s)| Experiment {
+                machine: &machine,
+                dist: SourceDist::Equal,
+                s,
+                msg_len: 128,
+                kind,
+            })
+            .collect();
+        let seq = SweepRunner::sequential().run_experiments(&exps);
+        let par = SweepRunner::sequential().with_workers(4).run_experiments(&exps);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert!(a.verified && b.verified);
+            assert_eq!(a.makespan_ns, b.makespan_ns);
+            assert_eq!(a.finish_ns, b.finish_ns);
+            assert_eq!(a.contention_events, b.contention_events);
+        }
+    }
+
+    #[test]
+    fn sweep_map_preserves_input_order() {
+        let runner = SweepRunner::sequential().with_workers(8);
+        let out = runner.map((0..100usize).collect(), |_| 1, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_budget_admits_oversized_jobs() {
+        // A job heavier than the whole budget must still run (clamped),
+        // not deadlock.
+        let runner = SweepRunner::sequential().with_workers(3).with_rank_budget(2);
+        let out = runner.map(vec![64usize, 64, 64, 64], |&w| w, |w| w + 1);
+        assert_eq!(out, vec![65, 65, 65, 65]);
+    }
+
+    #[test]
+    fn sweep_handles_empty_grid() {
+        let out: Vec<usize> = SweepRunner::new().map(Vec::<usize>::new(), |_| 1, |i| i);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The backend-agnostic communicator interface.
 
+use mpp_sim::Payload;
+
 use crate::stats::CommStats;
 use crate::Tag;
 
@@ -10,8 +12,8 @@ pub struct Message {
     pub src: usize,
     /// Tag it was sent with.
     pub tag: Tag,
-    /// Payload bytes.
-    pub data: Vec<u8>,
+    /// Payload (shared-ownership rope; received without copying).
+    pub data: Payload,
 }
 
 /// Point-to-point message passing as seen by one rank of an algorithm.
@@ -34,8 +36,20 @@ pub trait Communicator {
     /// Number of participating ranks.
     fn size(&self) -> usize;
 
-    /// Asynchronous send of `data` to `dst` with `tag`.
+    /// Asynchronous send of `data` to `dst` with `tag`. Copies the
+    /// bytes once into shared storage; prefer
+    /// [`send_payload`](Communicator::send_payload) when the data is
+    /// already a [`Payload`].
     fn send(&mut self, dst: usize, tag: Tag, data: &[u8]);
+
+    /// Asynchronous zero-copy send of an already-shared payload: the
+    /// rope's segments are moved, never its bytes. Cost models and
+    /// statistics treat it exactly like [`send`](Communicator::send) of
+    /// the same length.
+    fn send_payload(&mut self, dst: usize, tag: Tag, data: Payload) {
+        // Conservative default for third-party impls: materialize.
+        self.send(dst, tag, &data.to_vec());
+    }
 
     /// Blocking receive; `None` filters match anything. Among matching
     /// messages the earliest-arriving is returned.
@@ -69,8 +83,8 @@ mod tests {
 
     #[test]
     fn message_equality() {
-        let a = Message { src: 1, tag: 2, data: vec![3] };
-        let b = Message { src: 1, tag: 2, data: vec![3] };
+        let a = Message { src: 1, tag: 2, data: vec![3].into() };
+        let b = Message { src: 1, tag: 2, data: Payload::from_slice(&[3]) };
         assert_eq!(a, b);
     }
 }

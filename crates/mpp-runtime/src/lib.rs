@@ -7,7 +7,7 @@
 //! * [`SimComm`] — runs on the deterministic `mpp-sim` discrete-event
 //!   kernel and yields *virtual* times on a modelled Paragon or T3D. This
 //!   is the backend every figure of the paper is regenerated on.
-//! * [`ThreadComm`] — runs each rank as a real OS thread with crossbeam
+//! * [`ThreadComm`] — runs each rank as a real OS thread with mpsc
 //!   channels. No timing model; used to validate that the algorithms are
 //!   honest message-passing programs (no hidden shared state) and for the
 //!   failure-injection tests.
@@ -22,6 +22,7 @@ pub mod stats;
 pub mod thread_backend;
 
 pub use comm::{Communicator, Message};
+pub use mpp_sim::Payload;
 pub use sim_backend::{run_simulated, run_simulated_traced, RunOutput, SimComm};
 pub use stats::{CommStats, IterStats};
 pub use thread_backend::{run_threads, run_threads_faulty, ThreadComm, ThreadFault, ThreadRunOutput};

@@ -1,7 +1,7 @@
 //! Timed backend: `Communicator` over the `mpp-sim` kernel.
 
 use mpp_model::{LibraryKind, Machine, Time};
-use mpp_sim::{simulate_with, MsgTrace, RankCtx, SimConfig};
+use mpp_sim::{simulate_with, MsgTrace, Payload, RankCtx, SimConfig};
 
 use crate::comm::{Communicator, Message};
 use crate::stats::CommStats;
@@ -43,7 +43,13 @@ impl Communicator for SimComm<'_, '_> {
 
     fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
         self.stats.record_send(data.len());
+        self.stats.record_copy(data.len());
         self.ctx.send(dst, tag, data);
+    }
+
+    fn send_payload(&mut self, dst: usize, tag: Tag, data: Payload) {
+        self.stats.record_send(data.len());
+        self.ctx.send_payload(dst, tag, data);
     }
 
     fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message {

@@ -54,12 +54,24 @@ pub struct CommStats {
     pub iters: Vec<IterStats>,
     /// Bytes charged through `charge_memcpy` (message-combining volume).
     pub memcpy_bytes: u64,
+    /// Host-side payload bytes physically copied by this rank's
+    /// communication calls. The zero-copy path (`send_payload`) keeps
+    /// this at 0; the legacy `send(&[u8])` path pays one copy per send.
+    pub bytes_copied: u64,
+    /// Host-side payload buffer allocations made by this rank's
+    /// communication calls (one per flat `send`, none per rope send).
+    pub allocs: u64,
 }
 
 impl CommStats {
     /// Fresh, empty statistics.
     pub fn new() -> Self {
-        CommStats { iters: vec![IterStats::default()], memcpy_bytes: 0 }
+        CommStats {
+            iters: vec![IterStats::default()],
+            memcpy_bytes: 0,
+            bytes_copied: 0,
+            allocs: 0,
+        }
     }
 
     fn cur(&mut self) -> &mut IterStats {
@@ -87,6 +99,13 @@ impl CommStats {
     /// Record combining volume.
     pub fn record_memcpy(&mut self, bytes: usize) {
         self.memcpy_bytes += bytes as u64;
+    }
+
+    /// Record one host-side payload copy of `bytes` bytes (a fresh
+    /// buffer allocation plus a memcpy into it).
+    pub fn record_copy(&mut self, bytes: usize) {
+        self.bytes_copied += bytes as u64;
+        self.allocs += 1;
     }
 
     /// Close the current iteration bucket.

@@ -1,4 +1,4 @@
-//! Untimed backend: one real OS thread per rank, crossbeam channels.
+//! Untimed backend: one real OS thread per rank, std mpsc channels.
 //!
 //! This backend exists to prove the algorithms are honest message-passing
 //! programs: every run executes with genuine parallelism and OS-scheduled
@@ -7,10 +7,11 @@
 //! mode adds random per-message delivery delays to shake out ordering
 //! assumptions further.
 
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use mpp_sim::Payload;
 
 use crate::comm::{Communicator, Message};
 use crate::stats::CommStats;
@@ -35,15 +36,17 @@ pub enum ThreadFault {
 struct Wire {
     src: usize,
     tag: Tag,
-    data: Vec<u8>,
+    data: Payload,
 }
 
 /// A [`Communicator`] backed by real threads and channels.
 pub struct ThreadComm<'a> {
     rank: usize,
     size: usize,
-    txs: &'a [Sender<Wire>],
-    rx: &'a Receiver<Wire>,
+    // mpsc senders are not Sync, so each rank owns its own clone of the
+    // full sender list rather than sharing one slice.
+    txs: Vec<Sender<Wire>>,
+    rx: Receiver<Wire>,
     barrier: &'a Barrier,
     pending: Vec<Wire>,
     stats: CommStats,
@@ -81,10 +84,15 @@ impl Communicator for ThreadComm<'_> {
     }
 
     fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
+        self.stats.record_copy(data.len());
+        self.send_payload(dst, tag, Payload::from_slice(data));
+    }
+
+    fn send_payload(&mut self, dst: usize, tag: Tag, data: Payload) {
         self.stats.record_send(data.len());
         self.maybe_delay();
         self.txs[dst]
-            .send(Wire { src: self.rank, tag, data: data.to_vec() })
+            .send(Wire { src: self.rank, tag, data })
             .expect("receiver rank terminated early");
     }
 
@@ -144,7 +152,7 @@ pub struct ThreadRunOutput<R> {
 ///     let next = (comm.rank() + 1) % comm.size();
 ///     comm.send(next, 0, &[comm.rank() as u8]);
 ///     let prev = (comm.rank() + comm.size() - 1) % comm.size();
-///     comm.recv(Some(prev), Some(0)).data[0] as usize
+///     comm.recv(Some(prev), Some(0)).data.to_vec()[0] as usize
 /// });
 /// assert_eq!(out.results, vec![3, 0, 1, 2]);
 /// ```
@@ -166,7 +174,7 @@ where
     let mut txs = Vec::with_capacity(p);
     let mut rxs = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = unbounded::<Wire>();
+        let (tx, rx) = channel::<Wire>();
         txs.push(tx);
         rxs.push(Some(rx));
     }
@@ -182,12 +190,13 @@ where
         for (rank, rx_slot) in rxs.iter_mut().enumerate() {
             let rx = rx_slot.take().unwrap();
             let seed_rank = rank as u64;
+            let my_txs: Vec<Sender<Wire>> = txs.to_vec();
             handles.push(scope.spawn(move || {
                 let mut comm = ThreadComm {
                     rank,
                     size: p,
-                    txs,
-                    rx: &rx,
+                    txs: my_txs,
+                    rx,
                     barrier,
                     pending: Vec::new(),
                     stats: CommStats::new(),
@@ -220,7 +229,7 @@ mod tests {
         let out = run_threads(8, |comm| {
             let p = comm.size();
             comm.send((comm.rank() + 1) % p, 0, &[comm.rank() as u8]);
-            comm.recv(Some((comm.rank() + p - 1) % p), Some(0)).data[0]
+            comm.recv(Some((comm.rank() + p - 1) % p), Some(0)).data.to_vec()[0]
         });
         for (rank, &got) in out.results.iter().enumerate() {
             assert_eq!(got as usize, (rank + 8 - 1) % 8);

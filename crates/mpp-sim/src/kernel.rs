@@ -4,13 +4,14 @@
 //! traps into this kernel, which advances virtual time deterministically
 //! (see crate docs for the scheduling rule and timing model).
 
-use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 
 use mpp_model::{LibraryKind, Machine, Time};
 
+use crate::mailbox::{Mailbox, MsgRec};
 use crate::network::NetworkState;
+use crate::payload::Payload;
 use crate::trace::MsgTrace;
 use crate::Tag;
 
@@ -40,8 +41,8 @@ pub struct Envelope {
     pub src: usize,
     /// Message tag.
     pub tag: Tag,
-    /// Payload.
-    pub data: Vec<u8>,
+    /// Payload (shared-ownership rope; delivery never copies bytes).
+    pub data: Payload,
     /// Virtual time the message reached the receiver's node.
     pub arrival: Time,
     /// How long the receiver sat blocked waiting for it (0 if it was
@@ -62,7 +63,7 @@ pub struct DeadlockInfo {
 // ---------------------------------------------------------------------
 
 enum Trap {
-    Send { dst: usize, tag: Tag, data: Vec<u8> },
+    Send { dst: usize, tag: Tag, data: Payload },
     Recv { src: Option<usize>, tag: Option<Tag> },
     ComputeNs { ns: Time },
     Memcpy { bytes: usize },
@@ -74,14 +75,6 @@ enum Grant {
     Sent { clock: Time },
     Received { env: Envelope, clock: Time },
     Done { clock: Time },
-}
-
-struct MsgRec {
-    arrival: Time,
-    seq: u64,
-    src: usize,
-    tag: Tag,
-    data: Vec<u8>,
 }
 
 /// The per-rank handle user programs communicate through.
@@ -129,9 +122,20 @@ impl RankCtx {
 
     /// Asynchronous send: returns after the software startup cost; the
     /// transfer itself proceeds in the network model.
+    ///
+    /// Copies `data` once into shared storage. Prefer
+    /// [`send_payload`](Self::send_payload) when the payload already
+    /// lives in a [`Payload`] — that path moves pointers, not bytes.
     pub fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
+        self.send_payload(dst, tag, Payload::from_slice(data));
+    }
+
+    /// Asynchronous send of a shared-ownership payload. The virtual-time
+    /// cost model is identical to [`send`](Self::send) (it depends only
+    /// on the byte length); no host-side copy is made.
+    pub fn send_payload(&mut self, dst: usize, tag: Tag, data: impl Into<Payload>) {
         assert!(dst < self.size, "send to rank {dst} out of range");
-        match self.call(Trap::Send { dst, tag, data: data.to_vec() }) {
+        match self.call(Trap::Send { dst, tag, data: data.into() }) {
             Grant::Sent { .. } => {}
             _ => unreachable!("kernel protocol violation"),
         }
@@ -322,7 +326,7 @@ fn run_kernel(
     let alpha_recv = params.alpha_recv(lib);
 
     let mut net = NetworkState::new(machine);
-    let mut mailboxes: Vec<VecDeque<MsgRec>> = (0..p).map(|_| VecDeque::new()).collect();
+    let mut mailboxes: Vec<Mailbox> = (0..p).map(|_| Mailbox::new()).collect();
     let mut states: Vec<RankState> = (0..p)
         .map(|_| RankState { clock: 0, pending: None, done: false, in_barrier: false, blocked_recv: false })
         .collect();
@@ -375,8 +379,8 @@ fn run_kernel(
                 continue;
             }
             let eff = match st.pending.as_ref().expect("live rank without pending trap") {
-                Trap::Recv { src, tag } => match min_match(&mailboxes[rank], *src, *tag) {
-                    Some((_, arrival)) => st.clock.max(arrival),
+                Trap::Recv { src, tag } => match mailboxes[rank].peek_match(*src, *tag) {
+                    Some((arrival, _)) => st.clock.max(arrival),
                     None => continue, // blocked
                 },
                 _ => st.clock,
@@ -409,15 +413,15 @@ fn run_kernel(
                     });
                 }
                 seq += 1;
-                mailboxes[dst].push_back(MsgRec { arrival, seq, src: rank, tag, data });
+                mailboxes[dst].insert(MsgRec { arrival, seq, src: rank, tag, data });
                 states[rank].clock = ready;
                 send_grant(grant_txs, rank, Grant::Sent { clock: ready });
                 states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
             }
             Trap::Recv { src, tag } => {
-                let (idx, arrival) =
-                    min_match(&mailboxes[rank], src, tag).expect("selected recv without match");
-                let rec = mailboxes[rank].remove(idx).unwrap();
+                let rec =
+                    mailboxes[rank].take_match(src, tag).expect("selected recv without match");
+                let arrival = rec.arrival;
                 let waited_ns = arrival.saturating_sub(states[rank].clock);
                 let clock = states[rank].clock.max(arrival) + alpha_recv;
                 states[rank].clock = clock;
@@ -451,19 +455,6 @@ fn run_kernel(
     (net.contention_events, net.contention_ns, trace)
 }
 
-fn min_match(mailbox: &VecDeque<MsgRec>, src: Option<usize>, tag: Option<Tag>) -> Option<(usize, Time)> {
-    let mut best: Option<(usize, Time, u64)> = None;
-    for (i, m) in mailbox.iter().enumerate() {
-        if src.is_some_and(|s| s != m.src) || tag.is_some_and(|t| t != m.tag) {
-            continue;
-        }
-        if best.is_none_or(|(_, a, sq)| (m.arrival, m.seq) < (a, sq)) {
-            best = Some((i, m.arrival, m.seq));
-        }
-    }
-    best.map(|(i, a, _)| (i, a))
-}
-
 fn recv_trap(
     trap_rxs: &[Receiver<Trap>],
     grant_txs: &mut [Option<Sender<Grant>>],
@@ -495,7 +486,7 @@ fn send_grant(grant_txs: &[Option<Sender<Grant>>], rank: usize, grant: Grant) {
 fn abort_deadlock(
     machine: &Machine,
     states: &[RankState],
-    mailboxes: &[VecDeque<MsgRec>],
+    mailboxes: &[Mailbox],
     grant_txs: &mut [Option<Sender<Grant>>],
 ) -> ! {
     let mut info = DeadlockInfo { states: Vec::new() };

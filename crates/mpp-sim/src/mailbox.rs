@@ -1,0 +1,145 @@
+//! Indexed per-rank mailbox.
+//!
+//! The seed kernel kept each rank's undelivered messages in a
+//! `VecDeque` and ran a linear scan per `recv` (and per scheduling
+//! decision for a blocked rank) to find the earliest match — O(n) per
+//! probe, and the scheduler probes every blocked rank every step. This
+//! mailbox maintains the same *deterministic* selection rule — among
+//! matching messages, smallest `(arrival, seq)` wins — behind ordered
+//! indices, making every probe O(log n):
+//!
+//! * exact `(src, tag)` queries hit a `BTreeMap<(src, tag), BTreeSet>`
+//! * `src`-only and `tag`-only wildcards hit per-key sets
+//! * full wildcards hit a global ordered set
+//!
+//! All indices store `(arrival, seq)` keys, so `first()` of any set is
+//! exactly what the seed's linear scan selected; virtual-time outcomes
+//! are bit-identical by construction.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use mpp_model::Time;
+
+use crate::payload::Payload;
+use crate::Tag;
+
+/// An undelivered message held by the kernel.
+pub(crate) struct MsgRec {
+    pub arrival: Time,
+    pub seq: u64,
+    pub src: usize,
+    pub tag: Tag,
+    pub data: Payload,
+}
+
+type Key = (Time, u64); // (arrival, seq) — the deterministic delivery order
+
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    msgs: HashMap<u64, MsgRec>, // seq → record
+    all: BTreeSet<Key>,
+    by_src_tag: BTreeMap<(usize, Tag), BTreeSet<Key>>,
+    by_src: BTreeMap<usize, BTreeSet<Key>>,
+    by_tag: BTreeMap<Tag, BTreeSet<Key>>,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    pub fn insert(&mut self, rec: MsgRec) {
+        let key = (rec.arrival, rec.seq);
+        self.all.insert(key);
+        self.by_src_tag.entry((rec.src, rec.tag)).or_default().insert(key);
+        self.by_src.entry(rec.src).or_default().insert(key);
+        self.by_tag.entry(rec.tag).or_default().insert(key);
+        self.msgs.insert(rec.seq, rec);
+    }
+
+    /// Earliest `(arrival, seq)` among messages matching the filter,
+    /// without removing it.
+    pub fn peek_match(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Key> {
+        match (src, tag) {
+            (Some(s), Some(t)) => self.by_src_tag.get(&(s, t)).and_then(|set| set.first()),
+            (Some(s), None) => self.by_src.get(&s).and_then(|set| set.first()),
+            (None, Some(t)) => self.by_tag.get(&t).and_then(|set| set.first()),
+            (None, None) => self.all.first(),
+        }
+        .copied()
+    }
+
+    /// Remove and return the earliest matching message.
+    pub fn take_match(&mut self, src: Option<usize>, tag: Option<Tag>) -> Option<MsgRec> {
+        let key = self.peek_match(src, tag)?;
+        let rec = self.msgs.remove(&key.1).expect("index referenced missing message");
+        self.all.remove(&key);
+        prune(&mut self.by_src_tag, (rec.src, rec.tag), key);
+        prune(&mut self.by_src, rec.src, key);
+        prune(&mut self.by_tag, rec.tag, key);
+        Some(rec)
+    }
+}
+
+fn prune<K: Ord>(map: &mut BTreeMap<K, BTreeSet<Key>>, at: K, key: Key) {
+    if let Some(set) = map.get_mut(&at) {
+        set.remove(&key);
+        if set.is_empty() {
+            map.remove(&at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(arrival: Time, seq: u64, src: usize, tag: Tag) -> MsgRec {
+        MsgRec { arrival, seq, src, tag, data: Payload::new() }
+    }
+
+    #[test]
+    fn selection_matches_linear_scan_rule() {
+        let mut mb = Mailbox::new();
+        // Insert out of arrival order; same arrival → lower seq wins.
+        mb.insert(rec(50, 3, 1, 7));
+        mb.insert(rec(10, 5, 2, 7));
+        mb.insert(rec(10, 4, 1, 8));
+        mb.insert(rec(99, 1, 3, 9));
+
+        assert_eq!(mb.peek_match(None, None), Some((10, 4)));
+        assert_eq!(mb.peek_match(None, Some(7)), Some((10, 5)));
+        assert_eq!(mb.peek_match(Some(1), None), Some((10, 4)));
+        assert_eq!(mb.peek_match(Some(1), Some(7)), Some((50, 3)));
+        assert_eq!(mb.peek_match(Some(9), None), None);
+        assert_eq!(mb.peek_match(None, Some(42)), None);
+
+        let first = mb.take_match(None, None).unwrap();
+        assert_eq!((first.arrival, first.seq), (10, 4));
+        // Wildcard now falls through to the next earliest.
+        assert_eq!(mb.peek_match(None, None), Some((10, 5)));
+        assert_eq!(mb.len(), 3);
+    }
+
+    #[test]
+    fn indices_stay_consistent_through_churn() {
+        let mut mb = Mailbox::new();
+        for i in 0..100u64 {
+            mb.insert(rec(1000 - i, i, (i % 7) as usize, (i % 3) as u32));
+        }
+        let mut last = 0;
+        let mut taken = 0;
+        while let Some(r) = mb.take_match(None, None) {
+            assert!(r.arrival >= last, "wildcard drain must be arrival-ordered");
+            last = r.arrival;
+            taken += 1;
+        }
+        assert_eq!(taken, 100);
+        assert_eq!(mb.len(), 0);
+        assert_eq!(mb.peek_match(Some(0), Some(0)), None);
+    }
+}

@@ -1,0 +1,434 @@
+//! Shared-ownership message payloads (the zero-copy message path).
+//!
+//! A [`Payload`] is a *rope*: an ordered list of segments, each a
+//! `(Arc<[u8]>, start, len)` view into immutable shared storage. The
+//! operations the broadcast algorithms are built from — forwarding a
+//! received message, combining `k` message sets into one, slicing a
+//! combined set back apart — become O(segments) pointer pushes instead
+//! of O(total bytes) memcpy:
+//!
+//! * [`Payload::clone`] clones `Arc` pointers, never bytes.
+//! * [`Payload::append`] / [`Payload::push_payload`] splice segment
+//!   lists.
+//! * [`Payload::slice`] re-slices existing segments.
+//!
+//! Bytes are only copied at the boundary where contiguous storage is
+//! genuinely required ([`Payload::from_slice`], [`Payload::to_vec`],
+//! [`Payload::contiguous`] on a fragmented rope). Every such copy is
+//! counted in process-global [`copy_metrics`], which the benchmarks and
+//! the zero-copy regression tests read to prove the fast path stays
+//! fast.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide copy accounting for the payload layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyMetrics {
+    /// Total bytes physically memcpy'd through payload APIs.
+    pub bytes_copied: u64,
+    /// Number of fresh backing-store allocations.
+    pub allocs: u64,
+}
+
+/// Snapshot the global copy counters.
+pub fn copy_metrics() -> CopyMetrics {
+    CopyMetrics {
+        bytes_copied: BYTES_COPIED.load(Ordering::Relaxed),
+        allocs: ALLOCS.load(Ordering::Relaxed),
+    }
+}
+
+impl CopyMetrics {
+    /// Counter movement since an earlier snapshot.
+    pub fn since(&self, earlier: &CopyMetrics) -> CopyMetrics {
+        CopyMetrics {
+            bytes_copied: self.bytes_copied.wrapping_sub(earlier.bytes_copied),
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+        }
+    }
+}
+
+fn note_copy(bytes: usize) {
+    BYTES_COPIED.fetch_add(bytes as u64, Ordering::Relaxed);
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[derive(Clone)]
+struct Segment {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Segment {
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+/// An immutable byte string with shared ownership and O(1)-per-segment
+/// structural operations. See the module docs.
+#[derive(Clone, Default)]
+pub struct Payload {
+    segs: Vec<Segment>,
+    len: usize,
+}
+
+impl Payload {
+    /// The empty payload.
+    pub fn new() -> Self {
+        Payload { segs: Vec::new(), len: 0 }
+    }
+
+    /// Wrap an owned buffer. One backing allocation; the bytes are moved
+    /// into shared storage (counted as one copy — `Arc<[u8]>` requires
+    /// its header inline with the data).
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            return Payload::new();
+        }
+        note_copy(v.len());
+        Payload::from_arc(Arc::from(v))
+    }
+
+    /// Copy a borrowed slice into fresh shared storage.
+    pub fn from_slice(data: &[u8]) -> Self {
+        if data.is_empty() {
+            return Payload::new();
+        }
+        note_copy(data.len());
+        Payload::from_arc(Arc::from(data))
+    }
+
+    /// Wrap existing shared storage without copying.
+    pub fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        if len == 0 {
+            return Payload::new();
+        }
+        Payload { segs: vec![Segment { data, start: 0, len }], len }
+    }
+
+    /// Total byte length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of rope segments (1 means contiguous).
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Append another payload by reference: O(segments of `other`)
+    /// pointer clones, zero byte copies.
+    pub fn push_payload(&mut self, other: &Payload) {
+        self.segs.extend(other.segs.iter().cloned());
+        self.len += other.len;
+    }
+
+    /// Append an owned payload: splices the segment list, zero copies.
+    pub fn append(&mut self, other: Payload) {
+        self.len += other.len;
+        self.segs.extend(other.segs);
+    }
+
+    /// Zero-copy sub-range view. O(segments).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> Payload {
+        assert!(start <= end && end <= self.len, "slice {start}..{end} of {} bytes", self.len);
+        let mut out = Payload::new();
+        let mut pos = 0usize;
+        for seg in &self.segs {
+            let seg_end = pos + seg.len;
+            if seg_end > start && pos < end {
+                let from = start.max(pos) - pos;
+                let to = end.min(seg_end) - pos;
+                out.segs.push(Segment {
+                    data: Arc::clone(&seg.data),
+                    start: seg.start + from,
+                    len: to - from,
+                });
+                out.len += to - from;
+            }
+            pos = seg_end;
+            if pos >= end {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Iterate the rope's contiguous chunks in order.
+    pub fn chunks(&self) -> impl Iterator<Item = &[u8]> {
+        self.segs.iter().map(|s| s.bytes())
+    }
+
+    /// Iterate all bytes in order (no materialization).
+    pub fn iter_bytes(&self) -> impl Iterator<Item = u8> + '_ {
+        self.segs.iter().flat_map(|s| s.bytes().iter().copied())
+    }
+
+    /// Materialize into an owned `Vec` (copies all bytes).
+    pub fn to_vec(&self) -> Vec<u8> {
+        if self.len > 0 {
+            note_copy(self.len);
+        }
+        let mut out = Vec::with_capacity(self.len);
+        for seg in &self.segs {
+            out.extend_from_slice(seg.bytes());
+        }
+        out
+    }
+
+    /// A contiguous view: borrows when the rope is a single segment,
+    /// otherwise materializes a copy.
+    pub fn contiguous(&self) -> Cow<'_, [u8]> {
+        match self.segs.as_slice() {
+            [] => Cow::Borrowed(&[]),
+            [one] => Cow::Borrowed(one.bytes()),
+            _ => Cow::Owned(self.to_vec()),
+        }
+    }
+
+    /// Sequential reader over the rope (used by wire-format parsers).
+    pub fn reader(&self) -> PayloadReader<'_> {
+        PayloadReader { payload: self, pos: 0 }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload({} bytes, {} segs)", self.len, self.segs.len())
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.len == other.len && self.iter_bytes().eq(other.iter_bytes())
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.len == other.len() && self.iter_bytes().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self == other.as_slice()
+    }
+}
+
+// Accessors like `MessageSet::get` hand out `&Payload`; std's blanket
+// `&A == &B` impl doesn't cover `&Payload == Vec<u8>`, so spell it out.
+impl PartialEq<Vec<u8>> for &Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self == other.as_slice()
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        other == self.as_slice()
+    }
+}
+
+impl PartialEq<Payload> for [u8] {
+    fn eq(&self, other: &Payload) -> bool {
+        other == self
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(s: &[u8]) -> Self {
+        Payload::from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(s: &[u8; N]) -> Self {
+        Payload::from_slice(s)
+    }
+}
+
+impl From<Arc<[u8]>> for Payload {
+    fn from(a: Arc<[u8]>) -> Self {
+        Payload::from_arc(a)
+    }
+}
+
+/// Cursor over a [`Payload`]; header reads copy only the bytes asked
+/// for, sub-payload reads are zero-copy slices.
+pub struct PayloadReader<'a> {
+    payload: &'a Payload,
+    pos: usize,
+}
+
+impl PayloadReader<'_> {
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.payload.len - self.pos
+    }
+
+    /// Read `buf.len()` bytes into `buf`. Returns false (consuming
+    /// nothing) if not enough bytes remain.
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> bool {
+        if self.remaining() < buf.len() {
+            return false;
+        }
+        let mut written = 0usize;
+        let mut pos = 0usize;
+        for seg in &self.payload.segs {
+            let seg_end = pos + seg.len;
+            if seg_end > self.pos && written < buf.len() {
+                let from = self.pos.max(pos) - pos;
+                let want = (buf.len() - written).min(seg.len - from);
+                buf[written..written + want].copy_from_slice(&seg.bytes()[from..from + want]);
+                written += want;
+                self.pos += want;
+            }
+            pos = seg_end;
+            if written == buf.len() {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Read a little-endian u32, or None if exhausted.
+    pub fn read_u32_le(&mut self) -> Option<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b).then(|| u32::from_le_bytes(b))
+    }
+
+    /// Take the next `n` bytes as a zero-copy sub-payload, or None if
+    /// fewer remain.
+    pub fn take_payload(&mut self, n: usize) -> Option<Payload> {
+        if self.remaining() < n {
+            return None;
+        }
+        let out = self.payload.slice(self.pos, self.pos + n);
+        self.pos += n;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rope_concat_is_zero_copy() {
+        let a = Payload::from_slice(b"hello ");
+        let b = Payload::from_slice(b"world");
+        let before = copy_metrics();
+        let mut c = a.clone();
+        c.push_payload(&b);
+        let d = c.clone();
+        let delta = copy_metrics().since(&before);
+        assert_eq!(delta.bytes_copied, 0, "clone/concat must not copy bytes");
+        assert_eq!(d, b"hello world");
+        assert_eq!(d.len(), 11);
+        assert_eq!(d.segment_count(), 2);
+    }
+
+    #[test]
+    fn slice_respects_segment_boundaries() {
+        let mut p = Payload::from_slice(b"abcd");
+        p.push_payload(&Payload::from_slice(b"efgh"));
+        p.push_payload(&Payload::from_slice(b"ijkl"));
+        assert_eq!(p.slice(0, 12), *b"abcdefghijkl");
+        assert_eq!(p.slice(2, 10), b"cdefghij");
+        assert_eq!(p.slice(4, 8), b"efgh");
+        assert_eq!(p.slice(5, 5).len(), 0);
+        let before = copy_metrics();
+        let _ = p.slice(1, 11);
+        assert_eq!(copy_metrics().since(&before).bytes_copied, 0);
+    }
+
+    #[test]
+    fn reader_spans_segments() {
+        let mut p = Payload::new();
+        p.push_payload(&Payload::from_slice(&7u32.to_le_bytes()[..2]));
+        p.push_payload(&Payload::from_slice(&7u32.to_le_bytes()[2..]));
+        p.push_payload(&Payload::from_slice(b"payload"));
+        let mut r = p.reader();
+        assert_eq!(r.read_u32_le(), Some(7));
+        let body = r.take_payload(7).unwrap();
+        assert_eq!(body, b"payload");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_u32_le(), None);
+    }
+
+    #[test]
+    fn equality_ignores_segmentation() {
+        let flat = Payload::from_slice(b"xyzw");
+        let mut rope = Payload::from_slice(b"xy");
+        rope.push_payload(&Payload::from_slice(b"zw"));
+        assert_eq!(flat, rope);
+        assert_eq!(rope, b"xyzw");
+        assert_eq!(rope, vec![b'x', b'y', b'z', b'w']);
+        assert_ne!(rope, b"xyzv");
+        assert_ne!(rope, b"xyz");
+    }
+
+    #[test]
+    fn to_vec_counts_the_copy() {
+        let p = Payload::from_slice(&[9u8; 100]);
+        let before = copy_metrics();
+        let v = p.to_vec();
+        let delta = copy_metrics().since(&before);
+        assert_eq!(v.len(), 100);
+        assert!(delta.bytes_copied >= 100);
+    }
+
+    #[test]
+    fn contiguous_borrows_single_segment() {
+        let p = Payload::from_slice(b"one-seg");
+        let before = copy_metrics();
+        assert!(matches!(p.contiguous(), Cow::Borrowed(b"one-seg")));
+        assert_eq!(copy_metrics().since(&before).bytes_copied, 0);
+    }
+}

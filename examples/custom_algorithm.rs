@@ -46,10 +46,10 @@ impl StpAlgorithm for RingPipeline {
         // is the whole game — see the merge algorithms.
         let mut forward: MessageSet = set.clone();
         for round in 0..p - 1 {
-            comm.send(next, round as u32, &forward.to_bytes());
+            comm.send_payload(next, round as u32, forward.to_payload());
             let got = comm.recv(Some(prev), Some(round as u32));
             comm.charge_memcpy(got.data.len());
-            forward = MessageSet::from_bytes(&got.data).expect("malformed ring message");
+            forward = MessageSet::from_payload(&got.data).expect("malformed ring message");
             set.merge(forward.clone());
             comm.next_iteration();
         }

@@ -57,7 +57,7 @@ fn main() {
             let mut halo_sum = 0.0f64;
             for &n in &neighbours {
                 let m = comm.recv(Some(n), Some(10));
-                for chunk in m.data.chunks_exact(8) {
+                for chunk in m.data.contiguous().chunks_exact(8) {
                     halo_sum += f64::from_le_bytes(chunk.try_into().unwrap());
                 }
             }

@@ -80,7 +80,7 @@ fn main() {
         // Recompute: total load over all published records.
         set.sources()
             .map(|s| {
-                let d = set.get(s).unwrap();
+                let d = set.get(s).unwrap().to_vec();
                 u32::from_le_bytes(d[4..8].try_into().unwrap()) as u64
             })
             .sum::<u64>()

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Quick (~30 s) criterion smoke pass for CI and local sanity checks.
+#
+# Samples a representative subset of the figure benches with a tight
+# per-benchmark budget and appends one JSON record per benchmark to
+# BENCH_sweep.json (see the criterion shim's BENCH_SAMPLE_MS/BENCH_JSON
+# knobs). The committed BENCH_sweep.json at the repository root is the
+# reference baseline; regenerate it with this script after intentional
+# performance changes.
+#
+#   ./scripts/bench-smoke.sh [output.json]
+#
+# Environment:
+#   BENCH_SMOKE_MS       per-benchmark budget in ms (default 40)
+#   STP_SWEEP_WORKERS    forwarded to the sweep engine benches
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_sweep.json}"
+# cargo runs benches with the package directory as cwd; hand the shim
+# an absolute path so the records land at the repository root.
+case "$OUT" in /*) ;; *) OUT="$PWD/$OUT" ;; esac
+MS="${BENCH_SMOKE_MS:-40}"
+
+cargo build -q --release -p stp-bench --benches --bins
+rm -f "$OUT"
+
+# One filter per line: the sweep engine itself, the figure-2 parameter
+# pipeline, and one full source sweep (every algorithm family).
+for filter in sweep_engine fig02 fig03; do
+  BENCH_SAMPLE_MS="$MS" BENCH_JSON="$OUT" \
+    cargo bench -q -p stp-bench --bench figures -- "$filter"
+done
+
+# Bytes-copied baseline: comm-layer copy counters must stay at zero on
+# the rope path; payload-level copies are construction + framing only.
+for algo in br_lin 2_step persalltoall; do
+  target/release/stp --machine paragon --rows 16 --cols 16 \
+    --algo "$algo" --dist equal --s 24 --len 4096 --copy-stats \
+    | grep '^{' >> "$OUT"
+done
+
+echo "wrote $(wc -l < "$OUT") benchmark records to $OUT"

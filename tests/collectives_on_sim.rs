@@ -13,7 +13,7 @@ fn bcast_on_simulator_with_timing() {
         let data = (comm.rank() == 0).then(|| vec![7u8; 4096]);
         coll::bcast_from_first(comm, &order, data, 0)
     });
-    assert!(out.results.iter().all(|d| d == &vec![7u8; 4096]));
+    assert!(out.results.iter().all(|d| *d == vec![7u8; 4096]));
     // log2(16) = 4 rounds; the makespan must be at least 4 serialized
     // transfers of the payload and far less than 16 sequential ones.
     let one_transfer = machine.params.serialize_ns(4096);

@@ -94,7 +94,7 @@ fn threads_matrix() {
                 let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
                 let set = alg.run(comm, &ctx);
                 set.sources().collect::<Vec<_>>() == sources
-                    && sources.iter().all(|&s| set.get(s).unwrap() == payload_for(s, 48))
+                    && sources.iter().all(|&s| *set.get(s).unwrap() == payload_for(s, 48))
             });
             assert!(
                 out.results.iter().all(|&ok| ok),

@@ -50,6 +50,72 @@ fn determinism_across_many_repeats() {
 }
 
 #[test]
+fn flat_and_rope_sends_cost_identical_virtual_time() {
+    // Virtual send cost must depend only on the byte length, not on
+    // whether the payload arrived as one flat buffer or a multi-segment
+    // rope — otherwise the zero-copy conversion would shift the paper's
+    // reproduced timings.
+    let machine = Machine::paragon(3, 4);
+    let p = machine.p();
+    let ring = |payload_of: &(dyn Fn() -> Option<mpp_sim::Payload> + Sync)| {
+        run_simulated(&machine, LibraryKind::Nx, |comm| {
+            let me = comm.rank();
+            let next = (me + 1) % p;
+            match payload_of() {
+                Some(rope) => comm.send_payload(next, 5, rope),
+                None => comm.send(next, 5, &[0x5A; 1536]),
+            }
+            comm.recv(Some((me + p - 1) % p), Some(5)).data.len()
+        })
+    };
+    let flat = ring(&|| None);
+    let rope = ring(&|| {
+        // Same 1536 bytes as three shared 512-byte segments.
+        let seg = mpp_sim::Payload::from_slice(&[0x5A; 512]);
+        let mut rope = seg.clone();
+        rope.push_payload(&seg);
+        rope.push_payload(&seg);
+        Some(rope)
+    });
+    assert!(flat.results.iter().all(|&n| n == 1536));
+    assert_eq!(flat.results, rope.results);
+    assert_eq!(flat.makespan_ns, rope.makespan_ns, "rope framing changed virtual time");
+    assert_eq!(flat.finish_ns, rope.finish_ns);
+    assert_eq!(flat.contention_ns, rope.contention_ns);
+}
+
+#[test]
+fn parallel_sweep_bit_identical_to_sequential() {
+    // The sweep engine only reorders *which host thread* runs each
+    // simulation; every virtual quantity must be unchanged.
+    let machine = Machine::paragon(6, 6);
+    let machine = &machine;
+    let grid: Vec<Experiment> = [AlgoKind::TwoStep, AlgoKind::BrLin, AlgoKind::ReposXySource]
+        .iter()
+        .flat_map(|&kind| {
+            [4usize, 12, 30].into_iter().map(move |s| Experiment {
+                machine,
+                dist: SourceDist::Cross,
+                s,
+                msg_len: 768,
+                kind,
+            })
+        })
+        .collect();
+    let seq = SweepRunner::sequential().run_experiments(&grid);
+    let par = SweepRunner::new().with_workers(4).run_experiments(&grid);
+    assert_eq!(seq.len(), par.len());
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert!(a.verified && b.verified);
+        assert_eq!(a.makespan_ns, b.makespan_ns, "grid point {i} makespan differs");
+        assert_eq!(a.finish_ns, b.finish_ns, "grid point {i} finish times differ");
+        assert_eq!(a.contention_events, b.contention_events);
+        assert_eq!(a.contention_ns, b.contention_ns);
+        assert_eq!(a.stats, b.stats, "grid point {i} statistics differ");
+    }
+}
+
+#[test]
 fn different_seeds_change_t3d_times() {
     // The rotated-block placement must actually depend on the seed, and
     // timing must follow it.

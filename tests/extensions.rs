@@ -45,7 +45,7 @@ fn br_dims_on_t3d_native_3d_grid() {
         let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
         let set = alg.run(comm, &ctx);
         set.sources().collect::<Vec<_>>() == sources
-            && sources.iter().all(|&s| set.get(s).unwrap() == payload_for(s, 512))
+            && sources.iter().all(|&s| *set.get(s).unwrap() == payload_for(s, 512))
     });
     assert!(dims_out.results.iter().all(|&ok| ok));
 }

@@ -15,7 +15,7 @@ fn check_under_fault(kind: AlgoKind, shape: MeshShape, s: usize, fault: ThreadFa
         let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
         let set = alg.run(comm, &ctx);
         set.sources().collect::<Vec<_>>() == sources
-            && sources.iter().all(|&s| set.get(s).unwrap() == payload_for(s, 64))
+            && sources.iter().all(|&s| *set.get(s).unwrap() == payload_for(s, 64))
     });
     assert!(out.results.iter().all(|&ok| ok), "{} failed under {fault:?}", kind.name());
 }
