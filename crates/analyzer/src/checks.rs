@@ -1,0 +1,468 @@
+//! The four schedule checks.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use mpp_model::{Link, Machine};
+
+use crate::schedule::{Attributed, Attribution, Schedule};
+
+/// What a finding is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FindingKind {
+    /// The run aborted with every live rank blocked in `recv`.
+    Deadlock,
+    /// A message was still undelivered when its destination finished.
+    UnmatchedSend,
+    /// A receive matched while another in-flight message with the same
+    /// `(src, tag)` was racing it.
+    MatchAmbiguity,
+    /// A rank ended without one or more of the `s` source messages.
+    PayloadLeak,
+    /// A physical link carried more messages than the configured bound.
+    LinkOverload,
+}
+
+impl FindingKind {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FindingKind::Deadlock => "deadlock",
+            FindingKind::UnmatchedSend => "unmatched_send",
+            FindingKind::MatchAmbiguity => "match_ambiguity",
+            FindingKind::PayloadLeak => "payload_leak",
+            FindingKind::LinkOverload => "link_overload",
+        }
+    }
+}
+
+/// One diagnostic produced by the checker.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Category.
+    pub kind: FindingKind,
+    /// The rank the finding is anchored at, when meaningful.
+    pub rank: Option<usize>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Everything the checker computed for one schedule.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings, in check order (deadlock first).
+    pub findings: Vec<Finding>,
+    /// Total sends recorded.
+    pub sends: usize,
+    /// Total receive matches recorded.
+    pub recvs: usize,
+    /// Heaviest per-link message count over the machine's routes.
+    pub max_link_load: u64,
+    /// The link carrying `max_link_load` (None on an empty schedule).
+    pub hottest_link: Option<Link>,
+    /// True when some payload could not be traced back to a source; the
+    /// leak check was skipped in that case instead of guessing.
+    pub opaque_payloads: bool,
+}
+
+impl Analysis {
+    /// True when no findings were produced.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Run every check on `sched` as recorded on `machine`.
+///
+/// `max_link_load` opts into the link-overload check: `Some(k)` flags
+/// every physical link that carries more than `k` messages over the
+/// whole run. `None` still computes the per-link counts for the report
+/// but produces no overload findings (absolute message counts are a
+/// property of the algorithm ×machine pair, not a bug by themselves).
+pub fn analyze(
+    sched: &Schedule,
+    machine: &Machine,
+    sources: &[usize],
+    payload_of: &dyn Fn(usize) -> Vec<u8>,
+    max_link_load: Option<u64>,
+) -> Analysis {
+    let mut findings = Vec::new();
+
+    check_deadlock(sched, &mut findings);
+    check_unmatched(sched, &mut findings);
+    check_ambiguity(sched, &mut findings);
+    let opaque_payloads = check_leaks(sched, sources, payload_of, &mut findings);
+    let (link_counts, max, hottest) = link_loads(sched, machine);
+    if let Some(bound) = max_link_load {
+        for (link, count) in &link_counts {
+            if *count > bound {
+                findings.push(Finding {
+                    kind: FindingKind::LinkOverload,
+                    rank: None,
+                    detail: format!(
+                        "link {}->{} carried {count} messages (bound {bound})",
+                        link.from, link.to
+                    ),
+                });
+            }
+        }
+    }
+
+    Analysis {
+        findings,
+        sends: sched.sends.len(),
+        recvs: sched.recvs.len(),
+        max_link_load: max,
+        hottest_link: hottest,
+        opaque_payloads,
+    }
+}
+
+/// Check 1: deadlock, with wait-for cycle reconstruction.
+fn check_deadlock(sched: &Schedule, findings: &mut Vec<Finding>) {
+    if !sched.deadlocked {
+        return;
+    }
+    // Wait-for edges among the blocked ranks: r waits on its src filter.
+    // Wildcard-src waits have no specific edge; they are reported as
+    // unsatisfiable waits instead.
+    let blocked: BTreeMap<usize, Option<usize>> = sched
+        .blocked
+        .iter()
+        .map(|b| (b.rank, b.src_filter))
+        .collect();
+    let cycle = find_wait_cycle(&blocked);
+    let waits: Vec<String> = sched
+        .blocked
+        .iter()
+        .map(|b| {
+            format!(
+                "rank {} waits on recv(src={}, tag={})",
+                b.rank,
+                b.src_filter.map_or("any".into(), |s| s.to_string()),
+                b.tag_filter.map_or("any".into(), |t| t.to_string()),
+            )
+        })
+        .collect();
+    let detail = match cycle {
+        Some(cycle) => {
+            let ring = cycle
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            format!(
+                "deadlock: wait-for cycle {ring} -> {} among {} blocked rank(s); {}",
+                cycle[0],
+                sched.blocked.len(),
+                waits.join("; ")
+            )
+        }
+        None => format!(
+            "deadlock: {} rank(s) blocked on receives no live rank will satisfy; {}",
+            sched.blocked.len(),
+            waits.join("; ")
+        ),
+    };
+    findings.push(Finding {
+        kind: FindingKind::Deadlock,
+        rank: sched.blocked.first().map(|b| b.rank),
+        detail,
+    });
+}
+
+/// Find a cycle in the (partial) functional wait-for graph.
+fn find_wait_cycle(blocked: &BTreeMap<usize, Option<usize>>) -> Option<Vec<usize>> {
+    for &start in blocked.keys() {
+        let mut seen = Vec::new();
+        let mut cur = start;
+        loop {
+            if let Some(pos) = seen.iter().position(|&r| r == cur) {
+                return Some(seen[pos..].to_vec());
+            }
+            seen.push(cur);
+            // Follow the edge only while the waited-on rank is itself
+            // blocked; a wait on a finished or wildcard rank ends the walk.
+            match blocked.get(&cur) {
+                Some(Some(next)) if blocked.contains_key(next) => cur = *next,
+                _ => break,
+            }
+        }
+    }
+    None
+}
+
+/// Check 2: sends that no receive ever consumed.
+///
+/// Skipped for deadlocked runs — in-flight messages are expected there,
+/// and the deadlock finding is the root cause.
+fn check_unmatched(sched: &Schedule, findings: &mut Vec<Finding>) {
+    if sched.deadlocked {
+        return;
+    }
+    let matched = sched.matched_seqs();
+    for send in &sched.sends {
+        if !matched.contains(&send.seq) {
+            findings.push(Finding {
+                kind: FindingKind::UnmatchedSend,
+                rank: Some(send.dst),
+                detail: format!(
+                    "message {} -> {} (tag {}, {} bytes, step {}) was never received",
+                    send.src,
+                    send.dst,
+                    send.tag,
+                    send.data.len(),
+                    send.step
+                ),
+            });
+        }
+    }
+}
+
+/// Check 3: ambiguous receive matches, deduplicated per
+/// `(rank, src, tag)` site.
+fn check_ambiguity(sched: &Schedule, findings: &mut Vec<Finding>) {
+    let mut seen = BTreeSet::new();
+    for recv in &sched.recvs {
+        if recv.dup_in_flight > 1 && seen.insert((recv.rank, recv.src, recv.tag)) {
+            findings.push(Finding {
+                kind: FindingKind::MatchAmbiguity,
+                rank: Some(recv.rank),
+                detail: format!(
+                    "rank {} recv(src={}, tag={}) matched while {} in-flight message(s) \
+                     shared (src={}, tag={}) — delivery order decided the match",
+                    recv.rank,
+                    recv.src_filter.map_or("any".into(), |s| s.to_string()),
+                    recv.tag_filter.map_or("any".into(), |t| t.to_string()),
+                    recv.dup_in_flight,
+                    recv.src,
+                    recv.tag
+                ),
+            });
+        }
+    }
+}
+
+/// Check 4: s-to-p completeness by payload attribution.
+///
+/// Returns whether any payload was opaque (leak check skipped).
+/// Deadlocked runs are skipped — the deadlock is the root cause.
+fn check_leaks(
+    sched: &Schedule,
+    sources: &[usize],
+    payload_of: &dyn Fn(usize) -> Vec<u8>,
+    findings: &mut Vec<Finding>,
+) -> bool {
+    if sched.deadlocked {
+        return false;
+    }
+    let attribution = Attribution::new(sources, payload_of);
+    if !attribution.is_usable() {
+        return true;
+    }
+    let send_by_seq: HashMap<u64, usize> = sched
+        .sends
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.seq, i))
+        .collect();
+
+    // knowledge[r] = sources whose bytes reached rank r.
+    let all: BTreeSet<usize> = sources.iter().copied().collect();
+    let mut knowledge: Vec<BTreeSet<usize>> = (0..sched.p)
+        .map(|r| {
+            if all.contains(&r) {
+                BTreeSet::from([r])
+            } else {
+                BTreeSet::new()
+            }
+        })
+        .collect();
+    for recv in &sched.recvs {
+        let Some(&i) = send_by_seq.get(&recv.seq) else {
+            continue;
+        };
+        match attribution.attribute(&sched.sends[i].data) {
+            Attributed::Sources(set) => knowledge[recv.rank].extend(set),
+            Attributed::Opaque => return true,
+        }
+    }
+    for (rank, known) in knowledge.iter().enumerate() {
+        if !all.is_subset(known) {
+            let missing: Vec<String> = all.difference(known).map(|s| s.to_string()).collect();
+            findings.push(Finding {
+                kind: FindingKind::PayloadLeak,
+                rank: Some(rank),
+                detail: format!(
+                    "rank {rank} never received the message(s) of source(s) {} \
+                     ({} of {} sources reached it)",
+                    missing.join(", "),
+                    known.len(),
+                    all.len()
+                ),
+            });
+        }
+    }
+    false
+}
+
+/// Per-link message counts over the machine's dimension-ordered routes.
+fn link_loads(sched: &Schedule, machine: &Machine) -> (BTreeMap<Link, u64>, u64, Option<Link>) {
+    let mut counts: BTreeMap<Link, u64> = BTreeMap::new();
+    for send in &sched.sends {
+        for link in machine.route(send.src, send.dst) {
+            *counts.entry(link).or_insert(0) += 1;
+        }
+    }
+    let (max, hottest) = counts
+        .iter()
+        .max_by_key(|&(link, count)| (*count, std::cmp::Reverse(*link)))
+        .map_or((0, None), |(link, count)| (*count, Some(*link)));
+    (counts, max, hottest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{BlockedOp, RecvOp, SendOp};
+
+    fn send(seq: u64, src: usize, dst: usize, tag: u32, data: &[u8]) -> SendOp {
+        SendOp {
+            step: 0,
+            seq,
+            src,
+            dst,
+            tag,
+            data: data.to_vec(),
+        }
+    }
+
+    fn recv(seq: u64, rank: usize, src: usize, tag: u32, dup: usize) -> RecvOp {
+        RecvOp {
+            step: 0,
+            rank,
+            src_filter: Some(src),
+            tag_filter: Some(tag),
+            seq,
+            src,
+            tag,
+            dup_in_flight: dup,
+        }
+    }
+
+    fn machine() -> Machine {
+        Machine::paragon(2, 2)
+    }
+
+    fn payload(src: usize) -> Vec<u8> {
+        stp_core::msgset::payload_for(src, 16)
+    }
+
+    #[test]
+    fn clean_exchange_has_no_findings() {
+        // 0 broadcasts its message to everyone; everyone receives it.
+        let mut sched = Schedule {
+            p: 4,
+            ..Schedule::default()
+        };
+        for (i, dst) in [1, 2, 3].into_iter().enumerate() {
+            let seq = i as u64 + 1;
+            sched.sends.push(send(seq, 0, dst, 5, &payload(0)));
+            sched.recvs.push(recv(seq, dst, 0, 5, 1));
+        }
+        let a = analyze(&sched, &machine(), &[0], &payload, None);
+        assert!(a.is_clean(), "unexpected findings: {:?}", a.findings);
+        assert_eq!(a.sends, 3);
+        assert!(a.max_link_load >= 1);
+        assert!(!a.opaque_payloads);
+    }
+
+    #[test]
+    fn deadlock_cycle_is_reconstructed() {
+        let sched = Schedule {
+            p: 3,
+            blocked: vec![
+                BlockedOp {
+                    rank: 0,
+                    src_filter: Some(1),
+                    tag_filter: Some(9),
+                },
+                BlockedOp {
+                    rank: 1,
+                    src_filter: Some(2),
+                    tag_filter: Some(9),
+                },
+                BlockedOp {
+                    rank: 2,
+                    src_filter: Some(0),
+                    tag_filter: Some(9),
+                },
+            ],
+            deadlocked: true,
+            ..Schedule::default()
+        };
+        let a = analyze(&sched, &machine(), &[0], &payload, None);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].kind, FindingKind::Deadlock);
+        assert!(
+            a.findings[0].detail.contains("wait-for cycle"),
+            "{}",
+            a.findings[0].detail
+        );
+    }
+
+    #[test]
+    fn unmatched_send_is_reported() {
+        let mut sched = Schedule {
+            p: 4,
+            ..Schedule::default()
+        };
+        sched.sends.push(send(1, 0, 1, 5, &payload(0)));
+        sched.sends.push(send(2, 0, 2, 5, &payload(0)));
+        sched.recvs.push(recv(1, 1, 0, 5, 1));
+        // seq 2 never received; ranks 2 and 3 also leak source 0.
+        let a = analyze(&sched, &machine(), &[0], &payload, None);
+        let kinds: Vec<FindingKind> = a.findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FindingKind::UnmatchedSend));
+        assert!(kinds.contains(&FindingKind::PayloadLeak));
+    }
+
+    #[test]
+    fn ambiguity_dedupes_per_site() {
+        let mut sched = Schedule {
+            p: 2,
+            ..Schedule::default()
+        };
+        sched.sends.push(send(1, 0, 1, 5, &payload(0)));
+        sched.sends.push(send(2, 0, 1, 5, &payload(0)));
+        sched.recvs.push(recv(1, 1, 0, 5, 2));
+        sched.recvs.push(recv(2, 1, 0, 5, 1));
+        let a = analyze(&sched, &Machine::paragon(1, 2), &[0], &payload, None);
+        let ambiguities: Vec<_> = a
+            .findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::MatchAmbiguity)
+            .collect();
+        assert_eq!(ambiguities.len(), 1);
+    }
+
+    #[test]
+    fn link_overload_requires_opt_in() {
+        let mut sched = Schedule {
+            p: 2,
+            ..Schedule::default()
+        };
+        for seq in 1..=4u64 {
+            sched.sends.push(send(seq, 0, 1, seq as u32, &payload(0)));
+            sched.recvs.push(recv(seq, 1, 0, seq as u32, 1));
+        }
+        let m = Machine::paragon(1, 2);
+        let silent = analyze(&sched, &m, &[0], &payload, None);
+        assert!(silent.is_clean());
+        assert_eq!(silent.max_link_load, 4);
+        let strict = analyze(&sched, &m, &[0], &payload, Some(2));
+        assert!(strict
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::LinkOverload));
+    }
+}

@@ -1,0 +1,157 @@
+//! Seeded-bug fixtures: deliberately broken s-to-p algorithms.
+//!
+//! Each fixture plants one classic schedule bug; the CI lint gate runs
+//! the analyzer over all of them and fails unless every bug is caught
+//! with the right [`FindingKind`]. They double as
+//! end-to-end tests that the recorder survives aborted runs.
+
+use mpp_runtime::Communicator;
+use stp_core::algorithms::{StpAlgorithm, StpCtx};
+use stp_core::msgset::MessageSet;
+
+use crate::FindingKind;
+
+/// Tag range owned by the fixtures (disjoint from every real algorithm).
+const FIX_RING: u32 = 9_000;
+const FIX_CHUNKS: u32 = 9_100;
+const FIX_GATHER: u32 = 9_200;
+const FIX_BCAST: u32 = 9_300;
+
+/// One registered fixture.
+pub struct Fixture {
+    /// Stable fixture name.
+    pub name: &'static str,
+    /// The single finding kind the analyzer must produce.
+    pub expected: FindingKind,
+    /// Build the broken algorithm.
+    pub build: fn() -> Box<dyn StpAlgorithm>,
+}
+
+/// All seeded-bug fixtures.
+pub fn all() -> Vec<Fixture> {
+    vec![
+        Fixture {
+            name: "off_by_one_partner",
+            expected: FindingKind::Deadlock,
+            build: || Box::new(OffByOnePartner),
+        },
+        Fixture {
+            name: "duplicate_tag",
+            expected: FindingKind::MatchAmbiguity,
+            build: || Box::new(DuplicateTag),
+        },
+        Fixture {
+            name: "dropped_combine",
+            expected: FindingKind::PayloadLeak,
+            build: || Box::new(DroppedCombine),
+        },
+    ]
+}
+
+/// Ring forwarding with an off-by-one receive partner: every rank sends
+/// to `rank + 1` but waits on `rank + 2`, so every mailbox holds a
+/// message its owner will never ask for — a full-machine deadlock.
+struct OffByOnePartner;
+
+impl StpAlgorithm for OffByOnePartner {
+    fn name(&self) -> &'static str {
+        "fixture:off_by_one_partner"
+    }
+
+    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
+        ctx.validate(comm);
+        let (me, p) = (comm.rank(), comm.size());
+        comm.send((me + 1) % p, FIX_RING, &[me as u8]);
+        // BUG: the matching receive partner is (me + p - 1) % p.
+        let env = comm.recv(Some((me + 2) % p), Some(FIX_RING));
+        let _ = env;
+        MessageSet::new()
+    }
+}
+
+/// The first source star-broadcasts its message in two chunks that share
+/// one `(src, tag)` pair. Both chunks are in flight together, so which
+/// bytes each receive consumes is decided by queue order alone — the
+/// match-ambiguity hazard (here benign only because the kernel delivers
+/// in arrival order; any reordering of equal-time events would corrupt
+/// the reassembly).
+struct DuplicateTag;
+
+impl StpAlgorithm for DuplicateTag {
+    fn name(&self) -> &'static str {
+        "fixture:duplicate_tag"
+    }
+
+    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
+        ctx.validate(comm);
+        let me = comm.rank();
+        let hub = ctx.sources[0];
+        if me == hub {
+            let data = ctx.payload.expect("hub is a source");
+            let mid = data.len() / 2;
+            for dst in 0..comm.size() {
+                if dst != hub {
+                    // BUG: both halves use the same tag.
+                    comm.send(dst, FIX_CHUNKS, &data[..mid]);
+                    comm.send(dst, FIX_CHUNKS, &data[mid..]);
+                }
+            }
+            MessageSet::single(hub, data)
+        } else {
+            let a = comm.recv(Some(hub), Some(FIX_CHUNKS));
+            let b = comm.recv(Some(hub), Some(FIX_CHUNKS));
+            let mut data = a.data.to_vec();
+            data.extend_from_slice(&b.data.to_vec());
+            MessageSet::single(hub, &data)
+        }
+    }
+}
+
+/// Gather-then-broadcast that silently drops the highest source while
+/// combining at the hub: the schedule completes, every send is matched,
+/// but the dropped source's bytes never reach the other ranks.
+struct DroppedCombine;
+
+impl StpAlgorithm for DroppedCombine {
+    fn name(&self) -> &'static str {
+        "fixture:dropped_combine"
+    }
+
+    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
+        ctx.validate(comm);
+        let me = comm.rank();
+        let hub = ctx.sources[0];
+        if me == hub {
+            let mut set = MessageSet::single(hub, ctx.payload.expect("hub is a source"));
+            for &src in ctx.sources.iter().filter(|&&s| s != hub) {
+                let env = comm.recv(Some(src), Some(FIX_GATHER));
+                set.merge(MessageSet::from_bytes(&env.data.to_vec()).expect("wire set"));
+            }
+            // BUG: the last source is dropped from the combined set.
+            let mut kept = MessageSet::new();
+            let dropped = *ctx.sources.last().unwrap();
+            for (src, payload) in set.clone().into_entries() {
+                if src as usize != dropped {
+                    kept.insert_payload(src as usize, payload);
+                }
+            }
+            let wire = kept.to_bytes();
+            for dst in 0..comm.size() {
+                if dst != hub {
+                    comm.send(dst, FIX_BCAST, &wire);
+                }
+            }
+            set
+        } else {
+            if let Some(payload) = ctx.payload {
+                comm.send(hub, FIX_GATHER, &MessageSet::single(me, payload).to_bytes());
+            }
+            let env = comm.recv(Some(hub), Some(FIX_BCAST));
+            let mut set = MessageSet::from_bytes(&env.data.to_vec()).expect("wire set");
+            if let Some(payload) = ctx.payload {
+                set.insert(me, payload);
+            }
+            set
+        }
+    }
+}

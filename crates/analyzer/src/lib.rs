@@ -1,0 +1,44 @@
+//! Static analysis of recorded communication schedules.
+//!
+//! The simulator's `ScheduleRecorder` mode (`SimConfig::recorder`,
+//! surfaced as [`stp_core::runner::record_sources`]) captures every
+//! `(step, src, dst, tag, payload)` send and every receive match of a
+//! run as a symbolic schedule — including partial schedules of runs that
+//! deadlock. This crate turns that event log into a communication graph
+//! and checks it:
+//!
+//! 1. **Deadlock** — the run aborted with every live rank blocked; the
+//!    checker reconstructs the wait-for graph from the `Blocked` events
+//!    and reports the cycle (or the unsatisfiable waits) behind it.
+//! 2. **Unmatched sends** — messages that were still undelivered when
+//!    their destination finished: a receive the algorithm forgot.
+//! 3. **Match ambiguity** — a receive that matched while a *second*
+//!    in-flight message with the same `(src, tag)` sat in the same
+//!    mailbox: delivery order alone decided which message was consumed,
+//!    so the schedule is racy under any reordering of equal-time events.
+//! 4. **Payload leaks** — s-to-p completeness: attributing every
+//!    delivered byte back to its originating source (directly or through
+//!    [`MessageSet`](stp_core::msgset::MessageSet) combining), every
+//!    rank must end up holding all `s` source messages.
+//!
+//! Per-link message counts over the machine's dimension-ordered routes
+//! (`mpp-model`) are computed alongside, with an optional overload
+//! threshold.
+//!
+//! The same invariants run dynamically when `SimConfig::strict` is set —
+//! debug builds of the experiment runner enable that automatically — and
+//! the `stp lint` subcommand sweeps the full algorithm × distribution ×
+//! mesh matrix through the static checker (see [`lint`]).
+
+pub mod checks;
+pub mod fixtures;
+pub mod lint;
+pub mod report;
+pub mod schedule;
+
+pub use checks::{analyze, Analysis, Finding, FindingKind};
+pub use lint::{
+    hush_expected_panics, lint_fixtures, lint_matrix, FixtureVerdict, LintConfig, LintEntry,
+};
+pub use report::{entries_to_json, fixtures_to_json};
+pub use schedule::{Attributed, Attribution, Schedule};

@@ -1,0 +1,123 @@
+//! Machine-readable lint reports (hand-rolled JSON — the build is
+//! offline, so no serde).
+
+use crate::lint::{FixtureVerdict, LintEntry};
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &crate::Finding) -> String {
+    let rank = f.rank.map_or("null".to_string(), |r| r.to_string());
+    format!(
+        "{{\"kind\":\"{}\",\"rank\":{rank},\"detail\":\"{}\"}}",
+        f.kind.name(),
+        escape(&f.detail)
+    )
+}
+
+/// Encode the lint matrix results as a JSON array.
+pub fn entries_to_json(entries: &[LintEntry]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let findings: Vec<String> = e.findings.iter().map(finding_json).collect();
+        out.push_str(&format!(
+            "  {{\"algo\":\"{}\",\"dist\":\"{}\",\"rows\":{},\"cols\":{},\"s\":{},\
+             \"sends\":{},\"recvs\":{},\"max_link_load\":{},\"deadlocked\":{},\
+             \"opaque_payloads\":{},\"findings\":[{}]}}",
+            escape(&e.algo),
+            escape(&e.dist),
+            e.rows,
+            e.cols,
+            e.s,
+            e.sends,
+            e.recvs,
+            e.max_link_load,
+            e.deadlocked,
+            e.opaque_payloads,
+            findings.join(",")
+        ));
+        out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
+    }
+    out.push(']');
+    out
+}
+
+/// Encode the fixture verdicts as a JSON array.
+pub fn fixtures_to_json(verdicts: &[FixtureVerdict]) -> String {
+    let mut out = String::from("[\n");
+    for (i, v) in verdicts.iter().enumerate() {
+        let detected: Vec<String> = v
+            .detected
+            .iter()
+            .map(|k| format!("\"{}\"", k.name()))
+            .collect();
+        out.push_str(&format!(
+            "  {{\"fixture\":\"{}\",\"expected\":\"{}\",\"detected\":[{}],\"pass\":{}}}",
+            escape(v.name),
+            v.expected.name(),
+            detected.join(","),
+            v.pass
+        ));
+        out.push_str(if i + 1 == verdicts.len() { "\n" } else { ",\n" });
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, FindingKind};
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn entries_encode_round() {
+        let entries = vec![LintEntry {
+            algo: "Br_Lin".into(),
+            dist: "E".into(),
+            rows: 4,
+            cols: 4,
+            s: 5,
+            sends: 10,
+            recvs: 10,
+            max_link_load: 3,
+            deadlocked: false,
+            opaque_payloads: false,
+            findings: vec![Finding {
+                kind: FindingKind::PayloadLeak,
+                rank: Some(2),
+                detail: "missing \"x\"".into(),
+            }],
+        }];
+        let json = entries_to_json(&entries);
+        assert!(json.contains("\"algo\":\"Br_Lin\""));
+        assert!(json.contains("\"kind\":\"payload_leak\""));
+        assert!(json.contains("\\\"x\\\""));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_reports_are_valid() {
+        assert_eq!(entries_to_json(&[]), "[\n]");
+        assert_eq!(fixtures_to_json(&[]), "[\n]");
+    }
+}

@@ -1,0 +1,277 @@
+//! From a recorded event log to a structured communication schedule.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use mpp_runtime::ScheduleEvent;
+use stp_core::msgset::MessageSet;
+use stp_core::runner::RecordedRun;
+
+/// One recorded send, payload flattened to owned bytes for attribution.
+#[derive(Debug, Clone)]
+pub struct SendOp {
+    /// Sender-side iteration counter at the time of the send.
+    pub step: u32,
+    /// Kernel-global sequence number (unique per message).
+    pub seq: u64,
+    /// Sending rank.
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+    /// Message tag.
+    pub tag: u32,
+    /// The payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// One recorded receive match.
+#[derive(Debug, Clone)]
+pub struct RecvOp {
+    /// Receiver-side iteration counter at the time of the receive.
+    pub step: u32,
+    /// Receiving rank.
+    pub rank: usize,
+    /// The `src` filter the program asked for (`None` = wildcard).
+    pub src_filter: Option<usize>,
+    /// The `tag` filter the program asked for (`None` = wildcard).
+    pub tag_filter: Option<u32>,
+    /// Sequence number of the send this receive consumed.
+    pub seq: u64,
+    /// Actual source of the matched message.
+    pub src: usize,
+    /// Actual tag of the matched message.
+    pub tag: u32,
+    /// In-flight messages with this `(src, tag)` at match time,
+    /// *including* the matched one. `> 1` means the match was ambiguous.
+    pub dup_in_flight: usize,
+}
+
+/// A rank that was blocked in `recv` when the run deadlocked.
+#[derive(Debug, Clone)]
+pub struct BlockedOp {
+    /// The stuck rank.
+    pub rank: usize,
+    /// Its `src` filter (`None` = wildcard).
+    pub src_filter: Option<usize>,
+    /// Its `tag` filter (`None` = wildcard).
+    pub tag_filter: Option<u32>,
+}
+
+/// The structured form of one recorded run.
+#[derive(Debug, Default)]
+pub struct Schedule {
+    /// Number of ranks.
+    pub p: usize,
+    /// Every send, in deterministic kernel order.
+    pub sends: Vec<SendOp>,
+    /// Every receive match, in deterministic kernel order.
+    pub recvs: Vec<RecvOp>,
+    /// Ranks blocked at deadlock time (empty for completed runs).
+    pub blocked: Vec<BlockedOp>,
+    /// `(rank, undelivered messages in its mailbox)` at rank finish.
+    pub leftover: Vec<(usize, usize)>,
+    /// Whether the run aborted in a deadlock.
+    pub deadlocked: bool,
+}
+
+impl Schedule {
+    /// Build the schedule from a recorded run on a `p`-rank machine.
+    pub fn from_recorded(run: &RecordedRun, p: usize) -> Schedule {
+        let mut sched = Schedule {
+            p,
+            deadlocked: run.deadlocked,
+            ..Schedule::default()
+        };
+        for ev in &run.events {
+            match ev {
+                ScheduleEvent::Send {
+                    step,
+                    seq,
+                    src,
+                    dst,
+                    tag,
+                    data,
+                } => {
+                    sched.sends.push(SendOp {
+                        step: *step,
+                        seq: *seq,
+                        src: *src,
+                        dst: *dst,
+                        tag: *tag,
+                        data: data.to_vec(),
+                    });
+                }
+                ScheduleEvent::Recv {
+                    step,
+                    rank,
+                    src_filter,
+                    tag_filter,
+                    seq,
+                    src,
+                    tag,
+                    dup_in_flight,
+                } => {
+                    sched.recvs.push(RecvOp {
+                        step: *step,
+                        rank: *rank,
+                        src_filter: *src_filter,
+                        tag_filter: *tag_filter,
+                        seq: *seq,
+                        src: *src,
+                        tag: *tag,
+                        dup_in_flight: *dup_in_flight,
+                    });
+                }
+                ScheduleEvent::Blocked {
+                    rank,
+                    src_filter,
+                    tag_filter,
+                } => {
+                    sched.blocked.push(BlockedOp {
+                        rank: *rank,
+                        src_filter: *src_filter,
+                        tag_filter: *tag_filter,
+                    });
+                }
+                ScheduleEvent::Finished { rank, leftover } => {
+                    sched.leftover.push((*rank, *leftover));
+                }
+                ScheduleEvent::IterEnd { .. } => {}
+            }
+        }
+        sched
+    }
+
+    /// Sequence numbers of sends that were matched by some receive.
+    pub fn matched_seqs(&self) -> HashSet<u64> {
+        self.recvs.iter().map(|r| r.seq).collect()
+    }
+}
+
+/// What a payload could be traced back to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Attributed {
+    /// The payload carries exactly these original source messages.
+    Sources(BTreeSet<usize>),
+    /// The payload could not be attributed (not a known source message
+    /// and not a parseable [`MessageSet`]). Leak checking is skipped for
+    /// schedules containing opaque payloads rather than guessed at.
+    Opaque,
+}
+
+/// Traces payload bytes back to originating sources.
+///
+/// Attribution is by *content* first: the exact bytes of each source's
+/// message (as produced by the experiment's payload function) identify
+/// it regardless of how `MessageSet` keys were relabelled in transit —
+/// the repositioning algorithms deliberately re-key messages to their
+/// *target* ranks while the bytes still belong to the original source.
+/// Wire-encoded `MessageSet`s are recursed into per entry; an entry
+/// whose bytes are unknown falls back to its source key when that key is
+/// a real source.
+pub struct Attribution {
+    by_bytes: HashMap<Vec<u8>, usize>,
+    sources: BTreeSet<usize>,
+    /// Two sources produced identical bytes (e.g. zero-length payloads),
+    /// so content attribution would be a guess. Everything becomes
+    /// opaque and leak checking is skipped.
+    ambiguous: bool,
+}
+
+impl Attribution {
+    /// Build the content table for `sources` under `payload_of`.
+    pub fn new(sources: &[usize], payload_of: &dyn Fn(usize) -> Vec<u8>) -> Attribution {
+        let mut by_bytes = HashMap::new();
+        let mut ambiguous = false;
+        for &s in sources {
+            if by_bytes.insert(payload_of(s), s).is_some() {
+                ambiguous = true;
+            }
+        }
+        Attribution {
+            by_bytes,
+            sources: sources.iter().copied().collect(),
+            ambiguous,
+        }
+    }
+
+    /// Whether content attribution is usable at all.
+    pub fn is_usable(&self) -> bool {
+        !self.ambiguous
+    }
+
+    /// Attribute one payload.
+    pub fn attribute(&self, data: &[u8]) -> Attributed {
+        if self.ambiguous {
+            return Attributed::Opaque;
+        }
+        if let Some(&src) = self.by_bytes.get(data) {
+            return Attributed::Sources(BTreeSet::from([src]));
+        }
+        let Some(set) = MessageSet::from_bytes(data) else {
+            return Attributed::Opaque;
+        };
+        let mut out = BTreeSet::new();
+        for (key, payload) in set.into_entries() {
+            let bytes = payload.to_vec();
+            if let Some(&src) = self.by_bytes.get(&bytes) {
+                out.insert(src);
+            } else if bytes.is_empty() && self.sources.contains(&(key as usize)) {
+                // Header-only entry (zero-length source message) carried
+                // under its own source key.
+                out.insert(key as usize);
+            } else {
+                return Attributed::Opaque;
+            }
+        }
+        Attributed::Sources(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_core::msgset::payload_for;
+
+    fn payloads(len: usize) -> impl Fn(usize) -> Vec<u8> {
+        move |src| payload_for(src, len)
+    }
+
+    #[test]
+    fn attributes_raw_source_bytes() {
+        let att = Attribution::new(&[2, 5], &payloads(64));
+        assert_eq!(
+            att.attribute(&payload_for(5, 64)),
+            Attributed::Sources(BTreeSet::from([5]))
+        );
+        assert_eq!(att.attribute(b"garbage"), Attributed::Opaque);
+    }
+
+    #[test]
+    fn attributes_message_set_entries_by_content() {
+        let att = Attribution::new(&[1, 3], &payloads(32));
+        // Entries re-keyed to arbitrary ranks (what Repos/Part do) must
+        // still attribute to the original sources by content.
+        let mut set = MessageSet::new();
+        set.insert(7, &payload_for(1, 32));
+        set.insert(9, &payload_for(3, 32));
+        assert_eq!(
+            att.attribute(&set.to_bytes()),
+            Attributed::Sources(BTreeSet::from([1, 3]))
+        );
+    }
+
+    #[test]
+    fn unknown_entry_bytes_are_opaque() {
+        let att = Attribution::new(&[1], &payloads(32));
+        let mut set = MessageSet::new();
+        set.insert(1, b"not the real payload");
+        assert_eq!(att.attribute(&set.to_bytes()), Attributed::Opaque);
+    }
+
+    #[test]
+    fn identical_source_payloads_disable_attribution() {
+        let att = Attribution::new(&[0, 1], &payloads(0));
+        assert!(!att.is_usable());
+        assert_eq!(att.attribute(&[]), Attributed::Opaque);
+    }
+}

@@ -18,8 +18,11 @@ fn t3d_with(gamma_ns: f64, ports: usize, scattered: bool) -> Machine {
         ports_per_node: ports,
         ..MachineParams::t3d_mpi()
     };
-    let placement =
-        if scattered { Placement::Random { seed: 42 } } else { Placement::RotatedBlock { seed: 42 } };
+    let placement = if scattered {
+        Placement::Random { seed: 42 }
+    } else {
+        Placement::RotatedBlock { seed: 42 }
+    };
     Machine::new(
         format!("T3D-ablation g={gamma_ns} ports={ports} scattered={scattered}"),
         Topology::torus_for(128),
@@ -81,7 +84,11 @@ fn ablation_linear_order(c: &mut Criterion) {
                         .binary_search(&comm.rank())
                         .is_ok()
                         .then(|| payload_for(comm.rank(), 2048));
-                    let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+                    let ctx = StpCtx {
+                        shape,
+                        sources: &sources,
+                        payload: payload.as_deref(),
+                    };
                     alg.run(comm, &ctx).len()
                 });
                 out.makespan_ns
@@ -95,7 +102,10 @@ fn ablation_gather_flavour(c: &mut Criterion) {
     let machine = Machine::paragon(10, 10);
     let mut g = c.benchmark_group("ablation_gather_flavour");
     g.sample_size(10);
-    for (label, kind) in [("direct", AlgoKind::TwoStep), ("tree", AlgoKind::MpiAllGather)] {
+    for (label, kind) in [
+        ("direct", AlgoKind::TwoStep),
+        ("tree", AlgoKind::MpiAllGather),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| run_ms(&machine, kind, SourceDist::Equal, 30, 4096))
         });

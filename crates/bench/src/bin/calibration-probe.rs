@@ -33,7 +33,11 @@ fn main() {
 
     println!("\n== T3D p=128, L=4K, equal distribution (Fig 13a shape) ==");
     let t3d = Machine::t3d(128, 42);
-    let kinds_t3d = [AlgoKind::MpiAllGather, AlgoKind::MpiAlltoall, AlgoKind::BrLin];
+    let kinds_t3d = [
+        AlgoKind::MpiAllGather,
+        AlgoKind::MpiAlltoall,
+        AlgoKind::BrLin,
+    ];
     print!("{:>4}", "s");
     for k in kinds_t3d {
         print!("{:>16}", k.name());

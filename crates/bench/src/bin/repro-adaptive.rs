@@ -15,14 +15,17 @@ use stp_core::runner::run_sources;
 fn main() {
     let machine = Machine::paragon(16, 16);
     let shape = machine.shape;
-    let adaptive =
-        ReposAdaptive::new(BrXySource, AlgoKind::BrXySource, "ReposAdaptive_xy_source");
+    let adaptive = ReposAdaptive::new(BrXySource, AlgoKind::BrXySource, "ReposAdaptive_xy_source");
 
     println!("# 16x16 Paragon, L=6K: plain vs always-reposition vs adaptive (ms)");
     println!("dist,s,quality,plain,repos,adaptive,repositioned?");
-    for dist in
-        [SourceDist::Cross, SourceDist::SquareBlock, SourceDist::Equal, SourceDist::Band, SourceDist::Row]
-    {
+    for dist in [
+        SourceDist::Cross,
+        SourceDist::SquareBlock,
+        SourceDist::Equal,
+        SourceDist::Band,
+        SourceDist::Row,
+    ] {
         for s in [16usize, 75, 150] {
             let sources = dist.place(shape, s);
             let quality =
@@ -48,7 +51,11 @@ fn main() {
                     .binary_search(&comm.rank())
                     .is_ok()
                     .then(|| payload_for(comm.rank(), 6144));
-                let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+                let ctx = StpCtx {
+                    shape,
+                    sources: &sources,
+                    payload: payload.as_deref(),
+                };
                 adaptive.run(comm, &ctx).len() == s
             });
             assert!(plain.verified && repos.verified);

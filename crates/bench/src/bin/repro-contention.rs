@@ -17,7 +17,10 @@ use stp_bench::run_ms;
 use stp_core::prelude::*;
 
 fn paragon_with(model: ContentionModel) -> Machine {
-    let params = MachineParams { contention: model, ..MachineParams::paragon_nx() };
+    let params = MachineParams {
+        contention: model,
+        ..MachineParams::paragon_nx()
+    };
     Machine::new(
         format!("Paragon 10x10 ({model:?})"),
         Topology::Mesh2D { rows: 10, cols: 10 },
@@ -28,8 +31,11 @@ fn paragon_with(model: ContentionModel) -> Machine {
 }
 
 fn main() {
-    let models =
-        [ContentionModel::Shared, ContentionModel::Pipelined, ContentionModel::Circuit];
+    let models = [
+        ContentionModel::Shared,
+        ContentionModel::Pipelined,
+        ContentionModel::Circuit,
+    ];
     println!("# Figure-6 grid (10x10, L=2K, s=30, Br_xy_source) under contention models (ms)");
     print!("dist");
     for m in models {

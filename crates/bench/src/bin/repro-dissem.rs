@@ -16,9 +16,15 @@ use stp_core::prelude::*;
 fn run_alg(machine: &Machine, alg: &dyn StpAlgorithm, sources: &[usize], len: usize) -> f64 {
     let shape = machine.shape;
     let out = run_simulated(machine, LibraryKind::Mpi, |comm| {
-        let payload =
-            sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), len));
-        let ctx = StpCtx { shape, sources, payload: payload.as_deref() };
+        let payload = sources
+            .binary_search(&comm.rank())
+            .is_ok()
+            .then(|| payload_for(comm.rank(), len));
+        let ctx = StpCtx {
+            shape,
+            sources,
+            payload: payload.as_deref(),
+        };
         alg.run(comm, &ctx).len() == sources.len()
     });
     assert!(out.results.iter().all(|&ok| ok));

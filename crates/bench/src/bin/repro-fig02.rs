@@ -68,7 +68,11 @@ fn main() {
     let wall = t0.elapsed();
 
     for (si, &s) in s_values.iter().enumerate() {
-        let pow = if s.is_power_of_two() { "s = 2^l" } else { "s != 2^l" };
+        let pow = if s.is_power_of_two() {
+            "s = 2^l"
+        } else {
+            "s != 2^l"
+        };
         println!("== p={p} ({rows}x{cols}), equal distribution, s={s} ({pow}), L=1K ==");
         let mut table_rows = Vec::new();
         for (ki, &kind) in kinds.iter().enumerate() {

@@ -18,7 +18,9 @@ fn main() {
         AlgoKind::BrXySource,
         AlgoKind::BrXyDim,
     ];
-    let ss: Vec<f64> = (0..=20).map(|i| if i == 0 { 1.0 } else { (i * 5) as f64 }).collect();
+    let ss: Vec<f64> = (0..=20)
+        .map(|i| if i == 0 { 1.0 } else { (i * 5) as f64 })
+        .collect();
     let series =
         sweep_algorithms_parallel(&SweepRunner::new(), &kinds, &ss, machine.p(), |k, s| {
             run_ms(&machine, k, SourceDist::Equal, s as usize, 4096)

@@ -19,7 +19,10 @@ fn main() {
             let ms = run_ms(&machine, AlgoKind::BrLin, SourceDist::Equal, s, 4096);
             points.push((i as f64, ms));
         }
-        series.push(Series { label: format!("s={s}"), points });
+        series.push(Series {
+            label: format!("s={s}"),
+            points,
+        });
     }
     println!("# shapes: 0=2x60 1=4x30 2=6x20 3=8x15 4=10x12");
     print_figure(

@@ -9,8 +9,12 @@ use stp_core::prelude::*;
 
 fn main() {
     let machine = Machine::paragon(16, 16);
-    let dists =
-        [SourceDist::Cross, SourceDist::SquareBlock, SourceDist::Equal, SourceDist::Band];
+    let dists = [
+        SourceDist::Cross,
+        SourceDist::SquareBlock,
+        SourceDist::Equal,
+        SourceDist::Band,
+    ];
     let ss = [16usize, 50, 75, 100, 128, 150, 192];
     let mut series = Vec::new();
     for dist in dists {
@@ -20,7 +24,10 @@ fn main() {
             let repos = run_ms(&machine, AlgoKind::ReposXySource, dist.clone(), s, 6 * 1024);
             points.push((s as f64, pct_diff(repos, plain)));
         }
-        series.push(Series { label: dist.name().to_string(), points });
+        series.push(Series {
+            label: dist.name().to_string(),
+            points,
+        });
     }
     print_figure(
         "Figure 9: 16x16 Paragon, L=6K: % difference Repos_xy_source vs Br_xy_source (negative = repositioning wins)",

@@ -8,8 +8,12 @@ use stp_core::prelude::*;
 
 fn main() {
     let machine = Machine::paragon(16, 16);
-    let dists =
-        [SourceDist::Cross, SourceDist::SquareBlock, SourceDist::Equal, SourceDist::Band];
+    let dists = [
+        SourceDist::Cross,
+        SourceDist::SquareBlock,
+        SourceDist::Equal,
+        SourceDist::Band,
+    ];
     let lens = [256usize, 512, 1024, 2048, 4096, 6144, 8192, 16384];
     let mut series = Vec::new();
     for dist in dists {
@@ -19,7 +23,10 @@ fn main() {
             let repos = run_ms(&machine, AlgoKind::ReposXySource, dist.clone(), 75, len);
             points.push((len as f64, pct_diff(repos, plain)));
         }
-        series.push(Series { label: dist.name().to_string(), points });
+        series.push(Series {
+            label: dist.name().to_string(),
+            points,
+        });
     }
     print_figure(
         "Figure 10: 16x16 Paragon, s=75: % difference Repos_xy_source vs Br_xy_source vs L (negative = repositioning wins)",

@@ -12,7 +12,12 @@ use stp_core::prelude::*;
 const SEED: u64 = 42;
 
 fn dists() -> Vec<SourceDist> {
-    vec![SourceDist::Equal, SourceDist::DiagRight, SourceDist::SquareBlock, SourceDist::Cross]
+    vec![
+        SourceDist::Equal,
+        SourceDist::DiagRight,
+        SourceDist::SquareBlock,
+        SourceDist::Cross,
+    ]
 }
 
 fn main() {
@@ -23,10 +28,19 @@ fn main() {
         let mut points = Vec::new();
         for &p in &ps {
             let machine = Machine::t3d(p, SEED);
-            let ms = run_ms(&machine, AlgoKind::MpiAllGather, dist.clone(), 32, 128 * 1024 / 32);
+            let ms = run_ms(
+                &machine,
+                AlgoKind::MpiAllGather,
+                dist.clone(),
+                32,
+                128 * 1024 / 32,
+            );
             points.push((p as f64, ms));
         }
-        series_a.push(Series { label: dist.name().to_string(), points });
+        series_a.push(Series {
+            label: dist.name().to_string(),
+            points,
+        });
     }
     print_figure(
         "Figure 11a: T3D MPI_AllGather, s=32, total 128K, time (ms) vs p",
@@ -44,7 +58,10 @@ fn main() {
             let ms = run_ms(&machine, AlgoKind::MpiAllGather, dist.clone(), s, 16 * 1024);
             points.push((s as f64, ms));
         }
-        series_b.push(Series { label: dist.name().to_string(), points });
+        series_b.push(Series {
+            label: dist.name().to_string(),
+            points,
+        });
     }
     print_figure(
         "Figure 11b: T3D p=128 MPI_AllGather, L=16K, time (ms) vs s",

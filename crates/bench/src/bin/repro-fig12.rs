@@ -10,17 +10,30 @@ use stp_core::prelude::*;
 
 fn main() {
     let machine = Machine::t3d(128, 42);
-    let dists =
-        [SourceDist::Equal, SourceDist::DiagRight, SourceDist::SquareBlock, SourceDist::Cross];
+    let dists = [
+        SourceDist::Equal,
+        SourceDist::DiagRight,
+        SourceDist::SquareBlock,
+        SourceDist::Cross,
+    ];
     let ss = [4usize, 8, 16, 32, 64, 128];
     let mut series = Vec::new();
     for dist in dists {
         let mut points = Vec::new();
         for &s in &ss {
-            let ms = run_ms(&machine, AlgoKind::MpiAllGather, dist.clone(), s, 128 * 1024 / s);
+            let ms = run_ms(
+                &machine,
+                AlgoKind::MpiAllGather,
+                dist.clone(),
+                s,
+                128 * 1024 / s,
+            );
             points.push((s as f64, ms));
         }
-        series.push(Series { label: dist.name().to_string(), points });
+        series.push(Series {
+            label: dist.name().to_string(),
+            points,
+        });
     }
     print_figure(
         "Figure 12: T3D p=128, MPI_AllGather, total 128K fixed, time (ms) vs s",

@@ -13,7 +13,11 @@ use stp_core::prelude::*;
 
 fn main() {
     let machine = Machine::t3d(128, 42);
-    let kinds = [AlgoKind::MpiAllGather, AlgoKind::MpiAlltoall, AlgoKind::BrLin];
+    let kinds = [
+        AlgoKind::MpiAllGather,
+        AlgoKind::MpiAlltoall,
+        AlgoKind::BrLin,
+    ];
 
     // (a) s sweep, equal distribution.
     let ss = [5.0, 10.0, 20.0, 40.0, 64.0, 96.0, 128.0];
@@ -21,7 +25,11 @@ fn main() {
         sweep_algorithms_parallel(&SweepRunner::new(), &kinds, &ss, machine.p(), |k, s| {
             run_ms(&machine, k, SourceDist::Equal, s as usize, 4096)
         });
-    print_figure("Figure 13a: T3D p=128, L=4K, equal distribution, time (ms) vs s", "s", &series);
+    print_figure(
+        "Figure 13a: T3D p=128, L=4K, equal distribution, time (ms) vs s",
+        "s",
+        &series,
+    );
 
     // (b) distributions at s = 40.
     println!("# Figure 13b: T3D p=128, L=4K, s=40, time (ms) per distribution");

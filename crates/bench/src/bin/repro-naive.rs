@@ -11,7 +11,11 @@ use stp_core::prelude::*;
 fn main() {
     let paragon = Machine::paragon(10, 10);
     let t3d = Machine::t3d(128, 42);
-    let kinds = [AlgoKind::NaiveIndependent, AlgoKind::BrLin, AlgoKind::BrXySource];
+    let kinds = [
+        AlgoKind::NaiveIndependent,
+        AlgoKind::BrLin,
+        AlgoKind::BrXySource,
+    ];
 
     println!("# 10x10 Paragon, L=4K, equal distribution (ms)");
     print!("s");

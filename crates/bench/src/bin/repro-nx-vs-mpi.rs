@@ -29,8 +29,13 @@ fn main() {
         let nx = exp.run_with_lib(LibraryKind::Nx);
         let mpi = exp.run_with_lib(LibraryKind::Mpi);
         assert!(nx.verified && mpi.verified);
-        let loss =
-            (mpi.makespan_ns as f64 - nx.makespan_ns as f64) / nx.makespan_ns as f64 * 100.0;
-        println!("{},{:.4},{:.4},{:.2}", kind.name(), nx.makespan_ms(), mpi.makespan_ms(), loss);
+        let loss = (mpi.makespan_ns as f64 - nx.makespan_ns as f64) / nx.makespan_ns as f64 * 100.0;
+        println!(
+            "{},{:.4},{:.4},{:.2}",
+            kind.name(),
+            nx.makespan_ms(),
+            mpi.makespan_ms(),
+            loss
+        );
     }
 }

@@ -12,7 +12,11 @@ use stp_core::prelude::*;
 
 fn main() {
     let machine = Machine::paragon(16, 16);
-    let kinds = [AlgoKind::BrXySource, AlgoKind::ReposXySource, AlgoKind::PartXySource];
+    let kinds = [
+        AlgoKind::BrXySource,
+        AlgoKind::ReposXySource,
+        AlgoKind::PartXySource,
+    ];
 
     let runner = SweepRunner::new();
     let ss = [16.0, 50.0, 75.0, 100.0, 150.0, 192.0];
@@ -46,7 +50,11 @@ fn main() {
                 .binary_search(&comm.rank())
                 .is_ok()
                 .then(|| payload_for(comm.rank(), 6 * 1024));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx).len()
         });
         assert!(out.results.iter().all(|&n| n == 75));
@@ -54,7 +62,16 @@ fn main() {
     };
     println!("# Extension: recursive partitioning depth sweep (cross, s=75, L=6K)");
     println!("depth,ms");
-    println!("0 (Repos),{:.4}", run_ms(&machine, AlgoKind::ReposXySource, SourceDist::Cross, 75, 6 * 1024));
+    println!(
+        "0 (Repos),{:.4}",
+        run_ms(
+            &machine,
+            AlgoKind::ReposXySource,
+            SourceDist::Cross,
+            75,
+            6 * 1024
+        )
+    );
     for depth in 1..=4 {
         println!("{depth},{:.4}", depth_ms(depth));
     }

@@ -60,7 +60,11 @@ fn main() {
             continue;
         }
         for (i, block) in blocks.iter().enumerate() {
-            let suffix = if blocks.len() > 1 { format!("-{}", i + 1) } else { String::new() };
+            let suffix = if blocks.len() > 1 {
+                format!("-{}", i + 1)
+            } else {
+                String::new()
+            };
             let svg_name = format!("{name}{suffix}.svg");
             let svg = if block.numeric_x() {
                 let chart = Chart {

@@ -19,7 +19,11 @@ fn main() {
                 .binary_search(&comm.rank())
                 .is_ok()
                 .then(|| payload_for(comm.rank(), 1024));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx).len()
         });
         let summary = summarize(&out.trace);

@@ -63,6 +63,10 @@ fn main() {
         .eq(mixed_order.iter().map(|&(n, _)| n));
     println!(
         "\ndistribution ranking preserved under mixed lengths: {}",
-        if same_ranking { "yes" } else { "mostly (see rows above)" }
+        if same_ranking {
+            "yes"
+        } else {
+            "mostly (see rows above)"
+        }
     );
 }

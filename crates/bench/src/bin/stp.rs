@@ -5,8 +5,16 @@
 //!     --dist cross --s 30 --len 4096 [--lib mpi] [--metrics] [--trace]
 //! stp --machine t3d --p 128 --algo mpi_alltoall --dist equal --s 40 --len 4096
 //! stp --machine paragon --algo two_step --dist equal --s 30 --sweep-len 32,1024,16384
+//! stp lint [--quick] [--fixtures] [--json FILE] [--max-link-load N]
 //! stp --list
 //! ```
+//!
+//! `stp lint` records the symbolic communication schedule of every
+//! algorithm over the full distribution × mesh matrix and runs the
+//! `stp-analyzer` static checks (deadlock, unmatched sends, match
+//! ambiguity, payload leaks, link contention) on each; `--fixtures`
+//! instead checks that the seeded-bug fixtures are all caught. Exits
+//! non-zero on any finding or missed fixture — the CI gate.
 //!
 //! `--sweep-len` runs the same experiment at several message lengths;
 //! the points are independent simulations and execute concurrently on a
@@ -24,24 +32,104 @@ fn usage() -> ! {
     eprintln!("           --algo <name> --dist <name> --s <n> --len <bytes>");
     eprintln!("           [--lib <nx|mpi>] [--seed <n>] [--metrics] [--trace] [--predict]");
     eprintln!("           [--sweep-len L1,L2,...]   (parallel sweep over message lengths)");
+    eprintln!("       stp lint [--quick] [--fixtures] [--json FILE] [--max-link-load N]");
     eprintln!("       stp --list       (show algorithm and distribution names)");
     std::process::exit(2);
 }
 
 use stp_bench::{parse_algo, parse_dist};
 
+/// `stp lint`: the static schedule-analysis gate.
+fn run_lint(args: &[String]) -> ! {
+    use stp_analyzer::{entries_to_json, fixtures_to_json, lint_fixtures, lint_matrix, LintConfig};
+
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let json_path = get("--json");
+    stp_analyzer::hush_expected_panics();
+
+    if has("--fixtures") {
+        let verdicts = lint_fixtures();
+        let failed = verdicts.iter().filter(|v| !v.pass).count();
+        for v in &verdicts {
+            let detected: Vec<&str> = v.detected.iter().map(|k| k.name()).collect();
+            println!(
+                "fixture {:<22} expected {:<16} detected [{}]  {}",
+                v.name,
+                v.expected.name(),
+                detected.join(", "),
+                if v.pass { "ok" } else { "MISSED" }
+            );
+        }
+        if let Some(path) = json_path {
+            std::fs::write(&path, fixtures_to_json(&verdicts)).expect("write JSON report");
+            eprintln!("[lint] report written to {path}");
+        }
+        println!("{} fixture(s), {} missed", verdicts.len(), failed);
+        std::process::exit(if failed > 0 { 1 } else { 0 });
+    }
+
+    let mut config = if has("--quick") {
+        LintConfig::quick()
+    } else {
+        LintConfig::default()
+    };
+    config.max_link_load = get("--max-link-load").and_then(|v| v.parse().ok());
+    let t0 = std::time::Instant::now();
+    let entries = lint_matrix(&config);
+    let wall = t0.elapsed();
+    let dirty: Vec<_> = entries.iter().filter(|e| !e.findings.is_empty()).collect();
+    for e in &dirty {
+        for f in &e.findings {
+            println!(
+                "{} / {} on {}x{} s={}: [{}] {}",
+                e.algo,
+                e.dist,
+                e.rows,
+                e.cols,
+                e.s,
+                f.kind.name(),
+                f.detail
+            );
+        }
+    }
+    let findings: usize = dirty.iter().map(|e| e.findings.len()).sum();
+    let opaque = entries.iter().filter(|e| e.opaque_payloads).count();
+    println!(
+        "linted {} schedules in {:.1}s: {findings} finding(s), {opaque} with unattributable payloads",
+        entries.len(),
+        wall.as_secs_f64()
+    );
+    if let Some(path) = json_path {
+        std::fs::write(&path, entries_to_json(&entries)).expect("write JSON report");
+        eprintln!("[lint] report written to {path}");
+    }
+    std::process::exit(if findings > 0 { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        run_lint(&args[1..]);
+    }
     if args.iter().any(|a| a == "--list") {
         println!("algorithms:");
         for k in AlgoKind::all() {
             println!("  {}", k.name());
         }
-        println!("distributions: row column equal diag_right diag_left band cross square_block random");
+        println!(
+            "distributions: row column equal diag_right diag_left band cross square_block random"
+        );
         return;
     }
     let get = |flag: &str| -> Option<String> {
-        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
     };
     let has = |flag: &str| args.iter().any(|a| a == flag);
 
@@ -73,7 +161,9 @@ fn main() {
         eprintln!("unknown distribution '{dist_name}' (try --list)");
         usage()
     };
-    let s: usize = get("--s").and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+    let s: usize = get("--s")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage());
     let len: usize = get("--len").and_then(|v| v.parse().ok()).unwrap_or(4096);
     let lib = match get("--lib").as_deref() {
         Some("mpi") => LibraryKind::Mpi,
@@ -102,7 +192,10 @@ fn main() {
     }
 
     if let Some(spec) = get("--sweep-len") {
-        let lens: Vec<usize> = spec.split(',').filter_map(|v| v.trim().parse().ok()).collect();
+        let lens: Vec<usize> = spec
+            .split(',')
+            .filter_map(|v| v.trim().parse().ok())
+            .collect();
         if lens.is_empty() {
             eprintln!("--sweep-len wants a comma-separated list of byte lengths");
             usage()
@@ -110,7 +203,13 @@ fn main() {
         let machine = &machine;
         let grid: Vec<Experiment> = lens
             .iter()
-            .map(|&msg_len| Experiment { machine, dist: dist.clone(), s, msg_len, kind })
+            .map(|&msg_len| Experiment {
+                machine,
+                dist: dist.clone(),
+                s,
+                msg_len,
+                kind,
+            })
             .collect();
         let runner = SweepRunner::new();
         let t0 = std::time::Instant::now();
@@ -133,9 +232,15 @@ fn main() {
         let shape = machine.shape;
         let alg = kind.build();
         let out = run_simulated_traced(&machine, lib, |comm| {
-            let payload =
-                sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .binary_search(&comm.rank())
+                .is_ok()
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx).len() == sources.len()
         });
         assert!(out.results.iter().all(|&ok| ok), "verification failed");

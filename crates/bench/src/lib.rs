@@ -7,10 +7,26 @@ use mpp_model::Machine;
 use stp_core::prelude::*;
 
 /// Run one algorithm/distribution/size point and return milliseconds.
-pub fn run_ms(machine: &Machine, kind: AlgoKind, dist: SourceDist, s: usize, msg_len: usize) -> f64 {
-    let exp = Experiment { machine, dist, s, msg_len, kind };
+pub fn run_ms(
+    machine: &Machine,
+    kind: AlgoKind,
+    dist: SourceDist,
+    s: usize,
+    msg_len: usize,
+) -> f64 {
+    let exp = Experiment {
+        machine,
+        dist,
+        s,
+        msg_len,
+        kind,
+    };
     let out = exp.run();
-    assert!(out.verified, "{} failed verification (s={s}, L={msg_len})", kind.name());
+    assert!(
+        out.verified,
+        "{} failed verification (s={s}, L={msg_len})",
+        kind.name()
+    );
     out.makespan_ms()
 }
 

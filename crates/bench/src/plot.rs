@@ -17,8 +17,9 @@ use crate::Series;
 /// Categorical palette, light mode, fixed slot order (validated: worst
 /// adjacent CVD ΔE 24.2; aqua/yellow/magenta carry the contrast WARN —
 /// relieved by direct labels + the CSV table view).
-const PALETTE: [&str; 8] =
-    ["#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834"];
+const PALETTE: [&str; 8] = [
+    "#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834",
+];
 const SURFACE: &str = "#fcfcfb";
 const GRID: &str = "#e5e4e0";
 const TEXT_PRIMARY: &str = "#0b0b0b";
@@ -46,7 +47,9 @@ pub struct Chart {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// "Nice" tick step ≈ range/5.
@@ -95,12 +98,19 @@ impl Chart {
             .iter()
             .flat_map(|s| s.points.iter().map(|&(x, _)| self.tx(x)))
             .collect();
-        let ys: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(_, y)| y)).collect();
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+            .collect();
         if xs.is_empty() {
             out.push_str("</svg>\n");
             return out;
         }
-        let (x_min, x_max) = (xs.iter().cloned().fold(f64::MAX, f64::min), xs.iter().cloned().fold(f64::MIN, f64::max));
+        let (x_min, x_max) = (
+            xs.iter().cloned().fold(f64::MAX, f64::min),
+            xs.iter().cloned().fold(f64::MIN, f64::max),
+        );
         let y_min = ys.iter().cloned().fold(f64::MAX, f64::min).min(0.0);
         let y_max = ys.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
         let x_span = (x_max - x_min).max(1e-9);
@@ -192,7 +202,12 @@ impl Chart {
     }
 
     /// Render a grouped horizontal bar chart (categorical x).
-    pub fn to_svg_bars(categories: &[String], series: &[Series], title: &str, x_label: &str) -> String {
+    pub fn to_svg_bars(
+        categories: &[String],
+        series: &[Series],
+        title: &str,
+        x_label: &str,
+    ) -> String {
         let chart = Chart {
             title: title.to_string(),
             x_label: x_label.to_string(),
@@ -239,7 +254,9 @@ impl Chart {
                 esc(cat)
             ));
             for (i, s) in series.iter().enumerate() {
-                let Some(&(_, v)) = s.points.get(g) else { continue };
+                let Some(&(_, v)) = s.points.get(g) else {
+                    continue;
+                };
                 let color = PALETTE[i % PALETTE.len()];
                 let w = (v / v_max * plot_w).max(1.0);
                 let y = gy + 4.0 + i as f64 * (bar_h + 2.0);
@@ -279,7 +296,9 @@ impl Chart {
         let mut out = format!(
             "<svg xmlns='http://www.w3.org/2000/svg' width='{W}' height='{H}' viewBox='0 0 {W} {H}' font-family='system-ui, sans-serif'>\n"
         );
-        out.push_str(&format!("<rect width='{W}' height='{H}' fill='{SURFACE}'/>\n"));
+        out.push_str(&format!(
+            "<rect width='{W}' height='{H}' fill='{SURFACE}'/>\n"
+        ));
         out.push_str(&format!(
             "<text x='{ML}' y='24' font-size='13' font-weight='600' fill='{TEXT_PRIMARY}'>{}</text>\n",
             esc(&self.title)
@@ -379,7 +398,12 @@ impl CsvBlock {
             .enumerate()
             .map(|(i, label)| Series {
                 label: label.clone(),
-                points: self.values.iter().enumerate().map(|(g, row)| (g as f64, row[i])).collect(),
+                points: self
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(g, row)| (g as f64, row[i]))
+                    .collect(),
             })
             .collect()
     }
@@ -458,8 +482,14 @@ mod tests {
             x_label: "s".into(),
             y_label: "ms".into(),
             series: vec![
-                Series { label: "A".into(), points: vec![(1.0, 2.0), (2.0, 4.0), (3.0, 3.0)] },
-                Series { label: "B".into(), points: vec![(1.0, 1.0), (2.0, 1.5), (3.0, 5.0)] },
+                Series {
+                    label: "A".into(),
+                    points: vec![(1.0, 2.0), (2.0, 4.0), (3.0, 3.0)],
+                },
+                Series {
+                    label: "B".into(),
+                    points: vec![(1.0, 1.0), (2.0, 1.5), (3.0, 5.0)],
+                },
             ],
             log_x: false,
         }
@@ -493,7 +523,10 @@ mod tests {
     #[test]
     fn single_series_has_no_legend_box() {
         let chart = Chart {
-            series: vec![Series { label: "only".into(), points: vec![(0.0, 1.0), (1.0, 2.0)] }],
+            series: vec![Series {
+                label: "only".into(),
+                points: vec![(0.0, 1.0), (1.0, 2.0)],
+            }],
             ..sample_chart()
         };
         let svg = chart.to_svg();
@@ -518,15 +551,24 @@ mod tests {
             .map(|c| c.split('\'').next().unwrap().parse().unwrap())
             .collect();
         let mid_frac = (xs[1] - xs[0]) / (xs[2] - xs[0]);
-        assert!((0.4..0.8).contains(&mid_frac), "log spacing broken: {mid_frac}");
+        assert!(
+            (0.4..0.8).contains(&mid_frac),
+            "log spacing broken: {mid_frac}"
+        );
     }
 
     #[test]
     fn bar_chart_renders_categories() {
         let cats = vec!["R".to_string(), "Sq".to_string()];
         let series = vec![
-            Series { label: "Br_Lin".into(), points: vec![(0.0, 4.0), (1.0, 4.1)] },
-            Series { label: "Br_xy".into(), points: vec![(0.0, 3.4), (1.0, 3.9)] },
+            Series {
+                label: "Br_Lin".into(),
+                points: vec![(0.0, 4.0), (1.0, 4.1)],
+            },
+            Series {
+                label: "Br_xy".into(),
+                points: vec![(0.0, 3.4), (1.0, 3.9)],
+            },
         ];
         let svg = Chart::to_svg_bars(&cats, &series, "bars", "ms");
         assert!(svg.contains(">R</text>"));

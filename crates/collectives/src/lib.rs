@@ -38,8 +38,15 @@ pub fn bcast_from_first<P: Into<Payload>>(
     tag_base: Tag,
 ) -> Payload {
     let me = comm.rank();
-    let my_pos = order.iter().position(|&r| r == me).expect("caller not in bcast order");
-    assert_eq!(my_pos == 0, data.is_some(), "exactly the root provides data");
+    let my_pos = order
+        .iter()
+        .position(|&r| r == me)
+        .expect("caller not in bcast order");
+    assert_eq!(
+        my_pos == 0,
+        data.is_some(),
+        "exactly the root provides data"
+    );
 
     let mut payload: Option<Payload> = data.map(Into::into);
     let mut lo = 0usize;
@@ -88,7 +95,11 @@ pub fn gather_direct(
 ) -> Vec<Message> {
     let me = comm.rank();
     let am_sender = senders.contains(&me);
-    assert_eq!(am_sender, my_payload.is_some(), "senders and only senders supply a payload");
+    assert_eq!(
+        am_sender,
+        my_payload.is_some(),
+        "senders and only senders supply a payload"
+    );
 
     if am_sender && me != root {
         comm.send(root, tag, my_payload.unwrap());
@@ -96,7 +107,11 @@ pub fn gather_direct(
     let mut out = Vec::new();
     if me == root {
         if let Some(p) = my_payload {
-            out.push(Message { src: me, tag, data: Payload::from_slice(p) });
+            out.push(Message {
+                src: me,
+                tag,
+                data: Payload::from_slice(p),
+            });
         }
         let expect = senders.iter().filter(|&&s| s != root).count();
         for _ in 0..expect {
@@ -147,7 +162,11 @@ pub fn personalized_from_sources(
     let rope = my_payload.map(Payload::from_slice);
     let mut out = Vec::new();
     if let Some(pay) = &rope {
-        out.push(Message { src: me, tag, data: pay.clone() });
+        out.push(Message {
+            src: me,
+            tag,
+            data: pay.clone(),
+        });
     }
     for round in 1..p {
         let (to, from) = exchange_partner(p, round, me);
@@ -174,15 +193,26 @@ pub fn allgather_ring(
 ) -> Vec<Message> {
     let n = order.len();
     let me = comm.rank();
-    let my_pos = order.iter().position(|&r| r == me).expect("caller not in allgather order");
+    let my_pos = order
+        .iter()
+        .position(|&r| r == me)
+        .expect("caller not in allgather order");
     let mine = Payload::from_slice(my_payload);
     if n == 1 {
-        return vec![Message { src: me, tag, data: mine }];
+        return vec![Message {
+            src: me,
+            tag,
+            data: mine,
+        }];
     }
     let next = order[(my_pos + 1) % n];
     let prev = order[(my_pos + n - 1) % n];
 
-    let mut out = vec![Message { src: me, tag, data: mine.clone() }];
+    let mut out = vec![Message {
+        src: me,
+        tag,
+        data: mine.clone(),
+    }];
     // Round k delivers the payload originated by the participant k+1
     // positions behind us; `src` is rewritten from relayer to originator.
     // Each relay forwards the received rope as-is — no byte copies.
@@ -192,7 +222,11 @@ pub fn allgather_ring(
         let got = comm.recv(Some(prev), Some(tag));
         forward = got.data.clone();
         let origin = order[(my_pos + n - 1 - k) % n];
-        out.push(Message { src: origin, tag: got.tag, data: got.data });
+        out.push(Message {
+            src: origin,
+            tag: got.tag,
+            data: got.data,
+        });
         comm.next_iteration();
     }
     out.sort_by_key(|m| m.src);
@@ -252,12 +286,17 @@ mod tests {
     fn gather_collects_sorted() {
         let out = run_threads(6, |comm| {
             let senders = vec![1usize, 4, 5];
-            let mine = senders.contains(&comm.rank()).then(|| vec![comm.rank() as u8]);
+            let mine = senders
+                .contains(&comm.rank())
+                .then(|| vec![comm.rank() as u8]);
             gather_direct(comm, 0, &senders, mine.as_deref(), 7)
         });
         let at_root = &out.results[0];
         assert_eq!(at_root.len(), 3);
-        assert_eq!(at_root.iter().map(|m| m.src).collect::<Vec<_>>(), vec![1, 4, 5]);
+        assert_eq!(
+            at_root.iter().map(|m| m.src).collect::<Vec<_>>(),
+            vec![1, 4, 5]
+        );
         assert!(out.results[1].is_empty());
     }
 
@@ -265,11 +304,16 @@ mod tests {
     fn gather_with_root_as_sender() {
         let out = run_threads(4, |comm| {
             let senders = vec![0usize, 2];
-            let mine = senders.contains(&comm.rank()).then(|| vec![comm.rank() as u8 + 10]);
+            let mine = senders
+                .contains(&comm.rank())
+                .then(|| vec![comm.rank() as u8 + 10]);
             gather_direct(comm, 0, &senders, mine.as_deref(), 1)
         });
         let at_root = &out.results[0];
-        assert_eq!(at_root.iter().map(|m| m.src).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            at_root.iter().map(|m| m.src).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
         assert_eq!(at_root[0].data, vec![10]);
     }
 
@@ -313,7 +357,10 @@ mod tests {
                 personalized_from_sources(comm, &is_src, mine.as_deref(), 50)
             });
             for msgs in out.results {
-                assert_eq!(msgs.iter().map(|m| m.src).collect::<Vec<_>>(), vec![0, 2, 3]);
+                assert_eq!(
+                    msgs.iter().map(|m| m.src).collect::<Vec<_>>(),
+                    vec![0, 2, 3]
+                );
                 for m in msgs {
                     assert_eq!(m.data, vec![m.src as u8; 16]);
                 }
@@ -339,9 +386,7 @@ mod tests {
 
     #[test]
     fn allgather_single_rank() {
-        let out = run_threads(1, |comm| {
-            allgather_ring(comm, &[0], b"solo", 1)
-        });
+        let out = run_threads(1, |comm| allgather_ring(comm, &[0], b"solo", 1));
         assert_eq!(out.results[0][0].data, b"solo");
     }
 
@@ -395,8 +440,15 @@ pub fn scatter_from_first(
     tag_base: Tag,
 ) -> Vec<u8> {
     let me = comm.rank();
-    let my_pos = order.iter().position(|&r| r == me).expect("caller not in scatter order");
-    assert_eq!(my_pos == 0, chunks.is_some(), "exactly the root provides chunks");
+    let my_pos = order
+        .iter()
+        .position(|&r| r == me)
+        .expect("caller not in scatter order");
+    assert_eq!(
+        my_pos == 0,
+        chunks.is_some(),
+        "exactly the root provides chunks"
+    );
     if let Some(c) = &chunks {
         assert_eq!(c.len(), order.len(), "one chunk per participant");
     }
@@ -446,7 +498,10 @@ pub fn reduce_to_first(
     tag_base: Tag,
 ) -> Option<Vec<u8>> {
     let me = comm.rank();
-    let my_pos = order.iter().position(|&r| r == me).expect("caller not in reduce order");
+    let my_pos = order
+        .iter()
+        .position(|&r| r == me)
+        .expect("caller not in reduce order");
     let mut acc = my_contrib.to_vec();
 
     // Process the segment tree bottom-up: mirror of bcast_from_first.
@@ -507,7 +562,9 @@ mod extended_tests {
             let out = run_threads(p, |comm| {
                 let order: Vec<usize> = (0..comm.size()).collect();
                 let chunks = (comm.rank() == 0).then(|| {
-                    (0..comm.size()).map(|i| vec![i as u8; i + 1]).collect::<Vec<_>>()
+                    (0..comm.size())
+                        .map(|i| vec![i as u8; i + 1])
+                        .collect::<Vec<_>>()
                 });
                 scatter_from_first(comm, &order, chunks, 400)
             });
@@ -541,7 +598,11 @@ mod extended_tests {
             });
             let want = (p as u64) * (p as u64 + 1) / 2;
             let at_root = out.results[0].as_ref().expect("root gets the total");
-            assert_eq!(u64::from_le_bytes(at_root[..].try_into().unwrap()), want, "p={p}");
+            assert_eq!(
+                u64::from_le_bytes(at_root[..].try_into().unwrap()),
+                want,
+                "p={p}"
+            );
             for r in 1..p {
                 assert!(out.results[r].is_none());
             }

@@ -33,7 +33,12 @@ impl<A: StpAlgorithm + Copy> ReposAdaptive<A> {
     /// Wrap a base algorithm; `kind` identifies it for the quality
     /// metric. Default threshold 0.7 (see `quality` for the scale).
     pub fn new(base: A, kind: AlgoKind, name: &'static str) -> Self {
-        ReposAdaptive { base, kind, name, threshold: 0.7 }
+        ReposAdaptive {
+            base,
+            kind,
+            name,
+            threshold: 0.7,
+        }
     }
 
     /// Would this input be repositioned?
@@ -82,9 +87,15 @@ mod tests {
         let shape = MeshShape::new(16, 16);
         let alg = adaptive();
         let ideal = BrXySource.ideal_sources(shape, 48).unwrap();
-        assert!(!alg.would_reposition(shape, &ideal), "ideal input must not be repositioned");
+        assert!(
+            !alg.would_reposition(shape, &ideal),
+            "ideal input must not be repositioned"
+        );
         let sq = SourceDist::SquareBlock.place(shape, 49);
-        assert!(alg.would_reposition(shape, &sq), "square block should trigger repositioning");
+        assert!(
+            alg.would_reposition(shape, &sq),
+            "square block should trigger repositioning"
+        );
     }
 
     #[test]
@@ -98,7 +109,11 @@ mod tests {
                     .binary_search(&comm.rank())
                     .is_ok()
                     .then(|| payload_for(comm.rank(), 64));
-                let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+                let ctx = StpCtx {
+                    shape,
+                    sources: &sources,
+                    payload: payload.as_deref(),
+                };
                 let set = alg.run(comm, &ctx);
                 set.sources().collect::<Vec<_>>() == sources
             });
@@ -133,7 +148,11 @@ mod tests {
                     .binary_search(&comm.rank())
                     .is_ok()
                     .then(|| payload_for(comm.rank(), 6144));
-                let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+                let ctx = StpCtx {
+                    shape,
+                    sources: &sources,
+                    payload: payload.as_deref(),
+                };
                 alg.run(comm, &ctx).len()
             });
             out.makespan_ns as f64
@@ -142,12 +161,18 @@ mod tests {
         // Ideal-ish input: adaptive must avoid the repositioning cost.
         let plain_rows = run(AlgoKind::BrXySource, SourceDist::Row);
         let adapt_rows = adaptive_ns(SourceDist::Row);
-        assert!(adapt_rows <= plain_rows * 1.02, "{adapt_rows} vs plain {plain_rows}");
+        assert!(
+            adapt_rows <= plain_rows * 1.02,
+            "{adapt_rows} vs plain {plain_rows}"
+        );
 
         // Hard input: adaptive must capture (most of) the repositioning
         // gain.
         let repos_cross = run(AlgoKind::ReposXySource, SourceDist::Cross);
         let adapt_cross = adaptive_ns(SourceDist::Cross);
-        assert!(adapt_cross <= repos_cross * 1.05, "{adapt_cross} vs repos {repos_cross}");
+        assert!(
+            adapt_cross <= repos_cross * 1.05,
+            "{adapt_cross} vs repos {repos_cross}"
+        );
     }
 }

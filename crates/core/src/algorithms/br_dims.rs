@@ -31,7 +31,10 @@ pub struct GridShape {
 impl GridShape {
     /// Construct; panics on empty or zero extents.
     pub fn new(extents: Vec<usize>) -> Self {
-        assert!(!extents.is_empty() && extents.iter().all(|&e| e > 0), "bad grid {extents:?}");
+        assert!(
+            !extents.is_empty() && extents.iter().all(|&e| e > 0),
+            "bad grid {extents:?}"
+        );
         GridShape { extents }
     }
 
@@ -125,7 +128,11 @@ impl StpAlgorithm for BrDims {
 
     fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
         ctx.validate(comm);
-        assert_eq!(self.grid.p(), comm.size(), "grid does not match communicator");
+        assert_eq!(
+            self.grid.p(),
+            comm.size(),
+            "grid does not match communicator"
+        );
         let me = comm.rank();
         let my_coords = self.grid.coords(me);
         let n = self.grid.extents.len();
@@ -179,9 +186,14 @@ mod tests {
         let shape = MeshShape::near_square(p);
         let alg = BrDims::new(grid);
         let out = run_threads(p, |comm| {
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx)
         });
         for (rank, set) in out.results.iter().enumerate() {

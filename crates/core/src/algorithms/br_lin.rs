@@ -32,7 +32,9 @@ impl BrLin {
 
     /// `Br_Lin` with plain rank order.
     pub fn row_major() -> Self {
-        BrLin { order: LinearOrder::RowMajor }
+        BrLin {
+            order: LinearOrder::RowMajor,
+        }
     }
 }
 
@@ -76,13 +78,21 @@ mod tests {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx)
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");
             for &s in &sources {
-                assert_eq!(set.get(s).unwrap(), payload_for(s, len), "rank {rank} src {s}");
+                assert_eq!(
+                    set.get(s).unwrap(),
+                    payload_for(s, len),
+                    "rank {rank} src {s}"
+                );
             }
         }
     }
@@ -94,7 +104,12 @@ mod tests {
 
     #[test]
     fn many_sources_square() {
-        check(MeshShape::new(4, 4), vec![0, 3, 7, 12, 15], 16, BrLin::new());
+        check(
+            MeshShape::new(4, 4),
+            vec![0, 3, 7, 12, 15],
+            16,
+            BrLin::new(),
+        );
     }
 
     #[test]

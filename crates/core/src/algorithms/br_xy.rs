@@ -39,7 +39,10 @@ pub struct XyPlan {
 impl XyPlan {
     /// The whole machine as one plan.
     pub fn identity(shape: MeshShape) -> Self {
-        XyPlan { shape, ranks: (0..shape.p()).collect() }
+        XyPlan {
+            shape,
+            ranks: (0..shape.p()).collect(),
+        }
     }
 
     /// Plan position of a global rank.
@@ -49,12 +52,16 @@ impl XyPlan {
 
     /// Global ranks of one plan row, left to right.
     pub fn row_order(&self, row: usize) -> Vec<usize> {
-        (0..self.shape.cols).map(|c| self.ranks[self.shape.rank(row, c)]).collect()
+        (0..self.shape.cols)
+            .map(|c| self.ranks[self.shape.rank(row, c)])
+            .collect()
     }
 
     /// Global ranks of one plan column, top to bottom.
     pub fn col_order(&self, col: usize) -> Vec<usize> {
-        (0..self.shape.rows).map(|r| self.ranks[self.shape.rank(r, col)]).collect()
+        (0..self.shape.rows)
+            .map(|r| self.ranks[self.shape.rank(r, col)])
+            .collect()
     }
 }
 
@@ -64,8 +71,14 @@ impl XyPlan {
 /// column; rows go first when `max_r < max_c` (fewer sources per row →
 /// smaller messages entering the second phase).
 pub fn source_dim_order(shape: MeshShape, sources_pos: &[usize]) -> DimOrder {
-    let max_r = row_counts(shape, sources_pos).into_iter().max().unwrap_or(0);
-    let max_c = col_counts(shape, sources_pos).into_iter().max().unwrap_or(0);
+    let max_r = row_counts(shape, sources_pos)
+        .into_iter()
+        .max()
+        .unwrap_or(0);
+    let max_c = col_counts(shape, sources_pos)
+        .into_iter()
+        .max()
+        .unwrap_or(0);
     if max_r < max_c {
         DimOrder::RowsFirst
     } else {
@@ -121,8 +134,9 @@ pub(crate) fn run_xy_on_plan(
         DimOrder::RowsFirst => {
             // Phase 1: Br_Lin within my row.
             let row_order = plan.row_order(my_row);
-            let has: Vec<bool> =
-                (0..plan.shape.cols).map(|c| is_source_pos(plan.shape.rank(my_row, c))).collect();
+            let has: Vec<bool> = (0..plan.shape.cols)
+                .map(|c| is_source_pos(plan.shape.rank(my_row, c)))
+                .collect();
             br_lin_over(comm, &row_order, &has, set, tag_phase1);
             // Phase 2: Br_Lin within my column; a position holds messages
             // iff its row contained any source.
@@ -131,8 +145,9 @@ pub(crate) fn run_xy_on_plan(
         }
         DimOrder::ColsFirst => {
             let col_order = plan.col_order(my_col);
-            let has: Vec<bool> =
-                (0..plan.shape.rows).map(|r| is_source_pos(plan.shape.rank(r, my_col))).collect();
+            let has: Vec<bool> = (0..plan.shape.rows)
+                .map(|r| is_source_pos(plan.shape.rank(r, my_col)))
+                .collect();
             br_lin_over(comm, &col_order, &has, set, tag_phase1);
             let row_order = plan.row_order(my_row);
             br_lin_over(comm, &row_order, &cols_hit, set, tag_phase2);
@@ -157,7 +172,15 @@ impl StpAlgorithm for BrXySource {
             Some(p) => MessageSet::single(comm.rank(), p),
             None => MessageSet::new(),
         };
-        run_xy_on_plan(comm, &plan, ctx.sources, order, &mut set, tags::BR_LIN, tags::BR_XY_PHASE2);
+        run_xy_on_plan(
+            comm,
+            &plan,
+            ctx.sources,
+            order,
+            &mut set,
+            tags::BR_LIN,
+            tags::BR_XY_PHASE2,
+        );
         set
     }
 
@@ -184,7 +207,15 @@ impl StpAlgorithm for BrXyDim {
             Some(p) => MessageSet::single(comm.rank(), p),
             None => MessageSet::new(),
         };
-        run_xy_on_plan(comm, &plan, ctx.sources, order, &mut set, tags::BR_LIN, tags::BR_XY_PHASE2);
+        run_xy_on_plan(
+            comm,
+            &plan,
+            ctx.sources,
+            order,
+            &mut set,
+            tags::BR_LIN,
+            tags::BR_XY_PHASE2,
+        );
         set
     }
 
@@ -203,9 +234,14 @@ mod tests {
 
     fn check<A: StpAlgorithm>(alg: A, shape: MeshShape, sources: Vec<usize>, len: usize) {
         let out = run_threads(shape.p(), |comm| {
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx)
         });
         for (rank, set) in out.results.iter().enumerate() {

@@ -36,12 +36,16 @@ pub struct DissemAllGather {
 impl DissemAllGather {
     /// Combining cost charged (comparable to `Br_Lin`).
     pub fn new() -> Self {
-        DissemAllGather { charge_combining: true }
+        DissemAllGather {
+            charge_combining: true,
+        }
     }
 
     /// Zero-copy block placement (the MPI-library ideal).
     pub fn zero_copy() -> Self {
-        DissemAllGather { charge_combining: false }
+        DissemAllGather {
+            charge_combining: false,
+        }
     }
 }
 
@@ -91,8 +95,7 @@ impl StpAlgorithm for DissemAllGather {
                 if self.charge_combining {
                     comm.charge_memcpy(msg.data.len());
                 }
-                let other =
-                    MessageSet::from_payload(&msg.data).expect("malformed dissemination");
+                let other = MessageSet::from_payload(&msg.data).expect("malformed dissemination");
                 set.merge(other);
             }
             // Advance the holdings model for every rank simultaneously.
@@ -126,9 +129,14 @@ mod tests {
 
     fn check(shape: MeshShape, sources: Vec<usize>, len: usize, alg: DissemAllGather) {
         let out = run_threads(shape.p(), |comm| {
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx)
         });
         for (rank, set) in out.results.iter().enumerate() {
@@ -141,18 +149,33 @@ mod tests {
 
     #[test]
     fn power_of_two() {
-        check(MeshShape::new(4, 4), vec![0, 5, 10, 15], 32, DissemAllGather::new());
+        check(
+            MeshShape::new(4, 4),
+            vec![0, 5, 10, 15],
+            32,
+            DissemAllGather::new(),
+        );
     }
 
     #[test]
     fn non_power_of_two() {
-        check(MeshShape::new(3, 5), vec![2, 7, 14], 32, DissemAllGather::new());
+        check(
+            MeshShape::new(3, 5),
+            vec![2, 7, 14],
+            32,
+            DissemAllGather::new(),
+        );
         check(MeshShape::new(3, 3), vec![4], 16, DissemAllGather::new());
     }
 
     #[test]
     fn zero_copy_variant() {
-        check(MeshShape::new(2, 4), vec![1, 6], 64, DissemAllGather::zero_copy());
+        check(
+            MeshShape::new(2, 4),
+            vec![1, 6],
+            64,
+            DissemAllGather::zero_copy(),
+        );
     }
 
     #[test]
@@ -160,8 +183,14 @@ mod tests {
         let shape = MeshShape::new(4, 4);
         let sources = vec![0usize, 7];
         let out = run_threads(shape.p(), |comm| {
-            let payload = sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), 64));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), 64));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             let _ = DissemAllGather::zero_copy().run(comm, &ctx);
             comm.stats().memcpy_bytes
         });
@@ -170,6 +199,11 @@ mod tests {
 
     #[test]
     fn all_sources() {
-        check(MeshShape::new(3, 4), (0..12).collect(), 8, DissemAllGather::new());
+        check(
+            MeshShape::new(3, 4),
+            (0..12).collect(),
+            8,
+            DissemAllGather::new(),
+        );
     }
 }

@@ -20,9 +20,9 @@
 pub mod adaptive;
 pub mod br_dims;
 pub mod br_lin;
+pub mod br_xy;
 pub mod dissem;
 pub mod naive;
-pub mod br_xy;
 pub mod part;
 pub mod pers_alltoall;
 pub mod repos;
@@ -36,10 +36,10 @@ use crate::pattern::br_lin_schedule;
 
 pub use adaptive::ReposAdaptive;
 pub use br_dims::{BrDims, GridShape};
-pub use dissem::DissemAllGather;
-pub use naive::NaiveIndependent;
 pub use br_lin::BrLin;
 pub use br_xy::{BrXyDim, BrXySource, DimOrder};
+pub use dissem::DissemAllGather;
+pub use naive::NaiveIndependent;
 pub use part::{Part, PartRecursive};
 pub use pers_alltoall::PersAlltoAll;
 pub use repos::Repos;
@@ -72,10 +72,23 @@ impl StpCtx<'_> {
 
     /// Sanity-check the context for the calling rank.
     pub fn validate(&self, comm: &dyn Communicator) {
-        assert_eq!(self.shape.p(), comm.size(), "shape does not match communicator");
-        assert!(!self.sources.is_empty(), "s-to-p broadcasting needs at least one source");
-        assert!(self.sources.windows(2).all(|w| w[0] < w[1]), "sources must be sorted+unique");
-        assert!(*self.sources.last().unwrap() < comm.size(), "source out of range");
+        assert_eq!(
+            self.shape.p(),
+            comm.size(),
+            "shape does not match communicator"
+        );
+        assert!(
+            !self.sources.is_empty(),
+            "s-to-p broadcasting needs at least one source"
+        );
+        assert!(
+            self.sources.windows(2).all(|w| w[0] < w[1]),
+            "sources must be sorted+unique"
+        );
+        assert!(
+            *self.sources.last().unwrap() < comm.size(),
+            "source out of range"
+        );
         assert_eq!(
             self.is_source(comm.rank()),
             self.payload.is_some(),
@@ -151,7 +164,11 @@ pub(crate) fn br_lin_over(
         .iter()
         .position(|&r| r == me)
         .unwrap_or_else(|| panic!("rank {me} not in br_lin order"));
-    debug_assert_eq!(has[my_pos], !set.is_empty(), "has flag disagrees with holdings");
+    debug_assert_eq!(
+        has[my_pos],
+        !set.is_empty(),
+        "has flag disagrees with holdings"
+    );
 
     let schedule = br_lin_schedule(has);
     for (level, level_ops) in schedule.ops.iter().enumerate() {
@@ -171,8 +188,8 @@ pub(crate) fn br_lin_over(
             // for copying the received bytes into the merged buffer, even
             // though the host-side merge only moves rope pointers.
             comm.charge_memcpy(msg.data.len());
-            let other = MessageSet::from_payload(&msg.data)
-                .expect("malformed message set on the wire");
+            let other =
+                MessageSet::from_payload(&msg.data).expect("malformed message set on the wire");
             set.merge(other);
         }
         comm.next_iteration();

@@ -60,7 +60,9 @@ impl StpAlgorithm for NaiveIndependent {
             let rank_at = |pos: usize| (pos + src) % p;
 
             let mut payload: Option<Payload> = if me == src {
-                Some(Payload::from_slice(ctx.payload.expect("source must hold a payload")))
+                Some(Payload::from_slice(
+                    ctx.payload.expect("source must hold a payload"),
+                ))
             } else {
                 None
             };
@@ -83,7 +85,10 @@ impl StpAlgorithm for NaiveIndependent {
                     lo = mid;
                 }
             }
-            set.insert_payload(src, payload.expect("broadcast tree did not reach this rank"));
+            set.insert_payload(
+                src,
+                payload.expect("broadcast tree did not reach this rank"),
+            );
         }
         comm.next_iteration();
         set
@@ -103,9 +108,14 @@ mod tests {
 
     fn check(shape: MeshShape, sources: Vec<usize>, len: usize) {
         let out = run_threads(shape.p(), |comm| {
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             NaiveIndependent.run(comm, &ctx)
         });
         for (rank, set) in out.results.iter().enumerate() {
@@ -144,9 +154,14 @@ mod tests {
         let ops_for = |s: usize| {
             let sources: Vec<usize> = (0..s).collect();
             let out = run_threads(shape.p(), |comm| {
-                let payload =
-                    sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), 16));
-                let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+                let payload = sources
+                    .contains(&comm.rank())
+                    .then(|| payload_for(comm.rank(), 16));
+                let ctx = StpCtx {
+                    shape,
+                    sources: &sources,
+                    payload: payload.as_deref(),
+                };
                 let _ = NaiveIndependent.run(comm, &ctx);
                 comm.stats().total_ops()
             });

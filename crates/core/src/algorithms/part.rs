@@ -14,7 +14,9 @@ use mpp_model::MeshShape;
 use mpp_runtime::Communicator;
 
 use crate::algorithms::br_xy::{run_xy_on_plan, shape_dim_order, source_dim_order, XyPlan};
-use crate::algorithms::{br_lin_over, tags, BrLin, BrXyDim, BrXySource, Repos, StpAlgorithm, StpCtx};
+use crate::algorithms::{
+    br_lin_over, tags, BrLin, BrXyDim, BrXySource, Repos, StpAlgorithm, StpCtx,
+};
 use crate::msgset::MessageSet;
 
 /// A base algorithm that can run inside a machine partition
@@ -43,7 +45,10 @@ impl PlanRunnable for BrLin {
     ) {
         let snake = plan.shape.snake_order();
         let order: Vec<usize> = snake.iter().map(|&i| plan.ranks[i]).collect();
-        let has: Vec<bool> = snake.iter().map(|i| sources_pos.binary_search(i).is_ok()).collect();
+        let has: Vec<bool> = snake
+            .iter()
+            .map(|i| sources_pos.binary_search(i).is_ok())
+            .collect();
         br_lin_over(comm, &order, &has, set, tags::BR_LIN);
     }
 }
@@ -57,7 +62,15 @@ impl PlanRunnable for BrXySource {
         set: &mut MessageSet,
     ) {
         let order = source_dim_order(plan.shape, sources_pos);
-        run_xy_on_plan(comm, plan, sources_pos, order, set, tags::BR_LIN, tags::BR_XY_PHASE2);
+        run_xy_on_plan(
+            comm,
+            plan,
+            sources_pos,
+            order,
+            set,
+            tags::BR_LIN,
+            tags::BR_XY_PHASE2,
+        );
     }
 }
 
@@ -70,7 +83,15 @@ impl PlanRunnable for BrXyDim {
         set: &mut MessageSet,
     ) {
         let order = shape_dim_order(plan.shape);
-        run_xy_on_plan(comm, plan, sources_pos, order, set, tags::BR_LIN, tags::BR_XY_PHASE2);
+        run_xy_on_plan(
+            comm,
+            plan,
+            sources_pos,
+            order,
+            set,
+            tags::BR_LIN,
+            tags::BR_XY_PHASE2,
+        );
     }
 }
 
@@ -92,22 +113,30 @@ pub fn split_mesh(shape: MeshShape) -> Option<Partition> {
         let half = MeshShape::new(r / 2, c);
         let g1 = XyPlan {
             shape: half,
-            ranks: (0..r / 2).flat_map(|row| (0..c).map(move |col| row * c + col)).collect(),
+            ranks: (0..r / 2)
+                .flat_map(|row| (0..c).map(move |col| row * c + col))
+                .collect(),
         };
         let g2 = XyPlan {
             shape: half,
-            ranks: (r / 2..r).flat_map(|row| (0..c).map(move |col| row * c + col)).collect(),
+            ranks: (r / 2..r)
+                .flat_map(|row| (0..c).map(move |col| row * c + col))
+                .collect(),
         };
         Some(Partition { g1, g2 })
     } else if c % 2 == 0 {
         let half = MeshShape::new(r, c / 2);
         let g1 = XyPlan {
             shape: half,
-            ranks: (0..r).flat_map(|row| (0..c / 2).map(move |col| row * c + col)).collect(),
+            ranks: (0..r)
+                .flat_map(|row| (0..c / 2).map(move |col| row * c + col))
+                .collect(),
         };
         let g2 = XyPlan {
             shape: half,
-            ranks: (0..r).flat_map(|row| (c / 2..c).map(move |col| row * c + col)).collect(),
+            ranks: (0..r)
+                .flat_map(|row| (c / 2..c).map(move |col| row * c + col))
+                .collect(),
         };
         Some(Partition { g1, g2 })
     } else {
@@ -152,12 +181,16 @@ impl<A: PlanRunnable> StpAlgorithm for Part<A> {
 
         // Ideal targets inside each group (plan positions → global ranks).
         let t1_pos = if s1 > 0 {
-            self.base.ideal_sources(partition.g1.shape, s1).expect("base must define an ideal")
+            self.base
+                .ideal_sources(partition.g1.shape, s1)
+                .expect("base must define an ideal")
         } else {
             Vec::new()
         };
         let t2_pos = if s2 > 0 {
-            self.base.ideal_sources(partition.g2.shape, s2).expect("base must define an ideal")
+            self.base
+                .ideal_sources(partition.g2.shape, s2)
+                .expect("base must define an ideal")
         } else {
             Vec::new()
         };
@@ -169,8 +202,7 @@ impl<A: PlanRunnable> StpAlgorithm for Part<A> {
         // The permutation: sources (ascending) fill G1's targets then
         // G2's. origin_of[k] = original source whose message lands on
         // targets_all[k].
-        let targets_all: Vec<usize> =
-            t1_global.iter().chain(t2_global.iter()).copied().collect();
+        let targets_all: Vec<usize> = t1_global.iter().chain(t2_global.iter()).copied().collect();
 
         // Phase 0: partial permutation.
         if let Some(payload) = ctx.payload {
@@ -237,7 +269,6 @@ impl<A: PlanRunnable> StpAlgorithm for Part<A> {
         self.base.ideal_sources(shape, s)
     }
 }
-
 
 /// Split a plan into two equal halves (nested splitting for the
 /// recursive partitioner). Child ranks are mapped through the parent.
@@ -374,7 +405,8 @@ impl<A: PlanRunnable> StpAlgorithm for PartRecursive<A> {
             Some(data) => MessageSet::single(me, data),
             None => MessageSet::new(),
         };
-        self.base.run_on_plan(comm, &groups[my_group], &sources_pos, &mut set);
+        self.base
+            .run_on_plan(comm, &groups[my_group], &sources_pos, &mut set);
         comm.next_iteration();
 
         // Phase 2: `achieved` merge rounds — at round j my group
@@ -418,15 +450,24 @@ mod tests {
 
     fn check<A: PlanRunnable>(alg: Part<A>, shape: MeshShape, sources: Vec<usize>, len: usize) {
         let out = run_threads(shape.p(), |comm| {
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx)
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");
             for &s in &sources {
-                assert_eq!(set.get(s).unwrap(), payload_for(s, len), "rank {rank} src {s}");
+                assert_eq!(
+                    set.get(s).unwrap(),
+                    payload_for(s, len),
+                    "rank {rank} src {s}"
+                );
             }
         }
     }
@@ -491,7 +532,12 @@ mod tests {
     #[test]
     fn part_all_sources() {
         let shape = MeshShape::new(4, 4);
-        check(Part::new(BrLin::new(), "Part_Lin"), shape, (0..16).collect(), 4);
+        check(
+            Part::new(BrLin::new(), "Part_Lin"),
+            shape,
+            (0..16).collect(),
+            4,
+        );
     }
 
     fn check_recursive<A: PlanRunnable>(
@@ -501,15 +547,24 @@ mod tests {
         len: usize,
     ) {
         let out = run_threads(shape.p(), |comm| {
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx)
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");
             for &s in &sources {
-                assert_eq!(set.get(s).unwrap(), payload_for(s, len), "rank {rank} src {s}");
+                assert_eq!(
+                    set.get(s).unwrap(),
+                    payload_for(s, len),
+                    "rank {rank} src {s}"
+                );
             }
         }
     }
@@ -530,7 +585,12 @@ mod tests {
     fn recursive_depth_one_matches_part_semantics() {
         let shape = MeshShape::new(4, 4);
         let sources = SourceDist::Cross.place(shape, 6);
-        check_recursive(PartRecursive::new(BrLin::new(), 1, "PartRec_1"), shape, sources, 16);
+        check_recursive(
+            PartRecursive::new(BrLin::new(), 1, "PartRec_1"),
+            shape,
+            sources,
+            16,
+        );
     }
 
     #[test]
@@ -543,19 +603,34 @@ mod tests {
             sources.clone(),
             8,
         );
-        check_recursive(PartRecursive::new(BrLin::new(), 3, "PartRec_3"), shape, sources, 8);
+        check_recursive(
+            PartRecursive::new(BrLin::new(), 3, "PartRec_3"),
+            shape,
+            sources,
+            8,
+        );
     }
 
     #[test]
     fn recursive_depth_exceeding_splits_clamps() {
         // 2x2 machine: only 2 splits possible; depth 5 must still work.
         let shape = MeshShape::new(2, 2);
-        check_recursive(PartRecursive::new(BrLin::new(), 5, "PartRec_5"), shape, vec![1, 2], 8);
+        check_recursive(
+            PartRecursive::new(BrLin::new(), 5, "PartRec_5"),
+            shape,
+            vec![1, 2],
+            8,
+        );
     }
 
     #[test]
     fn recursive_single_source() {
         let shape = MeshShape::new(4, 4);
-        check_recursive(PartRecursive::new(BrLin::new(), 2, "PartRec_2"), shape, vec![9], 16);
+        check_recursive(
+            PartRecursive::new(BrLin::new(), 2, "PartRec_2"),
+            shape,
+            vec![9],
+            16,
+        );
     }
 }

@@ -27,12 +27,7 @@ impl StpAlgorithm for PersAlltoAll {
 
     fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
         ctx.validate(comm);
-        let msgs = personalized_from_sources(
-            comm,
-            &|r| ctx.is_source(r),
-            ctx.payload,
-            tags::PERS,
-        );
+        let msgs = personalized_from_sources(comm, &|r| ctx.is_source(r), ctx.payload, tags::PERS);
         let mut set = MessageSet::new();
         for m in msgs {
             set.insert_payload(m.src, m.data);
@@ -51,9 +46,14 @@ mod tests {
 
     fn check(shape: MeshShape, sources: Vec<usize>, len: usize) {
         let out = run_threads(shape.p(), |comm| {
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             PersAlltoAll.run(comm, &ctx)
         });
         for set in out.results {
@@ -84,11 +84,20 @@ mod tests {
         let shape = MeshShape::new(2, 4);
         let sources = vec![0usize, 3];
         let out = run_threads(shape.p(), |comm| {
-            let payload = sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), 64));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), 64));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             let _ = PersAlltoAll.run(comm, &ctx);
             comm.stats().memcpy_bytes
         });
-        assert!(out.results.iter().all(|&b| b == 0), "PersAlltoAll never combines");
+        assert!(
+            out.results.iter().all(|&b| b == 0),
+            "PersAlltoAll never combines"
+        );
     }
 }

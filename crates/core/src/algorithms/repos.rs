@@ -57,10 +57,12 @@ impl<A: StpAlgorithm> StpAlgorithm for Repos<A> {
         ctx.validate(comm);
         let me = comm.rank();
         let s = ctx.s();
-        let targets = self
-            .base
-            .ideal_sources(ctx.shape, s)
-            .unwrap_or_else(|| panic!("{} has no ideal distribution to reposition to", self.base.name()));
+        let targets = self.base.ideal_sources(ctx.shape, s).unwrap_or_else(|| {
+            panic!(
+                "{} has no ideal distribution to reposition to",
+                self.base.name()
+            )
+        });
         debug_assert!(targets.windows(2).all(|w| w[0] < w[1]));
 
         let moves = repositioning_moves(ctx.sources, &targets);
@@ -85,7 +87,11 @@ impl<A: StpAlgorithm> StpAlgorithm for Repos<A> {
         comm.next_iteration();
 
         // Phase 1: the base algorithm on the ideal distribution.
-        let ctx2 = StpCtx { shape: ctx.shape, sources: &targets, payload: new_payload.as_deref() };
+        let ctx2 = StpCtx {
+            shape: ctx.shape,
+            sources: &targets,
+            payload: new_payload.as_deref(),
+        };
         let result = self.base.run(comm, &ctx2);
 
         // Relabel: the base run keys messages by *target* position; map
@@ -118,9 +124,14 @@ mod tests {
 
     fn check<A: StpAlgorithm>(alg: Repos<A>, shape: MeshShape, sources: Vec<usize>, len: usize) {
         let out = run_threads(shape.p(), |comm| {
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx)
         });
         for (rank, set) in out.results.iter().enumerate() {
@@ -128,7 +139,11 @@ mod tests {
             // output contract matches the non-repositioning algorithms.
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");
             for &s in &sources {
-                assert_eq!(set.get(s).unwrap(), payload_for(s, len), "rank {rank} src {s}");
+                assert_eq!(
+                    set.get(s).unwrap(),
+                    payload_for(s, len),
+                    "rank {rank} src {s}"
+                );
             }
         }
     }

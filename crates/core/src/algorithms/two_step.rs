@@ -64,11 +64,7 @@ impl TwoStep {
             // Direct gather: sources fire at the root; the root absorbs.
             if me != ROOT {
                 if let Some(p) = ctx.payload {
-                    comm.send_payload(
-                        ROOT,
-                        tags::GATHER,
-                        MessageSet::single(me, p).to_payload(),
-                    );
+                    comm.send_payload(ROOT, tags::GATHER, MessageSet::single(me, p).to_payload());
                 }
             } else {
                 let expect = ctx.sources.iter().filter(|&&s| s != ROOT).count();
@@ -162,9 +158,14 @@ mod tests {
 
     fn check(shape: MeshShape, sources: Vec<usize>, len: usize, alg: TwoStep) {
         let out = run_threads(shape.p(), |comm| {
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx)
         });
         for set in out.results {
@@ -210,8 +211,14 @@ mod tests {
         let shape = MeshShape::new(4, 4);
         let sources = vec![15usize];
         let out = run_threads(shape.p(), |comm| {
-            let payload = sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), 8));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), 8));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             let _ = TwoStep::tree().run(comm, &ctx);
             comm.stats().total_sends()
         });

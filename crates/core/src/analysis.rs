@@ -93,7 +93,13 @@ pub fn br_lin_total_bytes(shape: MeshShape, sources: &[usize], len: usize) -> u6
     let snake = shape.snake_order();
     let initial: Vec<Vec<usize>> = snake
         .iter()
-        .map(|r| if sources.binary_search(r).is_ok() { vec![len] } else { Vec::new() })
+        .map(|r| {
+            if sources.binary_search(r).is_ok() {
+                vec![len]
+            } else {
+                Vec::new()
+            }
+        })
         .collect();
     br_lin_traffic(&initial).iter().map(|t| t.bytes).sum()
 }
@@ -138,7 +144,13 @@ mod tests {
         let snake = shape.snake_order();
         let initial: Vec<Vec<usize>> = snake
             .iter()
-            .map(|r| if sources.binary_search(r).is_ok() { vec![len] } else { Vec::new() })
+            .map(|r| {
+                if sources.binary_search(r).is_ok() {
+                    vec![len]
+                } else {
+                    Vec::new()
+                }
+            })
             .collect();
         let profile = br_lin_traffic(&initial);
 
@@ -148,7 +160,11 @@ mod tests {
                 .binary_search(&comm.rank())
                 .is_ok()
                 .then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             let _ = BrLin::new().run(comm, &ctx);
         });
 
@@ -159,15 +175,24 @@ mod tests {
                 .map(|st| st.iters.get(level).map_or(0, |it| it.bytes_sent))
                 .sum();
             assert_eq!(measured_bytes, expect.bytes, "level {level} byte mismatch");
-            let measured_msgs: u64 =
-                out.stats.iter().map(|st| st.iters.get(level).map_or(0, |it| it.sends)).sum();
-            assert_eq!(measured_msgs, expect.messages, "level {level} message mismatch");
+            let measured_msgs: u64 = out
+                .stats
+                .iter()
+                .map(|st| st.iters.get(level).map_or(0, |it| it.sends))
+                .sum();
+            assert_eq!(
+                measured_msgs, expect.messages,
+                "level {level} message mismatch"
+            );
             let measured_active = out
                 .stats
                 .iter()
                 .filter(|st| st.iters.get(level).is_some_and(|it| it.active()))
                 .count() as u64;
-            assert_eq!(measured_active, expect.active_positions, "level {level} active mismatch");
+            assert_eq!(
+                measured_active, expect.active_positions,
+                "level {level} active mismatch"
+            );
         }
     }
 
@@ -185,15 +210,25 @@ mod tests {
             let len = total / s;
             let initial: Vec<Vec<usize>> = snake
                 .iter()
-                .map(|r| if sources.binary_search(r).is_ok() { vec![len] } else { Vec::new() })
+                .map(|r| {
+                    if sources.binary_search(r).is_ok() {
+                        vec![len]
+                    } else {
+                        Vec::new()
+                    }
+                })
                 .collect();
             br_lin_traffic(&initial)
         };
         let few = profile_for(5);
         let many = profile_for(40);
         // Early levels: s=5 ships 16 KiB chunks, s=40 ships 2 KiB chunks.
-        assert!(few[0].max_message > 4 * many[0].max_message,
-            "few={} many={}", few[0].max_message, many[0].max_message);
+        assert!(
+            few[0].max_message > 4 * many[0].max_message,
+            "few={} many={}",
+            few[0].max_message,
+            many[0].max_message
+        );
         // And far fewer positions participate early.
         assert!(few[0].active_positions < many[0].active_positions);
         // Total volume is within 2x either way (headers + overlap only).

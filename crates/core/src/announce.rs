@@ -77,14 +77,22 @@ pub fn announce_and_broadcast(
     let table = decode(&table_bytes);
     comm.next_iteration();
 
-    let sources: Vec<usize> =
-        table.iter().enumerate().filter(|(_, l)| l.is_some()).map(|(r, _)| r).collect();
+    let sources: Vec<usize> = table
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.is_some())
+        .map(|(r, _)| r)
+        .collect();
     if sources.is_empty() {
         return None;
     }
 
     // Phase 1: the regular, fully-informed broadcast.
-    let ctx = StpCtx { shape, sources: &sources, payload: my_payload };
+    let ctx = StpCtx {
+        shape,
+        sources: &sources,
+        payload: my_payload,
+    };
     Some(alg.run(comm, &ctx))
 }
 
@@ -100,8 +108,9 @@ mod tests {
     fn check(shape: MeshShape, sources: Vec<usize>, alg: &dyn StpAlgorithm) {
         let out = run_threads(shape.p(), |comm| {
             // Each rank knows only its own status.
-            let payload =
-                sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), 64));
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), 64));
             announce_and_broadcast(comm, shape, payload.as_deref(), alg)
         });
         for set in out.results {

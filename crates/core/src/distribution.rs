@@ -217,7 +217,13 @@ impl SourceDist {
                 set
             }
         };
-        debug_assert_eq!(set.len(), s, "{} placed {} != s={s}", self.name(), set.len());
+        debug_assert_eq!(
+            set.len(),
+            s,
+            "{} placed {} != s={s}",
+            self.name(),
+            set.len()
+        );
         set.into_iter().collect()
     }
 }
@@ -286,7 +292,11 @@ pub fn ascii_grid(shape: MeshShape, sources: &[usize]) -> String {
     let mut out = String::with_capacity((shape.cols + 1) * shape.rows);
     for row in 0..shape.rows {
         for col in 0..shape.cols {
-            out.push(if set.contains(&shape.rank(row, col)) { '#' } else { '.' });
+            out.push(if set.contains(&shape.rank(row, col)) {
+                '#'
+            } else {
+                '.'
+            });
         }
         out.push('\n');
     }
@@ -305,7 +315,12 @@ mod tests {
 
     #[test]
     fn all_distributions_place_exactly_s() {
-        let shapes = [MeshShape::new(10, 10), MeshShape::new(8, 16), MeshShape::new(4, 30), MeshShape::new(10, 12)];
+        let shapes = [
+            MeshShape::new(10, 10),
+            MeshShape::new(8, 16),
+            MeshShape::new(4, 30),
+            MeshShape::new(10, 12),
+        ];
         let dists = [
             SourceDist::Row,
             SourceDist::Column,
@@ -347,7 +362,10 @@ mod tests {
         let placed = place(SourceDist::DiagRight, 30);
         // Main diagonal present:
         for k in 0..10 {
-            assert!(placed.contains(&TEN.rank(k, k)), "main diagonal cell ({k},{k})");
+            assert!(
+                placed.contains(&TEN.rank(k, k)),
+                "main diagonal cell ({k},{k})"
+            );
         }
         // every row and column has exactly 3 sources
         assert!(row_counts(TEN, &placed).iter().all(|&n| n == 3));
@@ -397,7 +415,11 @@ mod tests {
     fn left_diagonal_hits_anti_diagonal() {
         let placed = place(SourceDist::DiagLeft, 10);
         for row in 0..10 {
-            assert!(placed.contains(&TEN.rank(row, 9 - row)), "anti-diagonal ({row},{})", 9 - row);
+            assert!(
+                placed.contains(&TEN.rank(row, 9 - row)),
+                "anti-diagonal ({row},{})",
+                9 - row
+            );
         }
     }
 

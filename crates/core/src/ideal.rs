@@ -27,7 +27,12 @@ use crate::pattern::br_lin_schedule;
 fn growth_score(n: usize, active: &[bool]) -> u64 {
     debug_assert_eq!(active.len(), n);
     let sched = br_lin_schedule(active);
-    sched.holds.iter().skip(1).map(|h| h.iter().filter(|&&b| b).count() as u64).sum()
+    sched
+        .holds
+        .iter()
+        .skip(1)
+        .map(|h| h.iter().filter(|&&b| b).count() as u64)
+        .sum()
 }
 
 /// Choose `k` positions on a line of `n` so that `Br_Lin` activates new
@@ -105,7 +110,10 @@ mod tests {
         }
         let sched = br_lin_schedule(&has);
         let after_l0 = sched.holds[1].iter().filter(|&&b| b).count();
-        assert_eq!(after_l0, 4, "ideal 2-of-10 placement must double in iteration one, got {pos:?}");
+        assert_eq!(
+            after_l0, 4,
+            "ideal 2-of-10 placement must double in iteration one, got {pos:?}"
+        );
     }
 
     #[test]
@@ -119,8 +127,11 @@ mod tests {
             has[p] = true;
         }
         let sched = br_lin_schedule(&has);
-        let counts: Vec<usize> =
-            sched.holds.iter().map(|h| h.iter().filter(|&&b| b).count()).collect();
+        let counts: Vec<usize> = sched
+            .holds
+            .iter()
+            .map(|h| h.iter().filter(|&&b| b).count())
+            .collect();
         assert_eq!(counts, vec![2, 4, 8, 16, 16]);
     }
 
@@ -142,7 +153,10 @@ mod tests {
         assert_eq!(target.len(), 30);
         let rows = crate::distribution::row_counts(shape, &target);
         let full = rows.iter().filter(|&&n| n == 10).count();
-        assert_eq!(full, 3, "30 sources on 10 cols = 3 full rows, rows={rows:?}");
+        assert_eq!(
+            full, 3,
+            "30 sources on 10 cols = 3 full rows, rows={rows:?}"
+        );
     }
 
     #[test]

@@ -57,12 +57,12 @@ pub mod prelude {
     pub use crate::algorithms::{
         BrLin, BrXyDim, BrXySource, Part, PersAlltoAll, Repos, StpAlgorithm, StpCtx, TwoStep,
     };
+    pub use crate::announce::announce_and_broadcast;
     pub use crate::distribution::SourceDist;
     pub use crate::metrics::Figure2Row;
     pub use crate::msgset::{payload_for, MessageSet};
     pub use crate::predict::{estimate_ms, estimate_ns};
     pub use crate::quality::placement_quality;
     pub use crate::runner::{AlgoKind, Experiment, Outcome, SweepRunner};
-    pub use crate::announce::announce_and_broadcast;
     pub use crate::select::recommend;
 }

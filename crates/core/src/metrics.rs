@@ -32,8 +32,7 @@ pub fn figure2_row(algorithm: impl Into<String>, stats: &[CommStats]) -> Figure2
     let congestion = stats.iter().map(CommStats::congestion).max().unwrap_or(0);
     let wait = stats.iter().map(CommStats::total_waits).max().unwrap_or(0);
     let send_rec = stats.iter().map(CommStats::total_ops).max().unwrap_or(0);
-    let av_msg_lgth =
-        stats.iter().map(|s| s.avg_msg_len()).fold(0.0f64, f64::max);
+    let av_msg_lgth = stats.iter().map(|s| s.avg_msg_len()).fold(0.0f64, f64::max);
 
     // Per-iteration activity across ranks: iteration k is "active" on a
     // rank if the rank sent or received in its k-th bucket.
@@ -41,17 +40,29 @@ pub fn figure2_row(algorithm: impl Into<String>, stats: &[CommStats]) -> Figure2
     let mut total_active = 0u64;
     let mut counted_iters = 0u64;
     for k in 0..iters {
-        let active =
-            stats.iter().filter(|s| s.iters.get(k).is_some_and(|i| i.active())).count() as u64;
+        let active = stats
+            .iter()
+            .filter(|s| s.iters.get(k).is_some_and(|i| i.active()))
+            .count() as u64;
         if active > 0 {
             total_active += active;
             counted_iters += 1;
         }
     }
-    let av_act_proc =
-        if counted_iters == 0 { 0.0 } else { total_active as f64 / counted_iters as f64 };
+    let av_act_proc = if counted_iters == 0 {
+        0.0
+    } else {
+        total_active as f64 / counted_iters as f64
+    };
 
-    Figure2Row { algorithm: algorithm.into(), congestion, wait, send_rec, av_msg_lgth, av_act_proc }
+    Figure2Row {
+        algorithm: algorithm.into(),
+        congestion,
+        wait,
+        send_rec,
+        av_msg_lgth,
+        av_act_proc,
+    }
 }
 
 /// Format a slice of rows as an aligned ASCII table (used by the

@@ -32,17 +32,23 @@ pub struct MessageSet {
 impl MessageSet {
     /// The empty set.
     pub fn new() -> Self {
-        MessageSet { entries: Vec::new() }
+        MessageSet {
+            entries: Vec::new(),
+        }
     }
 
     /// A set holding a single source's payload (copies the slice once).
     pub fn single(src: usize, payload: &[u8]) -> Self {
-        MessageSet { entries: vec![(src as u32, Payload::from_slice(payload))] }
+        MessageSet {
+            entries: vec![(src as u32, Payload::from_slice(payload))],
+        }
     }
 
     /// A set holding a single source's already-shared payload (no copy).
     pub fn single_payload(src: usize, payload: Payload) -> Self {
-        MessageSet { entries: vec![(src as u32, payload)] }
+        MessageSet {
+            entries: vec![(src as u32, payload)],
+        }
     }
 
     /// Number of distinct sources held.
@@ -100,7 +106,11 @@ impl MessageSet {
     /// Copies the slice once; see [`insert_payload`](Self::insert_payload)
     /// for the zero-copy variant.
     pub fn insert(&mut self, src: usize, payload: &[u8]) {
-        if self.entries.binary_search_by_key(&(src as u32), |&(s, _)| s).is_err() {
+        if self
+            .entries
+            .binary_search_by_key(&(src as u32), |&(s, _)| s)
+            .is_err()
+        {
             self.insert_payload(src, Payload::from_slice(payload));
         }
     }
@@ -108,7 +118,10 @@ impl MessageSet {
     /// Insert one source's already-shared payload (no-op if present,
     /// no byte copies). Keeps ordering.
     pub fn insert_payload(&mut self, src: usize, payload: Payload) {
-        if let Err(pos) = self.entries.binary_search_by_key(&(src as u32), |&(s, _)| s) {
+        if let Err(pos) = self
+            .entries
+            .binary_search_by_key(&(src as u32), |&(s, _)| s)
+        {
             self.entries.insert(pos, (src as u32, payload));
         }
     }
@@ -195,7 +208,9 @@ impl MessageSet {
 /// source `src` with message length `len`: every byte depends on the
 /// source and its offset, so misrouted or truncated messages are caught.
 pub fn payload_for(src: usize, len: usize) -> Vec<u8> {
-    (0..len).map(|i| (src.wrapping_mul(31).wrapping_add(i) & 0xFF) as u8).collect()
+    (0..len)
+        .map(|i| (src.wrapping_mul(31).wrapping_add(i) & 0xFF) as u8)
+        .collect()
 }
 
 #[cfg(test)]
@@ -283,7 +298,7 @@ mod tests {
     fn malformed_inputs_rejected() {
         assert!(MessageSet::from_bytes(&[]).is_none());
         assert!(MessageSet::from_bytes(&[1, 0, 0, 0]).is_none()); // count=1, no header
-        // trailing garbage
+                                                                  // trailing garbage
         let mut ok = MessageSet::single(1, b"x").to_bytes();
         ok.push(0);
         assert!(MessageSet::from_bytes(&ok).is_none());

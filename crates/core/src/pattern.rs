@@ -100,27 +100,50 @@ pub fn br_lin_schedule(has: &[bool]) -> BrLinSchedule {
             }
             let mid = lo + len.div_ceil(2);
             let b_len = hi - mid;
-            let pair = |x: usize, y: usize,
-                            level_ops: &mut Vec<Vec<PeerOp>>,
-                            next_has: &mut Vec<bool>| {
-                match (cur[x], cur[y]) {
-                    (true, true) => {
-                        level_ops[x].push(PeerOp { peer: y, send: true, recv: true });
-                        level_ops[y].push(PeerOp { peer: x, send: true, recv: true });
+            let pair =
+                |x: usize, y: usize, level_ops: &mut Vec<Vec<PeerOp>>, next_has: &mut Vec<bool>| {
+                    match (cur[x], cur[y]) {
+                        (true, true) => {
+                            level_ops[x].push(PeerOp {
+                                peer: y,
+                                send: true,
+                                recv: true,
+                            });
+                            level_ops[y].push(PeerOp {
+                                peer: x,
+                                send: true,
+                                recv: true,
+                            });
+                        }
+                        (true, false) => {
+                            level_ops[x].push(PeerOp {
+                                peer: y,
+                                send: true,
+                                recv: false,
+                            });
+                            level_ops[y].push(PeerOp {
+                                peer: x,
+                                send: false,
+                                recv: true,
+                            });
+                            next_has[y] = true;
+                        }
+                        (false, true) => {
+                            level_ops[x].push(PeerOp {
+                                peer: y,
+                                send: false,
+                                recv: true,
+                            });
+                            level_ops[y].push(PeerOp {
+                                peer: x,
+                                send: true,
+                                recv: false,
+                            });
+                            next_has[x] = true;
+                        }
+                        (false, false) => {}
                     }
-                    (true, false) => {
-                        level_ops[x].push(PeerOp { peer: y, send: true, recv: false });
-                        level_ops[y].push(PeerOp { peer: x, send: false, recv: true });
-                        next_has[y] = true;
-                    }
-                    (false, true) => {
-                        level_ops[x].push(PeerOp { peer: y, send: false, recv: true });
-                        level_ops[y].push(PeerOp { peer: x, send: true, recv: false });
-                        next_has[x] = true;
-                    }
-                    (false, false) => {}
-                }
-            };
+                };
             for i in 0..b_len {
                 pair(lo + i, mid + i, &mut level_ops, &mut next_has);
             }
@@ -172,7 +195,13 @@ pub fn simulate_coverage(has: &[bool]) -> Vec<std::collections::BTreeSet<usize>>
     use std::collections::BTreeSet;
     let n = has.len();
     let mut sets: Vec<BTreeSet<usize>> = (0..n)
-        .map(|i| if has[i] { BTreeSet::from([i]) } else { BTreeSet::new() })
+        .map(|i| {
+            if has[i] {
+                BTreeSet::from([i])
+            } else {
+                BTreeSet::new()
+            }
+        })
         .collect();
     let sched = br_lin_schedule(has);
     for level in &sched.ops {
@@ -196,7 +225,11 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn full_set(has: &[bool]) -> BTreeSet<usize> {
-        has.iter().enumerate().filter(|(_, &h)| h).map(|(i, _)| i).collect()
+        has.iter()
+            .enumerate()
+            .filter(|(_, &h)| h)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     fn assert_full_coverage(has: &[bool]) {
@@ -205,7 +238,10 @@ mod tests {
             return;
         }
         for (pos, got) in simulate_coverage(has).iter().enumerate() {
-            assert_eq!(got, &want, "position {pos} missing messages for has={has:?}");
+            assert_eq!(
+                got, &want,
+                "position {pos} missing messages for has={has:?}"
+            );
         }
     }
 
@@ -243,7 +279,17 @@ mod tests {
 
     #[test]
     fn level_count_is_ceil_log2() {
-        for (n, want) in [(1usize, 0usize), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (100, 7), (256, 8)] {
+        for (n, want) in [
+            (1usize, 0usize),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (100, 7),
+            (256, 8),
+        ] {
             let has = vec![true; n];
             assert_eq!(br_lin_schedule(&has).levels(), want, "n={n}");
         }
@@ -270,8 +316,11 @@ mod tests {
         let mut has = vec![false; 8];
         has[0] = true;
         let sched = br_lin_schedule(&has);
-        let l0: Vec<(usize, &Vec<PeerOp>)> =
-            sched.ops[0].iter().enumerate().filter(|(_, v)| !v.is_empty()).collect();
+        let l0: Vec<(usize, &Vec<PeerOp>)> = sched.ops[0]
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
         assert_eq!(l0.len(), 2);
         assert_eq!(l0[0].0, 0);
         assert_eq!(l0[1].0, 4);

@@ -72,9 +72,7 @@ pub fn estimate_ns(machine: &Machine, kind: AlgoKind, s: usize, len: usize) -> O
             // p-1 permutation rounds; a source pays the send startup in
             // every round, its injection ports serialize the payloads;
             // every rank receives s messages.
-            (p as u64 - 1) * a_s
-                + (p as u64 - 1) * wire(1) / ports
-                + s as u64 * a_r
+            (p as u64 - 1) * a_s + (p as u64 - 1) * wire(1) / ports + s as u64 * a_r
         }
         AlgoKind::BrLin | AlgoKind::ReposLin => {
             // ceil(log p) iterations; the set at a processor roughly
@@ -92,7 +90,10 @@ pub fn estimate_ns(machine: &Machine, kind: AlgoKind, s: usize, len: usize) -> O
             }
             t
         }
-        AlgoKind::BrXySource | AlgoKind::BrXyDim | AlgoKind::ReposXySource | AlgoKind::ReposXyDim => {
+        AlgoKind::BrXySource
+        | AlgoKind::BrXyDim
+        | AlgoKind::ReposXySource
+        | AlgoKind::ReposXyDim => {
             // Phase 1 within the first dimension (say rows, length c):
             // sets grow to ~s/r; phase 2 within columns: sets grow to s.
             let (r, c) = (machine.shape.rows, machine.shape.cols);
@@ -240,7 +241,12 @@ mod tests {
         // modest constant C; checks the formulas stay anchored to the
         // implementation.
         let m = Machine::paragon(8, 8);
-        for kind in [AlgoKind::TwoStep, AlgoKind::PersAlltoAll, AlgoKind::BrLin, AlgoKind::BrXySource] {
+        for kind in [
+            AlgoKind::TwoStep,
+            AlgoKind::PersAlltoAll,
+            AlgoKind::BrLin,
+            AlgoKind::BrXySource,
+        ] {
             let predicted = estimate_ns(&m, kind, 16, 2048).unwrap() as f64;
             let simulated = crate::runner::Experiment {
                 machine: &m,

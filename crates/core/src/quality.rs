@@ -68,8 +68,10 @@ pub fn placement_quality(shape: MeshShape, sources: &[usize], kind: AlgoKind) ->
         AlgoKind::BrLin | AlgoKind::ReposLin | AlgoKind::PartLin => {
             // Score the snake-order line directly.
             let snake = shape.snake_order();
-            let has: Vec<bool> =
-                snake.iter().map(|r| sources.binary_search(r).is_ok()).collect();
+            let has: Vec<bool> = snake
+                .iter()
+                .map(|r| sources.binary_search(r).is_ok())
+                .collect();
             let max = line_growth_max(p, sources.len());
             Some(ratio(line_growth_score(&has), max))
         }
@@ -89,8 +91,11 @@ pub fn placement_quality(shape: MeshShape, sources: &[usize], kind: AlgoKind) ->
             let max_r = rows.iter().copied().max().unwrap_or(0);
             let max_c = cols.iter().copied().max().unwrap_or(0);
             // max_r < max_c → rows first (paper's rule).
-            let (n_lines, max_count) =
-                if max_r < max_c { (shape.rows, max_r) } else { (shape.cols, max_c) };
+            let (n_lines, max_count) = if max_r < max_c {
+                (shape.rows, max_r)
+            } else {
+                (shape.cols, max_c)
+            };
             if max_count == 0 {
                 return Some(1.0);
             }
@@ -127,11 +132,17 @@ mod tests {
     fn ideal_placements_score_high() {
         let dl = ideal_left_diagonal(TEN, 10);
         let q = placement_quality(TEN, &dl, AlgoKind::BrLin).unwrap();
-        assert!(q > 0.85, "left diagonal should be near-ideal for Br_Lin, got {q}");
+        assert!(
+            q > 0.85,
+            "left diagonal should be near-ideal for Br_Lin, got {q}"
+        );
 
         let rows = ideal_rows(TEN, 30);
         let q = placement_quality(TEN, &rows, AlgoKind::BrXySource).unwrap();
-        assert!(q > 0.9, "ideal rows should be near-ideal for Br_xy_source, got {q}");
+        assert!(
+            q > 0.9,
+            "ideal rows should be near-ideal for Br_xy_source, got {q}"
+        );
     }
 
     #[test]

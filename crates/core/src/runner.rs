@@ -2,7 +2,9 @@
 //! algorithm) to a verified, timed outcome.
 
 use mpp_model::{LibraryKind, Machine, Time};
-use mpp_runtime::{run_simulated, CommStats, Communicator};
+use mpp_runtime::{
+    run_simulated_with, schedule_log, CommStats, Communicator, ScheduleEvent, SimConfig,
+};
 
 use crate::algorithms::{
     BrLin, BrXyDim, BrXySource, DissemAllGather, NaiveIndependent, Part, PersAlltoAll, Repos,
@@ -208,7 +210,13 @@ impl Experiment<'_> {
     pub fn run_with_lib(&self, lib: LibraryKind) -> Outcome {
         let sources = self.dist.place(self.machine.shape, self.s);
         let len = self.msg_len;
-        run_sources(self.machine, lib, &sources, &|src| payload_for(src, len), self.kind)
+        run_sources(
+            self.machine,
+            lib,
+            &sources,
+            &|src| payload_for(src, len),
+            self.kind,
+        )
     }
 
     /// Run with per-source message lengths (paper §5: "using different
@@ -226,6 +234,11 @@ impl Experiment<'_> {
 }
 
 /// Run an algorithm on explicit sources with explicit payloads.
+///
+/// Debug builds enable the kernel's strict schedule checks (unambiguous
+/// receive matching, empty mailboxes at finish) — the runtime half of
+/// the `stp-analyzer` checker — so schedule bugs panic at the offending
+/// operation instead of surfacing as a wrong makespan.
 pub fn run_sources(
     machine: &Machine,
     lib: LibraryKind,
@@ -234,15 +247,36 @@ pub fn run_sources(
     kind: AlgoKind,
 ) -> Outcome {
     let alg = kind.build();
+    let config = SimConfig {
+        lib,
+        strict: cfg!(debug_assertions),
+        ..SimConfig::default()
+    };
+    run_alg_with(machine, &config, sources, payload_of, alg.as_ref())
+}
+
+fn run_alg_with(
+    machine: &Machine,
+    config: &SimConfig,
+    sources: &[usize],
+    payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
+    alg: &dyn StpAlgorithm,
+) -> Outcome {
     let shape = machine.shape;
-    let out = run_simulated(machine, lib, |comm| {
+    let out = run_simulated_with(machine, config, |comm| {
         let me = comm.rank();
         let payload = sources.binary_search(&me).is_ok().then(|| payload_of(me));
-        let ctx = StpCtx { shape, sources, payload: payload.as_deref() };
+        let ctx = StpCtx {
+            shape,
+            sources,
+            payload: payload.as_deref(),
+        };
         let set = alg.run(comm, &ctx);
         // Verify on-rank: all sources present with the right payloads.
         set.sources().collect::<Vec<_>>() == sources
-            && sources.iter().all(|&s| set.get(s).is_some_and(|d| *d == payload_of(s)))
+            && sources
+                .iter()
+                .all(|&s| set.get(s).is_some_and(|d| *d == payload_of(s)))
     });
     Outcome {
         makespan_ns: out.makespan_ns,
@@ -252,6 +286,87 @@ pub fn run_sources(
         contention_events: out.contention_events,
         contention_ns: out.contention_ns,
         sources: sources.to_vec(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule extraction (the ScheduleRecorder mode)
+// ---------------------------------------------------------------------------
+
+/// A run captured as a symbolic communication schedule.
+///
+/// Produced by [`record_sources`] / [`Experiment::record`]; consumed by
+/// the `stp-analyzer` crate's static checks. The event list is complete
+/// even when the run deadlocks — the kernel flushes the partial schedule
+/// (with one `Blocked` event per stuck rank) before aborting, and the
+/// recorder catches the abort.
+#[derive(Debug)]
+pub struct RecordedRun {
+    /// Communication events in deterministic kernel order.
+    pub events: Vec<ScheduleEvent>,
+    /// True when the run aborted with every live rank blocked.
+    pub deadlocked: bool,
+    /// The timed outcome — `None` when the run deadlocked.
+    pub outcome: Option<Outcome>,
+}
+
+/// Record the communication schedule of `alg` on explicit sources.
+///
+/// Works for any [`StpAlgorithm`], including deliberately broken ones
+/// (the analyzer's seeded-bug fixtures): a deadlocking schedule returns
+/// with [`RecordedRun::deadlocked`] set instead of panicking. Panics
+/// that are not deadlocks (e.g. assertion failures inside the algorithm)
+/// are propagated.
+pub fn record_sources(
+    machine: &Machine,
+    lib: LibraryKind,
+    sources: &[usize],
+    payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
+    alg: &dyn StpAlgorithm,
+) -> RecordedRun {
+    let log = schedule_log();
+    let config = SimConfig {
+        lib,
+        recorder: Some(log.clone()),
+        ..SimConfig::default()
+    };
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_alg_with(machine, &config, sources, payload_of, alg)
+    }));
+    let recording = std::mem::take(&mut *log.lock().expect("schedule log poisoned"));
+    match run {
+        Ok(outcome) => RecordedRun {
+            events: recording.events,
+            deadlocked: recording.deadlocked,
+            outcome: Some(outcome),
+        },
+        Err(panic) => {
+            if !recording.deadlocked {
+                std::panic::resume_unwind(panic);
+            }
+            RecordedRun {
+                events: recording.events,
+                deadlocked: true,
+                outcome: None,
+            }
+        }
+    }
+}
+
+impl Experiment<'_> {
+    /// Capture this experiment's symbolic communication schedule under
+    /// the algorithm's default library flavour.
+    pub fn record(&self) -> RecordedRun {
+        let sources = self.dist.place(self.machine.shape, self.s);
+        let len = self.msg_len;
+        let alg = self.kind.build();
+        record_sources(
+            self.machine,
+            self.kind.default_lib(),
+            &sources,
+            &|src| payload_for(src, len),
+            alg.as_ref(),
+        )
     }
 }
 
@@ -275,7 +390,11 @@ struct RankBudget {
 impl RankBudget {
     fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        RankBudget { permits: Mutex::new(capacity), cv: Condvar::new(), capacity }
+        RankBudget {
+            permits: Mutex::new(capacity),
+            cv: Condvar::new(),
+            capacity,
+        }
     }
 
     /// Block until `want` permits (clamped to capacity, so a job bigger
@@ -335,9 +454,13 @@ impl SweepRunner {
     /// A runner configured from the host (and the `STP_SWEEP_*`
     /// environment overrides).
     pub fn new() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         SweepRunner {
-            workers: env_usize("STP_SWEEP_WORKERS").unwrap_or(cores.max(2)).max(1),
+            workers: env_usize("STP_SWEEP_WORKERS")
+                .unwrap_or(cores.max(2))
+                .max(1),
             rank_budget: env_usize("STP_SWEEP_RANK_BUDGET")
                 .unwrap_or(DEFAULT_RANK_BUDGET)
                 .max(1),
@@ -347,7 +470,10 @@ impl SweepRunner {
     /// A runner that executes grid points strictly one at a time
     /// (ignores the environment overrides).
     pub fn sequential() -> Self {
-        SweepRunner { workers: 1, rank_budget: DEFAULT_RANK_BUDGET }
+        SweepRunner {
+            workers: 1,
+            rank_budget: DEFAULT_RANK_BUDGET,
+        }
     }
 
     /// Override the worker count.
@@ -384,8 +510,7 @@ impl SweepRunner {
             return items.into_iter().map(job).collect();
         }
         let budget = RankBudget::new(self.rank_budget);
-        let slots: Vec<Mutex<Option<I>>> =
-            items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         {
@@ -413,7 +538,11 @@ impl SweepRunner {
         }
         results
             .into_iter()
-            .map(|m| m.into_inner().expect("sweep result poisoned").expect("sweep job dropped"))
+            .map(|m| {
+                m.into_inner()
+                    .expect("sweep result poisoned")
+                    .expect("sweep job dropped")
+            })
             .collect()
     }
 
@@ -496,9 +625,7 @@ mod tests {
         let machine = Machine::paragon(4, 4);
         let exps: Vec<Experiment> = [AlgoKind::BrLin, AlgoKind::TwoStep, AlgoKind::BrXySource]
             .iter()
-            .flat_map(|&kind| {
-                [2usize, 5, 9].into_iter().map(move |s| (kind, s))
-            })
+            .flat_map(|&kind| [2usize, 5, 9].into_iter().map(move |s| (kind, s)))
             .map(|(kind, s)| Experiment {
                 machine: &machine,
                 dist: SourceDist::Equal,
@@ -508,7 +635,9 @@ mod tests {
             })
             .collect();
         let seq = SweepRunner::sequential().run_experiments(&exps);
-        let par = SweepRunner::sequential().with_workers(4).run_experiments(&exps);
+        let par = SweepRunner::sequential()
+            .with_workers(4)
+            .run_experiments(&exps);
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             assert!(a.verified && b.verified);
@@ -529,7 +658,9 @@ mod tests {
     fn sweep_budget_admits_oversized_jobs() {
         // A job heavier than the whole budget must still run (clamped),
         // not deadlock.
-        let runner = SweepRunner::sequential().with_workers(3).with_rank_budget(2);
+        let runner = SweepRunner::sequential()
+            .with_workers(3)
+            .with_rank_budget(2);
         let out = runner.map(vec![64usize, 64, 64, 64], |&w| w, |w| w + 1);
         assert_eq!(out, vec![65, 65, 65, 65]);
     }
@@ -554,6 +685,9 @@ mod tests {
         let mpi = exp.run_with_lib(LibraryKind::Mpi);
         assert!(mpi.makespan_ns > nx.makespan_ns);
         let pct = (mpi.makespan_ns - nx.makespan_ns) as f64 / nx.makespan_ns as f64 * 100.0;
-        assert!(pct < 6.0, "MPI overhead {pct:.1}% outside the paper's 2-5% band");
+        assert!(
+            pct < 6.0,
+            "MPI overhead {pct:.1}% outside the paper's 2-5% band"
+        );
     }
 }

@@ -62,17 +62,26 @@ mod tests {
 
     #[test]
     fn paragon_is_network_bound() {
-        assert_eq!(cost_regime(&Machine::paragon(10, 10)), CostRegime::NetworkBound);
+        assert_eq!(
+            cost_regime(&Machine::paragon(10, 10)),
+            CostRegime::NetworkBound
+        );
     }
 
     #[test]
     fn t3d_is_software_bound() {
-        assert_eq!(cost_regime(&Machine::t3d(128, 0)), CostRegime::SoftwareBound);
+        assert_eq!(
+            cost_regime(&Machine::t3d(128, 0)),
+            CostRegime::SoftwareBound
+        );
     }
 
     #[test]
     fn t3d_gets_alltoall() {
-        assert_eq!(recommend(&Machine::t3d(128, 0), 40, 4096), AlgoKind::MpiAlltoall);
+        assert_eq!(
+            recommend(&Machine::t3d(128, 0), 40, 4096),
+            AlgoKind::MpiAlltoall
+        );
     }
 
     #[test]
@@ -87,7 +96,10 @@ mod tests {
         // too many sources
         assert_eq!(recommend(&m, 200, 4096), AlgoKind::BrXySource);
         // tiny machine
-        assert_eq!(recommend(&Machine::paragon(4, 4), 3, 4096), AlgoKind::BrXySource);
+        assert_eq!(
+            recommend(&Machine::paragon(4, 4), 3, 4096),
+            AlgoKind::BrXySource
+        );
         // tiny messages
         assert_eq!(recommend(&m, 75, 128), AlgoKind::BrXySource);
         // huge messages

@@ -39,7 +39,14 @@ impl Machine {
             topology.num_nodes()
         );
         let mapping = placement.mapping(topology.num_nodes());
-        Machine { name: name.into(), topology, params, placement, shape, mapping }
+        Machine {
+            name: name.into(),
+            topology,
+            params,
+            placement,
+            shape,
+            mapping,
+        }
     }
 
     /// An Intel Paragon sub-mesh of `rows × cols` nodes under NX.
@@ -126,13 +133,15 @@ impl Machine {
 
     /// Physical route between two virtual ranks (dimension-ordered).
     pub fn route(&self, from_rank: usize, to_rank: usize) -> Vec<Link> {
-        self.topology.route(self.node_of(from_rank), self.node_of(to_rank))
+        self.topology
+            .route(self.node_of(from_rank), self.node_of(to_rank))
     }
 
     /// Physical hop distance between two virtual ranks.
     #[inline]
     pub fn distance(&self, from_rank: usize, to_rank: usize) -> usize {
-        self.topology.distance(self.node_of(from_rank), self.node_of(to_rank))
+        self.topology
+            .distance(self.node_of(from_rank), self.node_of(to_rank))
     }
 }
 
@@ -178,8 +187,13 @@ mod tests {
         let m = Machine::t3d_scattered(64, 99);
         let moved = (0..64).filter(|&r| m.node_of(r) != r).count();
         assert!(moved > 32);
-        let adjacent = (0..63).filter(|&r| (m.node_of(r) + 1) % 64 == m.node_of(r + 1)).count();
-        assert!(adjacent < 16, "random placement should break most adjacency");
+        let adjacent = (0..63)
+            .filter(|&r| (m.node_of(r) + 1) % 64 == m.node_of(r + 1))
+            .count();
+        assert!(
+            adjacent < 16,
+            "random placement should break most adjacency"
+        );
     }
 
     #[test]
@@ -196,9 +210,7 @@ mod tests {
     fn machines_expose_calibrated_params() {
         let para = Machine::paragon(10, 10);
         let t3d = Machine::t3d(100, 0);
-        assert!(
-            t3d.params.alpha_send(LibraryKind::Mpi) < para.params.alpha_send(LibraryKind::Nx)
-        );
+        assert!(t3d.params.alpha_send(LibraryKind::Mpi) < para.params.alpha_send(LibraryKind::Nx));
     }
 
     #[test]

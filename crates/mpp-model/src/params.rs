@@ -198,7 +198,10 @@ mod tests {
         let mpi = p.alpha_send(LibraryKind::Mpi);
         assert!(mpi > nx);
         let pct = (mpi - nx) as f64 / nx as f64;
-        assert!(pct > 0.02 && pct < 0.05, "MPI overhead {pct} outside the paper's 2-5% band");
+        assert!(
+            pct > 0.02 && pct < 0.05,
+            "MPI overhead {pct} outside the paper's 2-5% band"
+        );
     }
 
     #[test]

@@ -119,7 +119,13 @@ mod tests {
         for w in s.windows(2) {
             let (r0, c0) = m.coords(w[0]);
             let (r1, c1) = m.coords(w[1]);
-            assert_eq!(r0.abs_diff(r1) + c0.abs_diff(c1), 1, "{:?} -> {:?}", w[0], w[1]);
+            assert_eq!(
+                r0.abs_diff(r1) + c0.abs_diff(c1),
+                1,
+                "{:?} -> {:?}",
+                w[0],
+                w[1]
+            );
         }
         assert_eq!(s[..4], [0, 1, 2, 3]);
         assert_eq!(s[4..8], [7, 6, 5, 4]);

@@ -96,7 +96,10 @@ impl Topology {
     /// ```
     pub fn route(&self, u: NodeId, v: NodeId) -> Vec<Link> {
         let n = self.num_nodes();
-        assert!(u < n && v < n, "route endpoints out of range: {u},{v} (n={n})");
+        assert!(
+            u < n && v < n,
+            "route endpoints out of range: {u},{v} (n={n})"
+        );
         let mut path = Vec::with_capacity(self.distance(u, v));
         let mut cur = u;
         while cur != v {
@@ -283,7 +286,11 @@ impl Topology {
             }
             dz += 1;
         }
-        Topology::Torus3D { dx: best.0, dy: best.1, dz: best.2 }
+        Topology::Torus3D {
+            dx: best.0,
+            dy: best.1,
+            dz: best.2,
+        }
     }
 
     #[inline]
@@ -369,7 +376,11 @@ mod tests {
 
     #[test]
     fn torus_wraps_shortest_way() {
-        let t = Topology::Torus3D { dx: 8, dy: 1, dz: 1 };
+        let t = Topology::Torus3D {
+            dx: 8,
+            dy: 1,
+            dz: 1,
+        };
         // 0 -> 6 should wrap backwards: distance 2, not 6.
         assert_eq!(t.distance(0, 6), 2);
         let r = t.route(0, 6);
@@ -380,7 +391,11 @@ mod tests {
 
     #[test]
     fn torus_distance_matches_route_len() {
-        let t = Topology::Torus3D { dx: 4, dy: 3, dz: 2 };
+        let t = Topology::Torus3D {
+            dx: 4,
+            dy: 3,
+            dz: 2,
+        };
         let n = t.num_nodes();
         for u in 0..n {
             for v in 0..n {
@@ -391,7 +406,11 @@ mod tests {
 
     #[test]
     fn torus_route_stays_in_range() {
-        let t = Topology::Torus3D { dx: 4, dy: 4, dz: 2 };
+        let t = Topology::Torus3D {
+            dx: 4,
+            dy: 4,
+            dz: 2,
+        };
         let n = t.num_nodes();
         for u in 0..n {
             for v in 0..n {
@@ -427,7 +446,10 @@ mod tests {
             Topology::Torus3D { dx, dy, dz } => {
                 assert_eq!(dx * dy * dz, 128);
                 assert!(dx >= dy && dy >= dz);
-                assert!(dx <= 8, "expected near-cubic factorization, got {dx}x{dy}x{dz}");
+                assert!(
+                    dx <= 8,
+                    "expected near-cubic factorization, got {dx}x{dy}x{dz}"
+                );
             }
             _ => unreachable!(),
         }
@@ -459,7 +481,11 @@ mod tests {
         for t in [
             Topology::Linear { n: 9 },
             Topology::Mesh2D { rows: 4, cols: 6 },
-            Topology::Torus3D { dx: 4, dy: 3, dz: 2 },
+            Topology::Torus3D {
+                dx: 4,
+                dy: 3,
+                dz: 2,
+            },
             Topology::Hypercube { dim: 4 },
         ] {
             let n = t.num_nodes();
@@ -478,13 +504,25 @@ mod tests {
         assert_eq!(Topology::Mesh2D { rows: 4, cols: 4 }.bisection_width(), 8);
         assert_eq!(Topology::Hypercube { dim: 6 }.bisection_width(), 64);
         // 4x4x2 torus: longest dim 4, cross-section 8, wrap doubles: 32.
-        assert_eq!(Topology::Torus3D { dx: 4, dy: 4, dz: 2 }.bisection_width(), 32);
+        assert_eq!(
+            Topology::Torus3D {
+                dx: 4,
+                dy: 4,
+                dz: 2
+            }
+            .bisection_width(),
+            32
+        );
         assert_eq!(Topology::Linear { n: 1 }.bisection_width(), 0);
     }
 
     #[test]
     fn routes_are_deterministic() {
-        let t = Topology::Torus3D { dx: 4, dy: 4, dz: 4 };
+        let t = Topology::Torus3D {
+            dx: 4,
+            dy: 4,
+            dz: 4,
+        };
         assert_eq!(t.route(3, 49), t.route(3, 49));
     }
 }

@@ -83,8 +83,16 @@ mod tests {
 
     #[test]
     fn message_equality() {
-        let a = Message { src: 1, tag: 2, data: vec![3].into() };
-        let b = Message { src: 1, tag: 2, data: Payload::from_slice(&[3]) };
+        let a = Message {
+            src: 1,
+            tag: 2,
+            data: vec![3].into(),
+        };
+        let b = Message {
+            src: 1,
+            tag: 2,
+            data: Payload::from_slice(&[3]),
+        };
         assert_eq!(a, b);
     }
 }

@@ -22,10 +22,16 @@ pub mod stats;
 pub mod thread_backend;
 
 pub use comm::{Communicator, Message};
-pub use mpp_sim::Payload;
-pub use sim_backend::{run_simulated, run_simulated_traced, RunOutput, SimComm};
+pub use mpp_sim::{
+    schedule_log, Payload, ScheduleEvent, ScheduleLog, ScheduleRecording, SimConfig,
+};
+pub use sim_backend::{
+    run_simulated, run_simulated_traced, run_simulated_with, RunOutput, SimComm,
+};
 pub use stats::{CommStats, IterStats};
-pub use thread_backend::{run_threads, run_threads_faulty, ThreadComm, ThreadFault, ThreadRunOutput};
+pub use thread_backend::{
+    run_threads, run_threads_faulty, ThreadComm, ThreadFault, ThreadRunOutput,
+};
 
 /// Message tag (re-exported from the simulator for convenience).
 pub type Tag = mpp_sim::Tag;

@@ -17,7 +17,11 @@ pub struct SimComm<'a, 'b> {
 
 impl<'a, 'b> SimComm<'a, 'b> {
     fn new(ctx: &'a mut RankCtx) -> Self {
-        SimComm { ctx, stats: CommStats::new(), _marker: std::marker::PhantomData }
+        SimComm {
+            ctx,
+            stats: CommStats::new(),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Current virtual clock of this rank (ns).
@@ -55,7 +59,11 @@ impl Communicator for SimComm<'_, '_> {
     fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message {
         let env = self.ctx.recv(src, tag);
         self.stats.record_recv(env.data.len(), env.waited_ns);
-        Message { src: env.src, tag: env.tag, data: env.data }
+        Message {
+            src: env.src,
+            tag: env.tag,
+            data: env.data,
+        }
     }
 
     fn barrier(&mut self) {
@@ -69,6 +77,8 @@ impl Communicator for SimComm<'_, '_> {
 
     fn next_iteration(&mut self) {
         self.stats.next_iteration();
+        // Zero-cost marker; a no-op unless the run records a schedule.
+        self.ctx.iter_mark();
     }
 
     fn stats(&self) -> &CommStats {
@@ -109,7 +119,10 @@ where
     R: Send,
     F: Fn(&mut SimComm) -> R + Sync,
 {
-    let config = SimConfig { lib, ..SimConfig::default() };
+    let config = SimConfig {
+        lib,
+        ..SimConfig::default()
+    };
     run_simulated_with(machine, &config, program)
 }
 
@@ -119,11 +132,18 @@ where
     R: Send,
     F: Fn(&mut SimComm) -> R + Sync,
 {
-    let config = SimConfig { lib, trace: true, ..SimConfig::default() };
+    let config = SimConfig {
+        lib,
+        trace: true,
+        ..SimConfig::default()
+    };
     run_simulated_with(machine, &config, program)
 }
 
-fn run_simulated_with<R, F>(machine: &Machine, config: &SimConfig, program: F) -> RunOutput<R>
+/// Run `program` under an explicit [`SimConfig`] — the full-control
+/// entry point used for schedule recording (`config.recorder`) and
+/// strict runtime schedule checks (`config.strict`).
+pub fn run_simulated_with<R, F>(machine: &Machine, config: &SimConfig, program: F) -> RunOutput<R>
 where
     R: Send,
     F: Fn(&mut SimComm) -> R + Sync,

@@ -75,7 +75,9 @@ impl CommStats {
     }
 
     fn cur(&mut self) -> &mut IterStats {
-        self.iters.last_mut().expect("stats always have an open iteration")
+        self.iters
+            .last_mut()
+            .expect("stats always have an open iteration")
     }
 
     /// Record one send of `bytes` payload bytes.

@@ -92,7 +92,11 @@ impl Communicator for ThreadComm<'_> {
         self.stats.record_send(data.len());
         self.maybe_delay();
         self.txs[dst]
-            .send(Wire { src: self.rank, tag, data })
+            .send(Wire {
+                src: self.rank,
+                tag,
+                data,
+            })
             .expect("receiver rank terminated early");
     }
 
@@ -101,16 +105,27 @@ impl Communicator for ThreadComm<'_> {
         if let Some(pos) = self.pending.iter().position(|w| Self::matches(w, src, tag)) {
             let w = self.pending.remove(pos);
             self.stats.record_recv(w.data.len(), 0);
-            return Message { src: w.src, tag: w.tag, data: w.data };
+            return Message {
+                src: w.src,
+                tag: w.tag,
+                data: w.data,
+            };
         }
         // Block on the channel, buffering non-matching arrivals.
         let t0 = Instant::now();
         loop {
-            let w = self.rx.recv().expect("all senders terminated while rank still receiving");
+            let w = self
+                .rx
+                .recv()
+                .expect("all senders terminated while rank still receiving");
             if Self::matches(&w, src, tag) {
                 let waited = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 self.stats.record_recv(w.data.len(), waited);
-                return Message { src: w.src, tag: w.tag, data: w.data };
+                return Message {
+                    src: w.src,
+                    tag: w.tag,
+                    data: w.data,
+                };
             }
             self.pending.push(w);
         }
@@ -217,7 +232,11 @@ where
     let wall = t0.elapsed();
 
     let (results, stats) = out.into_iter().map(|o| o.unwrap()).unzip();
-    ThreadRunOutput { results, stats, wall }
+    ThreadRunOutput {
+        results,
+        stats,
+        wall,
+    }
 }
 
 #[cfg(test)]
@@ -229,7 +248,9 @@ mod tests {
         let out = run_threads(8, |comm| {
             let p = comm.size();
             comm.send((comm.rank() + 1) % p, 0, &[comm.rank() as u8]);
-            comm.recv(Some((comm.rank() + p - 1) % p), Some(0)).data.to_vec()[0]
+            comm.recv(Some((comm.rank() + p - 1) % p), Some(0))
+                .data
+                .to_vec()[0]
         });
         for (rank, &got) in out.results.iter().enumerate() {
             assert_eq!(got as usize, (rank + 8 - 1) % 8);
@@ -268,7 +289,10 @@ mod tests {
 
     #[test]
     fn random_delay_fault_still_correct() {
-        let fault = ThreadFault::RandomDelay { max_us: 200, seed: 42 };
+        let fault = ThreadFault::RandomDelay {
+            max_us: 200,
+            seed: 42,
+        };
         let out = run_threads_faulty(6, fault, |comm| {
             let p = comm.size();
             // all-to-all of tiny messages

@@ -12,6 +12,7 @@ use mpp_model::{LibraryKind, Machine, Time};
 use crate::mailbox::{Mailbox, MsgRec};
 use crate::network::NetworkState;
 use crate::payload::Payload;
+use crate::record::{ScheduleEvent, ScheduleLog};
 use crate::trace::MsgTrace;
 use crate::Tag;
 
@@ -26,11 +27,27 @@ pub struct SimConfig {
     /// Record a [`MsgTrace`] for every message (see
     /// [`SimOutcome::trace`]).
     pub trace: bool,
+    /// Capture the symbolic communication schedule into this log (see
+    /// [`crate::record`]). `None` disables recording.
+    pub recorder: Option<ScheduleLog>,
+    /// Enforce schedule sanity at runtime: every receive match must be
+    /// unambiguous (no second in-flight message with the same
+    /// `(src, tag)`), and no rank may finish with undelivered messages
+    /// in its mailbox. These are the same checks `stp-analyzer` runs
+    /// statically; enabling them turns schedule bugs into immediate
+    /// panics at the offending operation.
+    pub strict: bool,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { lib: LibraryKind::Nx, stack_size: 256 * 1024, trace: false }
+        SimConfig {
+            lib: LibraryKind::Nx,
+            stack_size: 256 * 1024,
+            trace: false,
+            recorder: None,
+            strict: false,
+        }
     }
 }
 
@@ -63,11 +80,25 @@ pub struct DeadlockInfo {
 // ---------------------------------------------------------------------
 
 enum Trap {
-    Send { dst: usize, tag: Tag, data: Payload },
-    Recv { src: Option<usize>, tag: Option<Tag> },
-    ComputeNs { ns: Time },
-    Memcpy { bytes: usize },
+    Send {
+        dst: usize,
+        tag: Tag,
+        data: Payload,
+    },
+    Recv {
+        src: Option<usize>,
+        tag: Option<Tag>,
+    },
+    ComputeNs {
+        ns: Time,
+    },
+    Memcpy {
+        bytes: usize,
+    },
     Barrier,
+    /// Iteration boundary marker — only issued while schedule recording
+    /// is active; costs zero virtual time.
+    IterMark,
     Finished,
 }
 
@@ -85,6 +116,7 @@ pub struct RankCtx {
     rank: usize,
     size: usize,
     clock: Time,
+    recording: bool,
     to_kernel: Sender<Trap>,
     from_kernel: Receiver<Grant>,
 }
@@ -109,7 +141,9 @@ impl RankCtx {
     }
 
     fn call(&mut self, trap: Trap) -> Grant {
-        self.to_kernel.send(trap).expect("simulation kernel terminated");
+        self.to_kernel
+            .send(trap)
+            .expect("simulation kernel terminated");
         let grant = self
             .from_kernel
             .recv()
@@ -135,7 +169,11 @@ impl RankCtx {
     /// on the byte length); no host-side copy is made.
     pub fn send_payload(&mut self, dst: usize, tag: Tag, data: impl Into<Payload>) {
         assert!(dst < self.size, "send to rank {dst} out of range");
-        match self.call(Trap::Send { dst, tag, data: data.into() }) {
+        match self.call(Trap::Send {
+            dst,
+            tag,
+            data: data.into(),
+        }) {
             Grant::Sent { .. } => {}
             _ => unreachable!("kernel protocol violation"),
         }
@@ -172,6 +210,20 @@ impl RankCtx {
     /// `⌈log₂ p⌉ · (α_send + α_recv)` after the last rank arrives.
     pub fn barrier(&mut self) {
         match self.call(Trap::Barrier) {
+            Grant::Done { .. } => {}
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+
+    /// Mark an iteration boundary for the schedule recorder (zero
+    /// virtual-time cost). A no-op unless the run records a schedule, so
+    /// the runtime backends can call it unconditionally from
+    /// `next_iteration`.
+    pub fn iter_mark(&mut self) {
+        if !self.recording {
+            return;
+        }
+        match self.call(Trap::IterMark) {
             Grant::Done { .. } => {}
             _ => unreachable!("kernel protocol violation"),
         }
@@ -263,6 +315,7 @@ where
         let kernel_out = std::thread::scope(|scope| {
             for end in rank_ends.iter_mut() {
                 let (rank, trap_tx, grant_rx) = end.take().unwrap();
+                let recording = config.recorder.is_some();
                 let builder = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(config.stack_size);
@@ -272,6 +325,7 @@ where
                             rank,
                             size: p,
                             clock: 0,
+                            recording,
                             to_kernel: trap_tx,
                             from_kernel: grant_rx,
                         };
@@ -299,7 +353,14 @@ where
         .map(|(rank, r)| r.unwrap_or_else(|| panic!("rank {rank} produced no result")))
         .collect();
     let makespan_ns = finish_ns.iter().copied().max().unwrap_or(0);
-    SimOutcome { results, finish_ns, makespan_ns, contention_events, contention_ns, trace }
+    SimOutcome {
+        results,
+        finish_ns,
+        makespan_ns,
+        contention_events,
+        contention_ns,
+        trace,
+    }
 }
 
 struct RankState {
@@ -328,11 +389,20 @@ fn run_kernel(
     let mut net = NetworkState::new(machine);
     let mut mailboxes: Vec<Mailbox> = (0..p).map(|_| Mailbox::new()).collect();
     let mut states: Vec<RankState> = (0..p)
-        .map(|_| RankState { clock: 0, pending: None, done: false, in_barrier: false, blocked_recv: false })
+        .map(|_| RankState {
+            clock: 0,
+            pending: None,
+            done: false,
+            in_barrier: false,
+            blocked_recv: false,
+        })
         .collect();
     let mut seq: u64 = 0;
     let mut live = p;
     let mut trace: Vec<MsgTrace> = Vec::new();
+    let recording = config.recorder.is_some();
+    let mut events: Vec<ScheduleEvent> = Vec::new();
+    let mut steps: Vec<u32> = vec![0; p];
 
     // Collect the initial trap from every rank (threads run concurrently
     // up to their first communication call — zero virtual time).
@@ -351,7 +421,12 @@ fn run_kernel(
         // Barrier release: every live rank has arrived.
         let in_barrier = states.iter().filter(|s| !s.done && s.in_barrier).count();
         if in_barrier == live && live > 0 {
-            let t_max = states.iter().filter(|s| !s.done).map(|s| s.clock).max().unwrap();
+            let t_max = states
+                .iter()
+                .filter(|s| !s.done)
+                .map(|s| s.clock)
+                .max()
+                .unwrap();
             let rounds = usize::BITS - (live.max(2) - 1).leading_zeros();
             let t_rel = t_max + rounds as Time * (alpha_send + alpha_recv);
             for (rank, st) in states.iter_mut().enumerate() {
@@ -391,7 +466,7 @@ fn run_kernel(
         }
 
         let Some((_, rank)) = best else {
-            abort_deadlock(machine, &states, &mailboxes, grant_txs);
+            abort_deadlock(machine, config, &states, &mailboxes, grant_txs, &mut events);
         };
 
         let trap = states[rank].pending.take().unwrap();
@@ -413,20 +488,74 @@ fn run_kernel(
                     });
                 }
                 seq += 1;
-                mailboxes[dst].insert(MsgRec { arrival, seq, src: rank, tag, data });
+                if recording {
+                    events.push(ScheduleEvent::Send {
+                        step: steps[rank],
+                        seq,
+                        src: rank,
+                        dst,
+                        tag,
+                        data: data.clone(),
+                    });
+                }
+                mailboxes[dst].insert(MsgRec {
+                    arrival,
+                    seq,
+                    src: rank,
+                    tag,
+                    data,
+                });
                 states[rank].clock = ready;
                 send_grant(grant_txs, rank, Grant::Sent { clock: ready });
                 states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
             }
             Trap::Recv { src, tag } => {
-                let rec =
-                    mailboxes[rank].take_match(src, tag).expect("selected recv without match");
+                let rec = mailboxes[rank]
+                    .take_match(src, tag)
+                    .expect("selected recv without match");
+                if recording || config.strict {
+                    // Duplicates left behind share the matched (src, tag):
+                    // delivery order alone decided which one this receive
+                    // consumed — the match-ambiguity hazard.
+                    let dup = mailboxes[rank].count_src_tag(rec.src, rec.tag) + 1;
+                    if recording {
+                        events.push(ScheduleEvent::Recv {
+                            step: steps[rank],
+                            rank,
+                            src_filter: src,
+                            tag_filter: tag,
+                            seq: rec.seq,
+                            src: rec.src,
+                            tag: rec.tag,
+                            dup_in_flight: dup,
+                        });
+                    }
+                    if config.strict && dup > 1 {
+                        abort_kernel(
+                            config,
+                            grant_txs,
+                            &mut events,
+                            false,
+                            format!(
+                                "ambiguous receive at rank {rank}: {dup} in-flight messages \
+                                 with (src={}, tag={}) — delivery depends on queue order",
+                                rec.src, rec.tag
+                            ),
+                        );
+                    }
+                }
                 let arrival = rec.arrival;
                 let waited_ns = arrival.saturating_sub(states[rank].clock);
                 let clock = states[rank].clock.max(arrival) + alpha_recv;
                 states[rank].clock = clock;
                 states[rank].blocked_recv = false;
-                let env = Envelope { src: rec.src, tag: rec.tag, data: rec.data, arrival, waited_ns };
+                let env = Envelope {
+                    src: rec.src,
+                    tag: rec.tag,
+                    data: rec.data,
+                    arrival,
+                    waited_ns,
+                };
                 send_grant(grant_txs, rank, Grant::Received { env, clock });
                 states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
             }
@@ -443,7 +572,32 @@ fn run_kernel(
                 states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
             }
             Trap::Barrier => unreachable!("barrier traps handled above"),
+            Trap::IterMark => {
+                steps[rank] += 1;
+                if recording {
+                    events.push(ScheduleEvent::IterEnd { rank });
+                }
+                let clock = states[rank].clock;
+                send_grant(grant_txs, rank, Grant::Done { clock });
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+            }
             Trap::Finished => {
+                let leftover = mailboxes[rank].len();
+                if recording {
+                    events.push(ScheduleEvent::Finished { rank, leftover });
+                }
+                if config.strict && leftover > 0 {
+                    abort_kernel(
+                        config,
+                        grant_txs,
+                        &mut events,
+                        false,
+                        format!(
+                            "rank {rank} finished with {leftover} undelivered message(s) \
+                             in its mailbox — unmatched send(s)"
+                        ),
+                    );
+                }
                 states[rank].done = true;
                 finish_ns[rank] = states[rank].clock;
                 grant_txs[rank] = None;
@@ -452,7 +606,35 @@ fn run_kernel(
         }
     }
 
+    flush_recording(config, &mut events, false);
     (net.contention_events, net.contention_ns, trace)
+}
+
+/// Hand the accumulated schedule events to the configured recorder (if
+/// any). Safe to call from abort paths: later flushes append nothing.
+fn flush_recording(config: &SimConfig, events: &mut Vec<ScheduleEvent>, deadlocked: bool) {
+    if let Some(log) = &config.recorder {
+        let mut rec = log.lock().expect("schedule log poisoned");
+        rec.events.append(events);
+        rec.deadlocked |= deadlocked;
+    }
+}
+
+/// Abort the simulation on a strict-check violation: flush the schedule
+/// log, release every rank thread so `thread::scope` can join, then
+/// propagate the diagnostic as a panic.
+fn abort_kernel(
+    config: &SimConfig,
+    grant_txs: &mut [Option<Sender<Grant>>],
+    events: &mut Vec<ScheduleEvent>,
+    deadlocked: bool,
+    msg: String,
+) -> ! {
+    flush_recording(config, events, deadlocked);
+    for tx in grant_txs.iter_mut() {
+        *tx = None;
+    }
+    panic!("{msg}");
 }
 
 fn recv_trap(
@@ -485,9 +667,11 @@ fn send_grant(grant_txs: &[Option<Sender<Grant>>], rank: usize, grant: Grant) {
 
 fn abort_deadlock(
     machine: &Machine,
+    config: &SimConfig,
     states: &[RankState],
     mailboxes: &[Mailbox],
     grant_txs: &mut [Option<Sender<Grant>>],
+    events: &mut Vec<ScheduleEvent>,
 ) -> ! {
     let mut info = DeadlockInfo { states: Vec::new() };
     for (rank, st) in states.iter().enumerate() {
@@ -495,21 +679,31 @@ fn abort_deadlock(
             "done".to_string()
         } else {
             match st.pending.as_ref() {
-                Some(Trap::Recv { src, tag }) => format!(
-                    "blocked recv(src={src:?}, tag={tag:?}), mailbox has {} msgs",
-                    mailboxes[rank].len()
-                ),
+                Some(Trap::Recv { src, tag }) => {
+                    events.push(ScheduleEvent::Blocked {
+                        rank,
+                        src_filter: *src,
+                        tag_filter: *tag,
+                    });
+                    format!(
+                        "blocked recv(src={src:?}, tag={tag:?}), mailbox has {} msgs",
+                        mailboxes[rank].len()
+                    )
+                }
                 Some(Trap::Barrier) => "waiting in barrier".to_string(),
                 _ => "runnable?".to_string(),
             }
         };
-        info.states.push(format!("rank {rank} @ {}ns: {what}", st.clock));
+        info.states
+            .push(format!("rank {rank} @ {}ns: {what}", st.clock));
     }
-    // Unblock rank threads so scope join can complete before unwinding.
-    for tx in grant_txs.iter_mut() {
-        *tx = None;
-    }
-    panic!("simulation deadlock on {}: {:#?}", machine.name, info);
+    abort_kernel(
+        config,
+        grant_txs,
+        events,
+        true,
+        format!("simulation deadlock on {}: {:#?}", machine.name, info),
+    );
 }
 
 #[cfg(test)]
@@ -538,7 +732,10 @@ mod tests {
         // Receiver finishes after arrival + alpha_recv.
         assert!(out.finish_ns[1] > out.results[1]);
         // Sender pays only startup.
-        assert_eq!(out.finish_ns[0], m.params.alpha_send(mpp_model::LibraryKind::Nx));
+        assert_eq!(
+            out.finish_ns[0],
+            m.params.alpha_send(mpp_model::LibraryKind::Nx)
+        );
     }
 
     #[test]
@@ -579,7 +776,10 @@ mod tests {
                 env.waited_ns
             }
         });
-        assert!(out.results[1] >= 1_000_000, "receiver should have waited ≥1ms");
+        assert!(
+            out.results[1] >= 1_000_000,
+            "receiver should have waited ≥1ms"
+        );
     }
 
     #[test]
@@ -655,8 +855,22 @@ mod tests {
                 ctx.recv(Some(0), Some(0));
             }
         };
-        let nx = simulate_with(&m, &SimConfig { lib: LibraryKind::Nx, ..Default::default() }, prog);
-        let mpi = simulate_with(&m, &SimConfig { lib: LibraryKind::Mpi, ..Default::default() }, prog);
+        let nx = simulate_with(
+            &m,
+            &SimConfig {
+                lib: LibraryKind::Nx,
+                ..Default::default()
+            },
+            prog,
+        );
+        let mpi = simulate_with(
+            &m,
+            &SimConfig {
+                lib: LibraryKind::Mpi,
+                ..Default::default()
+            },
+            prog,
+        );
         assert!(mpi.makespan_ns > nx.makespan_ns);
         let ratio = mpi.makespan_ns as f64 / nx.makespan_ns as f64;
         assert!(ratio < 1.10, "MPI overhead should be modest, got {ratio}");
@@ -678,7 +892,10 @@ mod tests {
                 vec![x.data, y.data, z.data]
             }
         });
-        assert_eq!(out.results[1], vec![b"b".to_vec(), b"a".to_vec(), b"c".to_vec()]);
+        assert_eq!(
+            out.results[1],
+            vec![b"b".to_vec(), b"a".to_vec(), b"c".to_vec()]
+        );
     }
 
     #[test]
@@ -693,13 +910,19 @@ mod tests {
                 ctx.send(0, 0, &[0u8; 16384]);
             }
         });
-        assert!(out.contention_events > 0, "gather to rank 0 must show contention");
+        assert!(
+            out.contention_events > 0,
+            "gather to rank 0 must show contention"
+        );
     }
 
     #[test]
     fn tracing_records_every_message() {
         let m = Machine::paragon(2, 2);
-        let config = SimConfig { trace: true, ..Default::default() };
+        let config = SimConfig {
+            trace: true,
+            ..Default::default()
+        };
         let out = simulate_with(&m, &config, |ctx| {
             if ctx.rank() == 0 {
                 for dst in 1..4 {

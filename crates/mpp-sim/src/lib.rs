@@ -44,11 +44,13 @@ pub mod kernel;
 pub(crate) mod mailbox;
 pub mod network;
 pub mod payload;
+pub mod record;
 pub mod trace;
 
 pub use kernel::{simulate, simulate_with, DeadlockInfo, Envelope, RankCtx, SimConfig, SimOutcome};
 pub use network::NetworkState;
 pub use payload::{copy_metrics, CopyMetrics, Payload, PayloadReader};
+pub use record::{schedule_log, ScheduleEvent, ScheduleLog, ScheduleRecording};
 pub use trace::{render_timeline, summarize, MsgTrace, TraceSummary};
 
 /// Message tag, used by algorithms to match iteration/phase traffic.

@@ -55,7 +55,10 @@ impl Mailbox {
     pub fn insert(&mut self, rec: MsgRec) {
         let key = (rec.arrival, rec.seq);
         self.all.insert(key);
-        self.by_src_tag.entry((rec.src, rec.tag)).or_default().insert(key);
+        self.by_src_tag
+            .entry((rec.src, rec.tag))
+            .or_default()
+            .insert(key);
         self.by_src.entry(rec.src).or_default().insert(key);
         self.by_tag.entry(rec.tag).or_default().insert(key);
         self.msgs.insert(rec.seq, rec);
@@ -73,10 +76,23 @@ impl Mailbox {
         .copied()
     }
 
+    /// Number of undelivered messages with exactly this `(src, tag)`.
+    ///
+    /// This is the match-ambiguity probe shared by the kernel's strict
+    /// runtime checks and the `stp-analyzer` schedule checker: a count
+    /// `> 1` at match time means several in-flight messages were
+    /// distinguishable only by queue order.
+    pub fn count_src_tag(&self, src: usize, tag: Tag) -> usize {
+        self.by_src_tag.get(&(src, tag)).map_or(0, BTreeSet::len)
+    }
+
     /// Remove and return the earliest matching message.
     pub fn take_match(&mut self, src: Option<usize>, tag: Option<Tag>) -> Option<MsgRec> {
         let key = self.peek_match(src, tag)?;
-        let rec = self.msgs.remove(&key.1).expect("index referenced missing message");
+        let rec = self
+            .msgs
+            .remove(&key.1)
+            .expect("index referenced missing message");
         self.all.remove(&key);
         prune(&mut self.by_src_tag, (rec.src, rec.tag), key);
         prune(&mut self.by_src, rec.src, key);
@@ -99,7 +115,98 @@ mod tests {
     use super::*;
 
     fn rec(arrival: Time, seq: u64, src: usize, tag: Tag) -> MsgRec {
-        MsgRec { arrival, seq, src, tag, data: Payload::new() }
+        MsgRec {
+            arrival,
+            seq,
+            src,
+            tag,
+            data: Payload::new(),
+        }
+    }
+
+    /// The seed kernel's mailbox: a flat list scanned linearly per probe.
+    /// Kept as the reference model for the equivalence proptest below.
+    #[derive(Default)]
+    struct LinearScanMailbox {
+        msgs: Vec<MsgRec>,
+    }
+
+    impl LinearScanMailbox {
+        fn insert(&mut self, rec: MsgRec) {
+            self.msgs.push(rec);
+        }
+
+        fn best(&self, src: Option<usize>, tag: Option<Tag>) -> Option<usize> {
+            let mut best: Option<usize> = None;
+            for (i, m) in self.msgs.iter().enumerate() {
+                if src.is_some_and(|s| s != m.src) || tag.is_some_and(|t| t != m.tag) {
+                    continue;
+                }
+                if best
+                    .is_none_or(|b| (m.arrival, m.seq) < (self.msgs[b].arrival, self.msgs[b].seq))
+                {
+                    best = Some(i);
+                }
+            }
+            best
+        }
+
+        fn peek_match(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Key> {
+            self.best(src, tag)
+                .map(|i| (self.msgs[i].arrival, self.msgs[i].seq))
+        }
+
+        fn take_match(&mut self, src: Option<usize>, tag: Option<Tag>) -> Option<MsgRec> {
+            self.best(src, tag).map(|i| self.msgs.swap_remove(i))
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(256))]
+
+        /// The indexed mailbox delivers in exactly the seed's linear-scan
+        /// order under randomized interleavings of inserts and filtered
+        /// takes — including duplicate `(src, tag)` posts and duplicate
+        /// arrival times, the ambiguity case the analyzer flags.
+        #[test]
+        fn indexed_matches_linear_scan(ops in proptest::collection::vec(
+            (0u8..4, 0usize..4, 0u32..3, 0u64..6, 0u8..4), 1..120)
+        ) {
+            let mut indexed = Mailbox::new();
+            let mut reference = LinearScanMailbox::default();
+            let mut seq = 0u64;
+            for (kind, src, tag, arrival, wild) in ops {
+                if kind < 2 {
+                    // Insert: small key ranges force (src, tag) and
+                    // arrival collisions; seq stays unique like the
+                    // kernel's global counter.
+                    seq += 1;
+                    indexed.insert(rec(arrival, seq, src, tag));
+                    reference.insert(rec(arrival, seq, src, tag));
+                } else {
+                    let src_f = (wild & 1 == 0).then_some(src);
+                    let tag_f = (wild & 2 == 0).then_some(tag);
+                    proptest::prop_assert_eq!(
+                        indexed.peek_match(src_f, tag_f),
+                        reference.peek_match(src_f, tag_f)
+                    );
+                    let a = indexed.take_match(src_f, tag_f);
+                    let b = reference.take_match(src_f, tag_f);
+                    proptest::prop_assert_eq!(
+                        a.as_ref().map(|m| (m.arrival, m.seq, m.src, m.tag)),
+                        b.as_ref().map(|m| (m.arrival, m.seq, m.src, m.tag))
+                    );
+                    proptest::prop_assert_eq!(indexed.len(), reference.msgs.len());
+                }
+            }
+            // Drain whatever is left through the full wildcard: both
+            // mailboxes must agree message by message to the end.
+            while let Some(a) = indexed.take_match(None, None) {
+                let b = reference.take_match(None, None).expect("reference drained early");
+                proptest::prop_assert_eq!((a.arrival, a.seq), (b.arrival, b.seq));
+            }
+            proptest::prop_assert!(reference.msgs.is_empty());
+        }
     }
 
     #[test]
@@ -123,6 +230,19 @@ mod tests {
         // Wildcard now falls through to the next earliest.
         assert_eq!(mb.peek_match(None, None), Some((10, 5)));
         assert_eq!(mb.len(), 3);
+    }
+
+    #[test]
+    fn count_src_tag_tracks_duplicates() {
+        let mut mb = Mailbox::new();
+        mb.insert(rec(10, 1, 0, 7));
+        mb.insert(rec(20, 2, 0, 7));
+        mb.insert(rec(30, 3, 1, 7));
+        assert_eq!(mb.count_src_tag(0, 7), 2);
+        assert_eq!(mb.count_src_tag(1, 7), 1);
+        assert_eq!(mb.count_src_tag(2, 7), 0);
+        mb.take_match(Some(0), Some(7)).unwrap();
+        assert_eq!(mb.count_src_tag(0, 7), 1);
     }
 
     #[test]

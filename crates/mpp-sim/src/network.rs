@@ -125,16 +125,18 @@ impl NetworkState {
                 }
                 let done = start + params.hops_ns(route.len()) + wire_ns;
                 for (i, link) in route.into_iter().enumerate() {
-                    let until =
-                        if pipelined { start + i as Time * tau + wire_ns } else { done };
+                    let until = if pipelined {
+                        start + i as Time * tau + wire_ns
+                    } else {
+                        done
+                    };
                     self.link_busy.insert(link, until);
                 }
                 (start, done)
             }
         };
         // Any delay beyond the resource-free schedule counts as a stall.
-        let unconstrained =
-            ready + params.hops_ns(machine.distance(from_rank, to_rank)) + wire_ns;
+        let unconstrained = ready + params.hops_ns(machine.distance(from_rank, to_rank)) + wire_ns;
         if done > unconstrained {
             let stall = done - unconstrained;
             self.contention_events += 1;
@@ -160,7 +162,14 @@ mod tests {
     fn uncontended_transfer_cost() {
         let machine = m();
         let mut net = NetworkState::new(&machine);
-        let t = net.transfer(&machine, 0, 3, 1024, machine.params.serialize_ns(1024), 1000);
+        let t = net.transfer(
+            &machine,
+            0,
+            3,
+            1024,
+            machine.params.serialize_ns(1024),
+            1000,
+        );
         let expect = 1000 + machine.params.hops_ns(3) + machine.params.serialize_ns(1024);
         assert_eq!(t, expect);
         assert_eq!(net.contention_events, 0);
@@ -264,7 +273,10 @@ mod tests {
         // software-rate drain.
         let q1 = net_s.transfer(&sm, 0, 7, 8192, sm.params.serialize_ns(8192), 0);
         let q2 = net_s.transfer(&sm, 5, 6, 64, sm.params.serialize_ns(64), 0);
-        assert!(q2 < q1 / 2, "shared model should let the short transfer through: {q2} vs {q1}");
+        assert!(
+            q2 < q1 / 2,
+            "shared model should let the short transfer through: {q2} vs {q1}"
+        );
     }
 
     #[test]

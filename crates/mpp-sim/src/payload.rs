@@ -83,7 +83,10 @@ pub struct Payload {
 impl Payload {
     /// The empty payload.
     pub fn new() -> Self {
-        Payload { segs: Vec::new(), len: 0 }
+        Payload {
+            segs: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Wrap an owned buffer. One backing allocation; the bytes are moved
@@ -112,7 +115,14 @@ impl Payload {
         if len == 0 {
             return Payload::new();
         }
-        Payload { segs: vec![Segment { data, start: 0, len }], len }
+        Payload {
+            segs: vec![Segment {
+                data,
+                start: 0,
+                len,
+            }],
+            len,
+        }
     }
 
     /// Total byte length.
@@ -150,7 +160,11 @@ impl Payload {
     /// # Panics
     /// Panics if the range is out of bounds.
     pub fn slice(&self, start: usize, end: usize) -> Payload {
-        assert!(start <= end && end <= self.len, "slice {start}..{end} of {} bytes", self.len);
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} of {} bytes",
+            self.len
+        );
         let mut out = Payload::new();
         let mut pos = 0usize;
         for seg in &self.segs {
@@ -207,7 +221,10 @@ impl Payload {
 
     /// Sequential reader over the rope (used by wire-format parsers).
     pub fn reader(&self) -> PayloadReader<'_> {
-        PayloadReader { payload: self, pos: 0 }
+        PayloadReader {
+            payload: self,
+            pos: 0,
+        }
     }
 }
 

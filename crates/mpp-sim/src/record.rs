@@ -1,0 +1,165 @@
+//! Schedule recording: the raw material of static schedule analysis.
+//!
+//! When [`SimConfig::recorder`](crate::SimConfig) is set, the kernel
+//! appends one [`ScheduleEvent`] per communication operation to the
+//! shared [`ScheduleLog`]. The events form the *symbolic communication
+//! schedule* of the program — who sends what to whom, with which tag, in
+//! which iteration, and which concrete message every receive matched —
+//! independent of the timing numbers themselves (virtual time is used
+//! only to order wildcard matches, exactly as in an untraced run).
+//!
+//! `stp-analyzer` consumes this log to check the schedule as a graph:
+//! deadlock cycles, unmatched sends, match ambiguity, payload-completeness
+//! leaks, and per-link contention. Recording a run that deadlocks still
+//! yields the partial schedule: the kernel flushes the log (with
+//! [`ScheduleRecording::deadlocked`] set and one [`ScheduleEvent::Blocked`]
+//! per stuck rank) before aborting, so the analyzer can catch the panic
+//! and diagnose the cycle.
+
+use std::sync::{Arc, Mutex};
+
+use crate::payload::Payload;
+use crate::Tag;
+
+/// Shared, thread-safe schedule log handle.
+///
+/// Clone one handle into [`SimConfig`](crate::SimConfig) and keep the
+/// other; the kernel flushes events into it when the simulation finishes
+/// *or* aborts on deadlock.
+pub type ScheduleLog = Arc<Mutex<ScheduleRecording>>;
+
+/// Create an empty [`ScheduleLog`].
+pub fn schedule_log() -> ScheduleLog {
+    Arc::new(Mutex::new(ScheduleRecording::default()))
+}
+
+/// Everything recorded from one simulated run.
+#[derive(Debug, Default)]
+pub struct ScheduleRecording {
+    /// Events in kernel processing order (deterministic).
+    pub events: Vec<ScheduleEvent>,
+    /// True when the run aborted because every live rank was blocked.
+    pub deadlocked: bool,
+}
+
+impl ScheduleRecording {
+    /// Number of send events.
+    pub fn sends(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ScheduleEvent::Send { .. }))
+            .count()
+    }
+
+    /// Number of matched receive events.
+    pub fn recvs(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ScheduleEvent::Recv { .. }))
+            .count()
+    }
+}
+
+/// One communication operation, as the kernel processed it.
+///
+/// `step` is the issuing rank's iteration index — the number of
+/// [`next_iteration`](crate::RankCtx::iter_mark) marks that rank had
+/// recorded when the operation was issued. Algorithms call it once per
+/// communication round, so `step` aligns with the paper's iterations.
+#[derive(Debug, Clone)]
+pub enum ScheduleEvent {
+    /// A message handed to the network.
+    Send {
+        /// Sender's iteration index at issue time.
+        step: u32,
+        /// Global message sequence number (unique, issue-ordered).
+        seq: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: Tag,
+        /// The payload (shared rope — recording copies no bytes).
+        data: Payload,
+    },
+    /// A receive that matched a message.
+    Recv {
+        /// Receiver's iteration index at issue time.
+        step: u32,
+        /// Receiving rank.
+        rank: usize,
+        /// The receive's source filter (`None` = wildcard).
+        src_filter: Option<usize>,
+        /// The receive's tag filter (`None` = wildcard).
+        tag_filter: Option<Tag>,
+        /// Sequence number of the matched message.
+        seq: u64,
+        /// Sender of the matched message.
+        src: usize,
+        /// Tag of the matched message.
+        tag: Tag,
+        /// How many in-flight messages with the *same* `(src, tag)` sat
+        /// in the mailbox at match time (including the matched one).
+        /// `> 1` means delivery order decided which message this receive
+        /// consumed — the match-ambiguity hazard the analyzer flags.
+        dup_in_flight: usize,
+    },
+    /// A rank closed a statistics iteration (`next_iteration`).
+    IterEnd {
+        /// The rank whose iteration counter advanced.
+        rank: usize,
+    },
+    /// A rank was blocked in `recv` when the run deadlocked.
+    Blocked {
+        /// The stuck rank.
+        rank: usize,
+        /// Its receive's source filter.
+        src_filter: Option<usize>,
+        /// Its receive's tag filter.
+        tag_filter: Option<Tag>,
+    },
+    /// A rank's program returned.
+    Finished {
+        /// The finishing rank.
+        rank: usize,
+        /// Messages still sitting undelivered in its mailbox — each is a
+        /// send that can never be received.
+        leftover: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_counts_events() {
+        let mut rec = ScheduleRecording::default();
+        rec.events.push(ScheduleEvent::Send {
+            step: 0,
+            seq: 1,
+            src: 0,
+            dst: 1,
+            tag: 9,
+            data: Payload::new(),
+        });
+        rec.events.push(ScheduleEvent::Recv {
+            step: 0,
+            rank: 1,
+            src_filter: Some(0),
+            tag_filter: Some(9),
+            seq: 1,
+            src: 0,
+            tag: 9,
+            dup_in_flight: 1,
+        });
+        rec.events.push(ScheduleEvent::Finished {
+            rank: 0,
+            leftover: 0,
+        });
+        assert_eq!(rec.sends(), 1);
+        assert_eq!(rec.recvs(), 1);
+        assert!(!rec.deadlocked);
+    }
+}

@@ -95,7 +95,15 @@ mod tests {
     use super::*;
 
     fn t(src: usize, dst: usize, send: Time, arrival: Time, stalled: Time) -> MsgTrace {
-        MsgTrace { src, dst, tag: 0, bytes: 100, send_ns: send, arrival_ns: arrival, stalled_ns: stalled }
+        MsgTrace {
+            src,
+            dst,
+            tag: 0,
+            bytes: 100,
+            send_ns: send,
+            arrival_ns: arrival,
+            stalled_ns: stalled,
+        }
     }
 
     #[test]

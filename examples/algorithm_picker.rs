@@ -76,8 +76,15 @@ fn main() {
             rec.name(),
             winner.name(),
             ms,
-            if close { "" } else { "   <-- recommendation off" }
+            if close {
+                ""
+            } else {
+                "   <-- recommendation off"
+            }
         );
     }
-    println!("\nrecommendation within 10% of the winner in {agree}/{} cases", cases.len());
+    println!(
+        "\nrecommendation within 10% of the winner in {agree}/{} cases",
+        cases.len()
+    );
 }

@@ -19,11 +19,7 @@ impl StpAlgorithm for RingPipeline {
         "RingPipeline (custom)"
     }
 
-    fn run(
-        &self,
-        comm: &mut dyn stp_broadcast::runtime::Communicator,
-        ctx: &StpCtx,
-    ) -> MessageSet {
+    fn run(&self, comm: &mut dyn stp_broadcast::runtime::Communicator, ctx: &StpCtx) -> MessageSet {
         ctx.validate(comm);
         let p = comm.size();
         let me = comm.rank();
@@ -65,14 +61,23 @@ fn main() {
 
     // 1. Correctness first, on real threads.
     let out = run_threads(machine.p(), |comm| {
-        let payload =
-            sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), len));
-        let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+        let payload = sources
+            .binary_search(&comm.rank())
+            .is_ok()
+            .then(|| payload_for(comm.rank(), len));
+        let ctx = StpCtx {
+            shape,
+            sources: &sources,
+            payload: payload.as_deref(),
+        };
         let set = RingPipeline.run(comm, &ctx);
         set.sources().collect::<Vec<_>>() == sources
     });
     assert!(out.results.iter().all(|&ok| ok));
-    println!("RingPipeline verified on the threads backend ({} ranks)", machine.p());
+    println!(
+        "RingPipeline verified on the threads backend ({} ranks)",
+        machine.p()
+    );
 
     // 2. Then performance, on the simulator, against the paper's field.
     let ring_ms = {
@@ -81,7 +86,11 @@ fn main() {
                 .binary_search(&comm.rank())
                 .is_ok()
                 .then(|| payload_for(comm.rank(), len));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             RingPipeline.run(comm, &ctx).len()
         });
         run.makespan_ns as f64 / 1e6

@@ -38,7 +38,13 @@ fn main() {
 
         let payload = |src: usize| payload_for(src ^ round, msg_len);
 
-        let fixed = run_sources(&machine, LibraryKind::Nx, &sources, &payload, AlgoKind::BrLin);
+        let fixed = run_sources(
+            &machine,
+            LibraryKind::Nx,
+            &sources,
+            &payload,
+            AlgoKind::BrLin,
+        );
         assert!(fixed.verified);
 
         let pick = recommend(&machine, s, msg_len);

@@ -27,8 +27,9 @@ fn main() {
         let (row, col) = shape.coords(me);
 
         // Initial local state: a synthetic heat distribution.
-        let mut local: Vec<f64> =
-            (0..BLOCK * BLOCK).map(|i| ((me * 31 + i) % 97) as f64 / 97.0).collect();
+        let mut local: Vec<f64> = (0..BLOCK * BLOCK)
+            .map(|i| ((me * 31 + i) % 97) as f64 / 97.0)
+            .collect();
         let order: Vec<usize> = (0..comm.size()).collect();
 
         let mut iterations = 0u32;
@@ -37,7 +38,10 @@ fn main() {
             iterations += 1;
 
             // 1. Halo exchange with mesh neighbours (boundary rows/cols).
-            let halo: Vec<u8> = local[..BLOCK].iter().flat_map(|v| v.to_le_bytes()).collect();
+            let halo: Vec<u8> = local[..BLOCK]
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
             let mut neighbours = Vec::new();
             if row > 0 {
                 neighbours.push(shape.rank(row - 1, col));
@@ -88,11 +92,12 @@ fn main() {
             if iterations.is_multiple_of(3) {
                 let s = ((iterations as usize * 7) % 24) + 1;
                 let dist = SourceDist::Equal.place(shape, s);
-                let payload = dist
-                    .binary_search(&me)
-                    .is_ok()
-                    .then(|| halo.clone());
-                let ctx = StpCtx { shape, sources: &dist, payload: payload.as_deref() };
+                let payload = dist.binary_search(&me).is_ok().then(|| halo.clone());
+                let ctx = StpCtx {
+                    shape,
+                    sources: &dist,
+                    payload: payload.as_deref(),
+                };
                 let set = BrXySource.run(comm, &ctx);
                 assert_eq!(set.len(), s);
                 broadcasts += 1;
@@ -105,7 +110,10 @@ fn main() {
     });
 
     let (iters, bcasts, residual) = out.results[0];
-    assert!(out.results.iter().all(|&(i, b, _)| i == iters && b == bcasts));
+    assert!(out
+        .results
+        .iter()
+        .all(|&(i, b, _)| i == iters && b == bcasts));
     println!(
         "Jacobi on {}: {} iterations, {} s-to-p broadcasts, final residual {:.5}",
         machine.name, iters, bcasts, residual

@@ -32,11 +32,18 @@ fn main() {
     let scenarios = [
         ("hot rows (stripe decomposition)", SourceDist::Row, 48),
         ("hot columns (stripe decomposition)", SourceDist::Column, 48),
-        ("hot region (block decomposition)", SourceDist::SquareBlock, 49),
+        (
+            "hot region (block decomposition)",
+            SourceDist::SquareBlock,
+            49,
+        ),
         ("hot cross (row+column seam)", SourceDist::Cross, 48),
     ];
 
-    println!("{:<36} {:>14} {:>18} {:>8}", "scenario", "Br_xy_source", "Repos_xy_source", "gain%");
+    println!(
+        "{:<36} {:>14} {:>18} {:>8}",
+        "scenario", "Br_xy_source", "Repos_xy_source", "gain%"
+    );
     for (name, dist, s) in scenarios {
         let sources = dist.place(machine.shape, s);
         let payload = |src: usize| load_record(src, 1000 + src as u32);
@@ -75,7 +82,11 @@ fn main() {
             .binary_search(&comm.rank())
             .is_ok()
             .then(|| load_record(comm.rank(), 1000));
-        let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+        let ctx = StpCtx {
+            shape,
+            sources: &sources,
+            payload: payload.as_deref(),
+        };
         let set = BrXySource.run(comm, &ctx);
         // Recompute: total load over all published records.
         set.sources()
@@ -87,5 +98,8 @@ fn main() {
     });
     let expect: u64 = sources.len() as u64 * 1000;
     assert!(out.results.iter().all(|&t| t == expect));
-    println!("\nall {} ranks agree on the global load total ({expect})", machine.p());
+    println!(
+        "\nall {} ranks agree on the global load total ({expect})",
+        machine.p()
+    );
 }

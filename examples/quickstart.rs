@@ -17,7 +17,13 @@ fn main() {
     println!("sources: {:?}\n", dist.place(machine.shape, s));
 
     for kind in [AlgoKind::TwoStep, AlgoKind::BrLin, AlgoKind::BrXySource] {
-        let exp = Experiment { machine: &machine, dist: dist.clone(), s, msg_len, kind };
+        let exp = Experiment {
+            machine: &machine,
+            dist: dist.clone(),
+            s,
+            msg_len,
+            kind,
+        };
         let out = exp.run();
         assert!(out.verified, "every rank must end with all 5 messages");
         println!(
@@ -37,9 +43,16 @@ fn main() {
             .binary_search(&comm.rank())
             .is_ok()
             .then(|| payload_for(comm.rank(), msg_len));
-        let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+        let ctx = StpCtx {
+            shape,
+            sources: &sources,
+            payload: payload.as_deref(),
+        };
         BrLin::new().run(comm, &ctx).len()
     });
     assert!(out.results.iter().all(|&n| n == s));
-    println!("\nthreads backend: every rank holds {s} messages (wall {:?})", out.wall);
+    println!(
+        "\nthreads backend: every rank holds {s} messages (wall {:?})",
+        out.wall
+    );
 }

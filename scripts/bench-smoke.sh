@@ -8,6 +8,11 @@
 # reference baseline; regenerate it with this script after intentional
 # performance changes.
 #
+# Every producing command is checked explicitly — a benchmark or repro
+# binary that dies part-way must fail this script, not leave a
+# truncated report — and every record is validated as JSON before the
+# report is accepted.
+#
 #   ./scripts/bench-smoke.sh [output.json]
 #
 # Environment:
@@ -22,22 +27,56 @@ OUT="${1:-BENCH_sweep.json}"
 case "$OUT" in /*) ;; *) OUT="$PWD/$OUT" ;; esac
 MS="${BENCH_SMOKE_MS:-40}"
 
+fail() { echo "bench-smoke: $*" >&2; exit 1; }
+
 cargo build -q --release -p stp-bench --benches --bins
-rm -f "$OUT"
+
+# Build into a scratch file; only a fully validated run replaces $OUT.
+TMP="$(mktemp "${TMPDIR:-/tmp}/bench-smoke.XXXXXX")"
+trap 'rm -f "$TMP"' EXIT
+: > "$TMP"
 
 # One filter per line: the sweep engine itself, the figure-2 parameter
 # pipeline, and one full source sweep (every algorithm family).
 for filter in sweep_engine fig02 fig03; do
-  BENCH_SAMPLE_MS="$MS" BENCH_JSON="$OUT" \
-    cargo bench -q -p stp-bench --bench figures -- "$filter"
+  before=$(wc -l < "$TMP")
+  BENCH_SAMPLE_MS="$MS" BENCH_JSON="$TMP" \
+    cargo bench -q -p stp-bench --bench figures -- "$filter" \
+    || fail "cargo bench --bench figures -- $filter exited with status $?"
+  [ "$(wc -l < "$TMP")" -gt "$before" ] \
+    || fail "bench filter '$filter' produced no records"
 done
 
 # Bytes-copied baseline: comm-layer copy counters must stay at zero on
 # the rope path; payload-level copies are construction + framing only.
 for algo in br_lin 2_step persalltoall; do
-  target/release/stp --machine paragon --rows 16 --cols 16 \
-    --algo "$algo" --dist equal --s 24 --len 4096 --copy-stats \
-    | grep '^{' >> "$OUT"
+  stp_out="$(target/release/stp --machine paragon --rows 16 --cols 16 \
+      --algo "$algo" --dist equal --s 24 --len 4096 --copy-stats)" \
+    || fail "stp --copy-stats for '$algo' exited with status $?"
+  record="$(printf '%s\n' "$stp_out" | grep '^{')" \
+    || fail "stp --copy-stats for '$algo' emitted no JSON record"
+  printf '%s\n' "$record" >> "$TMP"
 done
 
-echo "wrote $(wc -l < "$OUT") benchmark records to $OUT"
+# Validate every record before committing the report: each line must be
+# a standalone JSON object with a non-empty "id".
+python3 - "$TMP" <<'EOF' || fail "JSON validation failed"
+import json, sys
+
+path = sys.argv[1]
+with open(path) as fh:
+    lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+if not lines:
+    sys.exit("no benchmark records produced")
+for n, line in enumerate(lines, 1):
+    try:
+        rec = json.loads(line)
+    except ValueError as e:
+        sys.exit(f"line {n} is not valid JSON: {e}\n  {line!r}")
+    if not isinstance(rec, dict) or not rec.get("id"):
+        sys.exit(f'line {n} is missing a non-empty "id": {line!r}')
+EOF
+
+mv "$TMP" "$OUT"
+trap - EXIT
+echo "wrote $(wc -l < "$OUT") validated benchmark records to $OUT"

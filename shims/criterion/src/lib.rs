@@ -44,7 +44,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: 10, criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
@@ -74,7 +78,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into().id);
-        run_one(&full, self.criterion.filter.as_deref(), self.sample_size, |b| f(b));
+        run_one(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            |b| f(b),
+        );
         self
     }
 
@@ -88,7 +97,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.into().id);
-        run_one(&full, self.criterion.filter.as_deref(), self.sample_size, |b| f(b, input));
+        run_one(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -102,11 +116,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -145,7 +163,10 @@ impl Bencher {
 }
 
 fn sample_budget() -> std::time::Duration {
-    let ms = std::env::var("BENCH_SAMPLE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300u64);
+    let ms = std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
     std::time::Duration::from_millis(ms)
 }
 
@@ -155,7 +176,11 @@ fn run_one<F: FnOnce(&mut Bencher)>(id: &str, filter: Option<&str>, sample_size:
             return;
         }
     }
-    let mut b = Bencher { samples: Vec::new(), budget: sample_budget(), target_samples: sample_size };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget: sample_budget(),
+        target_samples: sample_size,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{id:<60} (no samples)");
@@ -170,8 +195,10 @@ fn run_one<F: FnOnce(&mut Bencher)>(id: &str, filter: Option<&str>, sample_size:
         b.samples.len()
     );
     if let Ok(path) = std::env::var("BENCH_JSON") {
-        if let Ok(mut file) =
-            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
         {
             let _ = writeln!(
                 file,
@@ -224,7 +251,9 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
         // Would panic inside if executed; filtered out, it must not run.
         c.bench_function("skipped", |_b| panic!("should be filtered"));
     }

@@ -240,7 +240,9 @@ pub mod collection {
             // Upstream treats the size as a target, deduplicating keys;
             // the map may come out smaller than requested.
             let n = self.size.sample(rng);
-            (0..n).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
         }
     }
 }
@@ -262,7 +264,9 @@ pub mod test_runner {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            TestRng { s: [next(), next(), next(), next()] }
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -295,12 +299,16 @@ pub mod test_runner {
 
     impl TestCaseError {
         pub fn fail(message: impl Into<String>) -> Self {
-            TestCaseError { message: message.into() }
+            TestCaseError {
+                message: message.into(),
+            }
         }
         /// Upstream distinguishes rejections from failures; here a
         /// rejection simply fails the case too (we never filter).
         pub fn reject(message: impl Into<String>) -> Self {
-            TestCaseError { message: message.into() }
+            TestCaseError {
+                message: message.into(),
+            }
         }
     }
 

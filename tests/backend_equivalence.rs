@@ -10,20 +10,33 @@ fn run_both(kind: AlgoKind, shape: MeshShape, sources: &[usize], len: usize) {
     let machine = Machine::paragon(shape.rows, shape.cols);
 
     let sim = run_simulated(&machine, LibraryKind::Nx, |comm| {
-        let payload =
-            sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), len));
-        let ctx = StpCtx { shape, sources, payload: payload.as_deref() };
+        let payload = sources
+            .binary_search(&comm.rank())
+            .is_ok()
+            .then(|| payload_for(comm.rank(), len));
+        let ctx = StpCtx {
+            shape,
+            sources,
+            payload: payload.as_deref(),
+        };
         alg.run(comm, &ctx)
     });
     let threads = run_threads(shape.p(), |comm| {
-        let payload =
-            sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), len));
-        let ctx = StpCtx { shape, sources, payload: payload.as_deref() };
+        let payload = sources
+            .binary_search(&comm.rank())
+            .is_ok()
+            .then(|| payload_for(comm.rank(), len));
+        let ctx = StpCtx {
+            shape,
+            sources,
+            payload: payload.as_deref(),
+        };
         alg.run(comm, &ctx)
     });
     for rank in 0..shape.p() {
         assert_eq!(
-            sim.results[rank], threads.results[rank],
+            sim.results[rank],
+            threads.results[rank],
             "{} rank {rank}: backends disagree",
             kind.name()
         );

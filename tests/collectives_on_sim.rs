@@ -30,7 +30,10 @@ fn gather_hot_spot_shows_in_contention() {
         coll::gather_direct(comm, 0, &senders, Some(&mine), 1).len()
     });
     assert_eq!(out.results[0], 16);
-    assert!(out.contention_events > 0, "15 senders into one port must contend");
+    assert!(
+        out.contention_events > 0,
+        "15 senders into one port must contend"
+    );
 }
 
 #[test]
@@ -64,17 +67,19 @@ fn scatter_and_reduce_roundtrip_on_simulator() {
     let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
         let order: Vec<usize> = (0..comm.size()).collect();
         // Root scatters rank-indexed chunks ...
-        let chunks = (comm.rank() == 0)
-            .then(|| (0..comm.size()).map(|i| vec![i as u8; 16]).collect::<Vec<_>>());
+        let chunks = (comm.rank() == 0).then(|| {
+            (0..comm.size())
+                .map(|i| vec![i as u8; 16])
+                .collect::<Vec<_>>()
+        });
         let mine = coll::scatter_from_first(comm, &order, chunks, 10);
         assert_eq!(mine, vec![comm.rank() as u8; 16]);
         // ... then a reduction sums everyone's chunk value.
         let contrib = (mine[0] as u64).to_le_bytes();
         let sum = |a: &[u8], b: &[u8]| {
-            (u64::from_le_bytes(a.try_into().unwrap())
-                + u64::from_le_bytes(b.try_into().unwrap()))
-            .to_le_bytes()
-            .to_vec()
+            (u64::from_le_bytes(a.try_into().unwrap()) + u64::from_le_bytes(b.try_into().unwrap()))
+                .to_le_bytes()
+                .to_vec()
         };
         coll::reduce_to_first(comm, &order, &contrib, &sum, 50)
             .map(|v| u64::from_le_bytes(v[..].try_into().unwrap()))
@@ -95,5 +100,9 @@ fn dissemination_barrier_synchronizes_clocks_on_simulator() {
     });
     // After a dissemination barrier every rank's clock is at least the
     // slow rank's pre-barrier time.
-    assert!(out.results.iter().all(|&c| c >= 2_000_000), "{:?}", out.results);
+    assert!(
+        out.results.iter().all(|&c| c >= 2_000_000),
+        "{:?}",
+        out.results
+    );
 }

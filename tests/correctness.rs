@@ -29,7 +29,13 @@ fn simulator_matrix_small_paragon() {
     for &kind in all_kinds() {
         for dist in all_dists() {
             for s in [1usize, 3, 10, 20] {
-                let exp = Experiment { machine: &machine, dist: dist.clone(), s, msg_len: 96, kind };
+                let exp = Experiment {
+                    machine: &machine,
+                    dist: dist.clone(),
+                    s,
+                    msg_len: 96,
+                    kind,
+                };
                 let out = exp.run();
                 assert!(
                     out.verified,
@@ -91,10 +97,16 @@ fn threads_matrix() {
                     .binary_search(&comm.rank())
                     .is_ok()
                     .then(|| payload_for(comm.rank(), 48));
-                let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+                let ctx = StpCtx {
+                    shape,
+                    sources: &sources,
+                    payload: payload.as_deref(),
+                };
                 let set = alg.run(comm, &ctx);
                 set.sources().collect::<Vec<_>>() == sources
-                    && sources.iter().all(|&s| *set.get(s).unwrap() == payload_for(s, 48))
+                    && sources
+                        .iter()
+                        .all(|&s| *set.get(s).unwrap() == payload_for(s, 48))
             });
             assert!(
                 out.results.iter().all(|&ok| ok),

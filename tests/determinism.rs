@@ -5,12 +5,33 @@
 use stp_broadcast::prelude::*;
 
 fn run_twice(machine: &Machine, kind: AlgoKind, dist: SourceDist, s: usize, len: usize) {
-    let exp = Experiment { machine, dist, s, msg_len: len, kind };
+    let exp = Experiment {
+        machine,
+        dist,
+        s,
+        msg_len: len,
+        kind,
+    };
     let a = exp.run();
     let b = exp.run();
-    assert_eq!(a.makespan_ns, b.makespan_ns, "{} makespan differs", kind.name());
-    assert_eq!(a.finish_ns, b.finish_ns, "{} finish times differ", kind.name());
-    assert_eq!(a.contention_ns, b.contention_ns, "{} contention differs", kind.name());
+    assert_eq!(
+        a.makespan_ns,
+        b.makespan_ns,
+        "{} makespan differs",
+        kind.name()
+    );
+    assert_eq!(
+        a.finish_ns,
+        b.finish_ns,
+        "{} finish times differ",
+        kind.name()
+    );
+    assert_eq!(
+        a.contention_ns,
+        b.contention_ns,
+        "{} contention differs",
+        kind.name()
+    );
     for (ra, rb) in a.stats.iter().zip(&b.stats) {
         assert_eq!(ra, rb, "{} stats differ", kind.name());
     }
@@ -79,7 +100,10 @@ fn flat_and_rope_sends_cost_identical_virtual_time() {
     });
     assert!(flat.results.iter().all(|&n| n == 1536));
     assert_eq!(flat.results, rope.results);
-    assert_eq!(flat.makespan_ns, rope.makespan_ns, "rope framing changed virtual time");
+    assert_eq!(
+        flat.makespan_ns, rope.makespan_ns,
+        "rope framing changed virtual time"
+    );
     assert_eq!(flat.finish_ns, rope.finish_ns);
     assert_eq!(flat.contention_ns, rope.contention_ns);
 }
@@ -107,8 +131,14 @@ fn parallel_sweep_bit_identical_to_sequential() {
     assert_eq!(seq.len(), par.len());
     for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
         assert!(a.verified && b.verified);
-        assert_eq!(a.makespan_ns, b.makespan_ns, "grid point {i} makespan differs");
-        assert_eq!(a.finish_ns, b.finish_ns, "grid point {i} finish times differ");
+        assert_eq!(
+            a.makespan_ns, b.makespan_ns,
+            "grid point {i} makespan differs"
+        );
+        assert_eq!(
+            a.finish_ns, b.finish_ns,
+            "grid point {i} finish times differ"
+        );
         assert_eq!(a.contention_events, b.contention_events);
         assert_eq!(a.contention_ns, b.contention_ns);
         assert_eq!(a.stats, b.stats, "grid point {i} statistics differ");

@@ -4,7 +4,9 @@
 //! on the timed simulator (their unit tests use the threads backend).
 
 use stp_broadcast::prelude::*;
-use stp_broadcast::stp::algorithms::{BrDims, DissemAllGather, GridShape, PartRecursive, StpAlgorithm};
+use stp_broadcast::stp::algorithms::{
+    BrDims, DissemAllGather, GridShape, PartRecursive, StpAlgorithm,
+};
 use stp_broadcast::stp::announce::announce_and_broadcast;
 
 #[test]
@@ -14,8 +16,9 @@ fn announce_then_broadcast_on_simulator() {
     let sources = [3usize, 8, 12];
     let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
         // Each rank knows only whether *it* has a message.
-        let payload =
-            sources.contains(&comm.rank()).then(|| payload_for(comm.rank(), 256));
+        let payload = sources
+            .contains(&comm.rank())
+            .then(|| payload_for(comm.rank(), 256));
         announce_and_broadcast(comm, shape, payload.as_deref(), &BrLin::new())
             .map(|set| set.sources().collect::<Vec<_>>())
     });
@@ -42,10 +45,16 @@ fn br_dims_on_t3d_native_3d_grid() {
             .binary_search(&comm.rank())
             .is_ok()
             .then(|| payload_for(comm.rank(), 512));
-        let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+        let ctx = StpCtx {
+            shape,
+            sources: &sources,
+            payload: payload.as_deref(),
+        };
         let set = alg.run(comm, &ctx);
         set.sources().collect::<Vec<_>>() == sources
-            && sources.iter().all(|&s| *set.get(s).unwrap() == payload_for(s, 512))
+            && sources
+                .iter()
+                .all(|&s| *set.get(s).unwrap() == payload_for(s, 512))
     });
     assert!(dims_out.results.iter().all(|&ok| ok));
 }
@@ -64,7 +73,11 @@ fn dissem_zero_copy_beats_alltoall_on_t3d() {
             .binary_search(&comm.rank())
             .is_ok()
             .then(|| payload_for(comm.rank(), 4096));
-        let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+        let ctx = StpCtx {
+            shape,
+            sources: &sources,
+            payload: payload.as_deref(),
+        };
         alg.run(comm, &ctx).len()
     });
     assert!(dissem.results.iter().all(|&n| n == 40));
@@ -115,7 +128,11 @@ fn recursive_partitioning_monotone_in_depth() {
                 .binary_search(&comm.rank())
                 .is_ok()
                 .then(|| payload_for(comm.rank(), 6144));
-            let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
             alg.run(comm, &ctx).len()
         });
         assert!(out.results.iter().all(|&n| n == 75));
@@ -123,7 +140,10 @@ fn recursive_partitioning_monotone_in_depth() {
     };
     let d1 = ms_for(1);
     let d3 = ms_for(3);
-    assert!(d3 > d1, "depth 3 ({d3}) must not beat depth 1 ({d1}) on the Paragon");
+    assert!(
+        d3 > d1,
+        "depth 3 ({d3}) must not beat depth 1 ({d1}) on the Paragon"
+    );
 }
 
 #[test]
@@ -136,6 +156,10 @@ fn naive_independent_through_algokind_on_both_machines() {
             msg_len: 512,
             kind: AlgoKind::NaiveIndependent,
         };
-        assert!(exp.run().verified, "NaiveIndependent failed on {}", machine.name);
+        assert!(
+            exp.run().verified,
+            "NaiveIndependent failed on {}",
+            machine.name
+        );
     }
 }

@@ -10,19 +10,34 @@ fn check_under_fault(kind: AlgoKind, shape: MeshShape, s: usize, fault: ThreadFa
     let sources = SourceDist::Random { seed: 31 }.place(shape, s);
     let alg = kind.build();
     let out = run_threads_faulty(shape.p(), fault, |comm| {
-        let payload =
-            sources.binary_search(&comm.rank()).is_ok().then(|| payload_for(comm.rank(), 64));
-        let ctx = StpCtx { shape, sources: &sources, payload: payload.as_deref() };
+        let payload = sources
+            .binary_search(&comm.rank())
+            .is_ok()
+            .then(|| payload_for(comm.rank(), 64));
+        let ctx = StpCtx {
+            shape,
+            sources: &sources,
+            payload: payload.as_deref(),
+        };
         let set = alg.run(comm, &ctx);
         set.sources().collect::<Vec<_>>() == sources
-            && sources.iter().all(|&s| *set.get(s).unwrap() == payload_for(s, 64))
+            && sources
+                .iter()
+                .all(|&s| *set.get(s).unwrap() == payload_for(s, 64))
     });
-    assert!(out.results.iter().all(|&ok| ok), "{} failed under {fault:?}", kind.name());
+    assert!(
+        out.results.iter().all(|&ok| ok),
+        "{} failed under {fault:?}",
+        kind.name()
+    );
 }
 
 #[test]
 fn merge_algorithms_survive_random_delays() {
-    let fault = ThreadFault::RandomDelay { max_us: 150, seed: 5 };
+    let fault = ThreadFault::RandomDelay {
+        max_us: 150,
+        seed: 5,
+    };
     for kind in [AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::BrXyDim] {
         check_under_fault(kind, MeshShape::new(4, 4), 6, fault);
     }
@@ -30,16 +45,31 @@ fn merge_algorithms_survive_random_delays() {
 
 #[test]
 fn library_algorithms_survive_random_delays() {
-    let fault = ThreadFault::RandomDelay { max_us: 150, seed: 6 };
-    for kind in [AlgoKind::TwoStep, AlgoKind::PersAlltoAll, AlgoKind::MpiAllGather] {
+    let fault = ThreadFault::RandomDelay {
+        max_us: 150,
+        seed: 6,
+    };
+    for kind in [
+        AlgoKind::TwoStep,
+        AlgoKind::PersAlltoAll,
+        AlgoKind::MpiAllGather,
+    ] {
         check_under_fault(kind, MeshShape::new(4, 4), 6, fault);
     }
 }
 
 #[test]
 fn repositioning_and_partitioning_survive_random_delays() {
-    let fault = ThreadFault::RandomDelay { max_us: 100, seed: 7 };
-    for kind in [AlgoKind::ReposLin, AlgoKind::ReposXySource, AlgoKind::PartLin, AlgoKind::PartXySource] {
+    let fault = ThreadFault::RandomDelay {
+        max_us: 100,
+        seed: 7,
+    };
+    for kind in [
+        AlgoKind::ReposLin,
+        AlgoKind::ReposXySource,
+        AlgoKind::PartLin,
+        AlgoKind::PartXySource,
+    ] {
         check_under_fault(kind, MeshShape::new(4, 4), 5, fault);
     }
 }
@@ -55,7 +85,10 @@ fn repeated_runs_with_different_fault_seeds() {
 
 #[test]
 fn odd_meshes_under_fault() {
-    let fault = ThreadFault::RandomDelay { max_us: 80, seed: 11 };
+    let fault = ThreadFault::RandomDelay {
+        max_us: 80,
+        seed: 11,
+    };
     for kind in [AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::PartXyDim] {
         check_under_fault(kind, MeshShape::new(5, 5), 9, fault);
     }

@@ -5,7 +5,13 @@
 use stp_broadcast::prelude::*;
 
 fn ms(machine: &Machine, kind: AlgoKind, dist: SourceDist, s: usize, len: usize) -> f64 {
-    let exp = Experiment { machine, dist, s, msg_len: len, kind };
+    let exp = Experiment {
+        machine,
+        dist,
+        s,
+        msg_len: len,
+        kind,
+    };
     let out = exp.run();
     assert!(out.verified);
     out.makespan_ms()
@@ -21,9 +27,18 @@ fn paragon_merge_algorithms_beat_library_solutions() {
         let pers = ms(&machine, AlgoKind::PersAlltoAll, SourceDist::Equal, s, 4096);
         let br_lin = ms(&machine, AlgoKind::BrLin, SourceDist::Equal, s, 4096);
         let br_xy = ms(&machine, AlgoKind::BrXySource, SourceDist::Equal, s, 4096);
-        assert!(br_lin < two_step * 0.8, "s={s}: Br_Lin {br_lin} vs 2-Step {two_step}");
-        assert!(br_lin < pers * 0.8, "s={s}: Br_Lin {br_lin} vs PersAlltoAll {pers}");
-        assert!(br_xy < two_step * 0.8, "s={s}: Br_xy {br_xy} vs 2-Step {two_step}");
+        assert!(
+            br_lin < two_step * 0.8,
+            "s={s}: Br_Lin {br_lin} vs 2-Step {two_step}"
+        );
+        assert!(
+            br_lin < pers * 0.8,
+            "s={s}: Br_Lin {br_lin} vs PersAlltoAll {pers}"
+        );
+        assert!(
+            br_xy < two_step * 0.8,
+            "s={s}: Br_xy {br_xy} vs 2-Step {two_step}"
+        );
     }
 }
 
@@ -42,7 +57,11 @@ fn paragon_mpi_overhead_in_band() {
         let nx = exp.run_with_lib(LibraryKind::Nx).makespan_ns as f64;
         let mpi = exp.run_with_lib(LibraryKind::Mpi).makespan_ns as f64;
         let loss = (mpi - nx) / nx * 100.0;
-        assert!((1.0..6.0).contains(&loss), "{}: MPI loss {loss:.2}% out of band", kind.name());
+        assert!(
+            (1.0..6.0).contains(&loss),
+            "{}: MPI loss {loss:.2}% out of band",
+            kind.name()
+        );
     }
 }
 
@@ -51,14 +70,29 @@ fn paragon_mpi_overhead_in_band() {
 #[test]
 fn pers_alltoall_small_machines_ok_large_machines_poor() {
     let small = Machine::paragon(2, 2);
-    let pers_small = ms(&small, AlgoKind::PersAlltoAll, SourceDist::DiagRight, 2, 1024);
+    let pers_small = ms(
+        &small,
+        AlgoKind::PersAlltoAll,
+        SourceDist::DiagRight,
+        2,
+        1024,
+    );
     let two_small = ms(&small, AlgoKind::TwoStep, SourceDist::DiagRight, 2, 1024);
     assert!(pers_small <= two_small, "PersAlltoAll should win on a 2x2");
 
     let large = Machine::paragon(16, 16);
-    let pers_large = ms(&large, AlgoKind::PersAlltoAll, SourceDist::DiagRight, 16, 1024);
+    let pers_large = ms(
+        &large,
+        AlgoKind::PersAlltoAll,
+        SourceDist::DiagRight,
+        16,
+        1024,
+    );
     let br_large = ms(&large, AlgoKind::BrLin, SourceDist::DiagRight, 16, 1024);
-    assert!(pers_large > 3.0 * br_large, "PersAlltoAll must collapse at p=256");
+    assert!(
+        pers_large > 3.0 * br_large,
+        "PersAlltoAll must collapse at p=256"
+    );
 }
 
 /// Figure 6: Br_xy_source treats row/column/equal/diagonal the same and
@@ -76,14 +110,23 @@ fn distribution_effects_on_xy_algorithms() {
             d.name()
         );
     }
-    let sq = ms(&machine, AlgoKind::BrXySource, SourceDist::SquareBlock, 30, 2048);
+    let sq = ms(
+        &machine,
+        AlgoKind::BrXySource,
+        SourceDist::SquareBlock,
+        30,
+        2048,
+    );
     let cr = ms(&machine, AlgoKind::BrXySource, SourceDist::Cross, 30, 2048);
     assert!(sq > base * 1.05, "square block must degrade Br_xy_source");
     assert!(cr > base * 1.10, "cross must degrade Br_xy_source");
 
     let dim_row = ms(&machine, AlgoKind::BrXyDim, SourceDist::Row, 30, 2048);
     let dim_col = ms(&machine, AlgoKind::BrXyDim, SourceDist::Column, 30, 2048);
-    assert!(dim_row > dim_col * 1.2, "Br_xy_dim must spike on the row distribution");
+    assert!(
+        dim_row > dim_col * 1.2,
+        "Br_xy_dim must spike on the row distribution"
+    );
 }
 
 /// Figure 7: with total message volume fixed, more sources is faster.
@@ -94,7 +137,11 @@ fn fixed_total_more_sources_faster() {
     for kind in [AlgoKind::BrLin, AlgoKind::BrXySource] {
         let few = ms(&machine, kind, SourceDist::DiagRight, 5, total / 5);
         let many = ms(&machine, kind, SourceDist::DiagRight, 80, total / 80);
-        assert!(many < few, "{}: s=80 ({many}) should beat s=5 ({few})", kind.name());
+        assert!(
+            many < few,
+            "{}: s=80 ({many}) should beat s=5 ({few})",
+            kind.name()
+        );
     }
 }
 
@@ -103,9 +150,24 @@ fn fixed_total_more_sources_faster() {
 #[test]
 fn repositioning_pays_on_cross() {
     let machine = Machine::paragon(16, 16);
-    let plain = ms(&machine, AlgoKind::BrXySource, SourceDist::Cross, 75, 6 * 1024);
-    let repos = ms(&machine, AlgoKind::ReposXySource, SourceDist::Cross, 75, 6 * 1024);
-    assert!(repos < plain, "repositioning must win on cross at s=75 (got {repos} vs {plain})");
+    let plain = ms(
+        &machine,
+        AlgoKind::BrXySource,
+        SourceDist::Cross,
+        75,
+        6 * 1024,
+    );
+    let repos = ms(
+        &machine,
+        AlgoKind::ReposXySource,
+        SourceDist::Cross,
+        75,
+        6 * 1024,
+    );
+    assert!(
+        repos < plain,
+        "repositioning must win on cross at s=75 (got {repos} vs {plain})"
+    );
 }
 
 /// §5.2: partitioning hardly ever beats repositioning alone — the final
@@ -114,9 +176,24 @@ fn repositioning_pays_on_cross() {
 fn partitioning_never_pays_on_paragon() {
     let machine = Machine::paragon(16, 16);
     for s in [50usize, 100, 192] {
-        let repos = ms(&machine, AlgoKind::ReposXySource, SourceDist::Cross, s, 6 * 1024);
-        let part = ms(&machine, AlgoKind::PartXySource, SourceDist::Cross, s, 6 * 1024);
-        assert!(part > repos, "s={s}: partitioning ({part}) must not beat repositioning ({repos})");
+        let repos = ms(
+            &machine,
+            AlgoKind::ReposXySource,
+            SourceDist::Cross,
+            s,
+            6 * 1024,
+        );
+        let part = ms(
+            &machine,
+            AlgoKind::PartXySource,
+            SourceDist::Cross,
+            s,
+            6 * 1024,
+        );
+        assert!(
+            part > repos,
+            "s={s}: partitioning ({part}) must not beat repositioning ({repos})"
+        );
     }
 }
 
@@ -129,8 +206,14 @@ fn t3d_ranking_flips() {
         let alltoall = ms(&machine, AlgoKind::MpiAlltoall, SourceDist::Equal, s, 4096);
         let allgather = ms(&machine, AlgoKind::MpiAllGather, SourceDist::Equal, s, 4096);
         let br_lin = ms(&machine, AlgoKind::BrLin, SourceDist::Equal, s, 4096);
-        assert!(alltoall < allgather, "s={s}: Alltoall must beat AllGather on the T3D");
-        assert!(alltoall < br_lin, "s={s}: Alltoall must beat Br_Lin on the T3D");
+        assert!(
+            alltoall < allgather,
+            "s={s}: Alltoall must beat AllGather on the T3D"
+        );
+        assert!(
+            alltoall < br_lin,
+            "s={s}: Alltoall must beat Br_Lin on the T3D"
+        );
     }
 }
 
@@ -140,9 +223,24 @@ fn t3d_ranking_flips() {
 fn t3d_more_sources_faster_alltoall() {
     let machine = Machine::t3d(128, 42);
     let total = 128 * 1024;
-    let few = ms(&machine, AlgoKind::MpiAlltoall, SourceDist::Equal, 4, total / 4);
-    let many = ms(&machine, AlgoKind::MpiAlltoall, SourceDist::Equal, 64, total / 64);
-    assert!(many < few, "T3D Alltoall: s=64 ({many}) should beat s=4 ({few})");
+    let few = ms(
+        &machine,
+        AlgoKind::MpiAlltoall,
+        SourceDist::Equal,
+        4,
+        total / 4,
+    );
+    let many = ms(
+        &machine,
+        AlgoKind::MpiAlltoall,
+        SourceDist::Equal,
+        64,
+        total / 64,
+    );
+    assert!(
+        many < few,
+        "T3D Alltoall: s=64 ({many}) should beat s=4 ({few})"
+    );
 }
 
 /// Figure 2 (measured): the key per-algorithm parameter shapes.
@@ -166,7 +264,12 @@ fn figure2_parameter_shapes() {
     let p = machine.p() as u64;
 
     // 2-Step: O(s) congestion at the root.
-    let c2 = two_step.stats.iter().map(|st| st.congestion()).max().unwrap();
+    let c2 = two_step
+        .stats
+        .iter()
+        .map(|st| st.congestion())
+        .max()
+        .unwrap();
     assert!(c2 >= s as u64 - 1, "2-Step congestion must be ~s, got {c2}");
 
     // PersAlltoAll: O(1) congestion, O(p) total operations.
@@ -177,7 +280,10 @@ fn figure2_parameter_shapes() {
 
     // Br_Lin: O(log p) operations per rank.
     let opsb = br_lin.stats.iter().map(|st| st.total_ops()).max().unwrap();
-    assert!(opsb <= 4 * (p.ilog2() as u64 + 1), "Br_Lin ops must be O(log p), got {opsb}");
+    assert!(
+        opsb <= 4 * (p.ilog2() as u64 + 1),
+        "Br_Lin ops must be O(log p), got {opsb}"
+    );
 }
 
 /// §2 (text): uncoordinated independent broadcasts perform poorly on
@@ -186,7 +292,13 @@ fn figure2_parameter_shapes() {
 fn naive_independent_loses_on_paragon() {
     let machine = Machine::paragon(10, 10);
     for s in [15usize, 30, 100] {
-        let naive = ms(&machine, AlgoKind::NaiveIndependent, SourceDist::Equal, s, 4096);
+        let naive = ms(
+            &machine,
+            AlgoKind::NaiveIndependent,
+            SourceDist::Equal,
+            s,
+            4096,
+        );
         let merged = ms(&machine, AlgoKind::BrXySource, SourceDist::Equal, s, 4096);
         assert!(
             naive > merged * 1.5,

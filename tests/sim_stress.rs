@@ -16,7 +16,11 @@ struct Script {
 
 impl Script {
     fn expected(&self, rank: usize) -> usize {
-        self.sends.iter().flatten().filter(|&&(dst, _, _)| dst == rank).count()
+        self.sends
+            .iter()
+            .flatten()
+            .filter(|&&(dst, _, _)| dst == rank)
+            .count()
     }
 }
 

@@ -35,8 +35,14 @@ fn legacy_flat_send_records_copies() {
             assert_eq!(comm.recv(Some(0), Some(7)).data.len(), 4096);
         }
     });
-    assert!(out.stats[0].bytes_copied >= 4096, "flat send must be charged a payload copy");
-    assert!(out.stats[0].allocs >= 1, "flat send must be charged a buffer allocation");
+    assert!(
+        out.stats[0].bytes_copied >= 4096,
+        "flat send must be charged a payload copy"
+    );
+    assert!(
+        out.stats[0].allocs >= 1,
+        "flat send must be charged a buffer allocation"
+    );
 }
 
 #[test]
@@ -66,8 +72,13 @@ fn converted_algorithms_send_zero_copy() {
     let _g = lock();
     let machine = Machine::paragon(8, 8);
     for kind in [AlgoKind::TwoStep, AlgoKind::PersAlltoAll, AlgoKind::BrLin] {
-        let exp =
-            Experiment { machine: &machine, dist: SourceDist::Equal, s: 16, msg_len: 2048, kind };
+        let exp = Experiment {
+            machine: &machine,
+            dist: SourceDist::Equal,
+            s: 16,
+            msg_len: 2048,
+            kind,
+        };
         let out = exp.run();
         assert!(out.verified, "{} failed verification", kind.name());
         let copied: u64 = out.stats.iter().map(|s| s.bytes_copied).sum();
