@@ -5,7 +5,7 @@
 //! with the right [`FindingKind`]. They double as
 //! end-to-end tests that the recorder survives aborted runs.
 
-use mpp_runtime::Communicator;
+use mpp_runtime::{CommFuture, Communicator};
 use stp_core::algorithms::{StpAlgorithm, StpCtx};
 use stp_core::msgset::MessageSet;
 
@@ -58,14 +58,20 @@ impl StpAlgorithm for OffByOnePartner {
         "fixture:off_by_one_partner"
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let (me, p) = (comm.rank(), comm.size());
-        comm.send((me + 1) % p, FIX_RING, &[me as u8]);
-        // BUG: the matching receive partner is (me + p - 1) % p.
-        let env = comm.recv(Some((me + 2) % p), Some(FIX_RING));
-        let _ = env;
-        MessageSet::new()
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let (me, p) = (comm.rank(), comm.size());
+            comm.send((me + 1) % p, FIX_RING, &[me as u8]);
+            // BUG: the matching receive partner is (me + p - 1) % p.
+            let env = comm.recv(Some((me + 2) % p), Some(FIX_RING)).await;
+            let _ = env;
+            MessageSet::new()
+        })
     }
 }
 
@@ -82,28 +88,34 @@ impl StpAlgorithm for DuplicateTag {
         "fixture:duplicate_tag"
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let me = comm.rank();
-        let hub = ctx.sources[0];
-        if me == hub {
-            let data = ctx.payload.expect("hub is a source");
-            let mid = data.len() / 2;
-            for dst in 0..comm.size() {
-                if dst != hub {
-                    // BUG: both halves use the same tag.
-                    comm.send(dst, FIX_CHUNKS, &data[..mid]);
-                    comm.send(dst, FIX_CHUNKS, &data[mid..]);
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let me = comm.rank();
+            let hub = ctx.sources[0];
+            if me == hub {
+                let data = ctx.payload.expect("hub is a source");
+                let mid = data.len() / 2;
+                for dst in 0..comm.size() {
+                    if dst != hub {
+                        // BUG: both halves use the same tag.
+                        comm.send(dst, FIX_CHUNKS, &data[..mid]);
+                        comm.send(dst, FIX_CHUNKS, &data[mid..]);
+                    }
                 }
+                MessageSet::single(hub, data)
+            } else {
+                let a = comm.recv(Some(hub), Some(FIX_CHUNKS)).await;
+                let b = comm.recv(Some(hub), Some(FIX_CHUNKS)).await;
+                let mut data = a.data.to_vec();
+                data.extend_from_slice(&b.data.to_vec());
+                MessageSet::single(hub, &data)
             }
-            MessageSet::single(hub, data)
-        } else {
-            let a = comm.recv(Some(hub), Some(FIX_CHUNKS));
-            let b = comm.recv(Some(hub), Some(FIX_CHUNKS));
-            let mut data = a.data.to_vec();
-            data.extend_from_slice(&b.data.to_vec());
-            MessageSet::single(hub, &data)
-        }
+        })
     }
 }
 
@@ -117,41 +129,47 @@ impl StpAlgorithm for DroppedCombine {
         "fixture:dropped_combine"
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let me = comm.rank();
-        let hub = ctx.sources[0];
-        if me == hub {
-            let mut set = MessageSet::single(hub, ctx.payload.expect("hub is a source"));
-            for &src in ctx.sources.iter().filter(|&&s| s != hub) {
-                let env = comm.recv(Some(src), Some(FIX_GATHER));
-                set.merge(MessageSet::from_bytes(&env.data.to_vec()).expect("wire set"));
-            }
-            // BUG: the last source is dropped from the combined set.
-            let mut kept = MessageSet::new();
-            let dropped = *ctx.sources.last().unwrap();
-            for (src, payload) in set.clone().into_entries() {
-                if src as usize != dropped {
-                    kept.insert_payload(src as usize, payload);
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let me = comm.rank();
+            let hub = ctx.sources[0];
+            if me == hub {
+                let mut set = MessageSet::single(hub, ctx.payload.expect("hub is a source"));
+                for &src in ctx.sources.iter().filter(|&&s| s != hub) {
+                    let env = comm.recv(Some(src), Some(FIX_GATHER)).await;
+                    set.merge(MessageSet::from_bytes(&env.data.to_vec()).expect("wire set"));
                 }
-            }
-            let wire = kept.to_bytes();
-            for dst in 0..comm.size() {
-                if dst != hub {
-                    comm.send(dst, FIX_BCAST, &wire);
+                // BUG: the last source is dropped from the combined set.
+                let mut kept = MessageSet::new();
+                let dropped = *ctx.sources.last().unwrap();
+                for (src, payload) in set.clone().into_entries() {
+                    if src as usize != dropped {
+                        kept.insert_payload(src as usize, payload);
+                    }
                 }
+                let wire = kept.to_bytes();
+                for dst in 0..comm.size() {
+                    if dst != hub {
+                        comm.send(dst, FIX_BCAST, &wire);
+                    }
+                }
+                set
+            } else {
+                if let Some(payload) = ctx.payload {
+                    comm.send(hub, FIX_GATHER, &MessageSet::single(me, payload).to_bytes());
+                }
+                let env = comm.recv(Some(hub), Some(FIX_BCAST)).await;
+                let mut set = MessageSet::from_bytes(&env.data.to_vec()).expect("wire set");
+                if let Some(payload) = ctx.payload {
+                    set.insert(me, payload);
+                }
+                set
             }
-            set
-        } else {
-            if let Some(payload) = ctx.payload {
-                comm.send(hub, FIX_GATHER, &MessageSet::single(me, payload).to_bytes());
-            }
-            let env = comm.recv(Some(hub), Some(FIX_BCAST));
-            let mut set = MessageSet::from_bytes(&env.data.to_vec()).expect("wire set");
-            if let Some(payload) = ctx.payload {
-                set.insert(me, payload);
-            }
-            set
-        }
+        })
     }
 }

@@ -40,5 +40,5 @@ pub use checks::{analyze, Analysis, Finding, FindingKind};
 pub use lint::{
     hush_expected_panics, lint_fixtures, lint_matrix, FixtureVerdict, LintConfig, LintEntry,
 };
-pub use report::{entries_to_json, fixtures_to_json};
+pub use report::{entries_to_json, fixtures_to_json, lint_report_json};
 pub use schedule::{Attributed, Attribution, Schedule};

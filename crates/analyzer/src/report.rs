@@ -56,6 +56,17 @@ pub fn entries_to_json(entries: &[LintEntry]) -> String {
     out
 }
 
+/// Encode the lint matrix as a report object: a header recording which
+/// executor drove the sweep and its wall-clock, then the entries.
+pub fn lint_report_json(entries: &[LintEntry], executor: &str, wall_s: f64) -> String {
+    format!(
+        "{{\"executor\":\"{}\",\"wall_s\":{wall_s:.3},\"schedules\":{},\"entries\":{}}}",
+        escape(executor),
+        entries.len(),
+        entries_to_json(entries)
+    )
+}
+
 /// Encode the fixture verdicts as a JSON array.
 pub fn fixtures_to_json(verdicts: &[FixtureVerdict]) -> String {
     let mut out = String::from("[\n");

@@ -79,7 +79,7 @@ fn ablation_linear_order(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let sources = SourceDist::Equal.place(shape, 30);
-                let out = run_simulated(&machine, mpp_model::LibraryKind::Nx, |comm| {
+                let out = run_simulated(&machine, mpp_model::LibraryKind::Nx, async |comm| {
                     let payload = sources
                         .binary_search(&comm.rank())
                         .is_ok()
@@ -89,7 +89,7 @@ fn ablation_linear_order(c: &mut Criterion) {
                         sources: &sources,
                         payload: payload.as_deref(),
                     };
-                    alg.run(comm, &ctx).len()
+                    alg.run(comm, &ctx).await.len()
                 });
                 out.makespan_ns
             })

@@ -12,11 +12,13 @@ fn bcast(c: &mut Criterion) {
         let machine = Machine::paragon(p / 8, 8);
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
             b.iter(|| {
-                run_simulated(&machine, LibraryKind::Nx, |comm| {
+                run_simulated(&machine, LibraryKind::Nx, async |comm| {
                     use mpp_runtime::Communicator;
                     let order: Vec<usize> = (0..comm.size()).collect();
                     let data = (comm.rank() == 0).then(|| vec![0u8; 4096]);
-                    collectives::bcast_from_first(comm, &order, data, 0).len()
+                    collectives::bcast_from_first(comm, &order, data, 0)
+                        .await
+                        .len()
                 })
                 .makespan_ns
             })
@@ -32,11 +34,13 @@ fn gather(c: &mut Criterion) {
         let machine = Machine::paragon(p / 8, 8);
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
             b.iter(|| {
-                run_simulated(&machine, LibraryKind::Nx, |comm| {
+                run_simulated(&machine, LibraryKind::Nx, async |comm| {
                     use mpp_runtime::Communicator;
                     let senders: Vec<usize> = (0..comm.size()).collect();
                     let mine = vec![comm.rank() as u8; 1024];
-                    collectives::gather_direct(comm, 0, &senders, Some(&mine), 1).len()
+                    collectives::gather_direct(comm, 0, &senders, Some(&mine), 1)
+                        .await
+                        .len()
                 })
                 .makespan_ns
             })
@@ -52,10 +56,12 @@ fn alltoall(c: &mut Criterion) {
         let machine = Machine::paragon(p / 8, 8);
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
             b.iter(|| {
-                run_simulated(&machine, LibraryKind::Nx, |comm| {
+                run_simulated(&machine, LibraryKind::Nx, async |comm| {
                     use mpp_runtime::Communicator;
                     let mine = vec![comm.rank() as u8; 512];
-                    collectives::personalized_from_sources(comm, &|_| true, Some(&mine), 2).len()
+                    collectives::personalized_from_sources(comm, &|_| true, Some(&mine), 2)
+                        .await
+                        .len()
                 })
                 .makespan_ns
             })
@@ -71,7 +77,7 @@ fn reduce(c: &mut Criterion) {
         let machine = Machine::paragon(p / 8, 8);
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
             b.iter(|| {
-                run_simulated(&machine, LibraryKind::Nx, |comm| {
+                run_simulated(&machine, LibraryKind::Nx, async |comm| {
                     use mpp_runtime::Communicator;
                     let order: Vec<usize> = (0..comm.size()).collect();
                     let contrib = (comm.rank() as u64).to_le_bytes();
@@ -81,7 +87,9 @@ fn reduce(c: &mut Criterion) {
                         .to_le_bytes()
                         .to_vec()
                     };
-                    collectives::allreduce(comm, &order, &contrib, &sum, 3).len()
+                    collectives::allreduce(comm, &order, &contrib, &sum, 3)
+                        .await
+                        .len()
                 })
                 .makespan_ns
             })

@@ -45,7 +45,7 @@ fn main() {
                 &|src| payload_for(src, 6144),
                 AlgoKind::ReposXySource,
             );
-            let adapt = run_simulated(&machine, LibraryKind::Nx, |comm| {
+            let adapt = run_simulated(&machine, LibraryKind::Nx, async |comm| {
                 use mpp_runtime::Communicator;
                 let payload = sources
                     .binary_search(&comm.rank())
@@ -56,7 +56,7 @@ fn main() {
                     sources: &sources,
                     payload: payload.as_deref(),
                 };
-                adaptive.run(comm, &ctx).len() == s
+                adaptive.run(comm, &ctx).await.len() == s
             });
             assert!(plain.verified && repos.verified);
             assert!(adapt.results.iter().all(|&ok| ok));

@@ -15,7 +15,7 @@ use stp_core::prelude::*;
 
 fn run_alg(machine: &Machine, alg: &dyn StpAlgorithm, sources: &[usize], len: usize) -> f64 {
     let shape = machine.shape;
-    let out = run_simulated(machine, LibraryKind::Mpi, |comm| {
+    let out = run_simulated(machine, LibraryKind::Mpi, async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -25,7 +25,7 @@ fn run_alg(machine: &Machine, alg: &dyn StpAlgorithm, sources: &[usize], len: us
             sources,
             payload: payload.as_deref(),
         };
-        alg.run(comm, &ctx).len() == sources.len()
+        alg.run(comm, &ctx).await.len() == sources.len()
     });
     assert!(out.results.iter().all(|&ok| ok));
     out.makespan_ns as f64 / 1e6

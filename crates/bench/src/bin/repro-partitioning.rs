@@ -45,7 +45,7 @@ fn main() {
     let depth_ms = |depth: usize| {
         let alg = PartRecursive::new(BrXySource, depth, "PartRec");
         let sources = SourceDist::Cross.place(shape, 75);
-        let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+        let out = run_simulated(&machine, LibraryKind::Nx, async |comm| {
             let payload = sources
                 .binary_search(&comm.rank())
                 .is_ok()
@@ -55,7 +55,7 @@ fn main() {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx).len()
+            alg.run(comm, &ctx).await.len()
         });
         assert!(out.results.iter().all(|&n| n == 75));
         out.makespan_ns as f64 / 1e6

@@ -14,7 +14,7 @@ fn main() {
 
     for kind in [AlgoKind::TwoStep, AlgoKind::BrLin] {
         let alg = kind.build();
-        let out = run_simulated_traced(&machine, LibraryKind::Nx, |comm| {
+        let out = run_simulated_traced(&machine, LibraryKind::Nx, async |comm| {
             let payload = sources
                 .binary_search(&comm.rank())
                 .is_ok()
@@ -24,7 +24,7 @@ fn main() {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx).len()
+            alg.run(comm, &ctx).await.len()
         });
         let summary = summarize(&out.trace);
         println!(

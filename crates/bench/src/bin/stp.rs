@@ -32,7 +32,9 @@ fn usage() -> ! {
     eprintln!("           --algo <name> --dist <name> --s <n> --len <bytes>");
     eprintln!("           [--lib <nx|mpi>] [--seed <n>] [--metrics] [--trace] [--predict]");
     eprintln!("           [--sweep-len L1,L2,...]   (parallel sweep over message lengths)");
+    eprintln!("           [--exec coop|threaded]    (simulation executor; default coop)");
     eprintln!("       stp lint [--quick] [--fixtures] [--json FILE] [--max-link-load N]");
+    eprintln!("                [--exec coop|threaded]");
     eprintln!("       stp --list       (show algorithm and distribution names)");
     std::process::exit(2);
 }
@@ -41,7 +43,7 @@ use stp_bench::{parse_algo, parse_dist};
 
 /// `stp lint`: the static schedule-analysis gate.
 fn run_lint(args: &[String]) -> ! {
-    use stp_analyzer::{entries_to_json, fixtures_to_json, lint_fixtures, lint_matrix, LintConfig};
+    use stp_analyzer::{fixtures_to_json, lint_fixtures, lint_matrix, LintConfig};
 
     let get = |flag: &str| -> Option<String> {
         args.iter()
@@ -99,20 +101,41 @@ fn run_lint(args: &[String]) -> ! {
     }
     let findings: usize = dirty.iter().map(|e| e.findings.len()).sum();
     let opaque = entries.iter().filter(|e| e.opaque_payloads).count();
+    let exec = mpp_sim::ExecMode::from_env();
     println!(
-        "linted {} schedules in {:.1}s: {findings} finding(s), {opaque} with unattributable payloads",
+        "linted {} schedules in {:.1}s on the {} executor: {findings} finding(s), {opaque} with unattributable payloads",
         entries.len(),
-        wall.as_secs_f64()
+        wall.as_secs_f64(),
+        exec.name()
     );
     if let Some(path) = json_path {
-        std::fs::write(&path, entries_to_json(&entries)).expect("write JSON report");
+        let report = stp_analyzer::lint_report_json(&entries, exec.name(), wall.as_secs_f64());
+        std::fs::write(&path, report).expect("write JSON report");
         eprintln!("[lint] report written to {path}");
     }
     std::process::exit(if findings > 0 { 1 } else { 0 });
 }
 
+/// Apply `--exec coop|threaded` by exporting `STP_EXEC` before any
+/// simulation starts — every later `ExecMode::from_env()` (SweepRunner,
+/// SimConfig::default) then agrees with the flag.
+fn apply_exec_flag(args: &[String]) {
+    let Some(i) = args.iter().position(|a| a == "--exec") else {
+        return;
+    };
+    match args.get(i + 1).map(String::as_str) {
+        Some("coop") | Some("cooperative") => std::env::set_var("STP_EXEC", "coop"),
+        Some("threaded") | Some("threads") => std::env::set_var("STP_EXEC", "threaded"),
+        other => {
+            eprintln!("--exec wants coop|threaded, got {other:?}");
+            usage()
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    apply_exec_flag(&args);
     if args.first().map(String::as_str) == Some("lint") {
         run_lint(&args[1..]);
     }
@@ -231,7 +254,7 @@ fn main() {
     if has("--trace") {
         let shape = machine.shape;
         let alg = kind.build();
-        let out = run_simulated_traced(&machine, lib, |comm| {
+        let out = run_simulated_traced(&machine, lib, async |comm| {
             let payload = sources
                 .binary_search(&comm.rank())
                 .is_ok()
@@ -241,7 +264,7 @@ fn main() {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx).len() == sources.len()
+            alg.run(comm, &ctx).await.len() == sources.len()
         });
         assert!(out.results.iter().all(|&ok| ok), "verification failed");
         let sum = summarize(&out.trace);

@@ -30,6 +30,47 @@ pub fn run_ms(
     out.makespan_ms()
 }
 
+/// [`run_ms`] with an explicit executor, regardless of `STP_EXEC` —
+/// the `sweep_engine` benches race the cooperative kernel against the
+/// threaded trap/grant backend on the same grid point.
+pub fn run_ms_exec(
+    machine: &Machine,
+    kind: AlgoKind,
+    dist: SourceDist,
+    s: usize,
+    msg_len: usize,
+    exec: mpp_runtime::ExecMode,
+) -> f64 {
+    use mpp_runtime::{run_simulated_with, Communicator, SimConfig};
+    let sources = dist.place(machine.shape, s);
+    let alg = kind.build();
+    let shape = machine.shape;
+    let config = SimConfig {
+        lib: kind.default_lib(),
+        exec,
+        ..SimConfig::default()
+    };
+    let out = run_simulated_with(machine, &config, async |comm| {
+        let payload = sources
+            .binary_search(&comm.rank())
+            .is_ok()
+            .then(|| payload_for(comm.rank(), msg_len));
+        let ctx = StpCtx {
+            shape,
+            sources: &sources,
+            payload: payload.as_deref(),
+        };
+        alg.run(comm, &ctx).await.len() == sources.len()
+    });
+    assert!(
+        out.results.iter().all(|&ok| ok),
+        "{} failed verification (s={s}, L={msg_len}, exec={})",
+        kind.name(),
+        exec.name()
+    );
+    out.makespan_ns as f64 / 1e6
+}
+
 /// A labelled series (one curve of a figure).
 #[derive(Debug, Clone)]
 pub struct Series {

@@ -31,7 +31,7 @@ use mpp_runtime::{Communicator, Message, Payload, Tag};
 /// # Panics
 /// Panics if the calling rank is not in `order`, or if `data` presence
 /// disagrees with the caller's position.
-pub fn bcast_from_first<P: Into<Payload>>(
+pub async fn bcast_from_first<P: Into<Payload>>(
     comm: &mut dyn Communicator,
     order: &[usize],
     data: Option<P>,
@@ -63,7 +63,7 @@ pub fn bcast_from_first<P: Into<Payload>>(
             comm.next_iteration();
             hi = mid;
         } else if my_pos == mid {
-            let msg = comm.recv(Some(order[lo]), Some(tag_base + depth));
+            let msg = comm.recv(Some(order[lo]), Some(tag_base + depth)).await;
             payload = Some(msg.data);
             comm.next_iteration();
             lo = mid;
@@ -86,7 +86,7 @@ pub fn bcast_from_first<P: Into<Payload>>(
 /// Every rank in `senders` must pass `Some(payload)`; the root (whether or
 /// not it is a sender) receives and returns all messages sorted by source
 /// rank, other ranks return an empty vector.
-pub fn gather_direct(
+pub async fn gather_direct(
     comm: &mut dyn Communicator,
     root: usize,
     senders: &[usize],
@@ -115,7 +115,7 @@ pub fn gather_direct(
         }
         let expect = senders.iter().filter(|&&s| s != root).count();
         for _ in 0..expect {
-            out.push(comm.recv(None, Some(tag)));
+            out.push(comm.recv(None, Some(tag)).await);
         }
         out.sort_by_key(|m| m.src);
     }
@@ -147,7 +147,7 @@ pub fn exchange_partner(p: usize, round: usize, rank: usize) -> (usize, usize) {
 ///
 /// Non-sources "send null messages" in the paper's phrasing; here a null
 /// message is simply skipped, which is what a real implementation does.
-pub fn personalized_from_sources(
+pub async fn personalized_from_sources(
     comm: &mut dyn Communicator,
     is_source: &dyn Fn(usize) -> bool,
     my_payload: Option<&[u8]>,
@@ -174,7 +174,7 @@ pub fn personalized_from_sources(
             comm.send_payload(to, tag, pay.clone());
         }
         if is_source(from) {
-            out.push(comm.recv(Some(from), Some(tag)));
+            out.push(comm.recv(Some(from), Some(tag)).await);
         }
         comm.next_iteration();
     }
@@ -185,7 +185,7 @@ pub fn personalized_from_sources(
 /// Ring all-gather over an ordered participant list: after `n-1` rounds
 /// every participant holds every participant's payload, sorted by rank.
 /// Used by extension benchmarks as another library-style baseline.
-pub fn allgather_ring(
+pub async fn allgather_ring(
     comm: &mut dyn Communicator,
     order: &[usize],
     my_payload: &[u8],
@@ -219,7 +219,7 @@ pub fn allgather_ring(
     let mut forward = mine;
     for k in 0..n - 1 {
         comm.send_payload(next, tag, forward.clone());
-        let got = comm.recv(Some(prev), Some(tag));
+        let got = comm.recv(Some(prev), Some(tag)).await;
         forward = got.data.clone();
         let origin = order[(my_pos + n - 1 - k) % n];
         out.push(Message {
@@ -236,7 +236,7 @@ pub fn allgather_ring(
 /// Dissemination barrier implemented with real messages (an alternative
 /// to the kernel's modelled barrier): `⌈log₂ p⌉` rounds; in round `k`
 /// rank `r` signals `(r + 2^k) mod p` and waits for `(r - 2^k) mod p`.
-pub fn barrier_dissemination(comm: &mut dyn Communicator, tag: Tag) {
+pub async fn barrier_dissemination(comm: &mut dyn Communicator, tag: Tag) {
     let p = comm.size();
     let me = comm.rank();
     let mut step = 1usize;
@@ -245,7 +245,7 @@ pub fn barrier_dissemination(comm: &mut dyn Communicator, tag: Tag) {
         let to = (me + step) % p;
         let from = (me + p - step) % p;
         comm.send(to, tag + round, &[]);
-        comm.recv(Some(from), Some(tag + round));
+        comm.recv(Some(from), Some(tag + round)).await;
         step <<= 1;
         round += 1;
     }
@@ -259,10 +259,10 @@ mod tests {
     #[test]
     fn bcast_reaches_everyone() {
         for p in [1usize, 2, 3, 5, 8, 13, 16] {
-            let out = run_threads(p, |comm| {
+            let out = run_threads(p, async |comm| {
                 let order: Vec<usize> = (0..comm.size()).collect();
                 let data = (comm.rank() == 0).then(|| b"payload".to_vec());
-                bcast_from_first(comm, &order, data, 100)
+                bcast_from_first(comm, &order, data, 100).await
             });
             for r in out.results {
                 assert_eq!(r, b"payload");
@@ -272,10 +272,10 @@ mod tests {
 
     #[test]
     fn bcast_respects_arbitrary_order() {
-        let out = run_threads(6, |comm| {
+        let out = run_threads(6, async |comm| {
             let order = vec![3usize, 1, 4, 0, 5, 2];
             let data = (comm.rank() == 3).then(|| vec![9u8; 32]);
-            bcast_from_first(comm, &order, data, 0)
+            bcast_from_first(comm, &order, data, 0).await
         });
         for r in out.results {
             assert_eq!(r, vec![9u8; 32]);
@@ -284,12 +284,12 @@ mod tests {
 
     #[test]
     fn gather_collects_sorted() {
-        let out = run_threads(6, |comm| {
+        let out = run_threads(6, async |comm| {
             let senders = vec![1usize, 4, 5];
             let mine = senders
                 .contains(&comm.rank())
                 .then(|| vec![comm.rank() as u8]);
-            gather_direct(comm, 0, &senders, mine.as_deref(), 7)
+            gather_direct(comm, 0, &senders, mine.as_deref(), 7).await
         });
         let at_root = &out.results[0];
         assert_eq!(at_root.len(), 3);
@@ -302,12 +302,12 @@ mod tests {
 
     #[test]
     fn gather_with_root_as_sender() {
-        let out = run_threads(4, |comm| {
+        let out = run_threads(4, async |comm| {
             let senders = vec![0usize, 2];
             let mine = senders
                 .contains(&comm.rank())
                 .then(|| vec![comm.rank() as u8 + 10]);
-            gather_direct(comm, 0, &senders, mine.as_deref(), 1)
+            gather_direct(comm, 0, &senders, mine.as_deref(), 1).await
         });
         let at_root = &out.results[0];
         assert_eq!(
@@ -350,11 +350,11 @@ mod tests {
     #[test]
     fn personalized_delivers_all_source_payloads() {
         for p in [4usize, 6, 8] {
-            let out = run_threads(p, |comm| {
+            let out = run_threads(p, async |comm| {
                 let sources = [0usize, 2, 3];
                 let is_src = |r: usize| sources.contains(&r);
                 let mine = is_src(comm.rank()).then(|| vec![comm.rank() as u8; 16]);
-                personalized_from_sources(comm, &is_src, mine.as_deref(), 50)
+                personalized_from_sources(comm, &is_src, mine.as_deref(), 50).await
             });
             for msgs in out.results {
                 assert_eq!(
@@ -370,10 +370,10 @@ mod tests {
 
     #[test]
     fn allgather_ring_all_payloads() {
-        let out = run_threads(5, |comm| {
+        let out = run_threads(5, async |comm| {
             let order: Vec<usize> = (0..comm.size()).collect();
             let payload = [comm.rank() as u8; 8];
-            allgather_ring(comm, &order, &payload, 3)
+            allgather_ring(comm, &order, &payload, 3).await
         });
         for msgs in out.results {
             assert_eq!(msgs.len(), 5);
@@ -386,7 +386,7 @@ mod tests {
 
     #[test]
     fn allgather_single_rank() {
-        let out = run_threads(1, |comm| allgather_ring(comm, &[0], b"solo", 1));
+        let out = run_threads(1, async |comm| allgather_ring(comm, &[0], b"solo", 1).await);
         assert_eq!(out.results[0][0].data, b"solo");
     }
 
@@ -394,9 +394,9 @@ mod tests {
     fn dissemination_barrier_completes() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let count = AtomicUsize::new(0);
-        let out = run_threads(7, |comm| {
+        let out = run_threads(7, async |comm| {
             count.fetch_add(1, Ordering::SeqCst);
-            barrier_dissemination(comm, 900);
+            barrier_dissemination(comm, 900).await;
             count.load(Ordering::SeqCst)
         });
         assert!(out.results.iter().all(|&v| v == 7));
@@ -433,7 +433,7 @@ fn unframe_chunks(bytes: &[u8]) -> Vec<Vec<u8>> {
 /// participant; at each recursion step the segment holder forwards the
 /// second half's chunks in one combined message, so the root sends
 /// `⌈log₂ n⌉` messages instead of `n-1`.
-pub fn scatter_from_first(
+pub async fn scatter_from_first(
     comm: &mut dyn Communicator,
     order: &[usize],
     chunks: Option<Vec<Vec<u8>>>,
@@ -468,7 +468,7 @@ pub fn scatter_from_first(
             comm.send(order[mid], tag_base + depth, &frame_chunks(&second_half));
             hi = mid;
         } else if my_pos == mid {
-            let msg = comm.recv(Some(order[lo]), Some(tag_base + depth));
+            let msg = comm.recv(Some(order[lo]), Some(tag_base + depth)).await;
             mine = Some(unframe_chunks(&msg.data.contiguous()));
             lo = mid;
         } else if my_pos < mid {
@@ -490,11 +490,11 @@ pub type Combine<'a> = &'a dyn Fn(&[u8], &[u8]) -> Vec<u8>;
 /// Binomial-tree reduction to the first participant: combines every
 /// participant's contribution with the associative `combine` function.
 /// Returns `Some(total)` at the root, `None` elsewhere.
-pub fn reduce_to_first(
+pub async fn reduce_to_first(
     comm: &mut dyn Communicator,
     order: &[usize],
     my_contrib: &[u8],
-    combine: Combine,
+    combine: Combine<'_>,
     tag_base: Tag,
 ) -> Option<Vec<u8>> {
     let me = comm.rank();
@@ -525,7 +525,7 @@ pub fn reduce_to_first(
             comm.next_iteration();
             return None; // contribution handed up; done
         } else if my_pos == lo {
-            let msg = comm.recv(Some(order[mid]), Some(tag));
+            let msg = comm.recv(Some(order[mid]), Some(tag)).await;
             acc = combine(&acc, &msg.data.contiguous());
             comm.next_iteration();
         }
@@ -534,15 +534,17 @@ pub fn reduce_to_first(
 }
 
 /// All-reduce: binomial reduction followed by a broadcast of the result.
-pub fn allreduce(
+pub async fn allreduce(
     comm: &mut dyn Communicator,
     order: &[usize],
     my_contrib: &[u8],
-    combine: Combine,
+    combine: Combine<'_>,
     tag_base: Tag,
 ) -> Vec<u8> {
-    let reduced = reduce_to_first(comm, order, my_contrib, combine, tag_base);
-    bcast_from_first(comm, order, reduced, tag_base + 64).to_vec()
+    let reduced = reduce_to_first(comm, order, my_contrib, combine, tag_base).await;
+    bcast_from_first(comm, order, reduced, tag_base + 64)
+        .await
+        .to_vec()
 }
 
 #[cfg(test)]
@@ -559,14 +561,14 @@ mod extended_tests {
     #[test]
     fn scatter_delivers_per_rank_chunks() {
         for p in [1usize, 2, 3, 5, 8, 11] {
-            let out = run_threads(p, |comm| {
+            let out = run_threads(p, async |comm| {
                 let order: Vec<usize> = (0..comm.size()).collect();
                 let chunks = (comm.rank() == 0).then(|| {
                     (0..comm.size())
                         .map(|i| vec![i as u8; i + 1])
                         .collect::<Vec<_>>()
                 });
-                scatter_from_first(comm, &order, chunks, 400)
+                scatter_from_first(comm, &order, chunks, 400).await
             });
             for (rank, chunk) in out.results.iter().enumerate() {
                 assert_eq!(chunk, &vec![rank as u8; rank + 1], "p={p} rank={rank}");
@@ -576,11 +578,11 @@ mod extended_tests {
 
     #[test]
     fn scatter_respects_arbitrary_order() {
-        let out = run_threads(4, |comm| {
+        let out = run_threads(4, async |comm| {
             let order = vec![2usize, 0, 3, 1];
             let chunks = (comm.rank() == 2)
                 .then(|| vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
-            scatter_from_first(comm, &order, chunks, 0)
+            scatter_from_first(comm, &order, chunks, 0).await
         });
         assert_eq!(out.results[2], b"a");
         assert_eq!(out.results[0], b"b");
@@ -591,10 +593,10 @@ mod extended_tests {
     #[test]
     fn reduce_sums_everything_at_root() {
         for p in [1usize, 2, 3, 6, 9, 16] {
-            let out = run_threads(p, |comm| {
+            let out = run_threads(p, async |comm| {
                 let order: Vec<usize> = (0..comm.size()).collect();
                 let contrib = (comm.rank() as u64 + 1).to_le_bytes();
-                reduce_to_first(comm, &order, &contrib, &sum_u64, 500)
+                reduce_to_first(comm, &order, &contrib, &sum_u64, 500).await
             });
             let want = (p as u64) * (p as u64 + 1) / 2;
             let at_root = out.results[0].as_ref().expect("root gets the total");
@@ -611,10 +613,10 @@ mod extended_tests {
 
     #[test]
     fn allreduce_agrees_everywhere() {
-        let out = run_threads(7, |comm| {
+        let out = run_threads(7, async |comm| {
             let order: Vec<usize> = (0..comm.size()).collect();
             let contrib = (comm.rank() as u64).to_le_bytes();
-            allreduce(comm, &order, &contrib, &sum_u64, 600)
+            allreduce(comm, &order, &contrib, &sum_u64, 600).await
         });
         for r in out.results {
             assert_eq!(u64::from_le_bytes(r[..].try_into().unwrap()), 21);

@@ -12,7 +12,7 @@
 //! score falls below a threshold.
 
 use mpp_model::MeshShape;
-use mpp_runtime::Communicator;
+use mpp_runtime::{CommFuture, Communicator};
 
 use crate::algorithms::{Repos, StpAlgorithm, StpCtx};
 use crate::msgset::MessageSet;
@@ -54,12 +54,18 @@ impl<A: StpAlgorithm + Copy> StpAlgorithm for ReposAdaptive<A> {
         self.name
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        if self.would_reposition(ctx.shape, ctx.sources) {
-            Repos::new(self.base, self.name).run(comm, ctx)
-        } else {
-            self.base.run(comm, ctx)
-        }
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            if self.would_reposition(ctx.shape, ctx.sources) {
+                Repos::new(self.base, self.name).run(comm, ctx).await
+            } else {
+                self.base.run(comm, ctx).await
+            }
+        })
     }
 
     fn ideal_sources(&self, shape: MeshShape, s: usize) -> Option<Vec<usize>> {
@@ -104,7 +110,7 @@ mod tests {
         let alg = adaptive();
         for dist in [SourceDist::SquareBlock, SourceDist::Row] {
             let sources = dist.place(shape, 16);
-            let out = run_threads(shape.p(), |comm| {
+            let out = run_threads(shape.p(), async |comm| {
                 let payload = sources
                     .binary_search(&comm.rank())
                     .is_ok()
@@ -114,7 +120,7 @@ mod tests {
                     sources: &sources,
                     payload: payload.as_deref(),
                 };
-                let set = alg.run(comm, &ctx);
+                let set = alg.run(comm, &ctx).await;
                 set.sources().collect::<Vec<_>>() == sources
             });
             assert!(out.results.iter().all(|&ok| ok), "{}", dist.name());
@@ -143,18 +149,19 @@ mod tests {
         let alg = adaptive();
         let adaptive_ns = |dist: SourceDist| {
             let sources = dist.place(shape, 75);
-            let out = mpp_runtime::run_simulated(&machine, mpp_model::LibraryKind::Nx, |comm| {
-                let payload = sources
-                    .binary_search(&comm.rank())
-                    .is_ok()
-                    .then(|| payload_for(comm.rank(), 6144));
-                let ctx = StpCtx {
-                    shape,
-                    sources: &sources,
-                    payload: payload.as_deref(),
-                };
-                alg.run(comm, &ctx).len()
-            });
+            let out =
+                mpp_runtime::run_simulated(&machine, mpp_model::LibraryKind::Nx, async |comm| {
+                    let payload = sources
+                        .binary_search(&comm.rank())
+                        .is_ok()
+                        .then(|| payload_for(comm.rank(), 6144));
+                    let ctx = StpCtx {
+                        shape,
+                        sources: &sources,
+                        payload: payload.as_deref(),
+                    };
+                    alg.run(comm, &ctx).await.len()
+                });
             out.makespan_ns as f64
         };
 

@@ -11,7 +11,7 @@
 //! line (spread the smallest messages first).
 
 use mpp_model::MeshShape;
-use mpp_runtime::{Communicator, Tag};
+use mpp_runtime::{CommFuture, Communicator, Tag};
 
 use crate::algorithms::{br_lin_over, StpAlgorithm, StpCtx};
 use crate::msgset::MessageSet;
@@ -126,46 +126,52 @@ impl StpAlgorithm for BrDims {
         "Br_dims"
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        assert_eq!(
-            self.grid.p(),
-            comm.size(),
-            "grid does not match communicator"
-        );
-        let me = comm.rank();
-        let my_coords = self.grid.coords(me);
-        let n = self.grid.extents.len();
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            assert_eq!(
+                self.grid.p(),
+                comm.size(),
+                "grid does not match communicator"
+            );
+            let me = comm.rank();
+            let my_coords = self.grid.coords(me);
+            let n = self.grid.extents.len();
 
-        let mut set = match ctx.payload {
-            Some(p) => MessageSet::single(me, p),
-            None => MessageSet::new(),
-        };
+            let mut set = match ctx.payload {
+                Some(p) => MessageSet::single(me, p),
+                None => MessageSet::new(),
+            };
 
-        // A rank "has" messages before phase k iff its processed-dims
-        // slice contains a source; track with a slice-key set.
-        let order = self.dim_order(ctx.sources);
-        let mut processed: Vec<usize> = Vec::new();
-        for (phase, &d) in order.iter().enumerate() {
-            let line = self.grid.line(&my_coords, d);
-            let has: Vec<bool> = line
-                .iter()
-                .map(|&r| {
-                    // Before phase d, r holds messages iff some source
-                    // matches r on every dimension not yet processed
-                    // (including d itself — only the processed slices
-                    // have been unioned so far).
-                    let rc = self.grid.coords(r);
-                    ctx.sources.iter().any(|&s| {
-                        let sc = self.grid.coords(s);
-                        (0..n).all(|dd| processed.contains(&dd) || sc[dd] == rc[dd])
+            // A rank "has" messages before phase k iff its processed-dims
+            // slice contains a source; track with a slice-key set.
+            let order = self.dim_order(ctx.sources);
+            let mut processed: Vec<usize> = Vec::new();
+            for (phase, &d) in order.iter().enumerate() {
+                let line = self.grid.line(&my_coords, d);
+                let has: Vec<bool> = line
+                    .iter()
+                    .map(|&r| {
+                        // Before phase d, r holds messages iff some source
+                        // matches r on every dimension not yet processed
+                        // (including d itself — only the processed slices
+                        // have been unioned so far).
+                        let rc = self.grid.coords(r);
+                        ctx.sources.iter().any(|&s| {
+                            let sc = self.grid.coords(s);
+                            (0..n).all(|dd| processed.contains(&dd) || sc[dd] == rc[dd])
+                        })
                     })
-                })
-                .collect();
-            br_lin_over(comm, &line, &has, &mut set, TAG + (phase as Tag) * 64);
-            processed.push(d);
-        }
-        set
+                    .collect();
+                br_lin_over(comm, &line, &has, &mut set, TAG + (phase as Tag) * 64).await;
+                processed.push(d);
+            }
+            set
+        })
     }
 
     fn ideal_sources(&self, _shape: MeshShape, _s: usize) -> Option<Vec<usize>> {
@@ -185,7 +191,7 @@ mod tests {
         // The 2-D StpCtx shape is only used for validation bookkeeping.
         let shape = MeshShape::near_square(p);
         let alg = BrDims::new(grid);
-        let out = run_threads(p, |comm| {
+        let out = run_threads(p, async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -194,7 +200,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx)
+            alg.run(comm, &ctx).await
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");

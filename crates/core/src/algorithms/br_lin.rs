@@ -1,6 +1,6 @@
 //! `Br_Lin` (paper §2): recursive pairing on a linear processor order.
 
-use mpp_runtime::Communicator;
+use mpp_runtime::{CommFuture, Communicator};
 
 use crate::algorithms::{br_lin_over, tags, StpAlgorithm, StpCtx};
 use crate::msgset::MessageSet;
@@ -43,19 +43,25 @@ impl StpAlgorithm for BrLin {
         "Br_Lin"
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let order: Vec<usize> = match self.order {
-            LinearOrder::Snake => ctx.shape.snake_order(),
-            LinearOrder::RowMajor => (0..ctx.shape.p()).collect(),
-        };
-        let has: Vec<bool> = order.iter().map(|&r| ctx.is_source(r)).collect();
-        let mut set = match ctx.payload {
-            Some(p) => MessageSet::single(comm.rank(), p),
-            None => MessageSet::new(),
-        };
-        br_lin_over(comm, &order, &has, &mut set, tags::BR_LIN);
-        set
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let order: Vec<usize> = match self.order {
+                LinearOrder::Snake => ctx.shape.snake_order(),
+                LinearOrder::RowMajor => (0..ctx.shape.p()).collect(),
+            };
+            let has: Vec<bool> = order.iter().map(|&r| ctx.is_source(r)).collect();
+            let mut set = match ctx.payload {
+                Some(p) => MessageSet::single(comm.rank(), p),
+                None => MessageSet::new(),
+            };
+            br_lin_over(comm, &order, &has, &mut set, tags::BR_LIN).await;
+            set
+        })
     }
 
     fn ideal_sources(&self, shape: mpp_model::MeshShape, s: usize) -> Option<Vec<usize>> {
@@ -74,7 +80,7 @@ mod tests {
     use crate::msgset::payload_for;
 
     fn check(shape: MeshShape, sources: Vec<usize>, len: usize, alg: BrLin) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -83,7 +89,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx)
+            alg.run(comm, &ctx).await
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");

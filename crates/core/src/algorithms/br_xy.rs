@@ -10,7 +10,7 @@
 //! * `Br_xy_dim`: rows first iff `r ≥ c`, ignoring source positions.
 
 use mpp_model::MeshShape;
-use mpp_runtime::{Communicator, Tag};
+use mpp_runtime::{CommFuture, Communicator, Tag};
 
 use crate::algorithms::{br_lin_over, tags, StpAlgorithm, StpCtx};
 use crate::distribution::{col_counts, row_counts};
@@ -101,7 +101,7 @@ pub fn shape_dim_order(shape: MeshShape) -> DimOrder {
 ///
 /// Exposed for the partitioning algorithms, which run it on machine
 /// halves.
-pub(crate) fn run_xy_on_plan(
+pub(crate) async fn run_xy_on_plan(
     comm: &mut dyn Communicator,
     plan: &XyPlan,
     sources_pos: &[usize],
@@ -137,20 +137,20 @@ pub(crate) fn run_xy_on_plan(
             let has: Vec<bool> = (0..plan.shape.cols)
                 .map(|c| is_source_pos(plan.shape.rank(my_row, c)))
                 .collect();
-            br_lin_over(comm, &row_order, &has, set, tag_phase1);
+            br_lin_over(comm, &row_order, &has, set, tag_phase1).await;
             // Phase 2: Br_Lin within my column; a position holds messages
             // iff its row contained any source.
             let col_order = plan.col_order(my_col);
-            br_lin_over(comm, &col_order, &rows_hit, set, tag_phase2);
+            br_lin_over(comm, &col_order, &rows_hit, set, tag_phase2).await;
         }
         DimOrder::ColsFirst => {
             let col_order = plan.col_order(my_col);
             let has: Vec<bool> = (0..plan.shape.rows)
                 .map(|r| is_source_pos(plan.shape.rank(r, my_col)))
                 .collect();
-            br_lin_over(comm, &col_order, &has, set, tag_phase1);
+            br_lin_over(comm, &col_order, &has, set, tag_phase1).await;
             let row_order = plan.row_order(my_row);
-            br_lin_over(comm, &row_order, &cols_hit, set, tag_phase2);
+            br_lin_over(comm, &row_order, &cols_hit, set, tag_phase2).await;
         }
     }
 }
@@ -164,24 +164,31 @@ impl StpAlgorithm for BrXySource {
         "Br_xy_source"
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let plan = XyPlan::identity(ctx.shape);
-        let order = source_dim_order(ctx.shape, ctx.sources);
-        let mut set = match ctx.payload {
-            Some(p) => MessageSet::single(comm.rank(), p),
-            None => MessageSet::new(),
-        };
-        run_xy_on_plan(
-            comm,
-            &plan,
-            ctx.sources,
-            order,
-            &mut set,
-            tags::BR_LIN,
-            tags::BR_XY_PHASE2,
-        );
-        set
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let plan = XyPlan::identity(ctx.shape);
+            let order = source_dim_order(ctx.shape, ctx.sources);
+            let mut set = match ctx.payload {
+                Some(p) => MessageSet::single(comm.rank(), p),
+                None => MessageSet::new(),
+            };
+            run_xy_on_plan(
+                comm,
+                &plan,
+                ctx.sources,
+                order,
+                &mut set,
+                tags::BR_LIN,
+                tags::BR_XY_PHASE2,
+            )
+            .await;
+            set
+        })
     }
 
     fn ideal_sources(&self, shape: MeshShape, s: usize) -> Option<Vec<usize>> {
@@ -199,24 +206,31 @@ impl StpAlgorithm for BrXyDim {
         "Br_xy_dim"
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let plan = XyPlan::identity(ctx.shape);
-        let order = shape_dim_order(ctx.shape);
-        let mut set = match ctx.payload {
-            Some(p) => MessageSet::single(comm.rank(), p),
-            None => MessageSet::new(),
-        };
-        run_xy_on_plan(
-            comm,
-            &plan,
-            ctx.sources,
-            order,
-            &mut set,
-            tags::BR_LIN,
-            tags::BR_XY_PHASE2,
-        );
-        set
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let plan = XyPlan::identity(ctx.shape);
+            let order = shape_dim_order(ctx.shape);
+            let mut set = match ctx.payload {
+                Some(p) => MessageSet::single(comm.rank(), p),
+                None => MessageSet::new(),
+            };
+            run_xy_on_plan(
+                comm,
+                &plan,
+                ctx.sources,
+                order,
+                &mut set,
+                tags::BR_LIN,
+                tags::BR_XY_PHASE2,
+            )
+            .await;
+            set
+        })
     }
 
     fn ideal_sources(&self, shape: MeshShape, s: usize) -> Option<Vec<usize>> {
@@ -233,7 +247,7 @@ mod tests {
     use crate::msgset::payload_for;
 
     fn check<A: StpAlgorithm>(alg: A, shape: MeshShape, sources: Vec<usize>, len: usize) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -242,7 +256,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx)
+            alg.run(comm, &ctx).await
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");

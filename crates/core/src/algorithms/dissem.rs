@@ -16,7 +16,7 @@
 //! Alltoall — evidence that Cray's library simply did not use it.
 
 use mpp_model::MeshShape;
-use mpp_runtime::Communicator;
+use mpp_runtime::{CommFuture, Communicator};
 
 use crate::algorithms::{StpAlgorithm, StpCtx};
 use crate::msgset::MessageSet;
@@ -64,55 +64,62 @@ impl StpAlgorithm for DissemAllGather {
         }
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let p = comm.size();
-        let me = comm.rank();
-        let mut set = match ctx.payload {
-            Some(pl) => MessageSet::single(me, pl),
-            None => MessageSet::new(),
-        };
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let p = comm.size();
+            let me = comm.rank();
+            let mut set = match ctx.payload {
+                Some(pl) => MessageSet::single(me, pl),
+                None => MessageSet::new(),
+            };
 
-        // Track which sources each rank holds per round (pure function of
-        // the source set, so both partners agree on whether a message
-        // flows without extra synchronization).
-        let mut holdings: Vec<Vec<bool>> = (0..p)
-            .map(|r| (0..p).map(|src| r == src && ctx.is_source(src)).collect())
-            .collect();
+            // Track which sources each rank holds per round (pure function of
+            // the source set, so both partners agree on whether a message
+            // flows without extra synchronization).
+            let mut holdings: Vec<Vec<bool>> = (0..p)
+                .map(|r| (0..p).map(|src| r == src && ctx.is_source(src)).collect())
+                .collect();
 
-        let mut step = 1usize;
-        let mut round: u32 = 0;
-        while step < p {
-            let to = (me + step) % p;
-            let from = (me + p - step) % p;
-            let i_send = holdings[me].iter().any(|&h| h);
-            let sender_has = holdings[from].iter().any(|&h| h);
-            if i_send {
-                comm.send_payload(to, TAG + round, set.to_payload());
-            }
-            if sender_has {
-                let msg = comm.recv(Some(from), Some(TAG + round));
-                if self.charge_combining {
-                    comm.charge_memcpy(msg.data.len());
+            let mut step = 1usize;
+            let mut round: u32 = 0;
+            while step < p {
+                let to = (me + step) % p;
+                let from = (me + p - step) % p;
+                let i_send = holdings[me].iter().any(|&h| h);
+                let sender_has = holdings[from].iter().any(|&h| h);
+                if i_send {
+                    comm.send_payload(to, TAG + round, set.to_payload());
                 }
-                let other = MessageSet::from_payload(&msg.data).expect("malformed dissemination");
-                set.merge(other);
-            }
-            // Advance the holdings model for every rank simultaneously.
-            let snapshot = holdings.clone();
-            for (r, row) in holdings.iter_mut().enumerate() {
-                let r_from = (r + p - step) % p;
-                for (src, held) in row.iter_mut().enumerate() {
-                    if snapshot[r_from][src] {
-                        *held = true;
+                if sender_has {
+                    let msg = comm.recv(Some(from), Some(TAG + round)).await;
+                    if self.charge_combining {
+                        comm.charge_memcpy(msg.data.len());
+                    }
+                    let other =
+                        MessageSet::from_payload(&msg.data).expect("malformed dissemination");
+                    set.merge(other);
+                }
+                // Advance the holdings model for every rank simultaneously.
+                let snapshot = holdings.clone();
+                for (r, row) in holdings.iter_mut().enumerate() {
+                    let r_from = (r + p - step) % p;
+                    for (src, held) in row.iter_mut().enumerate() {
+                        if snapshot[r_from][src] {
+                            *held = true;
+                        }
                     }
                 }
+                comm.next_iteration();
+                step <<= 1;
+                round += 1;
             }
-            comm.next_iteration();
-            step <<= 1;
-            round += 1;
-        }
-        set
+            set
+        })
     }
 
     fn ideal_sources(&self, _shape: MeshShape, _s: usize) -> Option<Vec<usize>> {
@@ -128,7 +135,7 @@ mod tests {
     use crate::msgset::payload_for;
 
     fn check(shape: MeshShape, sources: Vec<usize>, len: usize, alg: DissemAllGather) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -137,7 +144,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx)
+            alg.run(comm, &ctx).await
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");
@@ -182,7 +189,7 @@ mod tests {
     fn zero_copy_charges_nothing() {
         let shape = MeshShape::new(4, 4);
         let sources = vec![0usize, 7];
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), 64));
@@ -191,7 +198,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            let _ = DissemAllGather::zero_copy().run(comm, &ctx);
+            let _ = DissemAllGather::zero_copy().run(comm, &ctx).await;
             comm.stats().memcpy_bytes
         });
         assert!(out.results.iter().all(|&b| b == 0));

@@ -29,7 +29,7 @@ pub mod repos;
 pub mod two_step;
 
 use mpp_model::MeshShape;
-use mpp_runtime::{Communicator, Tag};
+use mpp_runtime::{CommFuture, Communicator, Tag};
 
 use crate::msgset::MessageSet;
 use crate::pattern::br_lin_schedule;
@@ -100,14 +100,22 @@ impl StpCtx<'_> {
 
 /// An s-to-p broadcasting algorithm.
 ///
-/// `run` is executed by *every* rank; on return each rank holds the
+/// `run` is executed by *every* rank; on completion each rank holds the
 /// complete [`MessageSet`] of all `s` source messages.
 pub trait StpAlgorithm: Sync {
     /// Name as used in the paper ("Br_Lin", "2-Step", …).
     fn name(&self) -> &'static str;
 
     /// Execute the broadcast from this rank's perspective.
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet;
+    ///
+    /// Returns a boxed future so the trait stays object-safe: rank
+    /// programs are resumable state machines on the simulator's
+    /// cooperative executor, and suspend at every `recv`/`barrier`.
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet>;
 
     /// An ideal source distribution of `s` sources for this algorithm on
     /// `shape`, as sorted row-major positions — the target the
@@ -151,7 +159,7 @@ pub(crate) mod tags {
 ///
 /// One `next_iteration` is recorded per level so the Figure-2 metrics
 /// can be derived.
-pub(crate) fn br_lin_over(
+pub(crate) async fn br_lin_over(
     comm: &mut dyn Communicator,
     order: &[usize],
     has: &[bool],
@@ -183,7 +191,7 @@ pub(crate) fn br_lin_over(
             }
         }
         for op in my_ops.iter().filter(|op| op.recv) {
-            let msg = comm.recv(Some(order[op.peer]), Some(tag));
+            let msg = comm.recv(Some(order[op.peer]), Some(tag)).await;
             // Combining cost in *virtual* time: the model still charges
             // for copying the received bytes into the merged buffer, even
             // though the host-side merge only moves rope pointers.
@@ -205,7 +213,7 @@ mod tests {
     fn br_lin_over_spreads_to_all() {
         for p in [4usize, 7, 10] {
             let sources = vec![1usize, p - 1];
-            let out = run_threads(p, |comm| {
+            let out = run_threads(p, async |comm| {
                 let order: Vec<usize> = (0..comm.size()).collect();
                 let has: Vec<bool> = order.iter().map(|r| sources.contains(r)).collect();
                 let mut set = if sources.contains(&comm.rank()) {
@@ -213,7 +221,7 @@ mod tests {
                 } else {
                     MessageSet::new()
                 };
-                br_lin_over(comm, &order, &has, &mut set, tags::BR_LIN);
+                br_lin_over(comm, &order, &has, &mut set, tags::BR_LIN).await;
                 set
             });
             for set in out.results {
@@ -225,7 +233,7 @@ mod tests {
 
     #[test]
     fn ctx_validation_catches_mismatch() {
-        let out = run_threads(2, |comm| {
+        let out = run_threads(2, async |comm| {
             let ctx = StpCtx {
                 shape: MeshShape::new(1, 2),
                 sources: &[0],

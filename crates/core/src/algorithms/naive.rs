@@ -17,7 +17,7 @@
 //! coordination-free approach actually loses on each machine.
 
 use mpp_model::MeshShape;
-use mpp_runtime::{Communicator, Payload, Tag};
+use mpp_runtime::{CommFuture, Communicator, Payload, Tag};
 
 use crate::algorithms::{StpAlgorithm, StpCtx};
 use crate::msgset::MessageSet;
@@ -34,64 +34,70 @@ impl StpAlgorithm for NaiveIndependent {
         "NaiveIndependent"
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let p = comm.size();
-        let me = comm.rank();
-        let mut set = match ctx.payload {
-            Some(pl) => MessageSet::single(me, pl),
-            None => MessageSet::new(),
-        };
-
-        // For each source, everyone participates in that source's
-        // broadcast tree: ranks are rotated so the source sits at
-        // position 0. The trees execute without any cross-source
-        // coordination — a rank simply walks each tree's segment path,
-        // receiving and forwarding.
-        //
-        // To keep the simulation honest about *lack* of coordination,
-        // sends for all trees are issued as soon as the data for that
-        // tree is available (recv order across trees is unconstrained at
-        // a rank: it processes trees in source order, which matches a
-        // single-threaded handler draining its queue).
-        for (idx, &src) in ctx.sources.iter().enumerate() {
-            let tag = TAG + idx as Tag;
-            let my_pos = (me + p - src) % p; // position in the rotated order
-            let rank_at = |pos: usize| (pos + src) % p;
-
-            let mut payload: Option<Payload> = if me == src {
-                Some(Payload::from_slice(
-                    ctx.payload.expect("source must hold a payload"),
-                ))
-            } else {
-                None
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let p = comm.size();
+            let me = comm.rank();
+            let mut set = match ctx.payload {
+                Some(pl) => MessageSet::single(me, pl),
+                None => MessageSet::new(),
             };
-            let mut lo = 0usize;
-            let mut hi = p;
-            while hi - lo > 1 {
-                let mid = lo + (hi - lo).div_ceil(2);
-                if my_pos == lo {
-                    // Forward the shared rope — no byte copies per hop.
-                    let buf = payload.clone().expect("tree holder must have data");
-                    comm.send_payload(rank_at(mid), tag, buf);
-                    hi = mid;
-                } else if my_pos == mid {
-                    let m = comm.recv(Some(rank_at(lo)), Some(tag));
-                    payload = Some(m.data);
-                    lo = mid;
-                } else if my_pos < mid {
-                    hi = mid;
+
+            // For each source, everyone participates in that source's
+            // broadcast tree: ranks are rotated so the source sits at
+            // position 0. The trees execute without any cross-source
+            // coordination — a rank simply walks each tree's segment path,
+            // receiving and forwarding.
+            //
+            // To keep the simulation honest about *lack* of coordination,
+            // sends for all trees are issued as soon as the data for that
+            // tree is available (recv order across trees is unconstrained at
+            // a rank: it processes trees in source order, which matches a
+            // single-threaded handler draining its queue).
+            for (idx, &src) in ctx.sources.iter().enumerate() {
+                let tag = TAG + idx as Tag;
+                let my_pos = (me + p - src) % p; // position in the rotated order
+                let rank_at = |pos: usize| (pos + src) % p;
+
+                let mut payload: Option<Payload> = if me == src {
+                    Some(Payload::from_slice(
+                        ctx.payload.expect("source must hold a payload"),
+                    ))
                 } else {
-                    lo = mid;
+                    None
+                };
+                let mut lo = 0usize;
+                let mut hi = p;
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo).div_ceil(2);
+                    if my_pos == lo {
+                        // Forward the shared rope — no byte copies per hop.
+                        let buf = payload.clone().expect("tree holder must have data");
+                        comm.send_payload(rank_at(mid), tag, buf);
+                        hi = mid;
+                    } else if my_pos == mid {
+                        let m = comm.recv(Some(rank_at(lo)), Some(tag)).await;
+                        payload = Some(m.data);
+                        lo = mid;
+                    } else if my_pos < mid {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
                 }
+                set.insert_payload(
+                    src,
+                    payload.expect("broadcast tree did not reach this rank"),
+                );
             }
-            set.insert_payload(
-                src,
-                payload.expect("broadcast tree did not reach this rank"),
-            );
-        }
-        comm.next_iteration();
-        set
+            comm.next_iteration();
+            set
+        })
     }
 
     fn ideal_sources(&self, _shape: MeshShape, _s: usize) -> Option<Vec<usize>> {
@@ -107,7 +113,7 @@ mod tests {
     use crate::msgset::payload_for;
 
     fn check(shape: MeshShape, sources: Vec<usize>, len: usize) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -116,7 +122,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            NaiveIndependent.run(comm, &ctx)
+            NaiveIndependent.run(comm, &ctx).await
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");
@@ -153,7 +159,7 @@ mod tests {
         let shape = MeshShape::new(4, 4);
         let ops_for = |s: usize| {
             let sources: Vec<usize> = (0..s).collect();
-            let out = run_threads(shape.p(), |comm| {
+            let out = run_threads(shape.p(), async |comm| {
                 let payload = sources
                     .contains(&comm.rank())
                     .then(|| payload_for(comm.rank(), 16));
@@ -162,7 +168,7 @@ mod tests {
                     sources: &sources,
                     payload: payload.as_deref(),
                 };
-                let _ = NaiveIndependent.run(comm, &ctx);
+                let _ = NaiveIndependent.run(comm, &ctx).await;
                 comm.stats().total_ops()
             });
             out.results.iter().max().copied().unwrap()

@@ -11,7 +11,7 @@
 //! large messages dominates — a result our benches reproduce.
 
 use mpp_model::MeshShape;
-use mpp_runtime::Communicator;
+use mpp_runtime::{CommFuture, Communicator};
 
 use crate::algorithms::br_xy::{run_xy_on_plan, shape_dim_order, source_dim_order, XyPlan};
 use crate::algorithms::{
@@ -25,73 +25,82 @@ pub trait PlanRunnable: StpAlgorithm + Copy {
     /// Run the algorithm within the plan. `sources_pos` are the sorted
     /// row-major *plan positions* that initially hold messages; `set` is
     /// this rank's holdings and must agree with membership. Only ranks in
-    /// the plan call this.
-    fn run_on_plan(
-        &self,
-        comm: &mut dyn Communicator,
-        plan: &XyPlan,
-        sources_pos: &[usize],
-        set: &mut MessageSet,
-    );
+    /// the plan call this. Boxed future for object-safety symmetry with
+    /// [`StpAlgorithm::run`].
+    fn run_on_plan<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        plan: &'a XyPlan,
+        sources_pos: &'a [usize],
+        set: &'a mut MessageSet,
+    ) -> CommFuture<'a, ()>;
 }
 
 impl PlanRunnable for BrLin {
-    fn run_on_plan(
-        &self,
-        comm: &mut dyn Communicator,
-        plan: &XyPlan,
-        sources_pos: &[usize],
-        set: &mut MessageSet,
-    ) {
-        let snake = plan.shape.snake_order();
-        let order: Vec<usize> = snake.iter().map(|&i| plan.ranks[i]).collect();
-        let has: Vec<bool> = snake
-            .iter()
-            .map(|i| sources_pos.binary_search(i).is_ok())
-            .collect();
-        br_lin_over(comm, &order, &has, set, tags::BR_LIN);
+    fn run_on_plan<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        plan: &'a XyPlan,
+        sources_pos: &'a [usize],
+        set: &'a mut MessageSet,
+    ) -> CommFuture<'a, ()> {
+        Box::pin(async move {
+            let snake = plan.shape.snake_order();
+            let order: Vec<usize> = snake.iter().map(|&i| plan.ranks[i]).collect();
+            let has: Vec<bool> = snake
+                .iter()
+                .map(|i| sources_pos.binary_search(i).is_ok())
+                .collect();
+            br_lin_over(comm, &order, &has, set, tags::BR_LIN).await;
+        })
     }
 }
 
 impl PlanRunnable for BrXySource {
-    fn run_on_plan(
-        &self,
-        comm: &mut dyn Communicator,
-        plan: &XyPlan,
-        sources_pos: &[usize],
-        set: &mut MessageSet,
-    ) {
-        let order = source_dim_order(plan.shape, sources_pos);
-        run_xy_on_plan(
-            comm,
-            plan,
-            sources_pos,
-            order,
-            set,
-            tags::BR_LIN,
-            tags::BR_XY_PHASE2,
-        );
+    fn run_on_plan<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        plan: &'a XyPlan,
+        sources_pos: &'a [usize],
+        set: &'a mut MessageSet,
+    ) -> CommFuture<'a, ()> {
+        Box::pin(async move {
+            let order = source_dim_order(plan.shape, sources_pos);
+            run_xy_on_plan(
+                comm,
+                plan,
+                sources_pos,
+                order,
+                set,
+                tags::BR_LIN,
+                tags::BR_XY_PHASE2,
+            )
+            .await;
+        })
     }
 }
 
 impl PlanRunnable for BrXyDim {
-    fn run_on_plan(
-        &self,
-        comm: &mut dyn Communicator,
-        plan: &XyPlan,
-        sources_pos: &[usize],
-        set: &mut MessageSet,
-    ) {
-        let order = shape_dim_order(plan.shape);
-        run_xy_on_plan(
-            comm,
-            plan,
-            sources_pos,
-            order,
-            set,
-            tags::BR_LIN,
-            tags::BR_XY_PHASE2,
-        );
+    fn run_on_plan<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        plan: &'a XyPlan,
+        sources_pos: &'a [usize],
+        set: &'a mut MessageSet,
+    ) -> CommFuture<'a, ()> {
+        Box::pin(async move {
+            let order = shape_dim_order(plan.shape);
+            run_xy_on_plan(
+                comm,
+                plan,
+                sources_pos,
+                order,
+                set,
+                tags::BR_LIN,
+                tags::BR_XY_PHASE2,
+            )
+            .await;
+        })
     }
 }
 
@@ -163,106 +172,120 @@ impl<A: PlanRunnable> StpAlgorithm for Part<A> {
         self.name
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let Some(partition) = split_mesh(ctx.shape) else {
-            // Odd machine: no equal split — fall back to repositioning
-            // alone, which partitions degenerate to anyway.
-            return Repos::new(self.base, self.name).run(comm, ctx);
-        };
-        let me = comm.rank();
-        let s = ctx.s();
-        let p = ctx.shape.p();
-        let p1 = partition.g1.shape.p();
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let Some(partition) = split_mesh(ctx.shape) else {
+                // Odd machine: no equal split — fall back to repositioning
+                // alone, which partitions degenerate to anyway.
+                return Repos::new(self.base, self.name).run(comm, ctx).await;
+            };
+            let me = comm.rank();
+            let s = ctx.s();
+            let p = ctx.shape.p();
+            let p1 = partition.g1.shape.p();
 
-        // Proportional source split: p1/p2 = 1, so s1 = ⌈s/2⌉.
-        let s1 = (s * p1 + p / 2) / p;
-        let s2 = s - s1;
+            // Proportional source split: p1/p2 = 1, so s1 = ⌈s/2⌉.
+            let s1 = (s * p1 + p / 2) / p;
+            let s2 = s - s1;
 
-        // Ideal targets inside each group (plan positions → global ranks).
-        let t1_pos = if s1 > 0 {
-            self.base
-                .ideal_sources(partition.g1.shape, s1)
-                .expect("base must define an ideal")
-        } else {
-            Vec::new()
-        };
-        let t2_pos = if s2 > 0 {
-            self.base
-                .ideal_sources(partition.g2.shape, s2)
-                .expect("base must define an ideal")
-        } else {
-            Vec::new()
-        };
-        let mut t1_global: Vec<usize> = t1_pos.iter().map(|&i| partition.g1.ranks[i]).collect();
-        let mut t2_global: Vec<usize> = t2_pos.iter().map(|&i| partition.g2.ranks[i]).collect();
-        t1_global.sort_unstable();
-        t2_global.sort_unstable();
-
-        // The permutation: sources (ascending) fill G1's targets then
-        // G2's. origin_of[k] = original source whose message lands on
-        // targets_all[k].
-        let targets_all: Vec<usize> = t1_global.iter().chain(t2_global.iter()).copied().collect();
-
-        // Phase 0: partial permutation.
-        if let Some(payload) = ctx.payload {
-            let i = ctx.sources.binary_search(&me).unwrap();
-            let to = targets_all[i];
-            if to != me {
-                comm.send(to, tags::PART_REPOS, payload);
-            }
-        }
-        let mut new_payload: Option<Vec<u8>> = None;
-        if let Some(k) = targets_all.iter().position(|&t| t == me) {
-            let from = ctx.sources[k];
-            if from == me {
-                new_payload = ctx.payload.map(<[u8]>::to_vec);
+            // Ideal targets inside each group (plan positions → global ranks).
+            let t1_pos = if s1 > 0 {
+                self.base
+                    .ideal_sources(partition.g1.shape, s1)
+                    .expect("base must define an ideal")
             } else {
-                new_payload = Some(comm.recv(Some(from), Some(tags::PART_REPOS)).data.to_vec());
-            }
-        }
-        comm.next_iteration();
-
-        // Phase 1: base algorithm inside my group, simultaneously with
-        // the other group.
-        let (my_plan, my_targets_global, partner) = {
-            if let Some(pos) = partition.g1.pos_of(me) {
-                (&partition.g1, &t1_global, partition.g2.ranks[pos])
+                Vec::new()
+            };
+            let t2_pos = if s2 > 0 {
+                self.base
+                    .ideal_sources(partition.g2.shape, s2)
+                    .expect("base must define an ideal")
             } else {
-                let pos = partition.g2.pos_of(me).expect("rank in neither group");
-                (&partition.g2, &t2_global, partition.g1.ranks[pos])
+                Vec::new()
+            };
+            let mut t1_global: Vec<usize> = t1_pos.iter().map(|&i| partition.g1.ranks[i]).collect();
+            let mut t2_global: Vec<usize> = t2_pos.iter().map(|&i| partition.g2.ranks[i]).collect();
+            t1_global.sort_unstable();
+            t2_global.sort_unstable();
+
+            // The permutation: sources (ascending) fill G1's targets then
+            // G2's. origin_of[k] = original source whose message lands on
+            // targets_all[k].
+            let targets_all: Vec<usize> =
+                t1_global.iter().chain(t2_global.iter()).copied().collect();
+
+            // Phase 0: partial permutation.
+            if let Some(payload) = ctx.payload {
+                let i = ctx.sources.binary_search(&me).unwrap();
+                let to = targets_all[i];
+                if to != me {
+                    comm.send(to, tags::PART_REPOS, payload);
+                }
             }
-        };
-        let mut sources_pos: Vec<usize> = my_targets_global
-            .iter()
-            .map(|&g| my_plan.pos_of(g).expect("target outside its group"))
-            .collect();
-        sources_pos.sort_unstable();
+            let mut new_payload: Option<Vec<u8>> = None;
+            if let Some(k) = targets_all.iter().position(|&t| t == me) {
+                let from = ctx.sources[k];
+                if from == me {
+                    new_payload = ctx.payload.map(<[u8]>::to_vec);
+                } else {
+                    new_payload = Some(
+                        comm.recv(Some(from), Some(tags::PART_REPOS))
+                            .await
+                            .data
+                            .to_vec(),
+                    );
+                }
+            }
+            comm.next_iteration();
 
-        let mut set = match &new_payload {
-            Some(data) => MessageSet::single(me, data),
-            None => MessageSet::new(),
-        };
-        self.base.run_on_plan(comm, my_plan, &sources_pos, &mut set);
-        comm.next_iteration();
-
-        // Phase 2: pairwise exchange between the groups (a permutation).
-        comm.send_payload(partner, tags::PART_EXCHANGE, set.to_payload());
-        let got = comm.recv(Some(partner), Some(tags::PART_EXCHANGE));
-        comm.charge_memcpy(got.data.len());
-        let other = MessageSet::from_payload(&got.data).expect("malformed partition exchange");
-        set.merge(other);
-
-        // Relabel target-keyed messages back to original sources.
-        let mut out = MessageSet::new();
-        for (t, data) in set.into_entries() {
-            let k = targets_all
+            // Phase 1: base algorithm inside my group, simultaneously with
+            // the other group.
+            let (my_plan, my_targets_global, partner) = {
+                if let Some(pos) = partition.g1.pos_of(me) {
+                    (&partition.g1, &t1_global, partition.g2.ranks[pos])
+                } else {
+                    let pos = partition.g2.pos_of(me).expect("rank in neither group");
+                    (&partition.g2, &t2_global, partition.g1.ranks[pos])
+                }
+            };
+            let mut sources_pos: Vec<usize> = my_targets_global
                 .iter()
-                .position(|&x| x == t as usize)
-                .expect("unexpected message key after partitioned broadcast");
-            out.insert_payload(ctx.sources[k], data);
-        }
-        out
+                .map(|&g| my_plan.pos_of(g).expect("target outside its group"))
+                .collect();
+            sources_pos.sort_unstable();
+
+            let mut set = match &new_payload {
+                Some(data) => MessageSet::single(me, data),
+                None => MessageSet::new(),
+            };
+            self.base
+                .run_on_plan(comm, my_plan, &sources_pos, &mut set)
+                .await;
+            comm.next_iteration();
+
+            // Phase 2: pairwise exchange between the groups (a permutation).
+            comm.send_payload(partner, tags::PART_EXCHANGE, set.to_payload());
+            let got = comm.recv(Some(partner), Some(tags::PART_EXCHANGE)).await;
+            comm.charge_memcpy(got.data.len());
+            let other = MessageSet::from_payload(&got.data).expect("malformed partition exchange");
+            set.merge(other);
+
+            // Relabel target-keyed messages back to original sources.
+            let mut out = MessageSet::new();
+            for (t, data) in set.into_entries() {
+                let k = targets_all
+                    .iter()
+                    .position(|&x| x == t as usize)
+                    .expect("unexpected message key after partitioned broadcast");
+                out.insert_payload(ctx.sources[k], data);
+            }
+            out
+        })
     }
 
     fn ideal_sources(&self, shape: MeshShape, s: usize) -> Option<Vec<usize>> {
@@ -311,128 +334,140 @@ impl<A: PlanRunnable> StpAlgorithm for PartRecursive<A> {
         self.name
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let me = comm.rank();
-        let s = ctx.s();
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let me = comm.rank();
+            let s = ctx.s();
 
-        // Build the leaf groups by splitting as far as possible (up to
-        // `depth`); all leaves end congruent because splits are always
-        // exact halves.
-        let mut groups = vec![XyPlan::identity(ctx.shape)];
-        let mut achieved = 0usize;
-        for _ in 0..self.depth {
-            let mut next = Vec::with_capacity(groups.len() * 2);
-            let mut ok = true;
-            for g in &groups {
-                match split_plan(g) {
-                    Some((a, b)) => {
-                        next.push(a);
-                        next.push(b);
-                    }
-                    None => {
-                        ok = false;
-                        break;
+            // Build the leaf groups by splitting as far as possible (up to
+            // `depth`); all leaves end congruent because splits are always
+            // exact halves.
+            let mut groups = vec![XyPlan::identity(ctx.shape)];
+            let mut achieved = 0usize;
+            for _ in 0..self.depth {
+                let mut next = Vec::with_capacity(groups.len() * 2);
+                let mut ok = true;
+                for g in &groups {
+                    match split_plan(g) {
+                        Some((a, b)) => {
+                            next.push(a);
+                            next.push(b);
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
                     }
                 }
+                if !ok {
+                    break;
+                }
+                groups = next;
+                achieved += 1;
             }
-            if !ok {
-                break;
+            if achieved == 0 {
+                return Repos::new(self.base, self.name).run(comm, ctx).await;
             }
-            groups = next;
-            achieved += 1;
-        }
-        if achieved == 0 {
-            return Repos::new(self.base, self.name).run(comm, ctx);
-        }
-        let n_groups = groups.len();
+            let n_groups = groups.len();
 
-        // Proportional source allocation across groups, then ideal
-        // targets inside each.
-        let mut targets_all: Vec<usize> = Vec::with_capacity(s);
-        let mut group_targets: Vec<Vec<usize>> = Vec::with_capacity(n_groups);
-        for (g, group) in groups.iter().enumerate() {
-            let lo = s * g / n_groups;
-            let hi = s * (g + 1) / n_groups;
-            let s_g = hi - lo;
-            let mut tg: Vec<usize> = if s_g > 0 {
-                self.base
-                    .ideal_sources(group.shape, s_g)
-                    .expect("base must define an ideal")
-                    .into_iter()
-                    .map(|pos| group.ranks[pos])
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            tg.sort_unstable();
-            targets_all.extend(tg.iter().copied());
-            group_targets.push(tg);
-        }
-
-        // Phase 0: the repositioning permutation (sorted sources fill the
-        // groups in order).
-        if let Some(payload) = ctx.payload {
-            let i = ctx.sources.binary_search(&me).unwrap();
-            let to = targets_all[i];
-            if to != me {
-                comm.send(to, tags::PART_REPOS, payload);
+            // Proportional source allocation across groups, then ideal
+            // targets inside each.
+            let mut targets_all: Vec<usize> = Vec::with_capacity(s);
+            let mut group_targets: Vec<Vec<usize>> = Vec::with_capacity(n_groups);
+            for (g, group) in groups.iter().enumerate() {
+                let lo = s * g / n_groups;
+                let hi = s * (g + 1) / n_groups;
+                let s_g = hi - lo;
+                let mut tg: Vec<usize> = if s_g > 0 {
+                    self.base
+                        .ideal_sources(group.shape, s_g)
+                        .expect("base must define an ideal")
+                        .into_iter()
+                        .map(|pos| group.ranks[pos])
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                tg.sort_unstable();
+                targets_all.extend(tg.iter().copied());
+                group_targets.push(tg);
             }
-        }
-        let mut new_payload: Option<Vec<u8>> = None;
-        if let Some(k) = targets_all.iter().position(|&t| t == me) {
-            let from = ctx.sources[k];
-            if from == me {
-                new_payload = ctx.payload.map(<[u8]>::to_vec);
-            } else {
-                new_payload = Some(comm.recv(Some(from), Some(tags::PART_REPOS)).data.to_vec());
+
+            // Phase 0: the repositioning permutation (sorted sources fill the
+            // groups in order).
+            if let Some(payload) = ctx.payload {
+                let i = ctx.sources.binary_search(&me).unwrap();
+                let to = targets_all[i];
+                if to != me {
+                    comm.send(to, tags::PART_REPOS, payload);
+                }
             }
-        }
-        comm.next_iteration();
-
-        // Phase 1: base algorithm inside my leaf group.
-        let my_group = groups
-            .iter()
-            .position(|g| g.pos_of(me).is_some())
-            .expect("rank must belong to a leaf group");
-        let my_pos = groups[my_group].pos_of(me).unwrap();
-        let mut sources_pos: Vec<usize> = group_targets[my_group]
-            .iter()
-            .map(|&t| groups[my_group].pos_of(t).unwrap())
-            .collect();
-        sources_pos.sort_unstable();
-        let mut set = match &new_payload {
-            Some(data) => MessageSet::single(me, data),
-            None => MessageSet::new(),
-        };
-        self.base
-            .run_on_plan(comm, &groups[my_group], &sources_pos, &mut set);
-        comm.next_iteration();
-
-        // Phase 2: `achieved` merge rounds — at round j my group
-        // exchanges member-wise with its sibling block `my_group ^ 2^j`.
-        for j in 0..achieved {
-            let partner_group = my_group ^ (1usize << j);
-            let partner = groups[partner_group].ranks[my_pos];
-            let tag = tags::PART_EXCHANGE + j as u32;
-            comm.send_payload(partner, tag, set.to_payload());
-            let got = comm.recv(Some(partner), Some(tag));
-            comm.charge_memcpy(got.data.len());
-            let other = MessageSet::from_payload(&got.data).expect("malformed merge exchange");
-            set.merge(other);
+            let mut new_payload: Option<Vec<u8>> = None;
+            if let Some(k) = targets_all.iter().position(|&t| t == me) {
+                let from = ctx.sources[k];
+                if from == me {
+                    new_payload = ctx.payload.map(<[u8]>::to_vec);
+                } else {
+                    new_payload = Some(
+                        comm.recv(Some(from), Some(tags::PART_REPOS))
+                            .await
+                            .data
+                            .to_vec(),
+                    );
+                }
+            }
             comm.next_iteration();
-        }
 
-        // Relabel back to original source ids.
-        let mut out = MessageSet::new();
-        for (t, data) in set.into_entries() {
-            let k = targets_all
+            // Phase 1: base algorithm inside my leaf group.
+            let my_group = groups
                 .iter()
-                .position(|&x| x == t as usize)
-                .expect("unexpected key after recursive partitioning");
-            out.insert_payload(ctx.sources[k], data);
-        }
-        out
+                .position(|g| g.pos_of(me).is_some())
+                .expect("rank must belong to a leaf group");
+            let my_pos = groups[my_group].pos_of(me).unwrap();
+            let mut sources_pos: Vec<usize> = group_targets[my_group]
+                .iter()
+                .map(|&t| groups[my_group].pos_of(t).unwrap())
+                .collect();
+            sources_pos.sort_unstable();
+            let mut set = match &new_payload {
+                Some(data) => MessageSet::single(me, data),
+                None => MessageSet::new(),
+            };
+            self.base
+                .run_on_plan(comm, &groups[my_group], &sources_pos, &mut set)
+                .await;
+            comm.next_iteration();
+
+            // Phase 2: `achieved` merge rounds — at round j my group
+            // exchanges member-wise with its sibling block `my_group ^ 2^j`.
+            for j in 0..achieved {
+                let partner_group = my_group ^ (1usize << j);
+                let partner = groups[partner_group].ranks[my_pos];
+                let tag = tags::PART_EXCHANGE + j as u32;
+                comm.send_payload(partner, tag, set.to_payload());
+                let got = comm.recv(Some(partner), Some(tag)).await;
+                comm.charge_memcpy(got.data.len());
+                let other = MessageSet::from_payload(&got.data).expect("malformed merge exchange");
+                set.merge(other);
+                comm.next_iteration();
+            }
+
+            // Relabel back to original source ids.
+            let mut out = MessageSet::new();
+            for (t, data) in set.into_entries() {
+                let k = targets_all
+                    .iter()
+                    .position(|&x| x == t as usize)
+                    .expect("unexpected key after recursive partitioning");
+                out.insert_payload(ctx.sources[k], data);
+            }
+            out
+        })
     }
 
     fn ideal_sources(&self, shape: MeshShape, s: usize) -> Option<Vec<usize>> {
@@ -449,7 +484,7 @@ mod tests {
     use crate::msgset::payload_for;
 
     fn check<A: PlanRunnable>(alg: Part<A>, shape: MeshShape, sources: Vec<usize>, len: usize) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -458,7 +493,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx)
+            alg.run(comm, &ctx).await
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");
@@ -546,7 +581,7 @@ mod tests {
         sources: Vec<usize>,
         len: usize,
     ) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -555,7 +590,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx)
+            alg.run(comm, &ctx).await
         });
         for (rank, set) in out.results.iter().enumerate() {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");

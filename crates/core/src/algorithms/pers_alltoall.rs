@@ -11,7 +11,7 @@
 //! overall winner.
 
 use collectives::personalized_from_sources;
-use mpp_runtime::Communicator;
+use mpp_runtime::{CommFuture, Communicator};
 
 use crate::algorithms::{tags, StpAlgorithm, StpCtx};
 use crate::msgset::MessageSet;
@@ -25,14 +25,22 @@ impl StpAlgorithm for PersAlltoAll {
         "PersAlltoAll"
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let msgs = personalized_from_sources(comm, &|r| ctx.is_source(r), ctx.payload, tags::PERS);
-        let mut set = MessageSet::new();
-        for m in msgs {
-            set.insert_payload(m.src, m.data);
-        }
-        set
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let msgs =
+                personalized_from_sources(comm, &|r| ctx.is_source(r), ctx.payload, tags::PERS)
+                    .await;
+            let mut set = MessageSet::new();
+            for m in msgs {
+                set.insert_payload(m.src, m.data);
+            }
+            set
+        })
     }
 }
 
@@ -45,7 +53,7 @@ mod tests {
     use crate::msgset::payload_for;
 
     fn check(shape: MeshShape, sources: Vec<usize>, len: usize) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -54,7 +62,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            PersAlltoAll.run(comm, &ctx)
+            PersAlltoAll.run(comm, &ctx).await
         });
         for set in out.results {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources);
@@ -83,7 +91,7 @@ mod tests {
     fn no_combining_is_charged() {
         let shape = MeshShape::new(2, 4);
         let sources = vec![0usize, 3];
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), 64));
@@ -92,7 +100,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            let _ = PersAlltoAll.run(comm, &ctx);
+            let _ = PersAlltoAll.run(comm, &ctx).await;
             comm.stats().memcpy_bytes
         });
         assert!(

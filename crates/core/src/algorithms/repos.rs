@@ -10,7 +10,7 @@
 //! and 10 quantify.
 
 use mpp_model::MeshShape;
-use mpp_runtime::Communicator;
+use mpp_runtime::{CommFuture, Communicator};
 
 use crate::algorithms::{tags, StpAlgorithm, StpCtx};
 use crate::msgset::MessageSet;
@@ -53,59 +53,65 @@ impl<A: StpAlgorithm> StpAlgorithm for Repos<A> {
         self.name
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let me = comm.rank();
-        let s = ctx.s();
-        let targets = self.base.ideal_sources(ctx.shape, s).unwrap_or_else(|| {
-            panic!(
-                "{} has no ideal distribution to reposition to",
-                self.base.name()
-            )
-        });
-        debug_assert!(targets.windows(2).all(|w| w[0] < w[1]));
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let me = comm.rank();
+            let s = ctx.s();
+            let targets = self.base.ideal_sources(ctx.shape, s).unwrap_or_else(|| {
+                panic!(
+                    "{} has no ideal distribution to reposition to",
+                    self.base.name()
+                )
+            });
+            debug_assert!(targets.windows(2).all(|w| w[0] < w[1]));
 
-        let moves = repositioning_moves(ctx.sources, &targets);
+            let moves = repositioning_moves(ctx.sources, &targets);
 
-        // Phase 0: the partial permutation. Sends go out first (they are
-        // asynchronous), then the receive — a rank can be both a vacating
-        // source and a new target.
-        if let Some(payload) = ctx.payload {
-            if moves.iter().any(|&(f, _)| f == me) {
-                let (_, to) = moves.iter().find(|&&(f, _)| f == me).unwrap();
-                comm.send(*to, tags::REPOS, payload);
+            // Phase 0: the partial permutation. Sends go out first (they are
+            // asynchronous), then the receive — a rank can be both a vacating
+            // source and a new target.
+            if let Some(payload) = ctx.payload {
+                if moves.iter().any(|&(f, _)| f == me) {
+                    let (_, to) = moves.iter().find(|&&(f, _)| f == me).unwrap();
+                    comm.send(*to, tags::REPOS, payload);
+                }
             }
-        }
-        let mut new_payload: Option<Vec<u8>> = None;
-        if let Some(&(from, _)) = moves.iter().find(|&&(_, t)| t == me) {
-            new_payload = Some(comm.recv(Some(from), Some(tags::REPOS)).data.to_vec());
-        } else if targets.binary_search(&me).is_ok() {
-            // I am a target that did not move: I must have been the
-            // matching source already.
-            new_payload = ctx.payload.map(<[u8]>::to_vec);
-        }
-        comm.next_iteration();
+            let mut new_payload: Option<Vec<u8>> = None;
+            if let Some(&(from, _)) = moves.iter().find(|&&(_, t)| t == me) {
+                new_payload = Some(comm.recv(Some(from), Some(tags::REPOS)).await.data.to_vec());
+            } else if targets.binary_search(&me).is_ok() {
+                // I am a target that did not move: I must have been the
+                // matching source already.
+                new_payload = ctx.payload.map(<[u8]>::to_vec);
+            }
+            comm.next_iteration();
 
-        // Phase 1: the base algorithm on the ideal distribution.
-        let ctx2 = StpCtx {
-            shape: ctx.shape,
-            sources: &targets,
-            payload: new_payload.as_deref(),
-        };
-        let result = self.base.run(comm, &ctx2);
+            // Phase 1: the base algorithm on the ideal distribution.
+            let ctx2 = StpCtx {
+                shape: ctx.shape,
+                sources: &targets,
+                payload: new_payload.as_deref(),
+            };
+            let result = self.base.run(comm, &ctx2).await;
 
-        // Relabel: the base run keys messages by *target* position; map
-        // them back to the original source ranks (pure bookkeeping —
-        // every rank knows the permutation, no communication or copying
-        // of payload bytes is modelled).
-        let mut out = MessageSet::new();
-        for (t, data) in result.into_entries() {
-            let idx = targets
-                .binary_search(&(t as usize))
-                .expect("base algorithm produced an unexpected source key");
-            out.insert_payload(ctx.sources[idx], data);
-        }
-        out
+            // Relabel: the base run keys messages by *target* position; map
+            // them back to the original source ranks (pure bookkeeping —
+            // every rank knows the permutation, no communication or copying
+            // of payload bytes is modelled).
+            let mut out = MessageSet::new();
+            for (t, data) in result.into_entries() {
+                let idx = targets
+                    .binary_search(&(t as usize))
+                    .expect("base algorithm produced an unexpected source key");
+                out.insert_payload(ctx.sources[idx], data);
+            }
+            out
+        })
     }
 
     fn ideal_sources(&self, shape: MeshShape, s: usize) -> Option<Vec<usize>> {
@@ -123,7 +129,7 @@ mod tests {
     use crate::msgset::payload_for;
 
     fn check<A: StpAlgorithm>(alg: Repos<A>, shape: MeshShape, sources: Vec<usize>, len: usize) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -132,7 +138,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx)
+            alg.run(comm, &ctx).await
         });
         for (rank, set) in out.results.iter().enumerate() {
             // Repos relabels back to the original source ids, so the

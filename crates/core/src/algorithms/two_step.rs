@@ -20,7 +20,7 @@
 //!   makes the T3D distribution effects of Figures 11 and 12 visible.
 
 use collectives::bcast_from_first;
-use mpp_runtime::Communicator;
+use mpp_runtime::{CommFuture, Communicator};
 
 use crate::algorithms::{tags, StpAlgorithm, StpCtx};
 use crate::msgset::MessageSet;
@@ -54,7 +54,7 @@ impl TwoStep {
 
     /// Gather all source payloads into a [`MessageSet`] at the root;
     /// other ranks return an empty set.
-    fn gather(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
+    async fn gather(&self, comm: &mut dyn Communicator, ctx: &StpCtx<'_>) -> MessageSet {
         let me = comm.rank();
         let mut set = match ctx.payload {
             Some(p) => MessageSet::single(me, p),
@@ -69,7 +69,7 @@ impl TwoStep {
             } else {
                 let expect = ctx.sources.iter().filter(|&&s| s != ROOT).count();
                 for _ in 0..expect {
-                    let m = comm.recv(None, Some(tags::GATHER));
+                    let m = comm.recv(None, Some(tags::GATHER)).await;
                     comm.charge_memcpy(m.data.len());
                     let other =
                         MessageSet::from_payload(&m.data).expect("malformed gather message");
@@ -87,41 +87,44 @@ impl TwoStep {
         let p = comm.size();
         let subtree_has_source =
             |lo: usize, hi: usize| ctx.sources.iter().any(|&s| s >= lo && s < hi);
-        gather_seg(comm, &mut set, 0, p, &subtree_has_source);
+        gather_seg(comm, &mut set, 0, p, &subtree_has_source).await;
         comm.next_iteration();
         set
     }
 }
 
-/// Recursive step of the tree gather on segment `[lo, hi)`.
-fn gather_seg(
-    comm: &mut dyn Communicator,
-    set: &mut MessageSet,
+/// Recursive step of the tree gather on segment `[lo, hi)`. Returns a
+/// boxed future because async recursion needs an indirection.
+fn gather_seg<'a>(
+    comm: &'a mut dyn Communicator,
+    set: &'a mut MessageSet,
     lo: usize,
     hi: usize,
-    subtree_has_source: &dyn Fn(usize, usize) -> bool,
-) {
-    if hi - lo <= 1 {
-        return;
-    }
-    let me = comm.rank();
-    let mid = lo + (hi - lo).div_ceil(2);
-    if me < mid {
-        gather_seg(comm, set, lo, mid, subtree_has_source);
-        if me == lo && subtree_has_source(mid, hi) {
-            let depth_tag = tags::GATHER + (hi - lo) as u32;
-            let m = comm.recv(Some(mid), Some(depth_tag));
-            comm.charge_memcpy(m.data.len());
-            let other = MessageSet::from_payload(&m.data).expect("malformed tree gather");
-            set.merge(other);
+    subtree_has_source: &'a dyn Fn(usize, usize) -> bool,
+) -> CommFuture<'a, ()> {
+    Box::pin(async move {
+        if hi - lo <= 1 {
+            return;
         }
-    } else {
-        gather_seg(comm, set, mid, hi, subtree_has_source);
-        if me == mid && subtree_has_source(mid, hi) {
-            let depth_tag = tags::GATHER + (hi - lo) as u32;
-            comm.send_payload(lo, depth_tag, set.to_payload());
+        let me = comm.rank();
+        let mid = lo + (hi - lo).div_ceil(2);
+        if me < mid {
+            gather_seg(comm, set, lo, mid, subtree_has_source).await;
+            if me == lo && subtree_has_source(mid, hi) {
+                let depth_tag = tags::GATHER + (hi - lo) as u32;
+                let m = comm.recv(Some(mid), Some(depth_tag)).await;
+                comm.charge_memcpy(m.data.len());
+                let other = MessageSet::from_payload(&m.data).expect("malformed tree gather");
+                set.merge(other);
+            }
+        } else {
+            gather_seg(comm, set, mid, hi, subtree_has_source).await;
+            if me == mid && subtree_has_source(mid, hi) {
+                let depth_tag = tags::GATHER + (hi - lo) as u32;
+                comm.send_payload(lo, depth_tag, set.to_payload());
+            }
         }
-    }
+    })
 }
 
 impl StpAlgorithm for TwoStep {
@@ -133,18 +136,24 @@ impl StpAlgorithm for TwoStep {
         }
     }
 
-    fn run(&self, comm: &mut dyn Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let me = comm.rank();
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let me = comm.rank();
 
-        // Step 1: gather the combined message at the root.
-        let gathered = self.gather(comm, ctx);
+            // Step 1: gather the combined message at the root.
+            let gathered = self.gather(comm, ctx).await;
 
-        // Step 2: root broadcasts the combined message.
-        let order: Vec<usize> = (0..comm.size()).collect();
-        let combined = (me == ROOT).then(|| gathered.to_payload());
-        let wire = bcast_from_first(comm, &order, combined, tags::BCAST);
-        MessageSet::from_payload(&wire).expect("malformed combined message")
+            // Step 2: root broadcasts the combined message.
+            let order: Vec<usize> = (0..comm.size()).collect();
+            let combined = (me == ROOT).then(|| gathered.to_payload());
+            let wire = bcast_from_first(comm, &order, combined, tags::BCAST).await;
+            MessageSet::from_payload(&wire).expect("malformed combined message")
+        })
     }
 }
 
@@ -157,7 +166,7 @@ mod tests {
     use crate::msgset::payload_for;
 
     fn check(shape: MeshShape, sources: Vec<usize>, len: usize, alg: TwoStep) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), len));
@@ -166,7 +175,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx)
+            alg.run(comm, &ctx).await
         });
         for set in out.results {
             assert_eq!(set.sources().collect::<Vec<_>>(), sources);
@@ -210,7 +219,7 @@ mod tests {
         // communicates in the gather: total sends ≈ O(log p), not O(p).
         let shape = MeshShape::new(4, 4);
         let sources = vec![15usize];
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), 8));
@@ -219,7 +228,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            let _ = TwoStep::tree().run(comm, &ctx);
+            let _ = TwoStep::tree().run(comm, &ctx).await;
             comm.stats().total_sends()
         });
         let gather_sends: u64 = out.results.iter().sum();

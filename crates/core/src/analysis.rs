@@ -154,7 +154,7 @@ mod tests {
             .collect();
         let profile = br_lin_traffic(&initial);
 
-        let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+        let out = run_simulated(&machine, LibraryKind::Nx, async |comm| {
             use mpp_runtime::Communicator;
             let payload = sources
                 .binary_search(&comm.rank())
@@ -165,7 +165,7 @@ mod tests {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            let _ = BrLin::new().run(comm, &ctx);
+            let _ = BrLin::new().run(comm, &ctx).await;
         });
 
         for (level, expect) in profile.iter().enumerate() {

@@ -61,7 +61,7 @@ fn merge_tables(a: &[u8], b: &[u8]) -> Vec<u8> {
 /// no rank needs to know who else is a source. Returns the complete
 /// message set, identical on every rank, or `None` when no rank had a
 /// message (the s = 0 case the synchronous API cannot express).
-pub fn announce_and_broadcast(
+pub async fn announce_and_broadcast(
     comm: &mut dyn Communicator,
     shape: mpp_model::MeshShape,
     my_payload: Option<&[u8]>,
@@ -73,7 +73,7 @@ pub fn announce_and_broadcast(
     // Phase 0: all-reduce the (who, length) table.
     let contrib = encode(p, me, my_payload.map(<[u8]>::len));
     let order: Vec<usize> = (0..p).collect();
-    let table_bytes = allreduce(comm, &order, &contrib, &merge_tables, TAG);
+    let table_bytes = allreduce(comm, &order, &contrib, &merge_tables, TAG).await;
     let table = decode(&table_bytes);
     comm.next_iteration();
 
@@ -93,7 +93,7 @@ pub fn announce_and_broadcast(
         sources: &sources,
         payload: my_payload,
     };
-    Some(alg.run(comm, &ctx))
+    Some(alg.run(comm, &ctx).await)
 }
 
 #[cfg(test)]
@@ -106,12 +106,12 @@ mod tests {
     use crate::msgset::payload_for;
 
     fn check(shape: MeshShape, sources: Vec<usize>, alg: &dyn StpAlgorithm) {
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             // Each rank knows only its own status.
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), 64));
-            announce_and_broadcast(comm, shape, payload.as_deref(), alg)
+            announce_and_broadcast(comm, shape, payload.as_deref(), alg).await
         });
         for set in out.results {
             let set = set.expect("sources exist");
@@ -132,8 +132,8 @@ mod tests {
     #[test]
     fn no_sources_yields_none() {
         let shape = MeshShape::new(2, 3);
-        let out = run_threads(shape.p(), |comm| {
-            announce_and_broadcast(comm, shape, None, &BrLin::new())
+        let out = run_threads(shape.p(), async |comm| {
+            announce_and_broadcast(comm, shape, None, &BrLin::new()).await
         });
         assert!(out.results.iter().all(|r| r.is_none()));
     }
@@ -148,11 +148,11 @@ mod tests {
     fn variable_lengths_announced() {
         let shape = MeshShape::new(2, 4);
         let sources = [1usize, 6];
-        let out = run_threads(shape.p(), |comm| {
+        let out = run_threads(shape.p(), async |comm| {
             let payload = sources
                 .contains(&comm.rank())
                 .then(|| payload_for(comm.rank(), 10 + comm.rank() * 7));
-            announce_and_broadcast(comm, shape, payload.as_deref(), &BrLin::new())
+            announce_and_broadcast(comm, shape, payload.as_deref(), &BrLin::new()).await
         });
         for set in out.results {
             let set = set.unwrap();

@@ -3,7 +3,7 @@
 
 use mpp_model::{LibraryKind, Machine, Time};
 use mpp_runtime::{
-    run_simulated_with, schedule_log, CommStats, Communicator, ScheduleEvent, SimConfig,
+    run_simulated_with, schedule_log, CommStats, Communicator, ExecMode, ScheduleEvent, SimConfig,
 };
 
 use crate::algorithms::{
@@ -263,7 +263,7 @@ fn run_alg_with(
     alg: &dyn StpAlgorithm,
 ) -> Outcome {
     let shape = machine.shape;
-    let out = run_simulated_with(machine, config, |comm| {
+    let out = run_simulated_with(machine, config, async |comm| {
         let me = comm.rank();
         let payload = sources.binary_search(&me).is_ok().then(|| payload_of(me));
         let ctx = StpCtx {
@@ -271,7 +271,7 @@ fn run_alg_with(
             sources,
             payload: payload.as_deref(),
         };
-        let set = alg.run(comm, &ctx);
+        let set = alg.run(comm, &ctx).await;
         // Verify on-rank: all sources present with the right payloads.
         set.sources().collect::<Vec<_>>() == sources
             && sources
@@ -324,10 +324,25 @@ pub fn record_sources(
     payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
     alg: &dyn StpAlgorithm,
 ) -> RecordedRun {
+    record_sources_exec(machine, lib, sources, payload_of, alg, ExecMode::from_env())
+}
+
+/// [`record_sources`] with an explicit executor choice, regardless of
+/// `STP_EXEC` — the differential tests run the same schedule on both
+/// executors and require the recordings to be identical.
+pub fn record_sources_exec(
+    machine: &Machine,
+    lib: LibraryKind,
+    sources: &[usize],
+    payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
+    alg: &dyn StpAlgorithm,
+    exec: ExecMode,
+) -> RecordedRun {
     let log = schedule_log();
     let config = SimConfig {
         lib,
         recorder: Some(log.clone()),
+        exec,
         ..SimConfig::default()
     };
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -431,14 +446,22 @@ fn env_usize(name: &str) -> Option<usize> {
 /// Environment overrides (useful for CI and for the speedup
 /// measurements in `repro-fig02`):
 ///
-/// * `STP_SWEEP_WORKERS` — number of concurrent grid points
-///   (default: available cores, at least 2; `1` forces sequential).
+/// * `STP_SWEEP_WORKERS` — number of concurrent grid points (default:
+///   one per available core on the cooperative executor, where each
+///   grid point is a single compute-bound thread; at least 2 on the
+///   threaded executor; `1` forces sequential).
 /// * `STP_SWEEP_RANK_BUDGET` — total concurrent rank threads allowed
-///   across all in-flight simulations (default 512).
+///   across all in-flight simulations (default 512). Only the threaded
+///   executor spawns rank threads; cooperative grid points are charged
+///   a flat weight of 1, so the budget never throttles them.
+/// * `STP_EXEC` — executor selection (`coop` default, `threaded`),
+///   consumed by [`SimConfig::default`] and mirrored here for the
+///   worker/budget defaults.
 #[derive(Debug, Clone)]
 pub struct SweepRunner {
     workers: usize,
     rank_budget: usize,
+    exec: mpp_runtime::ExecMode,
 }
 
 impl Default for SweepRunner {
@@ -451,19 +474,29 @@ impl Default for SweepRunner {
 const DEFAULT_RANK_BUDGET: usize = 512;
 
 impl SweepRunner {
-    /// A runner configured from the host (and the `STP_SWEEP_*`
-    /// environment overrides).
+    /// A runner configured from the host (and the `STP_SWEEP_*` /
+    /// `STP_EXEC` environment overrides).
     pub fn new() -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
+        let exec = mpp_runtime::ExecMode::from_env();
+        let default_workers = match exec {
+            // A cooperative grid point is one compute-bound thread, so
+            // one worker per core saturates the host exactly.
+            mpp_runtime::ExecMode::Cooperative => cores,
+            // A threaded grid point spends most of its life blocked in
+            // channel waits; slight oversubscription keeps cores busy.
+            mpp_runtime::ExecMode::Threaded => cores.max(2),
+        };
         SweepRunner {
             workers: env_usize("STP_SWEEP_WORKERS")
-                .unwrap_or(cores.max(2))
+                .unwrap_or(default_workers)
                 .max(1),
             rank_budget: env_usize("STP_SWEEP_RANK_BUDGET")
                 .unwrap_or(DEFAULT_RANK_BUDGET)
                 .max(1),
+            exec,
         }
     }
 
@@ -473,6 +506,7 @@ impl SweepRunner {
         SweepRunner {
             workers: 1,
             rank_budget: DEFAULT_RANK_BUDGET,
+            exec: mpp_runtime::ExecMode::from_env(),
         }
     }
 
@@ -546,10 +580,21 @@ impl SweepRunner {
             .collect()
     }
 
-    /// Run a list of fully-specified experiments; each is weighted by
-    /// its machine size.
+    /// Run a list of fully-specified experiments. On the threaded
+    /// executor each experiment is weighted by its machine size (it
+    /// spawns that many rank threads); on the cooperative executor a
+    /// grid point is a single thread regardless of `p`, so every job
+    /// weighs 1 and the rank budget never throttles the sweep.
     pub fn run_experiments(&self, exps: &[Experiment]) -> Vec<Outcome> {
-        self.map(exps.to_vec(), |e| e.machine.p(), |e| e.run())
+        let exec = self.exec;
+        self.map(
+            exps.to_vec(),
+            move |e| match exec {
+                mpp_runtime::ExecMode::Cooperative => 1,
+                mpp_runtime::ExecMode::Threaded => e.machine.p(),
+            },
+            |e| e.run(),
+        )
     }
 }
 

@@ -1,9 +1,21 @@
 //! The backend-agnostic communicator interface.
 
+use std::future::Future;
+use std::pin::Pin;
+
 use mpp_sim::Payload;
 
 use crate::stats::CommStats;
 use crate::Tag;
+
+/// Boxed future returned by the blocking [`Communicator`] operations.
+///
+/// On the simulator's cooperative executor these genuinely suspend the
+/// rank; on the threaded simulator backend and the real-threads backend
+/// they resolve on the first poll (the blocking wait happens before or
+/// inside it). Futures never cross threads in either mode, so no `Send`
+/// bound is required.
+pub type CommFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
 
 /// A received message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,8 +35,8 @@ pub struct Message {
 /// untimed on real threads. Implementations must provide:
 ///
 /// * reliable, per-(src → dst, tag) FIFO-by-arrival delivery,
-/// * blocking `recv` with optional source/tag filters,
-/// * a barrier across all ranks,
+/// * blocking `recv` (an `await` point) with optional source/tag filters,
+/// * a barrier across all ranks (also an `await` point),
 /// * a way to charge local message-combining cost
 ///   ([`charge_memcpy`](Communicator::charge_memcpy)),
 /// * per-iteration statistics bucketing
@@ -53,10 +65,10 @@ pub trait Communicator {
 
     /// Blocking receive; `None` filters match anything. Among matching
     /// messages the earliest-arriving is returned.
-    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message;
+    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> CommFuture<'_, Message>;
 
     /// Block until every rank has entered the barrier.
-    fn barrier(&mut self);
+    fn barrier(&mut self) -> CommFuture<'_, ()>;
 
     /// Charge the local memory-copy cost of combining `bytes` bytes.
     /// (A no-op cost-wise on the threads backend, but still recorded.)
@@ -73,8 +85,8 @@ pub trait Communicator {
 }
 
 /// Convenience: receive from a specific source with a specific tag.
-pub fn recv_from(comm: &mut dyn Communicator, src: usize, tag: Tag) -> Message {
-    comm.recv(Some(src), Some(tag))
+pub async fn recv_from(comm: &mut dyn Communicator, src: usize, tag: Tag) -> Message {
+    comm.recv(Some(src), Some(tag)).await
 }
 
 #[cfg(test)]

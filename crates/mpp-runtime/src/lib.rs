@@ -21,9 +21,9 @@ pub mod sim_backend;
 pub mod stats;
 pub mod thread_backend;
 
-pub use comm::{Communicator, Message};
+pub use comm::{recv_from, CommFuture, Communicator, Message};
 pub use mpp_sim::{
-    schedule_log, Payload, ScheduleEvent, ScheduleLog, ScheduleRecording, SimConfig,
+    schedule_log, ExecMode, Payload, ScheduleEvent, ScheduleLog, ScheduleRecording, SimConfig,
 };
 pub use sim_backend::{
     run_simulated, run_simulated_traced, run_simulated_with, RunOutput, SimComm,

@@ -3,24 +3,22 @@
 use mpp_model::{LibraryKind, Machine, Time};
 use mpp_sim::{simulate_with, MsgTrace, Payload, RankCtx, SimConfig};
 
-use crate::comm::{Communicator, Message};
+use crate::comm::{CommFuture, Communicator, Message};
 use crate::stats::CommStats;
 use crate::Tag;
 
 /// A [`Communicator`] executing on the deterministic discrete-event
 /// simulator. Created for each rank by [`run_simulated`].
-pub struct SimComm<'a, 'b> {
-    ctx: &'a mut RankCtx,
+pub struct SimComm {
+    ctx: RankCtx,
     stats: CommStats,
-    _marker: std::marker::PhantomData<&'b ()>,
 }
 
-impl<'a, 'b> SimComm<'a, 'b> {
-    fn new(ctx: &'a mut RankCtx) -> Self {
+impl SimComm {
+    fn new(ctx: RankCtx) -> Self {
         SimComm {
             ctx,
             stats: CommStats::new(),
-            _marker: std::marker::PhantomData,
         }
     }
 
@@ -36,7 +34,7 @@ impl<'a, 'b> SimComm<'a, 'b> {
     }
 }
 
-impl Communicator for SimComm<'_, '_> {
+impl Communicator for SimComm {
     fn rank(&self) -> usize {
         self.ctx.rank()
     }
@@ -56,18 +54,20 @@ impl Communicator for SimComm<'_, '_> {
         self.ctx.send_payload(dst, tag, data);
     }
 
-    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message {
-        let env = self.ctx.recv(src, tag);
-        self.stats.record_recv(env.data.len(), env.waited_ns);
-        Message {
-            src: env.src,
-            tag: env.tag,
-            data: env.data,
-        }
+    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> CommFuture<'_, Message> {
+        Box::pin(async move {
+            let env = self.ctx.recv(src, tag).await;
+            self.stats.record_recv(env.data.len(), env.waited_ns);
+            Message {
+                src: env.src,
+                tag: env.tag,
+                data: env.data,
+            }
+        })
     }
 
-    fn barrier(&mut self) {
-        self.ctx.barrier();
+    fn barrier(&mut self) -> CommFuture<'_, ()> {
+        Box::pin(self.ctx.barrier())
     }
 
     fn charge_memcpy(&mut self, bytes: usize) {
@@ -117,7 +117,7 @@ impl<R> RunOutput<R> {
 pub fn run_simulated<R, F>(machine: &Machine, lib: LibraryKind, program: F) -> RunOutput<R>
 where
     R: Send,
-    F: Fn(&mut SimComm) -> R + Sync,
+    F: AsyncFn(&mut SimComm) -> R + Sync,
 {
     let config = SimConfig {
         lib,
@@ -130,7 +130,7 @@ where
 pub fn run_simulated_traced<R, F>(machine: &Machine, lib: LibraryKind, program: F) -> RunOutput<R>
 where
     R: Send,
-    F: Fn(&mut SimComm) -> R + Sync,
+    F: AsyncFn(&mut SimComm) -> R + Sync,
 {
     let config = SimConfig {
         lib,
@@ -141,16 +141,18 @@ where
 }
 
 /// Run `program` under an explicit [`SimConfig`] — the full-control
-/// entry point used for schedule recording (`config.recorder`) and
-/// strict runtime schedule checks (`config.strict`).
+/// entry point used for schedule recording (`config.recorder`), strict
+/// runtime schedule checks (`config.strict`), and executor selection
+/// (`config.exec`).
 pub fn run_simulated_with<R, F>(machine: &Machine, config: &SimConfig, program: F) -> RunOutput<R>
 where
     R: Send,
-    F: Fn(&mut SimComm) -> R + Sync,
+    F: AsyncFn(&mut SimComm) -> R + Sync,
 {
-    let out = simulate_with(machine, config, |ctx| {
+    let program = &program;
+    let out = simulate_with(machine, config, move |ctx| async move {
         let mut comm = SimComm::new(ctx);
-        let r = program(&mut comm);
+        let r = program(&mut comm).await;
         (r, comm.stats)
     });
     let (results, stats): (Vec<R>, Vec<CommStats>) = out.results.into_iter().unzip();
@@ -172,13 +174,13 @@ mod tests {
     #[test]
     fn stats_flow_back_per_rank() {
         let m = Machine::paragon(1, 4);
-        let out = run_simulated(&m, LibraryKind::Nx, |comm| {
+        let out = run_simulated(&m, LibraryKind::Nx, async |comm| {
             if comm.rank() == 0 {
                 for dst in 1..comm.size() {
                     comm.send(dst, 0, &[0u8; 512]);
                 }
             } else {
-                comm.recv(Some(0), Some(0));
+                comm.recv(Some(0), Some(0)).await;
             }
             comm.rank()
         });
@@ -195,13 +197,13 @@ mod tests {
     #[test]
     fn iteration_buckets_propagate() {
         let m = Machine::paragon(1, 2);
-        let out = run_simulated(&m, LibraryKind::Nx, |comm| {
+        let out = run_simulated(&m, LibraryKind::Nx, async |comm| {
             let peer = 1 - comm.rank();
             comm.send(peer, 0, b"x");
-            comm.recv(Some(peer), Some(0));
+            comm.recv(Some(peer), Some(0)).await;
             comm.next_iteration();
             comm.send(peer, 1, b"yy");
-            comm.recv(Some(peer), Some(1));
+            comm.recv(Some(peer), Some(1)).await;
         });
         for st in &out.stats {
             assert_eq!(st.iters.len(), 2);
@@ -213,7 +215,7 @@ mod tests {
     #[test]
     fn memcpy_charges_show_in_stats_and_time() {
         let m = Machine::paragon(1, 2);
-        let out = run_simulated(&m, LibraryKind::Nx, |comm| {
+        let out = run_simulated(&m, LibraryKind::Nx, async |comm| {
             if comm.rank() == 0 {
                 comm.charge_memcpy(1 << 20);
             }
@@ -226,17 +228,51 @@ mod tests {
     fn deterministic_run_output() {
         let m = Machine::t3d(16, 5);
         let run = || {
-            run_simulated(&m, LibraryKind::Mpi, |comm| {
+            run_simulated(&m, LibraryKind::Mpi, async |comm| {
                 let p = comm.size();
                 let next = (comm.rank() + 1) % p;
                 comm.send(next, 0, &[7u8; 64]);
                 let prev = (comm.rank() + p - 1) % p;
-                comm.recv(Some(prev), Some(0)).data.len()
+                comm.recv(Some(prev), Some(0)).await.data.len()
             })
         };
         let a = run();
         let b = run();
         assert_eq!(a.makespan_ns, b.makespan_ns);
         assert_eq!(a.finish_ns, b.finish_ns);
+    }
+
+    #[test]
+    fn executors_agree_through_the_runtime() {
+        use mpp_sim::ExecMode;
+        let m = Machine::t3d(16, 5);
+        let run = |exec: ExecMode| {
+            let config = SimConfig {
+                lib: LibraryKind::Nx,
+                exec,
+                ..SimConfig::default()
+            };
+            run_simulated_with(&m, &config, async |comm| {
+                let p = comm.size();
+                for hop in [1usize, 3, 7] {
+                    comm.send((comm.rank() + hop) % p, hop as Tag, &[9u8; 96]);
+                }
+                let mut total = 0usize;
+                for _ in 0..3 {
+                    let msg = comm.recv(None, None).await;
+                    comm.charge_memcpy(msg.data.len());
+                    total += msg.data.len();
+                }
+                comm.next_iteration();
+                comm.barrier().await;
+                total
+            })
+        };
+        let a = run(ExecMode::Cooperative);
+        let b = run(ExecMode::Threaded);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.finish_ns, b.finish_ns);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.stats, b.stats);
     }
 }

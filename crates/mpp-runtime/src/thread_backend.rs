@@ -11,9 +11,9 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
 use std::time::Instant;
 
-use mpp_sim::Payload;
+use mpp_sim::{block_on_ready, Payload};
 
-use crate::comm::{Communicator, Message};
+use crate::comm::{CommFuture, Communicator, Message};
 use crate::stats::CommStats;
 use crate::Tag;
 
@@ -100,16 +100,18 @@ impl Communicator for ThreadComm<'_> {
             .expect("receiver rank terminated early");
     }
 
-    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Message {
+    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> CommFuture<'_, Message> {
+        // This backend has a real thread to block, so the wait happens
+        // eagerly here and the returned future is immediately ready.
         // First look at already-buffered messages (FIFO among matches).
         if let Some(pos) = self.pending.iter().position(|w| Self::matches(w, src, tag)) {
             let w = self.pending.remove(pos);
             self.stats.record_recv(w.data.len(), 0);
-            return Message {
+            return Box::pin(std::future::ready(Message {
                 src: w.src,
                 tag: w.tag,
                 data: w.data,
-            };
+            }));
         }
         // Block on the channel, buffering non-matching arrivals.
         let t0 = Instant::now();
@@ -121,18 +123,19 @@ impl Communicator for ThreadComm<'_> {
             if Self::matches(&w, src, tag) {
                 let waited = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 self.stats.record_recv(w.data.len(), waited);
-                return Message {
+                return Box::pin(std::future::ready(Message {
                     src: w.src,
                     tag: w.tag,
                     data: w.data,
-                };
+                }));
             }
             self.pending.push(w);
         }
     }
 
-    fn barrier(&mut self) {
+    fn barrier(&mut self) -> CommFuture<'_, ()> {
         self.barrier.wait();
+        Box::pin(std::future::ready(()))
     }
 
     fn charge_memcpy(&mut self, bytes: usize) {
@@ -163,18 +166,18 @@ pub struct ThreadRunOutput<R> {
 ///
 /// ```
 /// use mpp_runtime::{run_threads, Communicator};
-/// let out = run_threads(4, |comm| {
+/// let out = run_threads(4, async |comm| {
 ///     let next = (comm.rank() + 1) % comm.size();
 ///     comm.send(next, 0, &[comm.rank() as u8]);
 ///     let prev = (comm.rank() + comm.size() - 1) % comm.size();
-///     comm.recv(Some(prev), Some(0)).data.to_vec()[0] as usize
+///     comm.recv(Some(prev), Some(0)).await.data.to_vec()[0] as usize
 /// });
 /// assert_eq!(out.results, vec![3, 0, 1, 2]);
 /// ```
 pub fn run_threads<R, F>(p: usize, program: F) -> ThreadRunOutput<R>
 where
     R: Send,
-    F: Fn(&mut ThreadComm) -> R + Sync,
+    F: AsyncFn(&mut ThreadComm) -> R + Sync,
 {
     run_threads_faulty(p, ThreadFault::None, program)
 }
@@ -183,7 +186,7 @@ where
 pub fn run_threads_faulty<R, F>(p: usize, fault: ThreadFault, program: F) -> ThreadRunOutput<R>
 where
     R: Send,
-    F: Fn(&mut ThreadComm) -> R + Sync,
+    F: AsyncFn(&mut ThreadComm) -> R + Sync,
 {
     assert!(p > 0);
     let mut txs = Vec::with_capacity(p);
@@ -221,7 +224,9 @@ where
                         ThreadFault::None => 0,
                     },
                 };
-                let r = program(&mut comm);
+                // This backend's comm futures never pend, so the rank
+                // program completes in a single poll.
+                let r = block_on_ready(program(&mut comm));
                 (r, comm.stats)
             }));
         }
@@ -245,10 +250,11 @@ mod tests {
 
     #[test]
     fn ring_pass_works() {
-        let out = run_threads(8, |comm| {
+        let out = run_threads(8, async |comm| {
             let p = comm.size();
             comm.send((comm.rank() + 1) % p, 0, &[comm.rank() as u8]);
             comm.recv(Some((comm.rank() + p - 1) % p), Some(0))
+                .await
                 .data
                 .to_vec()[0]
         });
@@ -259,15 +265,15 @@ mod tests {
 
     #[test]
     fn tag_filter_buffers_out_of_order() {
-        let out = run_threads(2, |comm| {
+        let out = run_threads(2, async |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 1, b"one");
                 comm.send(1, 2, b"two");
                 Vec::new()
             } else {
                 // Ask for tag 2 first; tag 1 must be buffered, not lost.
-                let a = comm.recv(Some(0), Some(2));
-                let b = comm.recv(Some(0), Some(1));
+                let a = comm.recv(Some(0), Some(2)).await;
+                let b = comm.recv(Some(0), Some(1)).await;
                 vec![a.data, b.data]
             }
         });
@@ -278,9 +284,9 @@ mod tests {
     fn barrier_divides_phases() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let before = AtomicUsize::new(0);
-        let out = run_threads(4, |comm| {
+        let out = run_threads(4, async |comm| {
             before.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().await;
             before.load(Ordering::SeqCst)
         });
         // After the barrier every rank must observe all 4 increments.
@@ -293,7 +299,7 @@ mod tests {
             max_us: 200,
             seed: 42,
         };
-        let out = run_threads_faulty(6, fault, |comm| {
+        let out = run_threads_faulty(6, fault, async |comm| {
             let p = comm.size();
             // all-to-all of tiny messages
             for d in 0..p {
@@ -303,7 +309,7 @@ mod tests {
             }
             let mut seen = vec![false; p];
             for _ in 0..p - 1 {
-                let m = comm.recv(None, Some(9));
+                let m = comm.recv(None, Some(9)).await;
                 seen[m.src] = true;
             }
             seen.iter().filter(|&&b| b).count()
@@ -313,11 +319,11 @@ mod tests {
 
     #[test]
     fn stats_recorded_on_threads() {
-        let out = run_threads(2, |comm| {
+        let out = run_threads(2, async |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 0, &[0; 64]);
             } else {
-                comm.recv(None, None);
+                comm.recv(None, None).await;
                 comm.charge_memcpy(64);
             }
         });

@@ -1,0 +1,405 @@
+//! The cooperative rank executor.
+//!
+//! All rank programs run as resumable `async` state machines multiplexed
+//! on the calling thread. Each rank owns a [`CoopCell`]: rank-local
+//! operations (`send`, `compute_ns`, `charge_memcpy`, `iter_mark`)
+//! update the cell's virtual clock directly and append *deferred ops*;
+//! only `recv` and `barrier` actually suspend the future. The executor
+//! drains deferred ops in global `(effective time, rank)` order through
+//! the shared [`KernelCore`], driven by the indexed
+//! [`ReadyQueue`](crate::sched::ReadyQueue) instead of the threaded
+//! kernel's O(p) scan.
+//!
+//! # Why this is equivalent to the threaded kernel
+//!
+//! In the threaded model every rank waits at exactly one pending trap,
+//! and the kernel repeatedly processes the trap with minimal
+//! `(effective time, rank)`. Here a rank may have queued *several* ops
+//! ahead of its suspension point, but because its clock only moves
+//! forward, the op at the queue head always has the minimum effective
+//! time within that queue — so scheduling queue heads by
+//! `(eff, rank)` visits globally visible effects (network transfers,
+//! sequence numbers, mailbox inserts, recorded events) in exactly the
+//! order the threaded kernel does. Blocked receives re-enter the ready
+//! queue from [`wake_recv`] when a matching message is inserted; since a
+//! new arrival can only lower the earliest match, stale heap entries are
+//! safe to discard lazily. See DESIGN.md §8 for the full argument.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use mpp_model::Machine;
+use mpp_model::Time;
+
+use crate::kernel::{DeadlockInfo, Envelope, KernelCore, RankCtx, SimConfig, SimOutcome};
+use crate::payload::Payload;
+use crate::sched::ReadyQueue;
+use crate::Tag;
+
+/// Per-rank shared state between a rank program's [`RankCtx`] and the
+/// executor. Uncontended by construction (everything runs on one
+/// thread); the mutex only exists to keep `RankCtx` `Send`-compatible
+/// with the threaded spawn path.
+#[derive(Default)]
+pub(crate) struct CoopCell {
+    /// The rank's virtual clock — single source of truth in cooperative
+    /// mode, advanced rank-locally by sends/compute/memcpy and by the
+    /// executor on recv/barrier grants.
+    pub clock: Time,
+    /// Deferred operations not yet processed by the executor, in issue
+    /// order. The suspension ops (`RecvWait`/`BarrierWait`/`Finished`)
+    /// are always last: nothing can be issued past a suspension point.
+    pub ops: std::collections::VecDeque<CoopOp>,
+    /// Completion value for the op the rank is suspended on, deposited
+    /// by the executor just before re-polling.
+    pub grant: Option<CoopGrant>,
+}
+
+/// A deferred operation in a rank's op queue.
+pub(crate) enum CoopOp {
+    /// A send issued while the rank's clock was `eff`.
+    Send {
+        dst: usize,
+        tag: Tag,
+        data: Payload,
+        eff: Time,
+    },
+    /// Iteration-boundary marker (recording runs only).
+    IterMark { eff: Time },
+    /// The rank is suspended in `recv` (its clock is unchanged while
+    /// suspended, so no time stamp is needed).
+    RecvWait {
+        src: Option<usize>,
+        tag: Option<Tag>,
+    },
+    /// The rank is suspended in `barrier`.
+    BarrierWait,
+    /// The rank's program returned; `eff` is its final clock.
+    Finished { eff: Time },
+}
+
+/// Executor → rank completion values.
+pub(crate) enum CoopGrant {
+    Received(Envelope),
+    Done,
+}
+
+/// Where a rank currently stands from the executor's point of view.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Has a live entry in the ready queue.
+    Ready,
+    /// Suspended in `recv` with no matching message in any mailbox.
+    BlockedRecv,
+    /// Suspended in `barrier`, waiting for the others.
+    InBarrier,
+    /// Program finished and its `Finished` op has been processed.
+    Done,
+}
+
+/// Poll `rank`'s future once; on completion stash the result and queue
+/// the terminal `Finished` op at the rank's current clock.
+fn poll_rank<R, Fut: Future<Output = R>>(
+    rank: usize,
+    futs: &mut [Option<Pin<Box<Fut>>>],
+    results: &mut [Option<R>],
+    cells: &[Arc<Mutex<CoopCell>>],
+) {
+    let Some(fut) = futs[rank].as_mut() else {
+        return;
+    };
+    let mut cx = Context::from_waker(Waker::noop());
+    if let Poll::Ready(r) = fut.as_mut().poll(&mut cx) {
+        results[rank] = Some(r);
+        futs[rank] = None;
+        let mut cell = cells[rank].lock().expect("coop cell poisoned");
+        let eff = cell.clock;
+        cell.ops.push_back(CoopOp::Finished { eff });
+    }
+}
+
+/// Classify `rank` by its op-queue head and (re-)insert it into the
+/// ready queue if it is schedulable. Mirrors the threaded kernel's
+/// per-step classification of each rank's single pending trap.
+fn settle_head(
+    rank: usize,
+    cells: &[Arc<Mutex<CoopCell>>],
+    phases: &mut [Phase],
+    ready: &mut ReadyQueue,
+    in_barrier: &mut usize,
+    core: &KernelCore,
+) {
+    let cell = cells[rank].lock().expect("coop cell poisoned");
+    match cell.ops.front() {
+        Some(CoopOp::Send { eff, .. })
+        | Some(CoopOp::IterMark { eff })
+        | Some(CoopOp::Finished { eff }) => {
+            phases[rank] = Phase::Ready;
+            ready.push(rank, *eff);
+        }
+        Some(CoopOp::RecvWait { src, tag }) => match core.peek_mailbox(rank, *src, *tag) {
+            Some(arrival) => {
+                phases[rank] = Phase::Ready;
+                ready.push(rank, cell.clock.max(arrival));
+            }
+            None => phases[rank] = Phase::BlockedRecv,
+        },
+        Some(CoopOp::BarrierWait) => {
+            phases[rank] = Phase::InBarrier;
+            *in_barrier += 1;
+        }
+        None => unreachable!("rank {rank} settled with an empty op queue"),
+    }
+}
+
+/// Blocked-recv wakeup index hook: after a message lands in `dst`'s
+/// mailbox, re-ready `dst` directly if it is waiting on a matching
+/// receive. An unconditional re-push is sound — a new arrival can only
+/// lower the earliest match, and the ready queue discards the stale
+/// (later-or-equal) entry lazily.
+fn wake_recv(
+    dst: usize,
+    cells: &[Arc<Mutex<CoopCell>>],
+    phases: &mut [Phase],
+    ready: &mut ReadyQueue,
+    core: &KernelCore,
+) {
+    if !matches!(phases[dst], Phase::BlockedRecv | Phase::Ready) {
+        return;
+    }
+    let cell = cells[dst].lock().expect("coop cell poisoned");
+    if let Some(CoopOp::RecvWait { src, tag }) = cell.ops.front() {
+        if let Some(arrival) = core.peek_mailbox(dst, *src, *tag) {
+            phases[dst] = Phase::Ready;
+            ready.push(dst, cell.clock.max(arrival));
+        }
+    }
+}
+
+fn abort_deadlock_coop(
+    machine: &Machine,
+    core: &mut KernelCore,
+    cells: &[Arc<Mutex<CoopCell>>],
+    phases: &[Phase],
+) -> ! {
+    let mut info = DeadlockInfo { states: Vec::new() };
+    for (rank, phase) in phases.iter().enumerate() {
+        let cell = cells[rank].lock().expect("coop cell poisoned");
+        let what = match phase {
+            Phase::Done => "done".to_string(),
+            Phase::BlockedRecv => {
+                if let Some(CoopOp::RecvWait { src, tag }) = cell.ops.front() {
+                    core.record_blocked(rank, *src, *tag);
+                    format!(
+                        "blocked recv(src={src:?}, tag={tag:?}), mailbox has {} msgs",
+                        core.mailbox_len(rank)
+                    )
+                } else {
+                    "runnable?".to_string()
+                }
+            }
+            Phase::InBarrier => "waiting in barrier".to_string(),
+            Phase::Ready => "runnable?".to_string(),
+        };
+        info.states
+            .push(format!("rank {rank} @ {}ns: {what}", cell.clock));
+    }
+    core.flush_recording(true);
+    panic!("simulation deadlock on {}: {:#?}", machine.name, info);
+}
+
+fn abort_strict(core: &mut KernelCore, msg: String) -> ! {
+    core.flush_recording(false);
+    panic!("{msg}");
+}
+
+/// Run every rank of `machine` under the cooperative executor.
+pub(crate) fn simulate_coop<R, F, Fut>(
+    machine: &Machine,
+    config: &SimConfig,
+    program: &F,
+) -> SimOutcome<R>
+where
+    R: Send,
+    F: Fn(RankCtx) -> Fut + Sync,
+    Fut: Future<Output = R>,
+{
+    let p = machine.p();
+    assert!(p > 0);
+
+    let mut core = KernelCore::new(machine, config);
+    let recording = config.recorder.is_some();
+    let alpha_send = core.alpha_send;
+
+    let cells: Vec<Arc<Mutex<CoopCell>>> = (0..p)
+        .map(|_| Arc::new(Mutex::new(CoopCell::default())))
+        .collect();
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    let mut futs: Vec<Option<Pin<Box<Fut>>>> = (0..p)
+        .map(|rank| {
+            let ctx = RankCtx::new_coop(
+                rank,
+                p,
+                recording,
+                cells[rank].clone(),
+                alpha_send,
+                machine.params.clone(),
+            );
+            Some(Box::pin(program(ctx)))
+        })
+        .collect();
+
+    let mut phases = vec![Phase::Ready; p];
+    let mut ready = ReadyQueue::new(p);
+    let mut in_barrier = 0usize;
+    let mut live = p;
+    let mut finish_ns = vec![0; p];
+
+    // Run every rank up to its first suspension point, then classify.
+    for rank in 0..p {
+        poll_rank(rank, &mut futs, &mut results, &cells);
+    }
+    for rank in 0..p {
+        settle_head(
+            rank,
+            &cells,
+            &mut phases,
+            &mut ready,
+            &mut in_barrier,
+            &core,
+        );
+    }
+
+    while live > 0 {
+        // Barrier release: every live rank is suspended at a barrier.
+        if in_barrier == live {
+            let t_max = phases
+                .iter()
+                .enumerate()
+                .filter(|(_, ph)| **ph == Phase::InBarrier)
+                .map(|(rank, _)| cells[rank].lock().expect("coop cell poisoned").clock)
+                .max()
+                .expect("barrier with no participants");
+            let t_rel = core.barrier_release_time(t_max, live);
+            let released: Vec<usize> = (0..p).filter(|&r| phases[r] == Phase::InBarrier).collect();
+            in_barrier = 0;
+            for &rank in &released {
+                let mut cell = cells[rank].lock().expect("coop cell poisoned");
+                match cell.ops.pop_front() {
+                    Some(CoopOp::BarrierWait) => {}
+                    _ => unreachable!("in-barrier rank without BarrierWait at queue head"),
+                }
+                cell.clock = t_rel;
+                cell.grant = Some(CoopGrant::Done);
+            }
+            for &rank in &released {
+                poll_rank(rank, &mut futs, &mut results, &cells);
+            }
+            for &rank in &released {
+                settle_head(
+                    rank,
+                    &cells,
+                    &mut phases,
+                    &mut ready,
+                    &mut in_barrier,
+                    &core,
+                );
+            }
+            continue;
+        }
+
+        let Some((_, rank)) = ready.pop() else {
+            abort_deadlock_coop(machine, &mut core, &cells, &phases);
+        };
+
+        let op = cells[rank]
+            .lock()
+            .expect("coop cell poisoned")
+            .ops
+            .pop_front()
+            .expect("ready rank with empty op queue");
+        match op {
+            CoopOp::Send {
+                dst,
+                tag,
+                data,
+                eff,
+            } => {
+                core.process_send(rank, dst, tag, data, eff);
+                settle_head(
+                    rank,
+                    &cells,
+                    &mut phases,
+                    &mut ready,
+                    &mut in_barrier,
+                    &core,
+                );
+                wake_recv(dst, &cells, &mut phases, &mut ready, &core);
+            }
+            CoopOp::IterMark { .. } => {
+                core.process_iter_mark(rank);
+                settle_head(
+                    rank,
+                    &cells,
+                    &mut phases,
+                    &mut ready,
+                    &mut in_barrier,
+                    &core,
+                );
+            }
+            CoopOp::RecvWait { src, tag } => {
+                let clock = cells[rank].lock().expect("coop cell poisoned").clock;
+                match core.process_recv(rank, src, tag, clock) {
+                    Ok((env, new_clock)) => {
+                        {
+                            let mut cell = cells[rank].lock().expect("coop cell poisoned");
+                            cell.clock = new_clock;
+                            cell.grant = Some(CoopGrant::Received(env));
+                        }
+                        poll_rank(rank, &mut futs, &mut results, &cells);
+                        settle_head(
+                            rank,
+                            &cells,
+                            &mut phases,
+                            &mut ready,
+                            &mut in_barrier,
+                            &core,
+                        );
+                    }
+                    Err(msg) => abort_strict(&mut core, msg),
+                }
+            }
+            CoopOp::BarrierWait => {
+                unreachable!("BarrierWait scheduled through the ready queue")
+            }
+            CoopOp::Finished { eff } => {
+                if let Err(msg) = core.process_finish(rank) {
+                    abort_strict(&mut core, msg);
+                }
+                phases[rank] = Phase::Done;
+                finish_ns[rank] = eff;
+                live -= 1;
+            }
+        }
+    }
+
+    core.flush_recording(false);
+    let (contention_events, contention_ns) = core.contention();
+    let trace = core.take_trace();
+    let results: Vec<R> = results
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| r.unwrap_or_else(|| panic!("rank {rank} produced no result")))
+        .collect();
+    let makespan_ns = finish_ns.iter().copied().max().unwrap_or(0);
+    SimOutcome {
+        results,
+        finish_ns,
+        makespan_ns,
+        contention_events,
+        contention_ns,
+        trace,
+    }
+}

@@ -1,14 +1,30 @@
-//! The sequentialized direct-execution kernel.
+//! The deterministic simulation kernel.
 //!
-//! One OS thread per rank runs the user program; every communication call
-//! traps into this kernel, which advances virtual time deterministically
-//! (see crate docs for the scheduling rule and timing model).
+//! Rank programs are `async` state machines over [`RankCtx`]; every
+//! communication call advances this rank's virtual clock under the timing
+//! model in the crate docs. Two executors drive them:
+//!
+//! * **Cooperative** (default, [`ExecMode::Cooperative`]) — all rank
+//!   programs are multiplexed on the kernel's own thread (see
+//!   [`crate::exec`]). Sends, compute and memcpy charges are handled
+//!   rank-locally and deferred; only `recv` and `barrier` suspend.
+//! * **Threaded** ([`ExecMode::Threaded`]) — the original
+//!   one-OS-thread-per-rank trap/grant model, kept as the differential
+//!   baseline: every operation round-trips through two channels.
+//!
+//! Both executors feed the same [`KernelCore`] state machine (network,
+//! mailboxes, sequence numbers, recording), so virtual times, statistics
+//! and recorded schedules are bit-identical by construction.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
 
-use mpp_model::{LibraryKind, Machine, Time};
+use mpp_model::{LibraryKind, Machine, MachineParams, Time};
 
+use crate::exec::{simulate_coop, CoopCell, CoopGrant, CoopOp};
 use crate::mailbox::{Mailbox, MsgRec};
 use crate::network::NetworkState;
 use crate::payload::Payload;
@@ -16,13 +32,45 @@ use crate::record::{ScheduleEvent, ScheduleLog};
 use crate::trace::MsgTrace;
 use crate::Tag;
 
+/// Which executor drives the rank programs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Rank programs run as resumable state machines multiplexed on the
+    /// kernel thread — no per-rank OS threads, no channel round-trips.
+    Cooperative,
+    /// One OS thread per rank with a trap/grant channel protocol — the
+    /// original execution model, kept for differential testing.
+    Threaded,
+}
+
+impl ExecMode {
+    /// The executor selected by the `STP_EXEC` environment variable
+    /// (`coop`/`cooperative` or `threaded`/`threads`); cooperative when
+    /// unset or unrecognized.
+    pub fn from_env() -> Self {
+        match std::env::var("STP_EXEC").as_deref() {
+            Ok("threaded") | Ok("threads") | Ok("thread") => ExecMode::Threaded,
+            _ => ExecMode::Cooperative,
+        }
+    }
+
+    /// Lower-case display name (`"cooperative"` / `"threaded"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Cooperative => "cooperative",
+            ExecMode::Threaded => "threaded",
+        }
+    }
+}
+
 /// Kernel configuration knobs.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Library flavour scaling the α costs (NX vs MPI on the Paragon).
     pub lib: LibraryKind,
-    /// Stack size for rank threads. Algorithms here recurse at most
-    /// `O(log p)` deep, so the default 256 KiB is plenty even at p=1024.
+    /// Stack size for rank threads (threaded executor only). Algorithms
+    /// here recurse at most `O(log p)` deep, so the default 256 KiB is
+    /// plenty even at p=1024.
     pub stack_size: usize,
     /// Record a [`MsgTrace`] for every message (see
     /// [`SimOutcome::trace`]).
@@ -37,6 +85,9 @@ pub struct SimConfig {
     /// statically; enabling them turns schedule bugs into immediate
     /// panics at the offending operation.
     pub strict: bool,
+    /// Which executor drives the rank programs. Defaults to
+    /// [`ExecMode::from_env`] (cooperative unless `STP_EXEC=threaded`).
+    pub exec: ExecMode,
 }
 
 impl Default for SimConfig {
@@ -47,6 +98,7 @@ impl Default for SimConfig {
             trace: false,
             recorder: None,
             strict: false,
+            exec: ExecMode::from_env(),
         }
     }
 }
@@ -76,10 +128,11 @@ pub struct DeadlockInfo {
 }
 
 // ---------------------------------------------------------------------
-// Trap / grant protocol between rank threads and the kernel.
+// Trap / grant protocol between rank threads and the kernel
+// (threaded executor only).
 // ---------------------------------------------------------------------
 
-enum Trap {
+pub(crate) enum Trap {
     Send {
         dst: usize,
         tag: Tag,
@@ -108,20 +161,58 @@ enum Grant {
     Done { clock: Time },
 }
 
+/// How a [`RankCtx`] reaches the kernel.
+enum Link {
+    /// Channel round-trips to a kernel on another thread.
+    Threaded {
+        to_kernel: Sender<Trap>,
+        from_kernel: Receiver<Grant>,
+    },
+    /// Shared cell with the cooperative executor on the same thread.
+    /// Sends/compute/memcpy are handled rank-locally against the cell
+    /// (deferred ops + local clock); only recv/barrier suspend.
+    Coop {
+        cell: Arc<Mutex<CoopCell>>,
+        alpha_send: Time,
+        params: MachineParams,
+    },
+}
+
 /// The per-rank handle user programs communicate through.
 ///
-/// Obtained only inside [`simulate`]; every method traps into the kernel
-/// and advances this rank's virtual clock.
+/// Obtained only inside [`simulate`]; every method advances this rank's
+/// virtual clock. `recv` and `barrier` are `await`ed; everything else is
+/// synchronous.
 pub struct RankCtx {
     rank: usize,
     size: usize,
-    clock: Time,
+    clock: Time, // threaded-mode mirror; cooperative mode reads the cell
     recording: bool,
-    to_kernel: Sender<Trap>,
-    from_kernel: Receiver<Grant>,
+    link: Link,
 }
 
 impl RankCtx {
+    pub(crate) fn new_coop(
+        rank: usize,
+        size: usize,
+        recording: bool,
+        cell: Arc<Mutex<CoopCell>>,
+        alpha_send: Time,
+        params: MachineParams,
+    ) -> Self {
+        RankCtx {
+            rank,
+            size,
+            clock: 0,
+            recording,
+            link: Link::Coop {
+                cell,
+                alpha_send,
+                params,
+            },
+        }
+    }
+
     /// This rank's id, `0..size`.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -134,18 +225,25 @@ impl RankCtx {
         self.size
     }
 
-    /// This rank's virtual clock as of its last kernel interaction (ns).
+    /// This rank's virtual clock (ns).
     #[inline]
     pub fn clock(&self) -> Time {
-        self.clock
+        match &self.link {
+            Link::Threaded { .. } => self.clock,
+            Link::Coop { cell, .. } => cell.lock().expect("coop cell poisoned").clock,
+        }
     }
 
     fn call(&mut self, trap: Trap) -> Grant {
-        self.to_kernel
-            .send(trap)
-            .expect("simulation kernel terminated");
-        let grant = self
-            .from_kernel
+        let Link::Threaded {
+            to_kernel,
+            from_kernel,
+        } = &self.link
+        else {
+            unreachable!("channel trap on the cooperative link")
+        };
+        to_kernel.send(trap).expect("simulation kernel terminated");
+        let grant = from_kernel
             .recv()
             .expect("simulation kernel terminated (deadlock or rank panic elsewhere)");
         self.clock = match &grant {
@@ -169,11 +267,27 @@ impl RankCtx {
     /// on the byte length); no host-side copy is made.
     pub fn send_payload(&mut self, dst: usize, tag: Tag, data: impl Into<Payload>) {
         assert!(dst < self.size, "send to rank {dst} out of range");
-        match self.call(Trap::Send {
-            dst,
-            tag,
-            data: data.into(),
-        }) {
+        let data = data.into();
+        if let Link::Coop {
+            cell, alpha_send, ..
+        } = &self.link
+        {
+            // Rank-local: charge the startup cost and defer the transfer.
+            // The executor processes deferred sends in global
+            // (issue clock, rank) order, so network state, sequence
+            // numbers and mailbox contents match the threaded kernel.
+            let mut c = cell.lock().expect("coop cell poisoned");
+            let eff = c.clock;
+            c.ops.push_back(CoopOp::Send {
+                dst,
+                tag,
+                data,
+                eff,
+            });
+            c.clock = eff + *alpha_send;
+            return;
+        }
+        match self.call(Trap::Send { dst, tag, data }) {
             Grant::Sent { .. } => {}
             _ => unreachable!("kernel protocol violation"),
         }
@@ -181,15 +295,22 @@ impl RankCtx {
 
     /// Blocking receive. `src`/`tag` of `None` match anything; among
     /// matching messages the earliest-arriving is delivered.
-    pub fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> Envelope {
-        match self.call(Trap::Recv { src, tag }) {
-            Grant::Received { env, .. } => env,
-            _ => unreachable!("kernel protocol violation"),
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> RecvFuture<'_> {
+        RecvFuture {
+            ctx: self,
+            src,
+            tag,
+            registered: false,
         }
     }
 
     /// Charge local computation time directly (ns).
     pub fn compute_ns(&mut self, ns: Time) {
+        if let Link::Coop { cell, .. } = &self.link {
+            // Rank-local: only this rank's clock moves; no kernel trip.
+            cell.lock().expect("coop cell poisoned").clock += ns;
+            return;
+        }
         match self.call(Trap::ComputeNs { ns }) {
             Grant::Done { .. } => {}
             _ => unreachable!("kernel protocol violation"),
@@ -200,6 +321,10 @@ impl RankCtx {
     /// algorithms when *combining* messages, which the paper identifies as
     /// a first-order cost on the T3D.
     pub fn charge_memcpy(&mut self, bytes: usize) {
+        if let Link::Coop { cell, params, .. } = &self.link {
+            cell.lock().expect("coop cell poisoned").clock += params.memcpy_ns(bytes);
+            return;
+        }
         match self.call(Trap::Memcpy { bytes }) {
             Grant::Done { .. } => {}
             _ => unreachable!("kernel protocol violation"),
@@ -208,10 +333,10 @@ impl RankCtx {
 
     /// Global barrier, modelled as a dissemination barrier:
     /// `⌈log₂ p⌉ · (α_send + α_recv)` after the last rank arrives.
-    pub fn barrier(&mut self) {
-        match self.call(Trap::Barrier) {
-            Grant::Done { .. } => {}
-            _ => unreachable!("kernel protocol violation"),
+    pub fn barrier(&mut self) -> BarrierFuture<'_> {
+        BarrierFuture {
+            ctx: self,
+            registered: false,
         }
     }
 
@@ -223,9 +348,102 @@ impl RankCtx {
         if !self.recording {
             return;
         }
+        if let Link::Coop { cell, .. } = &self.link {
+            let mut c = cell.lock().expect("coop cell poisoned");
+            let eff = c.clock;
+            c.ops.push_back(CoopOp::IterMark { eff });
+            return;
+        }
         match self.call(Trap::IterMark) {
             Grant::Done { .. } => {}
             _ => unreachable!("kernel protocol violation"),
+        }
+    }
+}
+
+/// Future returned by [`RankCtx::recv`].
+///
+/// Threaded link: the blocking trap/grant round-trip happens inside the
+/// first poll (never pends). Cooperative link: the first poll registers
+/// a `RecvWait` with the executor and pends; the executor re-polls after
+/// depositing the matched envelope.
+pub struct RecvFuture<'a> {
+    ctx: &'a mut RankCtx,
+    src: Option<usize>,
+    tag: Option<Tag>,
+    registered: bool,
+}
+
+impl Future for RecvFuture<'_> {
+    type Output = Envelope;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Envelope> {
+        let this = self.get_mut();
+        if let Link::Coop { cell, .. } = &this.ctx.link {
+            let mut c = cell.lock().expect("coop cell poisoned");
+            if !this.registered {
+                this.registered = true;
+                c.ops.push_back(CoopOp::RecvWait {
+                    src: this.src,
+                    tag: this.tag,
+                });
+                return Poll::Pending;
+            }
+            return match c.grant.take() {
+                Some(CoopGrant::Received(env)) => Poll::Ready(env),
+                Some(CoopGrant::Done) => unreachable!("mismatched cooperative grant"),
+                None => Poll::Pending,
+            };
+        }
+        let (src, tag) = (this.src, this.tag);
+        match this.ctx.call(Trap::Recv { src, tag }) {
+            Grant::Received { env, .. } => Poll::Ready(env),
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+}
+
+/// Future returned by [`RankCtx::barrier`]; see [`RecvFuture`] for the
+/// suspension protocol.
+pub struct BarrierFuture<'a> {
+    ctx: &'a mut RankCtx,
+    registered: bool,
+}
+
+impl Future for BarrierFuture<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        if let Link::Coop { cell, .. } = &this.ctx.link {
+            let mut c = cell.lock().expect("coop cell poisoned");
+            if !this.registered {
+                this.registered = true;
+                c.ops.push_back(CoopOp::BarrierWait);
+                return Poll::Pending;
+            }
+            return match c.grant.take() {
+                Some(CoopGrant::Done) => Poll::Ready(()),
+                Some(CoopGrant::Received(_)) => unreachable!("mismatched cooperative grant"),
+                None => Poll::Pending,
+            };
+        }
+        match this.ctx.call(Trap::Barrier) {
+            Grant::Done { .. } => Poll::Ready(()),
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+}
+
+/// Drive a future that never pends to completion (the blocking
+/// backends: threaded rank programs, the real-threads runtime backend).
+pub fn block_on_ready<Fut: Future>(fut: Fut) -> Fut::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = Context::from_waker(Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(v) => v,
+        Poll::Pending => {
+            panic!("blocking-backend future suspended; only cooperative runs may pend")
         }
     }
 }
@@ -259,21 +477,22 @@ impl<R> SimOutcome<R> {
 /// ```
 /// use mpp_model::Machine;
 /// let machine = Machine::paragon(1, 2);
-/// let out = mpp_sim::simulate(&machine, |ctx| {
+/// let out = mpp_sim::simulate(&machine, |mut ctx| async move {
 ///     if ctx.rank() == 0 {
 ///         ctx.send(1, 0, b"ping");
 ///         0
 ///     } else {
-///         ctx.recv(Some(0), Some(0)).data.len()
+///         ctx.recv(Some(0), Some(0)).await.data.len()
 ///     }
 /// });
 /// assert_eq!(out.results, vec![0, 4]);
 /// assert!(out.makespan_ns > 0);
 /// ```
-pub fn simulate<R, F>(machine: &Machine, program: F) -> SimOutcome<R>
+pub fn simulate<R, F, Fut>(machine: &Machine, program: F) -> SimOutcome<R>
 where
     R: Send,
-    F: Fn(&mut RankCtx) -> R + Sync,
+    F: Fn(RankCtx) -> Fut + Sync,
+    Fut: Future<Output = R>,
 {
     simulate_with(machine, &SimConfig::default(), program)
 }
@@ -283,11 +502,24 @@ where
 /// # Panics
 ///
 /// Panics with a [`DeadlockInfo`] dump if every live rank is blocked in
-/// `recv` with no matching message in flight, or if a rank thread panics.
-pub fn simulate_with<R, F>(machine: &Machine, config: &SimConfig, program: F) -> SimOutcome<R>
+/// `recv` with no matching message in flight, or if a rank program panics.
+pub fn simulate_with<R, F, Fut>(machine: &Machine, config: &SimConfig, program: F) -> SimOutcome<R>
 where
     R: Send,
-    F: Fn(&mut RankCtx) -> R + Sync,
+    F: Fn(RankCtx) -> Fut + Sync,
+    Fut: Future<Output = R>,
+{
+    match config.exec {
+        ExecMode::Cooperative => simulate_coop(machine, config, &program),
+        ExecMode::Threaded => simulate_threaded(machine, config, &program),
+    }
+}
+
+fn simulate_threaded<R, F, Fut>(machine: &Machine, config: &SimConfig, program: &F) -> SimOutcome<R>
+where
+    R: Send,
+    F: Fn(RankCtx) -> Fut + Sync,
+    Fut: Future<Output = R>,
 {
     let p = machine.p();
     assert!(p > 0);
@@ -310,7 +542,6 @@ where
             rank_ends.push(Some((rank, trap_tx, grant_rx)));
         }
 
-        let program = &program;
         let results = &results;
         let kernel_out = std::thread::scope(|scope| {
             for end in rank_ends.iter_mut() {
@@ -321,19 +552,22 @@ where
                     .stack_size(config.stack_size);
                 builder
                     .spawn_scoped(scope, move || {
-                        let mut ctx = RankCtx {
+                        let finish_tx = trap_tx.clone();
+                        let ctx = RankCtx {
                             rank,
                             size: p,
                             clock: 0,
                             recording,
-                            to_kernel: trap_tx,
-                            from_kernel: grant_rx,
+                            link: Link::Threaded {
+                                to_kernel: trap_tx,
+                                from_kernel: grant_rx,
+                            },
                         };
-                        let out = program(&mut ctx);
+                        let out = block_on_ready(program(ctx));
                         results.lock().unwrap()[rank] = Some(out);
                         // Ignore send failure: the kernel may already have
                         // aborted on another rank's panic.
-                        let _ = ctx.to_kernel.send(Trap::Finished);
+                        let _ = finish_tx.send(Trap::Finished);
                     })
                     .expect("failed to spawn rank thread");
             }
@@ -363,16 +597,239 @@ where
     }
 }
 
+// ---------------------------------------------------------------------
+// KernelCore: the executor-independent half of the kernel.
+// ---------------------------------------------------------------------
+
+/// Shared simulation state and event processing. Both executors route
+/// every globally visible effect (network transfers, sequence numbers,
+/// mailbox inserts, traces, schedule events, strict checks) through
+/// these methods in the same global order, which is what makes their
+/// outcomes bit-identical.
+pub(crate) struct KernelCore<'m> {
+    machine: &'m Machine,
+    lib: LibraryKind,
+    pub alpha_send: Time,
+    pub alpha_recv: Time,
+    trace_on: bool,
+    strict: bool,
+    recording: bool,
+    recorder: Option<ScheduleLog>,
+    net: NetworkState,
+    mailboxes: Vec<Mailbox>,
+    seq: u64,
+    steps: Vec<u32>,
+    trace: Vec<MsgTrace>,
+    events: Vec<ScheduleEvent>,
+}
+
+impl<'m> KernelCore<'m> {
+    pub fn new(machine: &'m Machine, config: &SimConfig) -> Self {
+        let p = machine.p();
+        KernelCore {
+            machine,
+            lib: config.lib,
+            alpha_send: machine.params.alpha_send(config.lib),
+            alpha_recv: machine.params.alpha_recv(config.lib),
+            trace_on: config.trace,
+            strict: config.strict,
+            recording: config.recorder.is_some(),
+            recorder: config.recorder.clone(),
+            net: NetworkState::new(machine),
+            mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
+            seq: 0,
+            steps: vec![0; p],
+            trace: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Earliest arrival among `rank`'s mailbox messages matching the
+    /// filter, if any.
+    pub fn peek_mailbox(&self, rank: usize, src: Option<usize>, tag: Option<Tag>) -> Option<Time> {
+        self.mailboxes[rank].peek_match(src, tag).map(|(a, _)| a)
+    }
+
+    pub fn mailbox_len(&self, rank: usize) -> usize {
+        self.mailboxes[rank].len()
+    }
+
+    /// Process a send issued at `clock_at_issue`; returns the sender's
+    /// post-send clock (`clock_at_issue + α_send`).
+    pub fn process_send(
+        &mut self,
+        src_rank: usize,
+        dst: usize,
+        tag: Tag,
+        data: Payload,
+        clock_at_issue: Time,
+    ) -> Time {
+        let ready = clock_at_issue + self.alpha_send;
+        let bytes = data.len();
+        let wire_ns = self.machine.params.serialize_ns_lib(bytes, self.lib);
+        let arrival = self
+            .net
+            .transfer(self.machine, src_rank, dst, bytes, wire_ns, ready);
+        if self.trace_on {
+            self.trace.push(MsgTrace {
+                src: src_rank,
+                dst,
+                tag,
+                bytes,
+                send_ns: ready,
+                arrival_ns: arrival,
+                stalled_ns: self.net.last_stall_ns,
+            });
+        }
+        self.seq += 1;
+        if self.recording {
+            self.events.push(ScheduleEvent::Send {
+                step: self.steps[src_rank],
+                seq: self.seq,
+                src: src_rank,
+                dst,
+                tag,
+                data: data.clone(),
+            });
+        }
+        self.mailboxes[dst].insert(MsgRec {
+            arrival,
+            seq: self.seq,
+            src: src_rank,
+            tag,
+            data,
+        });
+        ready
+    }
+
+    /// Process a receive selected by the scheduler (a match must exist).
+    /// Returns the envelope and the receiver's new clock, or the strict
+    /// diagnostic when the match was ambiguous.
+    pub fn process_recv(
+        &mut self,
+        rank: usize,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        clock: Time,
+    ) -> Result<(Envelope, Time), String> {
+        let rec = self.mailboxes[rank]
+            .take_match(src, tag)
+            .expect("selected recv without match");
+        if self.recording || self.strict {
+            // Duplicates left behind share the matched (src, tag):
+            // delivery order alone decided which one this receive
+            // consumed — the match-ambiguity hazard.
+            let dup = self.mailboxes[rank].count_src_tag(rec.src, rec.tag) + 1;
+            if self.recording {
+                self.events.push(ScheduleEvent::Recv {
+                    step: self.steps[rank],
+                    rank,
+                    src_filter: src,
+                    tag_filter: tag,
+                    seq: rec.seq,
+                    src: rec.src,
+                    tag: rec.tag,
+                    dup_in_flight: dup,
+                });
+            }
+            if self.strict && dup > 1 {
+                return Err(format!(
+                    "ambiguous receive at rank {rank}: {dup} in-flight messages \
+                     with (src={}, tag={}) — delivery depends on queue order",
+                    rec.src, rec.tag
+                ));
+            }
+        }
+        let arrival = rec.arrival;
+        let waited_ns = arrival.saturating_sub(clock);
+        let new_clock = clock.max(arrival) + self.alpha_recv;
+        Ok((
+            Envelope {
+                src: rec.src,
+                tag: rec.tag,
+                data: rec.data,
+                arrival,
+                waited_ns,
+            },
+            new_clock,
+        ))
+    }
+
+    pub fn process_iter_mark(&mut self, rank: usize) {
+        self.steps[rank] += 1;
+        if self.recording {
+            self.events.push(ScheduleEvent::IterEnd { rank });
+        }
+    }
+
+    /// Process a rank's termination; `Err` carries the strict leftover
+    /// diagnostic.
+    pub fn process_finish(&mut self, rank: usize) -> Result<(), String> {
+        let leftover = self.mailboxes[rank].len();
+        if self.recording {
+            self.events.push(ScheduleEvent::Finished { rank, leftover });
+        }
+        if self.strict && leftover > 0 {
+            return Err(format!(
+                "rank {rank} finished with {leftover} undelivered message(s) \
+                 in its mailbox — unmatched send(s)"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Barrier exit time: dissemination rounds after the last arrival.
+    pub fn barrier_release_time(&self, t_max: Time, live: usize) -> Time {
+        let rounds = usize::BITS - (live.max(2) - 1).leading_zeros();
+        t_max + rounds as Time * (self.alpha_send + self.alpha_recv)
+    }
+
+    /// Record a rank stuck in `recv` at deadlock time.
+    pub fn record_blocked(&mut self, rank: usize, src: Option<usize>, tag: Option<Tag>) {
+        self.events.push(ScheduleEvent::Blocked {
+            rank,
+            src_filter: src,
+            tag_filter: tag,
+        });
+    }
+
+    /// Hand the accumulated schedule events to the configured recorder
+    /// (if any). Safe to call from abort paths: later flushes append
+    /// nothing.
+    pub fn flush_recording(&mut self, deadlocked: bool) {
+        if let Some(log) = &self.recorder {
+            let mut rec = log.lock().expect("schedule log poisoned");
+            rec.events.append(&mut self.events);
+            rec.deadlocked |= deadlocked;
+        }
+    }
+
+    pub fn memcpy_ns(&self, bytes: usize) -> Time {
+        self.machine.params.memcpy_ns(bytes)
+    }
+
+    pub fn contention(&self) -> (u64, Time) {
+        (self.net.contention_events, self.net.contention_ns)
+    }
+
+    pub fn take_trace(&mut self) -> Vec<MsgTrace> {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The threaded kernel loop (differential baseline).
+// ---------------------------------------------------------------------
+
 struct RankState {
     clock: Time,
     pending: Option<Trap>,
     done: bool,
     in_barrier: bool,
-    blocked_recv: bool,
 }
 
-/// The kernel proper. Runs on the calling thread while rank threads wait.
-/// Returns `(contention_events, contention_ns, trace)`.
+/// The threaded kernel proper. Runs on the calling thread while rank
+/// threads wait. Returns `(contention_events, contention_ns, trace)`.
 fn run_kernel(
     machine: &Machine,
     config: &SimConfig,
@@ -381,33 +838,21 @@ fn run_kernel(
     finish_ns: &mut [Time],
 ) -> (u64, Time, Vec<MsgTrace>) {
     let p = machine.p();
-    let params = &machine.params;
-    let lib = config.lib;
-    let alpha_send = params.alpha_send(lib);
-    let alpha_recv = params.alpha_recv(lib);
-
-    let mut net = NetworkState::new(machine);
-    let mut mailboxes: Vec<Mailbox> = (0..p).map(|_| Mailbox::new()).collect();
+    let mut core = KernelCore::new(machine, config);
     let mut states: Vec<RankState> = (0..p)
         .map(|_| RankState {
             clock: 0,
             pending: None,
             done: false,
             in_barrier: false,
-            blocked_recv: false,
         })
         .collect();
-    let mut seq: u64 = 0;
     let mut live = p;
-    let mut trace: Vec<MsgTrace> = Vec::new();
-    let recording = config.recorder.is_some();
-    let mut events: Vec<ScheduleEvent> = Vec::new();
-    let mut steps: Vec<u32> = vec![0; p];
 
     // Collect the initial trap from every rank (threads run concurrently
     // up to their first communication call — zero virtual time).
     for rank in 0..p {
-        states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+        states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
     }
 
     while live > 0 {
@@ -427,8 +872,7 @@ fn run_kernel(
                 .map(|s| s.clock)
                 .max()
                 .unwrap();
-            let rounds = usize::BITS - (live.max(2) - 1).leading_zeros();
-            let t_rel = t_max + rounds as Time * (alpha_send + alpha_recv);
+            let t_rel = core.barrier_release_time(t_max, live);
             for (rank, st) in states.iter_mut().enumerate() {
                 if st.done {
                     continue;
@@ -440,7 +884,7 @@ fn run_kernel(
             }
             for rank in 0..p {
                 if !states[rank].done {
-                    states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+                    states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
                 }
             }
             continue;
@@ -454,8 +898,8 @@ fn run_kernel(
                 continue;
             }
             let eff = match st.pending.as_ref().expect("live rank without pending trap") {
-                Trap::Recv { src, tag } => match mailboxes[rank].peek_match(*src, *tag) {
-                    Some((arrival, _)) => st.clock.max(arrival),
+                Trap::Recv { src, tag } => match core.peek_mailbox(rank, *src, *tag) {
+                    Some(arrival) => st.clock.max(arrival),
                     None => continue, // blocked
                 },
                 _ => st.clock,
@@ -466,137 +910,49 @@ fn run_kernel(
         }
 
         let Some((_, rank)) = best else {
-            abort_deadlock(machine, config, &states, &mailboxes, grant_txs, &mut events);
+            abort_deadlock(machine, &mut core, &states, grant_txs);
         };
 
         let trap = states[rank].pending.take().unwrap();
         match trap {
             Trap::Send { dst, tag, data } => {
-                let ready = states[rank].clock + alpha_send;
-                let bytes = data.len();
-                let wire_ns = params.serialize_ns_lib(bytes, lib);
-                let arrival = net.transfer(machine, rank, dst, bytes, wire_ns, ready);
-                if config.trace {
-                    trace.push(MsgTrace {
-                        src: rank,
-                        dst,
-                        tag,
-                        bytes,
-                        send_ns: ready,
-                        arrival_ns: arrival,
-                        stalled_ns: net.last_stall_ns,
-                    });
-                }
-                seq += 1;
-                if recording {
-                    events.push(ScheduleEvent::Send {
-                        step: steps[rank],
-                        seq,
-                        src: rank,
-                        dst,
-                        tag,
-                        data: data.clone(),
-                    });
-                }
-                mailboxes[dst].insert(MsgRec {
-                    arrival,
-                    seq,
-                    src: rank,
-                    tag,
-                    data,
-                });
+                let ready = core.process_send(rank, dst, tag, data, states[rank].clock);
                 states[rank].clock = ready;
                 send_grant(grant_txs, rank, Grant::Sent { clock: ready });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
             }
             Trap::Recv { src, tag } => {
-                let rec = mailboxes[rank]
-                    .take_match(src, tag)
-                    .expect("selected recv without match");
-                if recording || config.strict {
-                    // Duplicates left behind share the matched (src, tag):
-                    // delivery order alone decided which one this receive
-                    // consumed — the match-ambiguity hazard.
-                    let dup = mailboxes[rank].count_src_tag(rec.src, rec.tag) + 1;
-                    if recording {
-                        events.push(ScheduleEvent::Recv {
-                            step: steps[rank],
-                            rank,
-                            src_filter: src,
-                            tag_filter: tag,
-                            seq: rec.seq,
-                            src: rec.src,
-                            tag: rec.tag,
-                            dup_in_flight: dup,
-                        });
+                match core.process_recv(rank, src, tag, states[rank].clock) {
+                    Ok((env, clock)) => {
+                        states[rank].clock = clock;
+                        send_grant(grant_txs, rank, Grant::Received { env, clock });
+                        states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
                     }
-                    if config.strict && dup > 1 {
-                        abort_kernel(
-                            config,
-                            grant_txs,
-                            &mut events,
-                            false,
-                            format!(
-                                "ambiguous receive at rank {rank}: {dup} in-flight messages \
-                                 with (src={}, tag={}) — delivery depends on queue order",
-                                rec.src, rec.tag
-                            ),
-                        );
-                    }
+                    Err(msg) => abort_kernel(&mut core, grant_txs, false, msg),
                 }
-                let arrival = rec.arrival;
-                let waited_ns = arrival.saturating_sub(states[rank].clock);
-                let clock = states[rank].clock.max(arrival) + alpha_recv;
-                states[rank].clock = clock;
-                states[rank].blocked_recv = false;
-                let env = Envelope {
-                    src: rec.src,
-                    tag: rec.tag,
-                    data: rec.data,
-                    arrival,
-                    waited_ns,
-                };
-                send_grant(grant_txs, rank, Grant::Received { env, clock });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
             }
             Trap::ComputeNs { ns } => {
                 states[rank].clock += ns;
                 let clock = states[rank].clock;
                 send_grant(grant_txs, rank, Grant::Done { clock });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
             }
             Trap::Memcpy { bytes } => {
-                states[rank].clock += params.memcpy_ns(bytes);
+                states[rank].clock += core.memcpy_ns(bytes);
                 let clock = states[rank].clock;
                 send_grant(grant_txs, rank, Grant::Done { clock });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
             }
             Trap::Barrier => unreachable!("barrier traps handled above"),
             Trap::IterMark => {
-                steps[rank] += 1;
-                if recording {
-                    events.push(ScheduleEvent::IterEnd { rank });
-                }
+                core.process_iter_mark(rank);
                 let clock = states[rank].clock;
                 send_grant(grant_txs, rank, Grant::Done { clock });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, &states, rank));
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
             }
             Trap::Finished => {
-                let leftover = mailboxes[rank].len();
-                if recording {
-                    events.push(ScheduleEvent::Finished { rank, leftover });
-                }
-                if config.strict && leftover > 0 {
-                    abort_kernel(
-                        config,
-                        grant_txs,
-                        &mut events,
-                        false,
-                        format!(
-                            "rank {rank} finished with {leftover} undelivered message(s) \
-                             in its mailbox — unmatched send(s)"
-                        ),
-                    );
+                if let Err(msg) = core.process_finish(rank) {
+                    abort_kernel(&mut core, grant_txs, false, msg);
                 }
                 states[rank].done = true;
                 finish_ns[rank] = states[rank].clock;
@@ -606,31 +962,21 @@ fn run_kernel(
         }
     }
 
-    flush_recording(config, &mut events, false);
-    (net.contention_events, net.contention_ns, trace)
-}
-
-/// Hand the accumulated schedule events to the configured recorder (if
-/// any). Safe to call from abort paths: later flushes append nothing.
-fn flush_recording(config: &SimConfig, events: &mut Vec<ScheduleEvent>, deadlocked: bool) {
-    if let Some(log) = &config.recorder {
-        let mut rec = log.lock().expect("schedule log poisoned");
-        rec.events.append(events);
-        rec.deadlocked |= deadlocked;
-    }
+    core.flush_recording(false);
+    let (contention_events, contention_ns) = core.contention();
+    (contention_events, contention_ns, core.take_trace())
 }
 
 /// Abort the simulation on a strict-check violation: flush the schedule
 /// log, release every rank thread so `thread::scope` can join, then
 /// propagate the diagnostic as a panic.
 fn abort_kernel(
-    config: &SimConfig,
+    core: &mut KernelCore,
     grant_txs: &mut [Option<Sender<Grant>>],
-    events: &mut Vec<ScheduleEvent>,
     deadlocked: bool,
     msg: String,
 ) -> ! {
-    flush_recording(config, events, deadlocked);
+    core.flush_recording(deadlocked);
     for tx in grant_txs.iter_mut() {
         *tx = None;
     }
@@ -640,7 +986,6 @@ fn abort_kernel(
 fn recv_trap(
     trap_rxs: &[Receiver<Trap>],
     grant_txs: &mut [Option<Sender<Grant>>],
-    states: &[RankState],
     rank: usize,
 ) -> Trap {
     match trap_rxs[rank].recv() {
@@ -651,7 +996,6 @@ fn recv_trap(
             for tx in grant_txs.iter_mut() {
                 *tx = None;
             }
-            let _ = states;
             panic!("rank {rank} terminated abnormally (panicked inside the simulated program)");
         }
     }
@@ -667,11 +1011,9 @@ fn send_grant(grant_txs: &[Option<Sender<Grant>>], rank: usize, grant: Grant) {
 
 fn abort_deadlock(
     machine: &Machine,
-    config: &SimConfig,
+    core: &mut KernelCore,
     states: &[RankState],
-    mailboxes: &[Mailbox],
     grant_txs: &mut [Option<Sender<Grant>>],
-    events: &mut Vec<ScheduleEvent>,
 ) -> ! {
     let mut info = DeadlockInfo { states: Vec::new() };
     for (rank, st) in states.iter().enumerate() {
@@ -680,14 +1022,10 @@ fn abort_deadlock(
         } else {
             match st.pending.as_ref() {
                 Some(Trap::Recv { src, tag }) => {
-                    events.push(ScheduleEvent::Blocked {
-                        rank,
-                        src_filter: *src,
-                        tag_filter: *tag,
-                    });
+                    core.record_blocked(rank, *src, *tag);
                     format!(
                         "blocked recv(src={src:?}, tag={tag:?}), mailbox has {} msgs",
-                        mailboxes[rank].len()
+                        core.mailbox_len(rank)
                     )
                 }
                 Some(Trap::Barrier) => "waiting in barrier".to_string(),
@@ -697,13 +1035,8 @@ fn abort_deadlock(
         info.states
             .push(format!("rank {rank} @ {}ns: {what}", st.clock));
     }
-    abort_kernel(
-        config,
-        grant_txs,
-        events,
-        true,
-        format!("simulation deadlock on {}: {:#?}", machine.name, info),
-    );
+    let msg = format!("simulation deadlock on {}: {:#?}", machine.name, info);
+    abort_kernel(core, grant_txs, true, msg);
 }
 
 #[cfg(test)]
@@ -715,15 +1048,29 @@ mod tests {
         Machine::paragon(2, 4)
     }
 
+    fn threaded() -> SimConfig {
+        SimConfig {
+            exec: ExecMode::Threaded,
+            ..SimConfig::default()
+        }
+    }
+
+    fn coop() -> SimConfig {
+        SimConfig {
+            exec: ExecMode::Cooperative,
+            ..SimConfig::default()
+        }
+    }
+
     #[test]
     fn two_rank_ping() {
         let m = Machine::paragon(1, 2);
-        let out = simulate(&m, |ctx| {
+        let out = simulate(&m, |mut ctx| async move {
             if ctx.rank() == 0 {
                 ctx.send(1, 7, b"hello");
                 0u64
             } else {
-                let env = ctx.recv(Some(0), Some(7));
+                let env = ctx.recv(Some(0), Some(7)).await;
                 assert_eq!(env.data, b"hello");
                 env.arrival
             }
@@ -744,21 +1091,23 @@ mod tests {
         // twice with wildcard and must get the earlier arrival first even
         // though the farther message was sent first (same clocks).
         let m = Machine::paragon(1, 8);
-        let out = simulate(&m, |ctx| match ctx.rank() {
-            7 => {
-                ctx.send(0, 1, b"far");
-                Vec::new()
+        let out = simulate(&m, |mut ctx| async move {
+            match ctx.rank() {
+                7 => {
+                    ctx.send(0, 1, b"far");
+                    Vec::new()
+                }
+                1 => {
+                    ctx.send(0, 1, b"near");
+                    Vec::new()
+                }
+                0 => {
+                    let a = ctx.recv(None, Some(1)).await;
+                    let b = ctx.recv(None, Some(1)).await;
+                    vec![a.src, b.src]
+                }
+                _ => Vec::new(),
             }
-            1 => {
-                ctx.send(0, 1, b"near");
-                Vec::new()
-            }
-            0 => {
-                let a = ctx.recv(None, Some(1));
-                let b = ctx.recv(None, Some(1));
-                vec![a.src, b.src]
-            }
-            _ => Vec::new(),
         });
         assert_eq!(out.results[0], vec![1, 7]);
     }
@@ -766,13 +1115,13 @@ mod tests {
     #[test]
     fn recv_wait_time_reported() {
         let m = Machine::paragon(1, 2);
-        let out = simulate(&m, |ctx| {
+        let out = simulate(&m, |mut ctx| async move {
             if ctx.rank() == 0 {
                 ctx.compute_ns(1_000_000); // sender is slow
                 ctx.send(1, 0, &[1; 128]);
                 0
             } else {
-                let env = ctx.recv(Some(0), Some(0));
+                let env = ctx.recv(Some(0), Some(0)).await;
                 env.waited_ns
             }
         });
@@ -786,12 +1135,12 @@ mod tests {
     fn deterministic_across_runs() {
         let m = ring_machine();
         let run = || {
-            simulate(&m, |ctx| {
+            simulate(&m, |mut ctx| async move {
                 let p = ctx.size();
                 let next = (ctx.rank() + 1) % p;
                 let prev = (ctx.rank() + p - 1) % p;
                 ctx.send(next, 3, &vec![ctx.rank() as u8; 256]);
-                let env = ctx.recv(Some(prev), Some(3));
+                let env = ctx.recv(Some(prev), Some(3)).await;
                 ctx.charge_memcpy(env.data.len());
                 ctx.clock()
             })
@@ -804,13 +1153,46 @@ mod tests {
     }
 
     #[test]
+    fn cooperative_and_threaded_agree_exactly() {
+        // The differential core check: both executors must produce
+        // bit-identical virtual outcomes on a messy program mixing
+        // wildcard receives, compute, memcpy and barriers.
+        let m = ring_machine();
+        let run = |config: &SimConfig| {
+            simulate_with(&m, config, |mut ctx| async move {
+                let p = ctx.size();
+                let me = ctx.rank();
+                ctx.compute_ns(137 * me as u64);
+                for d in 0..3usize {
+                    ctx.send((me + d + 1) % p, d as u32, &vec![me as u8; 64 + 32 * d]);
+                }
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    let env = ctx.recv(None, None).await;
+                    ctx.charge_memcpy(env.data.len());
+                    got.push((env.src, env.tag, env.arrival));
+                }
+                ctx.barrier().await;
+                (got, ctx.clock())
+            })
+        };
+        let a = run(&coop());
+        let b = run(&threaded());
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.finish_ns, b.finish_ns);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.contention_events, b.contention_events);
+        assert_eq!(a.contention_ns, b.contention_ns);
+    }
+
+    #[test]
     fn barrier_synchronizes_clocks() {
         let m = ring_machine();
-        let out = simulate(&m, |ctx| {
+        let out = simulate(&m, |mut ctx| async move {
             if ctx.rank() == 0 {
                 ctx.compute_ns(5_000_000);
             }
-            ctx.barrier();
+            ctx.barrier().await;
             ctx.clock()
         });
         let clocks: Vec<_> = out.results;
@@ -821,7 +1203,7 @@ mod tests {
     #[test]
     fn compute_and_memcpy_advance_clock() {
         let m = Machine::paragon(1, 2);
-        let out = simulate(&m, |ctx| {
+        let out = simulate(&m, |mut ctx| async move {
             if ctx.rank() == 0 {
                 ctx.compute_ns(123);
                 ctx.charge_memcpy(1024);
@@ -837,22 +1219,31 @@ mod tests {
     #[should_panic(expected = "deadlock")]
     fn deadlock_is_detected() {
         let m = Machine::paragon(1, 2);
-        simulate(&m, |ctx| {
+        simulate(&m, |mut ctx| async move {
             // Both ranks receive, nobody sends.
-            let _ = ctx.recv(None, None);
+            let _ = ctx.recv(None, None).await;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected_threaded() {
+        let m = Machine::paragon(1, 2);
+        simulate_with(&m, &threaded(), |mut ctx| async move {
+            let _ = ctx.recv(None, None).await;
         });
     }
 
     #[test]
     fn mpi_config_slower_than_nx() {
         let m = Machine::paragon(1, 4);
-        let prog = |ctx: &mut RankCtx| {
+        let prog = |mut ctx: RankCtx| async move {
             if ctx.rank() == 0 {
                 for dst in 1..4 {
                     ctx.send(dst, 0, &[0u8; 1024]);
                 }
             } else {
-                ctx.recv(Some(0), Some(0));
+                ctx.recv(Some(0), Some(0)).await;
             }
         };
         let nx = simulate_with(
@@ -879,16 +1270,16 @@ mod tests {
     #[test]
     fn tag_filtering_respects_order_within_tag() {
         let m = Machine::paragon(1, 2);
-        let out = simulate(&m, |ctx| {
+        let out = simulate(&m, |mut ctx| async move {
             if ctx.rank() == 0 {
                 ctx.send(1, 10, b"a");
                 ctx.send(1, 20, b"b");
                 ctx.send(1, 10, b"c");
                 Vec::new()
             } else {
-                let x = ctx.recv(Some(0), Some(20));
-                let y = ctx.recv(Some(0), Some(10));
-                let z = ctx.recv(Some(0), Some(10));
+                let x = ctx.recv(Some(0), Some(20)).await;
+                let y = ctx.recv(Some(0), Some(10)).await;
+                let z = ctx.recv(Some(0), Some(10)).await;
                 vec![x.data, y.data, z.data]
             }
         });
@@ -901,10 +1292,10 @@ mod tests {
     #[test]
     fn hot_spot_contention_is_counted() {
         let m = Machine::paragon(4, 4);
-        let out = simulate(&m, |ctx| {
+        let out = simulate(&m, |mut ctx| async move {
             if ctx.rank() == 0 {
                 for _ in 1..16 {
-                    ctx.recv(None, None);
+                    ctx.recv(None, None).await;
                 }
             } else {
                 ctx.send(0, 0, &[0u8; 16384]);
@@ -923,13 +1314,13 @@ mod tests {
             trace: true,
             ..Default::default()
         };
-        let out = simulate_with(&m, &config, |ctx| {
+        let out = simulate_with(&m, &config, |mut ctx| async move {
             if ctx.rank() == 0 {
                 for dst in 1..4 {
                     ctx.send(dst, 5, &[0u8; 256]);
                 }
             } else {
-                ctx.recv(Some(0), Some(5));
+                ctx.recv(Some(0), Some(5)).await;
             }
         });
         assert_eq!(out.trace.len(), 3);
@@ -939,11 +1330,11 @@ mod tests {
             assert!(t.arrival_ns > t.send_ns);
         }
         // Untraced runs stay empty.
-        let out2 = simulate(&m, |ctx| {
+        let out2 = simulate(&m, |mut ctx| async move {
             if ctx.rank() == 0 {
                 ctx.send(1, 5, &[0u8; 8]);
             } else if ctx.rank() == 1 {
-                ctx.recv(Some(0), Some(5));
+                ctx.recv(Some(0), Some(5)).await;
             }
         });
         assert!(out2.trace.is_empty());
@@ -952,7 +1343,7 @@ mod tests {
     #[test]
     fn makespan_is_max_finish() {
         let m = ring_machine();
-        let out = simulate(&m, |ctx| {
+        let out = simulate(&m, |mut ctx| async move {
             ctx.compute_ns(100 * (ctx.rank() as u64 + 1));
         });
         assert_eq!(out.makespan_ns, 800);

@@ -2,15 +2,31 @@
 //!
 //! # Execution model
 //!
-//! Each virtual processor (*rank*) runs the user's per-rank program on its
-//! own OS thread, but the simulation kernel lets **exactly one rank run at
-//! a time** ("sequentialized direct execution"): a rank runs until its next
-//! communication call, which traps into the kernel; the kernel then picks
-//! the runnable rank with the smallest virtual clock (ties broken by rank
-//! id) and resumes it. Because every scheduling decision is a pure function
-//! of virtual time and rank ids, two simulations of the same program on the
-//! same [`Machine`](mpp_model::Machine) produce bit-identical virtual times
+//! Rank programs are `async` state machines; the simulation kernel lets
+//! **exactly one rank run at a time** ("sequentialized direct
+//! execution"): a rank runs until its next blocking communication call,
+//! and the kernel then resumes the runnable rank with the smallest
+//! virtual clock (ties broken by rank id). Because every scheduling
+//! decision is a pure function of virtual time and rank ids, two
+//! simulations of the same program on the same
+//! [`Machine`](mpp_model::Machine) produce bit-identical virtual times
 //! and message orders, regardless of host scheduling.
+//!
+//! Two executors implement this model (selected by
+//! [`SimConfig::exec`] / the `STP_EXEC` environment variable):
+//!
+//! * [`ExecMode::Cooperative`] (default): all rank programs are
+//!   multiplexed on the kernel's own thread as resumable futures.
+//!   Sends, compute and memcpy charges are handled rank-locally and
+//!   deferred; only `recv`/`barrier` suspend. Scheduling uses an
+//!   indexed ready-queue (min-heap with lazy invalidation plus a
+//!   blocked-recv wakeup index) — O(log p) per event.
+//! * [`ExecMode::Threaded`]: the original one-OS-thread-per-rank
+//!   trap/grant model, kept as the differential-testing baseline.
+//!
+//! Both executors share the same event-processing core and are verified
+//! to produce byte-identical outcomes (see `tests/exec_equivalence.rs`
+//! and DESIGN.md §8).
 //!
 //! # Timing model
 //!
@@ -40,14 +56,19 @@
 //! [`simulate`] runs one per-rank program on every rank of a machine and
 //! returns per-rank results, finish times, and the makespan.
 
+pub(crate) mod exec;
 pub mod kernel;
 pub(crate) mod mailbox;
 pub mod network;
 pub mod payload;
 pub mod record;
+pub(crate) mod sched;
 pub mod trace;
 
-pub use kernel::{simulate, simulate_with, DeadlockInfo, Envelope, RankCtx, SimConfig, SimOutcome};
+pub use kernel::{
+    block_on_ready, simulate, simulate_with, BarrierFuture, DeadlockInfo, Envelope, ExecMode,
+    RankCtx, RecvFuture, SimConfig, SimOutcome,
+};
 pub use network::NetworkState;
 pub use payload::{copy_metrics, CopyMetrics, Payload, PayloadReader};
 pub use record::{schedule_log, ScheduleEvent, ScheduleLog, ScheduleRecording};

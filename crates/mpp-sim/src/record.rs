@@ -66,7 +66,7 @@ impl ScheduleRecording {
 /// [`next_iteration`](crate::RankCtx::iter_mark) marks that rank had
 /// recorded when the operation was issued. Algorithms call it once per
 /// communication round, so `step` aligns with the paper's iterations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleEvent {
     /// A message handed to the network.
     Send {

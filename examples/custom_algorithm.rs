@@ -19,37 +19,43 @@ impl StpAlgorithm for RingPipeline {
         "RingPipeline (custom)"
     }
 
-    fn run(&self, comm: &mut dyn stp_broadcast::runtime::Communicator, ctx: &StpCtx) -> MessageSet {
-        ctx.validate(comm);
-        let p = comm.size();
-        let me = comm.rank();
-        let next = (me + 1) % p;
-        let prev = (me + p - 1) % p;
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn stp_broadcast::runtime::Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> stp_broadcast::runtime::CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let p = comm.size();
+            let me = comm.rank();
+            let next = (me + 1) % p;
+            let prev = (me + p - 1) % p;
 
-        let mut set = match ctx.payload {
-            Some(pl) => MessageSet::single(me, pl),
-            None => MessageSet::new(),
-        };
-        if p == 1 {
-            return set;
-        }
+            let mut set = match ctx.payload {
+                Some(pl) => MessageSet::single(me, pl),
+                None => MessageSet::new(),
+            };
+            if p == 1 {
+                return set;
+            }
 
-        // p-1 rounds: forward what arrived last round (or my own payload
-        // in round 0 if I am a source); receive whatever my predecessor
-        // forwarded. A round's message can be empty (a 0-entry set) —
-        // rounds stay in lockstep, which keeps the pipeline trivially
-        // correct at the cost of empty-message overhead. Improving that
-        // is the whole game — see the merge algorithms.
-        let mut forward: MessageSet = set.clone();
-        for round in 0..p - 1 {
-            comm.send_payload(next, round as u32, forward.to_payload());
-            let got = comm.recv(Some(prev), Some(round as u32));
-            comm.charge_memcpy(got.data.len());
-            forward = MessageSet::from_payload(&got.data).expect("malformed ring message");
-            set.merge(forward.clone());
-            comm.next_iteration();
-        }
-        set
+            // p-1 rounds: forward what arrived last round (or my own payload
+            // in round 0 if I am a source); receive whatever my predecessor
+            // forwarded. A round's message can be empty (a 0-entry set) —
+            // rounds stay in lockstep, which keeps the pipeline trivially
+            // correct at the cost of empty-message overhead. Improving that
+            // is the whole game — see the merge algorithms.
+            let mut forward: MessageSet = set.clone();
+            for round in 0..p - 1 {
+                comm.send_payload(next, round as u32, forward.to_payload());
+                let got = comm.recv(Some(prev), Some(round as u32)).await;
+                comm.charge_memcpy(got.data.len());
+                forward = MessageSet::from_payload(&got.data).expect("malformed ring message");
+                set.merge(forward.clone());
+                comm.next_iteration();
+            }
+            set
+        })
     }
 }
 
@@ -60,7 +66,7 @@ fn main() {
     let len = 2048;
 
     // 1. Correctness first, on real threads.
-    let out = run_threads(machine.p(), |comm| {
+    let out = run_threads(machine.p(), async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -70,7 +76,7 @@ fn main() {
             sources: &sources,
             payload: payload.as_deref(),
         };
-        let set = RingPipeline.run(comm, &ctx);
+        let set = RingPipeline.run(comm, &ctx).await;
         set.sources().collect::<Vec<_>>() == sources
     });
     assert!(out.results.iter().all(|&ok| ok));
@@ -81,7 +87,7 @@ fn main() {
 
     // 2. Then performance, on the simulator, against the paper's field.
     let ring_ms = {
-        let run = run_simulated(&machine, LibraryKind::Nx, |comm| {
+        let run = run_simulated(&machine, LibraryKind::Nx, async |comm| {
             let payload = sources
                 .binary_search(&comm.rank())
                 .is_ok()
@@ -91,7 +97,7 @@ fn main() {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            RingPipeline.run(comm, &ctx).len()
+            RingPipeline.run(comm, &ctx).await.len()
         });
         run.makespan_ns as f64 / 1e6
     };

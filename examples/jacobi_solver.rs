@@ -22,7 +22,7 @@ fn main() {
     let machine = Machine::paragon(8, 8);
     let shape = machine.shape;
 
-    let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+    let out = run_simulated(&machine, LibraryKind::Nx, async |comm| {
         let me = comm.rank();
         let (row, col) = shape.coords(me);
 
@@ -60,7 +60,7 @@ fn main() {
             }
             let mut halo_sum = 0.0f64;
             for &n in &neighbours {
-                let m = comm.recv(Some(n), Some(10));
+                let m = comm.recv(Some(n), Some(10)).await;
                 for chunk in m.data.contiguous().chunks_exact(8) {
                     halo_sum += f64::from_le_bytes(chunk.try_into().unwrap());
                 }
@@ -81,7 +81,7 @@ fn main() {
                 let y = f64::from_le_bytes(b.try_into().unwrap());
                 (x + y).to_le_bytes().to_vec()
             };
-            let total = coll::allreduce(comm, &order, &residual.to_le_bytes(), &combine, 100);
+            let total = coll::allreduce(comm, &order, &residual.to_le_bytes(), &combine, 100).await;
             let total = f64::from_le_bytes(total[..].try_into().unwrap());
             comm.next_iteration();
 
@@ -98,7 +98,7 @@ fn main() {
                     sources: &dist,
                     payload: payload.as_deref(),
                 };
-                let set = BrXySource.run(comm, &ctx);
+                let set = BrXySource.run(comm, &ctx).await;
                 assert_eq!(set.len(), s);
                 broadcasts += 1;
             }

@@ -77,7 +77,7 @@ fn main() {
     // really holds every load record.
     let shape = machine.shape;
     let sources = SourceDist::Cross.place(shape, 48);
-    let out = run_threads(machine.p(), |comm| {
+    let out = run_threads(machine.p(), async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -87,7 +87,7 @@ fn main() {
             sources: &sources,
             payload: payload.as_deref(),
         };
-        let set = BrXySource.run(comm, &ctx);
+        let set = BrXySource.run(comm, &ctx).await;
         // Recompute: total load over all published records.
         set.sources()
             .map(|s| {

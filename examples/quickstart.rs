@@ -38,7 +38,7 @@ fn main() {
     // for checking they are honest message-passing programs.
     let shape = machine.shape;
     let sources = dist.place(shape, s);
-    let out = run_threads(machine.p(), |comm| {
+    let out = run_threads(machine.p(), async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -48,7 +48,7 @@ fn main() {
             sources: &sources,
             payload: payload.as_deref(),
         };
-        BrLin::new().run(comm, &ctx).len()
+        BrLin::new().run(comm, &ctx).await.len()
     });
     assert!(out.results.iter().all(|&n| n == s));
     println!(

@@ -9,7 +9,7 @@ fn run_both(kind: AlgoKind, shape: MeshShape, sources: &[usize], len: usize) {
     let alg = kind.build();
     let machine = Machine::paragon(shape.rows, shape.cols);
 
-    let sim = run_simulated(&machine, LibraryKind::Nx, |comm| {
+    let sim = run_simulated(&machine, LibraryKind::Nx, async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -19,9 +19,9 @@ fn run_both(kind: AlgoKind, shape: MeshShape, sources: &[usize], len: usize) {
             sources,
             payload: payload.as_deref(),
         };
-        alg.run(comm, &ctx)
+        alg.run(comm, &ctx).await
     });
-    let threads = run_threads(shape.p(), |comm| {
+    let threads = run_threads(shape.p(), async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -31,7 +31,7 @@ fn run_both(kind: AlgoKind, shape: MeshShape, sources: &[usize], len: usize) {
             sources,
             payload: payload.as_deref(),
         };
-        alg.run(comm, &ctx)
+        alg.run(comm, &ctx).await
     });
     for rank in 0..shape.p() {
         assert_eq!(

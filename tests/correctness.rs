@@ -92,7 +92,7 @@ fn threads_matrix() {
         for s in [1usize, 5, 16] {
             let sources = SourceDist::Equal.place(shape, s);
             let alg = kind.build();
-            let out = run_threads(shape.p(), |comm| {
+            let out = run_threads(shape.p(), async |comm| {
                 let payload = sources
                     .binary_search(&comm.rank())
                     .is_ok()
@@ -102,7 +102,7 @@ fn threads_matrix() {
                     sources: &sources,
                     payload: payload.as_deref(),
                 };
-                let set = alg.run(comm, &ctx);
+                let set = alg.run(comm, &ctx).await;
                 set.sources().collect::<Vec<_>>() == sources
                     && sources
                         .iter()

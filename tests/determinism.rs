@@ -79,14 +79,14 @@ fn flat_and_rope_sends_cost_identical_virtual_time() {
     let machine = Machine::paragon(3, 4);
     let p = machine.p();
     let ring = |payload_of: &(dyn Fn() -> Option<mpp_sim::Payload> + Sync)| {
-        run_simulated(&machine, LibraryKind::Nx, |comm| {
+        run_simulated(&machine, LibraryKind::Nx, async |comm| {
             let me = comm.rank();
             let next = (me + 1) % p;
             match payload_of() {
                 Some(rope) => comm.send_payload(next, 5, rope),
                 None => comm.send(next, 5, &[0x5A; 1536]),
             }
-            comm.recv(Some((me + p - 1) % p), Some(5)).data.len()
+            comm.recv(Some((me + p - 1) % p), Some(5)).await.data.len()
         })
     };
     let flat = ring(&|| None);

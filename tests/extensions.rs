@@ -14,12 +14,13 @@ fn announce_then_broadcast_on_simulator() {
     let machine = Machine::paragon(4, 4);
     let shape = machine.shape;
     let sources = [3usize, 8, 12];
-    let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+    let out = run_simulated(&machine, LibraryKind::Nx, async |comm| {
         // Each rank knows only whether *it* has a message.
         let payload = sources
             .contains(&comm.rank())
             .then(|| payload_for(comm.rank(), 256));
         announce_and_broadcast(comm, shape, payload.as_deref(), &BrLin::new())
+            .await
             .map(|set| set.sources().collect::<Vec<_>>())
     });
     for r in out.results {
@@ -40,7 +41,7 @@ fn br_dims_on_t3d_native_3d_grid() {
     let sources = SourceDist::Equal.place(shape, 9);
     let alg = BrDims::new(grid);
 
-    let dims_out = run_simulated(&machine, LibraryKind::Mpi, |comm| {
+    let dims_out = run_simulated(&machine, LibraryKind::Mpi, async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -50,7 +51,7 @@ fn br_dims_on_t3d_native_3d_grid() {
             sources: &sources,
             payload: payload.as_deref(),
         };
-        let set = alg.run(comm, &ctx);
+        let set = alg.run(comm, &ctx).await;
         set.sources().collect::<Vec<_>>() == sources
             && sources
                 .iter()
@@ -68,7 +69,7 @@ fn dissem_zero_copy_beats_alltoall_on_t3d() {
     let shape = machine.shape;
     let sources = SourceDist::Equal.place(shape, 40);
     let alg = DissemAllGather::zero_copy();
-    let dissem = run_simulated(&machine, LibraryKind::Mpi, |comm| {
+    let dissem = run_simulated(&machine, LibraryKind::Mpi, async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -78,7 +79,7 @@ fn dissem_zero_copy_beats_alltoall_on_t3d() {
             sources: &sources,
             payload: payload.as_deref(),
         };
-        alg.run(comm, &ctx).len()
+        alg.run(comm, &ctx).await.len()
     });
     assert!(dissem.results.iter().all(|&n| n == 40));
 
@@ -123,7 +124,7 @@ fn recursive_partitioning_monotone_in_depth() {
     let sources = SourceDist::Cross.place(shape, 75);
     let ms_for = |depth: usize| {
         let alg = PartRecursive::new(BrXySource, depth, "PartRec");
-        let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+        let out = run_simulated(&machine, LibraryKind::Nx, async |comm| {
             let payload = sources
                 .binary_search(&comm.rank())
                 .is_ok()
@@ -133,7 +134,7 @@ fn recursive_partitioning_monotone_in_depth() {
                 sources: &sources,
                 payload: payload.as_deref(),
             };
-            alg.run(comm, &ctx).len()
+            alg.run(comm, &ctx).await.len()
         });
         assert!(out.results.iter().all(|&n| n == 75));
         out.makespan_ns

@@ -9,7 +9,7 @@ use stp_broadcast::runtime::{run_threads_faulty, ThreadFault};
 fn check_under_fault(kind: AlgoKind, shape: MeshShape, s: usize, fault: ThreadFault) {
     let sources = SourceDist::Random { seed: 31 }.place(shape, s);
     let alg = kind.build();
-    let out = run_threads_faulty(shape.p(), fault, |comm| {
+    let out = run_threads_faulty(shape.p(), fault, async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -19,7 +19,7 @@ fn check_under_fault(kind: AlgoKind, shape: MeshShape, s: usize, fault: ThreadFa
             sources: &sources,
             payload: payload.as_deref(),
         };
-        let set = alg.run(comm, &ctx);
+        let set = alg.run(comm, &ctx).await;
         set.sources().collect::<Vec<_>>() == sources
             && sources
                 .iter()

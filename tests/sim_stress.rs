@@ -36,14 +36,14 @@ fn script_strategy() -> impl Strategy<Value = Script> {
 
 fn run_script_sim(script: &Script) -> (Vec<u64>, Vec<u64>) {
     let machine = Machine::paragon(1, script.p);
-    let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+    let out = run_simulated(&machine, LibraryKind::Nx, async |comm| {
         let me = comm.rank();
         for &(dst, tag, len) in &script.sends[me] {
             comm.send(dst, tag, &vec![me as u8; len]);
         }
         let mut received = 0u64;
         for _ in 0..script.expected(me) {
-            let m = comm.recv(None, None);
+            let m = comm.recv(None, None).await;
             assert!(m.src < comm.size());
             received += m.data.len() as u64;
         }
@@ -77,14 +77,14 @@ proptest! {
     /// The same scripts complete on the threads backend too.
     #[test]
     fn random_matched_scripts_complete_on_threads(script in script_strategy()) {
-        let out = run_threads(script.p, |comm| {
+        let out = run_threads(script.p, async |comm| {
             let me = comm.rank();
             for &(dst, tag, len) in &script.sends[me] {
                 comm.send(dst, tag, &vec![me as u8; len]);
             }
             let mut received = 0u64;
             for _ in 0..script.expected(me) {
-                received += comm.recv(None, None).data.len() as u64;
+                received += comm.recv(None, None).await.data.len() as u64;
             }
             received
         });
@@ -99,7 +99,7 @@ fn wildcard_and_filtered_receives_interleave() {
     // One rank mixes wildcard, source-filtered, and tag-filtered
     // receives against out-of-order senders.
     let machine = Machine::paragon(1, 4);
-    let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+    let out = run_simulated(&machine, LibraryKind::Nx, async |comm| {
         match comm.rank() {
             1 => {
                 comm.send(0, 7, b"from1-tag7");
@@ -108,13 +108,13 @@ fn wildcard_and_filtered_receives_interleave() {
             2 => comm.send(0, 7, b"from2-tag7"),
             3 => comm.send(0, 9, b"from3-tag9"),
             0 => {
-                let a = comm.recv(Some(3), None); // only rank 3
+                let a = comm.recv(Some(3), None).await; // only rank 3
                 assert_eq!(a.data, b"from3-tag9");
-                let b = comm.recv(None, Some(8)); // only tag 8
+                let b = comm.recv(None, Some(8)).await; // only tag 8
                 assert_eq!(b.data, b"from1-tag8");
-                let c = comm.recv(Some(1), Some(7));
+                let c = comm.recv(Some(1), Some(7)).await;
                 assert_eq!(c.data, b"from1-tag7");
-                let d = comm.recv(None, None);
+                let d = comm.recv(None, None).await;
                 assert_eq!(d.data, b"from2-tag7");
             }
             _ => unreachable!(),
@@ -127,15 +127,15 @@ fn wildcard_and_filtered_receives_interleave() {
 #[test]
 fn self_sends_work_on_both_backends() {
     let machine = Machine::paragon(1, 2);
-    let sim = run_simulated(&machine, LibraryKind::Nx, |comm| {
+    let sim = run_simulated(&machine, LibraryKind::Nx, async |comm| {
         comm.send(comm.rank(), 0, b"self");
-        comm.recv(Some(comm.rank()), Some(0)).data
+        comm.recv(Some(comm.rank()), Some(0)).await.data
     });
     assert!(sim.results.iter().all(|d| d == b"self"));
 
-    let thr = run_threads(2, |comm| {
+    let thr = run_threads(2, async |comm| {
         comm.send(comm.rank(), 0, b"self");
-        comm.recv(Some(comm.rank()), Some(0)).data
+        comm.recv(Some(comm.rank()), Some(0)).await.data
     });
     assert!(thr.results.iter().all(|d| d == b"self"));
 }

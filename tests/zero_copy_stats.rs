@@ -28,11 +28,11 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 fn legacy_flat_send_records_copies() {
     let _g = lock();
     let machine = Machine::paragon(1, 2);
-    let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+    let out = run_simulated(&machine, LibraryKind::Nx, async |comm| {
         if comm.rank() == 0 {
             comm.send(1, 7, &[0xAB; 4096]);
         } else {
-            assert_eq!(comm.recv(Some(0), Some(7)).data.len(), 4096);
+            assert_eq!(comm.recv(Some(0), Some(7)).await.data.len(), 4096);
         }
     });
     assert!(
@@ -49,7 +49,7 @@ fn legacy_flat_send_records_copies() {
 fn rope_send_records_no_copies() {
     let _g = lock();
     let machine = Machine::paragon(1, 2);
-    let out = run_simulated(&machine, LibraryKind::Nx, |comm| {
+    let out = run_simulated(&machine, LibraryKind::Nx, async |comm| {
         if comm.rank() == 0 {
             // One upfront copy to build the rope; the eight sends then
             // share it by reference.
@@ -59,7 +59,7 @@ fn rope_send_records_no_copies() {
             }
         } else {
             for tag in 0..8u32 {
-                assert_eq!(comm.recv(Some(0), Some(tag)).data.len(), 4096);
+                assert_eq!(comm.recv(Some(0), Some(tag)).await.data.len(), 4096);
             }
         }
     });
