@@ -20,6 +20,9 @@ pub enum FindingKind {
     PayloadLeak,
     /// A physical link carried more messages than the configured bound.
     LinkOverload,
+    /// The fault plan destroyed a message: every permitted transmission
+    /// attempt was dropped, so the destination can never receive it.
+    LostMessage,
 }
 
 impl FindingKind {
@@ -31,6 +34,7 @@ impl FindingKind {
             FindingKind::MatchAmbiguity => "match_ambiguity",
             FindingKind::PayloadLeak => "payload_leak",
             FindingKind::LinkOverload => "link_overload",
+            FindingKind::LostMessage => "lost_message",
         }
     }
 }
@@ -88,6 +92,7 @@ pub fn analyze(
     let mut findings = Vec::new();
 
     check_deadlock(sched, &mut findings);
+    check_lost(sched, &mut findings);
     check_unmatched(sched, &mut findings);
     check_ambiguity(sched, &mut findings);
     let opaque_payloads = check_leaks(sched, sources, payload_of, &mut findings);
@@ -191,17 +196,57 @@ fn find_wait_cycle(blocked: &BTreeMap<usize, Option<usize>>) -> Option<Vec<usize
     None
 }
 
+/// Delivery completeness under faults: every message the fault plan
+/// destroyed (all permitted transmission attempts dropped) is a send the
+/// destination can never receive. Reported as its own kind so fault
+/// damage is distinguishable from a schedule that forgot a receive; the
+/// unmatched-send check skips these sequence numbers for the same
+/// reason.
+fn check_lost(sched: &Schedule, findings: &mut Vec<Finding>) {
+    let lost = sched.lost_seqs();
+    if lost.is_empty() {
+        return;
+    }
+    // Attempts actually made per lost message (drops are per attempt).
+    let mut attempts: HashMap<u64, u32> = HashMap::new();
+    for d in &sched.drops {
+        let e = attempts.entry(d.seq).or_insert(0);
+        *e = (*e).max(d.attempt + 1);
+    }
+    for send in &sched.sends {
+        if lost.contains(&send.seq) {
+            findings.push(Finding {
+                kind: FindingKind::LostMessage,
+                rank: Some(send.dst),
+                detail: format!(
+                    "message {} -> {} (tag {}, {} bytes, step {}) destroyed by the \
+                     fault plan: all {} transmission attempt(s) dropped",
+                    send.src,
+                    send.dst,
+                    send.tag,
+                    send.data.len(),
+                    send.step,
+                    attempts.get(&send.seq).copied().unwrap_or(1)
+                ),
+            });
+        }
+    }
+}
+
 /// Check 2: sends that no receive ever consumed.
 ///
 /// Skipped for deadlocked runs — in-flight messages are expected there,
-/// and the deadlock finding is the root cause.
+/// and the deadlock finding is the root cause. Messages destroyed by the
+/// fault plan are skipped too: [`check_lost`] already reported them with
+/// the fault attribution.
 fn check_unmatched(sched: &Schedule, findings: &mut Vec<Finding>) {
     if sched.deadlocked {
         return;
     }
+    let lost = sched.lost_seqs();
     let matched = sched.matched_seqs();
     for send in &sched.sends {
-        if !matched.contains(&send.seq) {
+        if !matched.contains(&send.seq) && !lost.contains(&send.seq) {
             findings.push(Finding {
                 kind: FindingKind::UnmatchedSend,
                 rank: Some(send.dst),
@@ -323,7 +368,7 @@ fn link_loads(sched: &Schedule, machine: &Machine) -> (BTreeMap<Link, u64>, u64,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schedule::{BlockedOp, RecvOp, SendOp};
+    use crate::schedule::{BlockedOp, DropOp, RecvOp, SendOp};
 
     fn send(seq: u64, src: usize, dst: usize, tag: u32, data: &[u8]) -> SendOp {
         SendOp {
@@ -443,6 +488,58 @@ mod tests {
             .filter(|f| f.kind == FindingKind::MatchAmbiguity)
             .collect();
         assert_eq!(ambiguities.len(), 1);
+    }
+
+    fn drop(seq: u64, attempt: u32, exhausted: bool) -> DropOp {
+        DropOp {
+            seq,
+            src: 0,
+            dst: 1,
+            attempt,
+            exhausted,
+        }
+    }
+
+    #[test]
+    fn lost_message_is_attributed_to_the_fault_plan() {
+        let mut sched = Schedule {
+            p: 2,
+            ..Schedule::default()
+        };
+        sched.sends.push(send(1, 0, 1, 5, &payload(0)));
+        sched.drops.push(drop(1, 0, false));
+        sched.drops.push(drop(1, 1, true));
+        let a = analyze(&sched, &Machine::paragon(1, 2), &[0], &payload, None);
+        let kinds: Vec<FindingKind> = a.findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FindingKind::LostMessage));
+        // The root cause is reported once — not also as an unmatched send.
+        assert!(!kinds.contains(&FindingKind::UnmatchedSend));
+        // Rank 1 leaks source 0 as a consequence; that is still reported.
+        assert!(kinds.contains(&FindingKind::PayloadLeak));
+        let lost = a
+            .findings
+            .iter()
+            .find(|f| f.kind == FindingKind::LostMessage)
+            .unwrap();
+        assert!(
+            lost.detail.contains("all 2 transmission attempt(s)"),
+            "{}",
+            lost.detail
+        );
+    }
+
+    #[test]
+    fn recovered_drops_are_not_findings() {
+        // Attempt 0 dropped, retry delivered: full delivery, clean run.
+        let mut sched = Schedule {
+            p: 2,
+            ..Schedule::default()
+        };
+        sched.sends.push(send(1, 0, 1, 5, &payload(0)));
+        sched.drops.push(drop(1, 0, false));
+        sched.recvs.push(recv(1, 1, 0, 5, 1));
+        let a = analyze(&sched, &Machine::paragon(1, 2), &[0], &payload, None);
+        assert!(a.is_clean(), "unexpected findings: {:?}", a.findings);
     }
 
     #[test]

@@ -3,10 +3,11 @@
 
 use std::sync::Once;
 
-use mpp_model::Machine;
+use mpp_model::{FaultPlan, Machine};
+use mpp_runtime::ExecMode;
 use stp_core::distribution::SourceDist;
 use stp_core::msgset::payload_for;
-use stp_core::runner::{record_sources, AlgoKind, SweepRunner};
+use stp_core::runner::{record_sources, record_sources_faulty, AlgoKind, SweepRunner};
 
 use crate::checks::{analyze, Finding};
 use crate::fixtures;
@@ -22,6 +23,11 @@ pub struct LintConfig {
     pub msg_len: usize,
     /// Opt-in link-overload bound (see [`analyze`]).
     pub max_link_load: Option<u64>,
+    /// Optional fault plan active while recording every grid point. The
+    /// delivery-completeness check then verifies the algorithms survive
+    /// the plan: any message lost for good surfaces as a `lost_message`
+    /// finding (plus the payload leaks it causes).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for LintConfig {
@@ -32,6 +38,7 @@ impl Default for LintConfig {
             shapes: vec![(4, 4), (8, 4), (16, 16), (8, 3)],
             msg_len: 64,
             max_link_load: None,
+            faults: None,
         }
     }
 }
@@ -69,6 +76,10 @@ pub struct LintEntry {
     pub deadlocked: bool,
     /// Whether attribution hit an opaque payload (leak check skipped).
     pub opaque_payloads: bool,
+    /// Transmission attempts the fault plan dropped (0 on a clean
+    /// network; recovered retries count here, lost messages surface as
+    /// findings too).
+    pub dropped_attempts: usize,
     /// All findings.
     pub findings: Vec<Finding>,
 }
@@ -126,6 +137,7 @@ pub fn lint_matrix(config: &LintConfig) -> Vec<LintEntry> {
     }
     let msg_len = config.msg_len;
     let max_link_load = config.max_link_load;
+    let faults = config.faults.clone();
     SweepRunner::new().map(
         points,
         |pt| pt.machine.p(),
@@ -133,12 +145,14 @@ pub fn lint_matrix(config: &LintConfig) -> Vec<LintEntry> {
             let sources = pt.dist.place(pt.machine.shape, pt.s);
             let payload_of = move |src: usize| payload_for(src, msg_len);
             let alg = pt.kind.build();
-            let run = record_sources(
+            let run = record_sources_faulty(
                 &pt.machine,
                 pt.kind.default_lib(),
                 &sources,
                 &payload_of,
                 alg.as_ref(),
+                ExecMode::from_env(),
+                faults.as_ref(),
             );
             let sched = Schedule::from_recorded(&run, pt.machine.p());
             let analysis = analyze(&sched, &pt.machine, &sources, &payload_of, max_link_load);
@@ -153,6 +167,7 @@ pub fn lint_matrix(config: &LintConfig) -> Vec<LintEntry> {
                 max_link_load: analysis.max_link_load,
                 deadlocked: sched.deadlocked,
                 opaque_payloads: analysis.opaque_payloads,
+                dropped_attempts: sched.drops.len(),
                 findings: analysis.findings,
             }
         },
@@ -263,6 +278,39 @@ mod tests {
             );
             assert!(e.sends > 0 && e.recvs > 0);
         }
+    }
+
+    #[test]
+    fn faulted_matrix_survives_with_retries() {
+        // One small shape under a transient-drop plan with retry: every
+        // algorithm must still achieve full delivery (no lost_message,
+        // no payload_leak findings), and the drops must be visible.
+        let config = LintConfig {
+            shapes: vec![(4, 4)],
+            faults: Some(FaultPlan::transient_drops(5, 1, 8, 6)),
+            ..LintConfig::default()
+        };
+        let entries = lint_matrix(&config);
+        assert_eq!(entries.len(), 8 * 2 * AlgoKind::all().len());
+        let mut total_drops = 0usize;
+        for e in &entries {
+            assert!(
+                e.findings.is_empty(),
+                "{} / {} on {}x{} s={}: {:?}",
+                e.algo,
+                e.dist,
+                e.rows,
+                e.cols,
+                e.s,
+                e.findings
+            );
+            assert!(!e.deadlocked);
+            total_drops += e.dropped_attempts;
+        }
+        assert!(
+            total_drops > 0,
+            "a 1/8 drop rate over the whole matrix must drop something"
+        );
     }
 
     #[test]

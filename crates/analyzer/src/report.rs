@@ -37,7 +37,7 @@ pub fn entries_to_json(entries: &[LintEntry]) -> String {
         out.push_str(&format!(
             "  {{\"algo\":\"{}\",\"dist\":\"{}\",\"rows\":{},\"cols\":{},\"s\":{},\
              \"sends\":{},\"recvs\":{},\"max_link_load\":{},\"deadlocked\":{},\
-             \"opaque_payloads\":{},\"findings\":[{}]}}",
+             \"opaque_payloads\":{},\"dropped_attempts\":{},\"findings\":[{}]}}",
             escape(&e.algo),
             escape(&e.dist),
             e.rows,
@@ -48,6 +48,7 @@ pub fn entries_to_json(entries: &[LintEntry]) -> String {
             e.max_link_load,
             e.deadlocked,
             e.opaque_payloads,
+            e.dropped_attempts,
             findings.join(",")
         ));
         out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
@@ -113,6 +114,7 @@ mod tests {
             max_link_load: 3,
             deadlocked: false,
             opaque_payloads: false,
+            dropped_attempts: 2,
             findings: vec![Finding {
                 kind: FindingKind::PayloadLeak,
                 rank: Some(2),
@@ -121,6 +123,7 @@ mod tests {
         }];
         let json = entries_to_json(&entries);
         assert!(json.contains("\"algo\":\"Br_Lin\""));
+        assert!(json.contains("\"dropped_attempts\":2"));
         assert!(json.contains("\"kind\":\"payload_leak\""));
         assert!(json.contains("\\\"x\\\""));
         assert!(json.starts_with('[') && json.ends_with(']'));

@@ -56,6 +56,22 @@ pub struct BlockedOp {
     pub tag_filter: Option<u32>,
 }
 
+/// One transmission attempt lost to the run's fault plan.
+#[derive(Debug, Clone)]
+pub struct DropOp {
+    /// Sequence number of the affected send.
+    pub seq: u64,
+    /// Sending rank.
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+    /// Which attempt this was (0-based).
+    pub attempt: u32,
+    /// True when this was the final permitted attempt: the message is
+    /// lost for good.
+    pub exhausted: bool,
+}
+
 /// The structured form of one recorded run.
 #[derive(Debug, Default)]
 pub struct Schedule {
@@ -67,6 +83,9 @@ pub struct Schedule {
     pub recvs: Vec<RecvOp>,
     /// Ranks blocked at deadlock time (empty for completed runs).
     pub blocked: Vec<BlockedOp>,
+    /// Transmission attempts lost to the fault plan (empty on a clean
+    /// network).
+    pub drops: Vec<DropOp>,
     /// `(rank, undelivered messages in its mailbox)` at rank finish.
     pub leftover: Vec<(usize, usize)>,
     /// Whether the run aborted in a deadlock.
@@ -132,6 +151,21 @@ impl Schedule {
                         tag_filter: *tag_filter,
                     });
                 }
+                ScheduleEvent::Dropped {
+                    seq,
+                    src,
+                    dst,
+                    attempt,
+                    exhausted,
+                } => {
+                    sched.drops.push(DropOp {
+                        seq: *seq,
+                        src: *src,
+                        dst: *dst,
+                        attempt: *attempt,
+                        exhausted: *exhausted,
+                    });
+                }
                 ScheduleEvent::Finished { rank, leftover } => {
                     sched.leftover.push((*rank, *leftover));
                 }
@@ -144,6 +178,16 @@ impl Schedule {
     /// Sequence numbers of sends that were matched by some receive.
     pub fn matched_seqs(&self) -> HashSet<u64> {
         self.recvs.iter().map(|r| r.seq).collect()
+    }
+
+    /// Sequence numbers of sends the fault plan lost for good (every
+    /// permitted transmission attempt dropped).
+    pub fn lost_seqs(&self) -> HashSet<u64> {
+        self.drops
+            .iter()
+            .filter(|d| d.exhausted)
+            .map(|d| d.seq)
+            .collect()
     }
 }
 

@@ -20,12 +20,12 @@
 //! the points are independent simulations and execute concurrently on a
 //! [`SweepRunner`] (`STP_SWEEP_WORKERS` / `STP_SWEEP_RANK_BUDGET` apply).
 
-use mpp_model::{LibraryKind, Machine};
-use mpp_runtime::{run_simulated_traced, Communicator};
+use mpp_model::{FaultPlan, LibraryKind, Machine};
+use mpp_runtime::{run_simulated_with, Communicator, SimConfig};
 use mpp_sim::{render_timeline, summarize};
 use stp_core::metrics::{figure2_row, format_table};
 use stp_core::prelude::*;
-use stp_core::runner::run_sources;
+use stp_core::runner::run_sources_faulty;
 
 fn usage() -> ! {
     eprintln!("usage: stp --machine <paragon|t3d> [--rows R --cols C | --p P]");
@@ -33,10 +33,24 @@ fn usage() -> ! {
     eprintln!("           [--lib <nx|mpi>] [--seed <n>] [--metrics] [--trace] [--predict]");
     eprintln!("           [--sweep-len L1,L2,...]   (parallel sweep over message lengths)");
     eprintln!("           [--exec coop|threaded]    (simulation executor; default coop)");
+    eprintln!("           [--faults SPEC]           (inject faults, e.g.");
+    eprintln!("                                      'seed=7,drop=1/64,retry=4:500' or");
+    eprintln!("                                      'link=3-4@1000..,crash=5@2000')");
     eprintln!("       stp lint [--quick] [--fixtures] [--json FILE] [--max-link-load N]");
-    eprintln!("                [--exec coop|threaded]");
+    eprintln!("                [--exec coop|threaded] [--faults SPEC]");
     eprintln!("       stp --list       (show algorithm and distribution names)");
     std::process::exit(2);
+}
+
+/// Parse the `--faults` spec (shared by `stp run` and `stp lint`).
+fn parse_faults_flag(spec: Option<String>) -> Option<FaultPlan> {
+    spec.map(|spec| match FaultPlan::parse(&spec) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("--faults: {e}");
+            usage()
+        }
+    })
 }
 
 use stp_bench::{parse_algo, parse_dist};
@@ -81,6 +95,7 @@ fn run_lint(args: &[String]) -> ! {
         LintConfig::default()
     };
     config.max_link_load = get("--max-link-load").and_then(|v| v.parse().ok());
+    config.faults = parse_faults_flag(get("--faults"));
     let t0 = std::time::Instant::now();
     let entries = lint_matrix(&config);
     let wall = t0.elapsed();
@@ -108,6 +123,10 @@ fn run_lint(args: &[String]) -> ! {
         wall.as_secs_f64(),
         exec.name()
     );
+    if config.faults.is_some() {
+        let drops: usize = entries.iter().map(|e| e.dropped_attempts).sum();
+        println!("fault plan active: {drops} transmission attempt(s) dropped across the matrix");
+    }
     if let Some(path) = json_path {
         let report = stp_analyzer::lint_report_json(&entries, exec.name(), wall.as_secs_f64());
         std::fs::write(&path, report).expect("write JSON report");
@@ -197,6 +216,7 @@ fn main() {
         }
     };
 
+    let faults = parse_faults_flag(get("--faults"));
     let sources = dist.place(machine.shape, s);
     println!(
         "machine {}  p={}  algo {}  dist {}({s})  L={len}B  lib {}",
@@ -236,7 +256,10 @@ fn main() {
             .collect();
         let runner = SweepRunner::new();
         let t0 = std::time::Instant::now();
-        let outcomes = runner.run_experiments(&grid);
+        let outcomes = match &faults {
+            Some(plan) => runner.map(grid, |e| e.machine.p(), |e| e.run_with_faults(plan)),
+            None => runner.run_experiments(&grid),
+        };
         let wall = t0.elapsed();
         println!("L,ms,verified");
         for (len, out) in lens.iter().zip(&outcomes) {
@@ -254,7 +277,13 @@ fn main() {
     if has("--trace") {
         let shape = machine.shape;
         let alg = kind.build();
-        let out = run_simulated_traced(&machine, lib, async |comm| {
+        let config = SimConfig {
+            lib,
+            trace: true,
+            faults: faults.clone(),
+            ..SimConfig::default()
+        };
+        let out = run_simulated_with(&machine, &config, async |comm| {
             let payload = sources
                 .binary_search(&comm.rank())
                 .is_ok()
@@ -280,7 +309,14 @@ fn main() {
     }
 
     let copy_before = mpp_sim::copy_metrics();
-    let out = run_sources(&machine, lib, &sources, &|src| payload_for(src, len), kind);
+    let out = run_sources_faulty(
+        &machine,
+        lib,
+        &sources,
+        &|src| payload_for(src, len),
+        kind,
+        faults.as_ref(),
+    );
     println!(
         "time {:.3} ms   verified {}   contention stalls {} ({:.3} ms)",
         out.makespan_ms(),
@@ -288,6 +324,17 @@ fn main() {
         out.contention_events,
         out.contention_ns as f64 / 1e6
     );
+    if faults.is_some() {
+        let retransmits: u64 = out.stats.iter().map(|s| s.retransmits).sum();
+        let dropped: u64 = out.stats.iter().map(|s| s.dropped).sum();
+        let rerouted: u64 = out.stats.iter().map(|s| s.rerouted_hops).sum();
+        let detour_ns: u64 = out.stats.iter().map(|s| s.detour_ns).sum();
+        println!(
+            "faults: {retransmits} retransmit(s)   {dropped} message(s) lost   \
+             {rerouted} detour hop(s) (+{:.3} ms)",
+            detour_ns as f64 / 1e6
+        );
+    }
     if has("--copy-stats") {
         // One JSON record of host-side copy accounting: comm-layer
         // copies (zero on the rope path) plus real copies inside

@@ -3,7 +3,8 @@
 
 use mpp_model::{LibraryKind, Machine, Time};
 use mpp_runtime::{
-    run_simulated_with, schedule_log, CommStats, Communicator, ExecMode, ScheduleEvent, SimConfig,
+    run_simulated_with, schedule_log, CommStats, Communicator, ExecMode, FaultPlan, ScheduleEvent,
+    SimConfig,
 };
 
 use crate::algorithms::{
@@ -219,6 +220,21 @@ impl Experiment<'_> {
         )
     }
 
+    /// Run under the algorithm's default library flavour with a fault
+    /// plan active in the network.
+    pub fn run_with_faults(&self, faults: &FaultPlan) -> Outcome {
+        let sources = self.dist.place(self.machine.shape, self.s);
+        let len = self.msg_len;
+        run_sources_faulty(
+            self.machine,
+            self.kind.default_lib(),
+            &sources,
+            &|src| payload_for(src, len),
+            self.kind,
+            Some(faults),
+        )
+    }
+
     /// Run with per-source message lengths (paper §5: "using different
     /// length messages did not influence the performance significantly").
     pub fn run_with_lengths(&self, len_of: &(dyn Fn(usize) -> usize + Sync)) -> Outcome {
@@ -246,10 +262,29 @@ pub fn run_sources(
     payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
     kind: AlgoKind,
 ) -> Outcome {
+    run_sources_faulty(machine, lib, sources, payload_of, kind, None)
+}
+
+/// [`run_sources`] with an optional fault plan active in the network.
+///
+/// Strict runtime schedule checks are disabled when a plan is given:
+/// drops and retries legitimately perturb arrival order, so ambiguity
+/// that is a bug on a clean network is expected behaviour here — the
+/// interesting property under faults is *delivery* (`verified`), which
+/// is still checked per rank.
+pub fn run_sources_faulty(
+    machine: &Machine,
+    lib: LibraryKind,
+    sources: &[usize],
+    payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
+    kind: AlgoKind,
+    faults: Option<&FaultPlan>,
+) -> Outcome {
     let alg = kind.build();
     let config = SimConfig {
         lib,
-        strict: cfg!(debug_assertions),
+        strict: cfg!(debug_assertions) && faults.is_none(),
+        faults: faults.cloned(),
         ..SimConfig::default()
     };
     run_alg_with(machine, &config, sources, payload_of, alg.as_ref())
@@ -338,11 +373,28 @@ pub fn record_sources_exec(
     alg: &dyn StpAlgorithm,
     exec: ExecMode,
 ) -> RecordedRun {
+    record_sources_faulty(machine, lib, sources, payload_of, alg, exec, None)
+}
+
+/// [`record_sources_exec`] with an optional fault plan: the recorded
+/// schedule then contains one [`ScheduleEvent::Dropped`] per lost
+/// transmission attempt, which the analyzer's delivery-completeness
+/// check consumes.
+pub fn record_sources_faulty(
+    machine: &Machine,
+    lib: LibraryKind,
+    sources: &[usize],
+    payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
+    alg: &dyn StpAlgorithm,
+    exec: ExecMode,
+    faults: Option<&FaultPlan>,
+) -> RecordedRun {
     let log = schedule_log();
     let config = SimConfig {
         lib,
         recorder: Some(log.clone()),
         exec,
+        faults: faults.cloned(),
         ..SimConfig::default()
     };
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -431,8 +483,21 @@ impl RankBudget {
     }
 }
 
+/// Parse one `STP_SWEEP_*` override. A set-but-malformed value is a user
+/// error worth hearing about: warn (naming the variable and the value)
+/// and fall back to the default, instead of silently ignoring it.
+fn parse_env_usize(name: &str, raw: &str) -> Option<usize> {
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: ignoring {name}={raw:?}: expected a non-negative integer");
+            None
+        }
+    }
+}
+
 fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.trim().parse().ok()
+    parse_env_usize(name, &std::env::var(name).ok()?)
 }
 
 /// Executes independent sweep grid points concurrently on a small worker
@@ -714,6 +779,45 @@ mod tests {
     fn sweep_handles_empty_grid() {
         let out: Vec<usize> = SweepRunner::new().map(Vec::<usize>::new(), |_| 1, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn env_usize_parses_and_warns() {
+        // Valid values (with surrounding whitespace) parse.
+        assert_eq!(parse_env_usize("STP_SWEEP_WORKERS", "8"), Some(8));
+        assert_eq!(
+            parse_env_usize("STP_SWEEP_RANK_BUDGET", " 512\n"),
+            Some(512)
+        );
+        assert_eq!(parse_env_usize("STP_SWEEP_WORKERS", "0"), Some(0));
+        // Malformed values are rejected (with a warning) so the caller
+        // falls back to its default — never silently misconfigured.
+        assert_eq!(parse_env_usize("STP_SWEEP_WORKERS", "eight"), None);
+        assert_eq!(parse_env_usize("STP_SWEEP_WORKERS", "-4"), None);
+        assert_eq!(parse_env_usize("STP_SWEEP_WORKERS", "4.5"), None);
+        assert_eq!(parse_env_usize("STP_SWEEP_WORKERS", ""), None);
+    }
+
+    #[test]
+    fn faulted_run_delivers_with_retries() {
+        let machine = Machine::paragon(4, 4);
+        let exp = Experiment {
+            machine: &machine,
+            dist: SourceDist::Equal,
+            s: 5,
+            msg_len: 256,
+            kind: AlgoKind::BrXySource,
+        };
+        let plan = FaultPlan::transient_drops(9, 1, 8, 6);
+        let out = exp.run_with_faults(&plan);
+        assert!(out.verified, "retry must restore full delivery");
+        let retransmits: u64 = out.stats.iter().map(|s| s.retransmits).sum();
+        assert!(retransmits > 0, "a 1/8 drop rate must hit some message");
+        assert!(out.stats.iter().all(|s| s.dropped == 0));
+        // The same plan is deterministic.
+        let again = exp.run_with_faults(&plan);
+        assert_eq!(out.makespan_ns, again.makespan_ns);
+        assert_eq!(out.finish_ns, again.finish_ns);
     }
 
     #[test]

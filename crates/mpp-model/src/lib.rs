@@ -19,12 +19,14 @@
 //! Everything here is pure data + arithmetic; the discrete-event engine
 //! that consumes these models lives in `mpp-sim`.
 
+pub mod fault;
 pub mod machine;
 pub mod params;
 pub mod placement;
 pub mod shape;
 pub mod topology;
 
+pub use fault::{FaultPlan, LinkOutage, NodeCrash, RetryPolicy};
 pub use machine::Machine;
 pub use params::{ContentionModel, LibraryKind, MachineParams};
 pub use placement::Placement;

@@ -6,6 +6,8 @@
 //! XYZ on tori, ascending-bit on hypercubes): deterministic and minimal,
 //! matching the wormhole routers of the Paragon and T3D.
 
+use std::collections::{HashSet, VecDeque};
+
 /// Identifier of a physical network node, `0..num_nodes()`.
 pub type NodeId = usize;
 
@@ -108,6 +110,54 @@ impl Topology {
             cur = next;
         }
         path
+    }
+
+    /// Fault-aware routing: the dimension-ordered route when it avoids
+    /// every link in `dead`, else the shortest detour that does.
+    ///
+    /// The detour is a breadth-first search over live links with
+    /// neighbors visited in ascending node-id order, so for a given
+    /// `(u, v, dead)` the result is unique and deterministic — both
+    /// executors compute the same path. Returns `None` when the dead
+    /// links disconnect `v` from `u`; with an empty fault set the result
+    /// is always `Some(route(u, v))` exactly.
+    pub fn route_avoiding(&self, u: NodeId, v: NodeId, dead: &HashSet<Link>) -> Option<Vec<Link>> {
+        if u == v {
+            return Some(Vec::new());
+        }
+        let dim = self.route(u, v);
+        if dead.is_empty() || dim.iter().all(|l| !dead.contains(l)) {
+            return Some(dim);
+        }
+        // BFS detour. prev[x] = node we reached x from (usize::MAX = unseen).
+        let n = self.num_nodes();
+        let mut prev = vec![usize::MAX; n];
+        prev[u] = u;
+        let mut queue = VecDeque::from([u]);
+        while let Some(cur) = queue.pop_front() {
+            if cur == v {
+                break;
+            }
+            let mut nbs = self.neighbors(cur);
+            nbs.sort_unstable();
+            for nb in nbs {
+                if prev[nb] == usize::MAX && !dead.contains(&Link::new(cur, nb)) {
+                    prev[nb] = cur;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        if prev[v] == usize::MAX {
+            return None;
+        }
+        let mut hops = Vec::new();
+        let mut cur = v;
+        while cur != u {
+            hops.push(Link::new(prev[cur], cur));
+            cur = prev[cur];
+        }
+        hops.reverse();
+        Some(hops)
     }
 
     /// The next node on the dimension-ordered route from `cur` towards `dst`.
@@ -234,8 +284,15 @@ impl Topology {
                 }
             }
             Topology::Mesh2D { rows, cols } => {
-                // Cut across the longer dimension.
-                2 * rows.min(cols)
+                // Cut across the longer dimension. When that dimension is
+                // odd no perfectly balanced straight cut exists; this is
+                // the standard ⌈n/2⌉ | ⌊n/2⌋ nearly-balanced cut, which
+                // still severs `rows.min(cols)` bidirectional channels.
+                if rows * cols <= 1 {
+                    0
+                } else {
+                    2 * rows.min(cols)
+                }
             }
             Topology::Torus3D { dx, dy, dz } => {
                 // Cut perpendicular to the longest dimension; the torus
@@ -524,5 +581,162 @@ mod tests {
             dz: 4,
         };
         assert_eq!(t.route(3, 49), t.route(3, 49));
+    }
+
+    #[test]
+    fn bisection_width_mesh_edge_cases() {
+        // A single node has no cut.
+        assert_eq!(Topology::Mesh2D { rows: 1, cols: 1 }.bisection_width(), 0);
+        // A 1×n mesh is a line: one bidirectional channel crosses the cut.
+        assert_eq!(Topology::Mesh2D { rows: 1, cols: 8 }.bisection_width(), 2);
+        assert_eq!(Topology::Mesh2D { rows: 8, cols: 1 }.bisection_width(), 2);
+        // Odd longer dimension: the nearly-balanced 3×3 cut severs 3
+        // bidirectional channels.
+        assert_eq!(Topology::Mesh2D { rows: 3, cols: 3 }.bisection_width(), 6);
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_dead_link() {
+        let t = Topology::Mesh2D { rows: 3, cols: 3 };
+        // Dimension route 0 -> 2 is 0-1-2; kill 1 -> 2.
+        let dead = HashSet::from([Link::new(1, 2)]);
+        let detour = t.route_avoiding(0, 2, &dead).unwrap();
+        assert!(detour.iter().all(|l| !dead.contains(l)));
+        assert_eq!(detour.first().unwrap().from, 0);
+        assert_eq!(detour.last().unwrap().to, 2);
+        // Still a valid walk over adjacent nodes.
+        for w in detour.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        // Deterministic.
+        assert_eq!(detour, t.route_avoiding(0, 2, &dead).unwrap());
+    }
+
+    #[test]
+    fn route_avoiding_reports_disconnection() {
+        let t = Topology::Linear { n: 3 };
+        // A line has no detour around a dead middle link.
+        let dead = HashSet::from([Link::new(1, 2)]);
+        assert_eq!(t.route_avoiding(0, 2, &dead), None);
+        // The reverse direction is a different link and stays usable.
+        assert!(t.route_avoiding(2, 0, &dead).is_some());
+        // Self-route is always reachable.
+        assert_eq!(t.route_avoiding(2, 2, &dead), Some(vec![]));
+    }
+
+    #[test]
+    fn route_avoiding_empty_set_is_dimension_ordered() {
+        let dead = HashSet::new();
+        for t in [
+            Topology::Linear { n: 6 },
+            Topology::Mesh2D { rows: 3, cols: 4 },
+            Topology::Torus3D {
+                dx: 3,
+                dy: 2,
+                dz: 2,
+            },
+            Topology::Hypercube { dim: 3 },
+        ] {
+            let n = t.num_nodes();
+            for u in 0..n {
+                for v in 0..n {
+                    assert_eq!(t.route_avoiding(u, v, &dead), Some(t.route(u, v)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod route_avoiding_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The four topology families at proptest-sized scales.
+    fn arb_topology() -> impl Strategy<Value = Topology> {
+        prop_oneof![
+            (2usize..12).prop_map(|n| Topology::Linear { n }),
+            (1usize..5, 1usize..5).prop_map(|(rows, cols)| Topology::Mesh2D { rows, cols }),
+            (1usize..4, 1usize..4, 1usize..4).prop_map(|(dx, dy, dz)| Topology::Torus3D {
+                dx,
+                dy,
+                dz
+            }),
+            (1u32..5).prop_map(|dim| Topology::Hypercube { dim }),
+        ]
+    }
+
+    /// A topology plus two nodes and a set of dead links drawn from it.
+    fn arb_case() -> impl Strategy<Value = (Topology, NodeId, NodeId, Vec<(usize, usize)>)> {
+        arb_topology().prop_flat_map(|t| {
+            let n = t.num_nodes();
+            (
+                Just(t),
+                0..n,
+                0..n,
+                proptest::collection::vec((0..n, 0..n), 0..6),
+            )
+        })
+    }
+
+    /// Turn raw node pairs into dead links that actually exist in the
+    /// topology (a dead link between non-neighbors is meaningless).
+    fn dead_set(t: &Topology, raw: &[(usize, usize)]) -> HashSet<Link> {
+        raw.iter()
+            .filter(|(a, b)| t.neighbors(*a).contains(b))
+            .map(|&(a, b)| Link::new(a, b))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// `route_avoiding` terminates, and when it yields a path that
+        /// path is a valid u→v walk over live adjacent links.
+        #[test]
+        fn never_traverses_dead_links((t, u, v, raw) in arb_case()) {
+            let dead = dead_set(&t, &raw);
+            if let Some(path) = t.route_avoiding(u, v, &dead) {
+                if u == v {
+                    prop_assert!(path.is_empty());
+                } else {
+                    prop_assert_eq!(path.first().unwrap().from, u);
+                    prop_assert_eq!(path.last().unwrap().to, v);
+                }
+                for hop in &path {
+                    prop_assert!(!dead.contains(hop), "dead link {hop:?} traversed");
+                    prop_assert!(t.neighbors(hop.from).contains(&hop.to));
+                }
+                for w in path.windows(2) {
+                    prop_assert_eq!(w[0].to, w[1].from);
+                }
+                // BFS detours are at most every node once.
+                prop_assert!(path.len() < t.num_nodes());
+            }
+        }
+
+        /// With no faults the route is exactly the dimension-ordered one.
+        #[test]
+        fn empty_fault_set_is_identity((t, u, v, _) in arb_case()) {
+            prop_assert_eq!(t.route_avoiding(u, v, &HashSet::new()), Some(t.route(u, v)));
+        }
+
+        /// `None` is returned only when v is genuinely unreachable from u
+        /// over live links (checked against an independent reachability
+        /// scan).
+        #[test]
+        fn none_means_disconnected((t, u, v, raw) in arb_case()) {
+            let dead = dead_set(&t, &raw);
+            let mut seen = HashSet::from([u]);
+            let mut stack = vec![u];
+            while let Some(cur) = stack.pop() {
+                for nb in t.neighbors(cur) {
+                    if !dead.contains(&Link::new(cur, nb)) && seen.insert(nb) {
+                        stack.push(nb);
+                    }
+                }
+            }
+            prop_assert_eq!(t.route_avoiding(u, v, &dead).is_some(), seen.contains(&v));
+        }
     }
 }

@@ -67,6 +67,22 @@ pub trait Communicator {
     /// messages the earliest-arriving is returned.
     fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> CommFuture<'_, Message>;
 
+    /// Receive with a deadline: like [`recv`](Communicator::recv), but
+    /// gives up and returns `None` once `timeout_ns` elapses with no
+    /// matching message (virtual time on the simulator, wall time on the
+    /// threads backend). The default implementation waits forever — a
+    /// correct refinement for backends without lossy delivery, where a
+    /// matching message is guaranteed to arrive whenever one is sent.
+    fn recv_timeout(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        timeout_ns: u64,
+    ) -> CommFuture<'_, Option<Message>> {
+        let _ = timeout_ns;
+        Box::pin(async move { Some(self.recv(src, tag).await) })
+    }
+
     /// Block until every rank has entered the barrier.
     fn barrier(&mut self) -> CommFuture<'_, ()>;
 

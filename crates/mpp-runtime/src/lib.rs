@@ -23,7 +23,8 @@ pub mod thread_backend;
 
 pub use comm::{recv_from, CommFuture, Communicator, Message};
 pub use mpp_sim::{
-    schedule_log, ExecMode, Payload, ScheduleEvent, ScheduleLog, ScheduleRecording, SimConfig,
+    schedule_log, ExecMode, FaultPlan, FaultStats, LinkOutage, NodeCrash, Payload, RetryPolicy,
+    ScheduleEvent, ScheduleLog, ScheduleRecording, SimConfig,
 };
 pub use sim_backend::{
     run_simulated, run_simulated_traced, run_simulated_with, RunOutput, SimComm,

@@ -66,6 +66,23 @@ impl Communicator for SimComm {
         })
     }
 
+    fn recv_timeout(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        timeout_ns: u64,
+    ) -> CommFuture<'_, Option<Message>> {
+        Box::pin(async move {
+            let env = self.ctx.recv_timeout(src, tag, timeout_ns).await?;
+            self.stats.record_recv(env.data.len(), env.waited_ns);
+            Some(Message {
+                src: env.src,
+                tag: env.tag,
+                data: env.data,
+            })
+        })
+    }
+
     fn barrier(&mut self) -> CommFuture<'_, ()> {
         Box::pin(self.ctx.barrier())
     }
@@ -155,7 +172,15 @@ where
         let r = program(&mut comm).await;
         (r, comm.stats)
     });
-    let (results, stats): (Vec<R>, Vec<CommStats>) = out.results.into_iter().unzip();
+    let (results, mut stats): (Vec<R>, Vec<CommStats>) = out.results.into_iter().unzip();
+    // Fold the kernel's fault counters into the per-rank stats so
+    // algorithms and reports see one coherent CommStats per rank.
+    for (st, fs) in stats.iter_mut().zip(&out.fault_stats) {
+        st.retransmits = fs.retransmits;
+        st.dropped = fs.dropped;
+        st.rerouted_hops = fs.rerouted_hops;
+        st.detour_ns = fs.detour_ns;
+    }
     RunOutput {
         results,
         stats,
@@ -240,6 +265,51 @@ mod tests {
         let b = run();
         assert_eq!(a.makespan_ns, b.makespan_ns);
         assert_eq!(a.finish_ns, b.finish_ns);
+    }
+
+    #[test]
+    fn fault_counters_reach_comm_stats() {
+        use mpp_sim::FaultPlan;
+        let m = Machine::paragon(2, 4);
+        let config = SimConfig {
+            lib: LibraryKind::Nx,
+            faults: Some(FaultPlan::transient_drops(11, 1, 2, 20)),
+            ..SimConfig::default()
+        };
+        let out = run_simulated_with(&m, &config, async |comm| {
+            if comm.rank() == 0 {
+                for _ in 1..comm.size() {
+                    comm.recv(None, None).await;
+                }
+            } else {
+                comm.send(0, 0, &[3u8; 256]);
+            }
+        });
+        let retransmits: u64 = out.stats.iter().map(|s| s.retransmits).sum();
+        assert!(retransmits > 0, "1/2 drop rate must show up in CommStats");
+        assert!(out.stats.iter().all(|s| s.dropped == 0));
+    }
+
+    #[test]
+    fn recv_timeout_on_simulator() {
+        let m = Machine::paragon(1, 2);
+        let out = run_simulated(&m, LibraryKind::Nx, async |comm| {
+            if comm.rank() == 1 {
+                let miss = comm.recv_timeout(Some(0), Some(5), 100).await;
+                assert!(miss.is_none(), "no send has happened yet");
+                comm.send(0, 7, b"go");
+                let hit = comm.recv_timeout(Some(0), Some(5), 1_000_000_000).await;
+                hit.is_some()
+            } else {
+                // Waits for rank 1's timeout to expire before sending.
+                comm.recv(Some(1), Some(7)).await;
+                comm.send(1, 5, b"late");
+                false
+            }
+        });
+        assert_eq!(out.results, vec![false, true]);
+        // Only the delivered receive counts; the timed-out one does not.
+        assert_eq!(out.stats[1].total_recvs(), 1);
     }
 
     #[test]

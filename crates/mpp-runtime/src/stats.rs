@@ -61,6 +61,18 @@ pub struct CommStats {
     /// Host-side payload buffer allocations made by this rank's
     /// communication calls (one per flat `send`, none per rope send).
     pub allocs: u64,
+    /// Transmission attempts this rank re-injected after a fault-plan
+    /// drop (0 unless the run had a [`FaultPlan`](mpp_sim::FaultPlan)).
+    pub retransmits: u64,
+    /// Messages this rank lost for good — every permitted attempt was
+    /// dropped by the fault plan.
+    pub dropped: u64,
+    /// Extra hops this rank's messages travelled on detours around dead
+    /// links, summed over messages.
+    pub rerouted_hops: u64,
+    /// Extra virtual time (ns) those detour hops cost versus the
+    /// dimension-ordered route.
+    pub detour_ns: u64,
 }
 
 impl CommStats {
@@ -71,6 +83,10 @@ impl CommStats {
             memcpy_bytes: 0,
             bytes_copied: 0,
             allocs: 0,
+            retransmits: 0,
+            dropped: 0,
+            rerouted_hops: 0,
+            detour_ns: 0,
         }
     }
 

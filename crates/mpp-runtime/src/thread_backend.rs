@@ -133,6 +133,47 @@ impl Communicator for ThreadComm<'_> {
         }
     }
 
+    fn recv_timeout(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        timeout_ns: u64,
+    ) -> CommFuture<'_, Option<Message>> {
+        // Wall-clock approximation of the simulator's virtual-time
+        // deadline: good enough for liveness tests, not for timing.
+        if let Some(pos) = self.pending.iter().position(|w| Self::matches(w, src, tag)) {
+            let w = self.pending.remove(pos);
+            self.stats.record_recv(w.data.len(), 0);
+            return Box::pin(std::future::ready(Some(Message {
+                src: w.src,
+                tag: w.tag,
+                data: w.data,
+            })));
+        }
+        let t0 = Instant::now();
+        let deadline = std::time::Duration::from_nanos(timeout_ns);
+        loop {
+            let left = match deadline.checked_sub(t0.elapsed()) {
+                Some(left) => left,
+                None => return Box::pin(std::future::ready(None)),
+            };
+            let w = match self.rx.recv_timeout(left) {
+                Ok(w) => w,
+                Err(_) => return Box::pin(std::future::ready(None)),
+            };
+            if Self::matches(&w, src, tag) {
+                let waited = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                self.stats.record_recv(w.data.len(), waited);
+                return Box::pin(std::future::ready(Some(Message {
+                    src: w.src,
+                    tag: w.tag,
+                    data: w.data,
+                })));
+            }
+            self.pending.push(w);
+        }
+    }
+
     fn barrier(&mut self) -> CommFuture<'_, ()> {
         self.barrier.wait();
         Box::pin(std::future::ready(()))
@@ -315,6 +356,27 @@ mod tests {
             seen.iter().filter(|&&b| b).count()
         });
         assert!(out.results.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn recv_timeout_gives_up_and_recovers() {
+        let out = run_threads(2, async |comm| {
+            if comm.rank() == 1 {
+                // Nothing matches tag 9 → times out (1 ms wall clock)...
+                let miss = comm.recv_timeout(Some(0), Some(9), 1_000_000).await;
+                assert!(miss.is_none());
+                comm.barrier().await;
+                // ...but a real message is still received afterwards.
+                comm.recv_timeout(Some(0), Some(1), 5_000_000_000)
+                    .await
+                    .is_some()
+            } else {
+                comm.barrier().await;
+                comm.send(1, 1, b"ok");
+                true
+            }
+        });
+        assert_eq!(out.results, vec![true, true]);
     }
 
     #[test]

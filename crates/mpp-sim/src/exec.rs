@@ -69,10 +69,13 @@ pub(crate) enum CoopOp {
     /// Iteration-boundary marker (recording runs only).
     IterMark { eff: Time },
     /// The rank is suspended in `recv` (its clock is unchanged while
-    /// suspended, so no time stamp is needed).
+    /// suspended, so no time stamp is needed). A `deadline` makes this
+    /// a `recv_timeout`: the rank stays schedulable and gives up at the
+    /// deadline if no match can complete by then.
     RecvWait {
         src: Option<usize>,
         tag: Option<Tag>,
+        deadline: Option<Time>,
     },
     /// The rank is suspended in `barrier`.
     BarrierWait,
@@ -83,6 +86,7 @@ pub(crate) enum CoopOp {
 /// Executor → rank completion values.
 pub(crate) enum CoopGrant {
     Received(Envelope),
+    TimedOut,
     Done,
 }
 
@@ -139,13 +143,28 @@ fn settle_head(
             phases[rank] = Phase::Ready;
             ready.push(rank, *eff);
         }
-        Some(CoopOp::RecvWait { src, tag }) => match core.peek_mailbox(rank, *src, *tag) {
-            Some(arrival) => {
-                phases[rank] = Phase::Ready;
-                ready.push(rank, cell.clock.max(arrival));
+        Some(CoopOp::RecvWait { src, tag, deadline }) => {
+            let match_eff = core
+                .peek_mailbox(rank, *src, *tag)
+                .map(|arrival| cell.clock.max(arrival));
+            match (match_eff, deadline) {
+                (Some(e), Some(d)) => {
+                    phases[rank] = Phase::Ready;
+                    ready.push(rank, e.min(*d));
+                }
+                (Some(e), None) => {
+                    phases[rank] = Phase::Ready;
+                    ready.push(rank, e);
+                }
+                // No match yet, but the rank gives up at the deadline —
+                // it stays schedulable (mirrors the threaded scan).
+                (None, Some(d)) => {
+                    phases[rank] = Phase::Ready;
+                    ready.push(rank, *d);
+                }
+                (None, None) => phases[rank] = Phase::BlockedRecv,
             }
-            None => phases[rank] = Phase::BlockedRecv,
-        },
+        }
         Some(CoopOp::BarrierWait) => {
             phases[rank] = Phase::InBarrier;
             *in_barrier += 1;
@@ -170,10 +189,12 @@ fn wake_recv(
         return;
     }
     let cell = cells[dst].lock().expect("coop cell poisoned");
-    if let Some(CoopOp::RecvWait { src, tag }) = cell.ops.front() {
+    if let Some(CoopOp::RecvWait { src, tag, deadline }) = cell.ops.front() {
         if let Some(arrival) = core.peek_mailbox(dst, *src, *tag) {
+            let eff = cell.clock.max(arrival);
+            let eff = deadline.map_or(eff, |d| eff.min(d));
             phases[dst] = Phase::Ready;
-            ready.push(dst, cell.clock.max(arrival));
+            ready.push(dst, eff);
         }
     }
 }
@@ -190,7 +211,7 @@ fn abort_deadlock_coop(
         let what = match phase {
             Phase::Done => "done".to_string(),
             Phase::BlockedRecv => {
-                if let Some(CoopOp::RecvWait { src, tag }) = cell.ops.front() {
+                if let Some(CoopOp::RecvWait { src, tag, .. }) = cell.ops.front() {
                     core.record_blocked(rank, *src, *tag);
                     format!(
                         "blocked recv(src={src:?}, tag={tag:?}), mailbox has {} msgs",
@@ -349,26 +370,50 @@ where
                     &core,
                 );
             }
-            CoopOp::RecvWait { src, tag } => {
+            CoopOp::RecvWait { src, tag, deadline } => {
                 let clock = cells[rank].lock().expect("coop cell poisoned").clock;
-                match core.process_recv(rank, src, tag, clock) {
-                    Ok((env, new_clock)) => {
-                        {
-                            let mut cell = cells[rank].lock().expect("coop cell poisoned");
-                            cell.clock = new_clock;
-                            cell.grant = Some(CoopGrant::Received(env));
+                // Deliver iff a match can complete by the deadline
+                // (same pop-time rule as the threaded kernel).
+                let deliverable = core
+                    .peek_mailbox(rank, src, tag)
+                    .map(|arrival| clock.max(arrival))
+                    .is_some_and(|e| deadline.is_none_or(|d| e <= d));
+                if deliverable {
+                    match core.process_recv(rank, src, tag, clock) {
+                        Ok((env, new_clock)) => {
+                            {
+                                let mut cell = cells[rank].lock().expect("coop cell poisoned");
+                                cell.clock = new_clock;
+                                cell.grant = Some(CoopGrant::Received(env));
+                            }
+                            poll_rank(rank, &mut futs, &mut results, &cells);
+                            settle_head(
+                                rank,
+                                &cells,
+                                &mut phases,
+                                &mut ready,
+                                &mut in_barrier,
+                                &core,
+                            );
                         }
-                        poll_rank(rank, &mut futs, &mut results, &cells);
-                        settle_head(
-                            rank,
-                            &cells,
-                            &mut phases,
-                            &mut ready,
-                            &mut in_barrier,
-                            &core,
-                        );
+                        Err(msg) => abort_strict(&mut core, msg),
                     }
-                    Err(msg) => abort_strict(&mut core, msg),
+                } else {
+                    let d = deadline.expect("scheduled recv without match or deadline");
+                    {
+                        let mut cell = cells[rank].lock().expect("coop cell poisoned");
+                        cell.clock = d + core.alpha_recv;
+                        cell.grant = Some(CoopGrant::TimedOut);
+                    }
+                    poll_rank(rank, &mut futs, &mut results, &cells);
+                    settle_head(
+                        rank,
+                        &cells,
+                        &mut phases,
+                        &mut ready,
+                        &mut in_barrier,
+                        &core,
+                    );
                 }
             }
             CoopOp::BarrierWait => {
@@ -388,6 +433,7 @@ where
     core.flush_recording(false);
     let (contention_events, contention_ns) = core.contention();
     let trace = core.take_trace();
+    let fault_stats = core.take_fault_stats();
     let results: Vec<R> = results
         .into_iter()
         .enumerate()
@@ -401,5 +447,6 @@ where
         contention_events,
         contention_ns,
         trace,
+        fault_stats,
     }
 }

@@ -5,14 +5,14 @@
 //! model in the crate docs. Two executors drive them:
 //!
 //! * **Cooperative** (default, [`ExecMode::Cooperative`]) — all rank
-//!   programs are multiplexed on the kernel's own thread (see
-//!   [`crate::exec`]). Sends, compute and memcpy charges are handled
+//!   programs are multiplexed on the kernel's own thread (see the
+//!   `exec` module). Sends, compute and memcpy charges are handled
 //!   rank-locally and deferred; only `recv` and `barrier` suspend.
 //! * **Threaded** ([`ExecMode::Threaded`]) — the original
 //!   one-OS-thread-per-rank trap/grant model, kept as the differential
 //!   baseline: every operation round-trips through two channels.
 //!
-//! Both executors feed the same [`KernelCore`] state machine (network,
+//! Both executors feed the same `KernelCore` state machine (network,
 //! mailboxes, sequence numbers, recording), so virtual times, statistics
 //! and recorded schedules are bit-identical by construction.
 
@@ -22,7 +22,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 
-use mpp_model::{LibraryKind, Machine, MachineParams, Time};
+use mpp_model::{FaultPlan, LibraryKind, Machine, MachineParams, Time};
 
 use crate::exec::{simulate_coop, CoopCell, CoopGrant, CoopOp};
 use crate::mailbox::{Mailbox, MsgRec};
@@ -44,13 +44,31 @@ pub enum ExecMode {
 }
 
 impl ExecMode {
-    /// The executor selected by the `STP_EXEC` environment variable
-    /// (`coop`/`cooperative` or `threaded`/`threads`); cooperative when
-    /// unset or unrecognized.
+    /// Parse an executor name: `coop`/`cooperative` or
+    /// `threaded`/`threads`/`thread`.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "coop" | "cooperative" => Ok(ExecMode::Cooperative),
+            "threaded" | "threads" | "thread" => Ok(ExecMode::Threaded),
+            other => Err(format!(
+                "unrecognized executor {other:?} (expected coop|cooperative|threaded|threads)"
+            )),
+        }
+    }
+
+    /// The executor selected by the `STP_EXEC` environment variable;
+    /// cooperative when unset or empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value. A typo like `STP_EXEC=treaded`
+    /// must not silently select the default executor — benchmarks and
+    /// differential tests would quietly measure the wrong thing.
     pub fn from_env() -> Self {
-        match std::env::var("STP_EXEC").as_deref() {
-            Ok("threaded") | Ok("threads") | Ok("thread") => ExecMode::Threaded,
-            _ => ExecMode::Cooperative,
+        match std::env::var("STP_EXEC") {
+            Ok(v) if v.trim().is_empty() => ExecMode::Cooperative,
+            Ok(v) => Self::parse(v.trim()).unwrap_or_else(|e| panic!("STP_EXEC: {e}")),
+            Err(_) => ExecMode::Cooperative,
         }
     }
 
@@ -88,6 +106,10 @@ pub struct SimConfig {
     /// Which executor drives the rank programs. Defaults to
     /// [`ExecMode::from_env`] (cooperative unless `STP_EXEC=threaded`).
     pub exec: ExecMode,
+    /// Deterministic fault plan (drops, delays, link outages, node
+    /// crashes, retransmission policy). `None` — or an inert plan — is
+    /// the perfect network.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -99,6 +121,7 @@ impl Default for SimConfig {
             recorder: None,
             strict: false,
             exec: ExecMode::from_env(),
+            faults: None,
         }
     }
 }
@@ -141,6 +164,10 @@ pub(crate) enum Trap {
     Recv {
         src: Option<usize>,
         tag: Option<Tag>,
+        /// Virtual-time deadline: when no matching message can be
+        /// delivered by this instant the receive gives up (the
+        /// `recv_timeout` primitive). `None` blocks forever.
+        deadline: Option<Time>,
     },
     ComputeNs {
         ns: Time,
@@ -158,6 +185,7 @@ pub(crate) enum Trap {
 enum Grant {
     Sent { clock: Time },
     Received { env: Envelope, clock: Time },
+    TimedOut { clock: Time },
     Done { clock: Time },
 }
 
@@ -247,7 +275,10 @@ impl RankCtx {
             .recv()
             .expect("simulation kernel terminated (deadlock or rank panic elsewhere)");
         self.clock = match &grant {
-            Grant::Sent { clock } | Grant::Done { clock } | Grant::Received { clock, .. } => *clock,
+            Grant::Sent { clock }
+            | Grant::Done { clock }
+            | Grant::TimedOut { clock }
+            | Grant::Received { clock, .. } => *clock,
         };
         grant
     }
@@ -300,6 +331,27 @@ impl RankCtx {
             ctx: self,
             src,
             tag,
+            registered: false,
+        }
+    }
+
+    /// Receive with a virtual-time deadline: resolves to the matched
+    /// envelope, or to `None` once it is certain no matching message can
+    /// be delivered by `clock() + timeout_ns` (giving up costs one
+    /// α_recv, like a failed probe). The building block algorithms use
+    /// to survive lossy fault plans — see `FaultPlan`.
+    pub fn recv_timeout(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        timeout_ns: Time,
+    ) -> RecvTimeoutFuture<'_> {
+        let deadline = self.clock().saturating_add(timeout_ns);
+        RecvTimeoutFuture {
+            ctx: self,
+            src,
+            tag,
+            deadline,
             registered: false,
         }
     }
@@ -386,18 +438,69 @@ impl Future for RecvFuture<'_> {
                 c.ops.push_back(CoopOp::RecvWait {
                     src: this.src,
                     tag: this.tag,
+                    deadline: None,
                 });
                 return Poll::Pending;
             }
             return match c.grant.take() {
                 Some(CoopGrant::Received(env)) => Poll::Ready(env),
-                Some(CoopGrant::Done) => unreachable!("mismatched cooperative grant"),
+                Some(_) => unreachable!("mismatched cooperative grant"),
                 None => Poll::Pending,
             };
         }
         let (src, tag) = (this.src, this.tag);
-        match this.ctx.call(Trap::Recv { src, tag }) {
+        match this.ctx.call(Trap::Recv {
+            src,
+            tag,
+            deadline: None,
+        }) {
             Grant::Received { env, .. } => Poll::Ready(env),
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+}
+
+/// Future returned by [`RankCtx::recv_timeout`]; suspension protocol as
+/// in [`RecvFuture`], resolving to `None` on deadline expiry.
+pub struct RecvTimeoutFuture<'a> {
+    ctx: &'a mut RankCtx,
+    src: Option<usize>,
+    tag: Option<Tag>,
+    deadline: Time,
+    registered: bool,
+}
+
+impl Future for RecvTimeoutFuture<'_> {
+    type Output = Option<Envelope>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Option<Envelope>> {
+        let this = self.get_mut();
+        if let Link::Coop { cell, .. } = &this.ctx.link {
+            let mut c = cell.lock().expect("coop cell poisoned");
+            if !this.registered {
+                this.registered = true;
+                c.ops.push_back(CoopOp::RecvWait {
+                    src: this.src,
+                    tag: this.tag,
+                    deadline: Some(this.deadline),
+                });
+                return Poll::Pending;
+            }
+            return match c.grant.take() {
+                Some(CoopGrant::Received(env)) => Poll::Ready(Some(env)),
+                Some(CoopGrant::TimedOut) => Poll::Ready(None),
+                Some(CoopGrant::Done) => unreachable!("mismatched cooperative grant"),
+                None => Poll::Pending,
+            };
+        }
+        let (src, tag, deadline) = (this.src, this.tag, this.deadline);
+        match this.ctx.call(Trap::Recv {
+            src,
+            tag,
+            deadline: Some(deadline),
+        }) {
+            Grant::Received { env, .. } => Poll::Ready(Some(env)),
+            Grant::TimedOut { .. } => Poll::Ready(None),
             _ => unreachable!("kernel protocol violation"),
         }
     }
@@ -424,7 +527,7 @@ impl Future for BarrierFuture<'_> {
             }
             return match c.grant.take() {
                 Some(CoopGrant::Done) => Poll::Ready(()),
-                Some(CoopGrant::Received(_)) => unreachable!("mismatched cooperative grant"),
+                Some(_) => unreachable!("mismatched cooperative grant"),
                 None => Poll::Pending,
             };
         }
@@ -463,6 +566,21 @@ pub struct SimOutcome<R> {
     pub contention_ns: Time,
     /// Per-message records (empty unless [`SimConfig::trace`] is set).
     pub trace: Vec<MsgTrace>,
+    /// Per-rank fault counters (all zero without a fault plan).
+    pub fault_stats: Vec<FaultStats>,
+}
+
+/// Per-rank fault-plane counters, accumulated at the sender.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transmission attempts lost to the fault plan and retried.
+    pub retransmits: u64,
+    /// Messages lost for good (every attempt dropped or unroutable).
+    pub dropped: u64,
+    /// Extra hops taken by detours around dead links.
+    pub rerouted_hops: u64,
+    /// Extra head-latency cost of those detour hops (ns).
+    pub detour_ns: Time,
 }
 
 impl<R> SimOutcome<R> {
@@ -528,6 +646,7 @@ where
     let mut finish_ns = vec![0; p];
     let (contention_events, contention_ns);
     let trace;
+    let fault_stats;
 
     {
         // Channel plumbing: one trap channel and one grant channel per rank.
@@ -577,6 +696,7 @@ where
         contention_events = kernel_out.0;
         contention_ns = kernel_out.1;
         trace = kernel_out.2;
+        fault_stats = kernel_out.3;
     }
 
     let results: Vec<R> = results
@@ -594,6 +714,7 @@ where
         contention_events,
         contention_ns,
         trace,
+        fault_stats,
     }
 }
 
@@ -621,6 +742,10 @@ pub(crate) struct KernelCore<'m> {
     steps: Vec<u32>,
     trace: Vec<MsgTrace>,
     events: Vec<ScheduleEvent>,
+    /// Active fault plan; inert plans are normalized away so the
+    /// fault-free fast path stays branch-one-deep.
+    faults: Option<FaultPlan>,
+    fault_stats: Vec<FaultStats>,
 }
 
 impl<'m> KernelCore<'m> {
@@ -641,6 +766,8 @@ impl<'m> KernelCore<'m> {
             steps: vec![0; p],
             trace: Vec::new(),
             events: Vec::new(),
+            faults: config.faults.clone().filter(|plan| !plan.is_inert()),
+            fault_stats: vec![FaultStats::default(); p],
         }
     }
 
@@ -667,39 +794,128 @@ impl<'m> KernelCore<'m> {
         let ready = clock_at_issue + self.alpha_send;
         let bytes = data.len();
         let wire_ns = self.machine.params.serialize_ns_lib(bytes, self.lib);
-        let arrival = self
-            .net
-            .transfer(self.machine, src_rank, dst, bytes, wire_ns, ready);
-        if self.trace_on {
-            self.trace.push(MsgTrace {
-                src: src_rank,
-                dst,
-                tag,
-                bytes,
-                send_ns: ready,
-                arrival_ns: arrival,
-                stalled_ns: self.net.last_stall_ns,
-            });
-        }
         self.seq += 1;
+        let seq = self.seq;
         if self.recording {
+            // One Send event per *logical* message, whatever the network
+            // does to its transmission attempts.
             self.events.push(ScheduleEvent::Send {
                 step: self.steps[src_rank],
-                seq: self.seq,
+                seq,
                 src: src_rank,
                 dst,
                 tag,
                 data: data.clone(),
             });
         }
-        self.mailboxes[dst].insert(MsgRec {
-            arrival,
-            seq: self.seq,
-            src: src_rank,
-            tag,
-            data,
-        });
+        if let Some(arrival) = self.transmit(src_rank, dst, seq, bytes, wire_ns, ready) {
+            if self.trace_on {
+                self.trace.push(MsgTrace {
+                    src: src_rank,
+                    dst,
+                    tag,
+                    bytes,
+                    send_ns: ready,
+                    arrival_ns: arrival,
+                    stalled_ns: self.net.last_stall_ns,
+                });
+            }
+            self.mailboxes[dst].insert(MsgRec {
+                arrival,
+                seq,
+                src: src_rank,
+                tag,
+                data,
+            });
+        }
+        // A lost message (every attempt dropped) never reaches a
+        // mailbox; the sender still only pays α_send.
         ready
+    }
+
+    /// Push one logical message through the (possibly faulty) network;
+    /// `Some(arrival)` on success, `None` when every transmission
+    /// attempt was dropped or unroutable.
+    ///
+    /// Fault decisions are pure hashes of `(plan seed, seq, attempt)`
+    /// and outage windows are functions of the injection instant, so the
+    /// result depends only on this call's arguments and the network
+    /// state — identical across executors, which process sends in the
+    /// same global order.
+    fn transmit(
+        &mut self,
+        src_rank: usize,
+        dst: usize,
+        seq: u64,
+        bytes: usize,
+        wire_ns: Time,
+        ready: Time,
+    ) -> Option<Time> {
+        let machine = self.machine;
+        if src_rank == dst {
+            // Local delivery is a memcpy; the fault plane models the
+            // network and cannot lose it.
+            self.net.last_stall_ns = 0;
+            return Some(ready + machine.params.memcpy_ns(bytes));
+        }
+        let u = machine.node_of(src_rank);
+        let v = machine.node_of(dst);
+        let Some(plan) = self.faults.as_ref() else {
+            let route = machine.topology.route(u, v);
+            return Some(
+                self.net
+                    .transfer_routed(machine, src_rank, dst, bytes, wire_ns, ready, &route),
+            );
+        };
+        let base_hops = machine.topology.distance(u, v);
+        let max_attempts = plan.retry.max_attempts.max(1);
+        for attempt in 0..max_attempts {
+            // Attempt k is injected after the retry backoff plus any
+            // fault-plan injection delay — all exact virtual time.
+            let inject = ready
+                .saturating_add(plan.retry.delay_for(attempt))
+                .saturating_add(plan.injection_delay_ns(seq, attempt));
+            let route = if plan.has_structural_faults() {
+                let dead = plan.dead_links_at(inject, &machine.topology);
+                machine.topology.route_avoiding(u, v, &dead)
+            } else {
+                Some(machine.topology.route(u, v))
+            };
+            if !plan.should_drop(seq, attempt) {
+                if let Some(route) = route {
+                    if route.len() > base_hops {
+                        let stats = &mut self.fault_stats[src_rank];
+                        stats.rerouted_hops += (route.len() - base_hops) as u64;
+                        stats.detour_ns +=
+                            machine.params.hops_ns(route.len()) - machine.params.hops_ns(base_hops);
+                    }
+                    return Some(
+                        self.net.transfer_routed(
+                            machine, src_rank, dst, bytes, wire_ns, inject, &route,
+                        ),
+                    );
+                }
+            }
+            // This attempt is lost (dropped in flight, or no live route
+            // existed); a dropped attempt reserves no network resources.
+            let exhausted = attempt + 1 >= max_attempts;
+            if exhausted {
+                self.fault_stats[src_rank].dropped += 1;
+            } else {
+                self.fault_stats[src_rank].retransmits += 1;
+            }
+            if self.recording {
+                self.events.push(ScheduleEvent::Dropped {
+                    seq,
+                    src: src_rank,
+                    dst,
+                    attempt,
+                    exhausted,
+                });
+            }
+        }
+        self.net.last_stall_ns = 0;
+        None
     }
 
     /// Process a receive selected by the scheduler (a match must exist).
@@ -815,6 +1031,10 @@ impl<'m> KernelCore<'m> {
     pub fn take_trace(&mut self) -> Vec<MsgTrace> {
         std::mem::take(&mut self.trace)
     }
+
+    pub fn take_fault_stats(&mut self) -> Vec<FaultStats> {
+        std::mem::take(&mut self.fault_stats)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -829,14 +1049,15 @@ struct RankState {
 }
 
 /// The threaded kernel proper. Runs on the calling thread while rank
-/// threads wait. Returns `(contention_events, contention_ns, trace)`.
+/// threads wait. Returns
+/// `(contention_events, contention_ns, trace, fault_stats)`.
 fn run_kernel(
     machine: &Machine,
     config: &SimConfig,
     trap_rxs: &[Receiver<Trap>],
     grant_txs: &mut [Option<Sender<Grant>>],
     finish_ns: &mut [Time],
-) -> (u64, Time, Vec<MsgTrace>) {
+) -> (u64, Time, Vec<MsgTrace>, Vec<FaultStats>) {
     let p = machine.p();
     let mut core = KernelCore::new(machine, config);
     let mut states: Vec<RankState> = (0..p)
@@ -851,8 +1072,8 @@ fn run_kernel(
 
     // Collect the initial trap from every rank (threads run concurrently
     // up to their first communication call — zero virtual time).
-    for rank in 0..p {
-        states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+    for (rank, st) in states.iter_mut().enumerate() {
+        st.pending = Some(recv_trap(trap_rxs, grant_txs, rank));
     }
 
     while live > 0 {
@@ -882,9 +1103,9 @@ fn run_kernel(
                 st.pending = None;
                 send_grant(grant_txs, rank, Grant::Done { clock: t_rel });
             }
-            for rank in 0..p {
-                if !states[rank].done {
-                    states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+            for (rank, st) in states.iter_mut().enumerate() {
+                if !st.done {
+                    st.pending = Some(recv_trap(trap_rxs, grant_txs, rank));
                 }
             }
             continue;
@@ -892,16 +1113,22 @@ fn run_kernel(
 
         // Pick the processable rank with the smallest effective time.
         let mut best: Option<(Time, usize)> = None;
-        for rank in 0..p {
-            let st = &states[rank];
+        for (rank, st) in states.iter().enumerate() {
             if st.done || st.in_barrier {
                 continue;
             }
             let eff = match st.pending.as_ref().expect("live rank without pending trap") {
-                Trap::Recv { src, tag } => match core.peek_mailbox(rank, *src, *tag) {
-                    Some(arrival) => st.clock.max(arrival),
-                    None => continue, // blocked
-                },
+                Trap::Recv { src, tag, deadline } => {
+                    let match_eff = core.peek_mailbox(rank, *src, *tag).map(|a| st.clock.max(a));
+                    match (match_eff, deadline) {
+                        (Some(e), Some(d)) => e.min(*d),
+                        (Some(e), None) => e,
+                        // No match yet, but the rank gives up at the
+                        // deadline — it stays schedulable.
+                        (None, Some(d)) => *d,
+                        (None, None) => continue, // blocked
+                    }
+                }
                 _ => st.clock,
             };
             if best.is_none_or(|(bt, br)| (eff, rank) < (bt, br)) {
@@ -921,14 +1148,28 @@ fn run_kernel(
                 send_grant(grant_txs, rank, Grant::Sent { clock: ready });
                 states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
             }
-            Trap::Recv { src, tag } => {
-                match core.process_recv(rank, src, tag, states[rank].clock) {
-                    Ok((env, clock)) => {
-                        states[rank].clock = clock;
-                        send_grant(grant_txs, rank, Grant::Received { env, clock });
-                        states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+            Trap::Recv { src, tag, deadline } => {
+                // Deliver iff a match can complete by the deadline;
+                // otherwise this was scheduled as a timeout expiry.
+                let deliverable = core
+                    .peek_mailbox(rank, src, tag)
+                    .map(|a| states[rank].clock.max(a))
+                    .is_some_and(|e| deadline.is_none_or(|d| e <= d));
+                if deliverable {
+                    match core.process_recv(rank, src, tag, states[rank].clock) {
+                        Ok((env, clock)) => {
+                            states[rank].clock = clock;
+                            send_grant(grant_txs, rank, Grant::Received { env, clock });
+                            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+                        }
+                        Err(msg) => abort_kernel(&mut core, grant_txs, false, msg),
                     }
-                    Err(msg) => abort_kernel(&mut core, grant_txs, false, msg),
+                } else {
+                    let d = deadline.expect("scheduled recv without match or deadline");
+                    let clock = d + core.alpha_recv;
+                    states[rank].clock = clock;
+                    send_grant(grant_txs, rank, Grant::TimedOut { clock });
+                    states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
                 }
             }
             Trap::ComputeNs { ns } => {
@@ -964,7 +1205,9 @@ fn run_kernel(
 
     core.flush_recording(false);
     let (contention_events, contention_ns) = core.contention();
-    (contention_events, contention_ns, core.take_trace())
+    let trace = core.take_trace();
+    let fault_stats = core.take_fault_stats();
+    (contention_events, contention_ns, trace, fault_stats)
 }
 
 /// Abort the simulation on a strict-check violation: flush the schedule
@@ -1021,7 +1264,7 @@ fn abort_deadlock(
             "done".to_string()
         } else {
             match st.pending.as_ref() {
-                Some(Trap::Recv { src, tag }) => {
+                Some(Trap::Recv { src, tag, .. }) => {
                     core.record_blocked(rank, *src, *tag);
                     format!(
                         "blocked recv(src={src:?}, tag={tag:?}), mailbox has {} msgs",
@@ -1348,5 +1591,168 @@ mod tests {
         });
         assert_eq!(out.makespan_ns, 800);
         assert_eq!(out.finish_ns[7], 800);
+    }
+
+    #[test]
+    fn exec_mode_parse_rejects_unknown_values() {
+        assert_eq!(ExecMode::parse("coop"), Ok(ExecMode::Cooperative));
+        assert_eq!(ExecMode::parse("cooperative"), Ok(ExecMode::Cooperative));
+        assert_eq!(ExecMode::parse("threaded"), Ok(ExecMode::Threaded));
+        assert_eq!(ExecMode::parse("threads"), Ok(ExecMode::Threaded));
+        assert_eq!(ExecMode::parse("thread"), Ok(ExecMode::Threaded));
+        // The silent-fallback bug: a typo must be an error, not the
+        // cooperative default.
+        assert!(ExecMode::parse("treaded").is_err());
+        assert!(ExecMode::parse("").is_err());
+        assert!(ExecMode::parse("COOP").is_err());
+    }
+
+    #[test]
+    fn recv_timeout_expires_then_delivers() {
+        let m = Machine::paragon(1, 2);
+        let run = |config: &SimConfig| {
+            simulate_with(&m, config, |mut ctx| async move {
+                if ctx.rank() == 0 {
+                    ctx.compute_ns(50_000); // sender is slow
+                    ctx.send(1, 3, b"late");
+                    (0, 0)
+                } else {
+                    // Expires long before the sender is ready...
+                    let miss = ctx.recv_timeout(Some(0), Some(3), 10).await;
+                    assert!(miss.is_none(), "nothing can arrive in 10 ns");
+                    let after_timeout = ctx.clock();
+                    // ...then a patient retry delivers.
+                    let hit = ctx.recv_timeout(Some(0), Some(3), 10_000_000).await;
+                    assert!(hit.is_some());
+                    (after_timeout, ctx.clock())
+                }
+            })
+        };
+        let a = run(&coop());
+        let b = run(&threaded());
+        assert_eq!(a.results, b.results, "executors disagree on timeouts");
+        assert_eq!(a.finish_ns, b.finish_ns);
+        let (after_timeout, done) = a.results[1];
+        // Giving up costs one α_recv at the deadline.
+        assert_eq!(
+            after_timeout,
+            10 + m.params.alpha_recv(mpp_model::LibraryKind::Nx)
+        );
+        assert!(done > 50_000, "delivery happens after the slow sender");
+    }
+
+    #[test]
+    fn transient_drops_are_retried_and_equivalent() {
+        use mpp_model::FaultPlan;
+        let m = ring_machine();
+        let faults = Some(FaultPlan::transient_drops(3, 1, 2, 20));
+        let run = |exec: ExecMode| {
+            let config = SimConfig {
+                exec,
+                faults: faults.clone(),
+                ..SimConfig::default()
+            };
+            simulate_with(&m, &config, |mut ctx| async move {
+                if ctx.rank() == 0 {
+                    for _ in 1..8 {
+                        ctx.recv(None, None).await;
+                    }
+                } else {
+                    ctx.send(0, 1, &[7u8; 512]);
+                }
+            })
+        };
+        let a = run(ExecMode::Cooperative);
+        let b = run(ExecMode::Threaded);
+        assert_eq!(
+            a.finish_ns, b.finish_ns,
+            "faulted runs must stay equivalent"
+        );
+        assert_eq!(a.fault_stats, b.fault_stats);
+        let retransmits: u64 = a.fault_stats.iter().map(|s| s.retransmits).sum();
+        assert!(retransmits > 0, "a 1/2 drop rate must force retransmits");
+        let dropped: u64 = a.fault_stats.iter().map(|s| s.dropped).sum();
+        assert_eq!(dropped, 0, "20 attempts at 1/2 never exhaust");
+    }
+
+    #[test]
+    fn exhausted_drops_lose_the_message() {
+        use mpp_model::FaultPlan;
+        let m = Machine::paragon(1, 2);
+        // Every attempt dropped, one attempt allowed: the message is lost.
+        let plan = FaultPlan {
+            seed: 1,
+            drop_num: 1,
+            drop_den: 1,
+            ..FaultPlan::default()
+        };
+        let config = SimConfig {
+            faults: Some(plan),
+            ..coop()
+        };
+        let out = simulate_with(&m, &config, |mut ctx| async move {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, b"doomed");
+                true
+            } else {
+                ctx.recv_timeout(Some(0), Some(0), 1_000_000)
+                    .await
+                    .is_none()
+            }
+        });
+        assert!(out.results[1], "the message must never arrive");
+        assert_eq!(out.fault_stats[0].dropped, 1);
+        assert_eq!(out.fault_stats[0].retransmits, 0);
+    }
+
+    #[test]
+    fn outage_reroutes_with_detour_cost() {
+        use mpp_model::{FaultPlan, LinkOutage};
+        let m = Machine::paragon(2, 2);
+        // Link 0→1 is down forever: 0's message detours 0→2→3→1.
+        let plan = FaultPlan {
+            link_outages: vec![LinkOutage {
+                link: mpp_model::Link::new(0, 1),
+                from_ns: 0,
+                until_ns: Time::MAX,
+            }],
+            ..FaultPlan::default()
+        };
+        let run = |exec: ExecMode| {
+            let config = SimConfig {
+                exec,
+                faults: Some(plan.clone()),
+                ..SimConfig::default()
+            };
+            simulate_with(&m, &config, |mut ctx| async move {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, &[1u8; 64]);
+                } else if ctx.rank() == 1 {
+                    ctx.recv(Some(0), Some(0)).await;
+                }
+            })
+        };
+        let a = run(ExecMode::Cooperative);
+        let b = run(ExecMode::Threaded);
+        assert_eq!(a.finish_ns, b.finish_ns);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(
+            a.fault_stats[0].rerouted_hops, 2,
+            "1-hop route became 3 hops"
+        );
+        assert!(a.fault_stats[0].detour_ns > 0);
+        // The detour costs extra hop latency versus a clean network.
+        let clean = simulate(&m, |mut ctx| async move {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, &[1u8; 64]);
+            } else if ctx.rank() == 1 {
+                ctx.recv(Some(0), Some(0)).await;
+            }
+        });
+        assert!(a.finish_ns[1] > clean.finish_ns[1]);
+        assert_eq!(
+            a.contention_ns, clean.contention_ns,
+            "detours are not contention"
+        );
     }
 }

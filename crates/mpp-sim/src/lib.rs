@@ -67,8 +67,9 @@ pub mod trace;
 
 pub use kernel::{
     block_on_ready, simulate, simulate_with, BarrierFuture, DeadlockInfo, Envelope, ExecMode,
-    RankCtx, RecvFuture, SimConfig, SimOutcome,
+    FaultStats, RankCtx, RecvFuture, RecvTimeoutFuture, SimConfig, SimOutcome,
 };
+pub use mpp_model::{FaultPlan, LinkOutage, NodeCrash, RetryPolicy};
 pub use network::NetworkState;
 pub use payload::{copy_metrics, CopyMetrics, Payload, PayloadReader};
 pub use record::{schedule_log, ScheduleEvent, ScheduleLog, ScheduleRecording};

@@ -77,15 +77,41 @@ impl NetworkState {
         wire_ns: Time,
         ready: Time,
     ) -> Time {
-        let params = &machine.params;
-        self.last_stall_ns = 0;
         if from_rank == to_rank {
             // Local delivery: a memcpy, no network resources.
-            return ready + params.memcpy_ns(bytes);
+            self.last_stall_ns = 0;
+            return ready + machine.params.memcpy_ns(bytes);
         }
+        let route = machine
+            .topology
+            .route(machine.node_of(from_rank), machine.node_of(to_rank));
+        self.transfer_routed(machine, from_rank, to_rank, bytes, wire_ns, ready, &route)
+    }
+
+    /// Like [`NetworkState::transfer`] but over an explicit `route`
+    /// (e.g. a fault detour instead of the dimension-ordered path).
+    ///
+    /// The contention baseline is the resource-free traversal of *this*
+    /// route, so a longer detour charges its extra hops as routing cost,
+    /// not as link contention — the caller accounts detour overhead
+    /// separately. `route` must be a valid `from → to` walk; callers
+    /// handle `from_rank == to_rank` before routing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_routed(
+        &mut self,
+        machine: &Machine,
+        from_rank: usize,
+        to_rank: usize,
+        bytes: usize,
+        wire_ns: Time,
+        ready: Time,
+        route: &[Link],
+    ) -> Time {
+        let params = &machine.params;
+        self.last_stall_ns = 0;
+        debug_assert_ne!(from_rank, to_rank, "self-sends bypass the network");
         let u = machine.node_of(from_rank);
         let v = machine.node_of(to_rank);
-        let route = machine.topology.route(u, v);
         let tau = params.tau_hop_ns;
 
         let out_slot = best_slot(&self.out_port_busy[u]);
@@ -101,7 +127,7 @@ impl NetworkState {
                 // drains at the (slower) software rate behind it.
                 let link_ns = params.link_ns(bytes);
                 let mut head = port_free;
-                for link in &route {
+                for link in route {
                     if let Some(&busy) = self.link_busy.get(link) {
                         head = head.max(busy);
                     }
@@ -109,7 +135,12 @@ impl NetworkState {
                     head += tau;
                 }
                 let done = head + wire_ns;
-                (port_free, done)
+                // The tail drains behind the (possibly stalled) head, so
+                // the injection port stays occupied relative to where the
+                // head actually got to — not to the stall-free schedule.
+                // (`head` has advanced len·τ past the last queueing point.)
+                let start = head - route.len() as Time * tau;
+                (start, done)
             }
             model => {
                 // The worm occupies each link for the full transfer;
@@ -124,19 +155,20 @@ impl NetworkState {
                     }
                 }
                 let done = start + params.hops_ns(route.len()) + wire_ns;
-                for (i, link) in route.into_iter().enumerate() {
+                for (i, link) in route.iter().enumerate() {
                     let until = if pipelined {
                         start + i as Time * tau + wire_ns
                     } else {
                         done
                     };
-                    self.link_busy.insert(link, until);
+                    self.link_busy.insert(*link, until);
                 }
                 (start, done)
             }
         };
-        // Any delay beyond the resource-free schedule counts as a stall.
-        let unconstrained = ready + params.hops_ns(machine.distance(from_rank, to_rank)) + wire_ns;
+        // Any delay beyond the resource-free traversal of this route
+        // counts as a stall (detour hops are the caller's cost, not ours).
+        let unconstrained = ready + params.hops_ns(route.len()) + wire_ns;
         if done > unconstrained {
             let stall = done - unconstrained;
             self.contention_events += 1;
@@ -276,6 +308,47 @@ mod tests {
         assert!(
             q2 < q1 / 2,
             "shared model should let the short transfer through: {q2} vs {q1}"
+        );
+    }
+
+    #[test]
+    fn shared_port_release_respects_stalled_head() {
+        use mpp_model::{MachineParams, MeshShape, Placement, Topology};
+        let mut params = MachineParams::paragon_nx();
+        params.contention = ContentionModel::Shared;
+        let machine = Machine::new(
+            "shared",
+            Topology::Mesh2D { rows: 1, cols: 8 },
+            params,
+            Placement::Identity,
+            MeshShape::new(1, 8),
+        );
+        let tau = machine.params.tau_hop_ns;
+        let mut net = NetworkState::new(&machine);
+        // Congest a middle link with a fat transfer ...
+        net.transfer(
+            &machine,
+            3,
+            4,
+            1 << 20,
+            machine.params.serialize_ns(1 << 20),
+            0,
+        );
+        // ... so a small 0 -> 7 message queues its head behind it.
+        let b = net.transfer(&machine, 0, 7, 64, machine.params.serialize_ns(64), 0);
+        assert!(
+            b > machine.params.link_ns(1 << 20),
+            "head should queue behind the fat transfer"
+        );
+        // Back-to-back second send from the same source: the injection
+        // port is only released once the stalled first message drained
+        // into the network, so the second send cannot overtake the
+        // congestion (the bug released the port at port_free + wire_ns,
+        // letting this complete almost immediately).
+        let c = net.transfer(&machine, 0, 1, 64, machine.params.serialize_ns(64), 0);
+        assert!(
+            c + 6 * tau >= b,
+            "second send finished at {c} despite first stalled until {b}"
         );
     }
 

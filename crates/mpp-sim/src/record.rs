@@ -119,6 +119,22 @@ pub enum ScheduleEvent {
         /// Its receive's tag filter.
         tag_filter: Option<Tag>,
     },
+    /// A transmission attempt lost to the active fault plan (recorded
+    /// once per lost attempt; the logical message keeps its single
+    /// `Send` event).
+    Dropped {
+        /// Sequence number of the affected message.
+        seq: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// Which attempt this was (0-based).
+        attempt: u32,
+        /// True when this was the final permitted attempt — the message
+        /// is lost for good and will never reach `dst`'s mailbox.
+        exhausted: bool,
+    },
     /// A rank's program returned.
     Finished {
         /// The finishing rank.

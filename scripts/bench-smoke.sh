@@ -58,6 +58,47 @@ for algo in br_lin 2_step persalltoall; do
   printf '%s\n' "$record" >> "$TMP"
 done
 
+# Fault-plane overhead: the same grid point clean and under a seeded
+# transient-drop plan with retry. Both makespans are virtual time, so
+# the ratio is exact, deterministic, and host-independent; delivery
+# must stay complete (zero messages lost) for the record to be emitted.
+run_point() {
+  target/release/stp --machine paragon --rows 16 --cols 16 \
+    --algo br_xy_source --dist cross --s 24 --len 4096 "$@"
+}
+clean_run="$(run_point)" \
+  || fail "clean run for faulted_overhead exited with status $?"
+faulted_run="$(run_point --faults 'seed=11,drop=1/8,retry=6:2000')" \
+  || fail "faulted run for faulted_overhead exited with status $?"
+CLEAN="$clean_run" FAULTED="$faulted_run" python3 - >> "$TMP" <<'EOF' \
+  || fail "faulted_overhead derivation failed"
+import json, os, re, sys
+
+def makespan_ms(txt, tag):
+    m = re.search(r"time ([0-9.]+) ms\s+verified (\S+)", txt)
+    if not m:
+        sys.exit(f"{tag} run printed no makespan:\n{txt}")
+    if m.group(2) != "true":
+        sys.exit(f"{tag} run did not verify")
+    return float(m.group(1))
+
+clean = makespan_ms(os.environ["CLEAN"], "clean")
+faulted = makespan_ms(os.environ["FAULTED"], "faulted")
+m = re.search(r"faults: (\d+) retransmit\(s\)\s+(\d+) message\(s\) lost",
+              os.environ["FAULTED"])
+if not m:
+    sys.exit("faulted run printed no fault counters")
+if m.group(2) != "0":
+    sys.exit("faulted run lost messages despite its retry budget")
+print(json.dumps({
+    "id": "faulted_overhead/br_xy_source/16x16",
+    "clean_ms": clean,
+    "faulted_ms": faulted,
+    "faulted_overhead": round(faulted / clean, 3),
+    "retransmits": int(m.group(1)),
+}, separators=(",", ":")))
+EOF
+
 # Derive the executor acceptance numbers from the raw records:
 #   parallel_speedup — sequential / parallel wall-clock of the fig03
 #     grid sweep (≥2x expected on multi-core hosts; ~1x on one core);

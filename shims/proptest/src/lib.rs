@@ -136,6 +136,33 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E);
     impl_tuple_strategy!(A, B, C, D, E, F);
 
+    /// Uniform choice among boxed strategies of one value type; the
+    /// target of the `prop_oneof!` macro.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        pub fn or<S: Strategy<Value = T> + 'static>(mut self, s: S) -> Self {
+            self.arms.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.arms.is_empty(), "empty prop_oneof!");
+            let i = (rng.next_u64() as usize) % self.arms.len();
+            self.arms[i].generate(rng)
+        }
+    }
+
     /// `any::<T>()`: uniform over the whole domain of `T`.
     pub struct Any<T>(::std::marker::PhantomData<T>);
 
@@ -339,9 +366,9 @@ pub mod test_runner {
 }
 
 pub mod prelude {
-    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Entry macro: defines `#[test]` functions that run their body over
@@ -381,6 +408,16 @@ macro_rules! proptest {
     };
     ($($rest:tt)*) => {
         $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+/// Upstream supports weighted arms (`N => strat`); the workspace only
+/// uses the unweighted form, which is all this shim implements.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strat))+
     };
 }
 

@@ -11,10 +11,12 @@
 //! matrix is `#[ignore]`d for tier-2 (`cargo test -- --ignored`).
 
 use stp_broadcast::model::Machine;
-use stp_broadcast::runtime::ExecMode;
+use stp_broadcast::runtime::{ExecMode, FaultPlan};
 use stp_broadcast::stp::distribution::SourceDist;
 use stp_broadcast::stp::msgset::payload_for;
-use stp_broadcast::stp::runner::{record_sources_exec, AlgoKind, RecordedRun};
+use stp_broadcast::stp::runner::{
+    record_sources_exec, record_sources_faulty, AlgoKind, RecordedRun,
+};
 
 /// The eight named source distributions of the paper.
 fn paper_dists() -> Vec<SourceDist> {
@@ -124,6 +126,90 @@ fn executors_agree_quick_odd_shape() {
         &[SourceDist::Row, SourceDist::Cross],
         &[AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::TwoStep],
     );
+}
+
+/// Record one grid point on the given executor with a fault plan.
+fn record_faulted(
+    machine: &Machine,
+    dist: &SourceDist,
+    s: usize,
+    kind: AlgoKind,
+    exec: ExecMode,
+    plan: &FaultPlan,
+) -> RecordedRun {
+    let sources = dist.place(machine.shape, s);
+    let alg = kind.build();
+    record_sources_faulty(
+        machine,
+        kind.default_lib(),
+        &sources,
+        &|src| payload_for(src, 64),
+        alg.as_ref(),
+        exec,
+        Some(plan),
+    )
+}
+
+/// The equivalence argument must survive fault injection: drop/retry
+/// decisions are pure hashes of `(seed, seq, attempt)` and rerouting is
+/// a deterministic function of virtual time, so an identical plan must
+/// produce byte-identical recordings — including the `Dropped` events —
+/// on both executors.
+fn assert_identical_faulted(
+    machine: &Machine,
+    dist: &SourceDist,
+    s: usize,
+    kind: AlgoKind,
+    plan: &FaultPlan,
+) {
+    let coop = record_faulted(machine, dist, s, kind, ExecMode::Cooperative, plan);
+    let thr = record_faulted(machine, dist, s, kind, ExecMode::Threaded, plan);
+    let tag = format!(
+        "{} / {} on {}x{} s={s} (faulted)",
+        kind.name(),
+        dist.name(),
+        machine.shape.rows,
+        machine.shape.cols
+    );
+    assert_eq!(coop.deadlocked, thr.deadlocked, "{tag}: deadlock verdict");
+    assert_eq!(coop.events, thr.events, "{tag}: recorded schedules");
+    let (a, b) = (
+        coop.outcome.expect("coop outcome"),
+        thr.outcome.expect("threaded outcome"),
+    );
+    assert_eq!(a.makespan_ns, b.makespan_ns, "{tag}: makespan");
+    assert_eq!(a.finish_ns, b.finish_ns, "{tag}: per-rank finish times");
+    assert_eq!(a.stats, b.stats, "{tag}: per-rank CommStats");
+    assert_eq!(a.verified, b.verified, "{tag}: verification");
+    assert_eq!(
+        a.contention_events, b.contention_events,
+        "{tag}: contention events"
+    );
+    assert_eq!(a.contention_ns, b.contention_ns, "{tag}: contention time");
+    assert!(a.verified, "{tag}: retries must restore full delivery");
+}
+
+/// Tier-1: every algorithm under a transient-drop plan with retry on a
+/// small shape — same plan, both executors, byte-identical recordings
+/// and full delivery.
+#[test]
+fn executors_agree_under_transient_drops() {
+    let machine = Machine::paragon(4, 4);
+    let plan = FaultPlan::transient_drops(13, 1, 8, 6);
+    for &kind in AlgoKind::all() {
+        assert_identical_faulted(&machine, &SourceDist::Equal, 5, kind, &plan);
+    }
+}
+
+/// Tier-1: link outages force detours; the rerouted schedule must stay
+/// executor-independent too.
+#[test]
+fn executors_agree_under_link_outages() {
+    let machine = Machine::paragon(4, 4);
+    let plan = FaultPlan::parse("link=5-6@0..,link=9-10@0..200000").expect("valid spec");
+    for &kind in &[AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::TwoStep] {
+        assert_identical_faulted(&machine, &SourceDist::Cross, 6, kind, &plan);
+    }
 }
 
 /// Tier-2: the full lint matrix — every algorithm × all eight paper
