@@ -32,7 +32,6 @@ use mpp_model::MeshShape;
 use mpp_runtime::{CommFuture, Communicator, Tag};
 
 use crate::msgset::MessageSet;
-use crate::pattern::br_lin_schedule;
 
 pub use adaptive::ReposAdaptive;
 pub use br_dims::{BrDims, GridShape};
@@ -178,7 +177,7 @@ pub(crate) async fn br_lin_over(
         "has flag disagrees with holdings"
     );
 
-    let schedule = br_lin_schedule(has);
+    let schedule = crate::pattern::br_lin_schedule_shared(has);
     for (level, level_ops) in schedule.ops.iter().enumerate() {
         let my_ops = &level_ops[my_pos];
         let tag = tag_base + level as Tag;

@@ -89,16 +89,45 @@ impl MessageSet {
     /// always carry identical payloads). Returns the number of *new*
     /// payload bytes absorbed. Moves ropes — no byte copies.
     pub fn merge(&mut self, other: MessageSet) -> usize {
+        if other.entries.is_empty() {
+            return 0;
+        }
+        if self.entries.is_empty() {
+            let absorbed = other.entries.iter().map(|(_, d)| d.len()).sum();
+            self.entries = other.entries;
+            return absorbed;
+        }
+        // Both sorted: a single merge walk instead of per-entry
+        // binary-search inserts (each of which shifts the tail).
         let mut absorbed = 0;
-        for (src, data) in other.entries {
-            match self.entries.binary_search_by_key(&src, |&(s, _)| s) {
-                Ok(_) => {}
-                Err(pos) => {
-                    absorbed += data.len();
-                    self.entries.insert(pos, (src, data));
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut a = std::mem::take(&mut self.entries).into_iter().peekable();
+        let mut b = other.entries.into_iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&(sa, _)), Some(&(sb, _))) => {
+                    if sa < sb {
+                        merged.push(a.next().unwrap());
+                    } else if sb < sa {
+                        let e = b.next().unwrap();
+                        absorbed += e.1.len();
+                        merged.push(e);
+                    } else {
+                        // Duplicate source: keep the existing payload.
+                        merged.push(a.next().unwrap());
+                        b.next();
+                    }
                 }
+                (Some(_), None) => merged.push(a.next().unwrap()),
+                (None, Some(_)) => {
+                    let e = b.next().unwrap();
+                    absorbed += e.1.len();
+                    merged.push(e);
+                }
+                (None, None) => break,
             }
         }
+        self.entries = merged;
         absorbed
     }
 

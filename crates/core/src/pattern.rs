@@ -165,6 +165,54 @@ pub fn br_lin_schedule(has: &[bool]) -> BrLinSchedule {
     BrLinSchedule { ops, holds }
 }
 
+/// [`br_lin_schedule`] behind a process-wide memo table, shared by all
+/// ranks of a run.
+///
+/// The schedule is a pure function of `has`, and the paper's model says
+/// every processor knows the source positions up front — so all `p`
+/// ranks of one experiment compute byte-identical schedules. Computing
+/// it once and handing out `Arc`s turns an O(p · n log n) per-run cost
+/// (with ~n·log n small allocations *per rank*) into a single lookup.
+/// Hot-path profile: on a 256-rank run this was the single largest
+/// host-side cost of `Br_Lin`.
+///
+/// The table is keyed by the packed has-bits (plus length), bounded, and
+/// safe to share across sweep workers and rank threads: entries are
+/// immutable once inserted and identical regardless of who computes them,
+/// so caching cannot perturb simulated time or determinism.
+pub fn br_lin_schedule_shared(has: &[bool]) -> std::sync::Arc<BrLinSchedule> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    type Cache = Mutex<HashMap<Box<[u8]>, Arc<BrLinSchedule>>>;
+
+    /// Bound on cached distinct distributions (a sweep touches a few
+    /// dozen; clearing on overflow keeps pathological grids bounded).
+    const CACHE_MAX: usize = 256;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+
+    let mut key = vec![0u8; 8 + has.len().div_ceil(8)];
+    key[..8].copy_from_slice(&(has.len() as u64).to_le_bytes());
+    for (i, &h) in has.iter().enumerate() {
+        if h {
+            key[8 + i / 8] |= 1 << (i % 8);
+        }
+    }
+    let cache = CACHE.get_or_init(Default::default);
+    let mut table = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(sched) = table.get(key.as_slice()) {
+        return Arc::clone(sched);
+    }
+    // Compute under the lock: in threaded runs every rank arrives at
+    // once, and one computation plus p-1 waits beats p computations.
+    let sched = Arc::new(br_lin_schedule(has));
+    if table.len() >= CACHE_MAX {
+        table.clear();
+    }
+    table.insert(key.into_boxed_slice(), Arc::clone(&sched));
+    sched
+}
+
 /// Render the holder evolution of a schedule as text: one row per
 /// iteration, `#` = holds messages, `.` = empty. Used in docs and the
 /// `stp` CLI to explain why a placement is slow.

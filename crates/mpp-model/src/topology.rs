@@ -103,13 +103,26 @@ impl Topology {
             "route endpoints out of range: {u},{v} (n={n})"
         );
         let mut path = Vec::with_capacity(self.distance(u, v));
+        self.route_into(u, v, &mut path);
+        path
+    }
+
+    /// [`Topology::route`] into a caller-provided buffer, so per-message
+    /// hot paths (the kernel routes every send) can reuse one
+    /// allocation. The buffer is cleared first.
+    pub fn route_into(&self, u: NodeId, v: NodeId, path: &mut Vec<Link>) {
+        let n = self.num_nodes();
+        assert!(
+            u < n && v < n,
+            "route endpoints out of range: {u},{v} (n={n})"
+        );
+        path.clear();
         let mut cur = u;
         while cur != v {
             let next = self.next_hop(cur, v);
             path.push(Link::new(cur, next));
             cur = next;
         }
-        path
     }
 
     /// Fault-aware routing: the dimension-ordered route when it avoids

@@ -2,20 +2,195 @@
 
 use std::future::Future;
 use std::pin::Pin;
+use std::task::{Context, Poll};
 
 use mpp_sim::Payload;
 
 use crate::stats::CommStats;
 use crate::Tag;
 
-/// Boxed future returned by the blocking [`Communicator`] operations.
+/// Boxed future for algorithm-level suspension points (e.g.
+/// `StpAlgorithm::run`) and third-party [`Communicator`] impls that
+/// can't name a concrete future type.
 ///
-/// On the simulator's cooperative executor these genuinely suspend the
-/// rank; on the threaded simulator backend and the real-threads backend
-/// they resolve on the first poll (the blocking wait happens before or
-/// inside it). Futures never cross threads in either mode, so no `Send`
+/// The trait's own blocking operations no longer return this: they
+/// return the concrete [`RecvFut`]/[`RecvTimeoutFut`]/[`BarrierFut`]
+/// types below, which the built-in backends construct without any heap
+/// allocation. Futures never cross threads in either mode, so no `Send`
 /// bound is required.
 pub type CommFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+
+/// Future returned by [`Communicator::recv`].
+///
+/// Three shapes, none of which allocates on the built-in hot paths:
+/// the simulator wraps the kernel's hand-written receive future plus a
+/// borrow of the rank's statistics (recorded at resolution, so virtual
+/// wait time is known); blocking backends that already hold the message
+/// return it via the ready variant; anything else can still fall back
+/// to a boxed future.
+pub struct RecvFut<'a> {
+    inner: RecvShape<'a, Message>,
+}
+
+/// Future returned by [`Communicator::recv_timeout`]; resolves to
+/// `None` on deadline expiry.
+pub struct RecvTimeoutFut<'a> {
+    inner: RecvShape<'a, Option<Message>>,
+}
+
+enum RecvShape<'a, T> {
+    SimRecv {
+        fut: mpp_sim::RecvFuture<'a>,
+        stats: &'a mut CommStats,
+    },
+    SimRecvTimeout {
+        fut: mpp_sim::RecvTimeoutFuture<'a>,
+        stats: &'a mut CommStats,
+    },
+    /// Already resolved (blocking backends wait before returning).
+    Ready(Option<T>),
+    /// Escape hatch for third-party impls.
+    Boxed(CommFuture<'a, T>),
+}
+
+fn message_of(env: mpp_sim::Envelope) -> Message {
+    Message {
+        src: env.src,
+        tag: env.tag,
+        data: env.data,
+    }
+}
+
+impl<'a> RecvFut<'a> {
+    /// A receive that already completed with `msg`.
+    pub fn ready(msg: Message) -> Self {
+        RecvFut {
+            inner: RecvShape::Ready(Some(msg)),
+        }
+    }
+
+    /// Wrap an arbitrary boxed future (third-party backends).
+    pub fn from_boxed(fut: CommFuture<'a, Message>) -> Self {
+        RecvFut {
+            inner: RecvShape::Boxed(fut),
+        }
+    }
+
+    pub(crate) fn sim(fut: mpp_sim::RecvFuture<'a>, stats: &'a mut CommStats) -> Self {
+        RecvFut {
+            inner: RecvShape::SimRecv { fut, stats },
+        }
+    }
+}
+
+impl<'a> RecvTimeoutFut<'a> {
+    /// A receive that already completed (`None` = timed out).
+    pub fn ready(msg: Option<Message>) -> Self {
+        RecvTimeoutFut {
+            inner: RecvShape::Ready(Some(msg)),
+        }
+    }
+
+    /// Wrap an arbitrary boxed future (third-party backends).
+    pub fn from_boxed(fut: CommFuture<'a, Option<Message>>) -> Self {
+        RecvTimeoutFut {
+            inner: RecvShape::Boxed(fut),
+        }
+    }
+
+    pub(crate) fn sim(fut: mpp_sim::RecvTimeoutFuture<'a>, stats: &'a mut CommStats) -> Self {
+        RecvTimeoutFut {
+            inner: RecvShape::SimRecvTimeout { fut, stats },
+        }
+    }
+}
+
+impl Future for RecvFut<'_> {
+    type Output = Message;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Message> {
+        // All variants are `Unpin` (the kernel futures hold only
+        // references and plain data), so plain projection is fine.
+        match &mut self.get_mut().inner {
+            RecvShape::SimRecv { fut, stats } => match Pin::new(fut).poll(cx) {
+                Poll::Ready(env) => {
+                    stats.record_recv(env.data.len(), env.waited_ns);
+                    Poll::Ready(message_of(env))
+                }
+                Poll::Pending => Poll::Pending,
+            },
+            RecvShape::SimRecvTimeout { .. } => unreachable!("timeout shape in RecvFut"),
+            RecvShape::Ready(msg) => Poll::Ready(msg.take().expect("polled after completion")),
+            RecvShape::Boxed(fut) => fut.as_mut().poll(cx),
+        }
+    }
+}
+
+impl Future for RecvTimeoutFut<'_> {
+    type Output = Option<Message>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<Message>> {
+        match &mut self.get_mut().inner {
+            RecvShape::SimRecvTimeout { fut, stats } => match Pin::new(fut).poll(cx) {
+                Poll::Ready(Some(env)) => {
+                    stats.record_recv(env.data.len(), env.waited_ns);
+                    Poll::Ready(Some(message_of(env)))
+                }
+                Poll::Ready(None) => Poll::Ready(None),
+                Poll::Pending => Poll::Pending,
+            },
+            RecvShape::SimRecv { .. } => unreachable!("plain-recv shape in RecvTimeoutFut"),
+            RecvShape::Ready(msg) => Poll::Ready(msg.take().expect("polled after completion")),
+            RecvShape::Boxed(fut) => fut.as_mut().poll(cx),
+        }
+    }
+}
+
+/// Future returned by [`Communicator::barrier`].
+pub struct BarrierFut<'a> {
+    inner: BarrierShape<'a>,
+}
+
+enum BarrierShape<'a> {
+    Sim(mpp_sim::BarrierFuture<'a>),
+    /// The barrier was already waited out (blocking backends).
+    Ready,
+    Boxed(CommFuture<'a, ()>),
+}
+
+impl<'a> BarrierFut<'a> {
+    /// A barrier that has already been crossed.
+    pub fn ready() -> Self {
+        BarrierFut {
+            inner: BarrierShape::Ready,
+        }
+    }
+
+    /// Wrap an arbitrary boxed future (third-party backends).
+    pub fn from_boxed(fut: CommFuture<'a, ()>) -> Self {
+        BarrierFut {
+            inner: BarrierShape::Boxed(fut),
+        }
+    }
+
+    pub(crate) fn sim(fut: mpp_sim::BarrierFuture<'a>) -> Self {
+        BarrierFut {
+            inner: BarrierShape::Sim(fut),
+        }
+    }
+}
+
+impl Future for BarrierFut<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        match &mut self.get_mut().inner {
+            BarrierShape::Sim(fut) => Pin::new(fut).poll(cx),
+            BarrierShape::Ready => Poll::Ready(()),
+            BarrierShape::Boxed(fut) => fut.as_mut().poll(cx),
+        }
+    }
+}
 
 /// A received message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +240,7 @@ pub trait Communicator {
 
     /// Blocking receive; `None` filters match anything. Among matching
     /// messages the earliest-arriving is returned.
-    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> CommFuture<'_, Message>;
+    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> RecvFut<'_>;
 
     /// Receive with a deadline: like [`recv`](Communicator::recv), but
     /// gives up and returns `None` once `timeout_ns` elapses with no
@@ -78,13 +253,13 @@ pub trait Communicator {
         src: Option<usize>,
         tag: Option<Tag>,
         timeout_ns: u64,
-    ) -> CommFuture<'_, Option<Message>> {
+    ) -> RecvTimeoutFut<'_> {
         let _ = timeout_ns;
-        Box::pin(async move { Some(self.recv(src, tag).await) })
+        RecvTimeoutFut::from_boxed(Box::pin(async move { Some(self.recv(src, tag).await) }))
     }
 
     /// Block until every rank has entered the barrier.
-    fn barrier(&mut self) -> CommFuture<'_, ()>;
+    fn barrier(&mut self) -> BarrierFut<'_>;
 
     /// Charge the local memory-copy cost of combining `bytes` bytes.
     /// (A no-op cost-wise on the threads backend, but still recorded.)

@@ -21,7 +21,7 @@ pub mod sim_backend;
 pub mod stats;
 pub mod thread_backend;
 
-pub use comm::{recv_from, CommFuture, Communicator, Message};
+pub use comm::{recv_from, BarrierFut, CommFuture, Communicator, Message, RecvFut, RecvTimeoutFut};
 pub use mpp_sim::{
     schedule_log, ExecMode, FaultPlan, FaultStats, LinkOutage, NodeCrash, Payload, RetryPolicy,
     ScheduleEvent, ScheduleLog, ScheduleRecording, SimConfig,

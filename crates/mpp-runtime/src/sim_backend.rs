@@ -3,7 +3,7 @@
 use mpp_model::{LibraryKind, Machine, Time};
 use mpp_sim::{simulate_with, MsgTrace, Payload, RankCtx, SimConfig};
 
-use crate::comm::{CommFuture, Communicator, Message};
+use crate::comm::{BarrierFut, Communicator, RecvFut, RecvTimeoutFut};
 use crate::stats::CommStats;
 use crate::Tag;
 
@@ -54,16 +54,11 @@ impl Communicator for SimComm {
         self.ctx.send_payload(dst, tag, data);
     }
 
-    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> CommFuture<'_, Message> {
-        Box::pin(async move {
-            let env = self.ctx.recv(src, tag).await;
-            self.stats.record_recv(env.data.len(), env.waited_ns);
-            Message {
-                src: env.src,
-                tag: env.tag,
-                data: env.data,
-            }
-        })
+    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> RecvFut<'_> {
+        // Split borrow: the kernel future borrows `ctx`, the statistics
+        // borrow rides alongside and is recorded at resolution.
+        let SimComm { ctx, stats } = self;
+        RecvFut::sim(ctx.recv(src, tag), stats)
     }
 
     fn recv_timeout(
@@ -71,20 +66,13 @@ impl Communicator for SimComm {
         src: Option<usize>,
         tag: Option<Tag>,
         timeout_ns: u64,
-    ) -> CommFuture<'_, Option<Message>> {
-        Box::pin(async move {
-            let env = self.ctx.recv_timeout(src, tag, timeout_ns).await?;
-            self.stats.record_recv(env.data.len(), env.waited_ns);
-            Some(Message {
-                src: env.src,
-                tag: env.tag,
-                data: env.data,
-            })
-        })
+    ) -> RecvTimeoutFut<'_> {
+        let SimComm { ctx, stats } = self;
+        RecvTimeoutFut::sim(ctx.recv_timeout(src, tag, timeout_ns), stats)
     }
 
-    fn barrier(&mut self) -> CommFuture<'_, ()> {
-        Box::pin(self.ctx.barrier())
+    fn barrier(&mut self) -> BarrierFut<'_> {
+        BarrierFut::sim(self.ctx.barrier())
     }
 
     fn charge_memcpy(&mut self, bytes: usize) {

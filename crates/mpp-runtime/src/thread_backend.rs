@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use mpp_sim::{block_on_ready, Payload};
 
-use crate::comm::{CommFuture, Communicator, Message};
+use crate::comm::{BarrierFut, Communicator, Message, RecvFut, RecvTimeoutFut};
 use crate::stats::CommStats;
 use crate::Tag;
 
@@ -100,18 +100,18 @@ impl Communicator for ThreadComm<'_> {
             .expect("receiver rank terminated early");
     }
 
-    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> CommFuture<'_, Message> {
+    fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> RecvFut<'_> {
         // This backend has a real thread to block, so the wait happens
         // eagerly here and the returned future is immediately ready.
         // First look at already-buffered messages (FIFO among matches).
         if let Some(pos) = self.pending.iter().position(|w| Self::matches(w, src, tag)) {
             let w = self.pending.remove(pos);
             self.stats.record_recv(w.data.len(), 0);
-            return Box::pin(std::future::ready(Message {
+            return RecvFut::ready(Message {
                 src: w.src,
                 tag: w.tag,
                 data: w.data,
-            }));
+            });
         }
         // Block on the channel, buffering non-matching arrivals.
         let t0 = Instant::now();
@@ -123,11 +123,11 @@ impl Communicator for ThreadComm<'_> {
             if Self::matches(&w, src, tag) {
                 let waited = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 self.stats.record_recv(w.data.len(), waited);
-                return Box::pin(std::future::ready(Message {
+                return RecvFut::ready(Message {
                     src: w.src,
                     tag: w.tag,
                     data: w.data,
-                }));
+                });
             }
             self.pending.push(w);
         }
@@ -138,45 +138,45 @@ impl Communicator for ThreadComm<'_> {
         src: Option<usize>,
         tag: Option<Tag>,
         timeout_ns: u64,
-    ) -> CommFuture<'_, Option<Message>> {
+    ) -> RecvTimeoutFut<'_> {
         // Wall-clock approximation of the simulator's virtual-time
         // deadline: good enough for liveness tests, not for timing.
         if let Some(pos) = self.pending.iter().position(|w| Self::matches(w, src, tag)) {
             let w = self.pending.remove(pos);
             self.stats.record_recv(w.data.len(), 0);
-            return Box::pin(std::future::ready(Some(Message {
+            return RecvTimeoutFut::ready(Some(Message {
                 src: w.src,
                 tag: w.tag,
                 data: w.data,
-            })));
+            }));
         }
         let t0 = Instant::now();
         let deadline = std::time::Duration::from_nanos(timeout_ns);
         loop {
             let left = match deadline.checked_sub(t0.elapsed()) {
                 Some(left) => left,
-                None => return Box::pin(std::future::ready(None)),
+                None => return RecvTimeoutFut::ready(None),
             };
             let w = match self.rx.recv_timeout(left) {
                 Ok(w) => w,
-                Err(_) => return Box::pin(std::future::ready(None)),
+                Err(_) => return RecvTimeoutFut::ready(None),
             };
             if Self::matches(&w, src, tag) {
                 let waited = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 self.stats.record_recv(w.data.len(), waited);
-                return Box::pin(std::future::ready(Some(Message {
+                return RecvTimeoutFut::ready(Some(Message {
                     src: w.src,
                     tag: w.tag,
                     data: w.data,
-                })));
+                }));
             }
             self.pending.push(w);
         }
     }
 
-    fn barrier(&mut self) -> CommFuture<'_, ()> {
+    fn barrier(&mut self) -> BarrierFut<'_> {
         self.barrier.wait();
-        Box::pin(std::future::ready(()))
+        BarrierFut::ready()
     }
 
     fn charge_memcpy(&mut self, bytes: usize) {

@@ -1,12 +1,15 @@
 //! The cooperative rank executor.
 //!
 //! All rank programs run as resumable `async` state machines multiplexed
-//! on the calling thread. Each rank owns a [`CoopCell`]: rank-local
-//! operations (`send`, `compute_ns`, `charge_memcpy`, `iter_mark`)
-//! update the cell's virtual clock directly and append *deferred ops*;
-//! only `recv` and `barrier` actually suspend the future. The executor
-//! drains deferred ops in global `(effective time, rank)` order through
-//! the shared [`KernelCore`], driven by the indexed
+//! on the calling thread, held in a single pre-sized
+//! [`RankSlab`](crate::slab::RankSlab) allocation and polled in place —
+//! no per-rank `Box::pin`, no per-op heap traffic. Each rank owns a
+//! [`CoopCell`]: rank-local operations (`send`, `compute_ns`,
+//! `charge_memcpy`, `iter_mark`) update the cell's virtual clock directly
+//! and append *deferred ops*; only `recv` and `barrier` actually suspend
+//! the future. The executor drains deferred ops in global
+//! `(effective time, rank)` order through the shared [`KernelCore`],
+//! driven by the calendar-bucket
 //! [`ReadyQueue`](crate::sched::ReadyQueue) instead of the threaded
 //! kernel's O(p) scan.
 //!
@@ -22,13 +25,13 @@
 //! sequence numbers, mailbox inserts, recorded events) in exactly the
 //! order the threaded kernel does. Blocked receives re-enter the ready
 //! queue from [`wake_recv`] when a matching message is inserted; since a
-//! new arrival can only lower the earliest match, stale heap entries are
+//! new arrival can only lower the earliest match, stale queue entries are
 //! safe to discard lazily. See DESIGN.md §8 for the full argument.
 
+use std::cell::RefCell;
 use std::future::Future;
-use std::pin::Pin;
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Waker};
+use std::rc::Rc;
+use std::task::Poll;
 
 use mpp_model::Machine;
 use mpp_model::Time;
@@ -36,12 +39,13 @@ use mpp_model::Time;
 use crate::kernel::{DeadlockInfo, Envelope, KernelCore, RankCtx, SimConfig, SimOutcome};
 use crate::payload::Payload;
 use crate::sched::ReadyQueue;
+use crate::slab::{RankSlab, SlabHandle};
 use crate::Tag;
 
 /// Per-rank shared state between a rank program's [`RankCtx`] and the
-/// executor. Uncontended by construction (everything runs on one
-/// thread); the mutex only exists to keep `RankCtx` `Send`-compatible
-/// with the threaded spawn path.
+/// executor. Everything cooperative runs on one thread, so this is a
+/// plain `RefCell` behind an `Rc` — the executor and the rank's own
+/// context never hold borrows across a suspension point.
 #[derive(Default)]
 pub(crate) struct CoopCell {
     /// The rank's virtual clock — single source of truth in cooperative
@@ -103,22 +107,18 @@ enum Phase {
     Done,
 }
 
-/// Poll `rank`'s future once; on completion stash the result and queue
-/// the terminal `Finished` op at the rank's current clock.
+/// Poll `rank`'s state machine once, in place in the slab; on completion
+/// stash the result and queue the terminal `Finished` op at the rank's
+/// current clock.
 fn poll_rank<R, Fut: Future<Output = R>>(
     rank: usize,
-    futs: &mut [Option<Pin<Box<Fut>>>],
+    slab: &mut RankSlab<Fut>,
     results: &mut [Option<R>],
-    cells: &[Arc<Mutex<CoopCell>>],
+    cells: &[Rc<RefCell<CoopCell>>],
 ) {
-    let Some(fut) = futs[rank].as_mut() else {
-        return;
-    };
-    let mut cx = Context::from_waker(Waker::noop());
-    if let Poll::Ready(r) = fut.as_mut().poll(&mut cx) {
+    if let Some(Poll::Ready(r)) = slab.poll(rank) {
         results[rank] = Some(r);
-        futs[rank] = None;
-        let mut cell = cells[rank].lock().expect("coop cell poisoned");
+        let mut cell = cells[rank].borrow_mut();
         let eff = cell.clock;
         cell.ops.push_back(CoopOp::Finished { eff });
     }
@@ -129,13 +129,13 @@ fn poll_rank<R, Fut: Future<Output = R>>(
 /// per-step classification of each rank's single pending trap.
 fn settle_head(
     rank: usize,
-    cells: &[Arc<Mutex<CoopCell>>],
+    cells: &[Rc<RefCell<CoopCell>>],
     phases: &mut [Phase],
     ready: &mut ReadyQueue,
     in_barrier: &mut usize,
     core: &KernelCore,
 ) {
-    let cell = cells[rank].lock().expect("coop cell poisoned");
+    let cell = cells[rank].borrow();
     match cell.ops.front() {
         Some(CoopOp::Send { eff, .. })
         | Some(CoopOp::IterMark { eff })
@@ -180,7 +180,7 @@ fn settle_head(
 /// (later-or-equal) entry lazily.
 fn wake_recv(
     dst: usize,
-    cells: &[Arc<Mutex<CoopCell>>],
+    cells: &[Rc<RefCell<CoopCell>>],
     phases: &mut [Phase],
     ready: &mut ReadyQueue,
     core: &KernelCore,
@@ -188,7 +188,7 @@ fn wake_recv(
     if !matches!(phases[dst], Phase::BlockedRecv | Phase::Ready) {
         return;
     }
-    let cell = cells[dst].lock().expect("coop cell poisoned");
+    let cell = cells[dst].borrow();
     if let Some(CoopOp::RecvWait { src, tag, deadline }) = cell.ops.front() {
         if let Some(arrival) = core.peek_mailbox(dst, *src, *tag) {
             let eff = cell.clock.max(arrival);
@@ -202,12 +202,12 @@ fn wake_recv(
 fn abort_deadlock_coop(
     machine: &Machine,
     core: &mut KernelCore,
-    cells: &[Arc<Mutex<CoopCell>>],
+    cells: &[Rc<RefCell<CoopCell>>],
     phases: &[Phase],
 ) -> ! {
     let mut info = DeadlockInfo { states: Vec::new() };
     for (rank, phase) in phases.iter().enumerate() {
-        let cell = cells[rank].lock().expect("coop cell poisoned");
+        let cell = cells[rank].borrow();
         let what = match phase {
             Phase::Done => "done".to_string(),
             Phase::BlockedRecv => {
@@ -254,33 +254,46 @@ where
     let recording = config.recorder.is_some();
     let alpha_send = core.alpha_send;
 
-    let cells: Vec<Arc<Mutex<CoopCell>>> = (0..p)
-        .map(|_| Arc::new(Mutex::new(CoopCell::default())))
+    let cells: Vec<Rc<RefCell<CoopCell>>> = (0..p)
+        .map(|_| Rc::new(RefCell::new(CoopCell::default())))
         .collect();
     let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
-    let mut futs: Vec<Option<Pin<Box<Fut>>>> = (0..p)
-        .map(|rank| {
-            let ctx = RankCtx::new_coop(
-                rank,
-                p,
-                recording,
-                cells[rank].clone(),
-                alpha_send,
-                machine.params.clone(),
-            );
-            Some(Box::pin(program(ctx)))
-        })
-        .collect();
+    // One slab allocation holds every rank's state machine for the whole
+    // experiment; machines are polled in place and dropped in place.
+    let mut slab: RankSlab<Fut> = RankSlab::new((0..p).map(|rank| {
+        program(RankCtx::new_coop(
+            rank,
+            p,
+            recording,
+            cells[rank].clone(),
+            alpha_send,
+            machine.params.clone(),
+        ))
+    }));
+
+    debug_assert_eq!(slab.len(), p);
+    // Birth handles: each goes stale exactly when its rank's machine
+    // completes, which is what lets us sanity-check the `Finished`
+    // protocol below.
+    let handles: Vec<SlabHandle> = (0..p).map(|rank| slab.handle(rank)).collect();
 
     let mut phases = vec![Phase::Ready; p];
-    let mut ready = ReadyQueue::new(p);
+    // Size the ready queue for this run: `p` ranks, each of which a
+    // faulty network can re-ready once per retransmission attempt, with
+    // the calendar window scaled to the machine's software α costs (the
+    // natural spacing between schedulable events).
+    let retry_budget = config
+        .faults
+        .as_ref()
+        .map_or(0, |f| f.retry.max_attempts as usize);
+    let mut ready = ReadyQueue::for_run(p, retry_budget, core.alpha_send + core.alpha_recv);
     let mut in_barrier = 0usize;
     let mut live = p;
     let mut finish_ns = vec![0; p];
 
     // Run every rank up to its first suspension point, then classify.
     for rank in 0..p {
-        poll_rank(rank, &mut futs, &mut results, &cells);
+        poll_rank(rank, &mut slab, &mut results, &cells);
     }
     for rank in 0..p {
         settle_head(
@@ -300,14 +313,14 @@ where
                 .iter()
                 .enumerate()
                 .filter(|(_, ph)| **ph == Phase::InBarrier)
-                .map(|(rank, _)| cells[rank].lock().expect("coop cell poisoned").clock)
+                .map(|(rank, _)| cells[rank].borrow().clock)
                 .max()
                 .expect("barrier with no participants");
             let t_rel = core.barrier_release_time(t_max, live);
             let released: Vec<usize> = (0..p).filter(|&r| phases[r] == Phase::InBarrier).collect();
             in_barrier = 0;
             for &rank in &released {
-                let mut cell = cells[rank].lock().expect("coop cell poisoned");
+                let mut cell = cells[rank].borrow_mut();
                 match cell.ops.pop_front() {
                     Some(CoopOp::BarrierWait) => {}
                     _ => unreachable!("in-barrier rank without BarrierWait at queue head"),
@@ -316,7 +329,7 @@ where
                 cell.grant = Some(CoopGrant::Done);
             }
             for &rank in &released {
-                poll_rank(rank, &mut futs, &mut results, &cells);
+                poll_rank(rank, &mut slab, &mut results, &cells);
             }
             for &rank in &released {
                 settle_head(
@@ -336,8 +349,7 @@ where
         };
 
         let op = cells[rank]
-            .lock()
-            .expect("coop cell poisoned")
+            .borrow_mut()
             .ops
             .pop_front()
             .expect("ready rank with empty op queue");
@@ -371,7 +383,7 @@ where
                 );
             }
             CoopOp::RecvWait { src, tag, deadline } => {
-                let clock = cells[rank].lock().expect("coop cell poisoned").clock;
+                let clock = cells[rank].borrow().clock;
                 // Deliver iff a match can complete by the deadline
                 // (same pop-time rule as the threaded kernel).
                 let deliverable = core
@@ -382,11 +394,11 @@ where
                     match core.process_recv(rank, src, tag, clock) {
                         Ok((env, new_clock)) => {
                             {
-                                let mut cell = cells[rank].lock().expect("coop cell poisoned");
+                                let mut cell = cells[rank].borrow_mut();
                                 cell.clock = new_clock;
                                 cell.grant = Some(CoopGrant::Received(env));
                             }
-                            poll_rank(rank, &mut futs, &mut results, &cells);
+                            poll_rank(rank, &mut slab, &mut results, &cells);
                             settle_head(
                                 rank,
                                 &cells,
@@ -401,11 +413,11 @@ where
                 } else {
                     let d = deadline.expect("scheduled recv without match or deadline");
                     {
-                        let mut cell = cells[rank].lock().expect("coop cell poisoned");
+                        let mut cell = cells[rank].borrow_mut();
                         cell.clock = d + core.alpha_recv;
                         cell.grant = Some(CoopGrant::TimedOut);
                     }
-                    poll_rank(rank, &mut futs, &mut results, &cells);
+                    poll_rank(rank, &mut slab, &mut results, &cells);
                     settle_head(
                         rank,
                         &cells,
@@ -420,6 +432,12 @@ where
                 unreachable!("BarrierWait scheduled through the ready queue")
             }
             CoopOp::Finished { eff } => {
+                // The Finished op is only ever queued after the slab
+                // vacates the rank's machine, bumping its generation.
+                debug_assert!(
+                    !slab.is_current(handles[rank]),
+                    "Finished op for a still-live rank machine"
+                );
                 if let Err(msg) = core.process_finish(rank) {
                     abort_strict(&mut core, msg);
                 }
@@ -430,6 +448,11 @@ where
         }
     }
 
+    debug_assert_eq!(
+        slab.live(),
+        0,
+        "live ranks exhausted with unfinished machines"
+    );
     core.flush_recording(false);
     let (contention_events, contention_ns) = core.contention();
     let trace = core.take_trace();

@@ -16,10 +16,12 @@
 //! mailboxes, sequence numbers, recording), so virtual times, statistics
 //! and recorded schedules are bit-identical by construction.
 
+use std::cell::RefCell;
 use std::future::Future;
 use std::pin::Pin;
+use std::rc::Rc;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::task::{Context, Poll, Waker};
 
 use mpp_model::{FaultPlan, LibraryKind, Machine, MachineParams, Time};
@@ -198,9 +200,12 @@ enum Link {
     },
     /// Shared cell with the cooperative executor on the same thread.
     /// Sends/compute/memcpy are handled rank-locally against the cell
-    /// (deferred ops + local clock); only recv/barrier suspend.
+    /// (deferred ops + local clock); only recv/barrier suspend. The cell
+    /// is a plain `Rc<RefCell<_>>`: everything cooperative runs on one
+    /// thread, so the hot path pays two pointer checks per op instead of
+    /// an atomic lock/unlock pair.
     Coop {
-        cell: Arc<Mutex<CoopCell>>,
+        cell: Rc<RefCell<CoopCell>>,
         alpha_send: Time,
         params: MachineParams,
     },
@@ -224,7 +229,7 @@ impl RankCtx {
         rank: usize,
         size: usize,
         recording: bool,
-        cell: Arc<Mutex<CoopCell>>,
+        cell: Rc<RefCell<CoopCell>>,
         alpha_send: Time,
         params: MachineParams,
     ) -> Self {
@@ -258,7 +263,7 @@ impl RankCtx {
     pub fn clock(&self) -> Time {
         match &self.link {
             Link::Threaded { .. } => self.clock,
-            Link::Coop { cell, .. } => cell.lock().expect("coop cell poisoned").clock,
+            Link::Coop { cell, .. } => cell.borrow().clock,
         }
     }
 
@@ -307,7 +312,7 @@ impl RankCtx {
             // The executor processes deferred sends in global
             // (issue clock, rank) order, so network state, sequence
             // numbers and mailbox contents match the threaded kernel.
-            let mut c = cell.lock().expect("coop cell poisoned");
+            let mut c = cell.borrow_mut();
             let eff = c.clock;
             c.ops.push_back(CoopOp::Send {
                 dst,
@@ -360,7 +365,7 @@ impl RankCtx {
     pub fn compute_ns(&mut self, ns: Time) {
         if let Link::Coop { cell, .. } = &self.link {
             // Rank-local: only this rank's clock moves; no kernel trip.
-            cell.lock().expect("coop cell poisoned").clock += ns;
+            cell.borrow_mut().clock += ns;
             return;
         }
         match self.call(Trap::ComputeNs { ns }) {
@@ -374,7 +379,7 @@ impl RankCtx {
     /// a first-order cost on the T3D.
     pub fn charge_memcpy(&mut self, bytes: usize) {
         if let Link::Coop { cell, params, .. } = &self.link {
-            cell.lock().expect("coop cell poisoned").clock += params.memcpy_ns(bytes);
+            cell.borrow_mut().clock += params.memcpy_ns(bytes);
             return;
         }
         match self.call(Trap::Memcpy { bytes }) {
@@ -401,7 +406,7 @@ impl RankCtx {
             return;
         }
         if let Link::Coop { cell, .. } = &self.link {
-            let mut c = cell.lock().expect("coop cell poisoned");
+            let mut c = cell.borrow_mut();
             let eff = c.clock;
             c.ops.push_back(CoopOp::IterMark { eff });
             return;
@@ -432,7 +437,7 @@ impl Future for RecvFuture<'_> {
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Envelope> {
         let this = self.get_mut();
         if let Link::Coop { cell, .. } = &this.ctx.link {
-            let mut c = cell.lock().expect("coop cell poisoned");
+            let mut c = cell.borrow_mut();
             if !this.registered {
                 this.registered = true;
                 c.ops.push_back(CoopOp::RecvWait {
@@ -476,7 +481,7 @@ impl Future for RecvTimeoutFuture<'_> {
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Option<Envelope>> {
         let this = self.get_mut();
         if let Link::Coop { cell, .. } = &this.ctx.link {
-            let mut c = cell.lock().expect("coop cell poisoned");
+            let mut c = cell.borrow_mut();
             if !this.registered {
                 this.registered = true;
                 c.ops.push_back(CoopOp::RecvWait {
@@ -519,7 +524,7 @@ impl Future for BarrierFuture<'_> {
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
         let this = self.get_mut();
         if let Link::Coop { cell, .. } = &this.ctx.link {
-            let mut c = cell.lock().expect("coop cell poisoned");
+            let mut c = cell.borrow_mut();
             if !this.registered {
                 this.registered = true;
                 c.ops.push_back(CoopOp::BarrierWait);
@@ -742,6 +747,9 @@ pub(crate) struct KernelCore<'m> {
     steps: Vec<u32>,
     trace: Vec<MsgTrace>,
     events: Vec<ScheduleEvent>,
+    /// Scratch route reused across every transmit — the per-message
+    /// route `Vec` allocation was a top allocator hit in the hot path.
+    route_buf: Vec<mpp_model::Link>,
     /// Active fault plan; inert plans are normalized away so the
     /// fault-free fast path stays branch-one-deep.
     faults: Option<FaultPlan>,
@@ -765,7 +773,10 @@ impl<'m> KernelCore<'m> {
             seq: 0,
             steps: vec![0; p],
             trace: Vec::new(),
-            events: Vec::new(),
+            // Recording runs reuse a pooled event buffer so the schedule
+            // log costs no steady-state allocations across a sweep.
+            events: crate::record::pooled_events(),
+            route_buf: Vec::new(),
             faults: config.faults.clone().filter(|plan| !plan.is_inert()),
             fault_stats: vec![FaultStats::default(); p],
         }
@@ -861,11 +872,16 @@ impl<'m> KernelCore<'m> {
         let u = machine.node_of(src_rank);
         let v = machine.node_of(dst);
         let Some(plan) = self.faults.as_ref() else {
-            let route = machine.topology.route(u, v);
-            return Some(
-                self.net
-                    .transfer_routed(machine, src_rank, dst, bytes, wire_ns, ready, &route),
-            );
+            machine.topology.route_into(u, v, &mut self.route_buf);
+            return Some(self.net.transfer_routed(
+                machine,
+                src_rank,
+                dst,
+                bytes,
+                wire_ns,
+                ready,
+                &self.route_buf,
+            ));
         };
         let base_hops = machine.topology.distance(u, v);
         let max_attempts = plan.retry.max_attempts.max(1);
@@ -875,11 +891,20 @@ impl<'m> KernelCore<'m> {
             let inject = ready
                 .saturating_add(plan.retry.delay_for(attempt))
                 .saturating_add(plan.injection_delay_ns(seq, attempt));
-            let route = if plan.has_structural_faults() {
+            // The structural-fault detour search still builds its own
+            // route (cold path); the plain faulted path reuses the
+            // scratch buffer like the fault-free one.
+            let detour = if plan.has_structural_faults() {
                 let dead = plan.dead_links_at(inject, &machine.topology);
-                machine.topology.route_avoiding(u, v, &dead)
+                Some(machine.topology.route_avoiding(u, v, &dead))
             } else {
-                Some(machine.topology.route(u, v))
+                machine.topology.route_into(u, v, &mut self.route_buf);
+                None
+            };
+            let route: Option<&[mpp_model::Link]> = match &detour {
+                Some(Some(r)) => Some(r),
+                Some(None) => None, // no live route this attempt
+                None => Some(&self.route_buf),
             };
             if !plan.should_drop(seq, attempt) {
                 if let Some(route) = route {
@@ -890,9 +915,8 @@ impl<'m> KernelCore<'m> {
                             machine.params.hops_ns(route.len()) - machine.params.hops_ns(base_hops);
                     }
                     return Some(
-                        self.net.transfer_routed(
-                            machine, src_rank, dst, bytes, wire_ns, inject, &route,
-                        ),
+                        self.net
+                            .transfer_routed(machine, src_rank, dst, bytes, wire_ns, inject, route),
                     );
                 }
             }
@@ -1037,6 +1061,14 @@ impl<'m> KernelCore<'m> {
     }
 }
 
+impl Drop for KernelCore<'_> {
+    fn drop(&mut self) {
+        // `flush_recording` appends the events out but keeps the buffer's
+        // capacity; park it for the next run on this thread.
+        crate::record::recycle_events(std::mem::take(&mut self.events));
+    }
+}
+
 // ---------------------------------------------------------------------
 // The threaded kernel loop (differential baseline).
 // ---------------------------------------------------------------------
@@ -1046,6 +1078,101 @@ struct RankState {
     pending: Option<Trap>,
     done: bool,
     in_barrier: bool,
+}
+
+/// Effective time of a rank's pending trap, `None` when the rank is not
+/// schedulable (blocked receive with no match and no deadline, or a
+/// barrier trap, which only the classification pass may consume).
+fn eff_of(core: &KernelCore, rank: usize, st: &RankState) -> Option<Time> {
+    match st.pending.as_ref()? {
+        Trap::Recv { src, tag, deadline } => {
+            let match_eff = core.peek_mailbox(rank, *src, *tag).map(|a| st.clock.max(a));
+            match (match_eff, deadline) {
+                (Some(e), Some(d)) => Some(e.min(*d)),
+                (Some(e), None) => Some(e),
+                // No match yet, but the rank gives up at the deadline —
+                // it stays schedulable.
+                (None, Some(d)) => Some(*d),
+                (None, None) => None, // blocked
+            }
+        }
+        Trap::Barrier => None,
+        _ => Some(st.clock),
+    }
+}
+
+/// Grant `rank`'s pending (non-barrier) trap and pull its next one.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_trap(
+    core: &mut KernelCore,
+    states: &mut [RankState],
+    trap_rxs: &[Receiver<Trap>],
+    grant_txs: &mut [Option<Sender<Grant>>],
+    finish_ns: &mut [Time],
+    live: &mut usize,
+    rank: usize,
+) {
+    let trap = states[rank].pending.take().unwrap();
+    match trap {
+        Trap::Send { dst, tag, data } => {
+            let ready = core.process_send(rank, dst, tag, data, states[rank].clock);
+            states[rank].clock = ready;
+            send_grant(grant_txs, rank, Grant::Sent { clock: ready });
+            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+        }
+        Trap::Recv { src, tag, deadline } => {
+            // Deliver iff a match can complete by the deadline;
+            // otherwise this was scheduled as a timeout expiry.
+            let deliverable = core
+                .peek_mailbox(rank, src, tag)
+                .map(|a| states[rank].clock.max(a))
+                .is_some_and(|e| deadline.is_none_or(|d| e <= d));
+            if deliverable {
+                match core.process_recv(rank, src, tag, states[rank].clock) {
+                    Ok((env, clock)) => {
+                        states[rank].clock = clock;
+                        send_grant(grant_txs, rank, Grant::Received { env, clock });
+                        states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+                    }
+                    Err(msg) => abort_kernel(core, grant_txs, false, msg),
+                }
+            } else {
+                let d = deadline.expect("scheduled recv without match or deadline");
+                let clock = d + core.alpha_recv;
+                states[rank].clock = clock;
+                send_grant(grant_txs, rank, Grant::TimedOut { clock });
+                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+            }
+        }
+        Trap::ComputeNs { ns } => {
+            states[rank].clock += ns;
+            let clock = states[rank].clock;
+            send_grant(grant_txs, rank, Grant::Done { clock });
+            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+        }
+        Trap::Memcpy { bytes } => {
+            states[rank].clock += core.memcpy_ns(bytes);
+            let clock = states[rank].clock;
+            send_grant(grant_txs, rank, Grant::Done { clock });
+            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+        }
+        Trap::Barrier => unreachable!("barrier traps handled by the classification pass"),
+        Trap::IterMark => {
+            core.process_iter_mark(rank);
+            let clock = states[rank].clock;
+            send_grant(grant_txs, rank, Grant::Done { clock });
+            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+        }
+        Trap::Finished => {
+            if let Err(msg) = core.process_finish(rank) {
+                abort_kernel(core, grant_txs, false, msg);
+            }
+            states[rank].done = true;
+            finish_ns[rank] = states[rank].clock;
+            grant_txs[rank] = None;
+            *live -= 1;
+        }
+    }
 }
 
 /// The threaded kernel proper. Runs on the calling thread while rank
@@ -1117,89 +1244,63 @@ fn run_kernel(
             if st.done || st.in_barrier {
                 continue;
             }
-            let eff = match st.pending.as_ref().expect("live rank without pending trap") {
-                Trap::Recv { src, tag, deadline } => {
-                    let match_eff = core.peek_mailbox(rank, *src, *tag).map(|a| st.clock.max(a));
-                    match (match_eff, deadline) {
-                        (Some(e), Some(d)) => e.min(*d),
-                        (Some(e), None) => e,
-                        // No match yet, but the rank gives up at the
-                        // deadline — it stays schedulable.
-                        (None, Some(d)) => *d,
-                        (None, None) => continue, // blocked
-                    }
-                }
-                _ => st.clock,
+            let Some(eff) = eff_of(&core, rank, st) else {
+                continue; // blocked recv (or a barrier not yet classified)
             };
             if best.is_none_or(|(bt, br)| (eff, rank) < (bt, br)) {
                 best = Some((eff, rank));
             }
         }
 
-        let Some((_, rank)) = best else {
+        let Some((t, first)) = best else {
             abort_deadlock(machine, &mut core, &states, grant_txs);
         };
 
-        let trap = states[rank].pending.take().unwrap();
-        match trap {
-            Trap::Send { dst, tag, data } => {
-                let ready = core.process_send(rank, dst, tag, data, states[rank].clock);
-                states[rank].clock = ready;
-                send_grant(grant_txs, rank, Grant::Sent { clock: ready });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
-            }
-            Trap::Recv { src, tag, deadline } => {
-                // Deliver iff a match can complete by the deadline;
-                // otherwise this was scheduled as a timeout expiry.
-                let deliverable = core
-                    .peek_mailbox(rank, src, tag)
-                    .map(|a| states[rank].clock.max(a))
-                    .is_some_and(|e| deadline.is_none_or(|d| e <= d));
-                if deliverable {
-                    match core.process_recv(rank, src, tag, states[rank].clock) {
-                        Ok((env, clock)) => {
-                            states[rank].clock = clock;
-                            send_grant(grant_txs, rank, Grant::Received { env, clock });
-                            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
-                        }
-                        Err(msg) => abort_kernel(&mut core, grant_txs, false, msg),
+        if core.alpha_send > 0 {
+            // Batched same-tick grant pass: every rank whose effective
+            // time equals `t` is granted in one sweep, ascending by rank,
+            // without re-scanning all p ranks between grants. This visits
+            // traps in exactly the `(eff, rank)` order the re-scanning
+            // loop would: with α_send > 0 a grant at `t` can only create
+            // work strictly after `t` for *other* ranks (anything it
+            // sends arrives later), and ranks consume only their own
+            // mailboxes, so batch membership is stable; a rank's *own*
+            // zero-cost follow-up (e.g. an iteration mark) at `t` has
+            // this rank's index and is drained before moving on.
+            for rank in first..p {
+                loop {
+                    let st = &states[rank];
+                    if st.done || st.in_barrier {
+                        break;
                     }
-                } else {
-                    let d = deadline.expect("scheduled recv without match or deadline");
-                    let clock = d + core.alpha_recv;
-                    states[rank].clock = clock;
-                    send_grant(grant_txs, rank, Grant::TimedOut { clock });
-                    states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+                    match eff_of(&core, rank, st) {
+                        Some(eff) if eff == t => {}
+                        _ => break,
+                    }
+                    dispatch_trap(
+                        &mut core,
+                        &mut states,
+                        trap_rxs,
+                        grant_txs,
+                        finish_ns,
+                        &mut live,
+                        rank,
+                    );
                 }
             }
-            Trap::ComputeNs { ns } => {
-                states[rank].clock += ns;
-                let clock = states[rank].clock;
-                send_grant(grant_txs, rank, Grant::Done { clock });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
-            }
-            Trap::Memcpy { bytes } => {
-                states[rank].clock += core.memcpy_ns(bytes);
-                let clock = states[rank].clock;
-                send_grant(grant_txs, rank, Grant::Done { clock });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
-            }
-            Trap::Barrier => unreachable!("barrier traps handled above"),
-            Trap::IterMark => {
-                core.process_iter_mark(rank);
-                let clock = states[rank].clock;
-                send_grant(grant_txs, rank, Grant::Done { clock });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
-            }
-            Trap::Finished => {
-                if let Err(msg) = core.process_finish(rank) {
-                    abort_kernel(&mut core, grant_txs, false, msg);
-                }
-                states[rank].done = true;
-                finish_ns[rank] = states[rank].clock;
-                grant_txs[rank] = None;
-                live -= 1;
-            }
+        } else {
+            // Degenerate zero-α machine: a send may arrive at its issue
+            // instant and re-ready an already-visited rank at `t`, so
+            // grant strictly one trap per scan.
+            dispatch_trap(
+                &mut core,
+                &mut states,
+                trap_rxs,
+                grant_txs,
+                finish_ns,
+                &mut live,
+                first,
+            );
         }
     }
 

@@ -63,6 +63,7 @@ pub mod network;
 pub mod payload;
 pub mod record;
 pub(crate) mod sched;
+pub(crate) mod slab;
 pub mod trace;
 
 pub use kernel::{

@@ -1,20 +1,30 @@
-//! Indexed per-rank mailbox.
+//! Hybrid per-rank mailbox.
 //!
 //! The seed kernel kept each rank's undelivered messages in a
 //! `VecDeque` and ran a linear scan per `recv` (and per scheduling
 //! decision for a blocked rank) to find the earliest match — O(n) per
-//! probe, and the scheduler probes every blocked rank every step. This
-//! mailbox maintains the same *deterministic* selection rule — among
-//! matching messages, smallest `(arrival, seq)` wins — behind ordered
-//! indices, making every probe O(log n):
+//! probe, and the scheduler probes every blocked rank every step. The
+//! replacement keeps the same *deterministic* selection rule — among
+//! matching messages, smallest `(arrival, seq)` wins — behind two
+//! representations chosen by queue depth:
 //!
-//! * exact `(src, tag)` queries hit a `BTreeMap<(src, tag), BTreeSet>`
-//! * `src`-only and `tag`-only wildcards hit per-key sets
-//! * full wildcards hit a global ordered set
+//! * **Small** (the common case: almost every rank in every paper
+//!   algorithm holds a handful of messages): a `Vec` kept sorted by
+//!   `(arrival, seq)`. The earliest match is the *first* matching
+//!   element, probes are short linear scans with no pointer chasing,
+//!   and inserts are a binary search plus a memmove — far cheaper in
+//!   practice than maintaining four B-tree indices.
+//! * **Indexed** (deep fan-in, e.g. persistent all-to-all roots): once
+//!   the queue crosses [`SPILL_AT`] it spills — one way — into ordered
+//!   indices making every probe O(log n): exact `(src, tag)` queries
+//!   hit a `BTreeMap<(src, tag), BTreeSet>`, single-key wildcards hit
+//!   per-key sets, full wildcards hit a global ordered set.
 //!
-//! All indices store `(arrival, seq)` keys, so `first()` of any set is
-//! exactly what the seed's linear scan selected; virtual-time outcomes
-//! are bit-identical by construction.
+//! Both representations order on `(arrival, seq)` keys, so the winner
+//! of any probe is exactly what the seed's linear scan selected;
+//! virtual-time outcomes are bit-identical by construction (checked by
+//! the proptest below, whose insert volume crosses the spill
+//! threshold).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -32,15 +42,34 @@ pub(crate) struct MsgRec {
     pub data: Payload,
 }
 
+impl MsgRec {
+    #[inline]
+    fn key(&self) -> Key {
+        (self.arrival, self.seq)
+    }
+
+    #[inline]
+    fn matches(&self, src: Option<usize>, tag: Option<Tag>) -> bool {
+        !(src.is_some_and(|s| s != self.src) || tag.is_some_and(|t| t != self.tag))
+    }
+}
+
 type Key = (Time, u64); // (arrival, seq) — the deterministic delivery order
 
-#[derive(Default)]
-pub(crate) struct Mailbox {
-    msgs: HashMap<u64, MsgRec>, // seq → record
-    all: BTreeSet<Key>,
-    by_src_tag: BTreeMap<(usize, Tag), BTreeSet<Key>>,
-    by_src: BTreeMap<usize, BTreeSet<Key>>,
-    by_tag: BTreeMap<Tag, BTreeSet<Key>>,
+/// Queue depth at which a mailbox spills from the sorted-`Vec` to the
+/// indexed representation. Spilling is one-way: a rank that has proven
+/// it accumulates deep backlogs keeps the indexed form for the run.
+const SPILL_AT: usize = 32;
+
+pub(crate) enum Mailbox {
+    Small(Vec<MsgRec>),
+    Indexed(Box<Indexed>),
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox::Small(Vec::new())
+    }
 }
 
 impl Mailbox {
@@ -49,11 +78,80 @@ impl Mailbox {
     }
 
     pub fn len(&self) -> usize {
-        self.msgs.len()
+        match self {
+            Mailbox::Small(v) => v.len(),
+            Mailbox::Indexed(ix) => ix.msgs.len(),
+        }
     }
 
     pub fn insert(&mut self, rec: MsgRec) {
-        let key = (rec.arrival, rec.seq);
+        match self {
+            Mailbox::Small(v) => {
+                if v.len() == SPILL_AT {
+                    let mut ix = Box::<Indexed>::default();
+                    for r in v.drain(..) {
+                        ix.insert(r);
+                    }
+                    ix.insert(rec);
+                    *self = Mailbox::Indexed(ix);
+                    return;
+                }
+                let key = rec.key();
+                let at = v.partition_point(|m| m.key() < key);
+                v.insert(at, rec);
+            }
+            Mailbox::Indexed(ix) => ix.insert(rec),
+        }
+    }
+
+    /// Earliest `(arrival, seq)` among messages matching the filter,
+    /// without removing it.
+    pub fn peek_match(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Key> {
+        match self {
+            // Sorted by key, so the first match is the minimum.
+            Mailbox::Small(v) => v.iter().find(|m| m.matches(src, tag)).map(MsgRec::key),
+            Mailbox::Indexed(ix) => ix.peek_match(src, tag),
+        }
+    }
+
+    /// Number of undelivered messages with exactly this `(src, tag)`.
+    ///
+    /// This is the match-ambiguity probe shared by the kernel's strict
+    /// runtime checks and the `stp-analyzer` schedule checker: a count
+    /// `> 1` at match time means several in-flight messages were
+    /// distinguishable only by queue order.
+    pub fn count_src_tag(&self, src: usize, tag: Tag) -> usize {
+        match self {
+            Mailbox::Small(v) => v.iter().filter(|m| m.src == src && m.tag == tag).count(),
+            Mailbox::Indexed(ix) => ix.by_src_tag.get(&(src, tag)).map_or(0, BTreeSet::len),
+        }
+    }
+
+    /// Remove and return the earliest matching message.
+    pub fn take_match(&mut self, src: Option<usize>, tag: Option<Tag>) -> Option<MsgRec> {
+        match self {
+            Mailbox::Small(v) => {
+                let at = v.iter().position(|m| m.matches(src, tag))?;
+                Some(v.remove(at))
+            }
+            Mailbox::Indexed(ix) => ix.take_match(src, tag),
+        }
+    }
+}
+
+/// The fully-indexed representation (see module docs).
+#[derive(Default)]
+pub(crate) struct Indexed {
+    msgs: HashMap<u64, MsgRec>, // seq → record
+    all: BTreeSet<Key>,
+    by_src_tag: BTreeMap<(usize, Tag), BTreeSet<Key>>,
+    by_src: BTreeMap<usize, BTreeSet<Key>>,
+    by_tag: BTreeMap<Tag, BTreeSet<Key>>,
+}
+
+impl Indexed {
+    fn insert(&mut self, rec: MsgRec) {
+        let key = rec.key();
         self.all.insert(key);
         self.by_src_tag
             .entry((rec.src, rec.tag))
@@ -64,9 +162,7 @@ impl Mailbox {
         self.msgs.insert(rec.seq, rec);
     }
 
-    /// Earliest `(arrival, seq)` among messages matching the filter,
-    /// without removing it.
-    pub fn peek_match(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Key> {
+    fn peek_match(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Key> {
         match (src, tag) {
             (Some(s), Some(t)) => self.by_src_tag.get(&(s, t)).and_then(|set| set.first()),
             (Some(s), None) => self.by_src.get(&s).and_then(|set| set.first()),
@@ -76,18 +172,7 @@ impl Mailbox {
         .copied()
     }
 
-    /// Number of undelivered messages with exactly this `(src, tag)`.
-    ///
-    /// This is the match-ambiguity probe shared by the kernel's strict
-    /// runtime checks and the `stp-analyzer` schedule checker: a count
-    /// `> 1` at match time means several in-flight messages were
-    /// distinguishable only by queue order.
-    pub fn count_src_tag(&self, src: usize, tag: Tag) -> usize {
-        self.by_src_tag.get(&(src, tag)).map_or(0, BTreeSet::len)
-    }
-
-    /// Remove and return the earliest matching message.
-    pub fn take_match(&mut self, src: Option<usize>, tag: Option<Tag>) -> Option<MsgRec> {
+    fn take_match(&mut self, src: Option<usize>, tag: Option<Tag>) -> Option<MsgRec> {
         let key = self.peek_match(src, tag)?;
         let rec = self
             .msgs
@@ -164,10 +249,11 @@ mod tests {
     proptest::proptest! {
         #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(256))]
 
-        /// The indexed mailbox delivers in exactly the seed's linear-scan
+        /// The hybrid mailbox delivers in exactly the seed's linear-scan
         /// order under randomized interleavings of inserts and filtered
-        /// takes — including duplicate `(src, tag)` posts and duplicate
-        /// arrival times, the ambiguity case the analyzer flags.
+        /// takes — including duplicate `(src, tag)` posts, duplicate
+        /// arrival times (the ambiguity case the analyzer flags), and
+        /// insert volumes that cross the small→indexed spill threshold.
         #[test]
         fn indexed_matches_linear_scan(ops in proptest::collection::vec(
             (0u8..4, 0usize..4, 0u32..3, 0u64..6, 0u8..4), 1..120)
@@ -251,6 +337,10 @@ mod tests {
         for i in 0..100u64 {
             mb.insert(rec(1000 - i, i, (i % 7) as usize, (i % 3) as u32));
         }
+        assert!(
+            matches!(mb, Mailbox::Indexed(_)),
+            "100 inserts must spill to the indexed form"
+        );
         let mut last = 0;
         let mut taken = 0;
         while let Some(r) = mb.take_match(None, None) {
@@ -261,5 +351,25 @@ mod tests {
         assert_eq!(taken, 100);
         assert_eq!(mb.len(), 0);
         assert_eq!(mb.peek_match(Some(0), Some(0)), None);
+    }
+
+    #[test]
+    fn behavior_is_continuous_across_the_spill() {
+        let mut mb = Mailbox::new();
+        for i in 0..SPILL_AT as u64 {
+            mb.insert(rec(100 + i, i, (i % 3) as usize, 7));
+        }
+        assert!(matches!(mb, Mailbox::Small(_)));
+        assert_eq!(mb.peek_match(Some(1), Some(7)), Some((101, 1)));
+        // The insert that crosses the threshold spills...
+        mb.insert(rec(10, 999, 2, 8));
+        assert!(matches!(mb, Mailbox::Indexed(_)));
+        // ...and the spilled mailbox answers exactly as before.
+        assert_eq!(mb.len(), SPILL_AT + 1);
+        assert_eq!(mb.peek_match(None, None), Some((10, 999)));
+        assert_eq!(mb.peek_match(Some(1), Some(7)), Some((101, 1)));
+        assert_eq!(mb.count_src_tag(2, 7), 10);
+        let got = mb.take_match(None, Some(8)).unwrap();
+        assert_eq!((got.arrival, got.seq), (10, 999));
     }
 }

@@ -11,11 +11,62 @@ use std::collections::HashMap;
 
 use mpp_model::{ContentionModel, Link, Machine, Time};
 
+/// Per-directed-link busy-until times.
+///
+/// Links are the hottest lookup in the kernel (every hop of every
+/// transfer probes and updates one), so for machines of realistic size
+/// the table is a dense `n × n` array indexed `from · n + to` — O(1)
+/// with no hashing and no per-insert allocation. Pathologically large
+/// node counts fall back to a hash map to keep memory bounded.
+#[derive(Debug)]
+enum LinkTable {
+    Dense { busy: Vec<Time>, n: usize },
+    Sparse(HashMap<Link, Time>),
+}
+
+/// Largest node count that gets the dense table (512² entries = 2 MiB).
+const DENSE_MAX_NODES: usize = 512;
+
+impl LinkTable {
+    fn new(n: usize) -> LinkTable {
+        if n <= DENSE_MAX_NODES {
+            LinkTable::Dense {
+                busy: vec![0; n * n],
+                n,
+            }
+        } else {
+            LinkTable::Sparse(HashMap::new())
+        }
+    }
+
+    /// Busy-until time of a link (0 = never used).
+    #[inline]
+    fn get(&self, link: &Link) -> Time {
+        match self {
+            LinkTable::Dense { busy, n } => busy[link.from * n + link.to],
+            LinkTable::Sparse(map) => map.get(link).copied().unwrap_or(0),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, link: &Link, until: Time) {
+        match self {
+            LinkTable::Dense { busy, n } => busy[link.from * *n + link.to] = until,
+            LinkTable::Sparse(map) => {
+                map.insert(*link, until);
+            }
+        }
+    }
+}
+
 /// Mutable reservation state of the interconnect during a simulation.
 #[derive(Debug)]
 pub struct NetworkState {
     /// Per-directed-link busy-until time.
-    link_busy: HashMap<Link, Time>,
+    link_busy: LinkTable,
+    /// Scratch route buffer reused across transfers (see
+    /// [`Topology::route_into`][mpp_model::Topology::route_into]).
+    route_buf: Vec<Link>,
     /// Per-node injection-port slots (`ports_per_node` each), busy-until.
     out_port_busy: Vec<Vec<Time>>,
     /// Per-node ejection-port slots, busy-until.
@@ -47,7 +98,8 @@ impl NetworkState {
         let n = machine.topology.num_nodes();
         let k = machine.params.ports_per_node.max(1);
         NetworkState {
-            link_busy: HashMap::new(),
+            link_busy: LinkTable::new(n),
+            route_buf: Vec::new(),
             out_port_busy: vec![vec![0; k]; n],
             in_port_busy: vec![vec![0; k]; n],
             contention_events: 0,
@@ -82,10 +134,15 @@ impl NetworkState {
             self.last_stall_ns = 0;
             return ready + machine.params.memcpy_ns(bytes);
         }
-        let route = machine
-            .topology
-            .route(machine.node_of(from_rank), machine.node_of(to_rank));
-        self.transfer_routed(machine, from_rank, to_rank, bytes, wire_ns, ready, &route)
+        let mut route = std::mem::take(&mut self.route_buf);
+        machine.topology.route_into(
+            machine.node_of(from_rank),
+            machine.node_of(to_rank),
+            &mut route,
+        );
+        let done = self.transfer_routed(machine, from_rank, to_rank, bytes, wire_ns, ready, &route);
+        self.route_buf = route;
+        done
     }
 
     /// Like [`NetworkState::transfer`] but over an explicit `route`
@@ -128,10 +185,8 @@ impl NetworkState {
                 let link_ns = params.link_ns(bytes);
                 let mut head = port_free;
                 for link in route {
-                    if let Some(&busy) = self.link_busy.get(link) {
-                        head = head.max(busy);
-                    }
-                    self.link_busy.insert(*link, head + link_ns);
+                    head = head.max(self.link_busy.get(link));
+                    self.link_busy.set(link, head + link_ns);
                     head += tau;
                 }
                 let done = head + wire_ns;
@@ -149,10 +204,9 @@ impl NetworkState {
                 let pipelined = model == ContentionModel::Pipelined;
                 let mut start = port_free;
                 for (i, link) in route.iter().enumerate() {
-                    if let Some(&busy) = self.link_busy.get(link) {
-                        let slack = if pipelined { i as Time * tau } else { 0 };
-                        start = start.max(busy.saturating_sub(slack));
-                    }
+                    let busy = self.link_busy.get(link);
+                    let slack = if pipelined { i as Time * tau } else { 0 };
+                    start = start.max(busy.saturating_sub(slack));
                 }
                 let done = start + params.hops_ns(route.len()) + wire_ns;
                 for (i, link) in route.iter().enumerate() {
@@ -161,7 +215,7 @@ impl NetworkState {
                     } else {
                         done
                     };
-                    self.link_busy.insert(*link, until);
+                    self.link_busy.set(link, until);
                 }
                 (start, done)
             }

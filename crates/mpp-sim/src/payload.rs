@@ -1,13 +1,13 @@
 //! Shared-ownership message payloads (the zero-copy message path).
 //!
 //! A [`Payload`] is a *rope*: an ordered list of segments, each a
-//! `(Arc<[u8]>, start, len)` view into immutable shared storage. The
+//! `(backing, start, len)` view into immutable shared storage. The
 //! operations the broadcast algorithms are built from — forwarding a
 //! received message, combining `k` message sets into one, slicing a
 //! combined set back apart — become O(segments) pointer pushes instead
 //! of O(total bytes) memcpy:
 //!
-//! * [`Payload::clone`] clones `Arc` pointers, never bytes.
+//! * [`Payload::clone`] clones shared pointers, never bytes.
 //! * [`Payload::append`] / [`Payload::push_payload`] splice segment
 //!   lists.
 //! * [`Payload::slice`] re-slices existing segments.
@@ -18,8 +18,27 @@
 //! counted in process-global [`copy_metrics`], which the benchmarks and
 //! the zero-copy regression tests read to prove the fast path stays
 //! fast.
+//!
+//! # Backing-store arenas
+//!
+//! Payload construction ([`Payload::from_slice`] / [`Payload::from_vec`])
+//! copies bytes into a *thread-local bump arena*: a chain of fixed-size
+//! chunks shared by `Arc`. A fresh heap allocation (counted in
+//! [`CopyMetrics::allocs`]) happens only when a chunk fills; retired
+//! chunks whose payloads have all been dropped are reset and reused, so
+//! a steady-state experiment allocates (nearly) nothing per run. The
+//! arena is per-thread, which also pins each sweep worker to its own
+//! arena — parallel sweeps never contend on a shared allocator for
+//! payload storage.
+//!
+//! Single-segment payloads are stored inline (no `Vec` of segments);
+//! multi-segment ropes draw their segment vectors from a thread-local
+//! pool that [`Payload`]'s `Drop` refills, so rope nodes are recycled
+//! rather than reallocated.
 
 use std::borrow::Cow;
+use std::cell::RefCell;
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -31,7 +50,8 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 pub struct CopyMetrics {
     /// Total bytes physically memcpy'd through payload APIs.
     pub bytes_copied: u64,
-    /// Number of fresh backing-store allocations.
+    /// Number of fresh backing-store allocations (arena chunks and
+    /// dedicated buffers; arena-chunk *reuse* is free).
     pub allocs: u64,
 }
 
@@ -53,14 +73,199 @@ impl CopyMetrics {
     }
 }
 
-fn note_copy(bytes: usize) {
+fn note_copied(bytes: usize) {
     BYTES_COPIED.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+fn note_alloc() {
     ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Bump-arena backing store
+// ---------------------------------------------------------------------
+
+/// Bytes per arena chunk. Large enough that a typical experiment's
+/// traffic fits in a handful of chunks; small enough that a retired
+/// chunk pinned by one long-lived payload wastes little.
+const CHUNK_BYTES: usize = 256 * 1024;
+
+/// Payloads above this size get a dedicated exactly-sized chunk instead
+/// of a slot in the shared chunk (they would evict too much bump space).
+const DEDICATED_LIMIT: usize = CHUNK_BYTES / 4;
+
+/// A fixed-capacity raw buffer. Frozen regions (below the owning
+/// arena's bump offset) are immutable and read concurrently through
+/// [`Segment`]s; the region at and above the offset is written only by
+/// the one thread whose arena owns this chunk. All access is through
+/// raw pointers derived from the original allocation, so disjoint
+/// reads and writes never invalidate each other.
+struct Chunk {
+    ptr: NonNull<u8>,
+    cap: usize,
+}
+
+// Readers only touch frozen (never-again-written) regions and the
+// owning thread only writes unfrozen ones, so cross-thread sharing of
+// disjoint ranges is sound.
+unsafe impl Send for Chunk {}
+unsafe impl Sync for Chunk {}
+
+impl Chunk {
+    fn new(cap: usize) -> Chunk {
+        debug_assert!(cap > 0);
+        note_alloc();
+        let layout = std::alloc::Layout::array::<u8>(cap).expect("chunk layout");
+        // SAFETY: `cap > 0`, so the layout is non-zero-sized.
+        let raw = unsafe { std::alloc::alloc(layout) };
+        let ptr = NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        Chunk { ptr, cap }
+    }
+
+    /// Shared view of a frozen range.
+    ///
+    /// # Safety
+    /// The range must be frozen: fully written before any `Arc` clone
+    /// of this chunk escaped with a segment covering it, and never
+    /// written again until the chunk is reset with no segments alive.
+    #[inline]
+    unsafe fn frozen(&self, start: usize, len: usize) -> &[u8] {
+        debug_assert!(start + len <= self.cap);
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr().add(start), len) }
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        let layout = std::alloc::Layout::array::<u8>(self.cap).expect("chunk layout");
+        // SAFETY: allocated in `Chunk::new` with the same layout.
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+/// Thread-local bump arena: one open chunk plus a pool of retired ones
+/// awaiting reuse.
+struct Arena {
+    cur: Option<Arc<Chunk>>,
+    used: usize,
+    retired: Vec<Arc<Chunk>>,
+}
+
+/// Cap on retired chunks kept per thread (beyond this they are freed).
+const RETIRED_KEEP: usize = 8;
+
+impl Arena {
+    const fn new() -> Arena {
+        Arena {
+            cur: None,
+            used: 0,
+            retired: Vec::new(),
+        }
+    }
+
+    /// Copy `data` into arena storage and return a segment viewing it.
+    fn store(&mut self, data: &[u8]) -> Segment {
+        let len = data.len();
+        debug_assert!(len > 0);
+        if len > DEDICATED_LIMIT {
+            let chunk = Arc::new(Chunk::new(len));
+            // SAFETY: freshly allocated, no other reference exists.
+            unsafe {
+                std::ptr::copy_nonoverlapping(data.as_ptr(), chunk.ptr.as_ptr(), len);
+            }
+            return Segment {
+                data: Backing::Arena(chunk),
+                start: 0,
+                len,
+            };
+        }
+        let start = self.reserve(len);
+        let chunk = self.cur.as_ref().expect("reserve leaves an open chunk");
+        // SAFETY: `reserve` handed out a bump range no live segment
+        // covers; `data` cannot alias it (unfrozen bytes are never
+        // exposed). Disjoint raw-pointer writes don't disturb readers.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), chunk.ptr.as_ptr().add(start), len);
+        }
+        Segment {
+            data: Backing::Arena(Arc::clone(chunk)),
+            start,
+            len,
+        }
+    }
+
+    /// Bump-allocate `len` bytes; returns the start offset in `self.cur`.
+    fn reserve(&mut self, len: usize) -> usize {
+        if let Some(cur) = &self.cur {
+            if cur.cap - self.used >= len {
+                let start = self.used;
+                self.used += len;
+                return start;
+            }
+            let full = Arc::clone(cur);
+            self.retired.push(full);
+        }
+        // Reuse a retired chunk whose payloads have all been dropped
+        // (we hold the only reference), else allocate a fresh one.
+        let mut reused = None;
+        for i in 0..self.retired.len() {
+            if Arc::strong_count(&self.retired[i]) == 1 {
+                reused = Some(self.retired.swap_remove(i));
+                break;
+            }
+        }
+        if self.retired.len() > RETIRED_KEEP {
+            // Everything still pinned by live payloads: stop tracking
+            // the oldest (it frees itself when its payloads drop).
+            self.retired.remove(0);
+        }
+        self.cur = Some(reused.unwrap_or_else(|| Arc::new(Chunk::new(CHUNK_BYTES))));
+        self.used = len;
+        0
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = const { RefCell::new(Arena::new()) };
+    /// Recycled (empty) segment vectors for multi-segment ropes.
+    static SEG_POOL: RefCell<Vec<Vec<Segment>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Cap on pooled segment vectors per thread.
+const SEG_POOL_KEEP: usize = 256;
+
+fn pooled_vec(capacity: usize) -> Vec<Segment> {
+    SEG_POOL.with_borrow_mut(|pool| {
+        let mut v = pool.pop().unwrap_or_default();
+        v.reserve(capacity);
+        v
+    })
+}
+
+fn recycle_vec(mut v: Vec<Segment>) {
+    v.clear();
+    SEG_POOL.with_borrow_mut(|pool| {
+        if pool.len() < SEG_POOL_KEEP {
+            pool.push(v);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Segments and the rope
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+enum Backing {
+    /// Caller-provided shared storage ([`Payload::from_arc`]).
+    Shared(Arc<[u8]>),
+    /// A range of an arena chunk.
+    Arena(Arc<Chunk>),
 }
 
 #[derive(Clone)]
 struct Segment {
-    data: Arc<[u8]>,
+    data: Backing,
     start: usize,
     len: usize,
 }
@@ -68,45 +273,114 @@ struct Segment {
 impl Segment {
     #[inline]
     fn bytes(&self) -> &[u8] {
-        &self.data[self.start..self.start + self.len]
+        match &self.data {
+            Backing::Shared(arc) => &arc[self.start..self.start + self.len],
+            // SAFETY: segments only ever view frozen arena ranges.
+            Backing::Arena(chunk) => unsafe { chunk.frozen(self.start, self.len) },
+        }
+    }
+}
+
+/// Segment storage: single segments are inline (no heap node), ropes
+/// spill to a pooled `Vec`.
+enum Segs {
+    Zero,
+    One(Segment),
+    Many(Vec<Segment>),
+}
+
+impl Segs {
+    #[inline]
+    fn as_slice(&self) -> &[Segment] {
+        match self {
+            Segs::Zero => &[],
+            Segs::One(seg) => std::slice::from_ref(seg),
+            Segs::Many(v) => v,
+        }
+    }
+
+    fn push(&mut self, seg: Segment) {
+        match self {
+            Segs::Zero => *self = Segs::One(seg),
+            Segs::One(_) => {
+                let Segs::One(first) = std::mem::replace(self, Segs::Zero) else {
+                    unreachable!()
+                };
+                let mut v = pooled_vec(4);
+                v.push(first);
+                v.push(seg);
+                *self = Segs::Many(v);
+            }
+            Segs::Many(v) => v.push(seg),
+        }
+    }
+}
+
+impl Clone for Segs {
+    fn clone(&self) -> Segs {
+        match self {
+            Segs::Zero => Segs::Zero,
+            Segs::One(seg) => Segs::One(seg.clone()),
+            Segs::Many(v) => {
+                let mut out = pooled_vec(v.len());
+                out.extend(v.iter().cloned());
+                Segs::Many(out)
+            }
+        }
     }
 }
 
 /// An immutable byte string with shared ownership and O(1)-per-segment
 /// structural operations. See the module docs.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Payload {
-    segs: Vec<Segment>,
+    segs: Segs,
     len: usize,
+}
+
+// Return multi-segment rope nodes to the thread-local pool instead of
+// freeing them. `Segs` itself has no `Drop` impl, so the replaced-out
+// value drops without re-entering this.
+impl Drop for Payload {
+    fn drop(&mut self) {
+        if let Segs::Many(v) = std::mem::replace(&mut self.segs, Segs::Zero) {
+            recycle_vec(v);
+        }
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::new()
+    }
 }
 
 impl Payload {
     /// The empty payload.
     pub fn new() -> Self {
         Payload {
-            segs: Vec::new(),
+            segs: Segs::Zero,
             len: 0,
         }
     }
 
-    /// Wrap an owned buffer. One backing allocation; the bytes are moved
-    /// into shared storage (counted as one copy — `Arc<[u8]>` requires
-    /// its header inline with the data).
+    /// Wrap an owned buffer. The bytes are copied into the thread's
+    /// payload arena (counted as one copy); the `Vec` is dropped.
     pub fn from_vec(v: Vec<u8>) -> Self {
-        if v.is_empty() {
-            return Payload::new();
-        }
-        note_copy(v.len());
-        Payload::from_arc(Arc::from(v))
+        Payload::from_slice(&v)
     }
 
-    /// Copy a borrowed slice into fresh shared storage.
+    /// Copy a borrowed slice into shared arena storage.
     pub fn from_slice(data: &[u8]) -> Self {
         if data.is_empty() {
             return Payload::new();
         }
-        note_copy(data.len());
-        Payload::from_arc(Arc::from(data))
+        note_copied(data.len());
+        let seg = ARENA.with_borrow_mut(|a| a.store(data));
+        Payload {
+            len: seg.len,
+            segs: Segs::One(seg),
+        }
     }
 
     /// Wrap existing shared storage without copying.
@@ -116,11 +390,11 @@ impl Payload {
             return Payload::new();
         }
         Payload {
-            segs: vec![Segment {
-                data,
+            segs: Segs::One(Segment {
+                data: Backing::Shared(data),
                 start: 0,
                 len,
-            }],
+            }),
             len,
         }
     }
@@ -139,20 +413,35 @@ impl Payload {
     /// Number of rope segments (1 means contiguous).
     #[inline]
     pub fn segment_count(&self) -> usize {
-        self.segs.len()
+        self.segs.as_slice().len()
     }
 
     /// Append another payload by reference: O(segments of `other`)
     /// pointer clones, zero byte copies.
     pub fn push_payload(&mut self, other: &Payload) {
-        self.segs.extend(other.segs.iter().cloned());
+        for seg in other.segs.as_slice() {
+            self.segs.push(seg.clone());
+        }
         self.len += other.len;
     }
 
     /// Append an owned payload: splices the segment list, zero copies.
-    pub fn append(&mut self, other: Payload) {
+    pub fn append(&mut self, mut other: Payload) {
         self.len += other.len;
-        self.segs.extend(other.segs);
+        match std::mem::replace(&mut other.segs, Segs::Zero) {
+            Segs::Zero => {}
+            Segs::One(seg) => self.segs.push(seg),
+            Segs::Many(v) => {
+                if matches!(self.segs, Segs::Zero) {
+                    self.segs = Segs::Many(v);
+                } else {
+                    for seg in &v {
+                        self.segs.push(seg.clone());
+                    }
+                    recycle_vec(v);
+                }
+            }
+        }
     }
 
     /// Zero-copy sub-range view. O(segments).
@@ -167,13 +456,13 @@ impl Payload {
         );
         let mut out = Payload::new();
         let mut pos = 0usize;
-        for seg in &self.segs {
+        for seg in self.segs.as_slice() {
             let seg_end = pos + seg.len;
             if seg_end > start && pos < end {
                 let from = start.max(pos) - pos;
                 let to = end.min(seg_end) - pos;
                 out.segs.push(Segment {
-                    data: Arc::clone(&seg.data),
+                    data: seg.data.clone(),
                     start: seg.start + from,
                     len: to - from,
                 });
@@ -189,21 +478,25 @@ impl Payload {
 
     /// Iterate the rope's contiguous chunks in order.
     pub fn chunks(&self) -> impl Iterator<Item = &[u8]> {
-        self.segs.iter().map(|s| s.bytes())
+        self.segs.as_slice().iter().map(|s| s.bytes())
     }
 
     /// Iterate all bytes in order (no materialization).
     pub fn iter_bytes(&self) -> impl Iterator<Item = u8> + '_ {
-        self.segs.iter().flat_map(|s| s.bytes().iter().copied())
+        self.segs
+            .as_slice()
+            .iter()
+            .flat_map(|s| s.bytes().iter().copied())
     }
 
     /// Materialize into an owned `Vec` (copies all bytes).
     pub fn to_vec(&self) -> Vec<u8> {
         if self.len > 0 {
-            note_copy(self.len);
+            note_copied(self.len);
+            note_alloc();
         }
         let mut out = Vec::with_capacity(self.len);
-        for seg in &self.segs {
+        for seg in self.segs.as_slice() {
             out.extend_from_slice(seg.bytes());
         }
         out
@@ -224,13 +517,20 @@ impl Payload {
         PayloadReader {
             payload: self,
             pos: 0,
+            seg: 0,
+            seg_off: 0,
         }
     }
 }
 
 impl std::fmt::Debug for Payload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Payload({} bytes, {} segs)", self.len, self.segs.len())
+        write!(
+            f,
+            "Payload({} bytes, {} segs)",
+            self.len,
+            self.segment_count()
+        )
     }
 }
 
@@ -318,9 +618,19 @@ impl From<Arc<[u8]>> for Payload {
 
 /// Cursor over a [`Payload`]; header reads copy only the bytes asked
 /// for, sub-payload reads are zero-copy slices.
+///
+/// The cursor tracks its position as a `(segment index, offset)` pair,
+/// so a strictly-forward parse is O(total segments) overall — each read
+/// resumes where the previous one stopped instead of rescanning the
+/// rope from the front (which made wire parses of n-entry message sets
+/// quadratic in the segment count).
 pub struct PayloadReader<'a> {
     payload: &'a Payload,
     pos: usize,
+    /// Segment containing `pos` (== segment count when exhausted).
+    seg: usize,
+    /// Byte offset of `pos` within that segment.
+    seg_off: usize,
 }
 
 impl PayloadReader<'_> {
@@ -335,22 +645,23 @@ impl PayloadReader<'_> {
         if self.remaining() < buf.len() {
             return false;
         }
+        let segs = self.payload.segs.as_slice();
         let mut written = 0usize;
-        let mut pos = 0usize;
-        for seg in &self.payload.segs {
-            let seg_end = pos + seg.len;
-            if seg_end > self.pos && written < buf.len() {
-                let from = self.pos.max(pos) - pos;
-                let want = (buf.len() - written).min(seg.len - from);
-                buf[written..written + want].copy_from_slice(&seg.bytes()[from..from + want]);
-                written += want;
-                self.pos += want;
-            }
-            pos = seg_end;
-            if written == buf.len() {
-                break;
+        let (mut seg, mut seg_off) = (self.seg, self.seg_off);
+        while written < buf.len() {
+            let bytes = segs[seg].bytes();
+            let want = (buf.len() - written).min(bytes.len() - seg_off);
+            buf[written..written + want].copy_from_slice(&bytes[seg_off..seg_off + want]);
+            written += want;
+            seg_off += want;
+            if seg_off == bytes.len() {
+                seg += 1;
+                seg_off = 0;
             }
         }
+        self.pos += buf.len();
+        self.seg = seg;
+        self.seg_off = seg_off;
         true
     }
 
@@ -366,8 +677,32 @@ impl PayloadReader<'_> {
         if self.remaining() < n {
             return None;
         }
-        let out = self.payload.slice(self.pos, self.pos + n);
+        if n == 0 {
+            return Some(Payload::new());
+        }
+        let segs = self.payload.segs.as_slice();
+        let mut out = Payload::new();
+        let (mut seg, mut seg_off) = (self.seg, self.seg_off);
+        let mut need = n;
+        while need > 0 {
+            let s = &segs[seg];
+            let take = need.min(s.len - seg_off);
+            out.segs.push(Segment {
+                data: s.data.clone(),
+                start: s.start + seg_off,
+                len: take,
+            });
+            out.len += take;
+            need -= take;
+            seg_off += take;
+            if seg_off == s.len {
+                seg += 1;
+                seg_off = 0;
+            }
+        }
         self.pos += n;
+        self.seg = seg;
+        self.seg_off = seg_off;
         Some(out)
     }
 }
@@ -376,8 +711,17 @@ impl PayloadReader<'_> {
 mod tests {
     use super::*;
 
+    // The copy counters are process-global; serialise every test that
+    // asserts on counter deltas.
+    static METRICS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn rope_concat_is_zero_copy() {
+        let _g = lock();
         let a = Payload::from_slice(b"hello ");
         let b = Payload::from_slice(b"world");
         let before = copy_metrics();
@@ -393,6 +737,7 @@ mod tests {
 
     #[test]
     fn slice_respects_segment_boundaries() {
+        let _g = lock();
         let mut p = Payload::from_slice(b"abcd");
         p.push_payload(&Payload::from_slice(b"efgh"));
         p.push_payload(&Payload::from_slice(b"ijkl"));
@@ -433,6 +778,7 @@ mod tests {
 
     #[test]
     fn to_vec_counts_the_copy() {
+        let _g = lock();
         let p = Payload::from_slice(&[9u8; 100]);
         let before = copy_metrics();
         let v = p.to_vec();
@@ -443,9 +789,73 @@ mod tests {
 
     #[test]
     fn contiguous_borrows_single_segment() {
+        let _g = lock();
         let p = Payload::from_slice(b"one-seg");
         let before = copy_metrics();
         assert!(matches!(p.contiguous(), Cow::Borrowed(b"one-seg")));
         assert_eq!(copy_metrics().since(&before).bytes_copied, 0);
+    }
+
+    #[test]
+    fn from_arc_is_zero_copy_and_alloc_free() {
+        let _g = lock();
+        let storage: Arc<[u8]> = Arc::from(&b"shared"[..]);
+        let before = copy_metrics();
+        let p = Payload::from_arc(Arc::clone(&storage));
+        let delta = copy_metrics().since(&before);
+        assert_eq!(delta.bytes_copied, 0);
+        assert_eq!(delta.allocs, 0);
+        assert_eq!(p, b"shared");
+    }
+
+    #[test]
+    fn arena_reuses_chunks_across_generations() {
+        let _g = lock();
+        // Warm the arena, drop everything, and check that a second
+        // wave of payloads allocates no fresh chunks.
+        let warm: Vec<Payload> = (0..64).map(|_| Payload::from_slice(&[7u8; 512])).collect();
+        drop(warm);
+        let before = copy_metrics();
+        let wave: Vec<Payload> = (0..64).map(|_| Payload::from_slice(&[8u8; 512])).collect();
+        let delta = copy_metrics().since(&before);
+        assert_eq!(
+            delta.allocs, 0,
+            "retired chunks must be reused, not reallocated"
+        );
+        assert!(wave.iter().all(|p| p == &[8u8; 512][..]));
+    }
+
+    #[test]
+    fn oversized_payloads_get_dedicated_chunks() {
+        let _g = lock();
+        let big = vec![3u8; DEDICATED_LIMIT + 1];
+        let before = copy_metrics();
+        let p = Payload::from_slice(&big);
+        let delta = copy_metrics().since(&before);
+        assert_eq!(delta.bytes_copied as usize, big.len());
+        assert_eq!(delta.allocs, 1, "one dedicated chunk");
+        assert_eq!(p, *big.as_slice());
+    }
+
+    #[test]
+    fn chunk_contents_survive_arena_turnover() {
+        // A payload must keep its bytes while the arena moves on to
+        // fresh chunks and reuses old ones.
+        let keeper = Payload::from_slice(&[0xAA; 1000]);
+        for _ in 0..(2 * CHUNK_BYTES / 1000) {
+            let _ = Payload::from_slice(&[0xBB; 1000]);
+        }
+        assert_eq!(keeper, &[0xAA; 1000][..]);
+    }
+
+    #[test]
+    fn append_and_clone_recycle_rope_nodes() {
+        let mut a = Payload::from_slice(b"aa");
+        a.append(Payload::from_slice(b"bb"));
+        let b = a.clone();
+        drop(a);
+        let mut c = Payload::from_slice(b"cc");
+        c.push_payload(&b);
+        assert_eq!(c, b"ccaabb");
     }
 }

@@ -33,6 +33,38 @@ pub fn schedule_log() -> ScheduleLog {
     Arc::new(Mutex::new(ScheduleRecording::default()))
 }
 
+// Per-thread pool of event buffers. Every `KernelCore` checks one out on
+// construction and returns it (cleared, capacity intact) on drop, so a
+// sweep of recorded runs allocates event storage only until the largest
+// run has been seen once.
+thread_local! {
+    static EVENT_POOL: std::cell::RefCell<Vec<Vec<ScheduleEvent>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+const EVENT_POOL_KEEP: usize = 8;
+
+/// Check an event buffer out of this thread's pool (empty, but warm).
+pub(crate) fn pooled_events() -> Vec<ScheduleEvent> {
+    EVENT_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+/// Return an event buffer to this thread's pool.
+pub(crate) fn recycle_events(mut events: Vec<ScheduleEvent>) {
+    events.clear();
+    if events.capacity() == 0 {
+        return;
+    }
+    EVENT_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < EVENT_POOL_KEEP {
+            pool.push(events);
+        }
+    });
+}
+
 /// Everything recorded from one simulated run.
 #[derive(Debug, Default)]
 pub struct ScheduleRecording {

@@ -1,0 +1,191 @@
+//! Slab storage for rank state machines.
+//!
+//! The cooperative executor runs every rank program as one `async`
+//! state machine for the whole experiment. The seed pinned each future
+//! in its own `Box` (`Vec<Option<Pin<Box<Fut>>>>`) — `p` separate heap
+//! allocations per run, scattered across the heap, touched on every
+//! resume. [`RankSlab`] replaces that with a *single* pre-sized
+//! allocation holding all `p` state machines contiguously:
+//!
+//! * slots never move after construction — futures are polled in place
+//!   through a pinned projection, and vacated in place (`Option` →
+//!   `None` drops the machine where it sits), satisfying the pin drop
+//!   guarantee;
+//! * each slot carries a generation counter bumped when the slot is
+//!   vacated, so a `(rank, generation)` pair is a *handle* that can
+//!   outlive the future it referred to and be validated on use. The
+//!   executor's ready queue stores exactly such generation-stamped
+//!   handles (see `sched.rs`): a stale handle can never resume a
+//!   completed machine.
+//!
+//! No `unsafe` leaks out of this module: the only obligations are that
+//! the boxed slice is never reallocated (it isn't — the slab is sized
+//! once, up front) and that poll projections don't move the future
+//! (they don't — `Pin::new_unchecked` wraps a reference into the
+//! pinned allocation).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+struct Slot<Fut> {
+    fut: Option<Fut>,
+    generation: u32,
+}
+
+/// A pre-sized pinned slab of rank futures, one slot per rank.
+pub(crate) struct RankSlab<Fut> {
+    slots: Pin<Box<[Slot<Fut>]>>,
+    live: usize,
+}
+
+/// Generation-indexed reference to a slab slot. Stale after the slot it
+/// points to is vacated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct SlabHandle {
+    pub rank: usize,
+    pub generation: u32,
+}
+
+impl<Fut: Future> RankSlab<Fut> {
+    /// Build the slab from one future per rank. All state machines land
+    /// in a single contiguous allocation, pinned for the experiment.
+    pub fn new(futs: impl IntoIterator<Item = Fut>) -> Self {
+        let slots: Box<[Slot<Fut>]> = futs
+            .into_iter()
+            .map(|f| Slot {
+                fut: Some(f),
+                generation: 0,
+            })
+            .collect();
+        let live = slots.len();
+        // SAFETY: the boxed slice is heap-allocated and never moved or
+        // reallocated; slot contents are only ever dropped in place.
+        let slots = unsafe { Pin::new_unchecked(slots) };
+        RankSlab { slots, live }
+    }
+
+    /// Number of ranks in the slab (occupied or vacated).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Ranks whose futures have not yet completed.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Current handle for `rank` (valid until the slot is vacated).
+    pub fn handle(&self, rank: usize) -> SlabHandle {
+        SlabHandle {
+            rank,
+            generation: self.slots[rank].generation,
+        }
+    }
+
+    /// True if `h` still refers to the machine it was created for.
+    pub fn is_current(&self, h: SlabHandle) -> bool {
+        self.slots[h.rank].generation == h.generation
+    }
+
+    /// Poll `rank`'s machine in place with a no-op waker.
+    ///
+    /// Returns `None` if the slot is already vacated (the program
+    /// completed earlier), `Some(Poll::Pending)` if it suspended again,
+    /// or `Some(Poll::Ready(out))` exactly once — at which point the
+    /// machine is dropped in place and the slot's generation bumps,
+    /// invalidating outstanding handles.
+    pub fn poll(&mut self, rank: usize) -> Option<Poll<Fut::Output>> {
+        // SAFETY: we hand out only a `Pin<&mut Fut>` projection of the
+        // pinned slot and never move the future; vacating stores `None`
+        // over it, dropping it in place.
+        let slot = unsafe { &mut self.slots.as_mut().get_unchecked_mut()[rank] };
+        let fut = slot.fut.as_mut()?;
+        let pinned = unsafe { Pin::new_unchecked(fut) };
+        let mut cx = Context::from_waker(Waker::noop());
+        match pinned.poll(&mut cx) {
+            Poll::Ready(out) => {
+                slot.fut = None;
+                slot.generation += 1;
+                self.live -= 1;
+                Some(Poll::Ready(out))
+            }
+            Poll::Pending => Some(Poll::Pending),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// Yields `n` times, then resolves to `n`.
+    struct YieldN {
+        left: u32,
+        n: u32,
+    }
+
+    impl Future for YieldN {
+        type Output = u32;
+        fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<u32> {
+            if self.left == 0 {
+                Poll::Ready(self.n)
+            } else {
+                self.left -= 1;
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn polls_in_place_until_ready() {
+        let mut slab = RankSlab::new((0..4u32).map(|n| YieldN { left: n, n }));
+        assert_eq!(slab.len(), 4);
+        assert_eq!(slab.live(), 4);
+        let mut done = vec![None; 4];
+        for _round in 0..5 {
+            for (rank, slot) in done.iter_mut().enumerate() {
+                if let Some(Poll::Ready(v)) = slab.poll(rank) {
+                    *slot = Some(v);
+                }
+            }
+        }
+        assert_eq!(done, vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(slab.live(), 0);
+        // Vacated slots refuse further polls.
+        assert!(slab.poll(2).is_none());
+    }
+
+    #[test]
+    fn handles_go_stale_on_completion() {
+        let mut slab = RankSlab::new([YieldN { left: 0, n: 7 }]);
+        let h = slab.handle(0);
+        assert!(slab.is_current(h));
+        assert!(matches!(slab.poll(0), Some(Poll::Ready(7))));
+        assert!(!slab.is_current(h), "completion must invalidate handles");
+        assert_ne!(slab.handle(0), h);
+    }
+
+    #[test]
+    fn drops_unfinished_machines_in_place() {
+        struct NoteDrop(Rc<Cell<u32>>);
+        impl Future for NoteDrop {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        impl Drop for NoteDrop {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let drops = Rc::new(Cell::new(0));
+        let mut slab = RankSlab::new((0..3).map(|_| NoteDrop(Rc::clone(&drops))));
+        assert!(matches!(slab.poll(0), Some(Poll::Pending)));
+        drop(slab);
+        assert_eq!(drops.get(), 3, "pinned machines must drop with the slab");
+    }
+}

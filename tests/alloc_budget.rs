@@ -1,0 +1,115 @@
+//! Allocation budgets for the kernel hot path.
+//!
+//! The zero-copy tests pin *byte* volume; these pin *allocation counts*.
+//! An accidental clone in the rope path or a dropped arena would keep
+//! `bytes_copied` flat while allocation counts explode, so each
+//! algorithm gets an explicit per-run ceiling on
+//!
+//! * `payload_allocs` — real allocations inside `Payload` (arena chunk
+//!   refills, dedicated large-payload buffers), and
+//! * `comm_allocs`    — comm-layer buffer allocations, which must stay
+//!   at exactly zero on the `send_payload` rope path.
+//!
+//! Each budget is measured on a *warm* run: the first run fills the
+//! thread-local arena chunks and the retired-chunk pool, so a second
+//! run on the same thread recycles instead of allocating — observed
+//! warm counts are 0–1 per run (an occasional chunk refill). The
+//! ceilings leave an order of magnitude of headroom over that, but a
+//! per-message or per-merge allocation (hundreds to thousands per run
+//! — `Br_Lin` moves ~900 messages) blows through them immediately.
+//!
+//! The executor is pinned to [`ExecMode::Cooperative`] regardless of
+//! `STP_EXEC` (the TSan CI job exports `STP_EXEC=threaded`): the
+//! threaded backend spreads ranks across OS threads, giving each its
+//! own arena, which shifts chunk-refill counts for reasons unrelated
+//! to the hot path under test.
+//!
+//! The copy-metrics counters are process-global and tests in one binary
+//! run concurrently, so every test serialises on one lock.
+
+use std::sync::Mutex;
+
+use stp_broadcast::prelude::*;
+use stp_broadcast::runtime::{run_simulated_with, ExecMode, SimConfig};
+use stp_broadcast::sim;
+
+static COPY_METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    COPY_METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One cooperative run of the reference grid point (16x16 Paragon,
+/// s=24 equally-spread sources, 4096-byte messages — the same point
+/// `scripts/bench-smoke.sh` records as `copy_stats/...`). Returns
+/// `(payload_allocs, comm_allocs)` for the run.
+fn run_counting(kind: AlgoKind) -> (u64, u64) {
+    let machine = Machine::paragon(16, 16);
+    let sources = SourceDist::Equal.place(machine.shape, 24);
+    let alg = kind.build();
+    let shape = machine.shape;
+    let config = SimConfig {
+        lib: kind.default_lib(),
+        exec: ExecMode::Cooperative,
+        ..SimConfig::default()
+    };
+    let before = sim::copy_metrics();
+    let out = run_simulated_with(&machine, &config, async |comm| {
+        let payload = sources
+            .binary_search(&comm.rank())
+            .is_ok()
+            .then(|| payload_for(comm.rank(), 4096));
+        let ctx = StpCtx {
+            shape,
+            sources: &sources,
+            payload: payload.as_deref(),
+        };
+        alg.run(comm, &ctx).await.len() == sources.len()
+    });
+    let payload_allocs = sim::copy_metrics().since(&before).allocs;
+    assert!(
+        out.results.iter().all(|&ok| ok),
+        "{} failed verification",
+        kind.name()
+    );
+    let comm_allocs = out.stats.iter().map(|s| s.allocs).sum();
+    (payload_allocs, comm_allocs)
+}
+
+/// Warm up, then assert the measured run stays within budget.
+fn assert_budget(kind: AlgoKind, payload_budget: u64) {
+    let _g = lock();
+    run_counting(kind); // warmup: fill arena chunks + retired pool
+    let (payload_allocs, comm_allocs) = run_counting(kind);
+    assert!(
+        payload_allocs <= payload_budget,
+        "{}: {payload_allocs} payload allocations in one warm run \
+         (budget {payload_budget}) — arena regression?",
+        kind.name()
+    );
+    assert_eq!(
+        comm_allocs,
+        0,
+        "{}: comm layer allocated on the rope path",
+        kind.name()
+    );
+}
+
+#[test]
+fn br_lin_alloc_budget() {
+    // Warm observed 1 (one arena chunk refill); ~900 messages of
+    // combining traffic, so a per-hop allocation would cost hundreds.
+    assert_budget(AlgoKind::BrLin, 16);
+}
+
+#[test]
+fn two_step_alloc_budget() {
+    // Warm observed 1.
+    assert_budget(AlgoKind::TwoStep, 16);
+}
+
+#[test]
+fn pers_alltoall_alloc_budget() {
+    // Warm observed 0.
+    assert_budget(AlgoKind::PersAlltoAll, 16);
+}
