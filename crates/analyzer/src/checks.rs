@@ -37,6 +37,20 @@ impl FindingKind {
             FindingKind::LostMessage => "lost_message",
         }
     }
+
+    /// Inverse of [`name`](FindingKind::name) — used when lint entries
+    /// round-trip through a sweep checkpoint.
+    pub fn from_name(name: &str) -> Option<FindingKind> {
+        Some(match name {
+            "deadlock" => FindingKind::Deadlock,
+            "unmatched_send" => FindingKind::UnmatchedSend,
+            "match_ambiguity" => FindingKind::MatchAmbiguity,
+            "payload_leak" => FindingKind::PayloadLeak,
+            "link_overload" => FindingKind::LinkOverload,
+            "lost_message" => FindingKind::LostMessage,
+            _ => return None,
+        })
+    }
 }
 
 /// One diagnostic produced by the checker.

@@ -38,7 +38,11 @@ pub mod schedule;
 
 pub use checks::{analyze, Analysis, Finding, FindingKind};
 pub use lint::{
-    hush_expected_panics, lint_fixtures, lint_matrix, FixtureVerdict, LintConfig, LintEntry,
+    hush_expected_panics, lint_fixtures, lint_matrix, lint_matrix_supervised, lint_sig,
+    FixtureVerdict, LintConfig, LintEntry, PointFailure, SupervisedLint,
 };
-pub use report::{entries_to_json, fixtures_to_json, lint_report_json};
+pub use report::{
+    entries_to_json, entry_from_json, entry_to_json, fixtures_to_json, lint_report_json,
+    supervised_report_json,
+};
 pub use schedule::{Attributed, Attribution, Schedule};

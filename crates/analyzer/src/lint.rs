@@ -5,12 +5,18 @@ use std::sync::Once;
 
 use mpp_model::{FaultPlan, Machine};
 use mpp_runtime::ExecMode;
+use stp_core::algorithms::StpAlgorithm;
+use stp_core::checkpoint::CheckpointFile;
 use stp_core::distribution::SourceDist;
 use stp_core::msgset::payload_for;
-use stp_core::runner::{record_sources, record_sources_faulty, AlgoKind, SweepRunner};
+use stp_core::runner::{
+    record_sources, record_sources_faulty, try_record_sources, AlgoKind, RunControl, SweepRunner,
+};
+use stp_core::supervise::{chaos_algorithms, PointStatus, SuperviseOpts};
 
 use crate::checks::{analyze, Finding};
 use crate::fixtures;
+use crate::report::{entry_from_json, entry_to_json};
 use crate::schedule::Schedule;
 use crate::FindingKind;
 
@@ -28,6 +34,11 @@ pub struct LintConfig {
     /// the plan: any message lost for good surfaces as a `lost_message`
     /// finding (plus the payload leaks it causes).
     pub faults: Option<FaultPlan>,
+    /// Chaos injection: append the deliberately broken
+    /// [`chaos_algorithms`] (a panicking and a deadlocking fixture) to
+    /// the grid. Only meaningful under [`lint_matrix_supervised`], which
+    /// must finish every healthy point and quarantine these.
+    pub chaos: bool,
 }
 
 impl Default for LintConfig {
@@ -39,6 +50,7 @@ impl Default for LintConfig {
             msg_len: 64,
             max_link_load: None,
             faults: None,
+            chaos: false,
         }
     }
 }
@@ -174,6 +186,275 @@ pub fn lint_matrix(config: &LintConfig) -> Vec<LintEntry> {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Supervised lint sweep (checkpoint/resume, chaos containment)
+// ---------------------------------------------------------------------------
+
+/// One grid point of the supervised sweep: a real algorithm variant or
+/// an injected chaos fixture.
+enum PointAlg {
+    Kind(AlgoKind),
+    Chaos(&'static str, fn() -> Box<dyn StpAlgorithm>),
+}
+
+impl PointAlg {
+    fn name(&self) -> &str {
+        match self {
+            PointAlg::Kind(kind) => kind.name(),
+            PointAlg::Chaos(name, _) => name,
+        }
+    }
+
+    fn build(&self) -> Box<dyn StpAlgorithm> {
+        match self {
+            PointAlg::Kind(kind) => kind.build(),
+            PointAlg::Chaos(_, build) => build(),
+        }
+    }
+
+    fn lib(&self) -> mpp_model::LibraryKind {
+        match self {
+            PointAlg::Kind(kind) => kind.default_lib(),
+            PointAlg::Chaos(..) => mpp_model::LibraryKind::Nx,
+        }
+    }
+}
+
+struct GridPoint {
+    machine: Machine,
+    dist: SourceDist,
+    s: usize,
+    alg: PointAlg,
+}
+
+impl GridPoint {
+    /// Stable point id — the checkpoint key and the failure-report name.
+    fn id(&self) -> String {
+        format!(
+            "{}/{}/{}x{}/s{}",
+            self.alg.name(),
+            self.dist.name(),
+            self.machine.shape.rows,
+            self.machine.shape.cols,
+            self.s
+        )
+    }
+}
+
+/// The full grid of a lint config, chaos fixtures last.
+fn grid_points(config: &LintConfig) -> Vec<GridPoint> {
+    let mut points = Vec::new();
+    for &(rows, cols) in &config.shapes {
+        let machine = Machine::paragon(rows, cols);
+        for dist in paper_dists() {
+            for s in source_counts(machine.p()) {
+                for &kind in AlgoKind::all() {
+                    points.push(GridPoint {
+                        machine: machine.clone(),
+                        dist: dist.clone(),
+                        s,
+                        alg: PointAlg::Kind(kind),
+                    });
+                }
+            }
+        }
+    }
+    if config.chaos {
+        let (rows, cols) = config.shapes.first().copied().unwrap_or((4, 4));
+        for (name, build) in chaos_algorithms() {
+            points.push(GridPoint {
+                machine: Machine::paragon(rows, cols),
+                dist: SourceDist::Equal,
+                s: 2,
+                alg: PointAlg::Chaos(name, build),
+            });
+        }
+    }
+    points
+}
+
+/// Configuration signature guarding checkpoint reuse: progress recorded
+/// under one grid/executor/fault-plan must never resume a different one.
+/// Open the [`CheckpointFile`] handed to [`lint_matrix_supervised`] with
+/// this signature.
+pub fn lint_sig(config: &LintConfig, exec: ExecMode) -> String {
+    format!(
+        "lint:v1:exec={}:shapes={:?}:len={}:mll={:?}:faults={:?}:chaos={}",
+        exec.name(),
+        config.shapes,
+        config.msg_len,
+        config.max_link_load,
+        config.faults,
+        config.chaos
+    )
+}
+
+/// A grid point quarantined by the supervised sweep.
+#[derive(Debug)]
+pub struct PointFailure {
+    /// Stable point id (`algo/dist/RxC/sN`).
+    pub id: String,
+    /// Attempts consumed before quarantine.
+    pub attempts: usize,
+    /// The final attempt's error text.
+    pub error: String,
+}
+
+/// Everything a supervised lint sweep produced.
+#[derive(Debug)]
+pub struct SupervisedLint {
+    /// Completed entries (checkpointed + freshly run), in grid order.
+    pub entries: Vec<LintEntry>,
+    /// Quarantined points, in grid order.
+    pub failures: Vec<PointFailure>,
+    /// Point ids skipped by cancellation or the sweep deadline.
+    pub skipped: Vec<String>,
+    /// Points replayed from the checkpoint instead of re-run.
+    pub resumed: usize,
+    /// Total grid points.
+    pub total: usize,
+}
+
+impl SupervisedLint {
+    /// True when every point completed without findings.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+            && self.skipped.is_empty()
+            && self.entries.iter().all(|e| e.findings.is_empty())
+    }
+}
+
+/// [`lint_matrix`] under full supervision: each grid point runs
+/// isolated (a panicking or deadlocking algorithm is quarantined into
+/// [`SupervisedLint::failures`] / a `deadlock` finding, never a process
+/// abort), a shared token or wall-clock deadline skips the remainder
+/// cleanly, and — when `checkpoint` is given — completed points are
+/// persisted after each grid point and replayed verbatim on resume, so
+/// an interrupted sweep re-runs only unfinished work.
+pub fn lint_matrix_supervised(
+    config: &LintConfig,
+    opts: &SuperviseOpts,
+    checkpoint: Option<&CheckpointFile>,
+) -> SupervisedLint {
+    hush_expected_panics();
+    let points = grid_points(config);
+    let total = points.len();
+    let ids: Vec<String> = points.iter().map(GridPoint::id).collect();
+
+    // Split the grid into checkpointed points (replayed, never re-run)
+    // and points that still need a simulation.
+    let mut slots: Vec<Option<PointStatus<LintEntry>>> = Vec::with_capacity(total);
+    let mut to_run = Vec::new();
+    let mut run_ids = Vec::new();
+    let mut resumed = 0usize;
+    for (point, id) in points.into_iter().zip(&ids) {
+        let cached =
+            checkpoint
+                .and_then(|cp| cp.get(id))
+                .and_then(|text| match entry_from_json(&text) {
+                    Ok(entry) => Some(entry),
+                    Err(e) => {
+                        eprintln!("warning: re-running {id}: bad checkpoint entry ({e})");
+                        None
+                    }
+                });
+        match cached {
+            Some(entry) => {
+                resumed += 1;
+                slots.push(Some(PointStatus::Done(entry)));
+            }
+            None => {
+                slots.push(None);
+                run_ids.push(id.clone());
+                to_run.push(point);
+            }
+        }
+    }
+
+    let msg_len = config.msg_len;
+    let max_link_load = config.max_link_load;
+    let faults = config.faults.clone();
+    let runner = SweepRunner::new();
+    let exec = runner.exec();
+    let run_ids = &run_ids;
+    let statuses = runner.map_supervised(
+        to_run,
+        |pt| match exec {
+            ExecMode::Cooperative => 1,
+            ExecMode::Threaded => pt.machine.p(),
+        },
+        |pt| {
+            let sources = pt.dist.place(pt.machine.shape, pt.s);
+            let payload_of = move |src: usize| payload_for(src, msg_len);
+            let alg = pt.alg.build();
+            let control = RunControl {
+                faults: faults.clone(),
+                budget: opts.budget.clone(),
+                cancel: Some(opts.cancel.clone()),
+                exec: None,
+            };
+            let run = try_record_sources(
+                &pt.machine,
+                pt.alg.lib(),
+                &sources,
+                &payload_of,
+                alg.as_ref(),
+                &control,
+            )?;
+            let sched = Schedule::from_recorded(&run, pt.machine.p());
+            let analysis = analyze(&sched, &pt.machine, &sources, &payload_of, max_link_load);
+            Ok(LintEntry {
+                algo: pt.alg.name().to_string(),
+                dist: pt.dist.name().to_string(),
+                rows: pt.machine.shape.rows,
+                cols: pt.machine.shape.cols,
+                s: pt.s,
+                sends: analysis.sends,
+                recvs: analysis.recvs,
+                max_link_load: analysis.max_link_load,
+                deadlocked: sched.deadlocked,
+                opaque_payloads: analysis.opaque_payloads,
+                dropped_attempts: sched.drops.len(),
+                findings: analysis.findings,
+            })
+        },
+        opts,
+        |index, status| {
+            if let (Some(cp), PointStatus::Done(entry)) = (checkpoint, status) {
+                cp.record(&run_ids[index], &entry_to_json(entry));
+            }
+        },
+    );
+
+    // Splice fresh statuses back into grid order.
+    let mut statuses = statuses.into_iter();
+    for slot in slots.iter_mut() {
+        if slot.is_none() {
+            *slot = Some(statuses.next().expect("one status per un-cached point"));
+        }
+    }
+
+    let mut out = SupervisedLint {
+        entries: Vec::new(),
+        failures: Vec::new(),
+        skipped: Vec::new(),
+        resumed,
+        total,
+    };
+    for (slot, id) in slots.into_iter().zip(ids) {
+        match slot.expect("every slot filled") {
+            PointStatus::Done(entry) => out.entries.push(entry),
+            PointStatus::Failed { attempts, error } => out.failures.push(PointFailure {
+                id,
+                attempts,
+                error,
+            }),
+            PointStatus::Skipped => out.skipped.push(id),
+        }
+    }
+    out
+}
+
 /// Verdict for one seeded-bug fixture.
 #[derive(Debug)]
 pub struct FixtureVerdict {
@@ -224,10 +505,9 @@ pub fn lint_fixtures() -> Vec<FixtureVerdict> {
 
 /// Install (once, process-wide) a panic hook that silences the panics
 /// the analyzer *expects* while recording broken schedules — the
-/// kernel's deadlock/strict aborts and the per-rank "kernel terminated"
-/// cascade they trigger. A p-rank deadlock otherwise prints p+1
-/// backtrace headers per fixture. All other panics keep the default
-/// hook's output.
+/// kernel's deadlock/strict aborts and the chaos fixtures' deliberate
+/// rank panic. A p-rank deadlock otherwise prints a backtrace header
+/// per fixture. All other panics keep the default hook's output.
 pub fn hush_expected_panics() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
@@ -242,7 +522,7 @@ pub fn hush_expected_panics() {
             let expected = msg.contains("simulation deadlock on")
                 || msg.contains("ambiguous receive at rank")
                 || msg.contains("undelivered message(s)")
-                || msg.contains("simulation kernel terminated");
+                || msg.contains("deliberate chaos panic");
             if !expected {
                 default_hook(info);
             }
@@ -311,6 +591,88 @@ mod tests {
             total_drops > 0,
             "a 1/8 drop rate over the whole matrix must drop something"
         );
+    }
+
+    #[test]
+    fn supervised_matrix_quarantines_chaos_and_finishes_everything_else() {
+        let config = LintConfig {
+            shapes: vec![(4, 4)],
+            chaos: true,
+            ..LintConfig::default()
+        };
+        let sweep = lint_matrix_supervised(&config, &SuperviseOpts::default(), None);
+        let healthy = 8 * 2 * AlgoKind::all().len();
+        assert_eq!(sweep.total, healthy + 2);
+        assert_eq!(sweep.skipped, Vec::<String>::new());
+        assert_eq!(sweep.resumed, 0);
+        // The panicking fixture is quarantined with its panic message...
+        assert_eq!(sweep.failures.len(), 1, "{:?}", sweep.failures);
+        let fail = &sweep.failures[0];
+        assert_eq!(fail.id, "chaos:panic/E/4x4/s2");
+        assert_eq!(fail.attempts, 2, "failed point must be retried once");
+        assert!(
+            fail.error.contains("deliberate chaos panic"),
+            "{}",
+            fail.error
+        );
+        // ...while the deadlocking fixture records a partial schedule
+        // whose analysis carries a deadlock finding, and every healthy
+        // point completes clean.
+        assert_eq!(sweep.entries.len(), healthy + 1);
+        let dead = sweep
+            .entries
+            .iter()
+            .find(|e| e.algo == "chaos:deadlock")
+            .expect("deadlock fixture entry");
+        assert!(dead.deadlocked);
+        assert!(
+            dead.findings
+                .iter()
+                .any(|f| f.kind == FindingKind::Deadlock),
+            "{:?}",
+            dead.findings
+        );
+        for e in sweep.entries.iter().filter(|e| e.algo != "chaos:deadlock") {
+            assert!(
+                e.findings.is_empty(),
+                "{}/{}: {:?}",
+                e.algo,
+                e.dist,
+                e.findings
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_matrix_resumes_without_replay() {
+        let config = LintConfig::quick();
+        let path = std::env::temp_dir().join(format!("stp-lint-ckpt-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let sig = lint_sig(&config, SweepRunner::new().exec());
+        let opts = SuperviseOpts::default();
+
+        let cp = CheckpointFile::open(&path, &sig).expect("open checkpoint");
+        let first = lint_matrix_supervised(&config, &opts, Some(&cp));
+        assert_eq!(first.resumed, 0);
+        assert_eq!(first.entries.len(), first.total);
+        assert_eq!(cp.completed(), first.total);
+        drop(cp);
+
+        // Re-open: every point replays from the checkpoint, zero re-run,
+        // and the report is byte-identical.
+        let cp = CheckpointFile::open(&path, &sig).expect("re-open checkpoint");
+        let second = lint_matrix_supervised(&config, &opts, Some(&cp));
+        assert_eq!(second.resumed, second.total);
+        assert_eq!(
+            crate::report::supervised_report_json(&first, "x"),
+            crate::report::supervised_report_json(&second, "x"),
+            "resumed report must be byte-identical"
+        );
+
+        // A different signature must NOT resume.
+        let cp2 = CheckpointFile::open(&path, "other-sig").expect("open with other sig");
+        assert_eq!(cp2.completed(), 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

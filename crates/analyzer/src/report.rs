@@ -29,32 +29,136 @@ fn finding_json(f: &crate::Finding) -> String {
     )
 }
 
+/// Encode one lint entry as a JSON object — the unit a sweep checkpoint
+/// stores, so the encoding must stay stable across sessions.
+pub fn entry_to_json(e: &LintEntry) -> String {
+    let findings: Vec<String> = e.findings.iter().map(finding_json).collect();
+    format!(
+        "{{\"algo\":\"{}\",\"dist\":\"{}\",\"rows\":{},\"cols\":{},\"s\":{},\
+         \"sends\":{},\"recvs\":{},\"max_link_load\":{},\"deadlocked\":{},\
+         \"opaque_payloads\":{},\"dropped_attempts\":{},\"findings\":[{}]}}",
+        escape(&e.algo),
+        escape(&e.dist),
+        e.rows,
+        e.cols,
+        e.s,
+        e.sends,
+        e.recvs,
+        e.max_link_load,
+        e.deadlocked,
+        e.opaque_payloads,
+        e.dropped_attempts,
+        findings.join(",")
+    )
+}
+
+/// Decode one lint entry from [`entry_to_json`]'s encoding — how a
+/// resumed lint sweep splices checkpointed points back into its report.
+pub fn entry_from_json(text: &str) -> Result<LintEntry, String> {
+    use crate::FindingKind;
+    use stp_core::checkpoint::{parse_json, JsonValue};
+    let v = parse_json(text)?;
+    let str_field = |k: &str| -> Result<String, String> {
+        v.get(k)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("entry missing string field {k:?}"))
+    };
+    let num_field = |k: &str| -> Result<u64, String> {
+        v.get(k)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("entry missing numeric field {k:?}"))
+    };
+    let bool_field = |k: &str| -> Result<bool, String> {
+        v.get(k)
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| format!("entry missing boolean field {k:?}"))
+    };
+    let mut findings = Vec::new();
+    for f in v
+        .get("findings")
+        .and_then(JsonValue::as_array)
+        .ok_or("entry missing \"findings\"")?
+    {
+        let kind_name = f
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("finding missing \"kind\"")?;
+        let kind = FindingKind::from_name(kind_name)
+            .ok_or_else(|| format!("unknown finding kind {kind_name:?}"))?;
+        let rank = match f.get("rank") {
+            Some(JsonValue::Null) | None => None,
+            Some(r) => Some(r.as_u64().ok_or("finding \"rank\" is not an integer")? as usize),
+        };
+        let detail = f
+            .get("detail")
+            .and_then(JsonValue::as_str)
+            .ok_or("finding missing \"detail\"")?
+            .to_string();
+        findings.push(crate::Finding { kind, rank, detail });
+    }
+    Ok(LintEntry {
+        algo: str_field("algo")?,
+        dist: str_field("dist")?,
+        rows: num_field("rows")? as usize,
+        cols: num_field("cols")? as usize,
+        s: num_field("s")? as usize,
+        sends: num_field("sends")? as usize,
+        recvs: num_field("recvs")? as usize,
+        max_link_load: num_field("max_link_load")?,
+        deadlocked: bool_field("deadlocked")?,
+        opaque_payloads: bool_field("opaque_payloads")?,
+        dropped_attempts: num_field("dropped_attempts")? as usize,
+        findings,
+    })
+}
+
 /// Encode the lint matrix results as a JSON array.
 pub fn entries_to_json(entries: &[LintEntry]) -> String {
     let mut out = String::from("[\n");
     for (i, e) in entries.iter().enumerate() {
-        let findings: Vec<String> = e.findings.iter().map(finding_json).collect();
-        out.push_str(&format!(
-            "  {{\"algo\":\"{}\",\"dist\":\"{}\",\"rows\":{},\"cols\":{},\"s\":{},\
-             \"sends\":{},\"recvs\":{},\"max_link_load\":{},\"deadlocked\":{},\
-             \"opaque_payloads\":{},\"dropped_attempts\":{},\"findings\":[{}]}}",
-            escape(&e.algo),
-            escape(&e.dist),
-            e.rows,
-            e.cols,
-            e.s,
-            e.sends,
-            e.recvs,
-            e.max_link_load,
-            e.deadlocked,
-            e.opaque_payloads,
-            e.dropped_attempts,
-            findings.join(",")
-        ));
+        out.push_str("  ");
+        out.push_str(&entry_to_json(e));
         out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
     }
     out.push(']');
     out
+}
+
+/// Encode a supervised lint sweep: the completed entries plus the
+/// quarantined failures and skipped points. Deliberately carries **no
+/// wall-clock** — an interrupted-and-resumed sweep must produce a
+/// byte-identical report to an uninterrupted one.
+pub fn supervised_report_json(sweep: &crate::lint::SupervisedLint, executor: &str) -> String {
+    let failures: Vec<String> = sweep
+        .failures
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"id\":\"{}\",\"attempts\":{},\"error\":\"{}\"}}",
+                escape(&f.id),
+                f.attempts,
+                escape(&f.error)
+            )
+        })
+        .collect();
+    let skipped: Vec<String> = sweep
+        .skipped
+        .iter()
+        .map(|id| format!("\"{}\"", escape(id)))
+        .collect();
+    // `resumed` is intentionally NOT in the report: it differs between
+    // an interrupted-and-resumed sweep and an uninterrupted one, and
+    // the two reports must be byte-identical.
+    format!(
+        "{{\"executor\":\"{}\",\"points\":{},\"failures\":[{}],\
+         \"skipped\":[{}],\"entries\":{}}}",
+        escape(executor),
+        sweep.total,
+        failures.join(","),
+        skipped.join(","),
+        entries_to_json(&sweep.entries)
+    )
 }
 
 /// Encode the lint matrix as a report object: a header recording which

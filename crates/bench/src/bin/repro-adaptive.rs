@@ -37,14 +37,16 @@ fn main() {
                 &sources,
                 &|src| payload_for(src, 6144),
                 AlgoKind::BrXySource,
-            );
+            )
+            .expect("run failed");
             let repos = run_sources(
                 &machine,
                 LibraryKind::Nx,
                 &sources,
                 &|src| payload_for(src, 6144),
                 AlgoKind::ReposXySource,
-            );
+            )
+            .expect("run failed");
             let adapt = run_simulated(&machine, LibraryKind::Nx, async |comm| {
                 use mpp_runtime::Communicator;
                 let payload = sources

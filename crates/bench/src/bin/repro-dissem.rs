@@ -44,7 +44,8 @@ fn main() {
             msg_len: 4096,
             kind: AlgoKind::MpiAllGather,
         }
-        .run();
+        .run()
+        .expect("run failed");
         let alltoall = Experiment {
             machine: &machine,
             dist: SourceDist::Equal,
@@ -52,7 +53,8 @@ fn main() {
             msg_len: 4096,
             kind: AlgoKind::MpiAlltoall,
         }
-        .run();
+        .run()
+        .expect("run failed");
         let br_lin = Experiment {
             machine: &machine,
             dist: SourceDist::Equal,
@@ -60,7 +62,8 @@ fn main() {
             msg_len: 4096,
             kind: AlgoKind::BrLin,
         }
-        .run();
+        .run()
+        .expect("run failed");
         let dissem = run_alg(&machine, &DissemAllGather::new(), &sources, 4096);
         let dissem_zc = run_alg(&machine, &DissemAllGather::zero_copy(), &sources, 4096);
         println!(

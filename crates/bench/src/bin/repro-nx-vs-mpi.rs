@@ -26,8 +26,8 @@ fn main() {
             msg_len: 4096,
             kind,
         };
-        let nx = exp.run_with_lib(LibraryKind::Nx);
-        let mpi = exp.run_with_lib(LibraryKind::Mpi);
+        let nx = exp.run_with_lib(LibraryKind::Nx).expect("run failed");
+        let mpi = exp.run_with_lib(LibraryKind::Mpi).expect("run failed");
         assert!(nx.verified && mpi.verified);
         let loss = (mpi.makespan_ns as f64 - nx.makespan_ns as f64) / nx.makespan_ns as f64 * 100.0;
         println!(

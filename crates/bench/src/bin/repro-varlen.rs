@@ -29,7 +29,8 @@ fn main() {
             &sources,
             &|src| payload_for(src, uniform_len),
             AlgoKind::BrXySource,
-        );
+        )
+        .expect("run failed");
         // Mixed: alternate 2K / 4K / 6K by source index — same total.
         let mixed_len = |src: usize| match src % 3 {
             0 => 2048,
@@ -42,7 +43,8 @@ fn main() {
             &sources,
             &|src| payload_for(src, mixed_len(src)),
             AlgoKind::BrXySource,
-        );
+        )
+        .expect("run failed");
         assert!(uniform.verified && mixed.verified);
         let delta = (mixed.makespan_ms() - uniform.makespan_ms()) / uniform.makespan_ms() * 100.0;
         println!(

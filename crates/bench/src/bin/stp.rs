@@ -6,6 +6,9 @@
 //! stp --machine t3d --p 128 --algo mpi_alltoall --dist equal --s 40 --len 4096
 //! stp --machine paragon --algo two_step --dist equal --s 30 --sweep-len 32,1024,16384
 //! stp lint [--quick] [--fixtures] [--json FILE] [--max-link-load N]
+//!          [--chaos] [--checkpoint FILE] [--resume] [--deadline-ms N]
+//! stp sweep [--quick] [--len BYTES] [--json FILE] [--chaos]
+//!           [--checkpoint FILE] [--resume] [--deadline-ms N]
 //! stp --list
 //! ```
 //!
@@ -15,6 +18,16 @@
 //! ambiguity, payload leaks, link contention) on each; `--fixtures`
 //! instead checks that the seeded-bug fixtures are all caught. Exits
 //! non-zero on any finding or missed fixture — the CI gate.
+//!
+//! `stp sweep` runs the experiment grid (makespans instead of schedule
+//! analysis) under the supervised runner. Both sweeps accept `--chaos`
+//! (inject a deliberately panicking and a deliberately deadlocking
+//! algorithm — every healthy point must still finish, the bad ones are
+//! quarantined into the failure report), `--deadline-ms` (wall-clock
+//! budget; unfinished points are skipped, not failed) and
+//! `--checkpoint`/`--resume` (persist finished points after each grid
+//! point; a resumed sweep replays them verbatim and re-runs nothing,
+//! producing a byte-identical report).
 //!
 //! `--sweep-len` runs the same experiment at several message lengths;
 //! the points are independent simulations and execute concurrently on a
@@ -37,7 +50,11 @@ fn usage() -> ! {
     eprintln!("                                      'seed=7,drop=1/64,retry=4:500' or");
     eprintln!("                                      'link=3-4@1000..,crash=5@2000')");
     eprintln!("       stp lint [--quick] [--fixtures] [--json FILE] [--max-link-load N]");
-    eprintln!("                [--exec coop|threaded] [--faults SPEC]");
+    eprintln!("                [--exec coop|threaded] [--faults SPEC] [--chaos]");
+    eprintln!("                [--checkpoint FILE] [--resume] [--deadline-ms N]");
+    eprintln!("       stp sweep [--quick] [--len BYTES] [--json FILE] [--exec coop|threaded]");
+    eprintln!("                 [--faults SPEC] [--chaos] [--checkpoint FILE] [--resume]");
+    eprintln!("                 [--deadline-ms N]");
     eprintln!("       stp --list       (show algorithm and distribution names)");
     std::process::exit(2);
 }
@@ -96,25 +113,22 @@ fn run_lint(args: &[String]) -> ! {
     };
     config.max_link_load = get("--max-link-load").and_then(|v| v.parse().ok());
     config.faults = parse_faults_flag(get("--faults"));
+    config.chaos = has("--chaos");
+
+    // Any supervision flag routes through the supervised sweep; the
+    // plain path stays for the legacy wall-clock report format.
+    let supervised = config.chaos
+        || has("--resume")
+        || get("--checkpoint").is_some()
+        || get("--deadline-ms").is_some();
+    if supervised {
+        run_lint_supervised(&config, &get, &has, json_path.as_deref());
+    }
+
     let t0 = std::time::Instant::now();
     let entries = lint_matrix(&config);
     let wall = t0.elapsed();
-    let dirty: Vec<_> = entries.iter().filter(|e| !e.findings.is_empty()).collect();
-    for e in &dirty {
-        for f in &e.findings {
-            println!(
-                "{} / {} on {}x{} s={}: [{}] {}",
-                e.algo,
-                e.dist,
-                e.rows,
-                e.cols,
-                e.s,
-                f.kind.name(),
-                f.detail
-            );
-        }
-    }
-    let findings: usize = dirty.iter().map(|e| e.findings.len()).sum();
+    let findings = print_lint_findings(&entries);
     let opaque = entries.iter().filter(|e| e.opaque_payloads).count();
     let exec = mpp_sim::ExecMode::from_env();
     println!(
@@ -133,6 +147,365 @@ fn run_lint(args: &[String]) -> ! {
         eprintln!("[lint] report written to {path}");
     }
     std::process::exit(if findings > 0 { 1 } else { 0 });
+}
+
+/// Print every finding of the lint entries; returns the finding count.
+fn print_lint_findings(entries: &[stp_analyzer::LintEntry]) -> usize {
+    let mut findings = 0;
+    for e in entries.iter().filter(|e| !e.findings.is_empty()) {
+        for f in &e.findings {
+            println!(
+                "{} / {} on {}x{} s={}: [{}] {}",
+                e.algo,
+                e.dist,
+                e.rows,
+                e.cols,
+                e.s,
+                f.kind.name(),
+                f.detail
+            );
+        }
+        findings += e.findings.len();
+    }
+    findings
+}
+
+/// Resolve the `--checkpoint`/`--resume` pair into an open checkpoint
+/// store (shared by `stp lint` and `stp sweep`). Without `--resume` any
+/// previous progress file is discarded so the sweep starts fresh.
+fn open_checkpoint(
+    get: &dyn Fn(&str) -> Option<String>,
+    has: &dyn Fn(&str) -> bool,
+    default_path: &str,
+    sig: &str,
+) -> Option<stp_core::checkpoint::CheckpointFile> {
+    let path = get("--checkpoint");
+    if path.is_none() && !has("--resume") {
+        return None;
+    }
+    let path = path.unwrap_or_else(|| default_path.to_string());
+    if !has("--resume") {
+        let _ = std::fs::remove_file(&path);
+    }
+    let cp = stp_core::checkpoint::CheckpointFile::open(&path, sig).unwrap_or_else(|e| {
+        eprintln!("stp: cannot open checkpoint {path}: {e}");
+        std::process::exit(2);
+    });
+    if cp.completed() > 0 {
+        eprintln!(
+            "[resume] {} finished point(s) found in {path}; replaying them verbatim",
+            cp.completed()
+        );
+    }
+    Some(cp)
+}
+
+/// Build the sweep supervision options from the CLI flags (on top of
+/// `STP_SWEEP_DEADLINE_MS` / `STP_WATCHDOG_EVENTS` from the env).
+fn supervise_opts(get: &dyn Fn(&str) -> Option<String>) -> stp_core::supervise::SuperviseOpts {
+    let mut opts = stp_core::supervise::SuperviseOpts::from_env();
+    if let Some(ms) = get("--deadline-ms").and_then(|v| v.parse().ok()) {
+        opts = opts.with_deadline_ms(ms);
+    }
+    opts
+}
+
+/// `stp lint` under the supervised runner: chaos containment,
+/// deadline skips, checkpoint/resume.
+fn run_lint_supervised(
+    config: &stp_analyzer::LintConfig,
+    get: &dyn Fn(&str) -> Option<String>,
+    has: &dyn Fn(&str) -> bool,
+    json_path: Option<&str>,
+) -> ! {
+    use stp_analyzer::{lint_matrix_supervised, lint_sig, supervised_report_json};
+
+    let exec = SweepRunner::new().exec();
+    let sig = lint_sig(config, exec);
+    let opts = supervise_opts(get);
+    let checkpoint = open_checkpoint(get, has, "stp-lint.ckpt.json", &sig);
+    let sweep = lint_matrix_supervised(config, &opts, checkpoint.as_ref());
+
+    let findings = print_lint_findings(&sweep.entries);
+    for f in &sweep.failures {
+        println!(
+            "FAILED {} after {} attempt(s): {}",
+            f.id, f.attempts, f.error
+        );
+    }
+    for id in &sweep.skipped {
+        println!("SKIPPED {id} (cancelled before it ran)");
+    }
+    println!(
+        "linted {}/{} schedules on the {} executor: {findings} finding(s), \
+         {} failed point(s), {} skipped, {} replayed from checkpoint",
+        sweep.entries.len(),
+        sweep.total,
+        exec.name(),
+        sweep.failures.len(),
+        sweep.skipped.len(),
+        sweep.resumed
+    );
+    if let Some(path) = json_path {
+        std::fs::write(path, supervised_report_json(&sweep, exec.name()))
+            .expect("write JSON report");
+        eprintln!("[lint] report written to {path}");
+    }
+    let bad = findings > 0 || !sweep.failures.is_empty() || !sweep.skipped.is_empty();
+    std::process::exit(if bad { 1 } else { 0 });
+}
+
+/// `stp sweep`: the experiment grid (makespans, not schedule analysis)
+/// under the supervised runner. Each finished point yields one
+/// deterministic JSON record — virtual time only, no wall-clock — so a
+/// resumed sweep's report is byte-identical to an uninterrupted one.
+fn run_sweep(args: &[String]) -> ! {
+    use stp_core::algorithms::StpAlgorithm;
+    use stp_core::runner::{try_run_alg_controlled, try_run_sources_controlled, RunControl};
+    use stp_core::supervise::{chaos_algorithms, PointStatus};
+
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    stp_analyzer::hush_expected_panics();
+
+    let shapes: Vec<(usize, usize)> = if has("--quick") {
+        vec![(4, 4), (8, 3)]
+    } else {
+        vec![(4, 4), (8, 4), (16, 16), (8, 3)]
+    };
+    let msg_len: usize = get("--len").and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let faults = parse_faults_flag(get("--faults"));
+    let chaos = has("--chaos");
+
+    enum SweepAlg {
+        Kind(AlgoKind),
+        Chaos(&'static str, fn() -> Box<dyn StpAlgorithm>),
+    }
+    struct Point {
+        machine: Machine,
+        dist: SourceDist,
+        s: usize,
+        alg: SweepAlg,
+    }
+    let dists = [
+        SourceDist::Row,
+        SourceDist::Column,
+        SourceDist::Equal,
+        SourceDist::DiagRight,
+        SourceDist::DiagLeft,
+        SourceDist::Band,
+        SourceDist::Cross,
+        SourceDist::SquareBlock,
+    ];
+    let mut points = Vec::new();
+    for &(rows, cols) in &shapes {
+        let machine = Machine::paragon(rows, cols);
+        let p = machine.p();
+        let sparse = (p / 4).max(2).min(p);
+        let counts = if sparse == p {
+            vec![p]
+        } else {
+            vec![sparse, p]
+        };
+        for dist in &dists {
+            for &s in &counts {
+                for &kind in AlgoKind::all() {
+                    points.push(Point {
+                        machine: machine.clone(),
+                        dist: dist.clone(),
+                        s,
+                        alg: SweepAlg::Kind(kind),
+                    });
+                }
+            }
+        }
+    }
+    if chaos {
+        let (rows, cols) = shapes[0];
+        for (name, build) in chaos_algorithms() {
+            points.push(Point {
+                machine: Machine::paragon(rows, cols),
+                dist: SourceDist::Equal,
+                s: 2,
+                alg: SweepAlg::Chaos(name, build),
+            });
+        }
+    }
+    let ids: Vec<String> = points
+        .iter()
+        .map(|pt| {
+            let name = match &pt.alg {
+                SweepAlg::Kind(kind) => kind.name(),
+                SweepAlg::Chaos(name, _) => name,
+            };
+            format!(
+                "{}/{}/{}x{}/s{}",
+                name,
+                pt.dist.name(),
+                pt.machine.shape.rows,
+                pt.machine.shape.cols,
+                pt.s
+            )
+        })
+        .collect();
+
+    let runner = SweepRunner::new();
+    let exec = runner.exec();
+    let sig = format!(
+        "sweep:v1:exec={}:shapes={shapes:?}:len={msg_len}:faults={faults:?}:chaos={chaos}",
+        exec.name()
+    );
+    let opts = supervise_opts(&get);
+    let checkpoint = open_checkpoint(&get, &has, "stp-sweep.ckpt.json", &sig);
+
+    // Replay checkpointed records verbatim; run only the rest.
+    let mut slots: Vec<Option<PointStatus<String>>> = Vec::with_capacity(points.len());
+    let mut to_run = Vec::new();
+    let mut run_ids = Vec::new();
+    let mut resumed = 0usize;
+    for (point, id) in points.into_iter().zip(&ids) {
+        match checkpoint.as_ref().and_then(|cp| cp.get(id)) {
+            Some(record) => {
+                resumed += 1;
+                slots.push(Some(PointStatus::Done(record)));
+            }
+            None => {
+                slots.push(None);
+                run_ids.push(id.clone());
+                to_run.push(point);
+            }
+        }
+    }
+
+    let total = slots.len();
+    let faults = &faults;
+    let run_ids = &run_ids;
+    let checkpoint_ref = checkpoint.as_ref();
+    let statuses = runner.map_supervised(
+        to_run,
+        |pt| match exec {
+            mpp_runtime::ExecMode::Cooperative => 1,
+            mpp_runtime::ExecMode::Threaded => pt.machine.p(),
+        },
+        |pt| {
+            let sources = pt.dist.place(pt.machine.shape, pt.s);
+            let payload_of = move |src: usize| payload_for(src, msg_len);
+            let control = RunControl {
+                faults: faults.clone(),
+                budget: opts.budget.clone(),
+                cancel: Some(opts.cancel.clone()),
+                exec: None,
+            };
+            let name;
+            let out = match &pt.alg {
+                SweepAlg::Kind(kind) => {
+                    name = kind.name();
+                    try_run_sources_controlled(
+                        &pt.machine,
+                        kind.default_lib(),
+                        &sources,
+                        &payload_of,
+                        *kind,
+                        &control,
+                    )?
+                }
+                SweepAlg::Chaos(chaos_name, build) => {
+                    name = chaos_name;
+                    let alg = build();
+                    try_run_alg_controlled(
+                        &pt.machine,
+                        LibraryKind::Nx,
+                        &sources,
+                        &payload_of,
+                        alg.as_ref(),
+                        &control,
+                    )?
+                }
+            };
+            // Virtual quantities only — this record must be identical
+            // whether the point ran now or replayed from a checkpoint.
+            Ok(format!(
+                "{{\"id\":\"{}/{}/{}x{}/s{}\",\"makespan_ns\":{},\"verified\":{},\"contention_ns\":{}}}",
+                name,
+                pt.dist.name(),
+                pt.machine.shape.rows,
+                pt.machine.shape.cols,
+                pt.s,
+                out.makespan_ns,
+                out.verified,
+                out.contention_ns
+            ))
+        },
+        &opts,
+        |index, status| {
+            if let (Some(cp), PointStatus::Done(record)) = (checkpoint_ref, status) {
+                cp.record(&run_ids[index], record);
+            }
+        },
+    );
+
+    let mut statuses = statuses.into_iter();
+    for slot in slots.iter_mut() {
+        if slot.is_none() {
+            *slot = Some(statuses.next().expect("one status per un-cached point"));
+        }
+    }
+
+    let mut records = Vec::new();
+    let mut failures = Vec::new();
+    let mut skipped = Vec::new();
+    for (slot, id) in slots.into_iter().zip(ids) {
+        match slot.expect("every slot filled") {
+            PointStatus::Done(record) => records.push(record),
+            PointStatus::Failed { attempts, error } => failures.push((id, attempts, error)),
+            PointStatus::Skipped => skipped.push(id),
+        }
+    }
+    let unverified = records
+        .iter()
+        .filter(|r| r.contains("\"verified\":false"))
+        .count();
+    for (id, attempts, error) in &failures {
+        println!("FAILED {id} after {attempts} attempt(s): {error}");
+    }
+    for id in &skipped {
+        println!("SKIPPED {id} (cancelled before it ran)");
+    }
+    println!(
+        "swept {}/{total} points on the {} executor: {unverified} unverified, \
+         {} failed, {} skipped, {resumed} replayed from checkpoint",
+        records.len(),
+        exec.name(),
+        failures.len(),
+        skipped.len()
+    );
+    if let Some(path) = get("--json") {
+        let failures_json: Vec<String> = failures
+            .iter()
+            .map(|(id, attempts, error)| {
+                format!(
+                    "{{\"id\":\"{id}\",\"attempts\":{attempts},\"error\":\"{}\"}}",
+                    error.replace('\\', "\\\\").replace('"', "\\\"")
+                )
+            })
+            .collect();
+        let skipped_json: Vec<String> = skipped.iter().map(|id| format!("\"{id}\"")).collect();
+        let report = format!(
+            "{{\"executor\":\"{}\",\"points\":{total},\"failures\":[{}],\"skipped\":[{}],\"records\":[\n  {}\n]}}",
+            exec.name(),
+            failures_json.join(","),
+            skipped_json.join(","),
+            records.join(",\n  ")
+        );
+        std::fs::write(&path, report).expect("write JSON report");
+        eprintln!("[sweep] report written to {path}");
+    }
+    let bad = unverified > 0 || !failures.is_empty() || !skipped.is_empty();
+    std::process::exit(if bad { 1 } else { 0 });
 }
 
 /// Apply `--exec coop|threaded` by exporting `STP_EXEC` before any
@@ -157,6 +530,9 @@ fn main() {
     apply_exec_flag(&args);
     if args.first().map(String::as_str) == Some("lint") {
         run_lint(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("sweep") {
+        run_sweep(&args[1..]);
     }
     if args.iter().any(|a| a == "--list") {
         println!("algorithms:");
@@ -257,7 +633,14 @@ fn main() {
         let runner = SweepRunner::new();
         let t0 = std::time::Instant::now();
         let outcomes = match &faults {
-            Some(plan) => runner.map(grid, |e| e.machine.p(), |e| e.run_with_faults(plan)),
+            Some(plan) => runner.map(
+                grid,
+                |e| e.machine.p(),
+                |e| {
+                    e.run_with_faults(plan)
+                        .unwrap_or_else(|err| panic!("{err}"))
+                },
+            ),
             None => runner.run_experiments(&grid),
         };
         let wall = t0.elapsed();
@@ -316,7 +699,11 @@ fn main() {
         &|src| payload_for(src, len),
         kind,
         faults.as_ref(),
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("stp: {e}");
+        std::process::exit(1);
+    });
     println!(
         "time {:.3} ms   verified {}   contention stalls {} ({:.3} ms)",
         out.makespan_ms(),

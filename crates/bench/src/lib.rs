@@ -21,7 +21,7 @@ pub fn run_ms(
         msg_len,
         kind,
     };
-    let out = exp.run();
+    let out = exp.run().unwrap_or_else(|e| panic!("{e}"));
     assert!(
         out.verified,
         "{} failed verification (s={s}, L={msg_len})",

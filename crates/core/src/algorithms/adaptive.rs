@@ -141,6 +141,7 @@ mod tests {
                 &|src| payload_for(src, 6144),
                 kind,
             )
+            .expect("run failed")
             .makespan_ns as f64
         };
         // We can't run ReposAdaptive through AlgoKind (it's an

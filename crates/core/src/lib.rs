@@ -34,7 +34,7 @@
 //!     msg_len: 1024,
 //!     kind: AlgoKind::BrLin,
 //! };
-//! let outcome = exp.run();
+//! let outcome = exp.run().expect("simulation failed");
 //! assert!(outcome.verified);
 //! println!("Br_Lin took {:.3} ms", outcome.makespan_ms());
 //! ```
@@ -42,6 +42,7 @@
 pub mod algorithms;
 pub mod analysis;
 pub mod announce;
+pub mod checkpoint;
 pub mod distribution;
 pub mod ideal;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod predict;
 pub mod quality;
 pub mod runner;
 pub mod select;
+pub mod supervise;
 
 /// Convenient glob import for applications and benches.
 pub mod prelude {
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use crate::msgset::{payload_for, MessageSet};
     pub use crate::predict::{estimate_ms, estimate_ns};
     pub use crate::quality::placement_quality;
-    pub use crate::runner::{AlgoKind, Experiment, Outcome, SweepRunner};
+    pub use crate::runner::{AlgoKind, Experiment, Outcome, RunControl, SweepRunner};
     pub use crate::select::recommend;
+    pub use crate::supervise::{PointStatus, SuperviseOpts};
 }

@@ -256,6 +256,7 @@ mod tests {
                 kind,
             }
             .run()
+            .expect("run failed")
             .makespan_ns as f64;
             let ratio = simulated / predicted;
             assert!(

@@ -3,8 +3,8 @@
 
 use mpp_model::{LibraryKind, Machine, Time};
 use mpp_runtime::{
-    run_simulated_with, schedule_log, CommStats, Communicator, ExecMode, FaultPlan, ScheduleEvent,
-    SimConfig,
+    schedule_log, try_run_simulated_with, CancelToken, CommStats, Communicator, ExecMode,
+    FaultPlan, ScheduleEvent, SimBudget, SimConfig, SimError,
 };
 
 use crate::algorithms::{
@@ -201,14 +201,53 @@ impl Outcome {
     }
 }
 
+/// Supervision knobs a sweep driver threads down into one run: fault
+/// plan, watchdog budget, cooperative cancellation, and an optional
+/// executor override. [`RunControl::default`] is an unsupervised run
+/// honouring the `STP_WATCHDOG_EVENTS` / `STP_EXEC` environment.
+#[derive(Debug, Clone)]
+pub struct RunControl {
+    /// Deterministic network fault plan (`None` = perfect network).
+    pub faults: Option<FaultPlan>,
+    /// Watchdog ceilings (events / virtual time / wall clock) turning
+    /// livelocks into [`SimError::WatchdogTripped`].
+    pub budget: SimBudget,
+    /// Cooperative cancellation: the run exits with
+    /// [`SimError::Cancelled`] at its next scheduling step.
+    pub cancel: Option<CancelToken>,
+    /// Executor override; `None` follows `STP_EXEC`.
+    pub exec: Option<ExecMode>,
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl {
+            faults: None,
+            budget: SimBudget::from_env(),
+            cancel: None,
+            exec: None,
+        }
+    }
+}
+
+impl RunControl {
+    /// A control block carrying only a fault plan.
+    pub fn with_faults(faults: Option<&FaultPlan>) -> Self {
+        RunControl {
+            faults: faults.cloned(),
+            ..RunControl::default()
+        }
+    }
+}
+
 impl Experiment<'_> {
     /// Run under the algorithm's default library flavour.
-    pub fn run(&self) -> Outcome {
+    pub fn run(&self) -> Result<Outcome, SimError> {
         self.run_with_lib(self.kind.default_lib())
     }
 
     /// Run under an explicit library flavour.
-    pub fn run_with_lib(&self, lib: LibraryKind) -> Outcome {
+    pub fn run_with_lib(&self, lib: LibraryKind) -> Result<Outcome, SimError> {
         let sources = self.dist.place(self.machine.shape, self.s);
         let len = self.msg_len;
         run_sources(
@@ -222,7 +261,7 @@ impl Experiment<'_> {
 
     /// Run under the algorithm's default library flavour with a fault
     /// plan active in the network.
-    pub fn run_with_faults(&self, faults: &FaultPlan) -> Outcome {
+    pub fn run_with_faults(&self, faults: &FaultPlan) -> Result<Outcome, SimError> {
         let sources = self.dist.place(self.machine.shape, self.s);
         let len = self.msg_len;
         run_sources_faulty(
@@ -235,9 +274,27 @@ impl Experiment<'_> {
         )
     }
 
+    /// Run under full supervision ([`RunControl`]): watchdog budget,
+    /// cancellation token, fault plan, executor override.
+    pub fn run_controlled(&self, control: &RunControl) -> Result<Outcome, SimError> {
+        let sources = self.dist.place(self.machine.shape, self.s);
+        let len = self.msg_len;
+        try_run_sources_controlled(
+            self.machine,
+            self.kind.default_lib(),
+            &sources,
+            &|src| payload_for(src, len),
+            self.kind,
+            control,
+        )
+    }
+
     /// Run with per-source message lengths (paper §5: "using different
     /// length messages did not influence the performance significantly").
-    pub fn run_with_lengths(&self, len_of: &(dyn Fn(usize) -> usize + Sync)) -> Outcome {
+    pub fn run_with_lengths(
+        &self,
+        len_of: &(dyn Fn(usize) -> usize + Sync),
+    ) -> Result<Outcome, SimError> {
         let sources = self.dist.place(self.machine.shape, self.s);
         run_sources(
             self.machine,
@@ -253,15 +310,16 @@ impl Experiment<'_> {
 ///
 /// Debug builds enable the kernel's strict schedule checks (unambiguous
 /// receive matching, empty mailboxes at finish) — the runtime half of
-/// the `stp-analyzer` checker — so schedule bugs panic at the offending
-/// operation instead of surfacing as a wrong makespan.
+/// the `stp-analyzer` checker — so schedule bugs surface as
+/// [`SimError::StrictViolation`] at the offending operation instead of
+/// a wrong makespan.
 pub fn run_sources(
     machine: &Machine,
     lib: LibraryKind,
     sources: &[usize],
     payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
     kind: AlgoKind,
-) -> Outcome {
+) -> Result<Outcome, SimError> {
     run_sources_faulty(machine, lib, sources, payload_of, kind, None)
 }
 
@@ -279,26 +337,62 @@ pub fn run_sources_faulty(
     payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
     kind: AlgoKind,
     faults: Option<&FaultPlan>,
-) -> Outcome {
-    let alg = kind.build();
-    let config = SimConfig {
+) -> Result<Outcome, SimError> {
+    try_run_sources_controlled(
+        machine,
         lib,
-        strict: cfg!(debug_assertions) && faults.is_none(),
-        faults: faults.cloned(),
-        ..SimConfig::default()
-    };
-    run_alg_with(machine, &config, sources, payload_of, alg.as_ref())
+        sources,
+        payload_of,
+        kind,
+        &RunControl::with_faults(faults),
+    )
 }
 
-fn run_alg_with(
+/// [`run_sources`] under a full [`RunControl`] block — the supervised
+/// entry point sweep engines call.
+pub fn try_run_sources_controlled(
+    machine: &Machine,
+    lib: LibraryKind,
+    sources: &[usize],
+    payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
+    kind: AlgoKind,
+    control: &RunControl,
+) -> Result<Outcome, SimError> {
+    let alg = kind.build();
+    try_run_alg_controlled(machine, lib, sources, payload_of, alg.as_ref(), control)
+}
+
+/// [`try_run_sources_controlled`] over an arbitrary algorithm object —
+/// used by the chaos-injection fixtures, which have no [`AlgoKind`].
+pub fn try_run_alg_controlled(
+    machine: &Machine,
+    lib: LibraryKind,
+    sources: &[usize],
+    payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
+    alg: &dyn StpAlgorithm,
+    control: &RunControl,
+) -> Result<Outcome, SimError> {
+    let config = SimConfig {
+        lib,
+        strict: cfg!(debug_assertions) && control.faults.is_none(),
+        faults: control.faults.clone(),
+        budget: control.budget.clone(),
+        cancel: control.cancel.clone(),
+        exec: control.exec.unwrap_or_else(ExecMode::from_env),
+        ..SimConfig::default()
+    };
+    try_run_alg_with(machine, &config, sources, payload_of, alg)
+}
+
+fn try_run_alg_with(
     machine: &Machine,
     config: &SimConfig,
     sources: &[usize],
     payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
     alg: &dyn StpAlgorithm,
-) -> Outcome {
+) -> Result<Outcome, SimError> {
     let shape = machine.shape;
-    let out = run_simulated_with(machine, config, async |comm| {
+    let out = try_run_simulated_with(machine, config, async |comm| {
         let me = comm.rank();
         let payload = sources.binary_search(&me).is_ok().then(|| payload_of(me));
         let ctx = StpCtx {
@@ -312,8 +406,8 @@ fn run_alg_with(
             && sources
                 .iter()
                 .all(|&s| set.get(s).is_some_and(|d| *d == payload_of(s)))
-    });
-    Outcome {
+    })?;
+    Ok(Outcome {
         makespan_ns: out.makespan_ns,
         finish_ns: out.finish_ns,
         stats: out.stats,
@@ -321,7 +415,7 @@ fn run_alg_with(
         contention_events: out.contention_events,
         contention_ns: out.contention_ns,
         sources: sources.to_vec(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -349,9 +443,10 @@ pub struct RecordedRun {
 ///
 /// Works for any [`StpAlgorithm`], including deliberately broken ones
 /// (the analyzer's seeded-bug fixtures): a deadlocking schedule returns
-/// with [`RecordedRun::deadlocked`] set instead of panicking. Panics
+/// with [`RecordedRun::deadlocked`] set instead of panicking. Failures
 /// that are not deadlocks (e.g. assertion failures inside the algorithm)
-/// are propagated.
+/// are propagated as panics; supervised callers use
+/// [`try_record_sources`].
 pub fn record_sources(
     machine: &Machine,
     lib: LibraryKind,
@@ -389,34 +484,57 @@ pub fn record_sources_faulty(
     exec: ExecMode,
     faults: Option<&FaultPlan>,
 ) -> RecordedRun {
+    let control = RunControl {
+        faults: faults.cloned(),
+        exec: Some(exec),
+        ..RunControl::default()
+    };
+    try_record_sources(machine, lib, sources, payload_of, alg, &control)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Supervised schedule recording: a deadlock is still a *recordable*
+/// outcome (`Ok` with [`RecordedRun::deadlocked`] set and the partial
+/// schedule flushed — that is exactly what the analyzer's deadlock check
+/// consumes); every other abnormal termination (rank panic, watchdog
+/// trip, cancellation, strict violation) comes back as `Err` with the
+/// kernel shut down cleanly.
+pub fn try_record_sources(
+    machine: &Machine,
+    lib: LibraryKind,
+    sources: &[usize],
+    payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
+    alg: &dyn StpAlgorithm,
+    control: &RunControl,
+) -> Result<RecordedRun, SimError> {
     let log = schedule_log();
     let config = SimConfig {
         lib,
         recorder: Some(log.clone()),
-        exec,
-        faults: faults.cloned(),
+        exec: control.exec.unwrap_or_else(ExecMode::from_env),
+        faults: control.faults.clone(),
+        budget: control.budget.clone(),
+        cancel: control.cancel.clone(),
         ..SimConfig::default()
     };
-    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_alg_with(machine, &config, sources, payload_of, alg)
-    }));
-    let recording = std::mem::take(&mut *log.lock().expect("schedule log poisoned"));
+    let run = try_run_alg_with(machine, &config, sources, payload_of, alg);
+    let recording = std::mem::take(
+        &mut *log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
     match run {
-        Ok(outcome) => RecordedRun {
+        Ok(outcome) => Ok(RecordedRun {
             events: recording.events,
             deadlocked: recording.deadlocked,
             outcome: Some(outcome),
-        },
-        Err(panic) => {
-            if !recording.deadlocked {
-                std::panic::resume_unwind(panic);
-            }
-            RecordedRun {
-                events: recording.events,
-                deadlocked: true,
-                outcome: None,
-            }
-        }
+        }),
+        Err(SimError::Deadlock { .. }) => Ok(RecordedRun {
+            events: recording.events,
+            deadlocked: true,
+            outcome: None,
+        }),
+        Err(e) => Err(e),
     }
 }
 
@@ -441,8 +559,9 @@ impl Experiment<'_> {
 // Parallel sweep engine
 // ---------------------------------------------------------------------------
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock, PoisonError};
 
 /// Weighted counting semaphore bounding the number of concurrently live
 /// rank threads across all sweep jobs. A p-rank simulation spawns p OS
@@ -467,37 +586,85 @@ impl RankBudget {
     /// Block until `want` permits (clamped to capacity, so a job bigger
     /// than the whole budget still runs — alone) are available; returns
     /// the number actually taken.
+    ///
+    /// Poisoning is ignored throughout: the permit counter is a plain
+    /// integer that is never left mid-update, so a panic on another
+    /// worker cannot corrupt it — propagating the poison would instead
+    /// turn one bad grid point into a whole-sweep abort.
     fn acquire(&self, want: usize) -> usize {
         let need = want.clamp(1, self.capacity);
-        let mut p = self.permits.lock().expect("rank budget poisoned");
+        let mut p = self.permits.lock().unwrap_or_else(PoisonError::into_inner);
         while *p < need {
-            p = self.cv.wait(p).expect("rank budget poisoned");
+            p = self.cv.wait(p).unwrap_or_else(PoisonError::into_inner);
         }
         *p -= need;
         need
     }
 
     fn release(&self, n: usize) {
-        *self.permits.lock().expect("rank budget poisoned") += n;
+        *self.permits.lock().unwrap_or_else(PoisonError::into_inner) += n;
         self.cv.notify_all();
     }
 }
 
+/// First sighting of a malformed environment variable? The registry
+/// makes each `STP_*` warning fire once per process: `SweepRunner::new`
+/// runs once per sweep *point group* and a long-lived driver would
+/// otherwise repeat the same warning hundreds of times.
+pub(crate) fn first_env_warning(name: &str) -> bool {
+    static WARNED: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    let mut seen = WARNED
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if seen.iter().any(|n| n == name) {
+        false
+    } else {
+        seen.push(name.to_string());
+        true
+    }
+}
+
 /// Parse one `STP_SWEEP_*` override. A set-but-malformed value is a user
-/// error worth hearing about: warn (naming the variable and the value)
-/// and fall back to the default, instead of silently ignoring it.
+/// error worth hearing about: warn once per process (naming the variable
+/// and the value) and fall back to the default, instead of silently
+/// ignoring it.
 fn parse_env_usize(name: &str, raw: &str) -> Option<usize> {
     match raw.trim().parse() {
         Ok(v) => Some(v),
         Err(_) => {
-            eprintln!("warning: ignoring {name}={raw:?}: expected a non-negative integer");
+            if first_env_warning(name) {
+                eprintln!("warning: ignoring {name}={raw:?}: expected a non-negative integer");
+            }
             None
         }
     }
 }
 
-fn env_usize(name: &str) -> Option<usize> {
+pub(crate) fn env_usize(name: &str) -> Option<usize> {
     parse_env_usize(name, &std::env::var(name).ok()?)
+}
+
+/// Silence the panic hook for deliberate unit-test panics — they are
+/// caught and handled by design, and would otherwise spam the test
+/// output with one backtrace per injected failure.
+#[cfg(test)]
+pub(crate) fn tests_hush_deliberate_panics() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .unwrap_or("");
+            if !(msg.contains("deliberate test panic") || msg.contains("deliberate chaos panic")) {
+                default_hook(info);
+            }
+        }));
+    });
 }
 
 /// Executes independent sweep grid points concurrently on a small worker
@@ -596,6 +763,13 @@ impl SweepRunner {
     /// input order. `weight(&item)` is the number of rank threads the
     /// job will spawn (use the machine's `p`); it is charged against the
     /// global rank budget for the duration of the job.
+    ///
+    /// A panicking job cannot take the sweep down mid-flight: the panic
+    /// is caught at the grid-point boundary, every other point still
+    /// runs to completion, and the earliest panic (in input order) is
+    /// then resumed. Callers that need per-point failure *reporting*
+    /// instead of a deferred panic use
+    /// [`map_supervised`](SweepRunner::map_supervised).
     pub fn map<I, T, W, F>(&self, items: Vec<I>, weight: W, job: F) -> Vec<T>
     where
         I: Send,
@@ -606,15 +780,32 @@ impl SweepRunner {
         let n = items.len();
         let workers = self.workers.min(n);
         if workers <= 1 {
-            return items.into_iter().map(job).collect();
+            let mut out = Vec::with_capacity(n);
+            let mut first_panic = None;
+            for item in items {
+                match catch_unwind(AssertUnwindSafe(|| job(item))) {
+                    Ok(v) => out.push(v),
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
+            }
+            return out;
         }
         let budget = RankBudget::new(self.rank_budget);
         let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // Earliest panicking point (input order) and its payload; the
+        // slots and budget mutexes are never poisoned because the only
+        // user code — `job` — runs outside their critical sections.
+        let panic_slot: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
         let next = AtomicUsize::new(0);
         {
-            let (budget, slots, results, next, weight, job) =
-                (&budget, &slots, &results, &next, &weight, &job);
+            let (budget, slots, results, next, weight, job, panic_slot) =
+                (&budget, &slots, &results, &next, &weight, &job, &panic_slot);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(move || loop {
@@ -624,23 +815,40 @@ impl SweepRunner {
                         }
                         let item = slots[i]
                             .lock()
-                            .expect("sweep slot poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .take()
                             .expect("sweep item taken twice");
                         let got = budget.acquire(weight(&item));
-                        let out = job(item);
+                        let out = catch_unwind(AssertUnwindSafe(|| job(item)));
                         budget.release(got);
-                        *results[i].lock().expect("sweep result poisoned") = Some(out);
+                        match out {
+                            Ok(v) => {
+                                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(v)
+                            }
+                            Err(payload) => {
+                                let mut slot =
+                                    panic_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                    *slot = Some((i, payload));
+                                }
+                            }
+                        }
                     });
                 }
             });
+        }
+        if let Some((_, payload)) = panic_slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            resume_unwind(payload);
         }
         results
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .expect("sweep result poisoned")
-                    .expect("sweep job dropped")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("sweep point finished without a result or a panic")
             })
             .collect()
     }
@@ -650,6 +858,12 @@ impl SweepRunner {
     /// spawns that many rank threads); on the cooperative executor a
     /// grid point is a single thread regardless of `p`, so every job
     /// weighs 1 and the rank budget never throttles the sweep.
+    ///
+    /// This is the convenience entry point for benches and repro bins:
+    /// any abnormal termination panics (after the other grid points
+    /// finish). Supervised sweeps — per-point failure reports, retries,
+    /// deadlines, checkpointing — go through
+    /// [`map_supervised`](SweepRunner::map_supervised).
     pub fn run_experiments(&self, exps: &[Experiment]) -> Vec<Outcome> {
         let exec = self.exec;
         self.map(
@@ -658,8 +872,13 @@ impl SweepRunner {
                 mpp_runtime::ExecMode::Cooperative => 1,
                 mpp_runtime::ExecMode::Threaded => e.machine.p(),
             },
-            |e| e.run(),
+            |e| e.run().unwrap_or_else(|err| panic!("{err}")),
         )
+    }
+
+    /// The executor this runner weighs jobs for.
+    pub fn exec(&self) -> mpp_runtime::ExecMode {
+        self.exec
     }
 }
 
@@ -678,7 +897,7 @@ mod tests {
                 msg_len: 256,
                 kind,
             };
-            let out = exp.run();
+            let out = exp.run().expect("run failed");
             assert!(out.verified, "{} failed verification", kind.name());
             assert!(out.makespan_ns > 0);
         }
@@ -695,7 +914,7 @@ mod tests {
                 msg_len: 128,
                 kind,
             };
-            let out = exp.run();
+            let out = exp.run().expect("run failed");
             assert!(out.verified, "{} failed on T3D", kind.name());
         }
     }
@@ -710,8 +929,8 @@ mod tests {
             msg_len: 512,
             kind: AlgoKind::BrXySource,
         };
-        let a = exp.run();
-        let b = exp.run();
+        let a = exp.run().expect("run failed");
+        let b = exp.run().expect("run failed");
         assert_eq!(a.makespan_ns, b.makespan_ns);
         assert_eq!(a.finish_ns, b.finish_ns);
     }
@@ -726,7 +945,9 @@ mod tests {
             msg_len: 0, // ignored by run_with_lengths
             kind: AlgoKind::BrLin,
         };
-        let out = exp.run_with_lengths(&|src| 64 + src * 32);
+        let out = exp
+            .run_with_lengths(&|src| 64 + src * 32)
+            .expect("run failed");
         assert!(out.verified);
     }
 
@@ -782,6 +1003,44 @@ mod tests {
     }
 
     #[test]
+    fn sweep_map_finishes_healthy_points_before_resuming_a_panic() {
+        use std::sync::atomic::AtomicUsize;
+        tests_hush_deliberate_panics();
+        for workers in [1usize, 4] {
+            let done = AtomicUsize::new(0);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                SweepRunner::sequential().with_workers(workers).map(
+                    (0..16usize).collect(),
+                    |_| 1,
+                    |i| {
+                        if i == 3 || i == 11 {
+                            panic!("deliberate test panic in point {i}");
+                        }
+                        done.fetch_add(1, Ordering::Relaxed);
+                        i
+                    },
+                )
+            }));
+            let payload = caught.expect_err("the sweep must resume the point's panic");
+            let msg = payload
+                .downcast_ref::<String>()
+                .expect("panic payload is the formatted message");
+            // The earliest bad point's panic is the one resumed...
+            assert!(msg.contains("point 3"), "got {msg:?}");
+            // ...and only after every healthy point completed.
+            assert_eq!(done.load(Ordering::Relaxed), 14, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn env_warnings_fire_once_per_process() {
+        assert!(first_env_warning("STP_TEST_WARN_ONCE"));
+        assert!(!first_env_warning("STP_TEST_WARN_ONCE"));
+        assert!(first_env_warning("STP_TEST_WARN_TWICE"));
+        assert!(!first_env_warning("STP_TEST_WARN_TWICE"));
+    }
+
+    #[test]
     fn env_usize_parses_and_warns() {
         // Valid values (with surrounding whitespace) parse.
         assert_eq!(parse_env_usize("STP_SWEEP_WORKERS", "8"), Some(8));
@@ -809,13 +1068,13 @@ mod tests {
             kind: AlgoKind::BrXySource,
         };
         let plan = FaultPlan::transient_drops(9, 1, 8, 6);
-        let out = exp.run_with_faults(&plan);
+        let out = exp.run_with_faults(&plan).expect("run failed");
         assert!(out.verified, "retry must restore full delivery");
         let retransmits: u64 = out.stats.iter().map(|s| s.retransmits).sum();
         assert!(retransmits > 0, "a 1/8 drop rate must hit some message");
         assert!(out.stats.iter().all(|s| s.dropped == 0));
         // The same plan is deterministic.
-        let again = exp.run_with_faults(&plan);
+        let again = exp.run_with_faults(&plan).expect("run failed");
         assert_eq!(out.makespan_ns, again.makespan_ns);
         assert_eq!(out.finish_ns, again.finish_ns);
     }
@@ -830,8 +1089,8 @@ mod tests {
             msg_len: 1024,
             kind: AlgoKind::TwoStep,
         };
-        let nx = exp.run_with_lib(LibraryKind::Nx);
-        let mpi = exp.run_with_lib(LibraryKind::Mpi);
+        let nx = exp.run_with_lib(LibraryKind::Nx).expect("run failed");
+        let mpi = exp.run_with_lib(LibraryKind::Mpi).expect("run failed");
         assert!(mpi.makespan_ns > nx.makespan_ns);
         let pct = (mpi.makespan_ns - nx.makespan_ns) as f64 / nx.makespan_ns as f64 * 100.0;
         assert!(

@@ -1,7 +1,7 @@
 //! Timed backend: `Communicator` over the `mpp-sim` kernel.
 
 use mpp_model::{LibraryKind, Machine, Time};
-use mpp_sim::{simulate_with, MsgTrace, Payload, RankCtx, SimConfig};
+use mpp_sim::{try_simulate_with, MsgTrace, Payload, RankCtx, SimConfig, SimError};
 
 use crate::comm::{BarrierFut, Communicator, RecvFut, RecvTimeoutFut};
 use crate::stats::CommStats;
@@ -149,17 +149,38 @@ where
 /// entry point used for schedule recording (`config.recorder`), strict
 /// runtime schedule checks (`config.strict`), and executor selection
 /// (`config.exec`).
+///
+/// # Panics
+///
+/// Panics on any abnormal termination ([`SimError`]); supervised
+/// callers use [`try_run_simulated_with`].
 pub fn run_simulated_with<R, F>(machine: &Machine, config: &SimConfig, program: F) -> RunOutput<R>
 where
     R: Send,
     F: AsyncFn(&mut SimComm) -> R + Sync,
 {
+    try_run_simulated_with(machine, config, program).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`run_simulated_with`], but abnormal terminations — deadlock,
+/// rank panics, watchdog budget trips, cancellation — come back as
+/// `Err(SimError)` with the kernel shut down cleanly instead of
+/// panicking. The supervised entry point sweep engines build on.
+pub fn try_run_simulated_with<R, F>(
+    machine: &Machine,
+    config: &SimConfig,
+    program: F,
+) -> Result<RunOutput<R>, SimError>
+where
+    R: Send,
+    F: AsyncFn(&mut SimComm) -> R + Sync,
+{
     let program = &program;
-    let out = simulate_with(machine, config, move |ctx| async move {
+    let out = try_simulate_with(machine, config, move |ctx| async move {
         let mut comm = SimComm::new(ctx);
         let r = program(&mut comm).await;
         (r, comm.stats)
-    });
+    })?;
     let (results, mut stats): (Vec<R>, Vec<CommStats>) = out.results.into_iter().unzip();
     // Fold the kernel's fault counters into the per-rank stats so
     // algorithms and reports see one coherent CommStats per rank.
@@ -169,7 +190,7 @@ where
         st.rerouted_hops = fs.rerouted_hops;
         st.detour_ns = fs.detour_ns;
     }
-    RunOutput {
+    Ok(RunOutput {
         results,
         stats,
         finish_ns: out.finish_ns,
@@ -177,7 +198,7 @@ where
         contention_events: out.contention_events,
         contention_ns: out.contention_ns,
         trace: out.trace,
-    }
+    })
 }
 
 #[cfg(test)]

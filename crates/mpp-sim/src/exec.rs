@@ -30,16 +30,19 @@
 
 use std::cell::RefCell;
 use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::task::Poll;
 
 use mpp_model::Machine;
 use mpp_model::Time;
 
+use crate::error::{panic_message, SimError};
 use crate::kernel::{DeadlockInfo, Envelope, KernelCore, RankCtx, SimConfig, SimOutcome};
 use crate::payload::Payload;
 use crate::sched::ReadyQueue;
 use crate::slab::{RankSlab, SlabHandle};
+use crate::supervise::{Watchdog, WatchdogTrip};
 use crate::Tag;
 
 /// Per-rank shared state between a rank program's [`RankCtx`] and the
@@ -109,18 +112,28 @@ enum Phase {
 
 /// Poll `rank`'s state machine once, in place in the slab; on completion
 /// stash the result and queue the terminal `Finished` op at the rank's
-/// current clock.
+/// current clock. A panicking rank program is caught here and surfaced
+/// as [`SimError::RankPanic`] — the half-run slab (and every other
+/// rank's state machine in it) is dropped in place by the caller.
 fn poll_rank<R, Fut: Future<Output = R>>(
     rank: usize,
     slab: &mut RankSlab<Fut>,
     results: &mut [Option<R>],
     cells: &[Rc<RefCell<CoopCell>>],
-) {
-    if let Some(Poll::Ready(r)) = slab.poll(rank) {
-        results[rank] = Some(r);
-        let mut cell = cells[rank].borrow_mut();
-        let eff = cell.clock;
-        cell.ops.push_back(CoopOp::Finished { eff });
+) -> Result<(), SimError> {
+    match catch_unwind(AssertUnwindSafe(|| slab.poll(rank))) {
+        Ok(Some(Poll::Ready(r))) => {
+            results[rank] = Some(r);
+            let mut cell = cells[rank].borrow_mut();
+            let eff = cell.clock;
+            cell.ops.push_back(CoopOp::Finished { eff });
+            Ok(())
+        }
+        Ok(_) => Ok(()),
+        Err(payload) => Err(SimError::RankPanic {
+            rank,
+            message: panic_message(&*payload),
+        }),
     }
 }
 
@@ -199,13 +212,15 @@ fn wake_recv(
     }
 }
 
-fn abort_deadlock_coop(
-    machine: &Machine,
+/// Per-rank one-line state descriptions for deadlock/watchdog dumps;
+/// ranks sitting in `recv` are also recorded into the schedule log as
+/// `Blocked` events so the analyzer sees the wait-for structure.
+fn describe_ranks(
     core: &mut KernelCore,
     cells: &[Rc<RefCell<CoopCell>>],
     phases: &[Phase],
-) -> ! {
-    let mut info = DeadlockInfo { states: Vec::new() };
+) -> Vec<String> {
+    let mut states = Vec::with_capacity(phases.len());
     for (rank, phase) in phases.iter().enumerate() {
         let cell = cells[rank].borrow();
         let what = match phase {
@@ -224,24 +239,36 @@ fn abort_deadlock_coop(
             Phase::InBarrier => "waiting in barrier".to_string(),
             Phase::Ready => "runnable?".to_string(),
         };
-        info.states
-            .push(format!("rank {rank} @ {}ns: {what}", cell.clock));
+        states.push(format!("rank {rank} @ {}ns: {what}", cell.clock));
     }
-    core.flush_recording(true);
-    panic!("simulation deadlock on {}: {:#?}", machine.name, info);
+    states
 }
 
-fn abort_strict(core: &mut KernelCore, msg: String) -> ! {
-    core.flush_recording(false);
-    panic!("{msg}");
+/// Translate a watchdog trip into the corresponding [`SimError`],
+/// attaching the per-rank dump where the variant carries one.
+fn trip_error(
+    trip: WatchdogTrip,
+    core: &mut KernelCore,
+    cells: &[Rc<RefCell<CoopCell>>],
+    phases: &[Phase],
+) -> SimError {
+    match trip {
+        WatchdogTrip::Budget(events, virtual_ns) => SimError::WatchdogTripped {
+            events,
+            virtual_ns,
+            states: describe_ranks(core, cells, phases),
+        },
+        WatchdogTrip::Wall(wall_ms) => SimError::DeadlineExceeded { wall_ms },
+        WatchdogTrip::Cancelled => SimError::Cancelled,
+    }
 }
 
 /// Run every rank of `machine` under the cooperative executor.
-pub(crate) fn simulate_coop<R, F, Fut>(
+pub(crate) fn try_simulate_coop<R, F, Fut>(
     machine: &Machine,
     config: &SimConfig,
     program: &F,
-) -> SimOutcome<R>
+) -> Result<SimOutcome<R>, SimError>
 where
     R: Send,
     F: Fn(RankCtx) -> Fut + Sync,
@@ -290,134 +317,54 @@ where
     let mut in_barrier = 0usize;
     let mut live = p;
     let mut finish_ns = vec![0; p];
+    let mut watchdog = Watchdog::for_run(&config.budget, &config.cancel);
 
-    // Run every rank up to its first suspension point, then classify.
-    for rank in 0..p {
-        poll_rank(rank, &mut slab, &mut results, &cells);
-    }
-    for rank in 0..p {
-        settle_head(
-            rank,
-            &cells,
-            &mut phases,
-            &mut ready,
-            &mut in_barrier,
-            &core,
-        );
-    }
-
-    while live > 0 {
-        // Barrier release: every live rank is suspended at a barrier.
-        if in_barrier == live {
-            let t_max = phases
-                .iter()
-                .enumerate()
-                .filter(|(_, ph)| **ph == Phase::InBarrier)
-                .map(|(rank, _)| cells[rank].borrow().clock)
-                .max()
-                .expect("barrier with no participants");
-            let t_rel = core.barrier_release_time(t_max, live);
-            let released: Vec<usize> = (0..p).filter(|&r| phases[r] == Phase::InBarrier).collect();
-            in_barrier = 0;
-            for &rank in &released {
-                let mut cell = cells[rank].borrow_mut();
-                match cell.ops.pop_front() {
-                    Some(CoopOp::BarrierWait) => {}
-                    _ => unreachable!("in-barrier rank without BarrierWait at queue head"),
-                }
-                cell.clock = t_rel;
-                cell.grant = Some(CoopGrant::Done);
-            }
-            for &rank in &released {
-                poll_rank(rank, &mut slab, &mut results, &cells);
-            }
-            for &rank in &released {
-                settle_head(
-                    rank,
-                    &cells,
-                    &mut phases,
-                    &mut ready,
-                    &mut in_barrier,
-                    &core,
-                );
-            }
-            continue;
+    // The scheduling loop proper; every abnormal exit bubbles out as
+    // `Err` for the teardown below (flush the recorder, drop the slab
+    // with every unfinished state machine in place).
+    let mut run_loop = || -> Result<(), SimError> {
+        // Run every rank up to its first suspension point, then classify.
+        for rank in 0..p {
+            poll_rank(rank, &mut slab, &mut results, &cells)?;
+        }
+        for rank in 0..p {
+            settle_head(
+                rank,
+                &cells,
+                &mut phases,
+                &mut ready,
+                &mut in_barrier,
+                &core,
+            );
         }
 
-        let Some((_, rank)) = ready.pop() else {
-            abort_deadlock_coop(machine, &mut core, &cells, &phases);
-        };
-
-        let op = cells[rank]
-            .borrow_mut()
-            .ops
-            .pop_front()
-            .expect("ready rank with empty op queue");
-        match op {
-            CoopOp::Send {
-                dst,
-                tag,
-                data,
-                eff,
-            } => {
-                core.process_send(rank, dst, tag, data, eff);
-                settle_head(
-                    rank,
-                    &cells,
-                    &mut phases,
-                    &mut ready,
-                    &mut in_barrier,
-                    &core,
-                );
-                wake_recv(dst, &cells, &mut phases, &mut ready, &core);
-            }
-            CoopOp::IterMark { .. } => {
-                core.process_iter_mark(rank);
-                settle_head(
-                    rank,
-                    &cells,
-                    &mut phases,
-                    &mut ready,
-                    &mut in_barrier,
-                    &core,
-                );
-            }
-            CoopOp::RecvWait { src, tag, deadline } => {
-                let clock = cells[rank].borrow().clock;
-                // Deliver iff a match can complete by the deadline
-                // (same pop-time rule as the threaded kernel).
-                let deliverable = core
-                    .peek_mailbox(rank, src, tag)
-                    .map(|arrival| clock.max(arrival))
-                    .is_some_and(|e| deadline.is_none_or(|d| e <= d));
-                if deliverable {
-                    match core.process_recv(rank, src, tag, clock) {
-                        Ok((env, new_clock)) => {
-                            {
-                                let mut cell = cells[rank].borrow_mut();
-                                cell.clock = new_clock;
-                                cell.grant = Some(CoopGrant::Received(env));
-                            }
-                            poll_rank(rank, &mut slab, &mut results, &cells);
-                            settle_head(
-                                rank,
-                                &cells,
-                                &mut phases,
-                                &mut ready,
-                                &mut in_barrier,
-                                &core,
-                            );
-                        }
-                        Err(msg) => abort_strict(&mut core, msg),
+        while live > 0 {
+            // Barrier release: every live rank is suspended at a barrier.
+            if in_barrier == live {
+                let t_max = phases
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ph)| **ph == Phase::InBarrier)
+                    .map(|(rank, _)| cells[rank].borrow().clock)
+                    .max()
+                    .expect("barrier with no participants");
+                let t_rel = core.barrier_release_time(t_max, live);
+                let released: Vec<usize> =
+                    (0..p).filter(|&r| phases[r] == Phase::InBarrier).collect();
+                in_barrier = 0;
+                for &rank in &released {
+                    let mut cell = cells[rank].borrow_mut();
+                    match cell.ops.pop_front() {
+                        Some(CoopOp::BarrierWait) => {}
+                        _ => unreachable!("in-barrier rank without BarrierWait at queue head"),
                     }
-                } else {
-                    let d = deadline.expect("scheduled recv without match or deadline");
-                    {
-                        let mut cell = cells[rank].borrow_mut();
-                        cell.clock = d + core.alpha_recv;
-                        cell.grant = Some(CoopGrant::TimedOut);
-                    }
-                    poll_rank(rank, &mut slab, &mut results, &cells);
+                    cell.clock = t_rel;
+                    cell.grant = Some(CoopGrant::Done);
+                }
+                for &rank in &released {
+                    poll_rank(rank, &mut slab, &mut results, &cells)?;
+                }
+                for &rank in &released {
                     settle_head(
                         rank,
                         &cells,
@@ -427,25 +374,128 @@ where
                         &core,
                     );
                 }
+                continue;
             }
-            CoopOp::BarrierWait => {
-                unreachable!("BarrierWait scheduled through the ready queue")
-            }
-            CoopOp::Finished { eff } => {
-                // The Finished op is only ever queued after the slab
-                // vacates the rank's machine, bumping its generation.
-                debug_assert!(
-                    !slab.is_current(handles[rank]),
-                    "Finished op for a still-live rank machine"
-                );
-                if let Err(msg) = core.process_finish(rank) {
-                    abort_strict(&mut core, msg);
+
+            let Some((eff, rank)) = ready.pop() else {
+                let info = DeadlockInfo {
+                    states: describe_ranks(&mut core, &cells, &phases),
+                };
+                return Err(SimError::Deadlock {
+                    machine: machine.name.to_string(),
+                    info,
+                });
+            };
+
+            if let Some(wd) = watchdog.as_mut() {
+                if let Err(trip) = wd.check(core.events_processed(), eff) {
+                    return Err(trip_error(trip, &mut core, &cells, &phases));
                 }
-                phases[rank] = Phase::Done;
-                finish_ns[rank] = eff;
-                live -= 1;
+            }
+
+            let op = cells[rank]
+                .borrow_mut()
+                .ops
+                .pop_front()
+                .expect("ready rank with empty op queue");
+            match op {
+                CoopOp::Send {
+                    dst,
+                    tag,
+                    data,
+                    eff,
+                } => {
+                    core.process_send(rank, dst, tag, data, eff);
+                    settle_head(
+                        rank,
+                        &cells,
+                        &mut phases,
+                        &mut ready,
+                        &mut in_barrier,
+                        &core,
+                    );
+                    wake_recv(dst, &cells, &mut phases, &mut ready, &core);
+                }
+                CoopOp::IterMark { .. } => {
+                    core.process_iter_mark(rank);
+                    settle_head(
+                        rank,
+                        &cells,
+                        &mut phases,
+                        &mut ready,
+                        &mut in_barrier,
+                        &core,
+                    );
+                }
+                CoopOp::RecvWait { src, tag, deadline } => {
+                    let clock = cells[rank].borrow().clock;
+                    // Deliver iff a match can complete by the deadline
+                    // (same pop-time rule as the threaded kernel).
+                    let deliverable = core
+                        .peek_mailbox(rank, src, tag)
+                        .map(|arrival| clock.max(arrival))
+                        .is_some_and(|e| deadline.is_none_or(|d| e <= d));
+                    if deliverable {
+                        let (env, new_clock) = core
+                            .process_recv(rank, src, tag, clock)
+                            .map_err(SimError::StrictViolation)?;
+                        {
+                            let mut cell = cells[rank].borrow_mut();
+                            cell.clock = new_clock;
+                            cell.grant = Some(CoopGrant::Received(env));
+                        }
+                        poll_rank(rank, &mut slab, &mut results, &cells)?;
+                        settle_head(
+                            rank,
+                            &cells,
+                            &mut phases,
+                            &mut ready,
+                            &mut in_barrier,
+                            &core,
+                        );
+                    } else {
+                        let d = deadline.expect("scheduled recv without match or deadline");
+                        core.note_timeout();
+                        {
+                            let mut cell = cells[rank].borrow_mut();
+                            cell.clock = d + core.alpha_recv;
+                            cell.grant = Some(CoopGrant::TimedOut);
+                        }
+                        poll_rank(rank, &mut slab, &mut results, &cells)?;
+                        settle_head(
+                            rank,
+                            &cells,
+                            &mut phases,
+                            &mut ready,
+                            &mut in_barrier,
+                            &core,
+                        );
+                    }
+                }
+                CoopOp::BarrierWait => {
+                    unreachable!("BarrierWait scheduled through the ready queue")
+                }
+                CoopOp::Finished { eff } => {
+                    // The Finished op is only ever queued after the slab
+                    // vacates the rank's machine, bumping its generation.
+                    debug_assert!(
+                        !slab.is_current(handles[rank]),
+                        "Finished op for a still-live rank machine"
+                    );
+                    core.process_finish(rank)
+                        .map_err(SimError::StrictViolation)?;
+                    phases[rank] = Phase::Done;
+                    finish_ns[rank] = eff;
+                    live -= 1;
+                }
             }
         }
+        Ok(())
+    };
+
+    if let Err(e) = run_loop() {
+        core.flush_recording(matches!(e, SimError::Deadlock { .. }));
+        return Err(e);
     }
 
     debug_assert_eq!(
@@ -463,7 +513,7 @@ where
         .map(|(rank, r)| r.unwrap_or_else(|| panic!("rank {rank} produced no result")))
         .collect();
     let makespan_ns = finish_ns.iter().copied().max().unwrap_or(0);
-    SimOutcome {
+    Ok(SimOutcome {
         results,
         finish_ns,
         makespan_ns,
@@ -471,5 +521,5 @@ where
         contention_ns,
         trace,
         fault_stats,
-    }
+    })
 }

@@ -18,19 +18,22 @@
 
 use std::cell::RefCell;
 use std::future::Future;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::task::{Context, Poll, Waker};
 
 use mpp_model::{FaultPlan, LibraryKind, Machine, MachineParams, Time};
 
-use crate::exec::{simulate_coop, CoopCell, CoopGrant, CoopOp};
+use crate::error::{panic_message, KernelGone, SimError};
+use crate::exec::{try_simulate_coop, CoopCell, CoopGrant, CoopOp};
 use crate::mailbox::{Mailbox, MsgRec};
 use crate::network::NetworkState;
 use crate::payload::Payload;
 use crate::record::{ScheduleEvent, ScheduleLog};
+use crate::supervise::{CancelToken, SimBudget, Watchdog, WatchdogTrip};
 use crate::trace::MsgTrace;
 use crate::Tag;
 
@@ -112,6 +115,14 @@ pub struct SimConfig {
     /// crashes, retransmission policy). `None` — or an inert plan — is
     /// the perfect network.
     pub faults: Option<FaultPlan>,
+    /// Watchdog ceilings converting livelocks into
+    /// [`SimError::WatchdogTripped`] / [`SimError::DeadlineExceeded`]
+    /// instead of unbounded spins. Defaults to [`SimBudget::from_env`]
+    /// (unlimited unless `STP_WATCHDOG_EVENTS` is set).
+    pub budget: SimBudget,
+    /// Cooperative cancellation: when the token is cancelled, the run
+    /// exits with [`SimError::Cancelled`] at its next scheduling step.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SimConfig {
@@ -124,6 +135,8 @@ impl Default for SimConfig {
             strict: false,
             exec: ExecMode::from_env(),
             faults: None,
+            budget: SimBudget::from_env(),
+            cancel: None,
         }
     }
 }
@@ -275,10 +288,18 @@ impl RankCtx {
         else {
             unreachable!("channel trap on the cooperative link")
         };
-        to_kernel.send(trap).expect("simulation kernel terminated");
-        let grant = from_kernel
-            .recv()
-            .expect("simulation kernel terminated (deadlock or rank panic elsewhere)");
+        // A closed channel means the kernel already aborted on some other
+        // failure (deadlock, another rank's panic, a tripped watchdog).
+        // Unwind with the quiet sentinel — `resume_unwind` skips the
+        // panic hook — so this rank exits without a spurious secondary
+        // report; its `catch_unwind` swallows the sentinel.
+        if to_kernel.send(trap).is_err() {
+            resume_unwind(Box::new(KernelGone));
+        }
+        let grant = match from_kernel.recv() {
+            Ok(g) => g,
+            Err(_) => resume_unwind(Box::new(KernelGone)),
+        };
         self.clock = match &grant {
             Grant::Sent { clock }
             | Grant::Done { clock }
@@ -624,21 +645,59 @@ where
 ///
 /// # Panics
 ///
-/// Panics with a [`DeadlockInfo`] dump if every live rank is blocked in
-/// `recv` with no matching message in flight, or if a rank program panics.
+/// This is the thin panicking shim over [`try_simulate_with`] for
+/// callers who treat any [`SimError`] as fatal: it panics with the
+/// error's `Display` form (a [`DeadlockInfo`] dump on deadlock, the
+/// captured panic message on a rank panic, and so on). Library code
+/// that must survive bad runs calls [`try_simulate_with`] instead.
 pub fn simulate_with<R, F, Fut>(machine: &Machine, config: &SimConfig, program: F) -> SimOutcome<R>
 where
     R: Send,
     F: Fn(RankCtx) -> Fut + Sync,
     Fut: Future<Output = R>,
 {
+    try_simulate_with(machine, config, program).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run `program` on every rank of `machine` with default config,
+/// surfacing abnormal terminations as [`SimError`] instead of panicking.
+pub fn try_simulate<R, F, Fut>(machine: &Machine, program: F) -> Result<SimOutcome<R>, SimError>
+where
+    R: Send,
+    F: Fn(RankCtx) -> Fut + Sync,
+    Fut: Future<Output = R>,
+{
+    try_simulate_with(machine, &SimConfig::default(), program)
+}
+
+/// Run `program` on every rank of `machine` under the given config.
+///
+/// Abnormal terminations — deadlock, a panicking rank program, watchdog
+/// budget trips, wall-clock deadlines, cancellation, strict-check
+/// violations — return `Err(SimError)` with the kernel shut down
+/// cleanly (all rank threads joined, the schedule recorder flushed).
+/// The process never aborts through this entry point.
+pub fn try_simulate_with<R, F, Fut>(
+    machine: &Machine,
+    config: &SimConfig,
+    program: F,
+) -> Result<SimOutcome<R>, SimError>
+where
+    R: Send,
+    F: Fn(RankCtx) -> Fut + Sync,
+    Fut: Future<Output = R>,
+{
     match config.exec {
-        ExecMode::Cooperative => simulate_coop(machine, config, &program),
-        ExecMode::Threaded => simulate_threaded(machine, config, &program),
+        ExecMode::Cooperative => try_simulate_coop(machine, config, &program),
+        ExecMode::Threaded => try_simulate_threaded(machine, config, &program),
     }
 }
 
-fn simulate_threaded<R, F, Fut>(machine: &Machine, config: &SimConfig, program: &F) -> SimOutcome<R>
+fn try_simulate_threaded<R, F, Fut>(
+    machine: &Machine,
+    config: &SimConfig,
+    program: &F,
+) -> Result<SimOutcome<R>, SimError>
 where
     R: Send,
     F: Fn(RankCtx) -> Fut + Sync,
@@ -648,6 +707,11 @@ where
     assert!(p > 0);
 
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
+    // One slot per rank for the captured panic message of a rank program
+    // that died. A rank writes its slot *before* dropping its trap
+    // sender, so by the time the kernel observes the channel disconnect
+    // the message is there to read.
+    let panic_slots: Vec<Mutex<Option<String>>> = (0..p).map(|_| Mutex::new(None)).collect();
     let mut finish_ns = vec![0; p];
     let (contention_events, contention_ns);
     let trace;
@@ -667,6 +731,7 @@ where
         }
 
         let results = &results;
+        let panic_slots = &panic_slots;
         let kernel_out = std::thread::scope(|scope| {
             for end in rank_ends.iter_mut() {
                 let (rank, trap_tx, grant_rx) = end.take().unwrap();
@@ -687,32 +752,55 @@ where
                                 from_kernel: grant_rx,
                             },
                         };
-                        let out = block_on_ready(program(ctx));
-                        results.lock().unwrap()[rank] = Some(out);
-                        // Ignore send failure: the kernel may already have
-                        // aborted on another rank's panic.
-                        let _ = finish_tx.send(Trap::Finished);
+                        match catch_unwind(AssertUnwindSafe(|| block_on_ready(program(ctx)))) {
+                            Ok(out) => {
+                                results.lock().unwrap_or_else(PoisonError::into_inner)[rank] =
+                                    Some(out);
+                                // Ignore send failure: the kernel may
+                                // already have aborted on another rank.
+                                let _ = finish_tx.send(Trap::Finished);
+                            }
+                            Err(payload) => {
+                                // A KernelGone sentinel means the kernel
+                                // aborted first and this rank is merely
+                                // being torn down — not a rank failure.
+                                if !payload.is::<KernelGone>() {
+                                    *panic_slots[rank]
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner) =
+                                        Some(panic_message(&*payload));
+                                }
+                                // `finish_tx` (the last trap sender; the
+                                // future holding `ctx` dropped during the
+                                // unwind) drops here, after the slot
+                                // write, disconnecting the kernel.
+                            }
+                        }
                     })
                     .expect("failed to spawn rank thread");
             }
 
-            run_kernel(machine, config, &trap_rxs, &mut grant_txs, &mut finish_ns)
+            run_kernel(
+                machine,
+                config,
+                &trap_rxs,
+                &mut grant_txs,
+                &mut finish_ns,
+                panic_slots,
+            )
         });
-        contention_events = kernel_out.0;
-        contention_ns = kernel_out.1;
-        trace = kernel_out.2;
-        fault_stats = kernel_out.3;
+        (contention_events, contention_ns, trace, fault_stats) = kernel_out?;
     }
 
     let results: Vec<R> = results
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .enumerate()
         .map(|(rank, r)| r.unwrap_or_else(|| panic!("rank {rank} produced no result")))
         .collect();
     let makespan_ns = finish_ns.iter().copied().max().unwrap_or(0);
-    SimOutcome {
+    Ok(SimOutcome {
         results,
         finish_ns,
         makespan_ns,
@@ -720,7 +808,7 @@ where
         contention_ns,
         trace,
         fault_stats,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -754,6 +842,11 @@ pub(crate) struct KernelCore<'m> {
     /// fault-free fast path stays branch-one-deep.
     faults: Option<FaultPlan>,
     fault_stats: Vec<FaultStats>,
+    /// Kernel events processed (sends, receive matches, timeout
+    /// expiries, iteration marks, finishes) — the progress measure the
+    /// watchdog's event budget is charged against. Identical across
+    /// executors because both route these through `KernelCore`.
+    events_processed: u64,
 }
 
 impl<'m> KernelCore<'m> {
@@ -779,7 +872,20 @@ impl<'m> KernelCore<'m> {
             route_buf: Vec::new(),
             faults: config.faults.clone().filter(|plan| !plan.is_inert()),
             fault_stats: vec![FaultStats::default(); p],
+            events_processed: 0,
         }
+    }
+
+    /// Kernel events processed so far (the watchdog's progress measure).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Charge one event for a timeout expiry (which bypasses the
+    /// `process_*` methods) so pure retry livelocks still make watchdog
+    /// progress.
+    pub fn note_timeout(&mut self) {
+        self.events_processed += 1;
     }
 
     /// Earliest arrival among `rank`'s mailbox messages matching the
@@ -802,6 +908,7 @@ impl<'m> KernelCore<'m> {
         data: Payload,
         clock_at_issue: Time,
     ) -> Time {
+        self.events_processed += 1;
         let ready = clock_at_issue + self.alpha_send;
         let bytes = data.len();
         let wire_ns = self.machine.params.serialize_ns_lib(bytes, self.lib);
@@ -952,6 +1059,7 @@ impl<'m> KernelCore<'m> {
         tag: Option<Tag>,
         clock: Time,
     ) -> Result<(Envelope, Time), String> {
+        self.events_processed += 1;
         let rec = self.mailboxes[rank]
             .take_match(src, tag)
             .expect("selected recv without match");
@@ -996,6 +1104,7 @@ impl<'m> KernelCore<'m> {
     }
 
     pub fn process_iter_mark(&mut self, rank: usize) {
+        self.events_processed += 1;
         self.steps[rank] += 1;
         if self.recording {
             self.events.push(ScheduleEvent::IterEnd { rank });
@@ -1005,6 +1114,7 @@ impl<'m> KernelCore<'m> {
     /// Process a rank's termination; `Err` carries the strict leftover
     /// diagnostic.
     pub fn process_finish(&mut self, rank: usize) -> Result<(), String> {
+        self.events_processed += 1;
         let leftover = self.mailboxes[rank].len();
         if self.recording {
             self.events.push(ScheduleEvent::Finished { rank, leftover });
@@ -1102,23 +1212,26 @@ fn eff_of(core: &KernelCore, rank: usize, st: &RankState) -> Option<Time> {
 }
 
 /// Grant `rank`'s pending (non-barrier) trap and pull its next one.
+/// `Err` is an abnormal termination (strict violation or rank panic);
+/// [`run_kernel`] owns the cleanup.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_trap(
     core: &mut KernelCore,
     states: &mut [RankState],
     trap_rxs: &[Receiver<Trap>],
     grant_txs: &mut [Option<Sender<Grant>>],
+    panic_slots: &[Mutex<Option<String>>],
     finish_ns: &mut [Time],
     live: &mut usize,
     rank: usize,
-) {
+) -> Result<(), SimError> {
     let trap = states[rank].pending.take().unwrap();
     match trap {
         Trap::Send { dst, tag, data } => {
             let ready = core.process_send(rank, dst, tag, data, states[rank].clock);
             states[rank].clock = ready;
             send_grant(grant_txs, rank, Grant::Sent { clock: ready });
-            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+            states[rank].pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
         }
         Trap::Recv { src, tag, deadline } => {
             // Deliver iff a match can complete by the deadline;
@@ -1128,65 +1241,110 @@ fn dispatch_trap(
                 .map(|a| states[rank].clock.max(a))
                 .is_some_and(|e| deadline.is_none_or(|d| e <= d));
             if deliverable {
-                match core.process_recv(rank, src, tag, states[rank].clock) {
-                    Ok((env, clock)) => {
-                        states[rank].clock = clock;
-                        send_grant(grant_txs, rank, Grant::Received { env, clock });
-                        states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
-                    }
-                    Err(msg) => abort_kernel(core, grant_txs, false, msg),
-                }
+                let (env, clock) = core
+                    .process_recv(rank, src, tag, states[rank].clock)
+                    .map_err(SimError::StrictViolation)?;
+                states[rank].clock = clock;
+                send_grant(grant_txs, rank, Grant::Received { env, clock });
+                states[rank].pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
             } else {
                 let d = deadline.expect("scheduled recv without match or deadline");
+                core.note_timeout();
                 let clock = d + core.alpha_recv;
                 states[rank].clock = clock;
                 send_grant(grant_txs, rank, Grant::TimedOut { clock });
-                states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+                states[rank].pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
             }
         }
         Trap::ComputeNs { ns } => {
             states[rank].clock += ns;
             let clock = states[rank].clock;
             send_grant(grant_txs, rank, Grant::Done { clock });
-            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+            states[rank].pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
         }
         Trap::Memcpy { bytes } => {
             states[rank].clock += core.memcpy_ns(bytes);
             let clock = states[rank].clock;
             send_grant(grant_txs, rank, Grant::Done { clock });
-            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+            states[rank].pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
         }
         Trap::Barrier => unreachable!("barrier traps handled by the classification pass"),
         Trap::IterMark => {
             core.process_iter_mark(rank);
             let clock = states[rank].clock;
             send_grant(grant_txs, rank, Grant::Done { clock });
-            states[rank].pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+            states[rank].pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
         }
         Trap::Finished => {
-            if let Err(msg) = core.process_finish(rank) {
-                abort_kernel(core, grant_txs, false, msg);
-            }
+            core.process_finish(rank)
+                .map_err(SimError::StrictViolation)?;
             states[rank].done = true;
             finish_ns[rank] = states[rank].clock;
             grant_txs[rank] = None;
             *live -= 1;
         }
     }
+    Ok(())
 }
 
 /// The threaded kernel proper. Runs on the calling thread while rank
 /// threads wait. Returns
-/// `(contention_events, contention_ns, trace, fault_stats)`.
+/// `(contention_events, contention_ns, trace, fault_stats)`, or the
+/// `SimError` describing an abnormal termination — in which case every
+/// grant sender has been dropped, so blocked rank threads unwind with
+/// the quiet `KernelGone` sentinel and the enclosing `thread::scope`
+/// joins them before the error propagates.
 fn run_kernel(
     machine: &Machine,
     config: &SimConfig,
     trap_rxs: &[Receiver<Trap>],
     grant_txs: &mut [Option<Sender<Grant>>],
     finish_ns: &mut [Time],
-) -> (u64, Time, Vec<MsgTrace>, Vec<FaultStats>) {
-    let p = machine.p();
+    panic_slots: &[Mutex<Option<String>>],
+) -> Result<(u64, Time, Vec<MsgTrace>, Vec<FaultStats>), SimError> {
     let mut core = KernelCore::new(machine, config);
+    match kernel_loop(
+        machine,
+        config,
+        &mut core,
+        trap_rxs,
+        grant_txs,
+        finish_ns,
+        panic_slots,
+    ) {
+        Ok(()) => {
+            core.flush_recording(false);
+            let (contention_events, contention_ns) = core.contention();
+            Ok((
+                contention_events,
+                contention_ns,
+                core.take_trace(),
+                core.take_fault_stats(),
+            ))
+        }
+        Err(e) => {
+            core.flush_recording(matches!(e, SimError::Deadlock { .. }));
+            for tx in grant_txs.iter_mut() {
+                *tx = None;
+            }
+            Err(e)
+        }
+    }
+}
+
+/// The scheduling loop of the threaded kernel; every abnormal exit
+/// bubbles out as `Err` for [`run_kernel`] to clean up after.
+#[allow(clippy::too_many_arguments)]
+fn kernel_loop(
+    machine: &Machine,
+    config: &SimConfig,
+    core: &mut KernelCore,
+    trap_rxs: &[Receiver<Trap>],
+    grant_txs: &mut [Option<Sender<Grant>>],
+    finish_ns: &mut [Time],
+    panic_slots: &[Mutex<Option<String>>],
+) -> Result<(), SimError> {
+    let p = machine.p();
     let mut states: Vec<RankState> = (0..p)
         .map(|_| RankState {
             clock: 0,
@@ -1196,11 +1354,12 @@ fn run_kernel(
         })
         .collect();
     let mut live = p;
+    let mut watchdog = Watchdog::for_run(&config.budget, &config.cancel);
 
     // Collect the initial trap from every rank (threads run concurrently
     // up to their first communication call — zero virtual time).
     for (rank, st) in states.iter_mut().enumerate() {
-        st.pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+        st.pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
     }
 
     while live > 0 {
@@ -1232,7 +1391,7 @@ fn run_kernel(
             }
             for (rank, st) in states.iter_mut().enumerate() {
                 if !st.done {
-                    st.pending = Some(recv_trap(trap_rxs, grant_txs, rank));
+                    st.pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
                 }
             }
             continue;
@@ -1244,7 +1403,7 @@ fn run_kernel(
             if st.done || st.in_barrier {
                 continue;
             }
-            let Some(eff) = eff_of(&core, rank, st) else {
+            let Some(eff) = eff_of(core, rank, st) else {
                 continue; // blocked recv (or a barrier not yet classified)
             };
             if best.is_none_or(|(bt, br)| (eff, rank) < (bt, br)) {
@@ -1253,8 +1412,20 @@ fn run_kernel(
         }
 
         let Some((t, first)) = best else {
-            abort_deadlock(machine, &mut core, &states, grant_txs);
+            let info = DeadlockInfo {
+                states: describe_ranks(core, &states),
+            };
+            return Err(SimError::Deadlock {
+                machine: machine.name.to_string(),
+                info,
+            });
         };
+
+        if let Some(wd) = watchdog.as_mut() {
+            if let Err(trip) = wd.check(core.events_processed(), t) {
+                return Err(trip_error(trip, core, &states));
+            }
+        }
 
         if core.alpha_send > 0 {
             // Batched same-tick grant pass: every rank whose effective
@@ -1273,19 +1444,20 @@ fn run_kernel(
                     if st.done || st.in_barrier {
                         break;
                     }
-                    match eff_of(&core, rank, st) {
+                    match eff_of(core, rank, st) {
                         Some(eff) if eff == t => {}
                         _ => break,
                     }
                     dispatch_trap(
-                        &mut core,
+                        core,
                         &mut states,
                         trap_rxs,
                         grant_txs,
+                        panic_slots,
                         finish_ns,
                         &mut live,
                         rank,
-                    );
+                    )?;
                 }
             }
         } else {
@@ -1293,73 +1465,56 @@ fn run_kernel(
             // instant and re-ready an already-visited rank at `t`, so
             // grant strictly one trap per scan.
             dispatch_trap(
-                &mut core,
+                core,
                 &mut states,
                 trap_rxs,
                 grant_txs,
+                panic_slots,
                 finish_ns,
                 &mut live,
                 first,
-            );
+            )?;
         }
     }
 
-    core.flush_recording(false);
-    let (contention_events, contention_ns) = core.contention();
-    let trace = core.take_trace();
-    let fault_stats = core.take_fault_stats();
-    (contention_events, contention_ns, trace, fault_stats)
+    Ok(())
 }
 
-/// Abort the simulation on a strict-check violation: flush the schedule
-/// log, release every rank thread so `thread::scope` can join, then
-/// propagate the diagnostic as a panic.
-fn abort_kernel(
-    core: &mut KernelCore,
-    grant_txs: &mut [Option<Sender<Grant>>],
-    deadlocked: bool,
-    msg: String,
-) -> ! {
-    core.flush_recording(deadlocked);
-    for tx in grant_txs.iter_mut() {
-        *tx = None;
-    }
-    panic!("{msg}");
-}
-
+/// Pull `rank`'s next trap; a disconnected trap channel means the rank
+/// thread panicked (it writes its panic message to `panic_slots[rank]`
+/// before dropping the last sender).
 fn recv_trap(
     trap_rxs: &[Receiver<Trap>],
-    grant_txs: &mut [Option<Sender<Grant>>],
+    panic_slots: &[Mutex<Option<String>>],
     rank: usize,
-) -> Trap {
+) -> Result<Trap, SimError> {
     match trap_rxs[rank].recv() {
-        Ok(t) => t,
+        Ok(t) => Ok(t),
         Err(_) => {
-            // The rank thread died without sending Finished — it panicked.
-            // Release everyone so thread::scope can join, then propagate.
-            for tx in grant_txs.iter_mut() {
-                *tx = None;
-            }
-            panic!("rank {rank} terminated abnormally (panicked inside the simulated program)");
+            let message = panic_slots[rank]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .unwrap_or_else(|| "<rank thread exited without a panic message>".to_string());
+            Err(SimError::RankPanic { rank, message })
         }
     }
 }
 
 fn send_grant(grant_txs: &[Option<Sender<Grant>>], rank: usize, grant: Grant) {
-    grant_txs[rank]
-        .as_ref()
-        .expect("grant channel already closed")
-        .send(grant)
-        .expect("rank thread disappeared");
+    // A failed send means the rank thread died between trapping and
+    // receiving its grant; the death is diagnosed by the next
+    // `recv_trap` on the rank's closed trap channel.
+    if let Some(tx) = grant_txs[rank].as_ref() {
+        let _ = tx.send(grant);
+    }
 }
 
-fn abort_deadlock(
-    machine: &Machine,
-    core: &mut KernelCore,
-    states: &[RankState],
-    grant_txs: &mut [Option<Sender<Grant>>],
-) -> ! {
-    let mut info = DeadlockInfo { states: Vec::new() };
+/// Per-rank one-line state descriptions for deadlock/watchdog dumps;
+/// ranks sitting in `recv` are also recorded into the schedule log as
+/// `Blocked` events so the analyzer sees the wait-for structure.
+fn describe_ranks(core: &mut KernelCore, states: &[RankState]) -> Vec<String> {
+    let mut out = Vec::with_capacity(states.len());
     for (rank, st) in states.iter().enumerate() {
         let what = if st.done {
             "done".to_string()
@@ -1376,11 +1531,23 @@ fn abort_deadlock(
                 _ => "runnable?".to_string(),
             }
         };
-        info.states
-            .push(format!("rank {rank} @ {}ns: {what}", st.clock));
+        out.push(format!("rank {rank} @ {}ns: {what}", st.clock));
     }
-    let msg = format!("simulation deadlock on {}: {:#?}", machine.name, info);
-    abort_kernel(core, grant_txs, true, msg);
+    out
+}
+
+/// Translate a watchdog trip into the corresponding [`SimError`],
+/// attaching the per-rank dump where the variant carries one.
+fn trip_error(trip: WatchdogTrip, core: &mut KernelCore, states: &[RankState]) -> SimError {
+    match trip {
+        WatchdogTrip::Budget(events, virtual_ns) => SimError::WatchdogTripped {
+            events,
+            virtual_ns,
+            states: describe_ranks(core, states),
+        },
+        WatchdogTrip::Wall(wall_ms) => SimError::DeadlineExceeded { wall_ms },
+        WatchdogTrip::Cancelled => SimError::Cancelled,
+    }
 }
 
 #[cfg(test)]
@@ -1692,6 +1859,167 @@ mod tests {
         });
         assert_eq!(out.makespan_ns, 800);
         assert_eq!(out.finish_ns[7], 800);
+    }
+
+    /// Keep deliberate test panics out of the captured test output.
+    /// Rank-thread panics escape libtest's output capture, so the hook
+    /// swallows exactly the marker message our fixtures use.
+    fn hush_deliberate_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = panic_message(info.payload());
+                if msg.contains("deliberate test panic") {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+    }
+
+    #[test]
+    fn rank_panic_is_a_structured_error() {
+        hush_deliberate_panics();
+        let m = Machine::paragon(1, 2);
+        for config in [coop(), threaded()] {
+            let err = try_simulate_with(&m, &config, |mut ctx| async move {
+                if ctx.rank() == 1 {
+                    panic!("deliberate test panic at rank 1");
+                }
+                // Rank 0 would block forever; the kernel must shut it
+                // down cleanly once rank 1 dies.
+                let _ = ctx.recv(Some(1), None).await;
+            })
+            .unwrap_err();
+            match err {
+                SimError::RankPanic { rank, message } => {
+                    assert_eq!(rank, 1, "{} executor", config.exec.name());
+                    assert!(message.contains("deliberate test panic"), "got: {message}");
+                }
+                other => panic!("expected RankPanic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_simulate_reports_deadlock_without_panicking() {
+        let m = Machine::paragon(1, 2);
+        for config in [coop(), threaded()] {
+            let err = try_simulate_with(&m, &config, |mut ctx| async move {
+                let _ = ctx.recv(None, None).await;
+            })
+            .unwrap_err();
+            assert_eq!(err.kind(), "deadlock");
+            match err {
+                SimError::Deadlock { machine, info } => {
+                    assert_eq!(machine, m.name);
+                    assert_eq!(info.states.len(), 2);
+                }
+                other => panic!("expected Deadlock, got {other}"),
+            }
+        }
+    }
+
+    /// Two ranks ping-ponging forever — the livelock the watchdog exists
+    /// to bound.
+    async fn ping_pong_forever(mut ctx: RankCtx) -> u32 {
+        let peer = 1 - ctx.rank();
+        loop {
+            ctx.send(peer, 0, b"x");
+            let env = ctx.recv(Some(peer), Some(0)).await;
+            if env.data.is_empty() {
+                break 0; // unreachable; pins the return type
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_event_budget_trips_on_livelock() {
+        let m = Machine::paragon(1, 2);
+        for mut config in [coop(), threaded()] {
+            config.budget = SimBudget::unlimited().with_max_events(500);
+            let err = try_simulate_with(&m, &config, ping_pong_forever).unwrap_err();
+            match err {
+                SimError::WatchdogTripped { events, states, .. } => {
+                    assert!(events > 500, "counted {events} events");
+                    assert_eq!(states.len(), 2);
+                }
+                other => panic!("expected WatchdogTripped, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_virtual_time_budget_trips_on_livelock() {
+        let m = Machine::paragon(1, 2);
+        for mut config in [coop(), threaded()] {
+            config.budget = SimBudget::unlimited().with_max_virtual_ns(1_000_000);
+            let err = try_simulate_with(&m, &config, ping_pong_forever).unwrap_err();
+            match err {
+                SimError::WatchdogTripped { virtual_ns, .. } => {
+                    assert!(virtual_ns > 1_000_000);
+                }
+                other => panic!("expected WatchdogTripped, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "wall-clock probe")]
+    fn wall_clock_deadline_trips_on_livelock() {
+        let m = Machine::paragon(1, 2);
+        for mut config in [coop(), threaded()] {
+            config.budget = SimBudget::unlimited().with_max_wall(std::time::Duration::ZERO);
+            let err = try_simulate_with(&m, &config, ping_pong_forever).unwrap_err();
+            assert!(
+                matches!(err, SimError::DeadlineExceeded { .. }),
+                "expected DeadlineExceeded, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_a_run_cleanly() {
+        let m = Machine::paragon(1, 2);
+        for mut config in [coop(), threaded()] {
+            let token = CancelToken::new();
+            token.cancel();
+            config.cancel = Some(token);
+            let err = try_simulate_with(&m, &config, ping_pong_forever).unwrap_err();
+            assert!(
+                matches!(err, SimError::Cancelled),
+                "expected Cancelled, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_budget_never_trips_a_healthy_run() {
+        // A generous budget must not perturb outcomes: supervised and
+        // unsupervised runs of the same program are bit-identical.
+        let m = ring_machine();
+        let prog = |mut ctx: RankCtx| async move {
+            let p = ctx.size();
+            let next = (ctx.rank() + 1) % p;
+            let prev = (ctx.rank() + p - 1) % p;
+            ctx.send(next, 3, &[ctx.rank() as u8; 128]);
+            let env = ctx.recv(Some(prev), Some(3)).await;
+            ctx.charge_memcpy(env.data.len());
+            ctx.clock()
+        };
+        let plain = simulate(&m, prog);
+        let config = SimConfig {
+            budget: SimBudget::unlimited()
+                .with_max_events(1_000_000)
+                .with_max_virtual_ns(Time::MAX),
+            cancel: Some(CancelToken::new()),
+            ..SimConfig::default()
+        };
+        let supervised = try_simulate_with(&m, &config, prog).expect("healthy run must succeed");
+        assert_eq!(plain.finish_ns, supervised.finish_ns);
+        assert_eq!(plain.makespan_ns, supervised.makespan_ns);
     }
 
     #[test]

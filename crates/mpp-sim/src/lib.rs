@@ -56,6 +56,7 @@
 //! [`simulate`] runs one per-rank program on every rank of a machine and
 //! returns per-rank results, finish times, and the makespan.
 
+pub mod error;
 pub(crate) mod exec;
 pub mod kernel;
 pub(crate) mod mailbox;
@@ -64,16 +65,20 @@ pub mod payload;
 pub mod record;
 pub(crate) mod sched;
 pub(crate) mod slab;
+pub mod supervise;
 pub mod trace;
 
+pub use error::SimError;
 pub use kernel::{
-    block_on_ready, simulate, simulate_with, BarrierFuture, DeadlockInfo, Envelope, ExecMode,
-    FaultStats, RankCtx, RecvFuture, RecvTimeoutFuture, SimConfig, SimOutcome,
+    block_on_ready, simulate, simulate_with, try_simulate, try_simulate_with, BarrierFuture,
+    DeadlockInfo, Envelope, ExecMode, FaultStats, RankCtx, RecvFuture, RecvTimeoutFuture,
+    SimConfig, SimOutcome,
 };
 pub use mpp_model::{FaultPlan, LinkOutage, NodeCrash, RetryPolicy};
 pub use network::NetworkState;
 pub use payload::{copy_metrics, CopyMetrics, Payload, PayloadReader};
 pub use record::{schedule_log, ScheduleEvent, ScheduleLog, ScheduleRecording};
+pub use supervise::{CancelToken, SimBudget};
 pub use trace::{render_timeline, summarize, MsgTrace, TraceSummary};
 
 /// Message tag, used by algorithms to match iteration/phase traffic.

@@ -1,0 +1,230 @@
+//! Supervision primitives: cooperative cancellation and kernel
+//! watchdog budgets.
+//!
+//! The kernel itself never aborts the process — every abnormal outcome
+//! surfaces as a [`SimError`](crate::SimError) through
+//! [`try_simulate_with`](crate::try_simulate_with). The two knobs here
+//! bound *how long* a simulation may run before the kernel gives up:
+//!
+//! * [`CancelToken`] — a shared flag an external supervisor (the sweep
+//!   engine, a service handler, a signal handler) flips to make every
+//!   simulation holding the token exit with `SimError::Cancelled` at
+//!   its next scheduling step.
+//! * [`SimBudget`] — event-count, virtual-time, and wall-clock ceilings
+//!   that convert livelocks (e.g. infinite retry loops under hostile
+//!   fault plans) into `SimError::WatchdogTripped` /
+//!   `SimError::DeadlineExceeded` with a per-rank diagnostic dump
+//!   instead of an unbounded spin.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+use mpp_model::Time;
+
+/// A shared, clonable cancellation flag.
+///
+/// Cloning is cheap (one `Arc` bump); every clone observes the same
+/// flag. Cancellation is *cooperative*: the kernel polls the token
+/// between scheduling steps, so a cancelled simulation stops at a clean
+/// event boundary with all its state intact, never mid-operation.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Flip the flag. Idempotent; wakes nothing by itself — holders
+    /// notice at their next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has [`cancel`](Self::cancel) been called (on any clone)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Watchdog ceilings for one simulation run. The default budget is
+/// unlimited on every axis except the process-wide
+/// `STP_WATCHDOG_EVENTS` override (see [`SimBudget::from_env`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimBudget {
+    /// Maximum kernel events (sends, receive matches, timeouts,
+    /// iteration marks, finishes) before the watchdog trips.
+    pub max_events: Option<u64>,
+    /// Maximum virtual time (ns) any scheduled event may reach.
+    pub max_virtual_ns: Option<Time>,
+    /// Maximum wall-clock runtime before the run exits with
+    /// [`SimError::DeadlineExceeded`](crate::SimError::DeadlineExceeded).
+    pub max_wall: Option<Duration>,
+}
+
+impl SimBudget {
+    /// An unlimited budget (ignores the environment).
+    pub fn unlimited() -> Self {
+        SimBudget::default()
+    }
+
+    /// The process-default budget: unlimited unless `STP_WATCHDOG_EVENTS`
+    /// sets an event ceiling. A malformed value warns once per process
+    /// and is ignored — never silently misconfigured, never spammed.
+    pub fn from_env() -> Self {
+        SimBudget {
+            max_events: env_u64("STP_WATCHDOG_EVENTS"),
+            ..SimBudget::default()
+        }
+    }
+
+    /// Cap the number of kernel events.
+    pub fn with_max_events(mut self, n: u64) -> Self {
+        self.max_events = Some(n);
+        self
+    }
+
+    /// Cap the virtual time any event may reach (ns).
+    pub fn with_max_virtual_ns(mut self, ns: Time) -> Self {
+        self.max_virtual_ns = Some(ns);
+        self
+    }
+
+    /// Cap the wall-clock runtime.
+    pub fn with_max_wall(mut self, wall: Duration) -> Self {
+        self.max_wall = Some(wall);
+        self
+    }
+
+    /// True when no ceiling is set (the watchdog costs nothing).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none() && self.max_virtual_ns.is_none() && self.max_wall.is_none()
+    }
+}
+
+/// How a supervised run was interrupted. The executors translate trips
+/// into full [`SimError`](crate::SimError)s with per-rank state dumps.
+pub(crate) enum WatchdogTrip {
+    /// The event-count or virtual-time budget was exceeded;
+    /// carries `(events_processed, virtual_ns)` at trip time.
+    Budget(u64, Time),
+    /// The wall-clock ceiling (ms) was exceeded.
+    Wall(u64),
+    /// The run's [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+/// Per-run watchdog state shared by both executors. Constructed only
+/// when the run is supervised (some ceiling or a cancel token is set),
+/// so unsupervised runs pay a single `Option` check per scheduling step.
+pub(crate) struct Watchdog {
+    budget: SimBudget,
+    cancel: Option<CancelToken>,
+    /// Lazily started on the first check so unlimited-wall runs never
+    /// touch the host clock (keeps the Miri job happy).
+    started: Option<std::time::Instant>,
+}
+
+impl Watchdog {
+    /// A watchdog for this run, or `None` when nothing is bounded.
+    pub fn for_run(budget: &SimBudget, cancel: &Option<CancelToken>) -> Option<Self> {
+        if budget.is_unlimited() && cancel.is_none() {
+            return None;
+        }
+        Some(Watchdog {
+            budget: budget.clone(),
+            cancel: cancel.clone(),
+            started: None,
+        })
+    }
+
+    /// Check every ceiling against the run's progress. `events` is the
+    /// kernel's processed-event count, `virtual_ns` the virtual time of
+    /// the event about to be dispatched. Called once per scheduling
+    /// step; the wall-clock probe is amortized (every 4096 events).
+    pub fn check(&mut self, events: u64, virtual_ns: Time) -> Result<(), WatchdogTrip> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                return Err(WatchdogTrip::Cancelled);
+            }
+        }
+        if let Some(max) = self.budget.max_events {
+            if events > max {
+                return Err(WatchdogTrip::Budget(events, virtual_ns));
+            }
+        }
+        if let Some(max) = self.budget.max_virtual_ns {
+            if virtual_ns > max {
+                return Err(WatchdogTrip::Budget(events, virtual_ns));
+            }
+        }
+        if let Some(max_wall) = self.budget.max_wall {
+            let started = self.started.get_or_insert_with(std::time::Instant::now);
+            if events.is_multiple_of(4096) && started.elapsed() > max_wall {
+                return Err(WatchdogTrip::Wall(max_wall.as_millis() as u64));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse one watchdog environment override; `None` when unset or
+/// malformed (malformed warns, once per variable per process).
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            warn_once(name, &raw);
+            None
+        }
+    }
+}
+
+/// Warn about a malformed environment variable exactly once per process
+/// per variable — budget parsing runs once per `SimConfig::default()`,
+/// i.e. once per grid point in a sweep.
+pub(crate) fn warn_once(name: &str, raw: &str) {
+    static WARNED: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if !warned.iter().any(|n| n == name) {
+        warned.push(name.to_string());
+        eprintln!("warning: ignoring {name}={raw:?}: expected a non-negative integer");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        let b = SimBudget::unlimited()
+            .with_max_events(10)
+            .with_max_virtual_ns(1_000)
+            .with_max_wall(Duration::from_millis(5));
+        assert_eq!(b.max_events, Some(10));
+        assert_eq!(b.max_virtual_ns, Some(1_000));
+        assert_eq!(b.max_wall, Some(Duration::from_millis(5)));
+        assert!(!b.is_unlimited());
+        assert!(SimBudget::unlimited().is_unlimited());
+    }
+}

@@ -46,7 +46,7 @@ fn main() {
                 msg_len: *msg_len,
                 kind,
             };
-            let out = exp.run();
+            let out = exp.run().expect("run failed");
             assert!(out.verified);
             let ms = out.makespan_ms();
             if best.is_none_or(|(_, b)| ms < b) {
@@ -63,6 +63,7 @@ fn main() {
             kind: rec,
         }
         .run()
+        .expect("run failed")
         .makespan_ms();
         let close = rec_ms <= ms * 1.10;
         if close {

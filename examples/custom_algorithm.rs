@@ -111,7 +111,7 @@ fn main() {
             msg_len: len,
             kind,
         };
-        let out = exp.run();
+        let out = exp.run().expect("run failed");
         assert!(out.verified);
         println!("{:<22} {:>9.3}", kind.name(), out.makespan_ms());
     }

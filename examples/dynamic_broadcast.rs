@@ -44,11 +44,13 @@ fn main() {
             &sources,
             &payload,
             AlgoKind::BrLin,
-        );
+        )
+        .expect("run failed");
         assert!(fixed.verified);
 
         let pick = recommend(&machine, s, msg_len);
-        let picked = run_sources(&machine, LibraryKind::Nx, &sources, &payload, pick);
+        let picked =
+            run_sources(&machine, LibraryKind::Nx, &sources, &payload, pick).expect("run failed");
         assert!(picked.verified);
 
         fixed_total_ms += fixed.makespan_ms();

@@ -54,14 +54,16 @@ fn main() {
             &sources,
             &payload,
             AlgoKind::BrXySource,
-        );
+        )
+        .expect("run failed");
         let repos = stp_broadcast::stp::runner::run_sources(
             &machine,
             LibraryKind::Nx,
             &sources,
             &payload,
             AlgoKind::ReposXySource,
-        );
+        )
+        .expect("run failed");
         assert!(plain.verified && repos.verified);
 
         let gain = (plain.makespan_ms() - repos.makespan_ms()) / plain.makespan_ms() * 100.0;

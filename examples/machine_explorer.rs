@@ -50,7 +50,7 @@ fn main() {
                 msg_len: 2048,
                 kind,
             };
-            let out = exp.run();
+            let out = exp.run().expect("run failed");
             assert!(out.verified);
             print!(" {:>9.3} ms", out.makespan_ms());
         }

@@ -24,7 +24,7 @@ fn main() {
             msg_len,
             kind,
         };
-        let out = exp.run();
+        let out = exp.run().expect("run failed");
         assert!(out.verified, "every rank must end with all 5 messages");
         println!(
             "{:<14} {:>8.3} ms   (contention stalls: {})",

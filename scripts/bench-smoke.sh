@@ -32,8 +32,12 @@ fail() { echo "bench-smoke: $*" >&2; exit 1; }
 cargo build -q --release -p stp-bench --benches --bins
 
 # Build into a scratch file; only a fully validated run replaces $OUT.
+# The trap also covers SIGINT/SIGTERM so an interrupted run leaves the
+# committed report untouched and no scratch file behind — the final
+# `mv` is the only write to $OUT.
 TMP="$(mktemp "${TMPDIR:-/tmp}/bench-smoke.XXXXXX")"
 trap 'rm -f "$TMP"' EXIT
+trap 'rm -f "$TMP"; trap - INT TERM EXIT; exit 130' INT TERM
 : > "$TMP"
 
 # One filter per line: the sweep engine itself, the core-scaling

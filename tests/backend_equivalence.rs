@@ -85,7 +85,7 @@ fn large_machine_smoke() {
             msg_len: 256,
             kind,
         };
-        let out = exp.run();
+        let out = exp.run().expect("run failed");
         assert!(out.verified, "{} failed at p=512", kind.name());
     }
 }
@@ -100,5 +100,5 @@ fn large_t3d_smoke() {
         msg_len: 512,
         kind: AlgoKind::MpiAlltoall,
     };
-    assert!(exp.run().verified);
+    assert!(exp.run().expect("run failed").verified);
 }

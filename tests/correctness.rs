@@ -36,7 +36,7 @@ fn simulator_matrix_small_paragon() {
                     msg_len: 96,
                     kind,
                 };
-                let out = exp.run();
+                let out = exp.run().expect("run failed");
                 assert!(
                     out.verified,
                     "{} on {}({s}) failed verification",
@@ -61,7 +61,7 @@ fn simulator_matrix_odd_paragon() {
                 msg_len: 64,
                 kind,
             };
-            let out = exp.run();
+            let out = exp.run().expect("run failed");
             assert!(out.verified, "{} s={s} failed on 3x7", kind.name());
         }
     }
@@ -79,7 +79,7 @@ fn simulator_matrix_t3d() {
                 msg_len: 128,
                 kind,
             };
-            let out = exp.run();
+            let out = exp.run().expect("run failed");
             assert!(out.verified, "{} s={s} failed on T3D", kind.name());
         }
     }
@@ -128,7 +128,11 @@ fn single_processor_machine() {
             msg_len: 32,
             kind,
         };
-        assert!(exp.run().verified, "{} on 1x1", kind.name());
+        assert!(
+            exp.run().expect("run failed").verified,
+            "{} on 1x1",
+            kind.name()
+        );
     }
 }
 
@@ -144,7 +148,11 @@ fn one_row_machine() {
             msg_len: 64,
             kind,
         };
-        assert!(exp.run().verified, "{} on 1x8", kind.name());
+        assert!(
+            exp.run().expect("run failed").verified,
+            "{} on 1x8",
+            kind.name()
+        );
     }
 }
 
@@ -153,7 +161,8 @@ fn empty_payloads_still_broadcast() {
     let machine = Machine::paragon(4, 4);
     for &kind in all_kinds() {
         let sources = SourceDist::DiagRight.place(machine.shape, 4);
-        let out = run_sources(&machine, LibraryKind::Nx, &sources, &|_| Vec::new(), kind);
+        let out = run_sources(&machine, LibraryKind::Nx, &sources, &|_| Vec::new(), kind)
+            .expect("run failed");
         assert!(out.verified, "{} with zero-length messages", kind.name());
     }
 }
@@ -171,7 +180,8 @@ fn variable_length_payloads() {
             &sources,
             &|src| payload_for(src, 32 + (src % 5) * 100),
             kind,
-        );
+        )
+        .expect("run failed");
         assert!(out.verified, "{} with variable lengths", kind.name());
     }
 }

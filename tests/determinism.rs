@@ -12,8 +12,8 @@ fn run_twice(machine: &Machine, kind: AlgoKind, dist: SourceDist, s: usize, len:
         msg_len: len,
         kind,
     };
-    let a = exp.run();
-    let b = exp.run();
+    let a = exp.run().expect("run failed");
+    let b = exp.run().expect("run failed");
     assert_eq!(
         a.makespan_ns,
         b.makespan_ns,
@@ -63,9 +63,9 @@ fn determinism_across_many_repeats() {
         msg_len: 1024,
         kind: AlgoKind::BrXySource,
     };
-    let reference = exp.run();
+    let reference = exp.run().expect("run failed");
     for _ in 0..5 {
-        let again = exp.run();
+        let again = exp.run().expect("run failed");
         assert_eq!(reference.makespan_ns, again.makespan_ns);
     }
 }
@@ -156,7 +156,8 @@ fn different_seeds_change_t3d_times() {
         msg_len: 4096,
         kind: AlgoKind::BrLin,
     }
-    .run();
+    .run()
+    .expect("run failed");
     let mut any_differs = false;
     for seed in 2..8 {
         let b = Experiment {
@@ -166,7 +167,8 @@ fn different_seeds_change_t3d_times() {
             msg_len: 4096,
             kind: AlgoKind::BrLin,
         }
-        .run();
+        .run()
+        .expect("run failed");
         assert!(b.verified);
         if b.makespan_ns != a.makespan_ns {
             any_differs = true;

@@ -90,7 +90,8 @@ fn dissem_zero_copy_beats_alltoall_on_t3d() {
         msg_len: 4096,
         kind: AlgoKind::MpiAlltoall,
     }
-    .run();
+    .run()
+    .expect("run failed");
     assert!(
         dissem.makespan_ns < alltoall.makespan_ns,
         "zero-copy dissemination ({}) must beat Alltoall ({})",
@@ -110,7 +111,7 @@ fn adaptive_runs_through_algokind() {
             msg_len: 1024,
             kind: AlgoKind::ReposAdaptiveXySource,
         };
-        assert!(exp.run().verified);
+        assert!(exp.run().expect("run failed").verified);
     }
 }
 
@@ -158,7 +159,7 @@ fn naive_independent_through_algokind_on_both_machines() {
             kind: AlgoKind::NaiveIndependent,
         };
         assert!(
-            exp.run().verified,
+            exp.run().expect("run failed").verified,
             "NaiveIndependent failed on {}",
             machine.name
         );

@@ -30,7 +30,9 @@ fn all_algorithms_deliver_under_transient_drops() {
     let plan = FaultPlan::transient_drops(21, 1, 8, 6);
     let mut total_retransmits = 0u64;
     for &kind in AlgoKind::all() {
-        let out = experiment(&machine, kind, 5).run_with_faults(&plan);
+        let out = experiment(&machine, kind, 5)
+            .run_with_faults(&plan)
+            .expect("run failed");
         assert!(
             out.verified,
             "{} lost payload under a recoverable plan",
@@ -56,8 +58,8 @@ fn fault_plans_replay_from_their_seed() {
     let machine = Machine::paragon(4, 4);
     let exp = experiment(&machine, AlgoKind::BrXySource, 6);
     let plan = FaultPlan::transient_drops(3, 1, 4, 8);
-    let a = exp.run_with_faults(&plan);
-    let b = exp.run_with_faults(&plan);
+    let a = exp.run_with_faults(&plan).expect("run failed");
+    let b = exp.run_with_faults(&plan).expect("run failed");
     assert_eq!(a.makespan_ns, b.makespan_ns);
     assert_eq!(a.finish_ns, b.finish_ns);
     assert_eq!(a.stats, b.stats);
@@ -71,9 +73,9 @@ fn fault_plans_replay_from_their_seed() {
 fn link_outage_reroutes_and_charges_detours() {
     let machine = Machine::paragon(4, 4);
     let exp = experiment(&machine, AlgoKind::TwoStep, 4);
-    let clean = exp.run();
+    let clean = exp.run().expect("run failed");
     let plan = FaultPlan::parse("link=5-6@0..").expect("valid spec");
-    let faulted = exp.run_with_faults(&plan);
+    let faulted = exp.run_with_faults(&plan).expect("run failed");
     assert!(faulted.verified, "rerouting must preserve delivery");
     let rerouted: u64 = faulted.stats.iter().map(|st| st.rerouted_hops).sum();
     let detour_ns: u64 = faulted.stats.iter().map(|st| st.detour_ns).sum();
@@ -86,7 +88,7 @@ fn link_outage_reroutes_and_charges_detours() {
         faulted.finish_ns, clean.finish_ns,
         "detours must perturb some rank's finish time"
     );
-    let again = exp.run_with_faults(&plan);
+    let again = exp.run_with_faults(&plan).expect("run failed");
     assert_eq!(faulted.finish_ns, again.finish_ns);
     assert_eq!(faulted.makespan_ns, again.makespan_ns);
 }

@@ -12,7 +12,7 @@ fn ms(machine: &Machine, kind: AlgoKind, dist: SourceDist, s: usize, len: usize)
         msg_len: len,
         kind,
     };
-    let out = exp.run();
+    let out = exp.run().expect("run failed");
     assert!(out.verified);
     out.makespan_ms()
 }
@@ -54,8 +54,14 @@ fn paragon_mpi_overhead_in_band() {
             msg_len: 4096,
             kind,
         };
-        let nx = exp.run_with_lib(LibraryKind::Nx).makespan_ns as f64;
-        let mpi = exp.run_with_lib(LibraryKind::Mpi).makespan_ns as f64;
+        let nx = exp
+            .run_with_lib(LibraryKind::Nx)
+            .expect("run failed")
+            .makespan_ns as f64;
+        let mpi = exp
+            .run_with_lib(LibraryKind::Mpi)
+            .expect("run failed")
+            .makespan_ns as f64;
         let loss = (mpi - nx) / nx * 100.0;
         assert!(
             (1.0..6.0).contains(&loss),
@@ -256,7 +262,7 @@ fn figure2_parameter_shapes() {
             msg_len: 1024,
             kind,
         };
-        exp.run()
+        exp.run().expect("run failed")
     };
     let two_step = run(AlgoKind::TwoStep);
     let pers = run(AlgoKind::PersAlltoAll);

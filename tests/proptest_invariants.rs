@@ -236,7 +236,7 @@ proptest! {
             msg_len: len,
             kind,
         };
-        let out = exp.run();
+        let out = exp.run().expect("run failed");
         prop_assert!(out.verified, "{} failed (p={}, s={}, len={})", kind.name(), p, s, len);
     }
 }

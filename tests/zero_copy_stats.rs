@@ -79,7 +79,7 @@ fn converted_algorithms_send_zero_copy() {
             msg_len: 2048,
             kind,
         };
-        let out = exp.run();
+        let out = exp.run().expect("run failed");
         assert!(out.verified, "{} failed verification", kind.name());
         let copied: u64 = out.stats.iter().map(|s| s.bytes_copied).sum();
         let moved: u64 = out.stats.iter().map(|s| s.total_bytes()).sum();
@@ -105,7 +105,7 @@ fn rope_path_copies_small_fraction_of_traffic() {
         kind: AlgoKind::BrLin,
     };
     let before = sim::copy_metrics();
-    let out = exp.run();
+    let out = exp.run().expect("run failed");
     let delta = sim::copy_metrics().since(&before);
     assert!(out.verified);
     let moved: u64 = out.stats.iter().map(|s| s.total_bytes()).sum();
