@@ -1,12 +1,49 @@
-//! The four schedule checks.
+//! The schedule checks, as a pluggable registry.
+//!
+//! Every diagnostic the analyzer produces comes from a [`Check`]
+//! registered in [`registry`]: the structural checks (deadlock, lost
+//! messages, unmatched sends, match ambiguity, payload leaks, link
+//! overload) plus the cost-model conformance gate and the performance
+//! lints from [`crate::perf_checks`]. Checks run in registry order over
+//! one shared [`CheckCtx`]; findings are then sorted into the canonical
+//! `(kind, rank, at_ns, seq)` order so reports and checkpoints are
+//! byte-stable regardless of which check emitted first.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use mpp_model::{Link, Machine};
+use mpp_model::{LibraryKind, Link, Machine, Time};
 
+use crate::cost::CostReport;
 use crate::schedule::{Attributed, Attribution, Schedule};
 
+/// How bad a finding is. Errors are always fatal to a lint run; warnings
+/// and notes can be suppressed by a committed baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A correctness bug: the schedule is wrong or the model disagrees
+    /// with the kernel.
+    Error,
+    /// A performance smell worth a look.
+    Warn,
+    /// Informational: expected on some algorithm × machine pairs.
+    Info,
+}
+
+impl Severity {
+    /// Stable machine-readable name (also the SARIF level).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+            Severity::Info => "note",
+        }
+    }
+}
+
 /// What a finding is about.
+///
+/// Declaration order is the canonical report order: correctness kinds
+/// first, then conformance, then the performance lints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FindingKind {
     /// The run aborted with every live rank blocked in `recv`.
@@ -23,6 +60,24 @@ pub enum FindingKind {
     /// The fault plan destroyed a message: every permitted transmission
     /// attempt was dropped, so the destination can never receive it.
     LostMessage,
+    /// The static cost engine's replay disagrees with the kernel's
+    /// recorded timing — a bug in one of the two.
+    CostModelDivergence,
+    /// A multi-port node never drove more than one injection port
+    /// concurrently: the schedule serializes where the hardware would
+    /// parallelize.
+    IdlePorts,
+    /// One rank accounts for most of the critical path.
+    SerializationHotspot,
+    /// Contention stalls outweigh resource-free transfer time on the
+    /// critical path.
+    ContentionDominated,
+    /// The same payload crossed the same physical link repeatedly — a
+    /// tree would forward instead of re-sending.
+    RedundantTransmission,
+    /// The makespan exceeds the configured multiple of the s-to-p
+    /// lower bound.
+    AboveLowerBound,
 }
 
 impl FindingKind {
@@ -35,6 +90,12 @@ impl FindingKind {
             FindingKind::PayloadLeak => "payload_leak",
             FindingKind::LinkOverload => "link_overload",
             FindingKind::LostMessage => "lost_message",
+            FindingKind::CostModelDivergence => "cost_model_divergence",
+            FindingKind::IdlePorts => "idle_ports",
+            FindingKind::SerializationHotspot => "serialization_hotspot",
+            FindingKind::ContentionDominated => "contention_dominated",
+            FindingKind::RedundantTransmission => "redundant_transmission",
+            FindingKind::AboveLowerBound => "above_lower_bound",
         }
     }
 
@@ -48,8 +109,49 @@ impl FindingKind {
             "payload_leak" => FindingKind::PayloadLeak,
             "link_overload" => FindingKind::LinkOverload,
             "lost_message" => FindingKind::LostMessage,
+            "cost_model_divergence" => FindingKind::CostModelDivergence,
+            "idle_ports" => FindingKind::IdlePorts,
+            "serialization_hotspot" => FindingKind::SerializationHotspot,
+            "contention_dominated" => FindingKind::ContentionDominated,
+            "redundant_transmission" => FindingKind::RedundantTransmission,
+            "above_lower_bound" => FindingKind::AboveLowerBound,
             _ => return None,
         })
+    }
+
+    /// Severity class of this kind.
+    pub fn severity(self) -> Severity {
+        match self {
+            FindingKind::Deadlock
+            | FindingKind::UnmatchedSend
+            | FindingKind::MatchAmbiguity
+            | FindingKind::PayloadLeak
+            | FindingKind::LostMessage
+            | FindingKind::CostModelDivergence => Severity::Error,
+            FindingKind::LinkOverload
+            | FindingKind::IdlePorts
+            | FindingKind::SerializationHotspot
+            | FindingKind::ContentionDominated => Severity::Warn,
+            FindingKind::RedundantTransmission | FindingKind::AboveLowerBound => Severity::Info,
+        }
+    }
+
+    /// One-line description of the rule, for SARIF rule metadata.
+    pub fn describe(self) -> &'static str {
+        match self {
+            FindingKind::Deadlock => "every live rank is blocked in recv",
+            FindingKind::UnmatchedSend => "a message was never received",
+            FindingKind::MatchAmbiguity => "delivery order decided a receive match",
+            FindingKind::PayloadLeak => "a rank is missing source messages",
+            FindingKind::LinkOverload => "a link exceeded the message bound",
+            FindingKind::LostMessage => "the fault plan destroyed a message",
+            FindingKind::CostModelDivergence => "the static cost model disagrees with the kernel",
+            FindingKind::IdlePorts => "multi-port nodes drive one port at a time",
+            FindingKind::SerializationHotspot => "one rank dominates the critical path",
+            FindingKind::ContentionDominated => "contention stalls dominate the critical path",
+            FindingKind::RedundantTransmission => "identical payloads re-cross the same link",
+            FindingKind::AboveLowerBound => "makespan far above the s-to-p lower bound",
+        }
     }
 }
 
@@ -62,12 +164,135 @@ pub struct Finding {
     pub rank: Option<usize>,
     /// Human-readable description.
     pub detail: String,
+    /// Virtual-time anchor (ns), when the finding points at an instant.
+    pub at_ns: Option<Time>,
+    /// The message sequence number involved, when there is one.
+    pub seq: Option<u64>,
+}
+
+impl Finding {
+    /// A finding without time or sequence anchors.
+    pub fn new(kind: FindingKind, rank: Option<usize>, detail: String) -> Finding {
+        Finding {
+            kind,
+            rank,
+            detail,
+            at_ns: None,
+            seq: None,
+        }
+    }
+
+    /// Anchor at a virtual-time instant.
+    pub fn at(mut self, ns: Time) -> Finding {
+        self.at_ns = Some(ns);
+        self
+    }
+
+    /// Severity of this finding (derived from its kind).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+/// Options for one [`analyze`] run.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOpts {
+    /// Opt-in link-overload bound: `Some(k)` flags every physical link
+    /// that carries more than `k` messages over the whole run. `None`
+    /// still computes the per-link counts for the report but produces no
+    /// overload findings (absolute message counts are a property of the
+    /// algorithm × machine pair, not a bug by themselves).
+    pub max_link_load: Option<u64>,
+    /// Communication library the schedule was recorded under (selects
+    /// the α overheads the cost engine replays with).
+    pub lib: LibraryKind,
+    /// The schedule was recorded under an active fault plan; the cost
+    /// engine skips the recomputations faults legitimately perturb.
+    pub faulted: bool,
+    /// Run the performance lints (idle ports, serialization hotspot,
+    /// contention dominated, redundant transmission, above lower bound).
+    pub perf: bool,
+    /// Check the static cost model against the kernel's recording and
+    /// report any divergence as an error.
+    pub conformance: bool,
+    /// `above_lower_bound` fires when the makespan exceeds this multiple
+    /// of the s-to-p lower bound.
+    pub lb_tolerance: f64,
+}
+
+impl Default for AnalyzeOpts {
+    fn default() -> Self {
+        AnalyzeOpts {
+            max_link_load: None,
+            lib: LibraryKind::Nx,
+            faulted: false,
+            perf: false,
+            conformance: true,
+            lb_tolerance: 8.0,
+        }
+    }
+}
+
+/// Everything a [`Check`] can look at.
+pub struct CheckCtx<'a> {
+    /// The recorded schedule under analysis.
+    pub sched: &'a Schedule,
+    /// The machine it was recorded on.
+    pub machine: &'a Machine,
+    /// The source ranks of the s-to-p instance.
+    pub sources: &'a [usize],
+    /// Reference payload per source (for attribution).
+    pub payload_of: &'a dyn Fn(usize) -> Vec<u8>,
+    /// Analysis options.
+    pub opts: &'a AnalyzeOpts,
+    /// The cost engine's replay, when timing data was recorded (absent
+    /// on deadlocked or hand-built schedules).
+    pub cost: Option<&'a CostReport>,
+    /// Per-link message counts over the machine's routes.
+    pub link_counts: &'a BTreeMap<Link, u64>,
+}
+
+/// Mutable results shared by all checks of one run.
+#[derive(Debug, Default)]
+pub struct CheckOutput {
+    /// Findings accumulated so far (sorted by [`analyze`] at the end).
+    pub findings: Vec<Finding>,
+    /// Set when payload attribution hit an opaque payload and the leak
+    /// check was skipped instead of guessing.
+    pub opaque_payloads: bool,
+}
+
+/// One registered schedule check.
+pub trait Check {
+    /// Stable name (shown in `--list-checks` style output).
+    fn name(&self) -> &'static str;
+    /// Run over `ctx`, appending findings to `out`. A check that does
+    /// not apply (wrong options, no timing data) appends nothing.
+    fn run(&self, ctx: &CheckCtx, out: &mut CheckOutput);
+}
+
+/// All built-in checks, in execution order.
+pub fn registry() -> Vec<Box<dyn Check>> {
+    vec![
+        Box::new(DeadlockCheck),
+        Box::new(LostMessageCheck),
+        Box::new(UnmatchedSendCheck),
+        Box::new(MatchAmbiguityCheck),
+        Box::new(PayloadLeakCheck),
+        Box::new(LinkOverloadCheck),
+        Box::new(crate::perf_checks::CostConformance),
+        Box::new(crate::perf_checks::IdlePorts),
+        Box::new(crate::perf_checks::SerializationHotspot),
+        Box::new(crate::perf_checks::ContentionDominated),
+        Box::new(crate::perf_checks::RedundantTransmission),
+        Box::new(crate::perf_checks::AboveLowerBound),
+    ]
 }
 
 /// Everything the checker computed for one schedule.
 #[derive(Debug)]
 pub struct Analysis {
-    /// All findings, in check order (deadlock first).
+    /// All findings, sorted by `(kind, rank, at_ns, seq)`.
     pub findings: Vec<Finding>,
     /// Total sends recorded.
     pub sends: usize,
@@ -80,6 +305,8 @@ pub struct Analysis {
     /// True when some payload could not be traced back to a source; the
     /// leak check was skipped in that case instead of guessing.
     pub opaque_payloads: bool,
+    /// The cost engine's replay, when timing data was recorded.
+    pub cost: Option<CostReport>,
 }
 
 impl Analysis {
@@ -89,104 +316,109 @@ impl Analysis {
     }
 }
 
-/// Run every check on `sched` as recorded on `machine`.
-///
-/// `max_link_load` opts into the link-overload check: `Some(k)` flags
-/// every physical link that carries more than `k` messages over the
-/// whole run. `None` still computes the per-link counts for the report
-/// but produces no overload findings (absolute message counts are a
-/// property of the algorithm ×machine pair, not a bug by themselves).
+/// Run every registered check on `sched` as recorded on `machine`.
 pub fn analyze(
     sched: &Schedule,
     machine: &Machine,
     sources: &[usize],
     payload_of: &dyn Fn(usize) -> Vec<u8>,
-    max_link_load: Option<u64>,
+    opts: &AnalyzeOpts,
 ) -> Analysis {
-    let mut findings = Vec::new();
-
-    check_deadlock(sched, &mut findings);
-    check_lost(sched, &mut findings);
-    check_unmatched(sched, &mut findings);
-    check_ambiguity(sched, &mut findings);
-    let opaque_payloads = check_leaks(sched, sources, payload_of, &mut findings);
     let (link_counts, max, hottest) = link_loads(sched, machine);
-    if let Some(bound) = max_link_load {
-        for (link, count) in &link_counts {
-            if *count > bound {
-                findings.push(Finding {
-                    kind: FindingKind::LinkOverload,
-                    rank: None,
-                    detail: format!(
-                        "link {}->{} carried {count} messages (bound {bound})",
-                        link.from, link.to
-                    ),
-                });
-            }
-        }
+    // The cost engine needs recorded timing to replay: skip it on
+    // deadlocked runs (partial clocks) and hand-built schedules (no
+    // transfer records).
+    let cost = ((opts.conformance || opts.perf) && !sched.deadlocked && !sched.xfers.is_empty())
+        .then(|| crate::cost::replay(sched, machine, opts.lib, opts.faulted));
+
+    let ctx = CheckCtx {
+        sched,
+        machine,
+        sources,
+        payload_of,
+        opts,
+        cost: cost.as_ref(),
+        link_counts: &link_counts,
+    };
+    let mut out = CheckOutput::default();
+    for check in registry() {
+        check.run(&ctx, &mut out);
     }
+    // Canonical report order, independent of check execution order.
+    out.findings
+        .sort_by_key(|f| (f.kind, f.rank, f.at_ns, f.seq));
 
     Analysis {
-        findings,
+        findings: out.findings,
         sends: sched.sends.len(),
         recvs: sched.recvs.len(),
         max_link_load: max,
         hottest_link: hottest,
-        opaque_payloads,
+        opaque_payloads: out.opaque_payloads,
+        cost,
     }
 }
 
-/// Check 1: deadlock, with wait-for cycle reconstruction.
-fn check_deadlock(sched: &Schedule, findings: &mut Vec<Finding>) {
-    if !sched.deadlocked {
-        return;
+/// Deadlock, with wait-for cycle reconstruction.
+struct DeadlockCheck;
+
+impl Check for DeadlockCheck {
+    fn name(&self) -> &'static str {
+        "deadlock"
     }
-    // Wait-for edges among the blocked ranks: r waits on its src filter.
-    // Wildcard-src waits have no specific edge; they are reported as
-    // unsatisfiable waits instead.
-    let blocked: BTreeMap<usize, Option<usize>> = sched
-        .blocked
-        .iter()
-        .map(|b| (b.rank, b.src_filter))
-        .collect();
-    let cycle = find_wait_cycle(&blocked);
-    let waits: Vec<String> = sched
-        .blocked
-        .iter()
-        .map(|b| {
-            format!(
-                "rank {} waits on recv(src={}, tag={})",
-                b.rank,
-                b.src_filter.map_or("any".into(), |s| s.to_string()),
-                b.tag_filter.map_or("any".into(), |t| t.to_string()),
-            )
-        })
-        .collect();
-    let detail = match cycle {
-        Some(cycle) => {
-            let ring = cycle
-                .iter()
-                .map(|r| r.to_string())
-                .collect::<Vec<_>>()
-                .join(" -> ");
-            format!(
-                "deadlock: wait-for cycle {ring} -> {} among {} blocked rank(s); {}",
-                cycle[0],
+
+    fn run(&self, ctx: &CheckCtx, out: &mut CheckOutput) {
+        let sched = ctx.sched;
+        if !sched.deadlocked {
+            return;
+        }
+        // Wait-for edges among the blocked ranks: r waits on its src
+        // filter. Wildcard-src waits have no specific edge; they are
+        // reported as unsatisfiable waits instead.
+        let blocked: BTreeMap<usize, Option<usize>> = sched
+            .blocked
+            .iter()
+            .map(|b| (b.rank, b.src_filter))
+            .collect();
+        let cycle = find_wait_cycle(&blocked);
+        let waits: Vec<String> = sched
+            .blocked
+            .iter()
+            .map(|b| {
+                format!(
+                    "rank {} waits on recv(src={}, tag={})",
+                    b.rank,
+                    b.src_filter.map_or("any".into(), |s| s.to_string()),
+                    b.tag_filter.map_or("any".into(), |t| t.to_string()),
+                )
+            })
+            .collect();
+        let detail = match cycle {
+            Some(cycle) => {
+                let ring = cycle
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> ");
+                format!(
+                    "deadlock: wait-for cycle {ring} -> {} among {} blocked rank(s); {}",
+                    cycle[0],
+                    sched.blocked.len(),
+                    waits.join("; ")
+                )
+            }
+            None => format!(
+                "deadlock: {} rank(s) blocked on receives no live rank will satisfy; {}",
                 sched.blocked.len(),
                 waits.join("; ")
-            )
-        }
-        None => format!(
-            "deadlock: {} rank(s) blocked on receives no live rank will satisfy; {}",
-            sched.blocked.len(),
-            waits.join("; ")
-        ),
-    };
-    findings.push(Finding {
-        kind: FindingKind::Deadlock,
-        rank: sched.blocked.first().map(|b| b.rank),
-        detail,
-    });
+            ),
+        };
+        out.findings.push(Finding::new(
+            FindingKind::Deadlock,
+            sched.blocked.first().map(|b| b.rank),
+            detail,
+        ));
+    }
 }
 
 /// Find a cycle in the (partial) functional wait-for graph.
@@ -216,152 +448,235 @@ fn find_wait_cycle(blocked: &BTreeMap<usize, Option<usize>>) -> Option<Vec<usize
 /// damage is distinguishable from a schedule that forgot a receive; the
 /// unmatched-send check skips these sequence numbers for the same
 /// reason.
-fn check_lost(sched: &Schedule, findings: &mut Vec<Finding>) {
-    let lost = sched.lost_seqs();
-    if lost.is_empty() {
-        return;
+struct LostMessageCheck;
+
+impl Check for LostMessageCheck {
+    fn name(&self) -> &'static str {
+        "lost_message"
     }
-    // Attempts actually made per lost message (drops are per attempt).
-    let mut attempts: HashMap<u64, u32> = HashMap::new();
-    for d in &sched.drops {
-        let e = attempts.entry(d.seq).or_insert(0);
-        *e = (*e).max(d.attempt + 1);
-    }
-    for send in &sched.sends {
-        if lost.contains(&send.seq) {
-            findings.push(Finding {
-                kind: FindingKind::LostMessage,
-                rank: Some(send.dst),
-                detail: format!(
-                    "message {} -> {} (tag {}, {} bytes, step {}) destroyed by the \
-                     fault plan: all {} transmission attempt(s) dropped",
-                    send.src,
-                    send.dst,
-                    send.tag,
-                    send.data.len(),
-                    send.step,
-                    attempts.get(&send.seq).copied().unwrap_or(1)
-                ),
-            });
+
+    fn run(&self, ctx: &CheckCtx, out: &mut CheckOutput) {
+        let sched = ctx.sched;
+        let lost = sched.lost_seqs();
+        if lost.is_empty() {
+            return;
+        }
+        // Attempts actually made per lost message (drops are per attempt).
+        let mut attempts: HashMap<u64, u32> = HashMap::new();
+        for d in &sched.drops {
+            let e = attempts.entry(d.seq).or_insert(0);
+            *e = (*e).max(d.attempt + 1);
+        }
+        for send in &sched.sends {
+            if lost.contains(&send.seq) {
+                let mut f = Finding::new(
+                    FindingKind::LostMessage,
+                    Some(send.dst),
+                    format!(
+                        "message {} -> {} (tag {}, {} bytes, step {}) destroyed by the \
+                         fault plan: all {} transmission attempt(s) dropped",
+                        send.src,
+                        send.dst,
+                        send.tag,
+                        send.data.len(),
+                        send.step,
+                        attempts.get(&send.seq).copied().unwrap_or(1)
+                    ),
+                );
+                f.seq = Some(send.seq);
+                out.findings.push(f);
+            }
         }
     }
 }
 
-/// Check 2: sends that no receive ever consumed.
+/// Sends that no receive ever consumed.
 ///
 /// Skipped for deadlocked runs — in-flight messages are expected there,
 /// and the deadlock finding is the root cause. Messages destroyed by the
-/// fault plan are skipped too: [`check_lost`] already reported them with
-/// the fault attribution.
-fn check_unmatched(sched: &Schedule, findings: &mut Vec<Finding>) {
-    if sched.deadlocked {
-        return;
+/// fault plan are skipped too: [`LostMessageCheck`] already reported
+/// them with the fault attribution.
+struct UnmatchedSendCheck;
+
+impl Check for UnmatchedSendCheck {
+    fn name(&self) -> &'static str {
+        "unmatched_send"
     }
-    let lost = sched.lost_seqs();
-    let matched = sched.matched_seqs();
-    for send in &sched.sends {
-        if !matched.contains(&send.seq) && !lost.contains(&send.seq) {
-            findings.push(Finding {
-                kind: FindingKind::UnmatchedSend,
-                rank: Some(send.dst),
-                detail: format!(
-                    "message {} -> {} (tag {}, {} bytes, step {}) was never received",
-                    send.src,
-                    send.dst,
-                    send.tag,
-                    send.data.len(),
-                    send.step
-                ),
-            });
+
+    fn run(&self, ctx: &CheckCtx, out: &mut CheckOutput) {
+        let sched = ctx.sched;
+        if sched.deadlocked {
+            return;
         }
-    }
-}
-
-/// Check 3: ambiguous receive matches, deduplicated per
-/// `(rank, src, tag)` site.
-fn check_ambiguity(sched: &Schedule, findings: &mut Vec<Finding>) {
-    let mut seen = BTreeSet::new();
-    for recv in &sched.recvs {
-        if recv.dup_in_flight > 1 && seen.insert((recv.rank, recv.src, recv.tag)) {
-            findings.push(Finding {
-                kind: FindingKind::MatchAmbiguity,
-                rank: Some(recv.rank),
-                detail: format!(
-                    "rank {} recv(src={}, tag={}) matched while {} in-flight message(s) \
-                     shared (src={}, tag={}) — delivery order decided the match",
-                    recv.rank,
-                    recv.src_filter.map_or("any".into(), |s| s.to_string()),
-                    recv.tag_filter.map_or("any".into(), |t| t.to_string()),
-                    recv.dup_in_flight,
-                    recv.src,
-                    recv.tag
-                ),
-            });
-        }
-    }
-}
-
-/// Check 4: s-to-p completeness by payload attribution.
-///
-/// Returns whether any payload was opaque (leak check skipped).
-/// Deadlocked runs are skipped — the deadlock is the root cause.
-fn check_leaks(
-    sched: &Schedule,
-    sources: &[usize],
-    payload_of: &dyn Fn(usize) -> Vec<u8>,
-    findings: &mut Vec<Finding>,
-) -> bool {
-    if sched.deadlocked {
-        return false;
-    }
-    let attribution = Attribution::new(sources, payload_of);
-    if !attribution.is_usable() {
-        return true;
-    }
-    let send_by_seq: HashMap<u64, usize> = sched
-        .sends
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.seq, i))
-        .collect();
-
-    // knowledge[r] = sources whose bytes reached rank r.
-    let all: BTreeSet<usize> = sources.iter().copied().collect();
-    let mut knowledge: Vec<BTreeSet<usize>> = (0..sched.p)
-        .map(|r| {
-            if all.contains(&r) {
-                BTreeSet::from([r])
-            } else {
-                BTreeSet::new()
+        let lost = sched.lost_seqs();
+        let matched = sched.matched_seqs();
+        for send in &sched.sends {
+            if !matched.contains(&send.seq) && !lost.contains(&send.seq) {
+                let mut f = Finding::new(
+                    FindingKind::UnmatchedSend,
+                    Some(send.dst),
+                    format!(
+                        "message {} -> {} (tag {}, {} bytes, step {}) was never received",
+                        send.src,
+                        send.dst,
+                        send.tag,
+                        send.data.len(),
+                        send.step
+                    ),
+                );
+                f.seq = Some(send.seq);
+                out.findings.push(f);
             }
-        })
-        .collect();
-    for recv in &sched.recvs {
-        let Some(&i) = send_by_seq.get(&recv.seq) else {
-            continue;
+        }
+    }
+}
+
+/// Ambiguous receive matches, deduplicated per `(rank, src, tag)` site.
+struct MatchAmbiguityCheck;
+
+impl Check for MatchAmbiguityCheck {
+    fn name(&self) -> &'static str {
+        "match_ambiguity"
+    }
+
+    fn run(&self, ctx: &CheckCtx, out: &mut CheckOutput) {
+        let mut seen = BTreeSet::new();
+        for recv in &ctx.sched.recvs {
+            if recv.dup_in_flight > 1 && seen.insert((recv.rank, recv.src, recv.tag)) {
+                let mut f = Finding::new(
+                    FindingKind::MatchAmbiguity,
+                    Some(recv.rank),
+                    format!(
+                        "rank {} recv(src={}, tag={}) matched while {} in-flight message(s) \
+                         shared (src={}, tag={}) — delivery order decided the match",
+                        recv.rank,
+                        recv.src_filter.map_or("any".into(), |s| s.to_string()),
+                        recv.tag_filter.map_or("any".into(), |t| t.to_string()),
+                        recv.dup_in_flight,
+                        recv.src,
+                        recv.tag
+                    ),
+                );
+                f.seq = Some(recv.seq);
+                out.findings.push(f);
+            }
+        }
+    }
+}
+
+/// s-to-p completeness by payload attribution.
+///
+/// Deadlocked runs are skipped — the deadlock is the root cause. Sets
+/// [`CheckOutput::opaque_payloads`] (and reports nothing) when some
+/// payload could not be attributed.
+struct PayloadLeakCheck;
+
+impl Check for PayloadLeakCheck {
+    fn name(&self) -> &'static str {
+        "payload_leak"
+    }
+
+    fn run(&self, ctx: &CheckCtx, out: &mut CheckOutput) {
+        let sched = ctx.sched;
+        if sched.deadlocked {
+            return;
+        }
+        let attribution = Attribution::new(ctx.sources, ctx.payload_of);
+        if !attribution.is_usable() {
+            out.opaque_payloads = true;
+            return;
+        }
+        let send_by_seq: HashMap<u64, usize> = sched
+            .sends
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.seq, i))
+            .collect();
+
+        // knowledge[r] = sources whose bytes reached rank r.
+        let all: BTreeSet<usize> = ctx.sources.iter().copied().collect();
+        let mut knowledge: Vec<BTreeSet<usize>> = (0..sched.p)
+            .map(|r| {
+                if all.contains(&r) {
+                    BTreeSet::from([r])
+                } else {
+                    BTreeSet::new()
+                }
+            })
+            .collect();
+        for recv in &sched.recvs {
+            let Some(&i) = send_by_seq.get(&recv.seq) else {
+                continue;
+            };
+            match attribution.attribute(&sched.sends[i].data) {
+                Attributed::Sources(set) => knowledge[recv.rank].extend(set),
+                Attributed::Opaque => {
+                    out.opaque_payloads = true;
+                    return;
+                }
+            }
+        }
+        for (rank, known) in knowledge.iter().enumerate() {
+            if !all.is_subset(known) {
+                let missing: Vec<String> = all.difference(known).map(|s| s.to_string()).collect();
+                out.findings.push(Finding::new(
+                    FindingKind::PayloadLeak,
+                    Some(rank),
+                    format!(
+                        "rank {rank} never received the message(s) of source(s) {} \
+                         ({} of {} sources reached it)",
+                        missing.join(", "),
+                        known.len(),
+                        all.len()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Links whose message count exceeds the opt-in bound. With timing data
+/// available the finding carries the link's busy timeline and its top
+/// contributing transfers.
+struct LinkOverloadCheck;
+
+impl Check for LinkOverloadCheck {
+    fn name(&self) -> &'static str {
+        "link_overload"
+    }
+
+    fn run(&self, ctx: &CheckCtx, out: &mut CheckOutput) {
+        let Some(bound) = ctx.opts.max_link_load else {
+            return;
         };
-        match attribution.attribute(&sched.sends[i].data) {
-            Attributed::Sources(set) => knowledge[recv.rank].extend(set),
-            Attributed::Opaque => return true,
+        for (link, count) in ctx.link_counts {
+            if *count <= bound {
+                continue;
+            }
+            let mut detail = format!(
+                "link {}->{} carried {count} messages (bound {bound})",
+                link.from, link.to
+            );
+            let mut f = Finding::new(FindingKind::LinkOverload, None, String::new());
+            if let Some(tl) = ctx.cost.and_then(|c| c.links.get(link)) {
+                detail.push_str(&format!(
+                    "; busy {} ns across [{}, {}] ns",
+                    tl.busy_ns, tl.first_busy_ns, tl.last_busy_ns
+                ));
+                if !tl.top.is_empty() {
+                    let top: Vec<String> = tl
+                        .top
+                        .iter()
+                        .map(|(seq, src, dst, ns)| format!("{src}->{dst} (seq {seq}, {ns} ns)"))
+                        .collect();
+                    detail.push_str(&format!("; top transfers: {}", top.join(", ")));
+                }
+                f.at_ns = Some(tl.first_busy_ns);
+            }
+            f.detail = detail;
+            out.findings.push(f);
         }
     }
-    for (rank, known) in knowledge.iter().enumerate() {
-        if !all.is_subset(known) {
-            let missing: Vec<String> = all.difference(known).map(|s| s.to_string()).collect();
-            findings.push(Finding {
-                kind: FindingKind::PayloadLeak,
-                rank: Some(rank),
-                detail: format!(
-                    "rank {rank} never received the message(s) of source(s) {} \
-                     ({} of {} sources reached it)",
-                    missing.join(", "),
-                    known.len(),
-                    all.len()
-                ),
-            });
-        }
-    }
-    false
 }
 
 /// Per-link message counts over the machine's dimension-ordered routes.
@@ -392,6 +707,7 @@ mod tests {
             dst,
             tag,
             data: data.to_vec(),
+            issue_ns: 0,
         }
     }
 
@@ -405,6 +721,8 @@ mod tests {
             src,
             tag,
             dup_in_flight: dup,
+            start_ns: 0,
+            arrival_ns: 0,
         }
     }
 
@@ -414,6 +732,10 @@ mod tests {
 
     fn payload(src: usize) -> Vec<u8> {
         stp_core::msgset::payload_for(src, 16)
+    }
+
+    fn opts() -> AnalyzeOpts {
+        AnalyzeOpts::default()
     }
 
     #[test]
@@ -428,7 +750,7 @@ mod tests {
             sched.sends.push(send(seq, 0, dst, 5, &payload(0)));
             sched.recvs.push(recv(seq, dst, 0, 5, 1));
         }
-        let a = analyze(&sched, &machine(), &[0], &payload, None);
+        let a = analyze(&sched, &machine(), &[0], &payload, &opts());
         assert!(a.is_clean(), "unexpected findings: {:?}", a.findings);
         assert_eq!(a.sends, 3);
         assert!(a.max_link_load >= 1);
@@ -459,7 +781,7 @@ mod tests {
             deadlocked: true,
             ..Schedule::default()
         };
-        let a = analyze(&sched, &machine(), &[0], &payload, None);
+        let a = analyze(&sched, &machine(), &[0], &payload, &opts());
         assert_eq!(a.findings.len(), 1);
         assert_eq!(a.findings[0].kind, FindingKind::Deadlock);
         assert!(
@@ -479,7 +801,7 @@ mod tests {
         sched.sends.push(send(2, 0, 2, 5, &payload(0)));
         sched.recvs.push(recv(1, 1, 0, 5, 1));
         // seq 2 never received; ranks 2 and 3 also leak source 0.
-        let a = analyze(&sched, &machine(), &[0], &payload, None);
+        let a = analyze(&sched, &machine(), &[0], &payload, &opts());
         let kinds: Vec<FindingKind> = a.findings.iter().map(|f| f.kind).collect();
         assert!(kinds.contains(&FindingKind::UnmatchedSend));
         assert!(kinds.contains(&FindingKind::PayloadLeak));
@@ -495,7 +817,7 @@ mod tests {
         sched.sends.push(send(2, 0, 1, 5, &payload(0)));
         sched.recvs.push(recv(1, 1, 0, 5, 2));
         sched.recvs.push(recv(2, 1, 0, 5, 1));
-        let a = analyze(&sched, &Machine::paragon(1, 2), &[0], &payload, None);
+        let a = analyze(&sched, &Machine::paragon(1, 2), &[0], &payload, &opts());
         let ambiguities: Vec<_> = a
             .findings
             .iter()
@@ -523,7 +845,7 @@ mod tests {
         sched.sends.push(send(1, 0, 1, 5, &payload(0)));
         sched.drops.push(drop(1, 0, false));
         sched.drops.push(drop(1, 1, true));
-        let a = analyze(&sched, &Machine::paragon(1, 2), &[0], &payload, None);
+        let a = analyze(&sched, &Machine::paragon(1, 2), &[0], &payload, &opts());
         let kinds: Vec<FindingKind> = a.findings.iter().map(|f| f.kind).collect();
         assert!(kinds.contains(&FindingKind::LostMessage));
         // The root cause is reported once — not also as an unmatched send.
@@ -540,6 +862,7 @@ mod tests {
             "{}",
             lost.detail
         );
+        assert_eq!(lost.seq, Some(1));
     }
 
     #[test]
@@ -552,7 +875,7 @@ mod tests {
         sched.sends.push(send(1, 0, 1, 5, &payload(0)));
         sched.drops.push(drop(1, 0, false));
         sched.recvs.push(recv(1, 1, 0, 5, 1));
-        let a = analyze(&sched, &Machine::paragon(1, 2), &[0], &payload, None);
+        let a = analyze(&sched, &Machine::paragon(1, 2), &[0], &payload, &opts());
         assert!(a.is_clean(), "unexpected findings: {:?}", a.findings);
     }
 
@@ -567,13 +890,70 @@ mod tests {
             sched.recvs.push(recv(seq, 1, 0, seq as u32, 1));
         }
         let m = Machine::paragon(1, 2);
-        let silent = analyze(&sched, &m, &[0], &payload, None);
+        let silent = analyze(&sched, &m, &[0], &payload, &opts());
         assert!(silent.is_clean());
         assert_eq!(silent.max_link_load, 4);
-        let strict = analyze(&sched, &m, &[0], &payload, Some(2));
+        let strict = analyze(
+            &sched,
+            &m,
+            &[0],
+            &payload,
+            &AnalyzeOpts {
+                max_link_load: Some(2),
+                ..AnalyzeOpts::default()
+            },
+        );
         assert!(strict
             .findings
             .iter()
             .any(|f| f.kind == FindingKind::LinkOverload));
+    }
+
+    #[test]
+    fn findings_come_out_in_canonical_order() {
+        let mut sched = Schedule {
+            p: 4,
+            ..Schedule::default()
+        };
+        // Two unmatched sends pushed in reverse-destination order plus
+        // leaks: the report must still sort by (kind, rank, at, seq).
+        sched.sends.push(send(2, 0, 3, 5, &payload(0)));
+        sched.sends.push(send(1, 0, 2, 5, &payload(0)));
+        let a = analyze(&sched, &machine(), &[0], &payload, &opts());
+        let sorted: Vec<_> = a
+            .findings
+            .iter()
+            .map(|f| (f.kind, f.rank, f.at_ns, f.seq))
+            .collect();
+        let mut expect = sorted.clone();
+        expect.sort();
+        assert_eq!(sorted, expect, "{:?}", a.findings);
+        assert_eq!(a.findings[0].kind, FindingKind::UnmatchedSend);
+        assert_eq!(a.findings[0].rank, Some(2));
+    }
+
+    #[test]
+    fn severities_partition_the_kinds() {
+        assert_eq!(FindingKind::Deadlock.severity(), Severity::Error);
+        assert_eq!(FindingKind::CostModelDivergence.severity(), Severity::Error);
+        assert_eq!(FindingKind::IdlePorts.severity(), Severity::Warn);
+        assert_eq!(FindingKind::AboveLowerBound.severity(), Severity::Info);
+        // Every kind's name round-trips.
+        for kind in [
+            FindingKind::Deadlock,
+            FindingKind::UnmatchedSend,
+            FindingKind::MatchAmbiguity,
+            FindingKind::PayloadLeak,
+            FindingKind::LinkOverload,
+            FindingKind::LostMessage,
+            FindingKind::CostModelDivergence,
+            FindingKind::IdlePorts,
+            FindingKind::SerializationHotspot,
+            FindingKind::ContentionDominated,
+            FindingKind::RedundantTransmission,
+            FindingKind::AboveLowerBound,
+        ] {
+            assert_eq!(FindingKind::from_name(kind.name()), Some(kind));
+        }
     }
 }

@@ -1,0 +1,873 @@
+//! The static cost engine: replay a recorded schedule against the
+//! machine's timing parameters, independently of the kernel.
+//!
+//! The engine re-implements the α–β postal model and the contention
+//! arithmetic (`Pipelined` wormhole windows, `Circuit` whole-route
+//! holds, `Shared` queueing servers, port-slot arbitration) from the
+//! recorded inputs alone: each send's issue clock, each transfer's
+//! network-ready instant, and the route it took. Recorded gaps between
+//! a rank's operations are treated as opaque local work. Everything
+//! else — port slots, link windows, injection/arrival instants, stalls,
+//! per-rank completion times, and the makespan — is **recomputed** and
+//! compared against the kernel's recorded ground truth.
+//!
+//! **Cost-model conformance**: any mismatch between a recomputed value
+//! and the recorded one is a [`CostReport::divergences`] entry — a bug
+//! in either the cost engine or the kernel, surfaced by the analyzer as
+//! an error-severity `cost_model_divergence` finding and machine-checked
+//! in CI over the whole lint matrix on both executors.
+//!
+//! On top of the replay the engine derives the structures the perf
+//! lints consume: the dependency-weighted critical path (attributing
+//! each nanosecond of the makespan to a rank's α/local work, a link, or
+//! a port wait), per-transfer slack, per-link busy timelines, and
+//! per-node injection-port concurrency.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use mpp_model::{ContentionModel, LibraryKind, Link, Machine, Time};
+
+use crate::schedule::Schedule;
+
+/// Cap on recorded divergence messages per schedule: the first mismatch
+/// is the signal; later ones usually cascade from it.
+const DIVERGENCE_CAP: usize = 8;
+
+/// Top transfers kept per link busy timeline.
+const TOP_TRANSFERS: usize = 3;
+
+/// Busy timeline of one directed link, from the recorded link windows.
+#[derive(Debug, Clone, Default)]
+pub struct LinkTimeline {
+    /// Messages that reserved this link.
+    pub messages: u64,
+    /// Sum of reserved window durations (ns).
+    pub busy_ns: Time,
+    /// Start of the first reserved window (ns).
+    pub first_busy_ns: Time,
+    /// End of the last reserved window (ns).
+    pub last_busy_ns: Time,
+    /// Heaviest transfers through this link:
+    /// `(seq, src, dst, window_ns)`, longest first.
+    pub top: Vec<(u64, usize, usize, Time)>,
+}
+
+/// Injection-port usage of one node.
+#[derive(Debug, Clone, Default)]
+pub struct PortUse {
+    /// Networked sends injected at this node.
+    pub sends: usize,
+    /// Maximum number of concurrently busy injection-port windows.
+    pub max_out_concurrency: usize,
+}
+
+/// The dependency-weighted critical path: a backward walk from the
+/// latest-finishing rank attributing time to ranks, links, and ports.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Time attributed to each rank (α overheads + local work) (ns).
+    pub by_rank_ns: Vec<Time>,
+    /// Transfer spans attributed to each link on the path (ns).
+    pub by_link_ns: BTreeMap<Link, Time>,
+    /// Contention stalls accumulated by transfers on the path (ns).
+    pub stall_ns: Time,
+    /// Resource-free traversal time of transfers on the path (ns).
+    pub free_ns: Time,
+    /// Transfers on the path.
+    pub xfers: usize,
+    /// Waits attributed to busy injection/ejection ports (ns).
+    pub port_wait_ns: Time,
+}
+
+/// Everything the cost engine computed for one schedule.
+#[derive(Debug, Clone, Default)]
+pub struct CostReport {
+    /// Conformance failures: recomputed values that differ from the
+    /// kernel's recording (capped at `DIVERGENCE_CAP` entries).
+    pub divergences: Vec<String>,
+    /// Recomputed completion time per rank (ns).
+    pub rank_finish_ns: Vec<Time>,
+    /// Recomputed makespan (ns).
+    pub makespan_ns: Time,
+    /// Critical-path decomposition.
+    pub crit: CriticalPath,
+    /// Per-delivered-transfer slack: `(seq, ns)` the message sat in its
+    /// destination mailbox before the receiver asked for it.
+    pub slack_ns: Vec<(u64, Time)>,
+    /// Busy timeline per directed link (recorded ground truth).
+    pub links: BTreeMap<Link, LinkTimeline>,
+    /// Injection-port usage per node.
+    pub ports: Vec<PortUse>,
+    /// Total contention stall over all transfers (ns).
+    pub total_stall_ns: Time,
+    /// Total resource-free transfer time over all transfers (ns).
+    pub total_free_ns: Time,
+}
+
+impl CostReport {
+    /// True when the replay matched the kernel exactly.
+    pub fn conformant(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Which constraint decided a transfer's injection instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bound {
+    /// Software-ready at the sender: nothing blocked it.
+    Ready,
+    /// The source node's injection-port slot (last held by `seq`).
+    OutPort(Option<u64>),
+    /// The destination node's ejection-port slot.
+    InPort(Option<u64>),
+    /// A busy link on the route.
+    OnLink(Link, Option<u64>),
+}
+
+/// One replayed transfer with its recomputed schedule and provenance.
+#[derive(Debug, Clone)]
+struct XferCost {
+    seq: u64,
+    src: usize,
+    ready_ns: Time,
+    start_ns: Time,
+    done_ns: Time,
+    stall_ns: Time,
+    free_ns: Time,
+    route: Vec<Link>,
+    bound: Bound,
+    local: bool,
+}
+
+/// One operation of a rank's clock chain.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    /// `usize` indexes [`Schedule::sends`].
+    Send(usize),
+    /// `usize` indexes [`Schedule::recvs`].
+    Recv(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RankOp {
+    kind: OpKind,
+    /// Recorded clock when the kernel processed the op (its input).
+    in_ns: Time,
+    /// Recomputed clock after the op.
+    out_ns: Time,
+}
+
+/// Index of the earliest-free slot (ties → lowest index) — the same
+/// deterministic arbitration the kernel uses.
+fn best_slot(slots: &[Time]) -> usize {
+    let mut best = 0;
+    for (i, &t) in slots.iter().enumerate().skip(1) {
+        if t < slots[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Replay `sched` against `machine`'s cost model.
+///
+/// `faulted` marks a schedule recorded under an active fault plan:
+/// retry backoff and injection delays shift the network-ready instant
+/// beyond `issue + α_send`, and detours replace the dimension-ordered
+/// route, so those two recomputations are skipped — the network
+/// arithmetic itself is still replayed exactly from the recorded
+/// injection instants.
+pub fn replay(sched: &Schedule, machine: &Machine, lib: LibraryKind, faulted: bool) -> CostReport {
+    let params = &machine.params;
+    let tau = params.tau_hop_ns;
+    let alpha_send = params.alpha_send(lib);
+    let alpha_recv = params.alpha_recv(lib);
+    let n = machine.topology.num_nodes();
+    let k = params.ports_per_node.max(1);
+
+    let mut report = CostReport {
+        rank_finish_ns: vec![0; sched.p],
+        ports: vec![PortUse::default(); n],
+        ..CostReport::default()
+    };
+    fn diverge(report: &mut CostReport, msg: String) {
+        if report.divergences.len() < DIVERGENCE_CAP {
+            report.divergences.push(msg);
+        }
+    }
+
+    // ---- Network replay: recompute every transfer's reservations. ----
+    let mut link_busy: HashMap<Link, Time> = HashMap::new();
+    let mut link_writer: HashMap<Link, u64> = HashMap::new();
+    let mut out_port: Vec<Vec<Time>> = vec![vec![0; k]; n];
+    let mut in_port: Vec<Vec<Time>> = vec![vec![0; k]; n];
+    let mut out_writer: Vec<Vec<Option<u64>>> = vec![vec![None; k]; n];
+    let mut in_writer: Vec<Vec<Option<u64>>> = vec![vec![None; k]; n];
+    let mut xfers: Vec<XferCost> = Vec::with_capacity(sched.xfers.len());
+    let mut xfer_by_seq: HashMap<u64, usize> = HashMap::with_capacity(sched.xfers.len());
+    let send_bytes: HashMap<u64, usize> =
+        sched.sends.iter().map(|s| (s.seq, s.data.len())).collect();
+
+    for x in &sched.xfers {
+        let bytes = x.bytes;
+        if let Some(&b) = send_bytes.get(&x.seq) {
+            if b != bytes {
+                diverge(
+                    &mut report,
+                    format!(
+                        "seq {}: transfer bytes {} != send payload {}",
+                        x.seq, bytes, b
+                    ),
+                );
+            }
+        }
+        let wire_ns = params.serialize_ns_lib(bytes, lib);
+        if x.is_local() {
+            let done = x.ready_ns + params.memcpy_ns(bytes);
+            if done != x.done_ns {
+                diverge(
+                    &mut report,
+                    format!(
+                        "seq {}: local delivery recomputed at {} ns, kernel recorded {} ns",
+                        x.seq, done, x.done_ns
+                    ),
+                );
+            }
+            let idx = xfers.len();
+            xfers.push(XferCost {
+                seq: x.seq,
+                src: x.src,
+                ready_ns: x.ready_ns,
+                start_ns: x.ready_ns,
+                done_ns: done,
+                stall_ns: 0,
+                free_ns: done - x.ready_ns,
+                route: Vec::new(),
+                bound: Bound::Ready,
+                local: true,
+            });
+            xfer_by_seq.insert(x.seq, idx);
+            continue;
+        }
+
+        let route: Vec<Link> = x.windows.iter().map(|w| w.link).collect();
+        if !faulted {
+            let expect = machine.route(x.src, x.dst);
+            if route != expect {
+                diverge(
+                    &mut report,
+                    format!(
+                        "seq {}: recorded route differs from the dimension-ordered \
+                         route {} -> {} ({} vs {} hops)",
+                        x.seq,
+                        x.src,
+                        x.dst,
+                        route.len(),
+                        expect.len()
+                    ),
+                );
+            }
+        }
+        let u = machine.node_of(x.src);
+        let v = machine.node_of(x.dst);
+        let out_slot = best_slot(&out_port[u]);
+        let in_slot = best_slot(&in_port[v]);
+        if Some(out_slot) != x.out_slot || Some(in_slot) != x.in_slot {
+            diverge(
+                &mut report,
+                format!(
+                    "seq {}: recomputed port slots (out {}, in {}) != recorded ({:?}, {:?})",
+                    x.seq, out_slot, in_slot, x.out_slot, x.in_slot
+                ),
+            );
+        }
+        let in_horizon = in_port[v][in_slot].saturating_sub(route.len() as Time * tau);
+        let port_free = x.ready_ns.max(out_port[u][out_slot]).max(in_horizon);
+        let mut bound = Bound::Ready;
+        if port_free > x.ready_ns {
+            bound = if out_port[u][out_slot] >= in_horizon {
+                Bound::OutPort(out_writer[u][out_slot])
+            } else {
+                Bound::InPort(in_writer[v][in_slot])
+            };
+        }
+
+        // Independent re-implementation of the contention arithmetic —
+        // see `mpp_sim::network` for the kernel's version.
+        let mut windows: Vec<(Link, Time, Time)> = Vec::with_capacity(route.len());
+        let (start, done) = match params.contention {
+            ContentionModel::Shared => {
+                let link_ns = params.link_ns(bytes);
+                let mut head = port_free;
+                for link in &route {
+                    let busy = link_busy.get(link).copied().unwrap_or(0);
+                    if busy > head {
+                        head = busy;
+                        bound = Bound::OnLink(*link, link_writer.get(link).copied());
+                    }
+                    windows.push((*link, head, head + link_ns));
+                    link_busy.insert(*link, head + link_ns);
+                    link_writer.insert(*link, x.seq);
+                    head += tau;
+                }
+                let done = head + wire_ns;
+                let start = head - route.len() as Time * tau;
+                (start, done)
+            }
+            model => {
+                let pipelined = model == ContentionModel::Pipelined;
+                let mut start = port_free;
+                for (i, link) in route.iter().enumerate() {
+                    let busy = link_busy.get(link).copied().unwrap_or(0);
+                    let slack = if pipelined { i as Time * tau } else { 0 };
+                    let cand = busy.saturating_sub(slack);
+                    if cand > start {
+                        start = cand;
+                        bound = Bound::OnLink(*link, link_writer.get(link).copied());
+                    }
+                }
+                let done = start + params.hops_ns(route.len()) + wire_ns;
+                for (i, link) in route.iter().enumerate() {
+                    let (from, until) = if pipelined {
+                        (start + i as Time * tau, start + i as Time * tau + wire_ns)
+                    } else {
+                        (start, done)
+                    };
+                    windows.push((*link, from, until));
+                    link_busy.insert(*link, until);
+                    link_writer.insert(*link, x.seq);
+                }
+                (start, done)
+            }
+        };
+        let free_ns = params.hops_ns(route.len()) + wire_ns;
+        let stall = done.saturating_sub(x.ready_ns + free_ns);
+
+        if start != x.start_ns || done != x.done_ns {
+            diverge(
+                &mut report,
+                format!(
+                    "seq {}: recomputed start/done {}/{} ns != recorded {}/{} ns",
+                    x.seq, start, done, x.start_ns, x.done_ns
+                ),
+            );
+        }
+        if stall != x.stall_ns {
+            diverge(
+                &mut report,
+                format!(
+                    "seq {}: recomputed stall {} ns != recorded {} ns",
+                    x.seq, stall, x.stall_ns
+                ),
+            );
+        }
+        for (i, w) in x.windows.iter().enumerate() {
+            let (link, from, until) = windows[i];
+            debug_assert_eq!(link, w.link);
+            if from != w.from_ns || until != w.until_ns {
+                diverge(
+                    &mut report,
+                    format!(
+                        "seq {}: hop {} ({}->{}) recomputed window [{}, {}] != \
+                         recorded [{}, {}]",
+                        x.seq, i, w.link.from, w.link.to, from, until, w.from_ns, w.until_ns
+                    ),
+                );
+                break;
+            }
+        }
+
+        out_port[u][out_slot] = start + wire_ns;
+        in_port[v][in_slot] = done;
+        out_writer[u][out_slot] = Some(x.seq);
+        in_writer[v][in_slot] = Some(x.seq);
+        report.total_stall_ns += stall;
+        report.total_free_ns += free_ns;
+        report.ports[u].sends += 1;
+
+        let idx = xfers.len();
+        xfers.push(XferCost {
+            seq: x.seq,
+            src: x.src,
+            ready_ns: x.ready_ns,
+            start_ns: start,
+            done_ns: done,
+            stall_ns: stall,
+            free_ns,
+            route,
+            bound,
+            local: false,
+        });
+        xfer_by_seq.insert(x.seq, idx);
+    }
+
+    // ---- Recorded link timelines and port concurrency. ----
+    let mut link_contrib: BTreeMap<Link, Vec<(Time, u64, usize, usize)>> = BTreeMap::new();
+    let mut port_windows: Vec<Vec<(Time, Time)>> = vec![Vec::new(); n];
+    for x in &sched.xfers {
+        for w in &x.windows {
+            let t = report.links.entry(w.link).or_insert_with(|| LinkTimeline {
+                first_busy_ns: Time::MAX,
+                ..LinkTimeline::default()
+            });
+            t.messages += 1;
+            let dur = w.until_ns.saturating_sub(w.from_ns);
+            t.busy_ns += dur;
+            t.first_busy_ns = t.first_busy_ns.min(w.from_ns);
+            t.last_busy_ns = t.last_busy_ns.max(w.until_ns);
+            link_contrib
+                .entry(w.link)
+                .or_default()
+                .push((dur, x.seq, x.src, x.dst));
+        }
+        if !x.is_local() {
+            let wire_ns = params.serialize_ns_lib(x.bytes, lib);
+            port_windows[machine.node_of(x.src)].push((x.start_ns, x.start_ns + wire_ns));
+        }
+    }
+    for (link, mut contrib) in link_contrib {
+        contrib.sort_by(|a, b| (b.0, a.1).cmp(&(a.0, b.1)));
+        contrib.truncate(TOP_TRANSFERS);
+        if let Some(t) = report.links.get_mut(&link) {
+            t.top = contrib
+                .into_iter()
+                .map(|(dur, seq, src, dst)| (seq, src, dst, dur))
+                .collect();
+        }
+    }
+    for (node, mut windows) in port_windows.into_iter().enumerate() {
+        windows.sort_unstable();
+        // Sweep: +1 at window start, -1 at end (end before start on ties
+        // — back-to-back windows do not overlap).
+        let mut events: Vec<(Time, i32)> = Vec::with_capacity(windows.len() * 2);
+        for (from, until) in &windows {
+            events.push((*from, 1));
+            events.push((*until, -1));
+        }
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let (mut cur, mut max) = (0i32, 0i32);
+        for (_, delta) in events {
+            cur += delta;
+            max = max.max(cur);
+        }
+        report.ports[node].max_out_concurrency = max.max(0) as usize;
+    }
+
+    // ---- Per-rank clock chains. ----
+    let mut rank_ops: Vec<Vec<RankOp>> = vec![Vec::new(); sched.p];
+    for (i, s) in sched.sends.iter().enumerate() {
+        rank_ops[s.src].push(RankOp {
+            kind: OpKind::Send(i),
+            in_ns: s.issue_ns,
+            out_ns: 0,
+        });
+    }
+    for (i, r) in sched.recvs.iter().enumerate() {
+        rank_ops[r.rank].push(RankOp {
+            kind: OpKind::Recv(i),
+            in_ns: r.start_ns,
+            out_ns: 0,
+        });
+    }
+    let finishes: HashMap<usize, Time> = sched.finishes.iter().copied().collect();
+    for (rank, ops) in rank_ops.iter_mut().enumerate() {
+        ops.sort_by_key(|op| op.in_ns);
+        let mut clock: Time = 0;
+        for op in ops.iter_mut() {
+            if op.in_ns < clock {
+                diverge(
+                    &mut report,
+                    format!(
+                        "rank {rank}: operation clock {} ns earlier than the \
+                         recomputed chain ({} ns) — the model overestimates",
+                        op.in_ns, clock
+                    ),
+                );
+            }
+            match op.kind {
+                OpKind::Send(i) => {
+                    clock = op.in_ns + alpha_send;
+                    if !faulted {
+                        let seq = sched.sends[i].seq;
+                        if let Some(&xi) = xfer_by_seq.get(&seq) {
+                            if xfers[xi].ready_ns != clock {
+                                diverge(
+                                    &mut report,
+                                    format!(
+                                        "seq {seq}: network-ready recomputed at {} ns \
+                                         (issue + α_send), kernel recorded {} ns",
+                                        clock, xfers[xi].ready_ns
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                OpKind::Recv(i) => {
+                    let r = &sched.recvs[i];
+                    let arrival = xfer_by_seq
+                        .get(&r.seq)
+                        .map(|&xi| xfers[xi].done_ns)
+                        .unwrap_or(r.arrival_ns);
+                    if arrival != r.arrival_ns {
+                        diverge(
+                            &mut report,
+                            format!(
+                                "seq {}: recomputed arrival {} ns != arrival {} ns \
+                                 recorded at rank {}'s receive",
+                                r.seq, arrival, r.arrival_ns, r.rank
+                            ),
+                        );
+                    }
+                    clock = op.in_ns.max(arrival) + alpha_recv;
+                }
+            }
+            op.out_ns = clock;
+        }
+        // Recomputed completion: the replayed chain plus the recorded
+        // trailing local work. A kernel finish before the recomputed
+        // chain means the model overestimated somewhere.
+        let recorded = finishes.get(&rank).copied();
+        let finish = match recorded {
+            Some(f) if f < clock => {
+                diverge(
+                    &mut report,
+                    format!(
+                        "rank {rank}: kernel finished at {f} ns, before the \
+                         recomputed chain end {clock} ns"
+                    ),
+                );
+                clock
+            }
+            Some(f) => f,
+            None => clock,
+        };
+        report.rank_finish_ns[rank] = finish;
+    }
+    report.makespan_ns = report.rank_finish_ns.iter().copied().max().unwrap_or(0);
+    if let Some(recorded) = sched.makespan_ns {
+        if recorded != report.makespan_ns {
+            let msg = format!(
+                "recomputed makespan {} ns != kernel makespan {} ns",
+                report.makespan_ns, recorded
+            );
+            diverge(&mut report, msg);
+        }
+    }
+
+    // Every delivered send must carry a transfer record.
+    if !sched.xfers.is_empty() {
+        let lost = sched.lost_seqs();
+        for s in &sched.sends {
+            if !lost.contains(&s.seq) && !xfer_by_seq.contains_key(&s.seq) {
+                diverge(
+                    &mut report,
+                    format!(
+                        "seq {}: delivered send {} -> {} has no transfer record",
+                        s.seq, s.src, s.dst
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- Slack per delivered transfer. ----
+    for r in &sched.recvs {
+        report
+            .slack_ns
+            .push((r.seq, r.start_ns.saturating_sub(r.arrival_ns)));
+    }
+
+    // ---- Critical path. ----
+    report.crit = critical_path(
+        sched,
+        &rank_ops,
+        &xfers,
+        &xfer_by_seq,
+        &report.rank_finish_ns,
+        alpha_send,
+        alpha_recv,
+    );
+
+    report
+}
+
+/// Backward walk from the latest-finishing rank, attributing makespan
+/// time to ranks (α overheads and opaque local work), links (transfer
+/// spans and link waits), and port waits. The decomposition is a
+/// provenance heuristic for the perf lints — adjacent resource windows
+/// may overlap by a few τ — but every jump moves strictly earlier, so
+/// the walk terminates.
+fn critical_path(
+    sched: &Schedule,
+    rank_ops: &[Vec<RankOp>],
+    xfers: &[XferCost],
+    xfer_by_seq: &HashMap<u64, usize>,
+    rank_finish: &[Time],
+    alpha_send: Time,
+    alpha_recv: Time,
+) -> CriticalPath {
+    let mut crit = CriticalPath {
+        by_rank_ns: vec![0; sched.p],
+        ..CriticalPath::default()
+    };
+    let Some((last_rank, &finish)) = rank_finish
+        .iter()
+        .enumerate()
+        .max_by_key(|&(r, f)| (*f, std::cmp::Reverse(r)))
+    else {
+        return crit;
+    };
+    if finish == 0 {
+        return crit;
+    }
+    // Index: send op position per seq (to jump from a transfer back into
+    // its sender's chain).
+    let mut send_op: HashMap<u64, (usize, usize)> = HashMap::new();
+    for (rank, ops) in rank_ops.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            if let OpKind::Send(si) = op.kind {
+                send_op.insert(sched.sends[si].seq, (rank, i));
+            }
+        }
+    }
+
+    enum Cursor {
+        /// Walking rank `0`'s chain at op index `1` (whose recomputed
+        /// output clock has already been consumed).
+        Rank(usize, usize),
+        Xfer(usize),
+    }
+
+    // Trailing local work after the last op.
+    let mut cursor = match rank_ops[last_rank].len() {
+        0 => {
+            crit.by_rank_ns[last_rank] += finish;
+            return crit;
+        }
+        len => {
+            crit.by_rank_ns[last_rank] += finish - rank_ops[last_rank][len - 1].out_ns;
+            Cursor::Rank(last_rank, len - 1)
+        }
+    };
+    let mut visited_ops: HashSet<(usize, usize)> = HashSet::new();
+    let mut visited_xfers: HashSet<usize> = HashSet::new();
+    let budget = 4 * (sched.sends.len() + sched.recvs.len() + xfers.len()) + 16;
+
+    for _ in 0..budget {
+        match cursor {
+            Cursor::Rank(rank, i) => {
+                if !visited_ops.insert((rank, i)) {
+                    break;
+                }
+                let op = rank_ops[rank][i];
+                let (next_net, op_floor) = match op.kind {
+                    OpKind::Send(_) => {
+                        crit.by_rank_ns[rank] += alpha_send;
+                        (None, op.in_ns)
+                    }
+                    OpKind::Recv(ri) => {
+                        crit.by_rank_ns[rank] += alpha_recv;
+                        let r = &sched.recvs[ri];
+                        let arrival = xfer_by_seq
+                            .get(&r.seq)
+                            .map(|&xi| xfers[xi].done_ns)
+                            .unwrap_or(r.arrival_ns);
+                        if arrival > op.in_ns {
+                            (xfer_by_seq.get(&r.seq).copied(), op.in_ns)
+                        } else {
+                            (None, op.in_ns)
+                        }
+                    }
+                };
+                if let Some(xi) = next_net {
+                    cursor = Cursor::Xfer(xi);
+                    continue;
+                }
+                // Local: charge the opaque gap back to the previous op.
+                if i == 0 {
+                    crit.by_rank_ns[rank] += op_floor;
+                    break;
+                }
+                crit.by_rank_ns[rank] += op_floor - rank_ops[rank][i - 1].out_ns;
+                cursor = Cursor::Rank(rank, i - 1);
+            }
+            Cursor::Xfer(xi) => {
+                if !visited_xfers.insert(xi) {
+                    break;
+                }
+                let x = &xfers[xi];
+                if x.local {
+                    // A memcpy delivery: charge it to the sender.
+                    crit.by_rank_ns[x.src] += x.done_ns - x.ready_ns;
+                    match send_op.get(&x.seq) {
+                        Some(&(rank, i)) => cursor = Cursor::Rank(rank, i),
+                        None => break,
+                    }
+                    continue;
+                }
+                crit.xfers += 1;
+                crit.stall_ns += x.stall_ns;
+                crit.free_ns += x.free_ns;
+                let span = x.done_ns - x.start_ns;
+                for link in &x.route {
+                    *crit.by_link_ns.entry(*link).or_insert(0) += span;
+                }
+                let wait = x.start_ns.saturating_sub(x.ready_ns);
+                match x.bound {
+                    Bound::Ready => match send_op.get(&x.seq) {
+                        Some(&(rank, i)) => cursor = Cursor::Rank(rank, i),
+                        None => break,
+                    },
+                    Bound::OutPort(prev) | Bound::InPort(prev) => {
+                        crit.port_wait_ns += wait;
+                        match prev.and_then(|s| xfer_by_seq.get(&s)).copied() {
+                            Some(pi) => cursor = Cursor::Xfer(pi),
+                            None => break,
+                        }
+                    }
+                    Bound::OnLink(link, prev) => {
+                        *crit.by_link_ns.entry(link).or_insert(0) += wait;
+                        match prev.and_then(|s| xfer_by_seq.get(&s)).copied() {
+                            Some(pi) => cursor = Cursor::Xfer(pi),
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+    }
+    crit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_runtime::ExecMode;
+    use stp_core::msgset::payload_for;
+    use stp_core::runner::{record_sources_exec, AlgoKind};
+
+    /// The cost engine must reproduce the kernel's schedule exactly on a
+    /// real recorded run — the conformance keystone in miniature.
+    #[test]
+    fn replay_is_exact_on_a_recorded_run() {
+        let machine = Machine::paragon(4, 4);
+        let sources = vec![0, 5, 10, 15];
+        let payload_of = |src: usize| payload_for(src, 64);
+        for kind in [AlgoKind::BrLin, AlgoKind::TwoStep, AlgoKind::BrXySource] {
+            let alg = kind.build();
+            let run = record_sources_exec(
+                &machine,
+                kind.default_lib(),
+                &sources,
+                &payload_of,
+                alg.as_ref(),
+                ExecMode::Cooperative,
+            );
+            let sched = Schedule::from_recorded(&run, machine.p());
+            let report = replay(&sched, &machine, kind.default_lib(), false);
+            assert!(
+                report.conformant(),
+                "{}: {:?}",
+                kind.name(),
+                report.divergences
+            );
+            let outcome = run.outcome.expect("completed run");
+            assert_eq!(report.makespan_ns, outcome.makespan_ns);
+            assert_eq!(report.rank_finish_ns, outcome.finish_ns);
+        }
+    }
+
+    /// Conformance must hold on BOTH executors: the threaded kernel
+    /// resolves contention through real OS threads, the cooperative one
+    /// through a deterministic event loop, yet both must land on the
+    /// virtual schedule the static engine recomputes.
+    #[test]
+    fn conformance_holds_on_both_executors() {
+        let machine = Machine::paragon(4, 4);
+        let sources = vec![0, 5, 10, 15];
+        let payload_of = |src: usize| payload_for(src, 256);
+        for exec in [ExecMode::Cooperative, ExecMode::Threaded] {
+            for &kind in AlgoKind::all() {
+                let alg = kind.build();
+                let run = record_sources_exec(
+                    &machine,
+                    kind.default_lib(),
+                    &sources,
+                    &payload_of,
+                    alg.as_ref(),
+                    exec,
+                );
+                let sched = Schedule::from_recorded(&run, machine.p());
+                let report = replay(&sched, &machine, kind.default_lib(), false);
+                assert!(
+                    report.conformant(),
+                    "{} on {exec:?}: {:?}",
+                    kind.name(),
+                    report.divergences
+                );
+                let outcome = run.outcome.expect("completed run");
+                assert_eq!(
+                    report.makespan_ns,
+                    outcome.makespan_ns,
+                    "{} on {exec:?}: makespan mismatch",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    /// The critical-path decomposition must account for (almost) the
+    /// whole makespan and attribute something to both ranks and links.
+    #[test]
+    fn critical_path_decomposes_the_makespan() {
+        let machine = Machine::paragon(4, 4);
+        let sources = vec![0, 5, 10, 15];
+        let payload_of = |src: usize| payload_for(src, 1024);
+        let alg = AlgoKind::BrLin.build();
+        let run = record_sources_exec(
+            &machine,
+            mpp_model::LibraryKind::Nx,
+            &sources,
+            &payload_of,
+            alg.as_ref(),
+            ExecMode::Cooperative,
+        );
+        let sched = Schedule::from_recorded(&run, machine.p());
+        let report = replay(&sched, &machine, mpp_model::LibraryKind::Nx, false);
+        assert!(report.conformant(), "{:?}", report.divergences);
+        let rank_total: Time = report.crit.by_rank_ns.iter().sum();
+        let link_total: Time = report.crit.by_link_ns.values().sum();
+        assert!(rank_total > 0, "no rank time on the critical path");
+        assert!(link_total > 0, "no link time on the critical path");
+        assert!(
+            rank_total + link_total + report.crit.port_wait_ns >= report.makespan_ns / 2,
+            "decomposition covers too little: ranks {rank_total} + links {link_total} \
+             + ports {} vs makespan {}",
+            report.crit.port_wait_ns,
+            report.makespan_ns
+        );
+    }
+
+    /// A deliberately perturbed recording must be caught.
+    #[test]
+    fn perturbed_recording_diverges() {
+        let machine = Machine::paragon(4, 4);
+        let sources = vec![0, 5, 10, 15];
+        let payload_of = |src: usize| payload_for(src, 64);
+        let alg = AlgoKind::BrLin.build();
+        let run = record_sources_exec(
+            &machine,
+            mpp_model::LibraryKind::Nx,
+            &sources,
+            &payload_of,
+            alg.as_ref(),
+            ExecMode::Cooperative,
+        );
+        let mut sched = Schedule::from_recorded(&run, machine.p());
+        let x = sched.xfers.last_mut().expect("transfers recorded");
+        x.done_ns += 1;
+        let report = replay(&sched, &machine, mpp_model::LibraryKind::Nx, false);
+        assert!(!report.conformant(), "a +1 ns skew must be detected");
+    }
+}

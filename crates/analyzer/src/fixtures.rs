@@ -4,7 +4,15 @@
 //! the analyzer over all of them and fails unless every bug is caught
 //! with the right [`FindingKind`]. They double as
 //! end-to-end tests that the recorder survives aborted runs.
+//!
+//! Fixtures marked [`Fixture::perf`] plant *performance* bugs: the
+//! schedule is correct (full delivery, no errors) but wastes the
+//! machine, and the perf lints must flag it. Those verdicts use
+//! contains-semantics — the expected kind must be detected and nothing
+//! error-severity may appear — because one bad schedule shape can
+//! legitimately trip several perf smells at once.
 
+use mpp_model::{Machine, MachineParams, MeshShape, Placement, Topology};
 use mpp_runtime::{CommFuture, Communicator};
 use stp_core::algorithms::{StpAlgorithm, StpCtx};
 use stp_core::msgset::MessageSet;
@@ -16,15 +24,42 @@ const FIX_RING: u32 = 9_000;
 const FIX_CHUNKS: u32 = 9_100;
 const FIX_GATHER: u32 = 9_200;
 const FIX_BCAST: u32 = 9_300;
+const FIX_STAR: u32 = 9_400;
 
 /// One registered fixture.
 pub struct Fixture {
     /// Stable fixture name.
     pub name: &'static str,
-    /// The single finding kind the analyzer must produce.
+    /// The finding kind the analyzer must produce.
     pub expected: FindingKind,
     /// Build the broken algorithm.
     pub build: fn() -> Box<dyn StpAlgorithm>,
+    /// The machine the fixture runs on.
+    pub machine: fn() -> Machine,
+    /// Source count handed to the `Equal` distribution.
+    pub s: usize,
+    /// A performance fixture: run the perf lints, use
+    /// contains-semantics for the verdict.
+    pub perf: bool,
+}
+
+fn standard_machine() -> Machine {
+    Machine::paragon(4, 4)
+}
+
+/// The 4×4 Paragon shape with five independent injection ports per
+/// node — the machine the idle-ports fixture wastes.
+fn five_port_machine() -> Machine {
+    Machine::new(
+        "Paragon 4x4 (5-port)",
+        Topology::Mesh2D { rows: 4, cols: 4 },
+        MachineParams {
+            ports_per_node: 5,
+            ..MachineParams::paragon_nx()
+        },
+        Placement::Identity,
+        MeshShape::new(4, 4),
+    )
 }
 
 /// All seeded-bug fixtures.
@@ -34,16 +69,41 @@ pub fn all() -> Vec<Fixture> {
             name: "off_by_one_partner",
             expected: FindingKind::Deadlock,
             build: || Box::new(OffByOnePartner),
+            machine: standard_machine,
+            s: 4,
+            perf: false,
         },
         Fixture {
             name: "duplicate_tag",
             expected: FindingKind::MatchAmbiguity,
             build: || Box::new(DuplicateTag),
+            machine: standard_machine,
+            s: 4,
+            perf: false,
         },
         Fixture {
             name: "dropped_combine",
             expected: FindingKind::PayloadLeak,
             build: || Box::new(DroppedCombine),
+            machine: standard_machine,
+            s: 4,
+            perf: false,
+        },
+        Fixture {
+            name: "serialized_linear_tree",
+            expected: FindingKind::SerializationHotspot,
+            build: || Box::new(SerialStar),
+            machine: standard_machine,
+            s: 1,
+            perf: true,
+        },
+        Fixture {
+            name: "single_port_broadcast",
+            expected: FindingKind::IdlePorts,
+            build: || Box::new(SerialStar),
+            machine: five_port_machine,
+            s: 1,
+            perf: true,
         },
     ]
 }
@@ -114,6 +174,46 @@ impl StpAlgorithm for DuplicateTag {
                 let mut data = a.data.to_vec();
                 data.extend_from_slice(&b.data.to_vec());
                 MessageSet::single(hub, &data)
+            }
+        })
+    }
+}
+
+/// A *correct* but maximally serial broadcast: the single source sends
+/// its message to every other rank one after another, so the whole
+/// machine waits on one rank's α_send chain and every payload re-crosses
+/// the links nearest the hub. On a single-port machine this is the
+/// serialization-hotspot fixture; on a multi-port machine the same
+/// schedule additionally wastes every port but one (idle-ports).
+struct SerialStar;
+
+impl StpAlgorithm for SerialStar {
+    fn name(&self) -> &'static str {
+        "fixture:serial_star"
+    }
+
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let me = comm.rank();
+            let hub = ctx.sources[0];
+            if me == hub {
+                let data = ctx.payload.expect("hub is a source");
+                // PERF BUG: p−1 sequential sends from one rank; a
+                // broadcast tree would finish in ⌈log₂ p⌉ rounds.
+                for dst in 0..comm.size() {
+                    if dst != hub {
+                        comm.send(dst, FIX_STAR, data);
+                    }
+                }
+                MessageSet::single(hub, data)
+            } else {
+                let env = comm.recv(Some(hub), Some(FIX_STAR)).await;
+                MessageSet::single(hub, &env.data.to_vec())
             }
         })
     }

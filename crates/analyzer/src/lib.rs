@@ -30,13 +30,22 @@
 //! the `stp lint` subcommand sweeps the full algorithm × distribution ×
 //! mesh matrix through the static checker (see [`lint`]).
 
+pub mod baseline;
 pub mod checks;
+pub mod cost;
 pub mod fixtures;
 pub mod lint;
+pub mod perf_checks;
 pub mod report;
+pub mod sarif;
 pub mod schedule;
 
-pub use checks::{analyze, Analysis, Finding, FindingKind};
+pub use baseline::{finding_key, Baseline};
+pub use checks::{
+    analyze, registry, Analysis, AnalyzeOpts, Check, CheckCtx, CheckOutput, Finding, FindingKind,
+    Severity,
+};
+pub use cost::{replay, CostReport, CriticalPath, LinkTimeline, PortUse};
 pub use lint::{
     hush_expected_panics, lint_fixtures, lint_matrix, lint_matrix_supervised, lint_sig,
     FixtureVerdict, LintConfig, LintEntry, PointFailure, SupervisedLint,
@@ -45,4 +54,5 @@ pub use report::{
     entries_to_json, entry_from_json, entry_to_json, fixtures_to_json, lint_report_json,
     supervised_report_json,
 };
+pub use sarif::sarif_report;
 pub use schedule::{Attributed, Attribution, Schedule};

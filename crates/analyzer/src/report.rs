@@ -4,7 +4,7 @@
 use crate::lint::{FixtureVerdict, LintEntry};
 
 /// Minimal JSON string escaping.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -22,9 +22,13 @@ fn escape(s: &str) -> String {
 
 fn finding_json(f: &crate::Finding) -> String {
     let rank = f.rank.map_or("null".to_string(), |r| r.to_string());
+    let at_ns = f.at_ns.map_or("null".to_string(), |t| t.to_string());
+    let seq = f.seq.map_or("null".to_string(), |q| q.to_string());
     format!(
-        "{{\"kind\":\"{}\",\"rank\":{rank},\"detail\":\"{}\"}}",
+        "{{\"kind\":\"{}\",\"severity\":\"{}\",\"rank\":{rank},\"at_ns\":{at_ns},\
+         \"seq\":{seq},\"detail\":\"{}\"}}",
         f.kind.name(),
+        f.kind.severity().name(),
         escape(&f.detail)
     )
 }
@@ -95,7 +99,21 @@ pub fn entry_from_json(text: &str) -> Result<LintEntry, String> {
             .and_then(JsonValue::as_str)
             .ok_or("finding missing \"detail\"")?
             .to_string();
-        findings.push(crate::Finding { kind, rank, detail });
+        let at_ns = match f.get("at_ns") {
+            Some(JsonValue::Null) | None => None,
+            Some(t) => Some(t.as_u64().ok_or("finding \"at_ns\" is not an integer")?),
+        };
+        let seq = match f.get("seq") {
+            Some(JsonValue::Null) | None => None,
+            Some(q) => Some(q.as_u64().ok_or("finding \"seq\" is not an integer")?),
+        };
+        findings.push(crate::Finding {
+            kind,
+            rank,
+            detail,
+            at_ns,
+            seq,
+        });
     }
     Ok(LintEntry {
         algo: str_field("algo")?,
@@ -223,12 +241,17 @@ mod tests {
                 kind: FindingKind::PayloadLeak,
                 rank: Some(2),
                 detail: "missing \"x\"".into(),
+                at_ns: Some(1_500),
+                seq: Some(7),
             }],
         }];
         let json = entries_to_json(&entries);
         assert!(json.contains("\"algo\":\"Br_Lin\""));
         assert!(json.contains("\"dropped_attempts\":2"));
         assert!(json.contains("\"kind\":\"payload_leak\""));
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"at_ns\":1500"));
+        assert!(json.contains("\"seq\":7"));
         assert!(json.contains("\\\"x\\\""));
         assert!(json.starts_with('[') && json.ends_with(']'));
     }

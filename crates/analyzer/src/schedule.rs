@@ -2,7 +2,8 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use mpp_runtime::ScheduleEvent;
+use mpp_model::Time;
+use mpp_runtime::{LinkWindow, ScheduleEvent};
 use stp_core::msgset::MessageSet;
 use stp_core::runner::RecordedRun;
 
@@ -21,6 +22,44 @@ pub struct SendOp {
     pub tag: u32,
     /// The payload bytes.
     pub data: Vec<u8>,
+    /// The sender's virtual clock at issue (ns).
+    pub issue_ns: Time,
+}
+
+/// The network's reservation record for one delivered message — the
+/// timing ground truth the cost engine replays against.
+#[derive(Debug, Clone)]
+pub struct XferOp {
+    /// Sequence number of the delivered message.
+    pub seq: u64,
+    /// Sending rank.
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+    /// On-wire payload size (bytes).
+    pub bytes: usize,
+    /// The instant the message was handed to the network (ns).
+    pub ready_ns: Time,
+    /// Head injection instant after port and link arbitration (ns).
+    pub start_ns: Time,
+    /// Arrival at the destination mailbox (ns).
+    pub done_ns: Time,
+    /// Delay beyond the resource-free traversal of the route (ns).
+    pub stall_ns: Time,
+    /// Injection-port slot at the source node (`None` = local memcpy).
+    pub out_slot: Option<usize>,
+    /// Ejection-port slot at the destination node.
+    pub in_slot: Option<usize>,
+    /// Per-hop link reservations, in route order.
+    pub windows: Vec<LinkWindow>,
+}
+
+impl XferOp {
+    /// Whether this was a node-local memcpy delivery (no network
+    /// resources reserved).
+    pub fn is_local(&self) -> bool {
+        self.out_slot.is_none()
+    }
 }
 
 /// One recorded receive match.
@@ -43,6 +82,10 @@ pub struct RecvOp {
     /// In-flight messages with this `(src, tag)` at match time,
     /// *including* the matched one. `> 1` means the match was ambiguous.
     pub dup_in_flight: usize,
+    /// The receiver's virtual clock when the match was processed (ns).
+    pub start_ns: Time,
+    /// The matched message's mailbox arrival time (ns).
+    pub arrival_ns: Time,
 }
 
 /// A rank that was blocked in `recv` when the run deadlocked.
@@ -79,6 +122,10 @@ pub struct Schedule {
     pub p: usize,
     /// Every send, in deterministic kernel order.
     pub sends: Vec<SendOp>,
+    /// Every delivered message's network reservation record, in
+    /// deterministic kernel order (empty for schedules predating the
+    /// timing recorder, e.g. hand-built test schedules).
+    pub xfers: Vec<XferOp>,
     /// Every receive match, in deterministic kernel order.
     pub recvs: Vec<RecvOp>,
     /// Ranks blocked at deadlock time (empty for completed runs).
@@ -88,6 +135,11 @@ pub struct Schedule {
     pub drops: Vec<DropOp>,
     /// `(rank, undelivered messages in its mailbox)` at rank finish.
     pub leftover: Vec<(usize, usize)>,
+    /// `(rank, final virtual clock)` per finished rank, in finish order.
+    pub finishes: Vec<(usize, Time)>,
+    /// The kernel's virtual makespan (`None` for deadlocked runs and
+    /// hand-built schedules).
+    pub makespan_ns: Option<Time>,
     /// Whether the run aborted in a deadlock.
     pub deadlocked: bool,
 }
@@ -98,6 +150,7 @@ impl Schedule {
         let mut sched = Schedule {
             p,
             deadlocked: run.deadlocked,
+            makespan_ns: run.outcome.as_ref().map(|o| o.makespan_ns),
             ..Schedule::default()
         };
         for ev in &run.events {
@@ -109,6 +162,7 @@ impl Schedule {
                     dst,
                     tag,
                     data,
+                    issue_ns,
                 } => {
                     sched.sends.push(SendOp {
                         step: *step,
@@ -117,6 +171,34 @@ impl Schedule {
                         dst: *dst,
                         tag: *tag,
                         data: data.to_vec(),
+                        issue_ns: *issue_ns,
+                    });
+                }
+                ScheduleEvent::Xfer {
+                    seq,
+                    src,
+                    dst,
+                    bytes,
+                    ready_ns,
+                    start_ns,
+                    done_ns,
+                    stall_ns,
+                    out_slot,
+                    in_slot,
+                    windows,
+                } => {
+                    sched.xfers.push(XferOp {
+                        seq: *seq,
+                        src: *src,
+                        dst: *dst,
+                        bytes: *bytes,
+                        ready_ns: *ready_ns,
+                        start_ns: *start_ns,
+                        done_ns: *done_ns,
+                        stall_ns: *stall_ns,
+                        out_slot: *out_slot,
+                        in_slot: *in_slot,
+                        windows: windows.clone(),
                     });
                 }
                 ScheduleEvent::Recv {
@@ -128,6 +210,8 @@ impl Schedule {
                     src,
                     tag,
                     dup_in_flight,
+                    start_ns,
+                    arrival_ns,
                 } => {
                     sched.recvs.push(RecvOp {
                         step: *step,
@@ -138,6 +222,8 @@ impl Schedule {
                         src: *src,
                         tag: *tag,
                         dup_in_flight: *dup_in_flight,
+                        start_ns: *start_ns,
+                        arrival_ns: *arrival_ns,
                     });
                 }
                 ScheduleEvent::Blocked {
@@ -166,8 +252,13 @@ impl Schedule {
                         exhausted: *exhausted,
                     });
                 }
-                ScheduleEvent::Finished { rank, leftover } => {
+                ScheduleEvent::Finished {
+                    rank,
+                    leftover,
+                    finish_ns,
+                } => {
                     sched.leftover.push((*rank, *leftover));
+                    sched.finishes.push((*rank, *finish_ns));
                 }
                 ScheduleEvent::IterEnd { .. } => {}
             }

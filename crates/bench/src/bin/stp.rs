@@ -6,6 +6,7 @@
 //! stp --machine t3d --p 128 --algo mpi_alltoall --dist equal --s 40 --len 4096
 //! stp --machine paragon --algo two_step --dist equal --s 30 --sweep-len 32,1024,16384
 //! stp lint [--quick] [--fixtures] [--json FILE] [--max-link-load N]
+//!          [--perf] [--baseline FILE] [--write-baseline FILE] [--sarif FILE]
 //!          [--chaos] [--checkpoint FILE] [--resume] [--deadline-ms N]
 //! stp sweep [--quick] [--len BYTES] [--json FILE] [--chaos]
 //!           [--checkpoint FILE] [--resume] [--deadline-ms N]
@@ -18,6 +19,18 @@
 //! ambiguity, payload leaks, link contention) on each; `--fixtures`
 //! instead checks that the seeded-bug fixtures are all caught. Exits
 //! non-zero on any finding or missed fixture — the CI gate.
+//!
+//! `--perf` additionally replays every schedule through the static cost
+//! engine (`stp-analyzer::cost`) and runs the performance lints on top:
+//! idle ports, serialization hotspots, contention-dominated critical
+//! paths, redundant transmissions, and distance from the α–β lower
+//! bound. Cost-model conformance (static replay == kernel virtual time,
+//! exactly) is always checked when the engine runs; a divergence is an
+//! Error and can never be baselined. `--baseline FILE` suppresses the
+//! accepted Warn/Info findings listed in FILE; `--write-baseline FILE`
+//! captures the current sweep's Warn/Info findings as the new baseline;
+//! `--sarif FILE` writes the findings as a SARIF 2.1.0 log (suppressed
+//! findings are marked, not dropped).
 //!
 //! `stp sweep` runs the experiment grid (makespans instead of schedule
 //! analysis) under the supervised runner. Both sweeps accept `--chaos`
@@ -50,6 +63,10 @@ fn usage() -> ! {
     eprintln!("                                      'seed=7,drop=1/64,retry=4:500' or");
     eprintln!("                                      'link=3-4@1000..,crash=5@2000')");
     eprintln!("       stp lint [--quick] [--fixtures] [--json FILE] [--max-link-load N]");
+    eprintln!("                [--perf]                  (cost engine + performance lints)");
+    eprintln!("                [--baseline FILE]         (suppress accepted Warn/Info findings)");
+    eprintln!("                [--write-baseline FILE]   (capture current findings as baseline)");
+    eprintln!("                [--sarif FILE]            (write SARIF 2.1.0 report)");
     eprintln!("                [--exec coop|threaded] [--faults SPEC] [--chaos]");
     eprintln!("                [--checkpoint FILE] [--resume] [--deadline-ms N]");
     eprintln!("       stp sweep [--quick] [--len BYTES] [--json FILE] [--exec coop|threaded]");
@@ -114,6 +131,10 @@ fn run_lint(args: &[String]) -> ! {
     config.max_link_load = get("--max-link-load").and_then(|v| v.parse().ok());
     config.faults = parse_faults_flag(get("--faults"));
     config.chaos = has("--chaos");
+    config.perf = has("--perf");
+    let baseline = get("--baseline").map(|path| load_baseline(&path));
+    let sarif_path = get("--sarif");
+    let write_baseline = get("--write-baseline");
 
     // Any supervision flag routes through the supervised sweep; the
     // plain path stays for the legacy wall-clock report format.
@@ -122,17 +143,25 @@ fn run_lint(args: &[String]) -> ! {
         || get("--checkpoint").is_some()
         || get("--deadline-ms").is_some();
     if supervised {
-        run_lint_supervised(&config, &get, &has, json_path.as_deref());
+        run_lint_supervised(
+            &config,
+            &get,
+            &has,
+            json_path.as_deref(),
+            baseline.as_ref(),
+            sarif_path.as_deref(),
+            write_baseline.as_deref(),
+        );
     }
 
     let t0 = std::time::Instant::now();
     let entries = lint_matrix(&config);
     let wall = t0.elapsed();
-    let findings = print_lint_findings(&entries);
+    let (findings, baselined) = print_lint_findings(&entries, baseline.as_ref());
     let opaque = entries.iter().filter(|e| e.opaque_payloads).count();
     let exec = mpp_sim::ExecMode::from_env();
     println!(
-        "linted {} schedules in {:.1}s on the {} executor: {findings} finding(s), {opaque} with unattributable payloads",
+        "linted {} schedules in {:.1}s on the {} executor: {findings} finding(s), {baselined} baselined, {opaque} with unattributable payloads",
         entries.len(),
         wall.as_secs_f64(),
         exec.name()
@@ -146,28 +175,92 @@ fn run_lint(args: &[String]) -> ! {
         std::fs::write(&path, report).expect("write JSON report");
         eprintln!("[lint] report written to {path}");
     }
-    std::process::exit(if findings > 0 { 1 } else { 0 });
+    let bad = write_lint_artifacts(
+        &entries,
+        baseline.as_ref(),
+        sarif_path.as_deref(),
+        write_baseline.as_deref(),
+        findings,
+    );
+    std::process::exit(if bad { 1 } else { 0 });
 }
 
-/// Print every finding of the lint entries; returns the finding count.
-fn print_lint_findings(entries: &[stp_analyzer::LintEntry]) -> usize {
+/// Read and parse a `--baseline` file, exiting with usage status on
+/// failure — a malformed baseline must not silently un-suppress.
+fn load_baseline(path: &str) -> stp_analyzer::Baseline {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("stp: cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    stp_analyzer::Baseline::parse(&text).unwrap_or_else(|e| {
+        eprintln!("stp: bad baseline {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Write the `--sarif` / `--write-baseline` artifacts and decide the
+/// gate: with `--write-baseline` only Error-severity findings fail (the
+/// Warn/Info set was just accepted into the new baseline); otherwise any
+/// unsuppressed finding fails.
+fn write_lint_artifacts(
+    entries: &[stp_analyzer::LintEntry],
+    baseline: Option<&stp_analyzer::Baseline>,
+    sarif_path: Option<&str>,
+    write_baseline: Option<&str>,
+    unsuppressed: usize,
+) -> bool {
+    if let Some(path) = sarif_path {
+        std::fs::write(path, stp_analyzer::sarif_report(entries, baseline))
+            .expect("write SARIF report");
+        eprintln!("[lint] SARIF written to {path}");
+    }
+    if let Some(path) = write_baseline {
+        let captured = stp_analyzer::Baseline::from_entries(entries);
+        std::fs::write(path, captured.to_json()).expect("write baseline");
+        eprintln!(
+            "[lint] baseline with {} accepted finding(s) written to {path}",
+            captured.suppress.len()
+        );
+        let errors = entries
+            .iter()
+            .flat_map(|e| &e.findings)
+            .filter(|f| f.severity() == stp_analyzer::Severity::Error)
+            .count();
+        errors > 0
+    } else {
+        unsuppressed > 0
+    }
+}
+
+/// Print every unsuppressed finding of the lint entries; returns
+/// `(unsuppressed, baselined)` counts.
+fn print_lint_findings(
+    entries: &[stp_analyzer::LintEntry],
+    baseline: Option<&stp_analyzer::Baseline>,
+) -> (usize, usize) {
     let mut findings = 0;
+    let mut baselined = 0;
     for e in entries.iter().filter(|e| !e.findings.is_empty()) {
         for f in &e.findings {
+            if baseline.is_some_and(|b| b.suppresses(e, f)) {
+                baselined += 1;
+                continue;
+            }
             println!(
-                "{} / {} on {}x{} s={}: [{}] {}",
+                "{} / {} on {}x{} s={}: [{}/{}] {}",
                 e.algo,
                 e.dist,
                 e.rows,
                 e.cols,
                 e.s,
                 f.kind.name(),
+                f.severity().name(),
                 f.detail
             );
+            findings += 1;
         }
-        findings += e.findings.len();
     }
-    findings
+    (findings, baselined)
 }
 
 /// Resolve the `--checkpoint`/`--resume` pair into an open checkpoint
@@ -217,6 +310,9 @@ fn run_lint_supervised(
     get: &dyn Fn(&str) -> Option<String>,
     has: &dyn Fn(&str) -> bool,
     json_path: Option<&str>,
+    baseline: Option<&stp_analyzer::Baseline>,
+    sarif_path: Option<&str>,
+    write_baseline: Option<&str>,
 ) -> ! {
     use stp_analyzer::{lint_matrix_supervised, lint_sig, supervised_report_json};
 
@@ -226,7 +322,7 @@ fn run_lint_supervised(
     let checkpoint = open_checkpoint(get, has, "stp-lint.ckpt.json", &sig);
     let sweep = lint_matrix_supervised(config, &opts, checkpoint.as_ref());
 
-    let findings = print_lint_findings(&sweep.entries);
+    let (findings, baselined) = print_lint_findings(&sweep.entries, baseline);
     for f in &sweep.failures {
         println!(
             "FAILED {} after {} attempt(s): {}",
@@ -237,7 +333,7 @@ fn run_lint_supervised(
         println!("SKIPPED {id} (cancelled before it ran)");
     }
     println!(
-        "linted {}/{} schedules on the {} executor: {findings} finding(s), \
+        "linted {}/{} schedules on the {} executor: {findings} finding(s), {baselined} baselined, \
          {} failed point(s), {} skipped, {} replayed from checkpoint",
         sweep.entries.len(),
         sweep.total,
@@ -251,7 +347,14 @@ fn run_lint_supervised(
             .expect("write JSON report");
         eprintln!("[lint] report written to {path}");
     }
-    let bad = findings > 0 || !sweep.failures.is_empty() || !sweep.skipped.is_empty();
+    let bad_findings = write_lint_artifacts(
+        &sweep.entries,
+        baseline,
+        sarif_path,
+        write_baseline,
+        findings,
+    );
+    let bad = bad_findings || !sweep.failures.is_empty() || !sweep.skipped.is_empty();
     std::process::exit(if bad { 1 } else { 0 });
 }
 

@@ -23,8 +23,9 @@ pub mod thread_backend;
 
 pub use comm::{recv_from, BarrierFut, CommFuture, Communicator, Message, RecvFut, RecvTimeoutFut};
 pub use mpp_sim::{
-    schedule_log, CancelToken, ExecMode, FaultPlan, FaultStats, LinkOutage, NodeCrash, Payload,
-    RetryPolicy, ScheduleEvent, ScheduleLog, ScheduleRecording, SimBudget, SimConfig, SimError,
+    schedule_log, CancelToken, ExecMode, FaultPlan, FaultStats, LinkOutage, LinkWindow, NodeCrash,
+    Payload, RetryPolicy, ScheduleEvent, ScheduleLog, ScheduleRecording, SimBudget, SimConfig,
+    SimError,
 };
 pub use sim_backend::{
     run_simulated, run_simulated_traced, run_simulated_with, try_run_simulated_with, RunOutput,

@@ -482,7 +482,7 @@ where
                         !slab.is_current(handles[rank]),
                         "Finished op for a still-live rank machine"
                     );
-                    core.process_finish(rank)
+                    core.process_finish(rank, eff)
                         .map_err(SimError::StrictViolation)?;
                     phases[rank] = Phase::Done;
                     finish_ns[rank] = eff;

@@ -861,7 +861,14 @@ impl<'m> KernelCore<'m> {
             strict: config.strict,
             recording: config.recorder.is_some(),
             recorder: config.recorder.clone(),
-            net: NetworkState::new(machine),
+            net: {
+                let mut net = NetworkState::new(machine);
+                // Recording runs capture the network's full reservation
+                // record per transfer — the cost-model conformance
+                // ground truth.
+                net.witness_on = config.recorder.is_some();
+                net
+            },
             mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
             seq: 0,
             steps: vec![0; p],
@@ -924,9 +931,47 @@ impl<'m> KernelCore<'m> {
                 dst,
                 tag,
                 data: data.clone(),
+                issue_ns: clock_at_issue,
             });
         }
         if let Some(arrival) = self.transmit(src_rank, dst, seq, bytes, wire_ns, ready) {
+            if self.recording {
+                // The network's reservation record for this delivery —
+                // local memcpys reserve nothing, routed transfers hand
+                // over the witness filled by `transfer_routed`.
+                let ev = if src_rank == dst {
+                    ScheduleEvent::Xfer {
+                        seq,
+                        src: src_rank,
+                        dst,
+                        bytes,
+                        ready_ns: ready,
+                        start_ns: ready,
+                        done_ns: arrival,
+                        stall_ns: 0,
+                        out_slot: None,
+                        in_slot: None,
+                        windows: Vec::new(),
+                    }
+                } else {
+                    let stall_ns = self.net.last_stall_ns;
+                    let w = &mut self.net.witness;
+                    ScheduleEvent::Xfer {
+                        seq,
+                        src: src_rank,
+                        dst,
+                        bytes,
+                        ready_ns: w.ready_ns,
+                        start_ns: w.start_ns,
+                        done_ns: w.done_ns,
+                        stall_ns,
+                        out_slot: Some(w.out_slot),
+                        in_slot: Some(w.in_slot),
+                        windows: std::mem::take(&mut w.windows),
+                    }
+                };
+                self.events.push(ev);
+            }
             if self.trace_on {
                 self.trace.push(MsgTrace {
                     src: src_rank,
@@ -1078,6 +1123,8 @@ impl<'m> KernelCore<'m> {
                     src: rec.src,
                     tag: rec.tag,
                     dup_in_flight: dup,
+                    start_ns: clock,
+                    arrival_ns: rec.arrival,
                 });
             }
             if self.strict && dup > 1 {
@@ -1111,13 +1158,17 @@ impl<'m> KernelCore<'m> {
         }
     }
 
-    /// Process a rank's termination; `Err` carries the strict leftover
-    /// diagnostic.
-    pub fn process_finish(&mut self, rank: usize) -> Result<(), String> {
+    /// Process a rank's termination at its final clock `finish_ns`;
+    /// `Err` carries the strict leftover diagnostic.
+    pub fn process_finish(&mut self, rank: usize, finish_ns: Time) -> Result<(), String> {
         self.events_processed += 1;
         let leftover = self.mailboxes[rank].len();
         if self.recording {
-            self.events.push(ScheduleEvent::Finished { rank, leftover });
+            self.events.push(ScheduleEvent::Finished {
+                rank,
+                leftover,
+                finish_ns,
+            });
         }
         if self.strict && leftover > 0 {
             return Err(format!(
@@ -1276,7 +1327,7 @@ fn dispatch_trap(
             states[rank].pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
         }
         Trap::Finished => {
-            core.process_finish(rank)
+            core.process_finish(rank, states[rank].clock)
                 .map_err(SimError::StrictViolation)?;
             states[rank].done = true;
             finish_ns[rank] = states[rank].clock;

@@ -11,6 +11,8 @@ use std::collections::HashMap;
 
 use mpp_model::{ContentionModel, Link, Machine, Time};
 
+use crate::record::LinkWindow;
+
 /// Per-directed-link busy-until times.
 ///
 /// Links are the hottest lookup in the kernel (every hop of every
@@ -79,6 +81,33 @@ pub struct NetworkState {
     /// Stall of the most recent transfer (ns) — read by the kernel when
     /// tracing is enabled.
     pub last_stall_ns: Time,
+    /// When set, every [`NetworkState::transfer_routed`] fills
+    /// [`NetworkState::witness`] with its full reservation record — the
+    /// schedule recorder's timing ground truth. Off in plain timed runs
+    /// so the hot path pays one predictable branch.
+    pub witness_on: bool,
+    /// The most recent transfer's reservation record (valid only right
+    /// after a `transfer_routed` call with `witness_on` set).
+    pub witness: XferWitness,
+}
+
+/// Everything one routed transfer reserved — consumed by the schedule
+/// recorder so the static cost engine can be checked for exact
+/// conformance against the kernel.
+#[derive(Debug, Default)]
+pub struct XferWitness {
+    /// The instant the message was handed to the network (ns).
+    pub ready_ns: Time,
+    /// Head injection instant after port and link arbitration (ns).
+    pub start_ns: Time,
+    /// Arrival at the destination (ns).
+    pub done_ns: Time,
+    /// Injection-port slot reserved at the source node.
+    pub out_slot: usize,
+    /// Ejection-port slot reserved at the destination node.
+    pub in_slot: usize,
+    /// Per-hop link reservations, in route order.
+    pub windows: Vec<LinkWindow>,
 }
 
 /// Index of the earliest-free slot (ties → lowest index, deterministic).
@@ -105,6 +134,8 @@ impl NetworkState {
             contention_events: 0,
             contention_ns: 0,
             last_stall_ns: 0,
+            witness_on: false,
+            witness: XferWitness::default(),
         }
     }
 
@@ -166,6 +197,10 @@ impl NetworkState {
     ) -> Time {
         let params = &machine.params;
         self.last_stall_ns = 0;
+        let witness_on = self.witness_on;
+        if witness_on {
+            self.witness.windows.clear();
+        }
         debug_assert_ne!(from_rank, to_rank, "self-sends bypass the network");
         let u = machine.node_of(from_rank);
         let v = machine.node_of(to_rank);
@@ -187,6 +222,13 @@ impl NetworkState {
                 for link in route {
                     head = head.max(self.link_busy.get(link));
                     self.link_busy.set(link, head + link_ns);
+                    if witness_on {
+                        self.witness.windows.push(LinkWindow {
+                            link: *link,
+                            from_ns: head,
+                            until_ns: head + link_ns,
+                        });
+                    }
                     head += tau;
                 }
                 let done = head + wire_ns;
@@ -216,6 +258,18 @@ impl NetworkState {
                         done
                     };
                     self.link_busy.set(link, until);
+                    if witness_on {
+                        let from_ns = if pipelined {
+                            start + i as Time * tau
+                        } else {
+                            start
+                        };
+                        self.witness.windows.push(LinkWindow {
+                            link: *link,
+                            from_ns,
+                            until_ns: until,
+                        });
+                    }
                 }
                 (start, done)
             }
@@ -231,6 +285,13 @@ impl NetworkState {
         }
         self.out_port_busy[u][out_slot] = start + wire_ns;
         self.in_port_busy[v][in_slot] = done;
+        if witness_on {
+            self.witness.ready_ns = ready;
+            self.witness.start_ns = start;
+            self.witness.done_ns = done;
+            self.witness.out_slot = out_slot;
+            self.witness.in_slot = in_slot;
+        }
         done
     }
 }

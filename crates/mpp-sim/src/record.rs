@@ -18,6 +18,8 @@
 
 use std::sync::{Arc, Mutex};
 
+use mpp_model::{Link, Time};
+
 use crate::payload::Payload;
 use crate::Tag;
 
@@ -92,6 +94,22 @@ impl ScheduleRecording {
     }
 }
 
+/// The busy window one transfer reserved on one directed link, in route
+/// order. `from_ns`/`until_ns` bracket the interval the link was held;
+/// their exact meaning follows the active
+/// [`ContentionModel`](mpp_model::ContentionModel) (staggered wormhole
+/// windows under `Pipelined`, the whole-route hold under `Circuit`, the
+/// hardware-rate drain under `Shared`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkWindow {
+    /// The directed link.
+    pub link: Link,
+    /// Start of the reserved window (ns).
+    pub from_ns: Time,
+    /// The link's new busy-until time (ns).
+    pub until_ns: Time,
+}
+
 /// One communication operation, as the kernel processed it.
 ///
 /// `step` is the issuing rank's iteration index — the number of
@@ -114,6 +132,41 @@ pub enum ScheduleEvent {
         tag: Tag,
         /// The payload (shared rope — recording copies no bytes).
         data: Payload,
+        /// The sender's virtual clock when it issued the send (ns) —
+        /// the software-ready instant is `issue_ns + α_send`.
+        issue_ns: Time,
+    },
+    /// The network's resource reservations for one delivered message —
+    /// the timing ground truth the static cost engine replays against.
+    /// Recorded once per *delivered* message (a message every attempt of
+    /// which was dropped has no transfer).
+    Xfer {
+        /// Sequence number of the delivered message.
+        seq: u64,
+        /// Sending rank.
+        src: usize,
+        /// Destination rank.
+        dst: usize,
+        /// On-wire payload size (bytes).
+        bytes: usize,
+        /// The instant the message was handed to the network (ns):
+        /// `issue + α_send`, plus retry backoff and fault-plan injection
+        /// delay when a fault plan is active.
+        ready_ns: Time,
+        /// Head injection instant after port and link arbitration (ns).
+        start_ns: Time,
+        /// Arrival at the destination mailbox (ns).
+        done_ns: Time,
+        /// Delay beyond the resource-free traversal of the route (ns).
+        stall_ns: Time,
+        /// Injection-port slot reserved at the source node (`None` for a
+        /// node-local memcpy delivery).
+        out_slot: Option<usize>,
+        /// Ejection-port slot reserved at the destination node.
+        in_slot: Option<usize>,
+        /// Per-hop link reservations, in route order (empty for a
+        /// node-local delivery).
+        windows: Vec<LinkWindow>,
     },
     /// A receive that matched a message.
     Recv {
@@ -136,6 +189,12 @@ pub enum ScheduleEvent {
         /// `> 1` means delivery order decided which message this receive
         /// consumed — the match-ambiguity hazard the analyzer flags.
         dup_in_flight: usize,
+        /// The receiver's virtual clock when the match was processed
+        /// (ns); its post-receive clock is
+        /// `max(start_ns, arrival_ns) + α_recv`.
+        start_ns: Time,
+        /// The matched message's mailbox arrival time (ns).
+        arrival_ns: Time,
     },
     /// A rank closed a statistics iteration (`next_iteration`).
     IterEnd {
@@ -174,6 +233,8 @@ pub enum ScheduleEvent {
         /// Messages still sitting undelivered in its mailbox — each is a
         /// send that can never be received.
         leftover: usize,
+        /// The rank's final virtual clock (ns) — its completion time.
+        finish_ns: Time,
     },
 }
 
@@ -191,6 +252,7 @@ mod tests {
             dst: 1,
             tag: 9,
             data: Payload::new(),
+            issue_ns: 0,
         });
         rec.events.push(ScheduleEvent::Recv {
             step: 0,
@@ -201,10 +263,13 @@ mod tests {
             src: 0,
             tag: 9,
             dup_in_flight: 1,
+            start_ns: 0,
+            arrival_ns: 500,
         });
         rec.events.push(ScheduleEvent::Finished {
             rank: 0,
             leftover: 0,
+            finish_ns: 1000,
         });
         assert_eq!(rec.sends(), 1);
         assert_eq!(rec.recvs(), 1);

@@ -4,7 +4,7 @@
 //! deterministic simulator, so every scenario replays byte-identically
 //! from its `FaultPlan` seed.
 
-use stp_analyzer::{analyze, FindingKind, Schedule};
+use stp_analyzer::{analyze, AnalyzeOpts, FindingKind, Schedule};
 use stp_broadcast::model::Machine;
 use stp_broadcast::runtime::{ExecMode, FaultPlan, RetryPolicy};
 use stp_broadcast::stp::distribution::SourceDist;
@@ -120,7 +120,11 @@ fn node_crash_is_diagnosed_as_lost_messages() {
         !sched.lost_seqs().is_empty(),
         "messages into the crashed node must be recorded as lost"
     );
-    let analysis = analyze(&sched, &machine, &sources, &payload_of, None);
+    let opts = AnalyzeOpts {
+        faulted: true,
+        ..AnalyzeOpts::default()
+    };
+    let analysis = analyze(&sched, &machine, &sources, &payload_of, &opts);
     let kinds: Vec<FindingKind> = analysis.findings.iter().map(|f| f.kind).collect();
     assert!(kinds.contains(&FindingKind::Deadlock));
     assert!(kinds.contains(&FindingKind::LostMessage));
