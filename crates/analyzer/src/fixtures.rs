@@ -12,7 +12,7 @@
 //! error-severity may appear — because one bad schedule shape can
 //! legitimately trip several perf smells at once.
 
-use mpp_model::{Machine, MachineParams, MeshShape, Placement, Topology};
+use mpp_model::Machine;
 use mpp_runtime::{CommFuture, Communicator};
 use stp_core::algorithms::{StpAlgorithm, StpCtx};
 use stp_core::msgset::MessageSet;
@@ -43,24 +43,32 @@ pub struct Fixture {
     pub perf: bool,
 }
 
-fn standard_machine() -> Machine {
-    Machine::paragon(4, 4)
+/// Shared fixture machines. The seeded-bug fixtures run on these, and
+/// the conformance / lint / CI suites reuse them so "the machine the
+/// idle-ports fixture wastes" and "the machine `KPort_Lin` must lint
+/// clean on" are provably the same shape.
+pub mod machines {
+    use mpp_model::{Machine, MachineParams, MeshShape, Placement, Topology};
+
+    /// The default 4×4 single-port Paragon the functional fixtures use.
+    pub fn standard_machine() -> Machine {
+        Machine::paragon(4, 4)
+    }
+
+    /// The 4×4 Paragon shape with five independent injection ports per
+    /// node — the machine the idle-ports fixture wastes.
+    pub fn five_port_machine() -> Machine {
+        Machine::new(
+            "Paragon 4x4 (5-port)",
+            Topology::Mesh2D { rows: 4, cols: 4 },
+            MachineParams::paragon_nx().with_ports(5),
+            Placement::Identity,
+            MeshShape::new(4, 4),
+        )
+    }
 }
 
-/// The 4×4 Paragon shape with five independent injection ports per
-/// node — the machine the idle-ports fixture wastes.
-fn five_port_machine() -> Machine {
-    Machine::new(
-        "Paragon 4x4 (5-port)",
-        Topology::Mesh2D { rows: 4, cols: 4 },
-        MachineParams {
-            ports_per_node: 5,
-            ..MachineParams::paragon_nx()
-        },
-        Placement::Identity,
-        MeshShape::new(4, 4),
-    )
-}
+use machines::{five_port_machine, standard_machine};
 
 /// All seeded-bug fixtures.
 pub fn all() -> Vec<Fixture> {

@@ -236,7 +236,7 @@ impl Check for AboveLowerBound {
         let params = &ctx.machine.params;
         let total_bytes: usize = ctx.sources.iter().map(|&s| (ctx.payload_of)(s).len()).sum();
         let log2p = (usize::BITS - (p - 1).leading_zeros()) as Time;
-        let k = params.ports_per_node.max(1) as Time;
+        let k = params.ports_per_node as Time;
         let lower = log2p * (params.alpha_send(ctx.opts.lib) + params.alpha_recv(ctx.opts.lib))
             + params.serialize_ns_lib(total_bytes, ctx.opts.lib) / k;
         if lower == 0 {
@@ -375,6 +375,46 @@ mod tests {
         );
         for f in &a.findings {
             assert_ne!(f.severity(), Severity::Error, "{f:?}");
+        }
+    }
+
+    /// The negative gate for the k-ported transmit path: on the *same*
+    /// five-port machine the idle-ports fixture wastes, `KPort_Lin`
+    /// must lint completely clean — zero perf findings of any severity,
+    /// so it needs no entry in the committed lint baseline. If the
+    /// batched sends ever stop overlapping port windows, the idle-ports
+    /// lint fires here before the sweep numbers move.
+    ///
+    /// Gated in the algorithm's target regime (s comfortably above k):
+    /// with fewer sources than ~2k, some forwarders only ever carry one
+    /// lane's traffic per level — no source-striped schedule can
+    /// overlap their ports, and the idle-ports lint fires by
+    /// construction (that regime belongs to a chunk-striping algorithm,
+    /// not to lane assignment).
+    #[test]
+    fn kport_lin_lints_clean_on_the_idle_ports_machine() {
+        let machine = fixtures::machines::five_port_machine();
+        assert!(machine.params.ports_per_node > 1);
+        let payload_of = |src: usize| payload_for(src, 64);
+        for s in [10usize, 12] {
+            let sources = SourceDist::Equal.place(machine.shape, s);
+            let alg = AlgoKind::KPortLin.build();
+            let run = record_sources_exec(
+                &machine,
+                AlgoKind::KPortLin.default_lib(),
+                &sources,
+                &payload_of,
+                alg.as_ref(),
+                ExecMode::Cooperative,
+            );
+            let sched = Schedule::from_recorded(&run, machine.p());
+            let a = analyze(&sched, &machine, &sources, &payload_of, &perf_opts());
+            assert!(
+                a.findings.is_empty(),
+                "KPort_Lin (s={s}) must produce zero perf findings on the \
+                 idle-ports machine, got {:?}",
+                a.findings
+            );
         }
     }
 }

@@ -57,6 +57,8 @@ fn usage() -> ! {
     eprintln!("usage: stp --machine <paragon|t3d> [--rows R --cols C | --p P]");
     eprintln!("           --algo <name> --dist <name> --s <n> --len <bytes>");
     eprintln!("           [--lib <nx|mpi>] [--seed <n>] [--metrics] [--trace] [--predict]");
+    eprintln!("           [--ports K]               (ports per node; overrides the machine's");
+    eprintln!("                                      default, e.g. a 5-port Paragon)");
     eprintln!("           [--sweep-len L1,L2,...]   (parallel sweep over message lengths)");
     eprintln!("           [--exec coop|threaded]    (simulation executor; default coop)");
     eprintln!("           [--faults SPEC]           (inject faults, e.g.");
@@ -656,7 +658,7 @@ fn main() {
 
     let machine_kind = get("--machine").unwrap_or_else(|| usage());
     let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let machine = match machine_kind.as_str() {
+    let mut machine = match machine_kind.as_str() {
         "paragon" => {
             let rows: usize = get("--rows").and_then(|v| v.parse().ok()).unwrap_or(10);
             let cols: usize = get("--cols").and_then(|v| v.parse().ok()).unwrap_or(10);
@@ -671,6 +673,15 @@ fn main() {
             usage()
         }
     };
+    if let Some(v) = get("--ports") {
+        match v.parse::<usize>() {
+            Ok(k) if k > 0 => machine.params = machine.params.clone().with_ports(k),
+            _ => {
+                eprintln!("--ports wants a positive port count, got '{v}'");
+                usage()
+            }
+        }
+    }
 
     let algo_name = get("--algo").unwrap_or_else(|| usage());
     let Some(kind) = parse_algo(&algo_name) else {

@@ -1,0 +1,554 @@
+//! The k-ported algorithm family: saturate every injection port.
+//!
+//! The paper's machines are multi-ported (the T3D couples six network
+//! ports per node; `MachineParams::ports_per_node` models it), yet the
+//! §2 algorithms issue one send at a time and leave k−1 ports idle.
+//! This module stripes the broadcast across all k ports using the
+//! [`Communicator::send_batch`] primitive: the whole batch pays a
+//! single α_send and its members occupy distinct injection slots, so up
+//! to k wire times overlap (cf. Träff's k-ported message combining,
+//! arXiv:2008.12144, and Zhou et al.'s multi-lane collectives,
+//! arXiv:1603.06809).
+//!
+//! Three algorithms:
+//!
+//! * [`KPortLin`] — sources are striped into k *lanes* by index mod k;
+//!   each lane runs an independent `Br_Lin` recursive-pairing merge
+//!   over its own link-class-aware mesh traversal (see `build_lane`:
+//!   a two-phase row/column decomposition with alternating orientation
+//!   and staggered rotation, so concurrent lanes drive complementary
+//!   link classes at the bandwidth-heavy late levels). Per level a rank
+//!   ships all its lanes' snapshots in one batch. With k = 1 this
+//!   degenerates to single-lane `Br_Lin`.
+//! * [`KPortScatter`] — gather at a root, stripe the bundle into k
+//!   parts batch-scattered to k leaders, then a k-lane broadcast merge.
+//! * [`KPortAlltoall`] — port-striped direct exchange: every source
+//!   batch-sends its message to the other p−1 ranks in rotated order,
+//!   k destinations per batch.
+
+use mpp_runtime::{CommFuture, Communicator, Tag};
+use mpp_sim::Payload;
+
+use crate::algorithms::{tags, StpAlgorithm, StpCtx};
+use crate::msgset::MessageSet;
+
+/// Tags per level inside a lane tag block: lane index is added to
+/// `tag_base + level · LANE_STRIDE`, so lane counts are capped at 16.
+const LANE_STRIDE: usize = 16;
+
+/// Largest lane count any k-ported algorithm uses (the tag encoding
+/// reserves `LANE_STRIDE` tags per level).
+pub const MAX_LANES: usize = LANE_STRIDE;
+
+/// The lane count for a machine with `ports` injection slots per node:
+/// one lane per port, capped by the tag encoding and the machine size.
+fn lane_count(ports: usize, p: usize) -> usize {
+    ports.min(MAX_LANES).min(p).max(1)
+}
+
+/// Linear order of lane `v`: a boustrophedon traversal of the mesh —
+/// row-major for even `v`, column-major for odd `v` — rotated by
+/// `⌊v/2⌋` positions.
+///
+/// The pairing schedule's distances *halve* as the merged sets double
+/// (see [`crate::pattern`]), so the bandwidth-heavy late levels pair
+/// positions at order-distance 1 and 2 — mesh *neighbours* under a
+/// boustrophedon traversal. Lane geometry therefore decides whether
+/// concurrent lanes fight for wires exactly where the messages are
+/// fattest: row-major and column-major lanes drive disjoint link
+/// classes (row links vs column links), and differently-rotated lanes
+/// of the same class pair disjoint edges (even vs odd). A plain
+/// rotation by `j·p/k` — the obvious choice — preserves adjacency and
+/// puts every lane on the *same* row links at the final levels.
+///
+/// Lane 0 is always the plain snake order, so `KPort_Lin` at k = 1 is
+/// exactly `Br_Lin`. Degenerate 1×n / n×1 meshes have one link class;
+/// there every lane is the snake rotated by `v`.
+pub(crate) fn lane_order(shape: mpp_model::MeshShape, v: usize) -> Vec<usize> {
+    let p = shape.p();
+    let (rows, cols) = (shape.rows, shape.cols);
+    let (col_major, shift) = if rows > 1 && cols > 1 {
+        (v % 2 == 1, v / 2)
+    } else {
+        (false, v)
+    };
+    let base: Vec<usize> = if col_major {
+        let mut o = Vec::with_capacity(p);
+        for c in 0..cols {
+            for r0 in 0..rows {
+                let r = if c % 2 == 0 { r0 } else { rows - 1 - r0 };
+                o.push(r * cols + c);
+            }
+        }
+        o
+    } else {
+        shape.snake_order()
+    };
+    let shift = shift % p;
+    (0..p).map(|i| base[(i + shift) % p]).collect()
+}
+
+/// One merge segment of a k-ported lane: a linear order over a group of
+/// ranks (the whole machine, or one row/column of it) plus the initial
+/// has-flags along it. Both are pure functions of globally known data
+/// (source positions, root, k), so every rank derives byte-identical
+/// lanes — the same property that makes the `Br_Lin` schedule
+/// precomputable. A lane is a *sequence* of segments run back to back
+/// (e.g. row merge then column merge).
+pub(crate) struct KportLane {
+    /// `order[i]` is the rank at linear position `i`.
+    pub order: Vec<usize>,
+    /// Whether position `i` initially holds this lane's messages.
+    pub has: Vec<bool>,
+}
+
+/// Build lane `j`'s merge segments for initial holders `holds`.
+///
+/// On a proper 2D mesh with k ≥ 2 a lane is the paper's two-phase xy
+/// decomposition of `Br_Lin` — merge within rows, then within columns —
+/// because phase locality is what keeps k lanes from fighting over
+/// wires: a single 100-position linear merge ships its mid-level
+/// messages across half the mesh, where every lane's routes overlap.
+/// Odd lanes run the phases in the opposite orientation (columns
+/// first), so at any instant half the lanes drive row links and half
+/// drive column links — complementary link classes. `⌊j/2⌋` rotates the
+/// in-line pairing so same-orientation lanes meet over different edges.
+///
+/// With k = 1 (or a degenerate 1×n mesh) the lane is a single
+/// boustrophedon segment — `KPort_Lin` then *is* `Br_Lin`.
+pub(crate) fn build_lane(
+    shape: mpp_model::MeshShape,
+    me: usize,
+    j: usize,
+    k: usize,
+    holds: &dyn Fn(usize) -> bool,
+) -> Vec<KportLane> {
+    let (rows, cols) = (shape.rows, shape.cols);
+    if k == 1 || rows < 2 || cols < 2 {
+        let order = lane_order(shape, j);
+        let has = order.iter().map(|&r| holds(r)).collect();
+        return vec![KportLane { order, has }];
+    }
+    let rows_first = j.is_multiple_of(2);
+    let shift = j / 2;
+    let rotate = |v: Vec<usize>, by: usize| -> Vec<usize> {
+        let n = v.len();
+        (0..n).map(|i| v[(i + by) % n]).collect()
+    };
+    let (my_row, my_col) = shape.coords(me);
+    let row_order = rotate((0..cols).map(|c| shape.rank(my_row, c)).collect(), shift);
+    let col_order = rotate((0..rows).map(|r| shape.rank(r, my_col)).collect(), shift);
+    // Lines of the first dimension that hold anything — the phase-2
+    // has-flags (a line spreads internally in phase 1, so after it every
+    // member of a holding line holds).
+    let mut line_hit = vec![false; if rows_first { rows } else { cols }];
+    for r in (0..shape.p()).filter(|&r| holds(r)) {
+        let (row, col) = shape.coords(r);
+        line_hit[if rows_first { row } else { col }] = true;
+    }
+    let (first, second) = if rows_first {
+        (row_order, col_order)
+    } else {
+        (col_order, row_order)
+    };
+    let has1 = first.iter().map(|&r| holds(r)).collect();
+    let has2 = second
+        .iter()
+        .map(|&r| {
+            let (row, col) = shape.coords(r);
+            line_hit[if rows_first { row } else { col }]
+        })
+        .collect();
+    vec![
+        KportLane {
+            order: first,
+            has: has1,
+        },
+        KportLane {
+            order: second,
+            has: has2,
+        },
+    ]
+}
+
+/// Run `lanes.len()` segmented `Br_Lin` merge patterns concurrently,
+/// one message set per lane. All lanes advance level-locked over a
+/// *global* level index (a lane's segments run back to back); within a
+/// level a rank collects every lane's sends into a *single*
+/// [`Communicator::send_batch`] (one α_send for up to k transmits,
+/// fanned across the injection-port slots in declared order), then
+/// drains the level's receives lane by lane. One `next_iteration` per
+/// level, like `br_lin_over`.
+pub(crate) async fn kport_merge(
+    comm: &mut dyn Communicator,
+    lanes: &[Vec<KportLane>],
+    sets: &mut [MessageSet],
+    tag_base: Tag,
+) {
+    debug_assert_eq!(lanes.len(), sets.len());
+    debug_assert!(lanes.len() <= MAX_LANES, "lane tags would collide");
+    struct Seg<'a> {
+        seg: &'a KportLane,
+        sched: std::sync::Arc<crate::pattern::BrLinSchedule>,
+        my_pos: usize,
+        start_level: usize,
+    }
+    let me = comm.rank();
+    let mut segs: Vec<Vec<Seg>> = Vec::with_capacity(lanes.len());
+    let mut levels = 0;
+    for lane in lanes {
+        let mut start = 0;
+        let mut v = Vec::with_capacity(lane.len());
+        for seg in lane {
+            let my_pos = seg
+                .order
+                .iter()
+                .position(|&r| r == me)
+                .unwrap_or_else(|| panic!("rank {me} not in kport lane order"));
+            let sched = crate::pattern::br_lin_schedule_shared(&seg.has);
+            let start_level = start;
+            start += sched.levels();
+            v.push(Seg {
+                seg,
+                sched,
+                my_pos,
+                start_level,
+            });
+        }
+        levels = levels.max(start);
+        segs.push(v);
+    }
+    fn at_level<'s, 'a>(lane: &'s [Seg<'a>], level: usize) -> Option<&'s Seg<'a>> {
+        lane.iter()
+            .find(|s| level >= s.start_level && level < s.start_level + s.sched.levels())
+    }
+    for level in 0..levels {
+        // Simultaneous semantics per lane: sends ship the pre-level
+        // snapshot (a rope — header copy only).
+        let mut batch: Vec<(usize, Tag, Payload)> = Vec::new();
+        for (j, lane) in segs.iter().enumerate() {
+            let Some(s) = at_level(lane, level) else {
+                continue;
+            };
+            let ops = &s.sched.ops[level - s.start_level][s.my_pos];
+            if ops.iter().any(|op| op.send) {
+                let snapshot = sets[j].to_payload();
+                let tag = tag_base + (level * LANE_STRIDE + j) as Tag;
+                for op in ops.iter().filter(|op| op.send) {
+                    batch.push((s.seg.order[op.peer], tag, snapshot.clone()));
+                }
+            }
+        }
+        if !batch.is_empty() {
+            comm.send_batch(batch);
+        }
+        for (j, lane) in segs.iter().enumerate() {
+            let Some(s) = at_level(lane, level) else {
+                continue;
+            };
+            let tag = tag_base + (level * LANE_STRIDE + j) as Tag;
+            let ops = &s.sched.ops[level - s.start_level][s.my_pos];
+            for op in ops.iter().filter(|op| op.recv) {
+                let msg = comm.recv(Some(s.seg.order[op.peer]), Some(tag)).await;
+                comm.charge_memcpy(msg.data.len());
+                let other =
+                    MessageSet::from_payload(&msg.data).expect("malformed message set on the wire");
+                sets[j].merge(other);
+            }
+        }
+        comm.next_iteration();
+    }
+}
+
+/// `KPort_Lin`: k source-striped `Br_Lin` lanes over link-disjoint mesh
+/// traversals, one batched transmit per rank per level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KPortLin;
+
+impl StpAlgorithm for KPortLin {
+    fn name(&self) -> &'static str {
+        "KPort_Lin"
+    }
+
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let p = ctx.shape.p();
+            let me = comm.rank();
+            let k = lane_count(comm.ports(), p);
+            // Lane of a source = its index in the sorted source list,
+            // mod k; lane j's merge segments come from [`build_lane`] so
+            // concurrent lanes drive complementary link classes.
+            let lane_of = |r: usize| ctx.sources.binary_search(&r).ok().map(|i| i % k);
+            let lanes: Vec<Vec<KportLane>> = (0..k)
+                .map(|j| build_lane(ctx.shape, me, j, k, &|r| lane_of(r) == Some(j)))
+                .collect();
+            let mut sets: Vec<MessageSet> = (0..k)
+                .map(|j| match ctx.payload {
+                    Some(pl) if lane_of(me) == Some(j) => MessageSet::single(me, pl),
+                    _ => MessageSet::new(),
+                })
+                .collect();
+            kport_merge(comm, &lanes, &mut sets, tags::KPORT).await;
+            let mut result = MessageSet::new();
+            for s in sets {
+                result.merge(s);
+            }
+            result
+        })
+    }
+
+    fn ideal_sources(&self, shape: mpp_model::MeshShape, s: usize) -> Option<Vec<usize>> {
+        // Lane 0 is a plain Br_Lin; the left diagonal stays a good
+        // anchor for all rotations of it.
+        Some(crate::ideal::ideal_left_diagonal(shape, s))
+    }
+}
+
+/// `KPort_Scatter`: gather at the first source, stripe the gathered
+/// bundle into k parts, batch-scatter them to k leaders in one α_send,
+/// then broadcast each part down its own lane.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KPortScatter;
+
+impl StpAlgorithm for KPortScatter {
+    fn name(&self) -> &'static str {
+        "KPort_Scatter"
+    }
+
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let p = ctx.shape.p();
+            let me = comm.rank();
+            let s = ctx.s();
+            let k = lane_count(comm.ports(), p);
+            let root = ctx.sources[0];
+            // Lane j holds the sources with index ≡ j (mod k); it is
+            // inert when no source maps to it.
+            let active = |j: usize| j < s;
+            let leader = |j: usize| (root + j * p / k) % p;
+
+            // Phase 1: direct gather at the root.
+            let mut full = match ctx.payload {
+                Some(pl) => MessageSet::single(me, pl),
+                None => MessageSet::new(),
+            };
+            if me == root {
+                for &src in ctx.sources.iter().filter(|&&r| r != root) {
+                    let msg = comm.recv(Some(src), Some(tags::KPORT_SCATTER)).await;
+                    comm.charge_memcpy(msg.data.len());
+                    let other = MessageSet::from_payload(&msg.data)
+                        .expect("malformed message set on the wire");
+                    full.merge(other);
+                }
+            } else if ctx.payload.is_some() {
+                comm.send_payload(root, tags::KPORT_SCATTER, full.to_payload());
+            }
+            comm.next_iteration();
+
+            // Phase 2: the root stripes the bundle into k parts and
+            // ships the non-local ones to their lane leaders in a
+            // single batch — one α_send, k injection slots.
+            let mut sets: Vec<MessageSet> = (0..k).map(|_| MessageSet::new()).collect();
+            if me == root {
+                let mut batch: Vec<(usize, Tag, Payload)> = Vec::new();
+                for (j, set) in sets.iter_mut().enumerate() {
+                    if !active(j) {
+                        continue;
+                    }
+                    let mut part = MessageSet::new();
+                    for (i, &src) in ctx.sources.iter().enumerate() {
+                        if i % k == j {
+                            let data = full.get(src).expect("gathered set is complete");
+                            part.insert_payload(src, data.clone());
+                        }
+                    }
+                    if leader(j) != root {
+                        batch.push((leader(j), tags::KPORT_SCATTER + 1, part.to_payload()));
+                    }
+                    // The root co-holds every lane, halving lane depth.
+                    *set = part;
+                }
+                if !batch.is_empty() {
+                    comm.send_batch(batch);
+                }
+            } else {
+                for (j, set) in sets.iter_mut().enumerate() {
+                    if active(j) && leader(j) == me {
+                        let msg = comm.recv(Some(root), Some(tags::KPORT_SCATTER + 1)).await;
+                        comm.charge_memcpy(msg.data.len());
+                        *set = MessageSet::from_payload(&msg.data)
+                            .expect("malformed message set on the wire");
+                    }
+                }
+            }
+            comm.next_iteration();
+
+            // Phase 3: k-lane broadcast merge; lane j starts at its
+            // leader (and the root, which co-holds part j).
+            let lanes: Vec<Vec<KportLane>> = (0..k)
+                .map(|j| {
+                    build_lane(ctx.shape, me, j, k, &|r| {
+                        active(j) && (r == leader(j) || r == root)
+                    })
+                })
+                .collect();
+            kport_merge(
+                comm,
+                &lanes,
+                &mut sets,
+                tags::KPORT_SCATTER + LANE_STRIDE as Tag,
+            )
+            .await;
+            let mut result = MessageSet::new();
+            for set in sets {
+                result.merge(set);
+            }
+            result
+        })
+    }
+}
+
+/// `KPort_Alltoall`: every source streams its message directly to all
+/// other ranks, k destinations per batched transmit (rotated so
+/// concurrent sources target disjoint ranks first).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KPortAlltoall;
+
+impl StpAlgorithm for KPortAlltoall {
+    fn name(&self) -> &'static str {
+        "KPort_Alltoall"
+    }
+
+    fn run<'a>(
+        &'a self,
+        comm: &'a mut dyn Communicator,
+        ctx: &'a StpCtx<'a>,
+    ) -> CommFuture<'a, MessageSet> {
+        Box::pin(async move {
+            ctx.validate(comm);
+            let p = ctx.shape.p();
+            let me = comm.rank();
+            let k = lane_count(comm.ports(), p);
+            let mut set = match ctx.payload {
+                Some(pl) => MessageSet::single(me, pl),
+                None => MessageSet::new(),
+            };
+            if ctx.payload.is_some() {
+                let snapshot = set.to_payload();
+                let dsts: Vec<usize> = (1..p).map(|d| (me + d) % p).collect();
+                for chunk in dsts.chunks(k) {
+                    let batch: Vec<(usize, Tag, Payload)> = chunk
+                        .iter()
+                        .map(|&dst| (dst, tags::KPORT_A2A, snapshot.clone()))
+                        .collect();
+                    comm.send_batch(batch);
+                }
+            }
+            comm.next_iteration();
+            for &src in ctx.sources.iter().filter(|&&r| r != me) {
+                let msg = comm.recv(Some(src), Some(tags::KPORT_A2A)).await;
+                comm.charge_memcpy(msg.data.len());
+                let other =
+                    MessageSet::from_payload(&msg.data).expect("malformed message set on the wire");
+                set.merge(other);
+            }
+            comm.next_iteration();
+            set
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_model::MeshShape;
+    use mpp_runtime::run_threads;
+
+    use crate::msgset::payload_for;
+
+    fn check(shape: MeshShape, sources: Vec<usize>, len: usize, alg: &dyn StpAlgorithm) {
+        let out = run_threads(shape.p(), async |comm| {
+            let payload = sources
+                .contains(&comm.rank())
+                .then(|| payload_for(comm.rank(), len));
+            let ctx = StpCtx {
+                shape,
+                sources: &sources,
+                payload: payload.as_deref(),
+            };
+            alg.run(comm, &ctx).await
+        });
+        for (rank, set) in out.results.iter().enumerate() {
+            assert_eq!(set.sources().collect::<Vec<_>>(), sources, "rank {rank}");
+            for &s in &sources {
+                assert_eq!(
+                    set.get(s).unwrap(),
+                    payload_for(s, len),
+                    "rank {rank} src {s}"
+                );
+            }
+        }
+    }
+
+    // The threads backend reports 1 port, so these exercise the k = 1
+    // degenerate path (and odd meshes / source counts); multi-port
+    // behaviour is covered by the simulator-backed tests in
+    // `tests/exec_equivalence.rs` and the analyzer conformance suite.
+
+    #[test]
+    fn kport_lin_delivers() {
+        check(MeshShape::new(4, 4), vec![0, 3, 7, 12, 15], 32, &KPortLin);
+        check(MeshShape::new(3, 5), vec![2, 7, 14], 16, &KPortLin);
+        check(MeshShape::new(2, 2), vec![1], 8, &KPortLin);
+    }
+
+    #[test]
+    fn kport_scatter_delivers() {
+        check(
+            MeshShape::new(4, 4),
+            vec![0, 3, 7, 12, 15],
+            32,
+            &KPortScatter,
+        );
+        check(MeshShape::new(3, 5), vec![2, 7, 14], 16, &KPortScatter);
+        check(MeshShape::new(2, 2), vec![3], 8, &KPortScatter);
+    }
+
+    #[test]
+    fn kport_alltoall_delivers() {
+        check(
+            MeshShape::new(4, 4),
+            vec![0, 3, 7, 12, 15],
+            32,
+            &KPortAlltoall,
+        );
+        check(MeshShape::new(3, 5), vec![2, 7, 14], 16, &KPortAlltoall);
+        check(MeshShape::new(1, 7), (0..7).collect(), 8, &KPortAlltoall);
+    }
+
+    #[test]
+    fn zero_length_payloads() {
+        check(MeshShape::new(2, 4), vec![1, 6], 0, &KPortLin);
+        check(MeshShape::new(2, 4), vec![1, 6], 0, &KPortScatter);
+        check(MeshShape::new(2, 4), vec![1, 6], 0, &KPortAlltoall);
+    }
+
+    #[test]
+    fn lane_count_clamps() {
+        assert_eq!(lane_count(1, 16), 1);
+        assert_eq!(lane_count(5, 16), 5);
+        assert_eq!(lane_count(64, 16), 16);
+        assert_eq!(lane_count(5, 3), 3);
+        assert_eq!(lane_count(6, 100), 6);
+    }
+}

@@ -11,6 +11,7 @@
 //! | `Br_xy_dim`       | dimension order by mesh shape          | [`br_xy`] |
 //! | `Repos_*`         | reposition to an ideal distribution    | [`repos`] |
 //! | `Part_*`          | reposition + machine partitioning      | [`part`] |
+//! | `KPort_*`         | k-ported batched lanes (extension)     | [`kport`] |
 //!
 //! `MPI_AllGather` and `MPI_Alltoall` in the paper's T3D plots are the
 //! MPI builds of `2-Step` and `PersAlltoAll` respectively (paper §5.3);
@@ -22,6 +23,7 @@ pub mod br_dims;
 pub mod br_lin;
 pub mod br_xy;
 pub mod dissem;
+pub mod kport;
 pub mod naive;
 pub mod part;
 pub mod pers_alltoall;
@@ -38,6 +40,7 @@ pub use br_dims::{BrDims, GridShape};
 pub use br_lin::BrLin;
 pub use br_xy::{BrXyDim, BrXySource, DimOrder};
 pub use dissem::DissemAllGather;
+pub use kport::{KPortAlltoall, KPortLin, KPortScatter};
 pub use naive::NaiveIndependent;
 pub use part::{Part, PartRecursive};
 pub use pers_alltoall::PersAlltoAll;
@@ -148,6 +151,12 @@ pub(crate) mod tags {
     pub const PART_REPOS: Tag = 3_400;
     /// Partitioning final inter-group exchange.
     pub const PART_EXCHANGE: Tag = 3_500;
+    /// `KPort_Lin` lanes (`base + level·16 + lane`).
+    pub const KPORT: Tag = 3_600;
+    /// `KPort_Scatter` gather (+1 scatter, +16… lane blocks).
+    pub const KPORT_SCATTER: Tag = 4_000;
+    /// `KPort_Alltoall` direct exchange.
+    pub const KPORT_A2A: Tag = 4_400;
 }
 
 /// Run the `Br_Lin` merge pattern over an ordered list of ranks.

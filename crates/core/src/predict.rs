@@ -39,7 +39,7 @@ pub fn estimate_ns(machine: &Machine, kind: AlgoKind, s: usize, len: usize) -> O
     let lib = kind.default_lib();
     let a_s = params.alpha_send(lib);
     let a_r = params.alpha_recv(lib);
-    let ports = params.ports_per_node.max(1) as u64;
+    let ports = params.ports_per_node as u64;
     let log_p = log2_ceil(p);
     let log_s = log2_ceil(s.max(1));
 
@@ -141,6 +141,40 @@ pub fn estimate_ns(machine: &Machine, kind: AlgoKind, s: usize, len: usize) -> O
             // path of each tree carries log p sequential sends.
             s as u64 * (a_r + wire(1)) + log_p as u64 * a_s * s as u64 / 2
         }
+        AlgoKind::KPortLin => {
+            // k source-striped Br_Lin lanes: one batched α_send per
+            // level, per-lane sets are ~1/k of the single-port set and
+            // their wires overlap on distinct ports; α_recv still
+            // serializes one receive per lane at the receiver.
+            let lanes = (ports as usize).clamp(1, 16).min(p);
+            let mut t = 0;
+            let mut k = (s / p).max(1);
+            for _ in 0..log_p {
+                let k_level = k.min(s);
+                let per_lane = k_level.div_ceil(lanes).max(1);
+                t += a_s + lanes as u64 * a_r + wire(per_lane) + copy(k_level);
+                k = (k * 2).min(s);
+            }
+            t
+        }
+        AlgoKind::KPortScatter => {
+            // Direct gather at the root, one batched k-way scatter,
+            // then a k-lane broadcast of the ~s/k-entry parts.
+            let lanes = (ports as usize).clamp(1, 16).min(p);
+            let per_lane = s.div_ceil(lanes).max(1);
+            let gather = s as u64 * (wire(1) / ports + a_r) + a_s + copy(s);
+            let scatter = a_s + wire(per_lane) + a_r;
+            let bcast = log_p as u64 * (a_s + lanes as u64 * a_r + wire(per_lane) + copy(per_lane));
+            gather + scatter + bcast
+        }
+        AlgoKind::KPortAlltoall => {
+            // PersAlltoAll with the send startup amortized over batches
+            // of k destinations.
+            let lanes = (ports as usize)
+                .clamp(1, 16)
+                .min(p.saturating_sub(1).max(1)) as u64;
+            (p as u64 - 1).div_ceil(lanes) * a_s + (p as u64 - 1) * wire(1) / ports + s as u64 * a_r
+        }
         AlgoKind::PartLin | AlgoKind::PartXySource | AlgoKind::PartXyDim => return None,
     };
     let _ = log_s;
@@ -171,7 +205,7 @@ fn log2_ceil(n: usize) -> u32 {
 /// A crude lower bound: every processor must *receive* all s payloads
 /// it does not hold, at its ejection-port bandwidth.
 pub fn lower_bound_ns(machine: &Machine, s: usize, len: usize) -> Time {
-    let ports = machine.params.ports_per_node.max(1) as u64;
+    let ports = machine.params.ports_per_node as u64;
     machine.params.serialize_ns(wire_size(s, len)) / ports
 }
 

@@ -102,13 +102,18 @@ pub fn placement_quality(shape: MeshShape, sources: &[usize], kind: AlgoKind) ->
             Some((sources.len() as f64 / (n_lines as f64 * max_count as f64)).clamp(0.0, 1.0))
         }
         AlgoKind::ReposAdaptiveXySource => placement_quality(shape, sources, AlgoKind::BrXySource),
+        // KPort_Lin's lane 0 is a plain snake-order Br_Lin; the rotated
+        // lanes track the same growth score, so score it like Br_Lin.
+        AlgoKind::KPortLin => placement_quality(shape, sources, AlgoKind::BrLin),
         AlgoKind::TwoStep
         | AlgoKind::PersAlltoAll
         | AlgoKind::MpiAllGather
         | AlgoKind::MpiAlltoall
         | AlgoKind::DissemAllGather
         | AlgoKind::DissemZeroCopy
-        | AlgoKind::NaiveIndependent => None,
+        | AlgoKind::NaiveIndependent
+        | AlgoKind::KPortScatter
+        | AlgoKind::KPortAlltoall => None,
     }
 }
 

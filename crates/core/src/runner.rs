@@ -8,8 +8,8 @@ use mpp_runtime::{
 };
 
 use crate::algorithms::{
-    BrLin, BrXyDim, BrXySource, DissemAllGather, NaiveIndependent, Part, PersAlltoAll, Repos,
-    ReposAdaptive, StpAlgorithm, StpCtx, TwoStep,
+    BrLin, BrXyDim, BrXySource, DissemAllGather, KPortAlltoall, KPortLin, KPortScatter,
+    NaiveIndependent, Part, PersAlltoAll, Repos, ReposAdaptive, StpAlgorithm, StpCtx, TwoStep,
 };
 use crate::distribution::SourceDist;
 use crate::msgset::payload_for;
@@ -55,6 +55,13 @@ pub enum AlgoKind {
     ReposAdaptiveXySource,
     /// The baseline §2 rejects: uncoordinated independent broadcasts.
     NaiveIndependent,
+    /// Extension: k source-striped `Br_Lin` lanes batched across the
+    /// machine's injection ports.
+    KPortLin,
+    /// Extension: gather + batched k-way scatter + k-lane broadcast.
+    KPortScatter,
+    /// Extension: port-striped direct all-to-all.
+    KPortAlltoall,
 }
 
 impl AlgoKind {
@@ -78,6 +85,9 @@ impl AlgoKind {
             AlgoKind::DissemZeroCopy => "DissemAllGather (zero-copy)",
             AlgoKind::ReposAdaptiveXySource => "ReposAdaptive_xy_source",
             AlgoKind::NaiveIndependent => "NaiveIndependent",
+            AlgoKind::KPortLin => "KPort_Lin",
+            AlgoKind::KPortScatter => "KPort_Scatter",
+            AlgoKind::KPortAlltoall => "KPort_Alltoall",
         }
     }
 
@@ -128,6 +138,9 @@ impl AlgoKind {
             AlgoKind::DissemZeroCopy,
             AlgoKind::ReposAdaptiveXySource,
             AlgoKind::NaiveIndependent,
+            AlgoKind::KPortLin,
+            AlgoKind::KPortScatter,
+            AlgoKind::KPortAlltoall,
         ]
     }
 
@@ -156,6 +169,9 @@ impl AlgoKind {
                 "ReposAdaptive_xy_source",
             )),
             AlgoKind::NaiveIndependent => Box::new(NaiveIndependent),
+            AlgoKind::KPortLin => Box::new(KPortLin),
+            AlgoKind::KPortScatter => Box::new(KPortScatter),
+            AlgoKind::KPortAlltoall => Box::new(KPortAlltoall),
         }
     }
 }

@@ -36,14 +36,21 @@ pub fn cost_regime(machine: &Machine) -> CostRegime {
 ///
 /// * software-bound machines (T3D): `MPI_Alltoall` — minimal wait cost,
 ///   no combining;
-/// * network-bound machines (Paragon) where all three repositioning
-///   conditions hold: `Repos_xy_source`;
+/// * network-bound machines with k ≥ 2 injection ports per node:
+///   `KPort_Lin` — the port-striped lanes roughly divide the dominant
+///   wire time by k (≈2× at k = 5 on the Paragon figure workloads),
+///   which no single-port merge schedule can recover;
+/// * network-bound single-port machines (Paragon) where all three
+///   repositioning conditions hold: `Repos_xy_source`;
 /// * otherwise: `Br_xy_source` (best all-round merge algorithm).
 pub fn recommend(machine: &Machine, s: usize, msg_len: usize) -> AlgoKind {
     let p = machine.p();
     match cost_regime(machine) {
         CostRegime::SoftwareBound => AlgoKind::MpiAlltoall,
         CostRegime::NetworkBound => {
+            if machine.params.ports_per_node >= 2 {
+                return AlgoKind::KPortLin;
+            }
             let moderate_sources = s < p / 2;
             let big_enough_machine = p > 16;
             let length_band = (1024..=16 * 1024).contains(&msg_len);
@@ -78,6 +85,22 @@ mod tests {
 
     #[test]
     fn t3d_gets_alltoall() {
+        assert_eq!(
+            recommend(&Machine::t3d(128, 0), 40, 4096),
+            AlgoKind::MpiAlltoall
+        );
+    }
+
+    #[test]
+    fn multiport_paragon_gets_kport() {
+        // A multi-ported network-bound machine should stripe its lanes
+        // across the ports regardless of the repositioning conditions.
+        let mut m = Machine::paragon(16, 16);
+        m.params = m.params.clone().with_ports(5);
+        assert_eq!(recommend(&m, 75, 6 * 1024), AlgoKind::KPortLin);
+        assert_eq!(recommend(&m, 200, 128), AlgoKind::KPortLin);
+        // The T3D has six ports but is software-bound: combining (and
+        // thus lane-merging) loses to the wait-free direct exchange.
         assert_eq!(
             recommend(&Machine::t3d(128, 0), 40, 4096),
             AlgoKind::MpiAlltoall

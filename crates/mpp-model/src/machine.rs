@@ -38,6 +38,7 @@ impl Machine {
             "logical shape needs {p} nodes but topology has {}",
             topology.num_nodes()
         );
+        params.validate();
         let mapping = placement.mapping(topology.num_nodes());
         Machine {
             name: name.into(),
@@ -92,12 +93,9 @@ impl Machine {
     /// with one channel per dimension modelled as multiple ports.
     pub fn hypercube(dim: u32) -> Self {
         let p = 1usize << dim;
-        let params = MachineParams {
-            // One DMA channel per hypercube dimension was the nCUBE-2's
-            // signature feature; model as parallel port slots.
-            ports_per_node: dim.max(1) as usize,
-            ..MachineParams::paragon_nx()
-        };
+        // One DMA channel per hypercube dimension was the nCUBE-2's
+        // signature feature; model as parallel port slots.
+        let params = MachineParams::paragon_nx().with_ports(dim.max(1) as usize);
         Machine::new(
             format!("Hypercube-{p}"),
             Topology::Hypercube { dim },

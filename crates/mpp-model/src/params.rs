@@ -134,6 +134,32 @@ impl MachineParams {
         }
     }
 
+    /// Builder: the same machine with `k` injection/ejection port slots
+    /// per node. The canonical way to derive a multi-port variant of a
+    /// calibrated parameter set (perf fixtures, k-ported benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` — a node with no ports cannot transmit, and
+    /// letting zero through would force clamps back into every consumer.
+    pub fn with_ports(self, k: usize) -> Self {
+        assert!(k > 0, "a machine needs at least one port per node");
+        MachineParams {
+            ports_per_node: k,
+            ..self
+        }
+    }
+
+    /// Validate the parameter set; called by `Machine::new` so an
+    /// invalid configuration is rejected at construction instead of
+    /// being papered over with `.max(1)` clamps downstream.
+    pub fn validate(&self) {
+        assert!(
+            self.ports_per_node > 0,
+            "ports_per_node must be >= 1 (got 0); use with_ports(k)"
+        );
+    }
+
     /// Effective α_send under the given library.
     #[inline]
     pub fn alpha_send(&self, lib: LibraryKind) -> u64 {
@@ -228,6 +254,31 @@ mod tests {
         let t3d = MachineParams::t3d_mpi();
         assert!(t3d.gamma_ns_x1024 > t3d.beta_ns_x1024);
         assert!(para.gamma_ns_x1024 < para.beta_ns_x1024);
+    }
+
+    #[test]
+    fn with_ports_builds_multi_port_variants() {
+        let p = MachineParams::paragon_nx().with_ports(5);
+        assert_eq!(p.ports_per_node, 5);
+        // Everything else stays calibrated.
+        assert_eq!(p.alpha_send_ns, MachineParams::paragon_nx().alpha_send_ns);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_is_rejected_at_construction() {
+        let _ = MachineParams::paragon_nx().with_ports(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ports_per_node")]
+    fn validate_rejects_zero_ports() {
+        let p = MachineParams {
+            ports_per_node: 0,
+            ..MachineParams::paragon_nx()
+        };
+        p.validate();
     }
 
     #[test]

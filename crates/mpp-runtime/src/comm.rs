@@ -238,6 +238,30 @@ pub trait Communicator {
         self.send(dst, tag, &data.to_vec());
     }
 
+    /// Vectored multi-port send: issue every `(dst, tag, payload)`
+    /// member as one batched transmit. On the simulator the whole batch
+    /// pays a *single* α_send and all members become network-ready
+    /// simultaneously, so on a `k`-port machine up to `k` of them
+    /// occupy distinct injection slots and their wire times overlap —
+    /// the primitive the `KPort_*` algorithm family is built on.
+    ///
+    /// The default implementation issues the members as sequential
+    /// sends, which is cost-equivalent on a single-port backend and
+    /// always correct (delivery and statistics are per member).
+    fn send_batch(&mut self, msgs: Vec<(usize, Tag, Payload)>) {
+        for (dst, tag, data) in msgs {
+            self.send_payload(dst, tag, data);
+        }
+    }
+
+    /// Independent injection/ejection port slots per node on the machine
+    /// this communicator runs on — the `k` a k-ported algorithm stripes
+    /// its [`send_batch`](Communicator::send_batch) lanes across.
+    /// Backends without a machine model report 1 (single-ported).
+    fn ports(&self) -> usize {
+        1
+    }
+
     /// Blocking receive; `None` filters match anything. Among matching
     /// messages the earliest-arriving is returned.
     fn recv(&mut self, src: Option<usize>, tag: Option<Tag>) -> RecvFut<'_>;

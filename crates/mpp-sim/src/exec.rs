@@ -73,6 +73,14 @@ pub(crate) enum CoopOp {
         data: Payload,
         eff: Time,
     },
+    /// A vectored multi-port send batch issued at `eff`: every member
+    /// transfers are issued in one executor step (one α_send for the
+    /// whole batch) before the rank can suspend, so the port arbiter
+    /// sees them simultaneously.
+    SendBatch {
+        msgs: Vec<(usize, Tag, Payload)>,
+        eff: Time,
+    },
     /// Iteration-boundary marker (recording runs only).
     IterMark { eff: Time },
     /// The rank is suspended in `recv` (its clock is unchanged while
@@ -151,6 +159,7 @@ fn settle_head(
     let cell = cells[rank].borrow();
     match cell.ops.front() {
         Some(CoopOp::Send { eff, .. })
+        | Some(CoopOp::SendBatch { eff, .. })
         | Some(CoopOp::IterMark { eff })
         | Some(CoopOp::Finished { eff }) => {
             phases[rank] = Phase::Ready;
@@ -415,6 +424,24 @@ where
                         &core,
                     );
                     wake_recv(dst, &cells, &mut phases, &mut ready, &core);
+                }
+                CoopOp::SendBatch { msgs, eff } => {
+                    // All members issue in this one step, mirroring the
+                    // threaded kernel's single SendBatch trap; each
+                    // destination is then woken like a plain send's.
+                    let dsts: Vec<usize> = msgs.iter().map(|(dst, _, _)| *dst).collect();
+                    core.process_send_batch(rank, msgs, eff);
+                    settle_head(
+                        rank,
+                        &cells,
+                        &mut phases,
+                        &mut ready,
+                        &mut in_barrier,
+                        &core,
+                    );
+                    for dst in dsts {
+                        wake_recv(dst, &cells, &mut phases, &mut ready, &core);
+                    }
                 }
                 CoopOp::IterMark { .. } => {
                     core.process_iter_mark(rank);

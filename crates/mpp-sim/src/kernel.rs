@@ -176,6 +176,13 @@ pub(crate) enum Trap {
         tag: Tag,
         data: Payload,
     },
+    /// Vectored multi-port issue: all members share one α_send charge
+    /// and become network-ready at the same instant, so the network
+    /// arbitrates them across the node's free port slots (ascending,
+    /// in declared order) instead of serializing through slot 0.
+    SendBatch {
+        msgs: Vec<(usize, Tag, Payload)>,
+    },
     Recv {
         src: Option<usize>,
         tag: Option<Tag>,
@@ -234,6 +241,7 @@ pub struct RankCtx {
     size: usize,
     clock: Time, // threaded-mode mirror; cooperative mode reads the cell
     recording: bool,
+    ports: usize,
     link: Link,
 }
 
@@ -246,11 +254,13 @@ impl RankCtx {
         alpha_send: Time,
         params: MachineParams,
     ) -> Self {
+        let ports = params.ports_per_node;
         RankCtx {
             rank,
             size,
             clock: 0,
             recording,
+            ports,
             link: Link::Coop {
                 cell,
                 alpha_send,
@@ -269,6 +279,14 @@ impl RankCtx {
     #[inline]
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Independent injection/ejection port slots per node on the machine
+    /// this rank runs on — the `k` the k-ported algorithm family stripes
+    /// its [`send_batch`](Self::send_batch) lanes across.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.ports
     }
 
     /// This rank's virtual clock (ns).
@@ -345,6 +363,39 @@ impl RankCtx {
             return;
         }
         match self.call(Trap::Send { dst, tag, data }) {
+            Grant::Sent { .. } => {}
+            _ => unreachable!("kernel protocol violation"),
+        }
+    }
+
+    /// Vectored send: issue every `(dst, tag, payload)` member in one
+    /// call, charging a *single* α_send for the whole batch. All members
+    /// become network-ready at `clock + α_send` simultaneously, so on a
+    /// multi-port machine they occupy distinct injection slots (assigned
+    /// in declared order, ascending) and their wire times overlap.
+    ///
+    /// An empty batch is a no-op and costs nothing.
+    pub fn send_batch(&mut self, msgs: Vec<(usize, Tag, Payload)>) {
+        if msgs.is_empty() {
+            return;
+        }
+        for (dst, _, _) in &msgs {
+            assert!(*dst < self.size, "send to rank {dst} out of range");
+        }
+        if let Link::Coop {
+            cell, alpha_send, ..
+        } = &self.link
+        {
+            // Rank-local like a plain send: one deferred op, one α_send.
+            // The executor expands the batch through the same
+            // `KernelCore` entry point the threaded kernel uses.
+            let mut c = cell.borrow_mut();
+            let eff = c.clock;
+            c.ops.push_back(CoopOp::SendBatch { msgs, eff });
+            c.clock = eff + *alpha_send;
+            return;
+        }
+        match self.call(Trap::SendBatch { msgs }) {
             Grant::Sent { .. } => {}
             _ => unreachable!("kernel protocol violation"),
         }
@@ -736,6 +787,7 @@ where
             for end in rank_ends.iter_mut() {
                 let (rank, trap_tx, grant_rx) = end.take().unwrap();
                 let recording = config.recorder.is_some();
+                let ports = machine.params.ports_per_node;
                 let builder = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(config.stack_size);
@@ -747,6 +799,7 @@ where
                             size: p,
                             clock: 0,
                             recording,
+                            ports,
                             link: Link::Threaded {
                                 to_kernel: trap_tx,
                                 from_kernel: grant_rx,
@@ -993,6 +1046,30 @@ impl<'m> KernelCore<'m> {
         }
         // A lost message (every attempt dropped) never reaches a
         // mailbox; the sender still only pays α_send.
+        ready
+    }
+
+    /// Process a vectored send batch issued at `clock_at_issue`: every
+    /// member is a full logical message (own seq, own Send/Xfer events,
+    /// own fault decisions), but the whole batch shares one α_send —
+    /// each member's network-ready instant is `clock_at_issue + α_send`,
+    /// so the port arbiter hands members distinct free injection slots
+    /// in declared order. Returns the sender's post-batch clock
+    /// (`clock_at_issue + α_send`, exactly one startup charge).
+    pub fn process_send_batch(
+        &mut self,
+        src_rank: usize,
+        msgs: Vec<(usize, Tag, Payload)>,
+        clock_at_issue: Time,
+    ) -> Time {
+        debug_assert!(!msgs.is_empty(), "empty batches are filtered at issue");
+        let mut ready = clock_at_issue + self.alpha_send;
+        for (dst, tag, data) in msgs {
+            // Same issue clock for every member ⇒ `process_send`
+            // computes the identical ready instant each time; the only
+            // per-member state that advances is the network reservation.
+            ready = self.process_send(src_rank, dst, tag, data, clock_at_issue);
+        }
         ready
     }
 
@@ -1280,6 +1357,12 @@ fn dispatch_trap(
     match trap {
         Trap::Send { dst, tag, data } => {
             let ready = core.process_send(rank, dst, tag, data, states[rank].clock);
+            states[rank].clock = ready;
+            send_grant(grant_txs, rank, Grant::Sent { clock: ready });
+            states[rank].pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);
+        }
+        Trap::SendBatch { msgs } => {
+            let ready = core.process_send_batch(rank, msgs, states[rank].clock);
             states[rank].clock = ready;
             send_grant(grant_txs, rank, Grant::Sent { clock: ready });
             states[rank].pending = Some(recv_trap(trap_rxs, panic_slots, rank)?);

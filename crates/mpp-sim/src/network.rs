@@ -125,7 +125,9 @@ impl NetworkState {
     /// Fresh, idle network for the given machine.
     pub fn new(machine: &Machine) -> Self {
         let n = machine.topology.num_nodes();
-        let k = machine.params.ports_per_node.max(1);
+        // `MachineParams::validate` (run at `Machine::new`) guarantees
+        // at least one port slot; no defensive clamp needed here.
+        let k = machine.params.ports_per_node;
         NetworkState {
             link_busy: LinkTable::new(n),
             route_buf: Vec::new(),
@@ -465,6 +467,42 @@ mod tests {
             c + 6 * tau >= b,
             "second send finished at {c} despite first stalled until {b}"
         );
+    }
+
+    #[test]
+    fn same_ready_transfers_take_ascending_port_slots() {
+        // The multi-port batch contract: k transfers handed to the
+        // network at the same ready instant (one `send_batch`) must
+        // occupy the k injection slots in deterministic ascending order
+        // of issue — the property that keeps coop and threaded
+        // recordings byte-identical and lets the cost engine re-derive
+        // the slot assignment from the recording alone.
+        use mpp_model::MachineParams;
+        let machine = Machine::new(
+            "Paragon 4x4 (5-port)",
+            mpp_model::Topology::Mesh2D { rows: 4, cols: 4 },
+            MachineParams::paragon_nx().with_ports(5),
+            mpp_model::Placement::Identity,
+            mpp_model::MeshShape::new(4, 4),
+        );
+        let mut net = NetworkState::new(&machine);
+        net.witness_on = true;
+        let ready = 46_000;
+        for (i, dst) in [1usize, 4, 5, 2, 8].into_iter().enumerate() {
+            net.transfer(
+                &machine,
+                0,
+                dst,
+                4096,
+                machine.params.serialize_ns(4096),
+                ready,
+            );
+            assert_eq!(
+                net.witness.out_slot, i,
+                "batch member {i} (0 -> {dst}) must take injection slot {i}"
+            );
+            assert_eq!(net.witness.ready_ns, ready);
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 use std::sync::Mutex;
 
+use stp_broadcast::model::{MachineParams, Topology};
 use stp_broadcast::prelude::*;
 use stp_broadcast::runtime::{run_simulated_with, ExecMode, SimConfig};
 use stp_broadcast::sim;
@@ -43,8 +44,7 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 /// s=24 equally-spread sources, 4096-byte messages — the same point
 /// `scripts/bench-smoke.sh` records as `copy_stats/...`). Returns
 /// `(payload_allocs, comm_allocs)` for the run.
-fn run_counting(kind: AlgoKind) -> (u64, u64) {
-    let machine = Machine::paragon(16, 16);
+fn run_counting(machine: &Machine, kind: AlgoKind) -> (u64, u64) {
     let sources = SourceDist::Equal.place(machine.shape, 24);
     let alg = kind.build();
     let shape = machine.shape;
@@ -54,7 +54,7 @@ fn run_counting(kind: AlgoKind) -> (u64, u64) {
         ..SimConfig::default()
     };
     let before = sim::copy_metrics();
-    let out = run_simulated_with(&machine, &config, async |comm| {
+    let out = run_simulated_with(machine, &config, async |comm| {
         let payload = sources
             .binary_search(&comm.rank())
             .is_ok()
@@ -77,10 +77,10 @@ fn run_counting(kind: AlgoKind) -> (u64, u64) {
 }
 
 /// Warm up, then assert the measured run stays within budget.
-fn assert_budget(kind: AlgoKind, payload_budget: u64) {
+fn assert_budget_on(machine: &Machine, kind: AlgoKind, payload_budget: u64) {
     let _g = lock();
-    run_counting(kind); // warmup: fill arena chunks + retired pool
-    let (payload_allocs, comm_allocs) = run_counting(kind);
+    run_counting(machine, kind); // warmup: fill arena chunks + retired pool
+    let (payload_allocs, comm_allocs) = run_counting(machine, kind);
     assert!(
         payload_allocs <= payload_budget,
         "{}: {payload_allocs} payload allocations in one warm run \
@@ -93,6 +93,10 @@ fn assert_budget(kind: AlgoKind, payload_budget: u64) {
         "{}: comm layer allocated on the rope path",
         kind.name()
     );
+}
+
+fn assert_budget(kind: AlgoKind, payload_budget: u64) {
+    assert_budget_on(&Machine::paragon(16, 16), kind, payload_budget);
 }
 
 #[test]
@@ -112,4 +116,20 @@ fn two_step_alloc_budget() {
 fn pers_alltoall_alloc_budget() {
     // Warm observed 0.
     assert_budget(AlgoKind::PersAlltoAll, 16);
+}
+
+#[test]
+fn kport_lin_alloc_budget() {
+    // Five ports so every level ships a real multi-member batch: the
+    // batch members clone one rope snapshot per lane (header copies,
+    // not buffer allocations), so the warm count must stay at arena
+    // chunk-refill noise just like the single-port algorithms.
+    let machine = Machine::new(
+        "Paragon 16x16 (5-port)",
+        Topology::Mesh2D { rows: 16, cols: 16 },
+        MachineParams::paragon_nx().with_ports(5),
+        Placement::Identity,
+        MeshShape::new(16, 16),
+    );
+    assert_budget_on(&machine, AlgoKind::KPortLin, 16);
 }

@@ -10,7 +10,7 @@
 //! × the acceptance shapes). The quick subset runs in tier-1; the full
 //! matrix is `#[ignore]`d for tier-2 (`cargo test -- --ignored`).
 
-use stp_broadcast::model::Machine;
+use stp_broadcast::model::{Machine, MachineParams, MeshShape, Placement, Topology};
 use stp_broadcast::runtime::{ExecMode, FaultPlan};
 use stp_broadcast::stp::distribution::SourceDist;
 use stp_broadcast::stp::msgset::payload_for;
@@ -82,6 +82,28 @@ fn assert_identical(machine: &Machine, dist: &SourceDist, s: usize, kind: AlgoKi
     assert_eq!(a.contention_ns, b.contention_ns, "{tag}: contention time");
     assert!(a.verified, "{tag}: run must verify");
 }
+
+/// A Paragon-parameterized mesh with five injection ports per node —
+/// the shape where `send_batch` groups actually fan across port slots,
+/// so the coop poll-all-at-once path and the threaded same-tick
+/// arbitration path genuinely diverge in mechanism.
+fn five_port_paragon(rows: usize, cols: usize) -> Machine {
+    Machine::new(
+        "Paragon (5-port)",
+        Topology::Mesh2D { rows, cols },
+        MachineParams::paragon_nx().with_ports(5),
+        Placement::Identity,
+        MeshShape::new(rows, cols),
+    )
+}
+
+/// The k-ported algorithms plus their single-port reference.
+const KPORT_KINDS: [AlgoKind; 4] = [
+    AlgoKind::KPortLin,
+    AlgoKind::KPortScatter,
+    AlgoKind::KPortAlltoall,
+    AlgoKind::BrLin,
+];
 
 /// Source counts checked per shape (mirrors the lint matrix).
 fn source_counts(p: usize) -> Vec<usize> {
@@ -208,6 +230,58 @@ fn executors_agree_under_link_outages() {
     let machine = Machine::paragon(4, 4);
     let plan = FaultPlan::parse("link=5-6@0..,link=9-10@0..200000").expect("valid spec");
     for &kind in &[AlgoKind::BrLin, AlgoKind::BrXySource, AlgoKind::TwoStep] {
+        assert_identical_faulted(&machine, &SourceDist::Cross, 6, kind, &plan);
+    }
+}
+
+/// Tier-1: multi-port equivalence. On a five-port machine every level
+/// of a k-ported algorithm issues a real multi-member `send_batch`;
+/// the batch must land on the same injection slots (ascending, in
+/// declared order) under both executors, making the recordings
+/// byte-identical.
+#[test]
+fn executors_agree_multiport() {
+    let machine = five_port_paragon(4, 4);
+    for dist in [SourceDist::Equal, SourceDist::DiagRight] {
+        for s in source_counts(machine.p()) {
+            for kind in KPORT_KINDS {
+                assert_identical(&machine, &dist, s, kind);
+            }
+        }
+    }
+}
+
+/// Tier-1: multi-port equivalence on a prime-dimension shape, where
+/// lane segment lengths differ and some levels batch fewer than k
+/// members.
+#[test]
+fn executors_agree_multiport_odd_shape() {
+    let machine = five_port_paragon(3, 5);
+    for kind in KPORT_KINDS {
+        assert_identical(&machine, &SourceDist::Cross, 6, kind);
+    }
+}
+
+/// Tier-1: dropped batch members retry independently — each member of
+/// a `send_batch` keeps its own `(seed, seq, attempt)` hash chain — and
+/// the recovery schedule must still be executor-independent.
+#[test]
+fn executors_agree_multiport_under_transient_drops() {
+    let machine = five_port_paragon(4, 4);
+    let plan = FaultPlan::transient_drops(13, 1, 8, 6);
+    for kind in KPORT_KINDS {
+        assert_identical_faulted(&machine, &SourceDist::Equal, 5, kind, &plan);
+    }
+}
+
+/// Tier-1: link outages under batched transmits — the detoured batch
+/// members contend for the surviving links, and the rerouted schedule
+/// must stay executor-independent.
+#[test]
+fn executors_agree_multiport_under_link_outages() {
+    let machine = five_port_paragon(4, 4);
+    let plan = FaultPlan::parse("link=5-6@0..,link=9-10@0..200000").expect("valid spec");
+    for kind in KPORT_KINDS {
         assert_identical_faulted(&machine, &SourceDist::Cross, 6, kind, &plan);
     }
 }

@@ -5,7 +5,7 @@
 //! from its `FaultPlan` seed.
 
 use stp_analyzer::{analyze, AnalyzeOpts, FindingKind, Schedule};
-use stp_broadcast::model::Machine;
+use stp_broadcast::model::{Machine, MachineParams, MeshShape, Placement, Topology};
 use stp_broadcast::runtime::{ExecMode, FaultPlan, RetryPolicy};
 use stp_broadcast::stp::distribution::SourceDist;
 use stp_broadcast::stp::msgset::payload_for;
@@ -47,7 +47,7 @@ fn all_algorithms_deliver_under_transient_drops() {
     }
     assert!(
         total_retransmits > 0,
-        "a 1/8 drop rate across 17 algorithms must force retransmits"
+        "a 1/8 drop rate across 20 algorithms must force retransmits"
     );
 }
 
@@ -171,5 +171,99 @@ fn exhausted_budget_counts_losses() {
         sched.drops.len(),
         3 * sched.sends.len(),
         "each message must burn exactly max_attempts attempts"
+    );
+}
+
+/// Batch members are individually retried: under a certain-drop plan on
+/// a five-port machine, every member of a `send_batch` burns its *own*
+/// `max_attempts` budget — the drop hash chains on the member's seq,
+/// not the batch — so the per-attempt accounting matches the
+/// one-send-at-a-time case exactly.
+#[test]
+fn batch_members_burn_individual_retry_budgets() {
+    stp_analyzer::hush_expected_panics();
+    let machine = Machine::new(
+        "Paragon 2x2 (5-port)",
+        Topology::Mesh2D { rows: 2, cols: 2 },
+        MachineParams::paragon_nx().with_ports(5),
+        Placement::Identity,
+        MeshShape::new(2, 2),
+    );
+    let sources = vec![0usize];
+    let payload_of = |src: usize| payload_for(src, 64);
+    let plan = FaultPlan {
+        seed: 1,
+        drop_num: 1,
+        drop_den: 1,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            backoff_ns: 100,
+        },
+        ..FaultPlan::default()
+    };
+    // KPort_Alltoall ships the source's message to all three peers in
+    // one batch — three members, one α_send.
+    let alg = AlgoKind::KPortAlltoall.build();
+    let run = record_sources_faulty(
+        &machine,
+        AlgoKind::KPortAlltoall.default_lib(),
+        &sources,
+        &payload_of,
+        alg.as_ref(),
+        ExecMode::Cooperative,
+        Some(&plan),
+    );
+    assert!(run.deadlocked, "total loss must starve the receivers");
+    let sched = Schedule::from_recorded(&run, machine.p());
+    assert_eq!(sched.sends.len(), 3, "one batch, three members");
+    assert_eq!(
+        sched.lost_seqs().len(),
+        sched.sends.len(),
+        "every batch member must be recorded as lost"
+    );
+    assert_eq!(
+        sched.drops.len(),
+        3 * sched.sends.len(),
+        "each batch member must burn exactly max_attempts attempts"
+    );
+}
+
+/// A recoverable drop plan on the five-port machine: the k-ported
+/// algorithms must retransmit dropped batch members and still verify,
+/// with the recovery visible in the retransmit counters.
+#[test]
+fn kport_algorithms_deliver_under_transient_drops() {
+    let machine = Machine::new(
+        "Paragon 4x4 (5-port)",
+        Topology::Mesh2D { rows: 4, cols: 4 },
+        MachineParams::paragon_nx().with_ports(5),
+        Placement::Identity,
+        MeshShape::new(4, 4),
+    );
+    let plan = FaultPlan::transient_drops(21, 1, 8, 6);
+    let mut total_retransmits = 0u64;
+    for kind in [
+        AlgoKind::KPortLin,
+        AlgoKind::KPortScatter,
+        AlgoKind::KPortAlltoall,
+    ] {
+        let out = experiment(&machine, kind, 5)
+            .run_with_faults(&plan)
+            .expect("run failed");
+        assert!(
+            out.verified,
+            "{} lost payload under a recoverable plan",
+            kind.name()
+        );
+        assert!(
+            out.stats.iter().all(|st| st.dropped == 0),
+            "{} exhausted its retry budget",
+            kind.name()
+        );
+        total_retransmits += out.stats.iter().map(|st| st.retransmits).sum::<u64>();
+    }
+    assert!(
+        total_retransmits > 0,
+        "a 1/8 drop rate across batched transmits must force retransmits"
     );
 }
