@@ -699,11 +699,19 @@ fn critical_path(
                     continue;
                 }
                 // Local: charge the opaque gap back to the previous op.
+                // Batched multi-port sends share one α_send window, so
+                // the previous op's out clock can sit *past* this op's
+                // floor: the gap term is then *negative* (an overlap
+                // compensating charges already made along the chain).
+                // The telescoped sum stays non-negative, so accumulate
+                // with wrapping arithmetic — the intermediate dip is
+                // fine modulo 2^64 and the final total is exact.
                 if i == 0 {
                     crit.by_rank_ns[rank] += op_floor;
                     break;
                 }
-                crit.by_rank_ns[rank] += op_floor - rank_ops[rank][i - 1].out_ns;
+                crit.by_rank_ns[rank] = crit.by_rank_ns[rank]
+                    .wrapping_add(op_floor.wrapping_sub(rank_ops[rank][i - 1].out_ns));
                 cursor = Cursor::Rank(rank, i - 1);
             }
             Cursor::Xfer(xi) => {

@@ -9,9 +9,7 @@ use stp_core::algorithms::StpAlgorithm;
 use stp_core::checkpoint::CheckpointFile;
 use stp_core::distribution::SourceDist;
 use stp_core::msgset::payload_for;
-use stp_core::runner::{
-    record_sources, record_sources_faulty, try_record_sources, AlgoKind, RunControl, SweepRunner,
-};
+use stp_core::runner::{record_sources, try_record_sources, AlgoKind, RunControl, SweepRunner};
 use stp_core::supervise::{chaos_algorithms, PointStatus, SuperviseOpts};
 
 use crate::checks::{analyze, AnalyzeOpts, Finding, Severity};
@@ -127,6 +125,114 @@ fn source_counts(p: usize) -> Vec<usize> {
     }
 }
 
+/// Record and analyze one named algorithm instance on one grid point.
+/// The shared engine behind [`lint_point`], [`lint_matrix`] and
+/// [`lint_matrix_supervised`] — and, through the serve daemon's lint
+/// hook, the unit of work a cached plan report corresponds to.
+#[allow(clippy::too_many_arguments)]
+fn lint_alg_point(
+    machine: &Machine,
+    dist: &SourceDist,
+    s: usize,
+    msg_len: usize,
+    alg: &dyn StpAlgorithm,
+    lib: mpp_model::LibraryKind,
+    algo_name: &str,
+    max_link_load: Option<u64>,
+    perf: bool,
+    control: &RunControl,
+) -> Result<LintEntry, mpp_runtime::SimError> {
+    let sources = dist.place(machine.shape, s);
+    let payload_of = move |src: usize| payload_for(src, msg_len);
+    let run = try_record_sources(machine, lib, &sources, &payload_of, alg, control)?;
+    let sched = Schedule::from_recorded(&run, machine.p());
+    let opts = AnalyzeOpts {
+        max_link_load,
+        lib,
+        faulted: control.faults.is_some(),
+        perf,
+        ..AnalyzeOpts::default()
+    };
+    let analysis = analyze(&sched, machine, &sources, &payload_of, &opts);
+    Ok(LintEntry {
+        algo: algo_name.to_string(),
+        dist: dist.name().to_string(),
+        rows: machine.shape.rows,
+        cols: machine.shape.cols,
+        s,
+        sends: analysis.sends,
+        recvs: analysis.recvs,
+        max_link_load: analysis.max_link_load,
+        deadlocked: sched.deadlocked,
+        opaque_payloads: analysis.opaque_payloads,
+        dropped_attempts: sched.drops.len(),
+        findings: analysis.findings,
+    })
+}
+
+/// Record and analyze a single grid point — the cacheable unit of lint
+/// work. The fault plan, executor, budget and cancel token all travel
+/// in `control`; a deadlocking schedule is still an `Ok` entry (with
+/// [`LintEntry::deadlocked`] and a `deadlock` finding), while rank
+/// panics and watchdog trips come back as `Err` for the caller's
+/// supervision layer. Pair with [`lint_point_key`] to memoize the
+/// report under a content address.
+#[allow(clippy::too_many_arguments)]
+pub fn lint_point(
+    machine: &Machine,
+    dist: &SourceDist,
+    s: usize,
+    msg_len: usize,
+    kind: AlgoKind,
+    max_link_load: Option<u64>,
+    perf: bool,
+    control: &RunControl,
+) -> Result<LintEntry, mpp_runtime::SimError> {
+    let alg = kind.build();
+    lint_alg_point(
+        machine,
+        dist,
+        s,
+        msg_len,
+        alg.as_ref(),
+        kind.default_lib(),
+        kind.name(),
+        max_link_load,
+        perf,
+        control,
+    )
+}
+
+/// Content key of one [`lint_point`] report: every input that can
+/// change the analysis is in the string, so equal keys imply
+/// byte-identical reports (the simulation and the checks are
+/// deterministic). The serve daemon folds this into its plan cache key.
+#[allow(clippy::too_many_arguments)]
+pub fn lint_point_key(
+    machine: &Machine,
+    dist: &SourceDist,
+    s: usize,
+    msg_len: usize,
+    kind: AlgoKind,
+    max_link_load: Option<u64>,
+    perf: bool,
+    control: &RunControl,
+) -> String {
+    format!(
+        "lint-point:v1:{}/{}/{}x{}/s{}/L{}:exec={:?}:faults={:?}:mll={:?}:perf={}",
+        kind.name(),
+        dist.name(),
+        machine.shape.rows,
+        machine.shape.cols,
+        s,
+        msg_len,
+        control.exec.map(|e| e.name()),
+        control.faults,
+        max_link_load,
+        perf
+    )
+}
+
 /// Record and analyze every algorithm × distribution × shape × s grid
 /// point. Grid points are independent simulations and run concurrently
 /// on a [`SweepRunner`]; results come back in deterministic input order.
@@ -161,41 +267,21 @@ pub fn lint_matrix(config: &LintConfig) -> Vec<LintEntry> {
         points,
         |pt| pt.machine.p(),
         move |pt| {
-            let sources = pt.dist.place(pt.machine.shape, pt.s);
-            let payload_of = move |src: usize| payload_for(src, msg_len);
-            let alg = pt.kind.build();
-            let run = record_sources_faulty(
-                &pt.machine,
-                pt.kind.default_lib(),
-                &sources,
-                &payload_of,
-                alg.as_ref(),
-                ExecMode::from_env(),
-                faults.as_ref(),
-            );
-            let sched = Schedule::from_recorded(&run, pt.machine.p());
-            let opts = AnalyzeOpts {
-                max_link_load,
-                lib: pt.kind.default_lib(),
-                faulted: faults.is_some(),
-                perf,
-                ..AnalyzeOpts::default()
+            let control = RunControl {
+                faults: faults.clone(),
+                ..RunControl::default()
             };
-            let analysis = analyze(&sched, &pt.machine, &sources, &payload_of, &opts);
-            LintEntry {
-                algo: pt.kind.name().to_string(),
-                dist: pt.dist.name().to_string(),
-                rows: pt.machine.shape.rows,
-                cols: pt.machine.shape.cols,
-                s: pt.s,
-                sends: analysis.sends,
-                recvs: analysis.recvs,
-                max_link_load: analysis.max_link_load,
-                deadlocked: sched.deadlocked,
-                opaque_payloads: analysis.opaque_payloads,
-                dropped_attempts: sched.drops.len(),
-                findings: analysis.findings,
-            }
+            lint_point(
+                &pt.machine,
+                &pt.dist,
+                pt.s,
+                msg_len,
+                pt.kind,
+                max_link_load,
+                perf,
+                &control,
+            )
+            .unwrap_or_else(|e| panic!("{e}"))
         },
     )
 }
@@ -400,8 +486,6 @@ pub fn lint_matrix_supervised(
             ExecMode::Threaded => pt.machine.p(),
         },
         |pt| {
-            let sources = pt.dist.place(pt.machine.shape, pt.s);
-            let payload_of = move |src: usize| payload_for(src, msg_len);
             let alg = pt.alg.build();
             let control = RunControl {
                 faults: faults.clone(),
@@ -409,37 +493,18 @@ pub fn lint_matrix_supervised(
                 cancel: Some(opts.cancel.clone()),
                 exec: None,
             };
-            let run = try_record_sources(
+            lint_alg_point(
                 &pt.machine,
-                pt.alg.lib(),
-                &sources,
-                &payload_of,
+                &pt.dist,
+                pt.s,
+                msg_len,
                 alg.as_ref(),
-                &control,
-            )?;
-            let sched = Schedule::from_recorded(&run, pt.machine.p());
-            let opts = AnalyzeOpts {
+                pt.alg.lib(),
+                pt.alg.name(),
                 max_link_load,
-                lib: pt.alg.lib(),
-                faulted: faults.is_some(),
                 perf,
-                ..AnalyzeOpts::default()
-            };
-            let analysis = analyze(&sched, &pt.machine, &sources, &payload_of, &opts);
-            Ok(LintEntry {
-                algo: pt.alg.name().to_string(),
-                dist: pt.dist.name().to_string(),
-                rows: pt.machine.shape.rows,
-                cols: pt.machine.shape.cols,
-                s: pt.s,
-                sends: analysis.sends,
-                recvs: analysis.recvs,
-                max_link_load: analysis.max_link_load,
-                deadlocked: sched.deadlocked,
-                opaque_payloads: analysis.opaque_payloads,
-                dropped_attempts: sched.drops.len(),
-                findings: analysis.findings,
-            })
+                &control,
+            )
         },
         opts,
         |index, status| {

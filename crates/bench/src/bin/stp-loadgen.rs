@@ -1,0 +1,336 @@
+//! `stp-loadgen` — replay a zipfian planning workload against a
+//! running `stp serve` daemon and report serving-path latency.
+//!
+//! ```text
+//! stp-loadgen --addr 127.0.0.1:7411 [--requests N] [--conns C]
+//!             [--universe U] [--zipf S] [--chaos PCT] [--seed N]
+//!             [--json FILE]
+//! ```
+//!
+//! The generator draws `--requests` requests from a universe of
+//! `--universe` distinct grid points (machine × distribution × s × L ×
+//! ports) under a zipfian rank distribution (`--zipf`, default 1.0):
+//! like a real planning service, a few hot shapes dominate and a long
+//! tail stays cold. `--chaos PCT` salts the stream with malformed
+//! lines and deliberately panicking plan requests — the daemon must
+//! answer each with an error response and keep serving.
+//!
+//! Latencies are host wall-clock (the one place wall time is the
+//! measurement, not the simulation's virtual time — field names say
+//! `_us` and the JSON record carries `"unit":"host_wall_us"`). Cached
+//! and cold responses are classified by the daemon's own `"cached"`
+//! flag, so the p50/p95/p99 split shows exactly what the
+//! content-addressed cache buys.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Instant;
+
+/// SplitMix64 — deterministic, seedable, no external crates.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The request-template universe: distinct grid points, hottest first
+/// (rank 0 is the most popular under the zipfian draw).
+fn build_universe(n: usize) -> Vec<String> {
+    let machines = [
+        ("paragon", 10, 10),
+        ("paragon", 4, 4),
+        ("paragon", 8, 4),
+        ("paragon", 16, 16),
+        ("t3d", 0, 0), // p taken from the s loop below
+    ];
+    let dists = ["row", "equal", "cross", "band", "diag_right", "column"];
+    let lens = [1024usize, 4096, 16384, 256];
+    let ports = [1usize, 5];
+    let mut out = Vec::with_capacity(n);
+    'fill: for &len in &lens {
+        for &(machine, rows, cols) in &machines {
+            for &port in &ports {
+                for &dist in &dists {
+                    if out.len() >= n {
+                        break 'fill;
+                    }
+                    let (shape, p) = if machine == "t3d" {
+                        ("\"p\":128".to_string(), 128)
+                    } else {
+                        (format!("\"rows\":{rows},\"cols\":{cols}"), rows * cols)
+                    };
+                    let s = (p / 3).max(2);
+                    out.push(format!(
+                        "{{\"machine\":\"{machine}\",{shape},\"ports\":{port},\"dist\":\"{dist}\",\"s\":{s},\"L\":{len},\"algo\":\"auto\"}}"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Zipfian CDF over `n` ranks with exponent `s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    weights
+}
+
+enum Conn {
+    Tcp(BufReader<TcpStream>, TcpStream),
+    Unix(BufReader<UnixStream>, UnixStream),
+}
+
+impl Conn {
+    fn open(addr: &str) -> std::io::Result<Conn> {
+        if let Some(path) = addr
+            .strip_prefix("unix:")
+            .or_else(|| addr.starts_with('/').then_some(addr))
+        {
+            let stream = UnixStream::connect(path)?;
+            Ok(Conn::Unix(BufReader::new(stream.try_clone()?), stream))
+        } else {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            Ok(Conn::Tcp(BufReader::new(stream.try_clone()?), stream))
+        }
+    }
+
+    /// Send one line, read one response line.
+    fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        let mut response = String::new();
+        match self {
+            Conn::Tcp(reader, writer) => {
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                reader.read_line(&mut response)?;
+            }
+            Conn::Unix(reader, writer) => {
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                reader.read_line(&mut response)?;
+            }
+        }
+        Ok(response)
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    warm_us: Vec<u64>,
+    cold_us: Vec<u64>,
+    errors: usize,
+    quarantined: usize,
+}
+
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * pct / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn worker(
+    addr: &str,
+    requests: usize,
+    universe: &[String],
+    cdf: &[f64],
+    chaos_pct: f64,
+    seed: u64,
+) -> std::io::Result<Tally> {
+    let mut conn = Conn::open(addr)?;
+    let mut rng = SplitMix64(seed);
+    let mut tally = Tally::default();
+    for i in 0..requests {
+        let chaos = chaos_pct > 0.0 && rng.unit() * 100.0 < chaos_pct;
+        let line: &str = if chaos {
+            // Alternate malformed input, a bad field, and a genuinely
+            // panicking plan — the three failure surfaces.
+            match i % 3 {
+                0 => "this is not json",
+                1 => "{\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\"s\":4,\"algo\":\"nope\"}",
+                _ => {
+                    "{\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\"dist\":\"equal\",\"s\":2,\
+                     \"L\":64,\"algo\":\"chaos:panic\"}"
+                }
+            }
+        } else {
+            let u = rng.unit();
+            let rank = cdf.partition_point(|&c| c < u).min(universe.len() - 1);
+            &universe[rank]
+        };
+        let t0 = Instant::now();
+        let response = conn.round_trip(line)?;
+        let us = t0.elapsed().as_micros() as u64;
+        if response.contains("\"status\":\"ok\"") {
+            if response.contains("\"cached\":true") {
+                tally.warm_us.push(us);
+            } else {
+                tally.cold_us.push(us);
+            }
+        } else {
+            tally.errors += 1;
+            if response.contains("\"quarantined\":true") {
+                tally.quarantined += 1;
+            }
+        }
+    }
+    Ok(tally)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: stp-loadgen --addr HOST:PORT|unix:PATH [--requests N] [--conns C]");
+    eprintln!("                   [--universe U] [--zipf S] [--chaos PCT] [--seed N]");
+    eprintln!("                   [--json FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let addr = get("--addr").unwrap_or_else(|| usage());
+    let requests: usize = get("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let conns: usize = get("--conns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .clamp(1, 64);
+    let universe_n: usize = get("--universe")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1);
+    let zipf: f64 = get("--zipf").and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    let chaos_pct: f64 = get("--chaos").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+
+    let universe = build_universe(universe_n);
+    let cdf = zipf_cdf(universe.len(), zipf);
+
+    let t0 = Instant::now();
+    let per_conn = requests.div_ceil(conns);
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let (addr, universe, cdf) = (&addr, &universe, &cdf);
+                let n = per_conn.min(requests.saturating_sub(c * per_conn));
+                scope.spawn(move || {
+                    worker(addr, n, universe, cdf, chaos_pct, seed ^ (c as u64) << 32)
+                        .unwrap_or_else(|e| {
+                            eprintln!("stp-loadgen: connection {c}: {e}");
+                            std::process::exit(1);
+                        })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut warm: Vec<u64> = Vec::new();
+    let mut cold: Vec<u64> = Vec::new();
+    let (mut errors, mut quarantined) = (0usize, 0usize);
+    for t in tallies {
+        warm.extend(t.warm_us);
+        cold.extend(t.cold_us);
+        errors += t.errors;
+        quarantined += t.quarantined;
+    }
+    warm.sort_unstable();
+    cold.sort_unstable();
+    let total = warm.len() + cold.len() + errors;
+    let hit_rate = if warm.len() + cold.len() > 0 {
+        warm.len() as f64 / (warm.len() + cold.len()) as f64
+    } else {
+        0.0
+    };
+
+    // The daemon's own counters + peak RSS, over a fresh connection.
+    let peak_rss_kb = Conn::open(&addr)
+        .and_then(|mut c| c.round_trip("{\"cmd\":\"stats\"}"))
+        .ok()
+        .and_then(|stats| {
+            let tail = stats.split("\"peak_rss_kb\":").nth(1)?;
+            tail.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse::<u64>()
+                .ok()
+        })
+        .unwrap_or(0);
+
+    println!(
+        "{total} requests over {conns} connection(s) in {wall_s:.2}s ({:.0} req/s)",
+        total as f64 / wall_s.max(1e-9)
+    );
+    println!(
+        "cache: {} hits / {} cold ({:.1}% hit rate)   errors: {errors} ({quarantined} quarantined)",
+        warm.len(),
+        cold.len(),
+        hit_rate * 100.0
+    );
+    println!(
+        "warm  p50 {:>7} us   p95 {:>7} us   p99 {:>7} us",
+        percentile(&warm, 50.0),
+        percentile(&warm, 95.0),
+        percentile(&warm, 99.0)
+    );
+    println!(
+        "cold  p50 {:>7} us   p95 {:>7} us   p99 {:>7} us",
+        percentile(&cold, 50.0),
+        percentile(&cold, 95.0),
+        percentile(&cold, 99.0)
+    );
+    println!("daemon peak RSS: {peak_rss_kb} kB");
+
+    if let Some(path) = get("--json") {
+        // One BENCH-style record. Every latency field is HOST wall
+        // time in microseconds — these are serving-path numbers and
+        // must never be mistaken for the simulator's virtual times.
+        let record = format!(
+            "{{\"id\":\"serve_loadgen\",\"unit\":\"host_wall_us\",\"requests\":{total},\
+             \"conns\":{conns},\"universe\":{},\"zipf\":{zipf},\"chaos_pct\":{chaos_pct},\
+             \"hits\":{},\"cold\":{},\"hit_rate\":{hit_rate:.4},\
+             \"warm_p50_us\":{},\"warm_p95_us\":{},\"warm_p99_us\":{},\
+             \"cold_p50_us\":{},\"cold_p95_us\":{},\"cold_p99_us\":{},\
+             \"errors\":{errors},\"quarantined\":{quarantined},\
+             \"wall_s\":{wall_s:.3},\"daemon_peak_rss_kb\":{peak_rss_kb}}}",
+            universe.len(),
+            warm.len(),
+            cold.len(),
+            percentile(&warm, 50.0),
+            percentile(&warm, 95.0),
+            percentile(&warm, 99.0),
+            percentile(&cold, 50.0),
+            percentile(&cold, 95.0),
+            percentile(&cold, 99.0),
+        );
+        std::fs::write(&path, &record).expect("write JSON record");
+        eprintln!("[loadgen] record written to {path}");
+    }
+}

@@ -74,6 +74,10 @@ fn usage() -> ! {
     eprintln!("       stp sweep [--quick] [--len BYTES] [--json FILE] [--exec coop|threaded]");
     eprintln!("                 [--faults SPEC] [--chaos] [--checkpoint FILE] [--resume]");
     eprintln!("                 [--deadline-ms N]");
+    eprintln!("       stp serve [--addr HOST:PORT|unix:PATH] [--cache FILE] [--cache-cap N]");
+    eprintln!("                 [--workers N] [--deadline-ms N]");
+    eprintln!("                 (long-running planning daemon; newline-delimited JSON");
+    eprintln!("                  requests, content-addressed plan cache — see README)");
     eprintln!("       stp --list       (show algorithm and distribution names)");
     std::process::exit(2);
 }
@@ -613,6 +617,100 @@ fn run_sweep(args: &[String]) -> ! {
     std::process::exit(if bad { 1 } else { 0 });
 }
 
+/// The serve daemon's lint hook: run the analyzer's single-point lint
+/// over the plan's exact grid point and hand the report JSON back to
+/// `stp-core` (which cannot depend on `stp-analyzer` itself). Shares
+/// the simulated schedule's determinism, so equal plan-cache keys give
+/// byte-identical reports.
+fn serve_lint_hook() -> Box<stp_core::serve::LintFn> {
+    Box::new(|spec| {
+        let stp_core::serve::PlanAlgo::Kind(kind) = &spec.algo else {
+            return Err("lint is not available for chaos fixtures".to_string());
+        };
+        let control = stp_core::runner::RunControl {
+            faults: spec.faults.clone(),
+            exec: Some(spec.exec),
+            ..Default::default()
+        };
+        let entry = stp_analyzer::lint_point(
+            &spec.machine,
+            &spec.dist,
+            spec.s,
+            spec.msg_len,
+            *kind,
+            None,
+            false,
+            &control,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(stp_analyzer::entry_to_json(&entry))
+    })
+}
+
+/// `stp serve`: the long-running broadcast-planning daemon.
+fn run_serve(args: &[String]) -> ! {
+    use stp_core::serve::{arm_signal_shutdown, ServeConfig, Server};
+
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    // Chaos requests are a supported part of the serving mix — their
+    // deliberate panics must not spam the daemon's stderr.
+    stp_analyzer::hush_expected_panics();
+
+    let mut config = ServeConfig::from_env();
+    if let Some(addr) = get("--addr") {
+        config.addr = addr;
+    }
+    if let Some(path) = get("--cache") {
+        config.cache_path = Some(path.into());
+    }
+    if let Some(cap) = get("--cache-cap").and_then(|v| v.parse().ok()) {
+        config.cache_cap = std::cmp::max(cap, 1);
+    }
+    if let Some(workers) = get("--workers").and_then(|v| v.parse::<usize>().ok()) {
+        config.workers = workers.clamp(1, 64);
+    }
+    if let Some(ms) = get("--deadline-ms").and_then(|v| v.parse::<u64>().ok()) {
+        config.deadline = std::time::Duration::from_millis(ms.max(1));
+    }
+
+    let server = Server::bind(&config, Some(serve_lint_hook())).unwrap_or_else(|e| {
+        eprintln!("stp serve: cannot bind {}: {e}", config.addr);
+        std::process::exit(1);
+    });
+    arm_signal_shutdown(&server.shutdown_flag());
+    // One parseable readiness line on stdout — serve-smoke and loadgen
+    // wait for it (and read back the real port when --addr used :0).
+    println!("stp serve: listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "stp serve: {} worker(s), cache cap {}, cache file {}, default deadline {}ms, {} executor",
+        config.workers,
+        config.cache_cap,
+        config
+            .cache_path
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "(memory only)".to_string()),
+        config.deadline.as_millis(),
+        config.exec.name(),
+    );
+    match server.run() {
+        Ok(stats) => {
+            eprintln!("stp serve: clean shutdown; final stats {stats}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("stp serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Apply `--exec coop|threaded` by exporting `STP_EXEC` before any
 /// simulation starts — every later `ExecMode::from_env()` (SweepRunner,
 /// SimConfig::default) then agrees with the flag.
@@ -633,6 +731,18 @@ fn apply_exec_flag(args: &[String]) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     apply_exec_flag(&args);
+    // The daemon is deliberately lenient about a malformed `STP_EXEC`
+    // (warns once, runs cooperative — a typo'd deploy must not kill
+    // it), so dispatch it before the hard CLI-level validation below.
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
+    }
+    // One-shot commands fail fast instead: a typo'd `STP_EXEC` means
+    // the run would not measure what the user asked for.
+    if let Err(e) = mpp_runtime::ExecMode::try_from_env() {
+        eprintln!("stp: {e}");
+        std::process::exit(2);
+    }
     if args.first().map(String::as_str) == Some("lint") {
         run_lint(&args[1..]);
     }

@@ -175,29 +175,16 @@ pub fn length_sweep() -> Vec<usize> {
     vec![32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
 }
 
-/// Parse an algorithm name as used by the `stp` CLI: the paper-style
-/// display name, case-insensitively, with `-`/` ` treated as `_`.
+/// Parse an algorithm name as used by the `stp` CLI (delegates to
+/// [`AlgoKind::parse`], which the serve request path shares).
 pub fn parse_algo(name: &str) -> Option<AlgoKind> {
-    AlgoKind::all().iter().copied().find(|k| {
-        k.name().eq_ignore_ascii_case(name)
-            || k.name().to_lowercase().replace(['-', ' '], "_") == name.to_lowercase()
-    })
+    AlgoKind::parse(name)
 }
 
-/// Parse a distribution name (long or paper-abbreviated) for the CLI.
+/// Parse a distribution name (long or paper-abbreviated) for the CLI
+/// (delegates to [`SourceDist::parse`]).
 pub fn parse_dist(name: &str, seed: u64) -> Option<SourceDist> {
-    Some(match name.to_lowercase().as_str() {
-        "row" | "r" => SourceDist::Row,
-        "column" | "col" | "c" => SourceDist::Column,
-        "equal" | "e" => SourceDist::Equal,
-        "diag" | "diag_right" | "dr" => SourceDist::DiagRight,
-        "diag_left" | "dl" => SourceDist::DiagLeft,
-        "band" | "b" => SourceDist::Band,
-        "cross" | "cr" => SourceDist::Cross,
-        "square" | "square_block" | "sq" => SourceDist::SquareBlock,
-        "random" | "rand" => SourceDist::Random { seed },
-        _ => return None,
-    })
+    SourceDist::parse(name, seed)
 }
 
 #[cfg(test)]

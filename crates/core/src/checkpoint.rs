@@ -362,6 +362,17 @@ impl Checkpoint {
         self.entries.insert(id.to_string(), record.to_string());
     }
 
+    /// Drop a stored record (the serve plan cache evicts past its
+    /// bound). Returns the removed record, if any.
+    pub fn remove(&mut self, id: &str) -> Option<String> {
+        self.entries.remove(id)
+    }
+
+    /// The stored point ids, in sorted order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
     /// Serialize (keys in sorted order — the file is deterministic).
     pub fn to_json(&self) -> String {
         let mut out = format!("{{\"sig\":\"{}\",\"entries\":{{", json_escape(&self.sig));

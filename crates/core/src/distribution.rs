@@ -69,6 +69,24 @@ impl SourceDist {
         }
     }
 
+    /// Parse a distribution name (long or paper-abbreviated) as used by
+    /// the `stp` CLI and the serve request schema. `seed` feeds the
+    /// `Random` variant only.
+    pub fn parse(name: &str, seed: u64) -> Option<SourceDist> {
+        Some(match name.to_lowercase().as_str() {
+            "row" | "r" => SourceDist::Row,
+            "column" | "col" | "c" => SourceDist::Column,
+            "equal" | "e" => SourceDist::Equal,
+            "diag" | "diag_right" | "dr" => SourceDist::DiagRight,
+            "diag_left" | "dl" => SourceDist::DiagLeft,
+            "band" | "b" => SourceDist::Band,
+            "cross" | "cr" => SourceDist::Cross,
+            "square" | "square_block" | "sq" => SourceDist::SquareBlock,
+            "random" | "rand" => SourceDist::Random { seed },
+            _ => return None,
+        })
+    }
+
     /// The six named distributions of the paper's Figure 6 comparison.
     pub fn paper_set() -> Vec<SourceDist> {
         vec![

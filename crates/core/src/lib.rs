@@ -52,6 +52,7 @@ pub mod predict;
 pub mod quality;
 pub mod runner;
 pub mod select;
+pub mod serve;
 pub mod supervise;
 
 /// Convenient glob import for applications and benches.

@@ -144,6 +144,16 @@ impl AlgoKind {
         ]
     }
 
+    /// Parse an algorithm name as used by the `stp` CLI and the serve
+    /// request schema: the paper-style display name, matched
+    /// case-insensitively, with `-`/` ` treated as `_`.
+    pub fn parse(name: &str) -> Option<AlgoKind> {
+        AlgoKind::all().iter().copied().find(|k| {
+            k.name().eq_ignore_ascii_case(name)
+                || k.name().to_lowercase().replace(['-', ' '], "_") == name.to_lowercase()
+        })
+    }
+
     /// Instantiate the algorithm object.
     pub fn build(self) -> Box<dyn StpAlgorithm> {
         match self {
@@ -394,7 +404,7 @@ pub fn try_run_alg_controlled(
         faults: control.faults.clone(),
         budget: control.budget.clone(),
         cancel: control.cancel.clone(),
-        exec: control.exec.unwrap_or_else(ExecMode::from_env),
+        exec: control.exec.unwrap_or_else(ExecMode::from_env_lenient),
         ..SimConfig::default()
     };
     try_run_alg_with(machine, &config, sources, payload_of, alg)
@@ -470,7 +480,14 @@ pub fn record_sources(
     payload_of: &(dyn Fn(usize) -> Vec<u8> + Sync),
     alg: &dyn StpAlgorithm,
 ) -> RecordedRun {
-    record_sources_exec(machine, lib, sources, payload_of, alg, ExecMode::from_env())
+    record_sources_exec(
+        machine,
+        lib,
+        sources,
+        payload_of,
+        alg,
+        ExecMode::from_env_lenient(),
+    )
 }
 
 /// [`record_sources`] with an explicit executor choice, regardless of
@@ -527,7 +544,7 @@ pub fn try_record_sources(
     let config = SimConfig {
         lib,
         recorder: Some(log.clone()),
-        exec: control.exec.unwrap_or_else(ExecMode::from_env),
+        exec: control.exec.unwrap_or_else(ExecMode::from_env_lenient),
         faults: control.faults.clone(),
         budget: control.budget.clone(),
         cancel: control.cancel.clone(),
@@ -728,7 +745,7 @@ impl SweepRunner {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let exec = mpp_runtime::ExecMode::from_env();
+        let exec = mpp_runtime::ExecMode::from_env_lenient();
         let default_workers = match exec {
             // A cooperative grid point is one compute-bound thread, so
             // one worker per core saturates the host exactly.
@@ -750,11 +767,18 @@ impl SweepRunner {
 
     /// A runner that executes grid points strictly one at a time
     /// (ignores the environment overrides).
+    ///
+    /// True to that contract, construction reads **no** environment at
+    /// all — in particular it cannot die on a malformed `STP_EXEC` the
+    /// way [`ExecMode::from_env`] deliberately does. The `exec` field
+    /// only weighs jobs against the rank budget, which a one-at-a-time
+    /// runner never contends on, so the env-free cooperative default is
+    /// also behaviourally inert here.
     pub fn sequential() -> Self {
         SweepRunner {
             workers: 1,
             rank_budget: DEFAULT_RANK_BUDGET,
-            exec: mpp_runtime::ExecMode::from_env(),
+            exec: mpp_runtime::ExecMode::default(),
         }
     }
 

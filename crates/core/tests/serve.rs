@@ -1,0 +1,220 @@
+//! End-to-end tests of the serve daemon over a real socket: identical
+//! requests must hit the content-addressed cache with byte-identical
+//! plans, a poisoned request must be quarantined without killing the
+//! daemon or its cache, the per-request deadline must cut runaway
+//! plans, and the persisted cache must survive a restart.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Once;
+use std::time::Duration;
+
+use stp_core::serve::{PlanCache, ServeConfig, Server, CACHE_SIG};
+
+/// Silence the chaos fixture's deliberate rank panic (integration tests
+/// cannot see the crate-internal hush hook).
+fn hush() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("deliberate chaos panic") {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("stp-serve-test-{tag}-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect to daemon");
+        writer.set_nodelay(true).unwrap();
+        Client {
+            reader: BufReader::new(writer.try_clone().unwrap()),
+            writer,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        response.trim_end().to_string()
+    }
+}
+
+/// Start a daemon on an ephemeral port; returns the client address and
+/// the join handle delivering the final stats JSON.
+fn start_daemon(config: ServeConfig) -> (String, std::thread::JoinHandle<String>) {
+    hush();
+    let server = Server::bind(&config, None).expect("bind daemon");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("daemon run"));
+    (addr, handle)
+}
+
+fn plan_of(response: &str) -> &str {
+    response
+        .split_once(",\"plan\":")
+        .map(|(_, plan)| plan)
+        .expect("response carries a plan")
+}
+
+#[test]
+fn daemon_round_trip_cache_quarantine_and_persistence() {
+    let cache_path = temp_path("roundtrip");
+    let (addr, handle) = start_daemon(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_path: Some(cache_path.clone()),
+        cache_cap: 64,
+        workers: 2,
+        deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr);
+
+    assert_eq!(
+        client.request("{\"cmd\":\"ping\"}"),
+        "{\"status\":\"ok\",\"pong\":true}"
+    );
+
+    // Identical requests: cold then cached, byte-identical plan bodies.
+    let req = "{\"id\":\"q\",\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\
+               \"dist\":\"equal\",\"s\":4,\"L\":256,\"algo\":\"Br_Lin\"}";
+    let cold = client.request(req);
+    let warm = client.request(req);
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    assert_eq!(
+        plan_of(&cold),
+        plan_of(&warm),
+        "hit must replay byte-identically"
+    );
+    assert!(cold.contains("\"verified\":true"), "{cold}");
+
+    // A second connection shares the same cache.
+    let mut other = Client::connect(&addr);
+    let warm2 = other.request(req);
+    assert!(warm2.contains("\"cached\":true"), "{warm2}");
+    assert_eq!(plan_of(&cold), plan_of(&warm2));
+
+    // `auto` resolves to the same algorithm and thus the same entry:
+    // recommend() picks Br_xy_source on a 4x4 (p = 16 is not > 16).
+    let auto = client.request(
+        "{\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\"dist\":\"equal\",\
+         \"s\":4,\"L\":256,\"algo\":\"auto\"}",
+    );
+    let explicit = client.request(
+        "{\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\"dist\":\"equal\",\
+         \"s\":4,\"L\":256,\"algo\":\"Br_xy_source\"}",
+    );
+    assert!(auto.contains("\"cached\":false"), "{auto}");
+    assert!(explicit.contains("\"cached\":true"), "{explicit}");
+
+    // A poisoned request is quarantined; the daemon and cache live on.
+    let chaos = client.request(
+        "{\"id\":\"boom\",\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\
+         \"dist\":\"equal\",\"s\":2,\"L\":64,\"algo\":\"chaos:panic\"}",
+    );
+    assert!(chaos.contains("\"status\":\"error\""), "{chaos}");
+    assert!(chaos.contains("\"quarantined\":true"), "{chaos}");
+    let after = client.request(req);
+    assert!(
+        after.contains("\"cached\":true"),
+        "daemon must keep serving: {after}"
+    );
+
+    // Malformed input: one clean error response, connection stays up.
+    let bad = client.request("{{{{");
+    assert!(bad.contains("\"status\":\"error\""), "{bad}");
+    assert_eq!(
+        client.request("{\"cmd\":\"ping\"}"),
+        "{\"status\":\"ok\",\"pong\":true}"
+    );
+
+    // Shutdown flushes the cache; stats confirm the quarantine count.
+    let stats = client.request("{\"cmd\":\"stats\"}");
+    assert!(stats.contains("\"quarantined\":1"), "{stats}");
+    let shut = client.request("{\"cmd\":\"shutdown\"}");
+    assert!(shut.contains("\"shutdown\":true"), "{shut}");
+    let final_stats = handle.join().expect("daemon thread");
+    assert!(final_stats.contains("\"hits\":"), "{final_stats}");
+
+    // The persisted store replays the plans after a restart.
+    let reopened = PlanCache::open(Some(cache_path.clone()), 64);
+    assert_eq!(reopened.len(), 2, "both planned points persisted");
+    let _ = std::fs::remove_file(&cache_path);
+}
+
+#[test]
+fn per_request_deadline_cuts_runaway_plans() {
+    let (addr, handle) = start_daemon(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_path: None,
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr);
+    // 1 ms is far below any 16x16 cold plan; the deadline must fire and
+    // the response must be an error, not a hung daemon.
+    let response = client.request(
+        "{\"id\":\"slow\",\"machine\":\"paragon\",\"rows\":16,\"cols\":16,\
+         \"dist\":\"equal\",\"s\":64,\"L\":16384,\"algo\":\"Br_Lin\",\"deadline_ms\":1}",
+    );
+    assert!(response.contains("\"status\":\"error\""), "{response}");
+    // The daemon still serves fresh work afterwards.
+    let ok = client.request(
+        "{\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\"dist\":\"equal\",\
+         \"s\":4,\"L\":64,\"algo\":\"Br_Lin\"}",
+    );
+    assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+    client.request("{\"cmd\":\"shutdown\"}");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn corrupt_cache_store_starts_fresh_and_reseals() {
+    let cache_path = temp_path("corrupt");
+    std::fs::write(&cache_path, "garbage, not a checkpoint").unwrap();
+    let (addr, handle) = start_daemon(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_path: Some(cache_path.clone()),
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr);
+    let req = "{\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\"dist\":\"row\",\
+               \"s\":4,\"L\":128,\"algo\":\"Br_Lin\"}";
+    assert!(client.request(req).contains("\"cached\":false"));
+    assert!(client.request(req).contains("\"cached\":true"));
+    client.request("{\"cmd\":\"shutdown\"}");
+    handle.join().expect("daemon thread");
+    // The rewritten store is now a valid, correctly-signed checkpoint.
+    let cp = stp_core::checkpoint::Checkpoint::load(&cache_path)
+        .expect("read cache")
+        .expect("cache parses after reseal");
+    assert_eq!(cp.sig(), CACHE_SIG);
+    assert_eq!(cp.len(), 1);
+    let _ = std::fs::remove_file(&cache_path);
+}

@@ -1,0 +1,75 @@
+//! Regression test for the serving-path `STP_EXEC` bug: constructors
+//! documented as "ignores the environment overrides" called
+//! `ExecMode::from_env()`, which panics on an unknown value — so a
+//! typo'd `STP_EXEC` in a daemon's environment killed every request
+//! (and `SweepRunner::sequential()` construction itself).
+//!
+//! This lives in its own integration-test binary because it poisons the
+//! process environment: cargo runs each test file as a separate
+//! process, so the bogus value cannot leak into other tests.
+
+use mpp_runtime::ExecMode;
+use stp_core::runner::SweepRunner;
+use stp_core::serve::{Planner, Request, ServeConfig};
+
+#[test]
+fn bogus_stp_exec_cannot_kill_the_serving_path() {
+    std::env::set_var("STP_EXEC", "bogus-executor");
+
+    // The fallible probe reports the problem...
+    assert!(ExecMode::try_from_env().is_err());
+    // ...the lenient reader warns once and falls back to cooperative...
+    assert_eq!(ExecMode::from_env_lenient(), ExecMode::Cooperative);
+    // ...and the env-free constructors never look at all.
+    assert_eq!(ExecMode::default(), ExecMode::Cooperative);
+    let runner = SweepRunner::sequential();
+    assert_eq!(runner.workers(), 1);
+
+    // The whole daemon path works under the poisoned environment:
+    // config, parse, cold plan, warm hit.
+    let config = ServeConfig::from_env();
+    assert_eq!(config.exec, ExecMode::Cooperative);
+    let planner = Planner::new(
+        &ServeConfig {
+            cache_path: None,
+            ..config
+        },
+        None,
+    );
+    let line = "{\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\"dist\":\"equal\",\
+                \"s\":4,\"L\":128,\"algo\":\"Br_Lin\"}";
+    let Ok(Request::Plan(spec)) = planner.parse(line) else {
+        panic!("plan request must parse under a bogus STP_EXEC");
+    };
+    let cold = planner.plan(&spec);
+    assert!(cold.contains("\"status\":\"ok\""), "{cold}");
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    let warm = planner.plan(&spec);
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+
+    // A *request-level* exec override is different: the request itself
+    // is wrong, so it gets a clean per-request error, not a fallback.
+    let bad = planner.parse(
+        "{\"machine\":\"paragon\",\"rows\":4,\"cols\":4,\"dist\":\"equal\",\
+         \"s\":4,\"L\":128,\"algo\":\"Br_Lin\",\"exec\":\"bogus\"}",
+    );
+    assert!(bad.is_err(), "per-request exec typos must be rejected");
+}
+
+#[test]
+fn supervised_one_point_sweep_survives_bogus_exec() {
+    std::env::set_var("STP_EXEC", "bogus-executor");
+    use stp_core::supervise::SuperviseOpts;
+    // The serve cold path in miniature: sequential supervised map with
+    // a deadline — construction and execution must not panic.
+    let opts = SuperviseOpts::default().with_deadline_ms(30_000);
+    let statuses = SweepRunner::sequential().map_supervised(
+        vec![1usize, 2, 3],
+        |_| 1,
+        |&i| Ok::<usize, mpp_runtime::SimError>(i * 2),
+        &opts,
+        |_, _| {},
+    );
+    assert_eq!(statuses.len(), 3);
+    assert!(statuses.iter().all(|s| s.is_done()));
+}

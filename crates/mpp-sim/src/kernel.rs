@@ -62,19 +62,50 @@ impl ExecMode {
     }
 
     /// The executor selected by the `STP_EXEC` environment variable;
+    /// `Ok(Cooperative)` when unset or empty, `Err` (with the parse
+    /// message) on an unrecognized value.
+    ///
+    /// This is the entry point long-running services use: a daemon must
+    /// not die at construction because a deploy exported a typo'd
+    /// `STP_EXEC` — it decides itself whether to reject the request,
+    /// warn and fall back ([`from_env_lenient`](Self::from_env_lenient)),
+    /// or abort ([`from_env`](Self::from_env)).
+    pub fn try_from_env() -> Result<Self, String> {
+        match std::env::var("STP_EXEC") {
+            Ok(v) if v.trim().is_empty() => Ok(ExecMode::Cooperative),
+            Ok(v) => Self::parse(v.trim()).map_err(|e| format!("STP_EXEC: {e}")),
+            Err(_) => Ok(ExecMode::Cooperative),
+        }
+    }
+
+    /// The executor selected by the `STP_EXEC` environment variable;
     /// cooperative when unset or empty.
     ///
     /// # Panics
     ///
     /// Panics on an unrecognized value. A typo like `STP_EXEC=treaded`
     /// must not silently select the default executor — benchmarks and
-    /// differential tests would quietly measure the wrong thing.
+    /// differential tests would quietly measure the wrong thing. Only
+    /// top-level drivers (the `stp` CLI, benches) should take this hard
+    /// error; library construction paths use
+    /// [`from_env_lenient`](Self::from_env_lenient) instead.
     pub fn from_env() -> Self {
-        match std::env::var("STP_EXEC") {
-            Ok(v) if v.trim().is_empty() => ExecMode::Cooperative,
-            Ok(v) => Self::parse(v.trim()).unwrap_or_else(|e| panic!("STP_EXEC: {e}")),
-            Err(_) => ExecMode::Cooperative,
-        }
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`try_from_env`](Self::try_from_env), degraded to a warning: an
+    /// unrecognized `STP_EXEC` warns once per process and falls back to
+    /// the cooperative default instead of panicking. This is what
+    /// serving paths and other library-level constructors use — a bad
+    /// environment variable must cost a warning, never the process.
+    pub fn from_env_lenient() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("warning: {e}; defaulting to the cooperative executor");
+            });
+            ExecMode::Cooperative
+        })
     }
 
     /// Lower-case display name (`"cooperative"` / `"threaded"`).
@@ -83,6 +114,14 @@ impl ExecMode {
             ExecMode::Cooperative => "cooperative",
             ExecMode::Threaded => "threaded",
         }
+    }
+}
+
+impl Default for ExecMode {
+    /// The environment-free default (cooperative) — what constructors
+    /// documented as "ignores the environment overrides" use.
+    fn default() -> Self {
+        ExecMode::Cooperative
     }
 }
 
@@ -109,7 +148,9 @@ pub struct SimConfig {
     /// panics at the offending operation.
     pub strict: bool,
     /// Which executor drives the rank programs. Defaults to
-    /// [`ExecMode::from_env`] (cooperative unless `STP_EXEC=threaded`).
+    /// [`ExecMode::from_env_lenient`] (cooperative unless
+    /// `STP_EXEC=threaded`; an unrecognized value warns once and falls
+    /// back rather than killing a long-lived host process).
     pub exec: ExecMode,
     /// Deterministic fault plan (drops, delays, link outages, node
     /// crashes, retransmission policy). `None` — or an inert plan — is
@@ -133,7 +174,7 @@ impl Default for SimConfig {
             trace: false,
             recorder: None,
             strict: false,
-            exec: ExecMode::from_env(),
+            exec: ExecMode::from_env_lenient(),
             faults: None,
             budget: SimBudget::from_env(),
             cancel: None,
@@ -2168,6 +2209,13 @@ mod tests {
         assert!(ExecMode::parse("treaded").is_err());
         assert!(ExecMode::parse("").is_err());
         assert!(ExecMode::parse("COOP").is_err());
+    }
+
+    #[test]
+    fn exec_mode_default_is_env_free_cooperative() {
+        // `Default` is the contract behind constructors documented as
+        // "ignores the environment overrides": cooperative, no env read.
+        assert_eq!(ExecMode::default(), ExecMode::Cooperative);
     }
 
     #[test]

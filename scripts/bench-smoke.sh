@@ -18,6 +18,8 @@
 # Environment:
 #   BENCH_SMOKE_MS       per-benchmark budget in ms (default 40)
 #   STP_SWEEP_WORKERS    forwarded to the sweep engine benches
+#   BENCH_SKIP_SERVE     1 = skip the serve-smoke stage that emits
+#                        BENCH_serve.json (see scripts/serve-smoke.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -133,19 +135,24 @@ def makespan_ms(txt, tag):
         sys.exit(f"{tag} run did not verify")
     return float(m.group(1))
 
-kport = makespan_ms(os.environ["KPORT"], "kport_lin")
-brlin = makespan_ms(os.environ["BRLIN"], "br_lin")
-speedup = brlin / kport
-if speedup < 2.0:
-    sys.exit(f"KPort_Lin speedup {speedup:.3f}x fell below the 2x acceptance "
-             f"(kport {kport} ms vs br_lin {brlin} ms)")
-print(json.dumps({
+rec = {
     "id": "kport_speedup/kport_lin_5port_vs_br_lin_1port/10x10_s30_L16K",
-    "kport_lin_ms": kport,
-    "br_lin_ms": brlin,
-    "speedup": round(speedup, 3),
+    "unit": "virtual_makespan_ms",
+    "kport_lin_virtual_makespan_ms": makespan_ms(os.environ["KPORT"], "kport_lin"),
+    "br_lin_virtual_makespan_ms": makespan_ms(os.environ["BRLIN"], "br_lin"),
     "ports": 5,
-}, separators=(",", ":")))
+}
+# The speedup is derived from the record's own two virtual makespans
+# and nothing else — never from the host wall-clock criterion samples
+# that share this record-id family (the validation pass re-checks the
+# division below, so a wall-clock number cannot slip in silently).
+rec["speedup"] = round(
+    rec["br_lin_virtual_makespan_ms"] / rec["kport_lin_virtual_makespan_ms"], 3)
+if rec["speedup"] < 2.0:
+    sys.exit(f"KPort_Lin speedup {rec['speedup']}x fell below the 2x acceptance "
+             f"(kport {rec['kport_lin_virtual_makespan_ms']} ms vs br_lin "
+             f"{rec['br_lin_virtual_makespan_ms']} ms)")
+print(json.dumps(rec, separators=(",", ":")))
 EOF
 
 # Dedupe, then derive the executor acceptance numbers:
@@ -174,6 +181,20 @@ with open(path) as fh:
             if rec["id"] not in recs:
                 order.append(rec["id"])
             recs[rec["id"]] = rec  # last occurrence wins
+
+# Criterion timings are host wall-clock. For the kport family that is
+# ambiguous against the kport_speedup record's virtual makespans (the
+# two share a workload and nearly a record-id), so those records carry
+# the unit in their field names — wall_ns / wall_min_ns, never a bare
+# mean_ns — plus an explicit unit tag. Every other criterion record
+# keeps mean_ns: nothing virtual shares its id family.
+for rec in recs.values():
+    if rec["id"].startswith("kport_5port_10x10_s30_L16K/"):
+        rec["unit"] = "wall_ns"
+        if "mean_ns" in rec:
+            rec["wall_ns"] = rec.pop("mean_ns")
+        if "min_ns" in rec:
+            rec["wall_min_ns"] = rec.pop("min_ns")
 
 cores = os.cpu_count() or 1
 derived = []
@@ -208,15 +229,21 @@ scaling.sort()
 if len(scaling) >= 2 and scaling[0][0] == 1 and all(ns for _, ns in scaling):
     if cores < 2:
         # The machinery ran, but a 1-worker-per-core host cannot show
-        # real scaling. Record only that it was skipped — publishing
-        # the ~1x oversubscription timings alongside the marker invites
-        # reading them as the curve.
+        # real scaling. Record only that it was skipped, and drop the
+        # raw per-worker records outright — publishing the ~1x
+        # oversubscription timings alongside the marker invites reading
+        # them as the curve (and downstream tooling did exactly that).
         series = {
             "id": "core_scaling/fig03_grid",
             "workers": [w for w, _ in scaling],
             "cores": cores,
             "skipped": "insufficient_cores",
         }
+        for w, _ in scaling:
+            raw_id = f"core_scaling_10x10_grid/workers={w}"
+            recs.pop(raw_id, None)
+            if raw_id in order:
+                order.remove(raw_id)
     else:
         base = scaling[0][1]
         series = {
@@ -240,7 +267,11 @@ with open(path, "w") as fh:
 EOF
 
 # Validate every record before committing the report: each line must be
-# a standalone JSON object with a non-empty "id".
+# a standalone JSON object with a non-empty "id", and the unit-
+# namespacing invariants must hold (a skipped core-scaling series may
+# not leak raw per-worker wall-clock records, the kport family may not
+# publish ambiguous mean_ns fields, and the kport speedup must divide
+# its own virtual makespans).
 python3 - "$TMP" <<'EOF' || fail "JSON validation failed"
 import json, sys
 
@@ -249,6 +280,7 @@ with open(path) as fh:
     lines = [ln for ln in fh.read().splitlines() if ln.strip()]
 if not lines:
     sys.exit("no benchmark records produced")
+recs = {}
 for n, line in enumerate(lines, 1):
     try:
         rec = json.loads(line)
@@ -256,8 +288,46 @@ for n, line in enumerate(lines, 1):
         sys.exit(f"line {n} is not valid JSON: {e}\n  {line!r}")
     if not isinstance(rec, dict) or not rec.get("id"):
         sys.exit(f'line {n} is missing a non-empty "id": {line!r}')
+    recs[rec["id"]] = rec
+
+series = recs.get("core_scaling/fig03_grid")
+if series is not None and "skipped" in series:
+    stray = sorted(i for i in recs
+                   if i.startswith("core_scaling_10x10_grid/workers="))
+    if stray:
+        sys.exit("core_scaling series is skipped but raw per-worker "
+                 f"records leaked into the report: {stray}")
+
+for rec_id, rec in recs.items():
+    if rec_id.startswith("kport_5port_10x10_s30_L16K/"):
+        if "mean_ns" in rec or "min_ns" in rec:
+            sys.exit(f"{rec_id}: wall-clock fields must be namespaced as "
+                     "wall_ns/wall_min_ns, found a bare mean_ns/min_ns")
+        if rec.get("unit") != "wall_ns":
+            sys.exit(f"{rec_id}: missing the 'wall_ns' unit tag")
+
+speed = recs.get("kport_speedup/kport_lin_5port_vs_br_lin_1port/10x10_s30_L16K")
+if speed is not None:
+    if speed.get("unit") != "virtual_makespan_ms":
+        sys.exit("kport_speedup record must carry unit=virtual_makespan_ms")
+    want = round(speed["br_lin_virtual_makespan_ms"]
+                 / speed["kport_lin_virtual_makespan_ms"], 3)
+    if speed.get("speedup") != want:
+        sys.exit(f"kport_speedup {speed.get('speedup')} was not derived from "
+                 f"the virtual makespans (expected {want}) — a wall-clock "
+                 "number leaked into the ratio")
 EOF
 
 mv "$TMP" "$OUT"
 trap - EXIT
 echo "wrote $(wc -l < "$OUT") validated benchmark records to $OUT"
+
+# Serving-path latency datapoint: delegate to serve-smoke.sh (daemon +
+# zipfian loadgen + SIGTERM drain), which gates the serving acceptance
+# criteria and writes the validated BENCH_serve.json record next to
+# this report. Latencies there are host_wall_us — never comparable to
+# the virtual makespans above. Skip with BENCH_SKIP_SERVE=1.
+if [ "${BENCH_SKIP_SERVE:-0}" != "1" ]; then
+  ./scripts/serve-smoke.sh "$(dirname "$OUT")/BENCH_serve.json" \
+    || fail "serve-smoke stage failed"
+fi

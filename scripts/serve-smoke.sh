@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the planning daemon: start `stp serve` on an
+# ephemeral port with a persistent plan cache, drive it with a zipfian
+# stp-loadgen mix that includes malformed lines and chaos algorithms,
+# and assert the serving-path acceptance criteria:
+#
+#   - cache hit rate ≥ 90% on the zipfian replay,
+#   - cached plans ≥ 100x faster than cold planning (p50 vs p50),
+#   - the daemon never crashes (chaos requests are quarantined),
+#   - bounded memory (peak RSS well under 1 GiB),
+#   - SIGTERM produces a clean drain with the cache flushed to a
+#     valid, correctly-signed store.
+#
+# The validated loadgen record is written to BENCH_serve.json (one
+# JSON line, every latency in host-wall microseconds — see the BENCH
+# schema note in README.md). The committed BENCH_serve.json is the
+# reference baseline; regenerate it with this script.
+#
+#   ./scripts/serve-smoke.sh [output.json]
+#
+# Environment:
+#   SERVE_REQUESTS   total loadgen requests        (default 100000)
+#   SERVE_CONNS      concurrent connections        (default 4)
+#   SERVE_CHAOS      chaos request percentage      (default 1, i.e. 1%)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_serve.json}"
+case "$OUT" in /*) ;; *) OUT="$PWD/$OUT" ;; esac
+REQUESTS="${SERVE_REQUESTS:-100000}"
+CONNS="${SERVE_CONNS:-4}"
+CHAOS="${SERVE_CHAOS:-1}"
+
+fail() { echo "serve-smoke: $*" >&2; exit 1; }
+
+cargo build -q --release -p stp-bench --bins
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/serve-smoke.XXXXXX")"
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -9 "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+trap 'cleanup; trap - INT TERM EXIT; exit 130' INT TERM
+
+CACHE="$WORK/plan-cache.json"
+target/release/stp serve --addr 127.0.0.1:0 --cache "$CACHE" --workers 2 \
+  >"$WORK/daemon.out" 2>"$WORK/daemon.err" &
+DAEMON_PID=$!
+
+# The daemon prints `stp serve: listening on <addr>` on stdout once the
+# socket is bound; an ephemeral port means the line is the only way to
+# learn the address.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^stp serve: listening on //p' "$WORK/daemon.out" | head -n 1)"
+  [ -n "$ADDR" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null \
+    || { cat "$WORK/daemon.err" >&2; fail "daemon exited before readiness"; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || fail "daemon never printed its readiness line"
+
+target/release/stp-loadgen --addr "$ADDR" --requests "$REQUESTS" \
+  --conns "$CONNS" --universe 64 --zipf 1.0 --chaos "$CHAOS" --seed 42 \
+  --json "$WORK/loadgen.json" \
+  || { cat "$WORK/daemon.err" >&2; fail "loadgen run failed"; }
+
+kill -0 "$DAEMON_PID" 2>/dev/null \
+  || { cat "$WORK/daemon.err" >&2; fail "daemon crashed under load"; }
+
+# Acceptance gates on the loadgen record.
+python3 - "$WORK/loadgen.json" <<'EOF' || fail "acceptance gates failed"
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    rec = json.loads(fh.read())
+if rec["unit"] != "host_wall_us":
+    sys.exit(f"loadgen record has unit {rec['unit']!r}, want host_wall_us")
+if rec["hit_rate"] < 0.90:
+    sys.exit(f"cache hit rate {rec['hit_rate']:.4f} fell below 0.90")
+ratio = rec["cold_p50_us"] / max(rec["warm_p50_us"], 1)
+if ratio < 100.0:
+    sys.exit(f"cached plans only {ratio:.1f}x faster than cold (p50 "
+             f"{rec['warm_p50_us']} us vs {rec['cold_p50_us']} us); need 100x")
+if rec["chaos_pct"] > 0 and rec["quarantined"] == 0:
+    sys.exit("chaos requests were sent but none were quarantined")
+if rec["daemon_peak_rss_kb"] > 1_000_000:
+    sys.exit(f"daemon peak RSS {rec['daemon_peak_rss_kb']} kB is not bounded")
+print(f"serve-smoke: hit rate {rec['hit_rate']:.4f}, warm p50 "
+      f"{rec['warm_p50_us']} us, cold p50 {rec['cold_p50_us']} us "
+      f"({ratio:.0f}x), {rec['quarantined']} quarantined, "
+      f"peak RSS {rec['daemon_peak_rss_kb']} kB")
+EOF
+
+# SIGTERM must drain cleanly: exit 0, a flushed cache that parses as a
+# correctly-signed checkpoint, and the shutdown line in the log.
+kill -TERM "$DAEMON_PID"
+status=0
+wait "$DAEMON_PID" || status=$?
+DAEMON_PID=""
+[ "$status" -eq 0 ] \
+  || { cat "$WORK/daemon.err" >&2; fail "daemon exited $status on SIGTERM"; }
+grep -q "clean shutdown" "$WORK/daemon.err" \
+  || fail "daemon log is missing the clean-shutdown line"
+python3 - "$CACHE" <<'EOF' || fail "flushed cache is not a valid store"
+import json, sys
+with open(sys.argv[1]) as fh:
+    store = json.load(fh)
+if store.get("sig") != "serve-cache:v1":
+    sys.exit(f"cache store has sig {store.get('sig')!r}")
+if not store.get("entries"):
+    sys.exit("cache store flushed with no entries")
+print(f"serve-smoke: cache flushed with {len(store['entries'])} entries")
+EOF
+
+mv "$WORK/loadgen.json" "$OUT"
+echo "serve-smoke: wrote validated record to $OUT"
